@@ -1,0 +1,76 @@
+// A1 — Ablations of the modelling choices flagged in DESIGN.md §4.
+//
+//  (a) preemptive vs non-preemptive blackouts,
+//  (b) dissemination vs tree coordination,
+//  (c) sender- vs receiver-side logging (engine-level; see also E4),
+//  (d) eager/rendezvous threshold S.
+// Expected shape: each choice shifts constants, not conclusions — the
+// justification for the defaults.
+#include "bench_util.hpp"
+
+#include "chksim/ckpt/logging_tax.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("A1", "model-choice ablations");
+
+  const TimeNs interval = 10_ms;
+  const double duty = 0.08;
+  const int ranks = 256;
+
+  {
+    Table t({"ablation", "variant", "slowdown"});
+    for (const auto pre : {sim::Preemption::kPreemptive, sim::Preemption::kNonPreemptive}) {
+      core::StudyConfig cfg;
+      cfg.machine = benchutil::scaled_machine(net::infiniband_system(), interval, duty);
+      cfg.workload = "halo3d";
+      cfg.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+      cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+      cfg.protocol.fixed_interval = interval;
+      cfg.preemption = pre;
+      const core::Breakdown b = core::run_study(cfg);
+      t.row() << "blackout preemption"
+              << (pre == sim::Preemption::kPreemptive ? "preemptive" : "non-preemptive")
+              << benchutil::fixed(b.slowdown);
+    }
+    std::cout << t.to_ascii() << "\n";
+  }
+
+  {
+    Table t({"ablation", "variant", "coordination_cost@16Ki", "coordination_cost@1Mi"});
+    const sim::LogGOPSParams net = net::infiniband_system().net;
+    t.row() << "sync algorithm" << "dissemination"
+            << units::format_time(analytic::barrier_dissemination_cost(net, 1 << 14))
+            << units::format_time(analytic::barrier_dissemination_cost(net, 1 << 20));
+    t.row() << "sync algorithm" << "tree"
+            << units::format_time(analytic::barrier_tree_cost(net, 1 << 14))
+            << units::format_time(analytic::barrier_tree_cost(net, 1 << 20));
+    std::cout << t.to_ascii() << "\n";
+  }
+
+  {
+    // Rendezvous threshold: a bandwidth-bound exchange with messages just
+    // under vs just over S.
+    Table t({"ablation", "S", "msg", "makespan"});
+    for (const Bytes S : {Bytes{4_KiB}, Bytes{64_KiB}, Bytes{1_MiB}}) {
+      for (const Bytes msg : {Bytes{32_KiB}, Bytes{128_KiB}}) {
+        workload::Halo3dConfig wcfg;
+        wcfg.ranks = 64;
+        wcfg.iterations = 10;
+        wcfg.compute_per_iter = 200_us;
+        wcfg.halo_bytes = msg;
+        sim::Program p = workload::make_halo3d(wcfg);
+        p.finalize();
+        sim::EngineConfig cfg;
+        cfg.net = net::infiniband_system().net;
+        cfg.net.S = S;
+        const sim::RunResult r = sim::run_program(p, cfg);
+        t.row() << "eager/rendezvous threshold" << units::format_bytes(S)
+                << units::format_bytes(msg) << units::format_time(r.makespan);
+      }
+    }
+    std::cout << t.to_ascii();
+  }
+  return 0;
+}

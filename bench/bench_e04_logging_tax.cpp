@@ -1,0 +1,69 @@
+// E4 — The message-logging tax.
+//
+// Uncoordinated checkpointing must log messages; this sweeps the per-message
+// (and per-byte) sender-side logging cost and measures the resulting
+// slowdown on three workloads with very different message profiles:
+// hpccg (latency-sensitive small allreduces + halo), halo3d (message-rate
+// heavy), fft (byte-heavy alltoall). No blackouts are injected — the tax is
+// measured in isolation.
+//
+// Expected shape: the tax scales with message rate; beyond a few
+// microseconds per message the communication-intensive workloads slow down
+// by tens of percent, eroding (and eventually erasing) uncoordinated
+// checkpointing's advantage. The receiver-side ablation column shows where
+// the charge lands matters less than that it lands on the critical path.
+#include "bench_util.hpp"
+
+#include "chksim/ckpt/logging_tax.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E4", "message-logging tax vs per-message cost");
+
+  const net::MachineModel machine = net::infiniband_system();
+
+  Table t({"workload", "tax/msg", "tax/KiB", "slowdown(sender)", "slowdown(recv)",
+           "msgs/rank/s"});
+  for (const char* wl : {"hpccg", "halo3d", "fft"}) {
+    workload::StdParams params;
+    params.ranks = 256;
+    params.iterations = 30;
+    params.compute = 1_ms;
+    params.bytes = std::string(wl) == "fft" ? Bytes{16_KiB} : Bytes{8_KiB};
+    sim::Program program = workload::make_workload(wl, params);
+    program.finalize();
+
+    sim::EngineConfig base;
+    base.net = machine.net;
+    const sim::RunResult r0 = sim::run_program(program, base);
+
+    const double msg_rate =
+        static_cast<double>(program.stats().sends) / 256 /
+        units::to_seconds(r0.makespan);
+
+    for (TimeNs tax_msg : {0_us, 1_us, 2_us, 5_us, 10_us, 20_us}) {
+      ckpt::LoggingTaxConfig tc;
+      tc.per_message = tax_msg;
+      tc.per_byte_ns = 0.05;  // 50 ns per KiB
+      ckpt::LoggingTax sender_tax(tc);
+      tc.receiver_side = true;
+      ckpt::LoggingTax recv_tax(tc);
+
+      sim::EngineConfig cfg = base;
+      cfg.tax = &sender_tax;
+      const sim::RunResult rs = sim::run_program(program, cfg);
+      cfg.tax = &recv_tax;
+      const sim::RunResult rr = sim::run_program(program, cfg);
+
+      t.row() << wl << units::format_time(tax_msg) << "51.2 ns"
+              << benchutil::fixed(static_cast<double>(rs.makespan) /
+                                  static_cast<double>(r0.makespan))
+              << benchutil::fixed(static_cast<double>(rr.makespan) /
+                                  static_cast<double>(r0.makespan))
+              << benchutil::fixed(msg_rate, 0);
+    }
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

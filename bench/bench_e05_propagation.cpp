@@ -1,0 +1,66 @@
+// E5 — Delay propagation: how far does one rank's checkpoint reach?
+//
+// Inject a single blackout of varying duration on one rank in the middle of
+// the run. Two metrics:
+//   * global_delay: makespan extension (the victim itself is always delayed,
+//     so this is ~the blackout whenever the victim ends on the critical
+//     path);
+//   * spread: mean finish-time delay of the OTHER ranks — the true
+//     propagation breadth.
+// Expected shape: EP spreads nothing until its final reduction; the
+// wavefront sweep absorbs small blackouts entirely in pipeline slack; halo
+// and allreduce propagate to everyone (spread ~ blackout).
+#include "bench_util.hpp"
+
+#include "chksim/noise/noise.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E5", "single-rank blackout propagation vs workload coupling");
+
+  const net::MachineModel machine = net::infiniband_system();
+  const int ranks = 256;
+  const sim::RankId victim = ranks / 2;
+
+  Table t({"workload", "blackout", "base", "global_delay", "delay/blackout",
+           "spread(non-victim)", "spread/blackout"});
+  for (const char* wl : {"ep", "sweep2d", "halo3d", "allreduce"}) {
+    workload::StdParams params;
+    params.ranks = ranks;
+    params.iterations = 30;
+    params.compute = 1_ms;
+    params.bytes = 8_KiB;
+    sim::Program program = workload::make_workload(wl, params);
+    program.finalize();
+
+    sim::EngineConfig base;
+    base.net = machine.net;
+    const sim::RunResult r0 = sim::run_program(program, base);
+
+    for (TimeNs dur : {100_us, 300_us, 1_ms, 3_ms, 10_ms}) {
+      const TimeNs start = r0.makespan / 3;
+      const auto noise =
+          noise::make_single_blackout(ranks, victim, {start, start + dur});
+      sim::EngineConfig cfg = base;
+      cfg.blackouts = noise.get();
+      const sim::RunResult r1 = sim::run_program(program, cfg);
+      const TimeNs delay = r1.makespan - r0.makespan;
+      double spread = 0;
+      for (int r = 0; r < ranks; ++r) {
+        if (r == victim) continue;
+        spread += static_cast<double>(r1.ranks[static_cast<std::size_t>(r)].finish_time -
+                                      r0.ranks[static_cast<std::size_t>(r)].finish_time);
+      }
+      spread /= (ranks - 1);
+      t.row() << wl << units::format_time(dur) << units::format_time(r0.makespan)
+              << units::format_time(delay)
+              << benchutil::fixed(static_cast<double>(delay) / static_cast<double>(dur),
+                                  2)
+              << units::format_time(static_cast<TimeNs>(spread))
+              << benchutil::fixed(spread / static_cast<double>(dur), 2);
+    }
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

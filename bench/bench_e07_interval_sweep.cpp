@@ -1,0 +1,54 @@
+// E7 — Checkpoint-interval sweep: simulation vs Young/Daly analytics.
+//
+// At 4096 nodes on the InfiniBand machine, sweep the coordinated checkpoint
+// interval around Daly's optimum and compare the Monte-Carlo expected
+// makespan against Daly's closed-form prediction, for three node-MTBF
+// settings. Expected shape: a U-curve with the simulated minimum within a
+// few percent of tau_Daly, and the closed form tracking the simulation.
+#include "bench_util.hpp"
+
+#include "chksim/analytic/daly.hpp"
+#include "chksim/ckpt/recovery.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E7", "interval sweep: simulated vs Daly analytic");
+
+  const int ranks = 4096;
+  const double work = 7.0 * 24 * 3600;  // one week of useful work
+
+  Table t({"node_mtbf(h)", "tau/tau_daly", "tau(s)", "sim_makespan(h)",
+           "daly_makespan(h)", "sim_efficiency"});
+  for (const double node_mtbf_hours : {10'000.0, 25'000.0, 50'000.0}) {
+    net::MachineModel machine = net::infiniband_system();
+    machine.node_mtbf_hours = node_mtbf_hours;
+    const double M = machine.system_mtbf_seconds(ranks);
+    const storage::Pfs pfs = ckpt::pfs_of(machine);
+    const double delta =
+        units::to_seconds(pfs.concurrent_write(machine.ckpt_bytes_per_node, ranks).per_node);
+    const double R = machine.restart_seconds;
+    const double tau_daly = analytic::daly_interval(delta, M);
+
+    for (const double mult : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const double tau = tau_daly * mult;
+      if (tau <= delta) continue;  // no forward progress
+      ckpt::RecoveryParams rp;
+      rp.kind = ckpt::ProtocolKind::kCoordinated;
+      rp.work_seconds = work;
+      rp.slowdown = 1.0 + delta / tau;  // first-order: write cost per interval
+      rp.interval_seconds = tau;
+      rp.restart_seconds = R;
+      fault::Exponential dist(M);
+      const ckpt::MakespanResult mk = ckpt::simulate_makespan(rp, dist, 300, 2024);
+      const double daly = analytic::daly_walltime(work, tau, delta, R, M);
+      t.row() << benchutil::fixed(node_mtbf_hours, 0) << benchutil::fixed(mult, 3)
+              << benchutil::fixed(tau, 0) << benchutil::fixed(mk.mean_seconds / 3600, 1)
+              << benchutil::fixed(daly / 3600, 1)
+              << benchutil::fixed(mk.efficiency, 3);
+    }
+  }
+  std::cout << t.to_ascii();
+  std::cout << "\n(tau/tau_daly = 1 rows should sit at or near each column minimum.)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E8 — I/O contention shape: burst vs spread vs clustered vs burst buffer.
+//
+// Per-node checkpoint write time versus system size under the shared-PFS
+// bandwidth model, for (a) coordinated bursts (all P write at once),
+// (b) uncoordinated spread (fixed-point concurrency at a 1 h interval),
+// (c) hierarchical clusters of 64, and (d) node-local burst buffers.
+// Expected shape: the coordinated burst grows linearly once the aggregate
+// limit binds; spread writes stay near the node-bound time until offered
+// load approaches capacity ("infeasible" marks where checkpointing every
+// hour exceeds the PFS entirely); burst buffers are flat.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E8", "checkpoint write time vs scale by I/O shape");
+
+  const net::MachineModel machine = net::exascale_projection();
+  const storage::Pfs pfs = ckpt::pfs_of(machine);
+  const Bytes bytes = machine.ckpt_bytes_per_node;
+  const TimeNs tau = 3600_s;
+
+  std::cout << "machine=" << machine.name
+            << " bytes/node=" << units::format_bytes(bytes)
+            << " node_bw=" << benchutil::fixed(machine.node_bw_bytes_per_s / 1e9, 1)
+            << " GB/s pfs_bw=" << benchutil::fixed(machine.pfs_bw_bytes_per_s / 1e12, 1)
+            << " TB/s interval=1h\n\n";
+
+  Table t({"nodes", "coordinated_burst", "uncoordinated_spread", "hierarchical(c=64)",
+           "burst_buffer", "partner_copy", "pfs_utilization"});
+  for (int exp = 8; exp <= 20; exp += 2) {
+    const int nodes = 1 << exp;
+    const auto burst = pfs.concurrent_write(bytes, nodes);
+
+    std::string spread = "infeasible";
+    std::string hier = "infeasible";
+    const double util = storage::pfs_utilization(pfs.params(), bytes, nodes, tau);
+    if (util < 1.0) {
+      spread = units::format_time(pfs.spread_write(bytes, nodes, tau).per_node);
+      const int clusters = (nodes + 63) / 64;
+      hier = units::format_time(
+          pfs.spread_write_groups(bytes, 64, clusters, tau).per_node);
+    }
+    t.row() << std::int64_t{nodes} << units::format_time(burst.per_node) << spread
+            << hier << units::format_time(pfs.burst_buffer_write(bytes).per_node)
+            << units::format_time(
+                   ckpt::tier_write_time(storage::StorageTier::kPartner, machine))
+            << benchutil::pct(util);
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E10 — Crossover analysis: at what logging tax does uncoordinated
+// checkpointing lose to coordinated?
+//
+// At 1024 ranks, measure the failure-free slowdown of both protocols (same
+// duty cycle) while sweeping the uncoordinated per-message logging tax,
+// then fold in the failure model (coordinated pays rollback; uncoordinated
+// pays replay). Expected shape: at tax ~0 uncoordinated ties or wins via
+// cheaper recovery; the communication-intensive workload crosses over at a
+// tax of a few microseconds per message, the loosely coupled one much
+// later — whether avoiding coordination pays is a property of the
+// APPLICATION'S COMMUNICATION, not of the protocol.
+#include "bench_util.hpp"
+
+#include "chksim/core/failure_study.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E10", "uncoordinated-vs-coordinated crossover in logging tax");
+
+  const TimeNs interval = 10_ms;
+  const int ranks = 1024;
+
+  Table t({"workload", "duty", "tax/msg", "eff(coordinated)", "eff(uncoordinated)",
+           "winner"});
+  for (const char* wl : {"halo3d", "ep"}) {
+   for (const double duty : {0.08, 0.01}) {
+    // Coordinated baseline (no tax by definition).
+    core::FailureStudyConfig base;
+    base.study.machine =
+        benchutil::scaled_machine(net::infiniband_system(), interval, duty);
+    base.study.machine.node_mtbf_hours = 500;
+    base.study.workload = wl;
+    base.study.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+    base.study.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+    base.study.protocol.fixed_interval = interval;
+    base.work_seconds = 24 * 3600;
+    base.trials = 200;
+    base.recovery_interval_seconds = 300;
+    base.seed = 11;
+    const core::FailureStudyResult co = core::run_failure_study(base);
+
+    for (TimeNs tax : {0_us, 1_us, 2_us, 5_us, 10_us, 20_us, 50_us}) {
+      core::FailureStudyConfig ucfg = base;
+      ucfg.study.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+      ucfg.study.protocol.log_per_message = tax;
+      const core::FailureStudyResult un = core::run_failure_study(ucfg);
+      t.row() << wl << benchutil::pct(duty) << units::format_time(tax)
+              << benchutil::fixed(co.makespan.efficiency, 4)
+              << benchutil::fixed(un.makespan.efficiency, 4)
+              << (un.makespan.efficiency >= co.makespan.efficiency ? "uncoordinated"
+                                                                   : "coordinated");
+    }
+   }
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E11 — Hierarchical clustering ablation: cluster size from 1 (pure
+// uncoordinated) to P (pure coordinated).
+//
+// At 1024 ranks, sweep the cluster size with a fixed inter-cluster logging
+// tax. Expected shape: larger clusters align more blackouts (lower
+// propagation on coupled apps) and log less traffic (halo3d's neighbours
+// are mostly intra-cluster at c >= 64), at the price of more concurrent
+// writers and wider coordination — a U-shaped total with the sweet spot in
+// the middle; for the random workload (no locality) the logging saving is
+// much weaker.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E11", "cluster-size ablation for hierarchical checkpointing");
+
+  const TimeNs interval = 10_ms;
+  const double duty = 0.08;
+  const int ranks = 1024;
+
+  Table t({"workload", "cluster", "coord_time", "duty", "slowdown", "propagation"});
+  for (const char* wl : {"halo3d", "random"}) {
+    for (int cluster : {1, 4, 16, 64, 256, 1024}) {
+      core::StudyConfig cfg;
+      // Contended PFS (uncontended=false): large clusters pay the
+      // concurrent-writer penalty that offsets their alignment benefit.
+      cfg.machine = benchutil::scaled_machine(net::infiniband_system(), interval, duty,
+                                              /*uncontended=*/false);
+      cfg.workload = wl;
+      cfg.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+      cfg.protocol.kind = ckpt::ProtocolKind::kHierarchical;
+      cfg.protocol.cluster_size = cluster;
+      cfg.protocol.fixed_interval = interval;
+      cfg.protocol.log_per_message = 2_us;  // inter-cluster traffic only
+      const core::Breakdown b = core::run_study(cfg);
+      t.row() << wl << std::int64_t{cluster} << units::format_time(b.coordination_time)
+              << benchutil::pct(b.duty_cycle) << benchutil::fixed(b.slowdown)
+              << benchutil::fixed(b.propagation_factor, 2);
+    }
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E12 — Machine efficiency at extreme scale.
+//
+// The scale model: propagation factors (kappa) are measured by engine
+// simulation at 1024 ranks for a coupled workload, then the protocols'
+// duty cycles, coordination costs, and failure processes are evaluated
+// analytically from 2^8 to 2^20 nodes with Daly-chosen intervals.
+// Expected shape: the classic efficiency collapse as MTBF shrinks and the
+// write duty grows; coordinated collapses first (burst I/O), uncoordinated
+// and hierarchical stretch further, burst buffers further still;
+// "io-wall" marks scales where the offered checkpoint load exceeds the
+// file system entirely.
+#include "bench_util.hpp"
+
+#include "chksim/analytic/replication.hpp"
+#include "chksim/core/scale_model.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("E12", "efficiency vs node count, measured kappa + analytic scale model");
+
+  // 1) Measure kappa at an engine-feasible scale with each schedule shape.
+  const TimeNs sim_interval = 10_ms;
+  const double sim_duty = 0.08;
+  double kappa_aligned = 1.0;
+  double kappa_random = 1.0;
+  {
+    core::StudyConfig cfg;
+    cfg.machine = benchutil::scaled_machine(net::infiniband_system(), sim_interval,
+                                            sim_duty);
+    cfg.workload = "halo3d";
+    cfg.params = benchutil::sized_params(1024, sim_interval, 4, 1_ms, 8_KiB);
+    cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+    cfg.protocol.fixed_interval = sim_interval;
+    kappa_aligned = core::run_study(cfg).propagation_factor;
+    cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+    kappa_random = core::run_study(cfg).propagation_factor;
+  }
+  std::cout << "measured kappa (halo3d @ 1024): aligned="
+            << benchutil::fixed(kappa_aligned, 2)
+            << " random=" << benchutil::fixed(kappa_random, 2) << "\n\n";
+
+  // 2) Analytic extrapolation.
+  const net::MachineModel machine = net::exascale_projection();
+  Table t({"nodes", "mtbf(min)", "coordinated", "uncoordinated", "hierarchical(c=64)",
+           "coordinated+BB", "2x-replication"});
+  for (int exp = 8; exp <= 20; exp += 2) {
+    const int nodes = 1 << exp;
+    auto eff = [&](ckpt::ProtocolKind kind, bool bb, double kappa) -> std::string {
+      core::ScaleModelConfig cfg;
+      cfg.machine = machine;
+      cfg.protocol.kind = kind;
+      cfg.protocol.interval_policy = ckpt::IntervalPolicy::kDaly;
+      cfg.protocol.cluster_size = 64;
+      if (bb) cfg.protocol.tier = storage::StorageTier::kBurstBuffer;
+      cfg.kappa = kappa;
+      cfg.trials = 150;
+      cfg.seed = 99;
+      try {
+        return benchutil::fixed(core::efficiency_at_scale(cfg, nodes).efficiency, 3);
+      } catch (const std::invalid_argument&) {
+        return "io-wall";   // offered ckpt load exceeds PFS bandwidth
+      } catch (const std::runtime_error&) {
+        return "collapse";  // MTBF below per-failure recovery: no progress
+      }
+    };
+    t.row() << std::int64_t{nodes}
+            << benchutil::fixed(machine.system_mtbf_seconds(nodes) / 60, 1)
+            << eff(ckpt::ProtocolKind::kCoordinated, false, kappa_aligned)
+            << eff(ckpt::ProtocolKind::kUncoordinated, false, kappa_random)
+            << eff(ckpt::ProtocolKind::kHierarchical, false, kappa_random)
+            << eff(ckpt::ProtocolKind::kCoordinated, true, kappa_aligned)
+            << [&] {
+                 // The whole machine runs the app at half width, replicated.
+                 analytic::ReplicationInputs rin;
+                 rin.app_ranks = nodes / 2;
+                 rin.node_mtbf_seconds = machine.node_mtbf_hours * 3600.0;
+                 rin.rebuild_seconds = 600;
+                 rin.ckpt_seconds = units::to_seconds(
+                     ckpt::tier_write_time(storage::StorageTier::kBurstBuffer, machine));
+                 rin.restart_seconds = machine.restart_seconds;
+                 return benchutil::fixed(analytic::replication_efficiency(rin), 3);
+               }();
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Engine microbenchmarks (google-benchmark): simulator throughput in
+// operations per second for representative workloads and scales. Not an
+// experiment table — this bounds how far the direct simulation can reach
+// and justifies the E12 extrapolation strategy.
+#include <benchmark/benchmark.h>
+
+#include "chksim/net/machines.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace {
+
+using namespace chksim;
+using namespace chksim::literals;
+
+void run_workload(benchmark::State& state, const char* name) {
+  const int ranks = static_cast<int>(state.range(0));
+  workload::StdParams params;
+  params.ranks = ranks;
+  params.iterations = 10;
+  params.compute = 1_ms;
+  params.bytes = 8_KiB;
+  sim::Program p = workload::make_workload(name, params);
+  const sim::ProgramStats st = p.finalize();
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const sim::RunResult r = sim::run_program(p, cfg);
+    benchmark::DoNotOptimize(r.makespan);
+    ops += r.ops_executed;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["ops_in_program"] = static_cast<double>(st.ops);
+}
+
+void BM_Halo3d(benchmark::State& state) { run_workload(state, "halo3d"); }
+void BM_Hpccg(benchmark::State& state) { run_workload(state, "hpccg"); }
+void BM_Allreduce(benchmark::State& state) { run_workload(state, "allreduce"); }
+
+BENCHMARK(BM_Halo3d)->Arg(64)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hpccg)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Allreduce)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_ProgramBuild(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  workload::StdParams params;
+  params.ranks = ranks;
+  params.iterations = 10;
+  for (auto _ : state) {
+    sim::Program p = workload::make_workload("halo3d", params);
+    const sim::ProgramStats st = p.finalize();
+    benchmark::DoNotOptimize(st.ops);
+  }
+}
+BENCHMARK(BM_ProgramBuild)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// T1 — Workload characterisation table.
+//
+// For each registry workload at 64 ranks: operation counts, message rate,
+// bytes, dependency-graph depth, communication/computation balance, and
+// finish skew — the properties that determine how each responds to
+// checkpoint perturbation (cross-reference E3/E5).
+#include "bench_util.hpp"
+
+#include "chksim/workload/characterize.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("T1", "workload characterisation at 64 ranks");
+
+  sim::EngineConfig engine;
+  engine.net = net::infiniband_system().net;
+
+  Table t({"workload", "ops", "msgs/rank/s", "MB/rank/s", "depth", "comm_frac",
+           "recv_wait", "finish_skew", "description"});
+  for (const std::string& wl : workload::workload_names()) {
+    workload::StdParams params;
+    params.ranks = 64;
+    params.iterations = 10;
+    params.compute = 1_ms;
+    params.bytes = 8_KiB;
+    const workload::Characterization c =
+        workload::characterize_workload(wl, params, engine);
+    t.row() << wl << c.ops << benchutil::fixed(c.msgs_per_rank_per_second, 0)
+            << benchutil::fixed(c.bytes_per_rank_per_second / 1e6, 1)
+            << c.dependency_depth << benchutil::pct(c.comm_fraction)
+            << benchutil::pct(c.recv_wait_fraction)
+            << units::format_time(static_cast<TimeNs>(c.finish_skew_ns))
+            << workload::workload_description(wl);
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

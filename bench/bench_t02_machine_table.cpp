@@ -1,0 +1,57 @@
+// T2 — Machine / model parameter table.
+//
+// The LogGOPS, storage, and reliability parameters of every machine preset,
+// plus topology-derived effective latencies. These are the inputs every
+// E-experiment derives from.
+#include "bench_util.hpp"
+
+#include "chksim/net/topology.hpp"
+
+int main() {
+  using namespace chksim;
+  using namespace chksim::literals;
+  benchutil::banner("T2", "machine model parameters");
+
+  Table t({"machine", "L", "o", "g", "G(ns/B)", "S", "ckpt/node", "node_bw(GB/s)",
+           "pfs_bw(GB/s)", "bb_bw(GB/s)", "node_mtbf(h)", "restart(s)"});
+  for (const net::MachineModel& m : net::all_machines()) {
+    t.row() << m.name << units::format_time(m.net.L) << units::format_time(m.net.o)
+            << units::format_time(m.net.g) << benchutil::fixed(m.net.G, 2)
+            << units::format_bytes(m.net.S) << units::format_bytes(m.ckpt_bytes_per_node)
+            << benchutil::fixed(m.node_bw_bytes_per_s / 1e9, 1)
+            << benchutil::fixed(m.pfs_bw_bytes_per_s / 1e9, 0)
+            << benchutil::fixed(m.bb_bw_bytes_per_s / 1e9, 1)
+            << benchutil::fixed(m.node_mtbf_hours, 0)
+            << benchutil::fixed(m.restart_seconds, 0);
+  }
+  std::cout << t.to_ascii() << "\n";
+
+  Table topo({"topology", "nodes", "mean_hops", "diameter", "effective_L(+100ns/hop)"});
+  const sim::LogGOPSParams base = net::infiniband_system().net;
+  {
+    net::FullyConnected fc(4096);
+    topo.row() << fc.name() << std::int64_t{4096} << benchutil::fixed(fc.mean_hops(), 2)
+               << fc.diameter()
+               << units::format_time(net::effective_params(base, fc, 100).L);
+  }
+  {
+    net::Torus tr = net::Torus::near_cubic(4096);
+    topo.row() << tr.name() << std::int64_t{4096} << benchutil::fixed(tr.mean_hops(), 2)
+               << tr.diameter()
+               << units::format_time(net::effective_params(base, tr, 100).L);
+  }
+  {
+    net::FatTree ft(4096, 32);
+    topo.row() << ft.name() << std::int64_t{4096} << benchutil::fixed(ft.mean_hops(), 2)
+               << ft.diameter()
+               << units::format_time(net::effective_params(base, ft, 100).L);
+  }
+  {
+    net::Dragonfly df(4096, 64, 4);
+    topo.row() << df.name() << std::int64_t{4096} << benchutil::fixed(df.mean_hops(), 2)
+               << df.diameter()
+               << units::format_time(net::effective_params(base, df, 100).L);
+  }
+  std::cout << topo.to_ascii();
+  return 0;
+}

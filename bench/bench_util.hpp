@@ -1,0 +1,69 @@
+// Shared helpers for the experiment-regeneration harnesses (bench_e*).
+//
+// Each bench binary regenerates one reconstructed table/figure (see
+// DESIGN.md section 3) and prints it as an aligned ASCII table. Absolute
+// numbers depend on the machine presets; the *shapes* are the reproduction
+// target recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "chksim/core/study.hpp"
+#include "chksim/support/table.hpp"
+
+namespace chksim::benchutil {
+
+/// Print the standard experiment banner.
+inline void banner(const std::string& id, const std::string& question) {
+  std::cout << "==================================================================\n"
+            << id << ": " << question << "\n"
+            << "==================================================================\n";
+}
+
+/// A machine whose per-checkpoint write occupies roughly `duty` of each
+/// `interval` at single-writer speed. Benches use this to set a controlled
+/// checkpoint pressure independent of the (large) preset checkpoint sizes,
+/// so that short simulated runs cover many checkpoint periods.
+/// When `uncontended` (the default) the PFS aggregate limit is lifted so
+/// write time stays node-bound at any writer count — isolating the
+/// perturbation/propagation effect from the I/O-contention effect (which
+/// E8 studies separately).
+inline net::MachineModel scaled_machine(net::MachineModel m, TimeNs interval,
+                                        double duty, bool uncontended = true) {
+  const double write_seconds = duty * units::to_seconds(interval);
+  m.ckpt_bytes_per_node =
+      static_cast<Bytes>(write_seconds * m.node_bw_bytes_per_s);
+  if (uncontended) m.pfs_bw_bytes_per_s = m.node_bw_bytes_per_s * 1e7;
+  return m;
+}
+
+/// Workload parameters sized so a simulation is fast but covers `periods`
+/// checkpoint intervals of length `interval` (approximately; based on
+/// compute time alone).
+inline workload::StdParams sized_params(int ranks, TimeNs interval, int periods,
+                                        TimeNs compute_per_iter, Bytes bytes) {
+  workload::StdParams p;
+  p.ranks = ranks;
+  p.compute = compute_per_iter;
+  p.bytes = bytes;
+  const double iters =
+      static_cast<double>(interval) * periods / static_cast<double>(compute_per_iter);
+  p.iterations = iters < 2 ? 2 : static_cast<int>(iters);
+  return p;
+}
+
+inline std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string fixed(double v, int digits = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace chksim::benchutil

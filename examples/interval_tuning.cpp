@@ -1,0 +1,74 @@
+// Interval tuning: find and validate the optimal checkpoint interval.
+//
+//   $ ./example_interval_tuning [nodes]
+//
+// Shows Young's and Daly's analytic optima for a machine/scale, then sweeps
+// intervals through the Monte-Carlo failure model to locate the empirical
+// optimum — demonstrating both the analytic and stochastic halves of the
+// library, and where they agree.
+#include <cstdlib>
+#include <iostream>
+
+#include "chksim/analytic/daly.hpp"
+#include "chksim/ckpt/interval.hpp"
+#include "chksim/ckpt/recovery.hpp"
+#include "chksim/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chksim;
+  using namespace chksim::literals;
+
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4096;
+  if (nodes < 1) {
+    std::cerr << "usage: " << argv[0] << " [nodes>=1]\n";
+    return 1;
+  }
+
+  const net::MachineModel machine = net::infiniband_system();
+  const double M = machine.system_mtbf_seconds(nodes);
+  const storage::Pfs pfs = ckpt::pfs_of(machine);
+  const double delta = units::to_seconds(
+      pfs.concurrent_write(machine.ckpt_bytes_per_node, nodes).per_node);
+  const double R = machine.restart_seconds;
+
+  std::cout << "machine=" << machine.name << " nodes=" << nodes
+            << "\nsystem MTBF      = " << M / 3600 << " h"
+            << "\ncheckpoint cost  = " << delta << " s (coordinated burst write)"
+            << "\nrestart cost     = " << R << " s\n\n";
+
+  const double tau_young = analytic::young_interval(delta, M);
+  const double tau_daly = analytic::daly_interval(delta, M);
+  std::cout << "Young's interval = " << tau_young << " s\n"
+            << "Daly's interval  = " << tau_daly << " s\n\n";
+
+  const double work = 7.0 * 24 * 3600;
+  Table t({"tau(s)", "tau/tau_daly", "efficiency(MC)", "efficiency(Daly)"});
+  double best_eff = 0, best_tau = 0;
+  for (double mult = 0.2; mult <= 5.01; mult *= 1.3) {
+    const double tau = tau_daly * mult;
+    if (tau <= delta) continue;
+    ckpt::RecoveryParams rp;
+    rp.kind = ckpt::ProtocolKind::kCoordinated;
+    rp.work_seconds = work;
+    rp.slowdown = 1.0 + delta / tau;
+    rp.interval_seconds = tau;
+    rp.restart_seconds = R;
+    fault::Exponential dist(M);
+    const ckpt::MakespanResult mk = ckpt::simulate_makespan(rp, dist, 400, 5);
+    char c1[32], c2[32], c3[32], c4[32];
+    std::snprintf(c1, sizeof c1, "%.0f", tau);
+    std::snprintf(c2, sizeof c2, "%.2f", mult);
+    std::snprintf(c3, sizeof c3, "%.4f", mk.efficiency);
+    std::snprintf(c4, sizeof c4, "%.4f",
+                  analytic::daly_efficiency(work, tau, delta, R, M));
+    t.row() << c1 << c2 << c3 << c4;
+    if (mk.efficiency > best_eff) {
+      best_eff = mk.efficiency;
+      best_tau = tau;
+    }
+  }
+  std::cout << t.to_ascii() << "\nempirical optimum ~" << best_tau
+            << " s vs Daly " << tau_daly << " s ("
+            << (best_tau / tau_daly) << "x)\n";
+  return 0;
+}

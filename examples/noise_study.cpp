@@ -1,0 +1,68 @@
+// Noise study: how does an application's communication structure determine
+// its sensitivity to perturbation?
+//
+//   $ ./example_noise_study [ranks]
+//
+// Injects the same 2% unavailability budget at three granularities into
+// several workloads and reports the amplification factor — the bridge
+// between the OS-noise literature and checkpointing-as-noise.
+#include <cstdlib>
+#include <iostream>
+
+#include "chksim/net/machines.hpp"
+#include "chksim/noise/noise.hpp"
+#include "chksim/support/table.hpp"
+#include "chksim/workload/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chksim;
+  using namespace chksim::literals;
+
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 128;
+  if (ranks < 2) {
+    std::cerr << "usage: " << argv[0] << " [ranks>=2]\n";
+    return 1;
+  }
+
+  const net::MachineModel machine = net::infiniband_system();
+  std::cout << "2% unavailability budget on " << ranks
+            << " ranks, random phases, machine=" << machine.name << "\n\n";
+
+  Table t({"workload", "period", "detour", "slowdown", "amplification"});
+  for (const char* wl : {"ep", "halo3d", "allreduce", "sweep2d"}) {
+    workload::StdParams params;
+    params.ranks = ranks;
+    params.iterations = 40;
+    params.compute = 1_ms;
+    params.bytes = 8_KiB;
+    sim::Program program = workload::make_workload(wl, params);
+    program.finalize();
+    sim::EngineConfig base;
+    base.net = machine.net;
+
+    struct Pt {
+      TimeNs period, duration;
+    };
+    for (const Pt pt : {Pt{500_us, 10_us}, Pt{10_ms, 200_us}, Pt{100_ms, 2_ms}}) {
+      noise::PeriodicNoiseConfig cfg;
+      cfg.period = pt.period;
+      cfg.duration = pt.duration;
+      cfg.aligned = false;
+      cfg.seed = 23;
+      const auto sched = noise::make_periodic_noise(ranks, cfg);
+      const auto rep = noise::measure_amplification(program, base, *sched,
+                                                    noise::injected_fraction(cfg));
+      char s1[32], s2[32];
+      std::snprintf(s1, sizeof s1, "%.4f", rep.slowdown);
+      std::snprintf(s2, sizeof s2, "%.2f", rep.amplification);
+      t.row() << wl << units::format_time(pt.period)
+              << units::format_time(pt.duration) << s1 << s2;
+    }
+  }
+  std::cout << t.to_ascii()
+            << "\nAmplification ~1: the application absorbs nothing but adds "
+               "nothing;\n>1: dependencies amplify the injected delays "
+               "(checkpointing behaves like the\nlowest-frequency, "
+               "highest-amplitude row).\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Scale study driver: the library's capabilities behind one command line.
+//
+//   $ ./example_scale_study --workload hpccg --machine infiniband
+//         --protocol uncoordinated --scales 64,256,1024 --duty 0.08
+//         --tax-us 2 --tier pfs   (one line)
+//
+// For each scale: runs the perturbation simulation, reports the breakdown,
+// and (with --mtbf-hours) the expected efficiency under failures.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "chksim/core/failure_study.hpp"
+#include "chksim/support/cli.hpp"
+#include "chksim/support/table.hpp"
+
+namespace {
+
+std::vector<int> parse_scales(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+chksim::ckpt::ProtocolKind parse_protocol(const std::string& name) {
+  using chksim::ckpt::ProtocolKind;
+  if (name == "none") return ProtocolKind::kNone;
+  if (name == "coordinated") return ProtocolKind::kCoordinated;
+  if (name == "uncoordinated") return ProtocolKind::kUncoordinated;
+  if (name == "hierarchical") return ProtocolKind::kHierarchical;
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+chksim::storage::StorageTier parse_tier(const std::string& name) {
+  using chksim::storage::StorageTier;
+  if (name == "pfs") return StorageTier::kParallelFs;
+  if (name == "bb") return StorageTier::kBurstBuffer;
+  if (name == "partner") return StorageTier::kPartner;
+  throw std::invalid_argument("unknown tier: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chksim;
+  using namespace chksim::literals;
+
+  Cli cli;
+  cli.flag("workload", "halo3d", "registry workload name")
+      .flag("machine", "infiniband", "machine preset (see bench_t02)")
+      .flag("protocol", "coordinated", "none|coordinated|uncoordinated|hierarchical")
+      .flag("scales", "64,256,1024", "comma-separated rank counts")
+      .flag("duty", "0.10", "checkpoint write duty cycle in the simulation")
+      .flag("interval-ms", "10", "simulated checkpoint interval (ms)")
+      .flag("tax-us", "0", "uncoordinated logging tax per message (us)")
+      .flag("cluster", "16", "hierarchical cluster size")
+      .flag("tier", "pfs", "checkpoint destination: pfs|bb|partner")
+      .flag("mtbf-hours", "0", "node MTBF for the failure model (0 = skip)")
+      .flag("trials", "200", "Monte-Carlo trials for the failure model");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+
+  try {
+    const TimeNs interval = cli.get_int("interval-ms") * units::kMillisecond;
+    const double duty = cli.get_double("duty");
+    const double mtbf_hours = cli.get_double("mtbf-hours");
+
+    Table t({"ranks", "protocol", "duty", "slowdown", "propagation",
+             mtbf_hours > 0 ? "efficiency(with failures)" : "efficiency(no failures)"});
+    for (const int ranks : parse_scales(cli.get("scales"))) {
+      core::FailureStudyConfig cfg;
+      cfg.study.machine = net::machine_by_name(cli.get("machine"));
+      // Scale the checkpoint so the simulated run covers many intervals,
+      // with an uncontended PFS (contention is a separate axis; see E8).
+      cfg.study.machine.ckpt_bytes_per_node = static_cast<Bytes>(
+          duty * units::to_seconds(interval) * cfg.study.machine.node_bw_bytes_per_s);
+      if (parse_tier(cli.get("tier")) == storage::StorageTier::kParallelFs)
+        cfg.study.machine.pfs_bw_bytes_per_s =
+            cfg.study.machine.node_bw_bytes_per_s * 1e7;
+      if (mtbf_hours > 0) cfg.study.machine.node_mtbf_hours = mtbf_hours;
+      cfg.study.workload = cli.get("workload");
+      cfg.study.params.ranks = ranks;
+      cfg.study.params.iterations = 40;
+      cfg.study.params.compute = 1_ms;
+      cfg.study.params.bytes = 8_KiB;
+      cfg.study.protocol.kind = parse_protocol(cli.get("protocol"));
+      cfg.study.protocol.fixed_interval = interval;
+      cfg.study.protocol.log_per_message = cli.get_int("tax-us") * units::kMicrosecond;
+      cfg.study.protocol.cluster_size = static_cast<int>(cli.get_int("cluster"));
+      cfg.study.protocol.tier = parse_tier(cli.get("tier"));
+      cfg.recovery_interval_seconds = 300;
+      cfg.work_seconds = 24 * 3600;
+      cfg.trials = static_cast<int>(cli.get_int("trials"));
+
+      char slow[32], prop[32], duty_s[32], eff[32];
+      if (mtbf_hours > 0) {
+        const core::FailureStudyResult r = core::run_failure_study(cfg);
+        std::snprintf(slow, sizeof slow, "%.4f", r.breakdown.slowdown);
+        std::snprintf(prop, sizeof prop, "%.2f", r.breakdown.propagation_factor);
+        std::snprintf(duty_s, sizeof duty_s, "%.2f%%", 100 * r.breakdown.duty_cycle);
+        std::snprintf(eff, sizeof eff, "%.4f", r.makespan.efficiency);
+        t.row() << std::int64_t{ranks} << r.breakdown.protocol << duty_s << slow
+                << prop << eff;
+      } else {
+        const core::Breakdown b = core::run_study(cfg.study);
+        std::snprintf(slow, sizeof slow, "%.4f", b.slowdown);
+        std::snprintf(prop, sizeof prop, "%.2f", b.propagation_factor);
+        std::snprintf(duty_s, sizeof duty_s, "%.2f%%", 100 * b.duty_cycle);
+        std::snprintf(eff, sizeof eff, "%.4f", 1.0 / b.slowdown);
+        t.row() << std::int64_t{ranks} << b.protocol << duty_s << slow << prop << eff;
+      }
+    }
+    std::cout << t.to_ascii();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "chksim/analytic/coordination.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chksim::analytic {
+
+namespace {
+int ceil_log2(int n) {
+  if (n <= 1) return 0;
+  int bits = 0;
+  int v = n - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+TimeNs logp_step(const sim::LogGOPSParams& net) { return net.L + 2 * net.o; }
+
+TimeNs barrier_dissemination_cost(const sim::LogGOPSParams& net, int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("ranks must be > 0");
+  return static_cast<TimeNs>(ceil_log2(ranks)) * logp_step(net);
+}
+
+TimeNs barrier_tree_cost(const sim::LogGOPSParams& net, int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("ranks must be > 0");
+  return 2 * static_cast<TimeNs>(ceil_log2(ranks)) * logp_step(net);
+}
+
+TimeNs sync_cost(const sim::LogGOPSParams& net, int ranks, SyncAlgorithm algo) {
+  switch (algo) {
+    case SyncAlgorithm::kDissemination:
+      return barrier_dissemination_cost(net, ranks);
+    case SyncAlgorithm::kTree:
+      return barrier_tree_cost(net, ranks);
+  }
+  throw std::logic_error("unknown sync algorithm");
+}
+
+TimeNs allreduce_cost(const sim::LogGOPSParams& net, int ranks, Bytes bytes) {
+  if (ranks <= 0) throw std::invalid_argument("ranks must be > 0");
+  if (bytes < 0) throw std::invalid_argument("bytes must be >= 0");
+  const TimeNs per_round =
+      logp_step(net) + static_cast<TimeNs>(net.G * static_cast<double>(bytes));
+  return static_cast<TimeNs>(ceil_log2(ranks)) * per_round;
+}
+
+double expected_max_of_normals(int P, double sigma) {
+  if (P <= 0) throw std::invalid_argument("P must be > 0");
+  if (sigma < 0) throw std::invalid_argument("sigma must be >= 0");
+  if (P == 1 || sigma == 0.0) return 0.0;
+  if (P == 2) return sigma / std::sqrt(M_PI);  // exact: E[max of 2] = sigma/sqrt(pi)
+  const double ln_p = std::log(static_cast<double>(P));
+  const double a = std::sqrt(2.0 * ln_p);
+  // Standard asymptotic expansion of the expected maximum of P standard
+  // normals: a - (ln ln P + ln 4pi) / (2a).
+  return sigma * (a - (std::log(ln_p) + std::log(4.0 * M_PI)) / (2.0 * a));
+}
+
+TimeNs coordination_cost(const sim::LogGOPSParams& net, int ranks,
+                         SyncAlgorithm algo, double skew_sigma_ns) {
+  const double skew = expected_max_of_normals(ranks, skew_sigma_ns);
+  return sync_cost(net, ranks, algo) + static_cast<TimeNs>(skew);
+}
+
+}  // namespace chksim::analytic

@@ -1,0 +1,45 @@
+// Closed-form LogP costs of global coordination, plus arrival-skew models.
+//
+// The "coordination" question of the paper reduces to: what does it cost to
+// globally synchronise P ranks before a checkpoint? Under LogP the classic
+// algorithms have logarithmic closed forms; the other component is arrival
+// skew — the expected wait for the *last* rank to reach the sync point.
+#pragma once
+
+#include "chksim/sim/loggops.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::analytic {
+
+/// Kinds of global-synchronisation algorithm the coordinated protocol may use.
+enum class SyncAlgorithm {
+  kDissemination,  ///< ceil(log2 P) rounds, every rank active.
+  kTree,           ///< binomial reduce + broadcast: twice the depth.
+};
+
+/// Cost of one rank-to-rank message step used by the closed forms: L + 2o.
+TimeNs logp_step(const sim::LogGOPSParams& net);
+
+/// Dissemination barrier: ceil(log2 P) * (L + 2o).
+TimeNs barrier_dissemination_cost(const sim::LogGOPSParams& net, int ranks);
+
+/// Tree barrier (binomial reduce then broadcast): 2 * ceil(log2 P) * (L + 2o).
+TimeNs barrier_tree_cost(const sim::LogGOPSParams& net, int ranks);
+
+/// Cost of the selected algorithm.
+TimeNs sync_cost(const sim::LogGOPSParams& net, int ranks, SyncAlgorithm algo);
+
+/// Recursive-doubling allreduce of `bytes`: ceil(log2 P) * (L + 2o + G*bytes).
+TimeNs allreduce_cost(const sim::LogGOPSParams& net, int ranks, Bytes bytes);
+
+/// Expected maximum of P iid N(0, sigma^2) variables (asymptotic expansion,
+/// exact-ish for small P): the expected wait for the slowest arrival when
+/// per-rank arrival times have standard deviation sigma.
+double expected_max_of_normals(int P, double sigma);
+
+/// Full coordination cost model: barrier cost plus expected skew wait
+/// (skew_sigma_ns = stddev of rank arrival times at the sync point).
+TimeNs coordination_cost(const sim::LogGOPSParams& net, int ranks,
+                         SyncAlgorithm algo, double skew_sigma_ns);
+
+}  // namespace chksim::analytic

@@ -1,0 +1,56 @@
+#include "chksim/analytic/daly.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chksim::analytic {
+
+namespace {
+void check_positive(double v, const char* what) {
+  if (!(v > 0)) throw std::invalid_argument(std::string(what) + " must be > 0");
+}
+}  // namespace
+
+double young_interval(double delta, double M) {
+  check_positive(delta, "delta");
+  check_positive(M, "M");
+  return std::sqrt(2.0 * delta * M);
+}
+
+double daly_interval(double delta, double M) {
+  check_positive(delta, "delta");
+  check_positive(M, "M");
+  if (delta >= 2.0 * M) return M;
+  const double x = delta / (2.0 * M);
+  return std::sqrt(2.0 * delta * M) * (1.0 + std::sqrt(x) / 3.0 + x / 9.0) - delta;
+}
+
+double daly_walltime(double Ts, double tau, double delta, double R, double M) {
+  check_positive(Ts, "Ts");
+  check_positive(tau, "tau");
+  check_positive(M, "M");
+  if (delta < 0 || R < 0) throw std::invalid_argument("delta and R must be >= 0");
+  return M * std::exp(R / M) * (std::exp((tau + delta) / M) - 1.0) * Ts / tau;
+}
+
+double daly_efficiency(double Ts, double tau, double delta, double R, double M) {
+  return Ts / daly_walltime(Ts, tau, delta, R, M);
+}
+
+double first_order_overhead(double tau, double delta, double R, double M) {
+  check_positive(tau, "tau");
+  check_positive(M, "M");
+  return delta / tau + tau / (2.0 * M) + R / M;
+}
+
+double expected_failures(double T_wall, double M) {
+  check_positive(M, "M");
+  if (T_wall < 0) throw std::invalid_argument("T_wall must be >= 0");
+  return T_wall / M;
+}
+
+double optimal_efficiency(double Ts, double delta, double R, double M) {
+  return daly_efficiency(Ts, daly_interval(delta, M), delta, R, M);
+}
+
+}  // namespace chksim::analytic

@@ -1,0 +1,44 @@
+// Young's and Daly's analytic checkpoint-interval and makespan models.
+//
+// Notation (all in seconds):
+//   delta - time to write one checkpoint,
+//   R     - restart cost after a failure,
+//   M     - system mean time between failures,
+//   Ts    - failure-free solve time,
+//   tau   - checkpoint interval (compute time between checkpoints).
+//
+// These models are both baselines for the simulated protocols and the
+// cross-validation target for experiment E7.
+#pragma once
+
+namespace chksim::analytic {
+
+/// Young's first-order optimal interval: sqrt(2 * delta * M).
+double young_interval(double delta, double M);
+
+/// Daly's higher-order optimal interval (Daly 2006, eq. 37):
+/// for delta < 2M:
+///   tau = sqrt(2 delta M) * [1 + (1/3) sqrt(delta / (2M)) + (delta / (2M)) / 9] - delta
+/// otherwise tau = M.
+double daly_interval(double delta, double M);
+
+/// Daly's expected total wall time for a solve of Ts seconds with
+/// checkpoints every tau, write cost delta, restart R, exponential failures
+/// with system MTBF M (Daly 2006 complete model):
+///   T = M * exp(R / M) * (exp((tau + delta) / M) - 1) * Ts / tau.
+double daly_walltime(double Ts, double tau, double delta, double R, double M);
+
+/// Efficiency = Ts / daly_walltime.
+double daly_efficiency(double Ts, double tau, double delta, double R, double M);
+
+/// First-order expected overhead fraction (for sanity checks):
+/// delta/tau + tau/(2M) + R/M.
+double first_order_overhead(double tau, double delta, double R, double M);
+
+/// Expected number of failures during a run of length T_wall with MTBF M.
+double expected_failures(double T_wall, double M);
+
+/// Optimal-interval efficiency using Daly's tau (convenience).
+double optimal_efficiency(double Ts, double delta, double R, double M);
+
+}  // namespace chksim::analytic

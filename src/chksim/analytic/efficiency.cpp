@@ -1,0 +1,31 @@
+#include "chksim/analytic/efficiency.hpp"
+
+#include <stdexcept>
+
+#include "chksim/analytic/daly.hpp"
+
+namespace chksim::analytic {
+
+double perturbation_slowdown(const EfficiencyInputs& in) {
+  if (in.interval_seconds <= 0)
+    throw std::invalid_argument("efficiency: interval must be > 0");
+  if (in.kappa < 0 || in.blackout_seconds < 0)
+    throw std::invalid_argument("efficiency: kappa and blackout must be >= 0");
+  return 1.0 + in.kappa * in.blackout_seconds / in.interval_seconds;
+}
+
+double coordinated_efficiency(const EfficiencyInputs& in) {
+  const double slowdown = perturbation_slowdown(in);
+  if (in.system_mtbf_seconds <= 0)
+    throw std::invalid_argument("efficiency: MTBF must be > 0");
+  // Daly's expansion factor for one unit of work. The checkpoint write
+  // itself is inside `slowdown` (kappa * duty); Daly's formula with
+  // delta = 0 then contributes exactly the failure/rework/restart part:
+  //   T/Ts = M/tau * exp(R/M) * (exp(tau/M) - 1).
+  const double expansion =
+      daly_walltime(1.0, in.interval_seconds, 0.0, in.restart_seconds,
+                    in.system_mtbf_seconds);
+  return 1.0 / (slowdown * expansion);
+}
+
+}  // namespace chksim::analytic

@@ -1,0 +1,30 @@
+// Closed-form protocol efficiency at scale.
+//
+// The fully analytic counterpart of core::efficiency_at_scale (which uses
+// the Monte-Carlo recovery model): combines the perturbation slowdown
+// (1 + kappa * duty) with Daly's expected-makespan formula. Exact only for
+// coordinated checkpointing under exponential failures; used to
+// cross-validate the stochastic pipeline and for instant parameter scans.
+#pragma once
+
+namespace chksim::analytic {
+
+struct EfficiencyInputs {
+  double kappa = 1.0;            ///< Measured propagation factor.
+  double blackout_seconds = 0;   ///< Per-checkpoint per-rank blackout (delta).
+  double interval_seconds = 0;   ///< Checkpoint interval (tau).
+  double restart_seconds = 0;    ///< Restart cost (R).
+  double system_mtbf_seconds = 0;  ///< System-level MTBF (M).
+};
+
+/// Failure-free slowdown: 1 + kappa * (delta / tau).
+double perturbation_slowdown(const EfficiencyInputs& in);
+
+/// End-to-end efficiency: (1 / slowdown) discounted by Daly's
+/// failure/rework expansion factor at (tau, delta, R, M).
+/// All inputs must be positive (delta may be 0 for the no-checkpoint case,
+/// which returns the pure Daly restart-from-scratch limit of 0 — callers
+/// should special-case kNone).
+double coordinated_efficiency(const EfficiencyInputs& in);
+
+}  // namespace chksim::analytic

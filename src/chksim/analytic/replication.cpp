@@ -1,0 +1,33 @@
+#include "chksim/analytic/replication.hpp"
+
+#include <stdexcept>
+
+#include "chksim/analytic/daly.hpp"
+
+namespace chksim::analytic {
+
+double replicated_job_mtbf_seconds(const ReplicationInputs& in) {
+  if (in.app_ranks <= 0) throw std::invalid_argument("replication: app_ranks must be > 0");
+  if (in.node_mtbf_seconds <= 0 || in.rebuild_seconds <= 0)
+    throw std::invalid_argument("replication: MTBF and rebuild must be > 0");
+  const double lambda = 1.0 / in.node_mtbf_seconds;
+  // A pair is vulnerable while one replica rebuilds: rate of "second
+  // failure inside the window" ~ 2 * lambda * (lambda * rebuild).
+  const double pair_rate = 2.0 * lambda * lambda * in.rebuild_seconds;
+  return 1.0 / (static_cast<double>(in.app_ranks) * pair_rate);
+}
+
+double replication_efficiency(const ReplicationInputs& in) {
+  const double M_job = replicated_job_mtbf_seconds(in);
+  // Per-node failures interrupt nothing (the twin covers), but each one
+  // occupies its pair for `rebuild`; the expected slowdown from rebuild
+  // interruptions is tiny and ignored here (documented approximation).
+  double daly_factor = 1.0;
+  if (in.ckpt_seconds > 0) {
+    const double tau = daly_interval(in.ckpt_seconds, M_job);
+    daly_factor = daly_efficiency(1.0, tau, in.ckpt_seconds, in.restart_seconds, M_job);
+  }
+  return 0.5 * daly_factor;
+}
+
+}  // namespace chksim::analytic

@@ -1,0 +1,35 @@
+// Process-replication (state-machine redundancy) comparator.
+//
+// Dual redundancy (rMPI-style) runs every rank twice on disjoint nodes: the
+// job survives any single-node failure, and fails only when BOTH replicas
+// of some rank are down simultaneously. It burns half the machine but makes
+// the *effective* MTBF grow with scale instead of shrinking — the classic
+// alternative the checkpointing-at-scale literature compares against.
+//
+// Model (exponential node failures, failed replicas restored in
+// `rebuild_seconds` from the healthy twin):
+//   pair failure rate ~ 2 * lambda^2 * rebuild   (lambda = 1/M_node)
+//   job MTBF          = 1 / (n_pairs * pair_rate)
+// The job still checkpoints (rarely) against pair failures; we fold that in
+// with Daly at the job MTBF.
+#pragma once
+
+namespace chksim::analytic {
+
+struct ReplicationInputs {
+  int app_ranks = 0;            ///< Application ranks (uses 2x this many nodes).
+  double node_mtbf_seconds = 0;
+  double rebuild_seconds = 600; ///< Time to restore a failed replica from its twin.
+  double ckpt_seconds = 0;      ///< Checkpoint write cost (against pair failures).
+  double restart_seconds = 0;
+};
+
+/// Expected MTBF of the replicated job (both replicas of one rank down).
+double replicated_job_mtbf_seconds(const ReplicationInputs& in);
+
+/// Efficiency counted against the FULL machine (2x nodes): at most 0.5,
+/// discounted by Daly overhead at the replicated MTBF and by the rebuild
+/// interruptions themselves.
+double replication_efficiency(const ReplicationInputs& in);
+
+}  // namespace chksim::analytic

@@ -1,0 +1,94 @@
+#include "chksim/ckpt/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "chksim/analytic/daly.hpp"
+
+namespace chksim::ckpt {
+
+std::string to_string(IntervalPolicy policy) {
+  switch (policy) {
+    case IntervalPolicy::kFixed:
+      return "fixed";
+    case IntervalPolicy::kYoung:
+      return "young";
+    case IntervalPolicy::kDaly:
+      return "daly";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// delta (seconds) for a protocol at scale, given a candidate tau.
+double delta_seconds(ProtocolKind kind, const net::MachineModel& machine, int ranks,
+                     TimeNs tau, int cluster_size, storage::StorageTier tier) {
+  const storage::Pfs pfs = pfs_of(machine);
+  if (tier != storage::StorageTier::kParallelFs)
+    return units::to_seconds(tier_write_time(tier, machine));
+  switch (kind) {
+    case ProtocolKind::kNone:
+      return 0.0;
+    case ProtocolKind::kCoordinated: {
+      const TimeNs coord = analytic::coordination_cost(
+          machine.net, ranks, analytic::SyncAlgorithm::kDissemination, 0.0);
+      return units::to_seconds(
+          pfs.concurrent_write(machine.ckpt_bytes_per_node, ranks).per_node + coord);
+    }
+    case ProtocolKind::kUncoordinated:
+      return units::to_seconds(
+          pfs.spread_write(machine.ckpt_bytes_per_node, ranks, tau).per_node);
+    case ProtocolKind::kHierarchical: {
+      const int c = std::min(cluster_size, ranks);
+      const int n_clusters = (ranks + c - 1) / c;
+      const TimeNs coord = analytic::coordination_cost(
+          machine.net, c, analytic::SyncAlgorithm::kDissemination, 0.0);
+      return units::to_seconds(
+          pfs.spread_write_groups(machine.ckpt_bytes_per_node, c, n_clusters, tau)
+              .per_node + coord);
+    }
+  }
+  throw std::logic_error("unknown protocol kind");
+}
+
+}  // namespace
+
+TimeNs choose_interval(IntervalPolicy policy, ProtocolKind kind,
+                       const net::MachineModel& machine, int ranks, TimeNs fixed,
+                       int cluster_size, storage::StorageTier tier) {
+  if (policy == IntervalPolicy::kFixed) {
+    if (fixed <= 0) throw std::invalid_argument("fixed interval must be > 0");
+    return fixed;
+  }
+  if (ranks <= 0) throw std::invalid_argument("ranks must be > 0");
+  const double M = machine.system_mtbf_seconds(ranks);
+
+  // Fixed-point on tau: delta can depend on tau for spread writers. Start
+  // from the unconstrained node-speed write time.
+  double tau_s = std::max(
+      1.0, units::to_seconds(units::from_seconds(
+               static_cast<double>(machine.ckpt_bytes_per_node) /
+               machine.node_bw_bytes_per_s)));
+  tau_s = std::sqrt(2.0 * tau_s * M);  // Young seed
+  for (int i = 0; i < 64; ++i) {
+    const double delta =
+        delta_seconds(kind, machine, ranks, units::from_seconds(tau_s), cluster_size,
+                      tier);
+    if (delta <= 0) return units::from_seconds(tau_s);
+    const double next = policy == IntervalPolicy::kYoung
+                            ? analytic::young_interval(delta, M)
+                            : analytic::daly_interval(delta, M);
+    // The interval must leave room for the blackout itself.
+    const double clamped = std::max(next, 1.25 * delta);
+    if (std::abs(clamped - tau_s) < 1e-9 * std::max(1.0, tau_s)) {
+      tau_s = clamped;
+      break;
+    }
+    tau_s = 0.5 * tau_s + 0.5 * clamped;
+  }
+  return units::from_seconds(tau_s);
+}
+
+}  // namespace chksim::ckpt

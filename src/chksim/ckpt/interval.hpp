@@ -1,0 +1,28 @@
+// Checkpoint-interval policies: fixed, Young, Daly.
+//
+// The optimal-interval formulas need the checkpoint cost delta, which itself
+// depends on the protocol's storage behaviour (and, for uncoordinated
+// protocols, on the interval — a circular dependency we resolve with a
+// short fixed-point iteration on Daly's formula).
+#pragma once
+
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/net/machines.hpp"
+
+namespace chksim::ckpt {
+
+enum class IntervalPolicy { kFixed, kYoung, kDaly };
+
+std::string to_string(IntervalPolicy policy);
+
+/// Compute the checkpoint interval for a protocol kind on a machine at a
+/// given scale. For kFixed, `fixed` is returned unchanged. For kYoung/kDaly
+/// the system MTBF is machine.node_mtbf / ranks and delta is the protocol's
+/// write (+ coordination) cost at this scale; for spread-writing protocols
+/// delta depends on tau, solved by fixed-point iteration.
+TimeNs choose_interval(IntervalPolicy policy, ProtocolKind kind,
+                       const net::MachineModel& machine, int ranks,
+                       TimeNs fixed = 0, int cluster_size = 16,
+                       storage::StorageTier tier = storage::StorageTier::kParallelFs);
+
+}  // namespace chksim::ckpt

@@ -1,0 +1,34 @@
+#include "chksim/ckpt/logging_tax.hpp"
+
+#include <stdexcept>
+
+namespace chksim::ckpt {
+
+LoggingTax::LoggingTax(LoggingTaxConfig config) : config_(config) {
+  if (config_.per_message < 0 || config_.per_byte_ns < 0)
+    throw std::invalid_argument("LoggingTax: costs must be >= 0");
+  if (config_.cluster_size < 0)
+    throw std::invalid_argument("LoggingTax: cluster_size must be >= 0");
+}
+
+bool LoggingTax::logged(sim::RankId src, sim::RankId dst) const {
+  if (config_.cluster_size <= 0) return true;
+  return src / config_.cluster_size != dst / config_.cluster_size;
+}
+
+TimeNs LoggingTax::cost(Bytes bytes) const {
+  return config_.per_message +
+         static_cast<TimeNs>(config_.per_byte_ns * static_cast<double>(bytes));
+}
+
+TimeNs LoggingTax::extra_send_cpu(sim::RankId src, sim::RankId dst, Bytes bytes) const {
+  if (config_.receiver_side || !logged(src, dst)) return 0;
+  return cost(bytes);
+}
+
+TimeNs LoggingTax::extra_recv_cpu(sim::RankId src, sim::RankId dst, Bytes bytes) const {
+  if (!config_.receiver_side || !logged(src, dst)) return 0;
+  return cost(bytes);
+}
+
+}  // namespace chksim::ckpt

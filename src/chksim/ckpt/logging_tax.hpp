@@ -1,0 +1,42 @@
+// Message-logging cost model.
+//
+// Uncoordinated (and hierarchical) checkpointing requires logging messages
+// so a failed rank can replay without forcing a global rollback. Sender-
+// based pessimistic logging taxes every logged message with per-message and
+// per-byte CPU time on the sender (receiver-side logging is the ablation
+// variant). Hierarchical protocols log only inter-cluster traffic.
+#pragma once
+
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::ckpt {
+
+struct LoggingTaxConfig {
+  TimeNs per_message = 0;     ///< CPU ns charged per logged message.
+  double per_byte_ns = 0.0;   ///< CPU ns charged per logged payload byte.
+  bool receiver_side = false; ///< Charge the receiver instead of the sender.
+  /// When > 0, only messages crossing a cluster boundary are logged
+  /// (cluster of rank r = r / cluster_size).
+  int cluster_size = 0;
+};
+
+class LoggingTax final : public sim::SendTax {
+ public:
+  explicit LoggingTax(LoggingTaxConfig config);
+
+  TimeNs extra_send_cpu(sim::RankId src, sim::RankId dst, Bytes bytes) const override;
+  TimeNs extra_recv_cpu(sim::RankId src, sim::RankId dst, Bytes bytes) const override;
+
+  const LoggingTaxConfig& config() const { return config_; }
+
+  /// True if a message src -> dst is logged under this configuration.
+  bool logged(sim::RankId src, sim::RankId dst) const;
+
+  /// The tax charged for one logged message of `bytes`.
+  TimeNs cost(Bytes bytes) const;
+
+ private:
+  LoggingTaxConfig config_;
+};
+
+}  // namespace chksim::ckpt

@@ -1,0 +1,285 @@
+#include "chksim/ckpt/protocols.hpp"
+
+#include <stdexcept>
+
+#include "chksim/support/rng.hpp"
+
+namespace chksim::ckpt {
+
+std::string to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kNone:
+      return "none";
+    case ProtocolKind::kCoordinated:
+      return "coordinated";
+    case ProtocolKind::kUncoordinated:
+      return "uncoordinated";
+    case ProtocolKind::kHierarchical:
+      return "hierarchical";
+  }
+  return "unknown";
+}
+
+TimeNs tier_write_time(storage::StorageTier tier, const net::MachineModel& machine) {
+  switch (tier) {
+    case storage::StorageTier::kParallelFs:
+      throw std::invalid_argument("tier_write_time: PFS time needs writer count");
+    case storage::StorageTier::kBurstBuffer:
+      if (machine.bb_bw_bytes_per_s <= 0)
+        throw std::invalid_argument("protocol: machine has no burst buffer");
+      return units::from_seconds(static_cast<double>(machine.ckpt_bytes_per_node) /
+                                 machine.bb_bw_bytes_per_s);
+    case storage::StorageTier::kPartner:
+      // Stream the checkpoint to a partner node over the interconnect.
+      return machine.net.o + machine.net.L +
+             static_cast<TimeNs>(machine.net.G *
+                                 static_cast<double>(machine.ckpt_bytes_per_node));
+  }
+  throw std::logic_error("unknown storage tier");
+}
+
+double restart_cost_seconds(ProtocolKind kind, storage::StorageTier tier,
+                            const net::MachineModel& machine, int ranks,
+                            int cluster_size) {
+  if (ranks <= 0) throw std::invalid_argument("restart_cost: ranks must be > 0");
+  if (kind == ProtocolKind::kNone) return machine.restart_seconds;
+  double read_seconds = 0;
+  if (tier != storage::StorageTier::kParallelFs) {
+    read_seconds = units::to_seconds(tier_write_time(tier, machine));
+  } else {
+    const storage::Pfs pfs = pfs_of(machine);
+    int readers = 1;  // uncoordinated: only the failed node re-reads
+    if (kind == ProtocolKind::kCoordinated) {
+      readers = ranks;  // global rollback: everyone re-reads at once
+    } else if (kind == ProtocolKind::kHierarchical) {
+      readers = std::min(std::max(cluster_size, 1), ranks);
+    }
+    read_seconds = units::to_seconds(
+        pfs.concurrent_write(machine.ckpt_bytes_per_node, readers).per_node);
+  }
+  return machine.restart_seconds + read_seconds;
+}
+
+storage::Pfs pfs_of(const net::MachineModel& machine) {
+  storage::PfsParams p;
+  p.node_bw_bytes_per_s = machine.node_bw_bytes_per_s;
+  p.pfs_bw_bytes_per_s = machine.pfs_bw_bytes_per_s;
+  p.bb_bw_bytes_per_s = machine.bb_bw_bytes_per_s;
+  return storage::Pfs(p);
+}
+
+namespace {
+
+void check_common(TimeNs interval, int ranks) {
+  if (interval <= 0) throw std::invalid_argument("protocol: interval must be > 0");
+  if (ranks <= 0) throw std::invalid_argument("protocol: ranks must be > 0");
+}
+
+storage::WriteTime pick_write(const storage::Pfs& pfs, const net::MachineModel& m,
+                              storage::StorageTier tier, int concurrent_writers) {
+  if (tier == storage::StorageTier::kParallelFs)
+    return pfs.concurrent_write(m.ckpt_bytes_per_node, concurrent_writers);
+  storage::WriteTime w;
+  w.per_node = tier_write_time(tier, m);
+  w.effective_writers = 1;
+  w.per_node_bw = units::to_seconds(w.per_node) > 0
+                      ? static_cast<double>(m.ckpt_bytes_per_node) /
+                            units::to_seconds(w.per_node)
+                      : 0.0;
+  return w;
+}
+
+/// Blackout durations over one incremental cycle: [full, delta, delta, ...].
+struct BlackoutPlan {
+  TimeNs full = 0;
+  TimeNs delta = 0;
+  TimeNs mean = 0;
+  std::vector<TimeNs> durations;
+};
+
+BlackoutPlan plan_blackouts(TimeNs coordination, TimeNs write,
+                            const IncrementalSpec& inc) {
+  if (inc.full_every < 1 || inc.delta_fraction < 0 || inc.delta_fraction > 1)
+    throw std::invalid_argument(
+        "incremental: need full_every >= 1 and 0 <= delta_fraction <= 1");
+  BlackoutPlan p;
+  p.full = coordination + write;
+  p.delta = inc.enabled()
+                ? coordination + static_cast<TimeNs>(
+                                     inc.delta_fraction * static_cast<double>(write))
+                : p.full;
+  if (inc.enabled()) {
+    p.durations.assign(static_cast<std::size_t>(inc.full_every), p.delta);
+    p.durations[0] = p.full;
+  } else {
+    p.durations = {p.full};
+  }
+  TimeNs sum = 0;
+  for (TimeNs d : p.durations) sum += d;
+  p.mean = sum / static_cast<TimeNs>(p.durations.size());
+  return p;
+}
+
+/// Build the schedule for a plan: plain periodic when increments are off.
+std::unique_ptr<sim::BlackoutSchedule> make_schedule(TimeNs interval,
+                                                     const BlackoutPlan& plan,
+                                                     std::vector<TimeNs> phases) {
+  if (plan.durations.size() == 1)
+    return std::make_unique<sim::PeriodicBlackouts>(interval, plan.full,
+                                                    std::move(phases));
+  return std::make_unique<sim::PatternedBlackouts>(interval, plan.durations,
+                                                   std::move(phases));
+}
+
+std::unique_ptr<sim::BlackoutSchedule> make_schedule(TimeNs interval,
+                                                     const BlackoutPlan& plan,
+                                                     TimeNs phase) {
+  if (plan.durations.size() == 1)
+    return std::make_unique<sim::PeriodicBlackouts>(interval, plan.full, phase);
+  return std::make_unique<sim::PatternedBlackouts>(interval, plan.durations, phase);
+}
+
+std::vector<TimeNs> random_phases(int count, TimeNs interval, std::uint64_t seed) {
+  std::vector<TimeNs> phases(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (auto& p : phases)
+    p = static_cast<TimeNs>(rng.uniform_u64(static_cast<std::uint64_t>(interval)));
+  return phases;
+}
+
+}  // namespace
+
+Artifacts prepare_none(int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("protocol: ranks must be > 0");
+  Artifacts a;
+  a.kind = ProtocolKind::kNone;
+  a.name = "none";
+  a.ranks = ranks;
+  return a;
+}
+
+Artifacts prepare_coordinated(const CoordinatedConfig& cfg,
+                              const net::MachineModel& machine, int ranks) {
+  check_common(cfg.interval, ranks);
+  Artifacts a;
+  a.kind = ProtocolKind::kCoordinated;
+  a.name = "coordinated";
+  a.ranks = ranks;
+  a.interval = cfg.interval;
+
+  a.coordination_time =
+      analytic::coordination_cost(machine.net, ranks, cfg.sync, cfg.skew_sigma_ns);
+  const storage::Pfs pfs = pfs_of(machine);
+  const storage::WriteTime w = pick_write(pfs, machine, cfg.tier, ranks);
+  a.write_time = w.per_node;
+  a.effective_writers = w.effective_writers;
+  a.pfs_saturated = w.saturated;
+  const BlackoutPlan plan =
+      plan_blackouts(a.coordination_time, a.write_time, cfg.incremental);
+  a.blackout = plan.mean;
+  a.blackout_full = plan.full;
+  a.blackout_delta = plan.delta;
+  if (plan.full >= cfg.interval)
+    throw std::invalid_argument(
+        "coordinated checkpoint blackout (" + std::to_string(plan.full) +
+        " ns) exceeds the interval; no forward progress");
+
+  // All ranks black out together; first checkpoint one interval in.
+  a.schedule = make_schedule(cfg.interval, plan, cfg.interval);
+  return a;
+}
+
+Artifacts prepare_uncoordinated(const UncoordinatedConfig& cfg,
+                                const net::MachineModel& machine, int ranks) {
+  check_common(cfg.interval, ranks);
+  Artifacts a;
+  a.kind = ProtocolKind::kUncoordinated;
+  a.name = "uncoordinated";
+  a.ranks = ranks;
+  a.interval = cfg.interval;
+  a.coordination_time = 0;
+
+  const storage::Pfs pfs = pfs_of(machine);
+  storage::WriteTime w;
+  if (cfg.tier != storage::StorageTier::kParallelFs) {
+    w = pick_write(pfs, machine, cfg.tier, 1);
+  } else {
+    w = pfs.spread_write(machine.ckpt_bytes_per_node, ranks, cfg.interval);
+  }
+  a.write_time = w.per_node;
+  a.effective_writers = w.effective_writers;
+  a.pfs_saturated = w.saturated;
+  const BlackoutPlan plan = plan_blackouts(0, a.write_time, cfg.incremental);
+  a.blackout = plan.mean;
+  a.blackout_full = plan.full;
+  a.blackout_delta = plan.delta;
+  if (plan.full >= cfg.interval)
+    throw std::invalid_argument(
+        "uncoordinated checkpoint blackout exceeds the interval");
+
+  a.schedule = make_schedule(cfg.interval, plan,
+                             random_phases(ranks, cfg.interval, cfg.phase_seed));
+
+  LoggingTaxConfig tax;
+  tax.per_message = cfg.log_per_message;
+  tax.per_byte_ns = cfg.log_per_byte_ns;
+  tax.receiver_side = cfg.receiver_side_logging;
+  if (tax.per_message > 0 || tax.per_byte_ns > 0)
+    a.tax = std::make_unique<LoggingTax>(tax);
+  return a;
+}
+
+Artifacts prepare_hierarchical(const HierarchicalConfig& cfg,
+                               const net::MachineModel& machine, int ranks) {
+  check_common(cfg.interval, ranks);
+  if (cfg.cluster_size <= 0)
+    throw std::invalid_argument("hierarchical: cluster_size must be > 0");
+  Artifacts a;
+  a.kind = ProtocolKind::kHierarchical;
+  const int cluster = std::min(cfg.cluster_size, ranks);
+  a.name = "hierarchical(c=" + std::to_string(cluster) + ")";
+  a.ranks = ranks;
+  a.interval = cfg.interval;
+
+  const int n_clusters = (ranks + cluster - 1) / cluster;
+  a.coordination_time =
+      analytic::coordination_cost(machine.net, cluster, cfg.sync, cfg.skew_sigma_ns);
+  const storage::Pfs pfs = pfs_of(machine);
+  storage::WriteTime w;
+  if (cfg.tier != storage::StorageTier::kParallelFs) {
+    w = pick_write(pfs, machine, cfg.tier, 1);
+  } else {
+    w = pfs.spread_write_groups(machine.ckpt_bytes_per_node, cluster, n_clusters,
+                                cfg.interval);
+  }
+  a.write_time = w.per_node;
+  a.effective_writers = w.effective_writers;
+  a.pfs_saturated = w.saturated;
+  const BlackoutPlan plan =
+      plan_blackouts(a.coordination_time, a.write_time, cfg.incremental);
+  a.blackout = plan.mean;
+  a.blackout_full = plan.full;
+  a.blackout_delta = plan.delta;
+  if (plan.full >= cfg.interval)
+    throw std::invalid_argument(
+        "hierarchical checkpoint blackout exceeds the interval");
+
+  // One random phase per cluster; all ranks of a cluster share it.
+  const std::vector<TimeNs> cluster_phase =
+      random_phases(n_clusters, cfg.interval, cfg.phase_seed);
+  std::vector<TimeNs> phases(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r)
+    phases[static_cast<std::size_t>(r)] =
+        cluster_phase[static_cast<std::size_t>(r / cluster)];
+  a.schedule = make_schedule(cfg.interval, plan, std::move(phases));
+
+  LoggingTaxConfig tax;
+  tax.per_message = cfg.log_per_message;
+  tax.per_byte_ns = cfg.log_per_byte_ns;
+  tax.cluster_size = cluster;
+  if (tax.per_message > 0 || tax.per_byte_ns > 0)
+    a.tax = std::make_unique<LoggingTax>(tax);
+  return a;
+}
+
+}  // namespace chksim::ckpt

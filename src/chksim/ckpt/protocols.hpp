@@ -1,0 +1,139 @@
+// Checkpoint protocols.
+//
+// A protocol is "prepared" against a machine model and a rank count; the
+// result bundles everything the engine needs (a blackout schedule and an
+// optional message tax) together with the derived cost numbers (write time
+// under the storage model, coordination cost, effective writer concurrency).
+//
+//  * Coordinated: all ranks checkpoint simultaneously every `interval`. Each
+//    checkpoint blackout = coordination cost (LogP sync + arrival skew) +
+//    concurrent write time (all P nodes share the PFS at once).
+//  * Uncoordinated: each rank checkpoints on its own schedule (random phase
+//    per rank). Blackout = spread write time (fixed-point writer
+//    concurrency). Every message is taxed with the logging cost.
+//  * Hierarchical: clusters of `cluster_size` ranks coordinate internally
+//    (cluster-wide sync + aligned blackout); cluster phases are random.
+//    Only inter-cluster messages are logged.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "chksim/analytic/coordination.hpp"
+#include "chksim/ckpt/logging_tax.hpp"
+#include "chksim/net/machines.hpp"
+#include "chksim/sim/availability.hpp"
+#include "chksim/storage/pfs.hpp"
+
+namespace chksim::ckpt {
+
+enum class ProtocolKind { kNone, kCoordinated, kUncoordinated, kHierarchical };
+
+std::string to_string(ProtocolKind kind);
+
+/// Incremental-checkpointing knobs shared by all protocols: one full
+/// checkpoint every `full_every` periods, deltas of `delta_fraction` x the
+/// full size in between. (full_every = 1 disables increments.) The delta
+/// write time is scaled bandwidth-proportionally from the full write.
+struct IncrementalSpec {
+  int full_every = 1;
+  double delta_fraction = 0.25;
+
+  bool enabled() const { return full_every > 1 && delta_fraction < 1.0; }
+};
+
+struct CoordinatedConfig {
+  TimeNs interval = 0;  ///< Checkpoint period (wallclock between starts).
+  analytic::SyncAlgorithm sync = analytic::SyncAlgorithm::kDissemination;
+  /// Stddev of rank arrival times at the sync point (models application
+  /// imbalance; the expected-max skew wait is added to coordination cost).
+  double skew_sigma_ns = 0;
+  storage::StorageTier tier = storage::StorageTier::kParallelFs;
+  IncrementalSpec incremental;
+};
+
+struct UncoordinatedConfig {
+  TimeNs interval = 0;
+  std::uint64_t phase_seed = 1;   ///< Per-rank random phases in [0, interval).
+  TimeNs log_per_message = 0;     ///< Sender CPU per logged message.
+  double log_per_byte_ns = 0.0;   ///< Sender CPU per logged byte.
+  bool receiver_side_logging = false;
+  storage::StorageTier tier = storage::StorageTier::kParallelFs;
+  IncrementalSpec incremental;
+};
+
+struct HierarchicalConfig {
+  TimeNs interval = 0;
+  int cluster_size = 16;
+  std::uint64_t phase_seed = 1;  ///< Per-cluster random phases.
+  analytic::SyncAlgorithm sync = analytic::SyncAlgorithm::kDissemination;
+  double skew_sigma_ns = 0;
+  TimeNs log_per_message = 0;   ///< Tax on inter-cluster messages only.
+  double log_per_byte_ns = 0.0;
+  storage::StorageTier tier = storage::StorageTier::kParallelFs;
+  IncrementalSpec incremental;
+};
+
+/// Everything a prepared protocol contributes to a simulation, plus its
+/// derived cost model (for tables and the recovery model).
+struct Artifacts {
+  ProtocolKind kind = ProtocolKind::kNone;
+  std::string name;
+  int ranks = 0;
+  TimeNs interval = 0;
+
+  /// Per-checkpoint blackout duration per rank (coordination + write).
+  /// With incremental checkpointing this is the MEAN over one full+delta
+  /// cycle; blackout_full/blackout_delta give the extremes.
+  TimeNs blackout = 0;
+  TimeNs blackout_full = 0;
+  TimeNs blackout_delta = 0;
+  TimeNs coordination_time = 0;
+  TimeNs write_time = 0;
+  double effective_writers = 0;
+  bool pfs_saturated = false;
+
+  /// Owned runtime artifacts; either may be null.
+  std::unique_ptr<sim::BlackoutSchedule> schedule;
+  std::unique_ptr<LoggingTax> tax;
+
+  /// Fraction of wallclock consumed by checkpoint blackouts (blackout /
+  /// interval) — the first-order overhead before propagation effects.
+  double duty_cycle() const {
+    return interval > 0 ? static_cast<double>(blackout) / static_cast<double>(interval)
+                        : 0.0;
+  }
+};
+
+/// No checkpointing (baseline): null schedule and tax.
+Artifacts prepare_none(int ranks);
+
+Artifacts prepare_coordinated(const CoordinatedConfig& cfg,
+                              const net::MachineModel& machine, int ranks);
+
+Artifacts prepare_uncoordinated(const UncoordinatedConfig& cfg,
+                                const net::MachineModel& machine, int ranks);
+
+Artifacts prepare_hierarchical(const HierarchicalConfig& cfg,
+                               const net::MachineModel& machine, int ranks);
+
+/// Storage parameters of a machine as a Pfs instance.
+storage::Pfs pfs_of(const net::MachineModel& machine);
+
+/// Per-node checkpoint write time for a non-PFS tier: burst buffer (local
+/// bandwidth) or partner copy (network transfer of the checkpoint bytes to
+/// a partner node: o + L + G * bytes). Throws std::invalid_argument for
+/// kParallelFs (the PFS time depends on writer concurrency — use Pfs).
+TimeNs tier_write_time(storage::StorageTier tier, const net::MachineModel& machine);
+
+/// Restart cost including reading the checkpoint back, in seconds:
+/// machine.restart_seconds plus the read-back time. Coordinated rollback
+/// re-reads on ALL ranks at once (PFS contention, mirroring the write
+/// burst); uncoordinated/hierarchical recovery re-reads only on the failed
+/// node (or cluster); burst-buffer and partner tiers read at local/network
+/// speed. kNone has no checkpoint to read.
+double restart_cost_seconds(ProtocolKind kind, storage::StorageTier tier,
+                            const net::MachineModel& machine, int ranks,
+                            int cluster_size = 16);
+
+}  // namespace chksim::ckpt

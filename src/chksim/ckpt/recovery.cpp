@@ -1,0 +1,138 @@
+#include "chksim/ckpt/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace chksim::ckpt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_params(const RecoveryParams& p) {
+  if (p.work_seconds <= 0) throw std::invalid_argument("work_seconds must be > 0");
+  if (p.slowdown < 1.0) throw std::invalid_argument("slowdown must be >= 1");
+  if (p.kind != ProtocolKind::kNone && p.interval_seconds <= 0)
+    throw std::invalid_argument("interval_seconds must be > 0");
+  if (p.restart_seconds < 0) throw std::invalid_argument("restart_seconds must be >= 0");
+  if (p.replay_speedup < 1.0) throw std::invalid_argument("replay_speedup must be >= 1");
+}
+
+struct TrialResult {
+  double makespan = 0;
+  std::int64_t failures = 0;
+};
+
+/// One renewal-simulation trial. `next_failure(t)` returns the time of the
+/// first failure after wallclock t (kInf for none).
+template <typename NextFailure>
+TrialResult run_trial(const RecoveryParams& p, NextFailure&& next_failure, Rng& rng) {
+  const double sigma = p.slowdown;
+  const double tau = p.interval_seconds;
+  const bool commits = p.kind == ProtocolKind::kCoordinated;
+
+  double t = 0;
+  double w = 0;
+  double last_commit_w = 0;
+  double next_commit = commits ? tau : kInf;
+  double next_fail = next_failure(0.0);
+  TrialResult out;
+
+  for (std::int64_t events = 0;; ++events) {
+    if (events > 50'000'000)
+      throw std::runtime_error(
+          "recovery simulation did not converge (failure rate too high for "
+          "the configured protocol)");
+    const double t_finish = t + (p.work_seconds - w) * sigma;
+    if (t_finish <= next_commit && t_finish <= next_fail) {
+      out.makespan = t_finish;
+      return out;
+    }
+    if (next_commit <= next_fail) {
+      w += (next_commit - t) / sigma;
+      t = next_commit;
+      last_commit_w = w;
+      next_commit += tau;
+      continue;
+    }
+    // Failure.
+    w += (next_fail - t) / sigma;
+    t = next_fail;
+    ++out.failures;
+    switch (p.kind) {
+      case ProtocolKind::kNone:
+        w = 0;  // no checkpoints: restart from the beginning
+        t += p.restart_seconds;
+        break;
+      case ProtocolKind::kCoordinated:
+        w = last_commit_w;
+        t += p.restart_seconds;
+        break;
+      case ProtocolKind::kUncoordinated:
+      case ProtocolKind::kHierarchical:
+        // No rollback; the failed rank (or cluster) replays from its own
+        // last checkpoint, a uniformly-distributed fraction of tau ago,
+        // at replay_speedup; everyone else waits.
+        t += p.restart_seconds + rng.uniform() * tau / p.replay_speedup;
+        break;
+    }
+    if (commits) {
+      next_commit = t + tau;
+      last_commit_w = w;  // recovery re-establishes a consistent checkpoint
+    }
+    next_fail = next_failure(t);
+  }
+}
+
+}  // namespace
+
+MakespanResult simulate_makespan(const RecoveryParams& params,
+                                 const fault::FailureDistribution& system_failures,
+                                 int trials, std::uint64_t seed) {
+  check_params(params);
+  if (trials <= 0) throw std::invalid_argument("trials must be > 0");
+  std::vector<double> makespans;
+  makespans.reserve(static_cast<std::size_t>(trials));
+  StreamingStats stats;
+  double total_failures = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng = Rng::substream(seed, static_cast<std::uint64_t>(trial));
+    Rng fail_rng = Rng::substream(seed ^ 0x5bd1e995, static_cast<std::uint64_t>(trial));
+    auto next_failure = [&](double t) {
+      return t + system_failures.sample_seconds(fail_rng);
+    };
+    const TrialResult r = run_trial(params, next_failure, rng);
+    makespans.push_back(r.makespan);
+    stats.add(r.makespan);
+    total_failures += static_cast<double>(r.failures);
+  }
+  MakespanResult out;
+  out.trials = trials;
+  out.mean_seconds = stats.mean();
+  out.stddev_seconds = stats.stddev();
+  out.p95_seconds = percentile(std::move(makespans), 0.95);
+  out.mean_failures = total_failures / trials;
+  out.efficiency = params.work_seconds / out.mean_seconds;
+  return out;
+}
+
+double makespan_against_trace(const RecoveryParams& params,
+                              const std::vector<fault::Failure>& trace,
+                              std::uint64_t seed) {
+  check_params(params);
+  std::size_t index = 0;
+  auto next_failure = [&](double t) {
+    // First trace failure strictly after t; failures that land inside a
+    // recovery window are absorbed by it.
+    while (index < trace.size() && units::to_seconds(trace[index].time) <= t) ++index;
+    if (index == trace.size()) return kInf;
+    return units::to_seconds(trace[index++].time);
+  };
+  Rng rng(seed);
+  return run_trial(params, next_failure, rng).makespan;
+}
+
+}  // namespace chksim::ckpt

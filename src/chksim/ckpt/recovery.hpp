@@ -1,0 +1,71 @@
+// Failure/recovery makespan model.
+//
+// The perturbation simulation (engine + protocol blackouts) yields a
+// failure-free slowdown: wallclock seconds per second of useful work. This
+// module adds failures on top: a Monte-Carlo renewal simulation over
+// wallclock time in which
+//
+//  * work accrues at rate 1/slowdown,
+//  * checkpoints commit every `interval` of wallclock,
+//  * failures arrive with the given system-level interarrival distribution,
+//  * recovery semantics depend on the protocol:
+//      - coordinated:   global rollback to the last committed checkpoint,
+//                       plus restart cost R;
+//      - uncoordinated: no rollback (message logs let the failed rank
+//                       replay); the machine stalls for R plus the failed
+//                       rank's replay time = (time since its last local
+//                       checkpoint) / replay_speedup — that rank's phase is
+//                       uniform, so the elapsed time is sampled U(0,1)*tau;
+//      - hierarchical:  like uncoordinated, with the failed *cluster*
+//                       replaying from its cluster checkpoint.
+//
+// Failures during recovery are folded via memorylessness (exact for
+// exponential interarrivals; a documented approximation for Weibull).
+//
+// The same decomposition — simulate the perturbation at feasible scale, then
+// model failures analytically/stochastically — is what makes studying
+// 2^20-rank regimes possible, and matches the methodology of the paper's
+// research group.
+#pragma once
+
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/fault/failures.hpp"
+#include "chksim/support/stats.hpp"
+
+namespace chksim::ckpt {
+
+struct RecoveryParams {
+  ProtocolKind kind = ProtocolKind::kCoordinated;
+  double work_seconds = 0;      ///< Useful work to complete (failure-free, unperturbed).
+  double slowdown = 1.0;        ///< Wallclock per unit work (>= 1), from simulation.
+  double interval_seconds = 0;  ///< Checkpoint interval tau.
+  double restart_seconds = 0;   ///< Fixed restart cost R.
+  /// Replay consumes logged messages instead of waiting, so recomputation
+  /// runs faster than the original execution by this factor (>= 1).
+  double replay_speedup = 1.5;
+};
+
+struct MakespanResult {
+  double mean_seconds = 0;
+  double stddev_seconds = 0;
+  double p95_seconds = 0;
+  double mean_failures = 0;
+  /// work_seconds / mean_seconds: fraction of the machine doing useful work.
+  double efficiency = 0;
+  int trials = 0;
+};
+
+/// Monte-Carlo expected makespan. `system_failures` describes the *system*
+/// interarrival distribution (e.g. Exponential(node_mtbf / nodes)).
+MakespanResult simulate_makespan(const RecoveryParams& params,
+                                 const fault::FailureDistribution& system_failures,
+                                 int trials, std::uint64_t seed);
+
+/// Single-trial deterministic replay against an explicit failure trace
+/// (times in TimeNs wallclock); returns the makespan in seconds. Used by
+/// tests and for trace-driven studies.
+double makespan_against_trace(const RecoveryParams& params,
+                              const std::vector<fault::Failure>& trace,
+                              std::uint64_t seed);
+
+}  // namespace chksim::ckpt

@@ -1,0 +1,331 @@
+#include "chksim/coll/collectives.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace chksim::coll {
+
+using sim::OpRef;
+using sim::Program;
+using sim::RankId;
+using sim::Tag;
+
+namespace {
+
+/// Dependency-wiring helper for one collective over a group.
+///
+/// Each member has a "frontier": the set of its most recent ops. New ops
+/// depend on the frontier. chain() advances the frontier immediately
+/// (sequential semantics); stage() defers the advance until commit() so that
+/// several ops in one round start concurrently.
+class Members {
+ public:
+  Members(Program& p, const Group& group, const Deps& entry) : p_(p), group_(group) {
+    frontier_.resize(group.size());
+    staged_.resize(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i < entry.size() && entry[i].valid()) {
+        assert(entry[i].rank == group[i] && "entry dep must live on the member's rank");
+        frontier_[i] = {entry[i]};
+      }
+    }
+  }
+
+  int size() const { return static_cast<int>(group_.size()); }
+  RankId rank(int i) const { return group_[static_cast<std::size_t>(i)]; }
+
+  OpRef chain_send(int i, int j, Bytes bytes, Tag tag) {
+    return chain(i, p_.send(rank(i), rank(j), bytes, tag));
+  }
+  OpRef chain_recv(int i, int j, Bytes bytes, Tag tag) {
+    return chain(i, p_.recv(rank(i), rank(j), bytes, tag));
+  }
+  OpRef stage_send(int i, int j, Bytes bytes, Tag tag) {
+    return stage(i, p_.send(rank(i), rank(j), bytes, tag));
+  }
+  OpRef stage_recv(int i, int j, Bytes bytes, Tag tag) {
+    return stage(i, p_.recv(rank(i), rank(j), bytes, tag));
+  }
+
+  /// Zero-duration op joining the member's current frontier into one handle.
+  OpRef join(int i) { return chain(i, p_.calc(rank(i), 0)); }
+
+  /// Ops staged this round become member i's frontier.
+  void commit(int i) {
+    auto& staged = staged_[static_cast<std::size_t>(i)];
+    if (staged.empty()) return;
+    frontier_[static_cast<std::size_t>(i)] = std::move(staged);
+    staged.clear();
+  }
+  void commit_all() {
+    for (int i = 0; i < size(); ++i) commit(i);
+  }
+
+  /// One exit op per member: the single frontier op, or a join node when the
+  /// frontier has several ops (or is empty).
+  Deps exits() {
+    Deps out(static_cast<std::size_t>(size()));
+    for (int i = 0; i < size(); ++i) {
+      auto& f = frontier_[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = f.size() == 1 ? f[0] : join(i);
+    }
+    return out;
+  }
+
+ private:
+  OpRef attach(int i, OpRef op) {
+    for (const OpRef& d : frontier_[static_cast<std::size_t>(i)]) p_.depends(d, op);
+    return op;
+  }
+  OpRef chain(int i, OpRef op) {
+    attach(i, op);
+    frontier_[static_cast<std::size_t>(i)] = {op};
+    return op;
+  }
+  OpRef stage(int i, OpRef op) {
+    attach(i, op);
+    staged_[static_cast<std::size_t>(i)].push_back(op);
+    return op;
+  }
+
+  Program& p_;
+  const Group& group_;
+  std::vector<std::vector<OpRef>> frontier_;
+  std::vector<std::vector<OpRef>> staged_;
+};
+
+void check_group(const Group& group, int root_idx = 0) {
+  if (group.empty()) throw std::invalid_argument("collective over empty group");
+  if (root_idx < 0 || static_cast<std::size_t>(root_idx) >= group.size())
+    throw std::invalid_argument("collective root index out of range");
+}
+
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+Group full_group(int nranks) {
+  Group g(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) g[static_cast<std::size_t>(i)] = i;
+  return g;
+}
+
+Deps bcast_binomial(Program& p, const Group& group, int root_idx, Bytes bytes,
+                    const Deps& entry) {
+  check_group(group, root_idx);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int i = 0; i < P; ++i) {
+    const int vr = (i - root_idx + P) % P;
+    // Receive from parent (the member that differs in vr's lowest set bit).
+    int mask = 1;
+    while (mask < P) {
+      if (vr & mask) {
+        const int parent = (vr - mask + root_idx) % P;
+        m.chain_recv(i, parent, bytes, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    // Forward to children, highest distance first (MPICH order).
+    mask >>= 1;
+    while (mask > 0) {
+      if ((vr & mask) == 0 && vr + mask < P) {
+        const int child = (vr + mask + root_idx) % P;
+        m.chain_send(i, child, bytes, tag);
+      }
+      mask >>= 1;
+    }
+  }
+  return m.exits();
+}
+
+Deps reduce_binomial(Program& p, const Group& group, int root_idx, Bytes bytes,
+                     const Deps& entry) {
+  check_group(group, root_idx);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int i = 0; i < P; ++i) {
+    const int vr = (i - root_idx + P) % P;
+    int mask = 1;
+    while (mask < P) {
+      if ((vr & mask) == 0) {
+        const int src_vr = vr | mask;
+        if (src_vr < P) {
+          const int src = (src_vr + root_idx) % P;
+          m.chain_recv(i, src, bytes, tag);  // combine child's partial result
+        }
+      } else {
+        const int dst = ((vr & ~mask) + root_idx) % P;
+        m.chain_send(i, dst, bytes, tag);
+        break;  // after sending up, this member is done
+      }
+      mask <<= 1;
+    }
+  }
+  return m.exits();
+}
+
+Deps allreduce_recursive_doubling(Program& p, const Group& group, Bytes bytes,
+                                  const Deps& entry) {
+  check_group(group);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  if (P == 1) return m.exits();
+
+  const int p2 = floor_pow2(P);
+  const int rem = P - p2;
+
+  // Fold-in: odd members among the first 2*rem send their data to the even
+  // neighbour, which participates on their behalf.
+  // new_idx: participants get indices 0..p2-1.
+  std::vector<int> new_idx(static_cast<std::size_t>(P), -1);
+  for (int i = 0; i < P; ++i) {
+    if (i < 2 * rem) {
+      if (i % 2 == 0) {
+        new_idx[static_cast<std::size_t>(i)] = i / 2;
+      }
+    } else {
+      new_idx[static_cast<std::size_t>(i)] = i - rem;
+    }
+  }
+  if (rem > 0) {
+    for (int i = 0; i < 2 * rem; i += 2) {
+      m.chain_send(i + 1, i, bytes, tag);
+      m.chain_recv(i, i + 1, bytes, tag);
+    }
+  }
+
+  // Recursive doubling among the p2 participants.
+  std::vector<int> member_of(static_cast<std::size_t>(p2));
+  for (int i = 0; i < P; ++i)
+    if (new_idx[static_cast<std::size_t>(i)] >= 0)
+      member_of[static_cast<std::size_t>(new_idx[static_cast<std::size_t>(i)])] = i;
+  for (int mask = 1; mask < p2; mask <<= 1) {
+    for (int ni = 0; ni < p2; ++ni) {
+      const int i = member_of[static_cast<std::size_t>(ni)];
+      const int partner = member_of[static_cast<std::size_t>(ni ^ mask)];
+      m.stage_send(i, partner, bytes, tag);
+      m.stage_recv(i, partner, bytes, tag);
+    }
+    m.commit_all();
+  }
+
+  // Fold-out: even members return the final result to the odd neighbour.
+  if (rem > 0) {
+    for (int i = 0; i < 2 * rem; i += 2) {
+      m.chain_send(i, i + 1, bytes, tag);
+      m.chain_recv(i + 1, i, bytes, tag);
+    }
+  }
+  return m.exits();
+}
+
+Deps allreduce_ring(Program& p, const Group& group, Bytes bytes, const Deps& entry) {
+  check_group(group);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  if (P == 1) return m.exits();
+  const Bytes chunk = bytes / P > 0 ? bytes / P : 1;
+  // Reduce-scatter then allgather: 2*(P-1) ring steps of one chunk each.
+  for (int step = 0; step < 2 * (P - 1); ++step) {
+    for (int i = 0; i < P; ++i) {
+      m.stage_send(i, (i + 1) % P, chunk, tag);
+      m.stage_recv(i, (i + P - 1) % P, chunk, tag);
+    }
+    m.commit_all();
+  }
+  return m.exits();
+}
+
+Deps barrier_dissemination(Program& p, const Group& group, const Deps& entry) {
+  check_group(group);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int dist = 1; dist < P; dist <<= 1) {
+    for (int i = 0; i < P; ++i) {
+      m.stage_send(i, (i + dist) % P, 0, tag);
+      m.stage_recv(i, (i + P - dist) % P, 0, tag);
+    }
+    m.commit_all();
+  }
+  return m.exits();
+}
+
+Deps barrier_tree(Program& p, const Group& group, const Deps& entry) {
+  Deps up = reduce_binomial(p, group, 0, 0, entry);
+  return bcast_binomial(p, group, 0, 0, up);
+}
+
+Deps allgather_ring(Program& p, const Group& group, Bytes bytes_per_member,
+                    const Deps& entry) {
+  check_group(group);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int step = 0; step < P - 1; ++step) {
+    for (int i = 0; i < P; ++i) {
+      m.stage_send(i, (i + 1) % P, bytes_per_member, tag);
+      m.stage_recv(i, (i + P - 1) % P, bytes_per_member, tag);
+    }
+    m.commit_all();
+  }
+  return m.exits();
+}
+
+Deps alltoall_pairwise(Program& p, const Group& group, Bytes bytes_per_pair,
+                       const Deps& entry) {
+  check_group(group);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int round = 1; round < P; ++round) {
+    for (int i = 0; i < P; ++i) {
+      m.stage_send(i, (i + round) % P, bytes_per_pair, tag);
+      m.stage_recv(i, (i + P - round) % P, bytes_per_pair, tag);
+    }
+    m.commit_all();
+  }
+  return m.exits();
+}
+
+Deps gather_linear(Program& p, const Group& group, int root_idx, Bytes bytes,
+                   const Deps& entry) {
+  check_group(group, root_idx);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int i = 0; i < P; ++i) {
+    if (i == root_idx) continue;
+    m.chain_send(i, root_idx, bytes, tag);
+    m.stage_recv(root_idx, i, bytes, tag);
+  }
+  m.commit(root_idx);
+  return m.exits();
+}
+
+Deps scatter_linear(Program& p, const Group& group, int root_idx, Bytes bytes,
+                    const Deps& entry) {
+  check_group(group, root_idx);
+  const int P = static_cast<int>(group.size());
+  const Tag tag = p.allocate_tags();
+  Members m(p, group, entry);
+  for (int i = 0; i < P; ++i) {
+    if (i == root_idx) continue;
+    m.stage_send(root_idx, i, bytes, tag);
+    m.chain_recv(i, root_idx, bytes, tag);
+  }
+  m.commit(root_idx);
+  return m.exits();
+}
+
+}  // namespace chksim::coll

@@ -1,0 +1,71 @@
+// Collective-operation expanders.
+//
+// Each function appends a collective's point-to-point realisation to a
+// Program, over an arbitrary group of ranks, using the standard algorithms
+// (MPICH-style binomial trees, recursive doubling, dissemination, ring,
+// pairwise exchange). Every call allocates a fresh tag, so collectives never
+// cross-match.
+//
+// Interface convention:
+//   * `group[i]` is the actual rank of group member i ("virtual rank" i).
+//   * `entry[i]` (optional, may be empty or contain invalid refs) is the op
+//     member i's first collective ops depend on.
+//   * The returned vector has one exit op per member; a member's exit op
+//     completes only when that member's participation is finished.
+#pragma once
+
+#include <vector>
+
+#include "chksim/sim/program.hpp"
+
+namespace chksim::coll {
+
+using Group = std::vector<sim::RankId>;
+using Deps = std::vector<sim::OpRef>;
+
+/// Group {0, 1, ..., nranks-1}.
+Group full_group(int nranks);
+
+/// Broadcast `bytes` from group member root_idx (binomial tree).
+Deps bcast_binomial(sim::Program& p, const Group& group, int root_idx, Bytes bytes,
+                    const Deps& entry = {});
+
+/// Reduce `bytes` to group member root_idx (binomial tree).
+Deps reduce_binomial(sim::Program& p, const Group& group, int root_idx, Bytes bytes,
+                     const Deps& entry = {});
+
+/// Allreduce of `bytes` via recursive doubling (with the standard
+/// non-power-of-two fold-in/fold-out phases).
+Deps allreduce_recursive_doubling(sim::Program& p, const Group& group, Bytes bytes,
+                                  const Deps& entry = {});
+
+/// Allreduce of `bytes` via ring reduce-scatter + ring allgather
+/// (bandwidth-optimal for large payloads).
+Deps allreduce_ring(sim::Program& p, const Group& group, Bytes bytes,
+                    const Deps& entry = {});
+
+/// Dissemination barrier (zero-byte messages, ceil(log2 P) rounds).
+Deps barrier_dissemination(sim::Program& p, const Group& group,
+                           const Deps& entry = {});
+
+/// Tree barrier: binomial reduce to member 0, binomial broadcast back.
+Deps barrier_tree(sim::Program& p, const Group& group, const Deps& entry = {});
+
+/// Ring allgather: every member contributes `bytes_per_member`.
+Deps allgather_ring(sim::Program& p, const Group& group, Bytes bytes_per_member,
+                    const Deps& entry = {});
+
+/// Pairwise-exchange alltoall: every member sends `bytes_per_pair` to every
+/// other member, P-1 rounds.
+Deps alltoall_pairwise(sim::Program& p, const Group& group, Bytes bytes_per_pair,
+                       const Deps& entry = {});
+
+/// Linear gather of `bytes` per member to root_idx.
+Deps gather_linear(sim::Program& p, const Group& group, int root_idx, Bytes bytes,
+                   const Deps& entry = {});
+
+/// Linear scatter of `bytes` per member from root_idx.
+Deps scatter_linear(sim::Program& p, const Group& group, int root_idx, Bytes bytes,
+                    const Deps& entry = {});
+
+}  // namespace chksim::coll

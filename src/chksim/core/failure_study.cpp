@@ -1,0 +1,41 @@
+#include "chksim/core/failure_study.hpp"
+
+#include <memory>
+
+namespace chksim::core {
+
+FailureStudyResult run_failure_study(const FailureStudyConfig& config) {
+  FailureStudyResult out;
+  out.breakdown = run_study(config.study);
+  out.interval = out.breakdown.interval;
+  const int nodes = config.study.params.ranks;
+  out.system_mtbf_seconds = config.study.machine.system_mtbf_seconds(nodes);
+
+  ckpt::RecoveryParams rp;
+  rp.kind = config.study.protocol.kind;
+  rp.work_seconds = config.work_seconds;
+  rp.slowdown = out.breakdown.slowdown;
+  rp.interval_seconds = config.recovery_interval_seconds > 0
+                            ? config.recovery_interval_seconds
+                            : units::to_seconds(out.interval);
+  rp.restart_seconds =
+      config.model_restart_io
+          ? ckpt::restart_cost_seconds(config.study.protocol.kind,
+                                       config.study.protocol.tier,
+                                       config.study.machine, nodes,
+                                       config.study.protocol.cluster_size)
+          : config.study.machine.restart_seconds;
+  rp.replay_speedup = config.replay_speedup;
+
+  std::unique_ptr<fault::FailureDistribution> dist;
+  if (config.weibull_shape > 0) {
+    dist = std::make_unique<fault::Weibull>(out.system_mtbf_seconds,
+                                            config.weibull_shape);
+  } else {
+    dist = std::make_unique<fault::Exponential>(out.system_mtbf_seconds);
+  }
+  out.makespan = ckpt::simulate_makespan(rp, *dist, config.trials, config.seed);
+  return out;
+}
+
+}  // namespace chksim::core

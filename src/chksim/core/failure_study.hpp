@@ -1,0 +1,41 @@
+// End-to-end study with failures: perturbation simulation + Monte-Carlo
+// recovery model (experiments E7, E9, E10).
+#pragma once
+
+#include "chksim/ckpt/recovery.hpp"
+#include "chksim/core/study.hpp"
+
+namespace chksim::core {
+
+struct FailureStudyConfig {
+  StudyConfig study;
+  /// Useful work to complete, in failure-free unperturbed seconds.
+  double work_seconds = 24.0 * 3600.0;
+  int trials = 200;
+  /// 0 = exponential system failures; otherwise Weibull with this shape.
+  double weibull_shape = 0;
+  double replay_speedup = 1.5;
+  std::uint64_t seed = 42;
+  /// Recovery-model checkpoint interval, seconds. 0 = use the simulated
+  /// protocol's interval. Benches use this to pair a scaled-down simulated
+  /// interval (so short engine runs cover many checkpoints) with a
+  /// realistic wallclock interval at the same duty cycle.
+  double recovery_interval_seconds = 0;
+  /// When true, the restart cost includes reading the checkpoint back
+  /// through the storage model (ckpt::restart_cost_seconds) instead of the
+  /// bare machine.restart_seconds.
+  bool model_restart_io = false;
+};
+
+struct FailureStudyResult {
+  Breakdown breakdown;             ///< Failure-free perturbation measurement.
+  ckpt::MakespanResult makespan;   ///< With failures.
+  double system_mtbf_seconds = 0;
+  TimeNs interval = 0;
+};
+
+/// Run the perturbation simulation, then the recovery Monte-Carlo at the
+/// same scale.
+FailureStudyResult run_failure_study(const FailureStudyConfig& config);
+
+}  // namespace chksim::core

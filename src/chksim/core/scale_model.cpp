@@ -1,0 +1,58 @@
+#include "chksim/core/scale_model.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace chksim::core {
+
+ScalePoint efficiency_at_scale(const ScaleModelConfig& config, int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("ranks must be > 0");
+  if (config.kappa < 0) throw std::invalid_argument("kappa must be >= 0");
+
+  const ckpt::Artifacts art = prepare_protocol(config.protocol, config.machine, ranks);
+
+  ScalePoint pt;
+  pt.ranks = ranks;
+  pt.interval = art.interval;
+  pt.blackout = art.blackout;
+  pt.coordination_time = art.coordination_time;
+  pt.duty_cycle = art.duty_cycle();
+  pt.slowdown = 1.0 + config.kappa * pt.duty_cycle;
+  pt.system_mtbf_seconds = config.machine.system_mtbf_seconds(ranks);
+
+  if (config.protocol.kind == ckpt::ProtocolKind::kNone) {
+    // No checkpoints: failures force a restart from scratch.
+    pt.slowdown = 1.0;
+  }
+
+  ckpt::RecoveryParams rp;
+  rp.kind = config.protocol.kind;
+  rp.work_seconds = config.work_seconds;
+  rp.slowdown = pt.slowdown;
+  rp.interval_seconds =
+      art.interval > 0 ? units::to_seconds(art.interval) : config.work_seconds;
+  rp.restart_seconds = config.machine.restart_seconds;
+  rp.replay_speedup = config.replay_speedup;
+
+  std::unique_ptr<fault::FailureDistribution> dist;
+  if (config.weibull_shape > 0) {
+    dist = std::make_unique<fault::Weibull>(pt.system_mtbf_seconds, config.weibull_shape);
+  } else {
+    dist = std::make_unique<fault::Exponential>(pt.system_mtbf_seconds);
+  }
+  const ckpt::MakespanResult mk =
+      ckpt::simulate_makespan(rp, *dist, config.trials, config.seed);
+  pt.mean_failures = mk.mean_failures;
+  pt.efficiency = mk.efficiency;
+  return pt;
+}
+
+std::vector<ScalePoint> efficiency_sweep(const ScaleModelConfig& config,
+                                         const std::vector<int>& scales) {
+  std::vector<ScalePoint> out;
+  out.reserve(scales.size());
+  for (int ranks : scales) out.push_back(efficiency_at_scale(config, ranks));
+  return out;
+}
+
+}  // namespace chksim::core

@@ -1,0 +1,54 @@
+// Extrapolation to scales the engine cannot simulate directly (E12).
+//
+// The decomposition: the engine measures the *propagation factor* kappa =
+// (slowdown - 1) / duty-cycle at a feasible scale (kappa is a property of
+// the workload's communication structure and is close to scale-invariant
+// for the self-similar skeletons we generate); the protocol's duty cycle
+// and the failure model are computed analytically at any target scale, so
+//
+//   slowdown(P)   = 1 + kappa * duty_cycle(P)
+//   efficiency(P) = work / E[makespan(P)]   (recovery Monte-Carlo)
+//
+// — the same simulate-small / model-large strategy the original methodology
+// used to reach 2^20-node regimes.
+#pragma once
+
+#include <vector>
+
+#include "chksim/ckpt/recovery.hpp"
+#include "chksim/core/study.hpp"
+
+namespace chksim::core {
+
+struct ScaleModelConfig {
+  net::MachineModel machine = net::infiniband_system();
+  ProtocolSpec protocol;
+  /// Propagation factor measured at feasible scale (Breakdown::propagation_factor).
+  double kappa = 1.0;
+  double work_seconds = 24.0 * 3600.0;
+  double weibull_shape = 0;  ///< 0 = exponential.
+  double replay_speedup = 1.5;
+  int trials = 200;
+  std::uint64_t seed = 42;
+};
+
+struct ScalePoint {
+  int ranks = 0;
+  TimeNs interval = 0;
+  TimeNs blackout = 0;
+  TimeNs coordination_time = 0;
+  double duty_cycle = 0;
+  double slowdown = 1.0;
+  double system_mtbf_seconds = 0;
+  double mean_failures = 0;
+  double efficiency = 0;  ///< useful-work fraction including failures.
+};
+
+/// Evaluate the model at one scale.
+ScalePoint efficiency_at_scale(const ScaleModelConfig& config, int ranks);
+
+/// Evaluate across a sweep of scales.
+std::vector<ScalePoint> efficiency_sweep(const ScaleModelConfig& config,
+                                         const std::vector<int>& scales);
+
+}  // namespace chksim::core

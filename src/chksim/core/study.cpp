@@ -1,0 +1,106 @@
+#include "chksim/core/study.hpp"
+
+#include <stdexcept>
+
+namespace chksim::core {
+
+ckpt::Artifacts prepare_protocol(const ProtocolSpec& spec,
+                                 const net::MachineModel& machine, int ranks) {
+  const TimeNs interval = spec.kind == ckpt::ProtocolKind::kNone
+                              ? TimeNs{0}
+                              : ckpt::choose_interval(spec.interval_policy, spec.kind,
+                                                      machine, ranks,
+                                                      spec.fixed_interval,
+                                                      spec.cluster_size, spec.tier);
+  switch (spec.kind) {
+    case ckpt::ProtocolKind::kNone:
+      return ckpt::prepare_none(ranks);
+    case ckpt::ProtocolKind::kCoordinated: {
+      ckpt::CoordinatedConfig c;
+      c.interval = interval;
+      c.sync = spec.sync;
+      c.skew_sigma_ns = spec.skew_sigma_ns;
+      c.tier = spec.tier;
+      c.incremental = spec.incremental;
+      return ckpt::prepare_coordinated(c, machine, ranks);
+    }
+    case ckpt::ProtocolKind::kUncoordinated: {
+      ckpt::UncoordinatedConfig c;
+      c.interval = interval;
+      c.phase_seed = spec.seed;
+      c.log_per_message = spec.log_per_message;
+      c.log_per_byte_ns = spec.log_per_byte_ns;
+      c.receiver_side_logging = spec.receiver_side_logging;
+      c.tier = spec.tier;
+      c.incremental = spec.incremental;
+      return ckpt::prepare_uncoordinated(c, machine, ranks);
+    }
+    case ckpt::ProtocolKind::kHierarchical: {
+      ckpt::HierarchicalConfig c;
+      c.interval = interval;
+      c.cluster_size = spec.cluster_size;
+      c.phase_seed = spec.seed;
+      c.sync = spec.sync;
+      c.skew_sigma_ns = spec.skew_sigma_ns;
+      c.log_per_message = spec.log_per_message;
+      c.log_per_byte_ns = spec.log_per_byte_ns;
+      c.tier = spec.tier;
+      c.incremental = spec.incremental;
+      return ckpt::prepare_hierarchical(c, machine, ranks);
+    }
+  }
+  throw std::logic_error("unknown protocol kind");
+}
+
+sim::Program build_workload(const StudyConfig& config) {
+  sim::Program p = workload::make_workload(config.workload, config.params);
+  p.finalize();
+  return p;
+}
+
+Breakdown run_study(const StudyConfig& config) {
+  const int ranks = config.params.ranks;
+  sim::Program program = build_workload(config);
+
+  Breakdown b;
+  b.ranks = ranks;
+  b.workload = config.workload;
+  b.ops = program.stats().ops;
+  b.msgs = program.stats().sends;
+  b.bytes_sent = program.stats().bytes_sent;
+
+  const ckpt::Artifacts art = prepare_protocol(config.protocol, config.machine, ranks);
+  b.protocol = art.name;
+  b.interval = art.interval;
+  b.blackout = art.blackout;
+  b.coordination_time = art.coordination_time;
+  b.write_time = art.write_time;
+  b.effective_writers = art.effective_writers;
+  b.pfs_saturated = art.pfs_saturated;
+  b.duty_cycle = art.duty_cycle();
+
+  sim::EngineConfig base;
+  base.net = config.machine.net;
+  base.preemption = config.preemption;
+  const sim::RunResult r0 = sim::run_program(program, base);
+  if (!r0.completed)
+    throw std::runtime_error("base run did not complete: " + r0.error);
+  b.base_makespan = r0.makespan;
+  b.recv_wait_base = r0.total_recv_wait();
+
+  sim::EngineConfig pert = base;
+  pert.blackouts = art.schedule.get();
+  pert.tax = art.tax.get();
+  const sim::RunResult r1 = sim::run_program(program, pert);
+  if (!r1.completed)
+    throw std::runtime_error("perturbed run did not complete: " + r1.error);
+  b.perturbed_makespan = r1.makespan;
+  b.recv_wait_perturbed = r1.total_recv_wait();
+
+  b.slowdown = static_cast<double>(r1.makespan) / static_cast<double>(r0.makespan);
+  b.overhead_fraction = b.slowdown - 1.0;
+  b.propagation_factor = b.duty_cycle > 0 ? b.overhead_fraction / b.duty_cycle : 0.0;
+  return b;
+}
+
+}  // namespace chksim::core

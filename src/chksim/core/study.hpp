@@ -1,0 +1,101 @@
+// The Study facade: the library's top-level API.
+//
+// A Study combines a machine model, a workload, and a checkpoint protocol;
+// running it produces a Breakdown that separates where the time went —
+// the central measurement of the paper's two questions:
+//
+//   communication: how much of the checkpoint perturbation is amplified (or
+//     absorbed) by the application's message dependencies, and what the
+//     message-logging tax costs;
+//   coordination: what the global synchronisation itself contributes.
+#pragma once
+
+#include <string>
+
+#include "chksim/ckpt/interval.hpp"
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/net/machines.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim::core {
+
+/// Protocol selection in one flat config (kind decides which fields apply).
+struct ProtocolSpec {
+  ckpt::ProtocolKind kind = ckpt::ProtocolKind::kNone;
+
+  ckpt::IntervalPolicy interval_policy = ckpt::IntervalPolicy::kFixed;
+  TimeNs fixed_interval = 60ll * 1'000'000'000;  ///< 60 s default.
+
+  // Coordinated / hierarchical.
+  analytic::SyncAlgorithm sync = analytic::SyncAlgorithm::kDissemination;
+  double skew_sigma_ns = 0;
+
+  // Uncoordinated / hierarchical.
+  TimeNs log_per_message = 0;
+  double log_per_byte_ns = 0.0;
+  bool receiver_side_logging = false;
+  int cluster_size = 16;
+  std::uint64_t seed = 1;
+
+  /// Checkpoint destination: shared PFS (contended), node-local burst
+  /// buffer, or partner-node memory (diskless).
+  storage::StorageTier tier = storage::StorageTier::kParallelFs;
+
+  /// Incremental checkpointing (full_every > 1 enables delta checkpoints).
+  ckpt::IncrementalSpec incremental;
+};
+
+/// Prepare the protocol artifacts for a machine at a scale (resolves the
+/// interval policy first).
+ckpt::Artifacts prepare_protocol(const ProtocolSpec& spec,
+                                 const net::MachineModel& machine, int ranks);
+
+struct StudyConfig {
+  net::MachineModel machine = net::infiniband_system();
+  std::string workload = "halo3d";
+  workload::StdParams params;  ///< params.ranks is the simulated scale.
+  ProtocolSpec protocol;
+  sim::Preemption preemption = sim::Preemption::kPreemptive;
+};
+
+/// Where the time went.
+struct Breakdown {
+  // Simulation scale and protocol numbers.
+  int ranks = 0;
+  std::string workload;
+  std::string protocol;
+  TimeNs interval = 0;
+  TimeNs blackout = 0;           ///< Per-checkpoint per-rank blackout.
+  TimeNs coordination_time = 0;  ///< Part of blackout due to sync + skew.
+  TimeNs write_time = 0;
+  double effective_writers = 0;
+  bool pfs_saturated = false;
+  double duty_cycle = 0;  ///< blackout / interval.
+
+  // Measured by simulation.
+  TimeNs base_makespan = 0;       ///< No checkpointing.
+  TimeNs perturbed_makespan = 0;  ///< With the protocol.
+  double slowdown = 1.0;          ///< perturbed / base.
+  double overhead_fraction = 0;   ///< slowdown - 1.
+  /// overhead_fraction / duty_cycle: >1 = the communication graph amplifies
+  /// checkpoint delays, <1 = slack absorbs them. The paper's key
+  /// "communication effect" metric.
+  double propagation_factor = 0;
+  TimeNs recv_wait_base = 0;
+  TimeNs recv_wait_perturbed = 0;
+
+  // Workload characterisation (for T1).
+  std::int64_t ops = 0;
+  std::int64_t msgs = 0;
+  Bytes bytes_sent = 0;
+};
+
+/// Build the workload, run it with and without the protocol, and break down
+/// the overhead. Deterministic.
+Breakdown run_study(const StudyConfig& config);
+
+/// Build and finalize the configured workload program (shared helper).
+sim::Program build_workload(const StudyConfig& config);
+
+}  // namespace chksim::core

@@ -1,0 +1,142 @@
+#include "chksim/fault/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chksim::fault {
+
+Exponential::Exponential(double mtbf_seconds) : mtbf_(mtbf_seconds) {
+  if (mtbf_seconds <= 0) throw std::invalid_argument("Exponential: mtbf must be > 0");
+}
+
+double Exponential::sample_seconds(Rng& rng) const { return rng.exponential(mtbf_); }
+
+Weibull::Weibull(double mtbf_seconds, double shape) : mtbf_(mtbf_seconds), shape_(shape) {
+  if (mtbf_seconds <= 0) throw std::invalid_argument("Weibull: mtbf must be > 0");
+  if (shape <= 0) throw std::invalid_argument("Weibull: shape must be > 0");
+  scale_ = mtbf_seconds / std::tgamma(1.0 + 1.0 / shape);
+}
+
+std::string Weibull::name() const {
+  return "weibull(k=" + std::to_string(shape_) + ")";
+}
+
+double Weibull::sample_seconds(Rng& rng) const { return rng.weibull(shape_, scale_); }
+
+LogNormal::LogNormal(double mtbf_seconds, double sigma)
+    : mtbf_(mtbf_seconds), sigma_(sigma) {
+  if (mtbf_seconds <= 0) throw std::invalid_argument("LogNormal: mtbf must be > 0");
+  if (sigma <= 0) throw std::invalid_argument("LogNormal: sigma must be > 0");
+  // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2) = mtbf.
+  mu_ = std::log(mtbf_seconds) - sigma * sigma / 2.0;
+}
+
+std::string LogNormal::name() const {
+  return "lognormal(sigma=" + std::to_string(sigma_) + ")";
+}
+
+double LogNormal::sample_seconds(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+std::string trace_to_csv(const std::vector<Failure>& trace) {
+  std::string out = "time_ns,node\n";
+  for (const Failure& f : trace)
+    out += std::to_string(f.time) + ',' + std::to_string(f.node) + '\n';
+  return out;
+}
+
+std::vector<Failure> trace_from_csv(const std::string& csv) {
+  std::vector<Failure> trace;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string::npos) eol = csv.size();
+    const std::string line = csv.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("time_ns", 0) == 0) continue;  // header
+    const auto comma = line.find(',');
+    if (comma == std::string::npos)
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": missing comma: " + line);
+    try {
+      std::size_t used = 0;
+      Failure f;
+      f.time = std::stoll(line.substr(0, comma), &used);
+      if (used != comma) throw std::invalid_argument("");
+      const std::string node_str = line.substr(comma + 1);
+      f.node = std::stoi(node_str, &used);
+      if (used != node_str.size()) throw std::invalid_argument("");
+      if (f.time < 0 || f.node < 0) throw std::invalid_argument("");
+      trace.push_back(f);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": malformed entry: " + line);
+    }
+  }
+  std::sort(trace.begin(), trace.end(), [](const Failure& a, const Failure& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.node < b.node;
+  });
+  return trace;
+}
+
+std::vector<Failure> generate_trace(const FailureDistribution& dist, int nodes,
+                                    TimeNs horizon, std::uint64_t seed) {
+  if (nodes <= 0) throw std::invalid_argument("generate_trace: nodes must be > 0");
+  if (horizon < 0) throw std::invalid_argument("generate_trace: horizon must be >= 0");
+  std::vector<Failure> trace;
+  for (int node = 0; node < nodes; ++node) {
+    Rng rng = Rng::substream(seed, static_cast<std::uint64_t>(node));
+    TimeNs t = 0;
+    while (true) {
+      const double gap = dist.sample_seconds(rng);
+      const TimeNs gap_ns = units::from_seconds(gap);
+      if (gap_ns <= 0) continue;  // sub-ns interarrivals: resample
+      if (t > horizon - gap_ns) break;
+      t += gap_ns;
+      trace.push_back(Failure{t, node});
+    }
+  }
+  std::sort(trace.begin(), trace.end(), [](const Failure& a, const Failure& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.node < b.node;
+  });
+  return trace;
+}
+
+std::vector<Failure> system_exponential_trace(double node_mtbf_seconds, int nodes,
+                                              TimeNs horizon, std::uint64_t seed) {
+  if (nodes <= 0) throw std::invalid_argument("system trace: nodes must be > 0");
+  const Exponential system(node_mtbf_seconds / static_cast<double>(nodes));
+  Rng rng(seed);
+  std::vector<Failure> trace;
+  TimeNs t = 0;
+  while (true) {
+    const TimeNs gap = units::from_seconds(system.sample_seconds(rng));
+    if (gap <= 0) continue;
+    if (t > horizon - gap) break;
+    t += gap;
+    trace.push_back(
+        Failure{t, static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)))});
+  }
+  return trace;
+}
+
+TraceSummary summarize(const std::vector<Failure>& trace) {
+  TraceSummary s;
+  s.failures = static_cast<std::int64_t>(trace.size());
+  if (trace.empty()) return s;
+  s.first = trace.front().time;
+  s.last = trace.back().time;
+  if (trace.size() > 1)
+    s.mean_interarrival_seconds =
+        units::to_seconds(s.last - s.first) / static_cast<double>(trace.size() - 1);
+  return s;
+}
+
+}  // namespace chksim::fault

@@ -1,0 +1,112 @@
+// Failure modelling: per-node failure distributions, renewal-process trace
+// generation, and system-level MTBF scaling.
+//
+// Failures in HPC systems are classically modelled as exponential (constant
+// hazard) or Weibull with shape < 1 (decreasing hazard / infant mortality,
+// the better fit to field data). A system of N independent nodes fails N
+// times as often — the scaling that makes checkpointing a scalability
+// problem in the first place.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chksim/support/rng.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::fault {
+
+/// Distribution of one node's time-between-failures.
+class FailureDistribution {
+ public:
+  virtual ~FailureDistribution() = default;
+  virtual std::string name() const = 0;
+  /// Mean time between failures, seconds.
+  virtual double mtbf_seconds() const = 0;
+  /// Sample one interarrival, seconds.
+  virtual double sample_seconds(Rng& rng) const = 0;
+};
+
+/// Exponential interarrivals (constant hazard).
+class Exponential final : public FailureDistribution {
+ public:
+  explicit Exponential(double mtbf_seconds);
+  std::string name() const override { return "exponential"; }
+  double mtbf_seconds() const override { return mtbf_; }
+  double sample_seconds(Rng& rng) const override;
+
+ private:
+  double mtbf_;
+};
+
+/// Weibull interarrivals with the given shape; the scale is derived so the
+/// distribution has the requested MTBF (scale = mtbf / Gamma(1 + 1/shape)).
+class Weibull final : public FailureDistribution {
+ public:
+  Weibull(double mtbf_seconds, double shape);
+  std::string name() const override;
+  double mtbf_seconds() const override { return mtbf_; }
+  double shape() const { return shape_; }
+  double scale_seconds() const { return scale_; }
+  double sample_seconds(Rng& rng) const override;
+
+ private:
+  double mtbf_;
+  double shape_;
+  double scale_;
+};
+
+/// Log-normal interarrivals (heavy right tail; another common fit to HPC
+/// failure logs). Parameterised by the desired MTBF and the shape sigma of
+/// the underlying normal; mu is derived as log(mtbf) - sigma^2/2.
+class LogNormal final : public FailureDistribution {
+ public:
+  LogNormal(double mtbf_seconds, double sigma);
+  std::string name() const override;
+  double mtbf_seconds() const override { return mtbf_; }
+  double sigma() const { return sigma_; }
+  double sample_seconds(Rng& rng) const override;
+
+ private:
+  double mtbf_;
+  double sigma_;
+  double mu_;
+};
+
+/// One failure event.
+struct Failure {
+  TimeNs time = 0;
+  int node = -1;
+  friend bool operator==(const Failure&, const Failure&) = default;
+};
+
+/// Generate the merged, time-sorted failure trace of `nodes` independent
+/// nodes, each a renewal process with the given interarrival distribution,
+/// over [0, horizon). Deterministic in `seed` and independent of `nodes`
+/// ordering (per-node RNG substreams).
+std::vector<Failure> generate_trace(const FailureDistribution& dist, int nodes,
+                                    TimeNs horizon, std::uint64_t seed);
+
+/// System-level shortcut: exponential failures of the whole machine with
+/// MTBF = node_mtbf / nodes; the failing node is sampled uniformly.
+std::vector<Failure> system_exponential_trace(double node_mtbf_seconds, int nodes,
+                                              TimeNs horizon, std::uint64_t seed);
+
+/// Serialize a trace as CSV ("time_ns,node" with a header line).
+std::string trace_to_csv(const std::vector<Failure>& trace);
+
+/// Parse a CSV trace (the trace_to_csv format). Throws std::invalid_argument
+/// with a line number on malformed input; the result is sorted by time.
+std::vector<Failure> trace_from_csv(const std::string& csv);
+
+/// Empirical summary of a trace, for tables.
+struct TraceSummary {
+  std::int64_t failures = 0;
+  double mean_interarrival_seconds = 0;
+  TimeNs first = 0;
+  TimeNs last = 0;
+};
+TraceSummary summarize(const std::vector<Failure>& trace);
+
+}  // namespace chksim::fault

@@ -1,0 +1,107 @@
+#include "chksim/net/machines.hpp"
+
+#include <stdexcept>
+
+namespace chksim::net {
+
+using namespace chksim::literals;
+
+MachineModel ethernet_cluster() {
+  MachineModel m;
+  m.name = "ethernet";
+  m.net.L = 30'000;    // 30 us
+  m.net.o = 5'000;     // 5 us
+  m.net.g = 12'000;    // 12 us
+  m.net.G = 0.8;       // ~1.25 GB/s
+  m.net.O = 0.05;
+  m.net.S = 64_KiB;
+  m.ckpt_bytes_per_node = 2_GiB;
+  m.node_bw_bytes_per_s = 500e6;
+  m.pfs_bw_bytes_per_s = 20e9;
+  m.node_mtbf_hours = 10'000;  // commodity parts, small count
+  m.restart_seconds = 120;
+  return m;
+}
+
+MachineModel infiniband_system() {
+  MachineModel m;
+  m.name = "infiniband";
+  m.net.L = 1'500;   // 1.5 us
+  m.net.o = 1'500;   // 1.5 us, matching classic LogGOPS measurements
+  m.net.g = 2'000;
+  m.net.G = 0.25;    // ~4 GB/s
+  m.net.O = 0.0;
+  m.net.S = 64_KiB;
+  m.ckpt_bytes_per_node = 4_GiB;
+  m.node_bw_bytes_per_s = 1.5e9;
+  m.pfs_bw_bytes_per_s = 200e9;
+  m.node_mtbf_hours = 25'000;  // capability-class, 5-year node MTBF
+  m.restart_seconds = 300;
+  return m;
+}
+
+MachineModel torus_hpc() {
+  MachineModel m;
+  m.name = "torus";
+  m.net.L = 2'000;
+  m.net.o = 800;
+  m.net.g = 1'200;
+  m.net.G = 0.20;
+  m.net.O = 0.0;
+  m.net.S = 32_KiB;
+  m.ckpt_bytes_per_node = 8_GiB;
+  m.node_bw_bytes_per_s = 2.0e9;
+  m.pfs_bw_bytes_per_s = 500e9;
+  m.node_mtbf_hours = 25'000;
+  m.restart_seconds = 300;
+  return m;
+}
+
+MachineModel bgq_like() {
+  MachineModel m;
+  m.name = "bgq";
+  m.net.L = 2'500;
+  m.net.o = 500;
+  m.net.g = 700;
+  m.net.G = 0.55;   // ~1.8 GB/s per link
+  m.net.O = 0.0;
+  m.net.S = 32_KiB;
+  m.ckpt_bytes_per_node = 1_GiB;   // small memory per node
+  m.node_bw_bytes_per_s = 0.7e9;
+  m.pfs_bw_bytes_per_s = 240e9;
+  m.node_mtbf_hours = 50'000;      // famously reliable nodes
+  m.restart_seconds = 600;
+  return m;
+}
+
+MachineModel exascale_projection() {
+  MachineModel m;
+  m.name = "exascale";
+  m.net.L = 800;
+  m.net.o = 400;
+  m.net.g = 500;
+  m.net.G = 0.04;   // ~25 GB/s
+  m.net.O = 0.0;
+  m.net.S = 128_KiB;
+  m.ckpt_bytes_per_node = 32_GiB;
+  m.node_bw_bytes_per_s = 5e9;
+  m.pfs_bw_bytes_per_s = 2e12;
+  m.bb_bw_bytes_per_s = 20e9;
+  m.node_mtbf_hours = 10'000;  // denser nodes, lower per-node MTBF
+  m.restart_seconds = 300;
+  return m;
+}
+
+std::vector<MachineModel> all_machines() {
+  return {ethernet_cluster(), infiniband_system(), torus_hpc(), bgq_like(),
+          exascale_projection()};
+}
+
+MachineModel machine_by_name(const std::string& name) {
+  for (MachineModel& m : all_machines()) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("unknown machine model: " + name);
+}
+
+}  // namespace chksim::net

@@ -1,0 +1,62 @@
+// Named machine models: LogGOPS network parameters plus the storage and
+// reliability parameters needed by the checkpointing study. Values are
+// representative of published measurements for each class of system; the
+// study's conclusions depend on their relative magnitudes, not on matching
+// any specific installation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chksim/sim/loggops.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::net {
+
+/// Everything the study needs to know about a machine.
+struct MachineModel {
+  std::string name;
+  sim::LogGOPSParams net;
+
+  // Storage: a node checkpoints `ckpt_bytes_per_node` through a link of
+  // `node_bw_bytes_per_s` into a parallel file system with aggregate
+  // bandwidth `pfs_bw_bytes_per_s` shared by all concurrent writers.
+  Bytes ckpt_bytes_per_node = 0;
+  double node_bw_bytes_per_s = 0;
+  double pfs_bw_bytes_per_s = 0;
+  /// Optional node-local burst-buffer bandwidth (0 = no burst buffer).
+  double bb_bw_bytes_per_s = 0;
+
+  // Reliability.
+  double node_mtbf_hours = 0;   ///< Per-node mean time between failures.
+  double restart_seconds = 0;   ///< Fixed restart/relaunch cost after failure.
+
+  /// System MTBF for `nodes` nodes assuming independent exponential failures.
+  double system_mtbf_seconds(int nodes) const {
+    return node_mtbf_hours * 3600.0 / static_cast<double>(nodes);
+  }
+};
+
+/// A commodity Ethernet cluster: high latency/overhead, modest storage.
+MachineModel ethernet_cluster();
+
+/// An InfiniBand capability system (the default model for experiments).
+MachineModel infiniband_system();
+
+/// A Cray-Gemini/Aries-class torus machine.
+MachineModel torus_hpc();
+
+/// A BlueGene/Q-class machine: low, very uniform network costs.
+MachineModel bgq_like();
+
+/// A projected exascale-era machine: fast network, huge node count regime,
+/// burst-buffer storage, shorter per-node MTBF.
+MachineModel exascale_projection();
+
+/// All presets, for the parameter table (T2).
+std::vector<MachineModel> all_machines();
+
+/// Lookup by name; throws std::invalid_argument on unknown names.
+MachineModel machine_by_name(const std::string& name);
+
+}  // namespace chksim::net

@@ -1,0 +1,179 @@
+#include "chksim/net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "chksim/support/rng.hpp"
+
+namespace chksim::net {
+
+double Topology::mean_hops(int max_exact) const {
+  const int n = nodes();
+  if (n < 2) return 0.0;
+  if (n <= max_exact) {
+    double sum = 0;
+    std::int64_t pairs = 0;
+    for (sim::RankId a = 0; a < n; ++a) {
+      for (sim::RankId b = a + 1; b < n; ++b) {
+        sum += hops(a, b);
+        ++pairs;
+      }
+    }
+    return sum / static_cast<double>(pairs);
+  }
+  // Deterministic sampling for big systems.
+  Rng rng(0xABCDEF);
+  double sum = 0;
+  const int samples = 200'000;
+  int counted = 0;
+  for (int i = 0; i < samples; ++i) {
+    const auto a = static_cast<sim::RankId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<sim::RankId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    sum += hops(a, b);
+    ++counted;
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+int Topology::diameter(int max_exact) const {
+  const int n = nodes();
+  if (n < 2) return 0;
+  int best = 0;
+  if (n <= max_exact) {
+    for (sim::RankId a = 0; a < n; ++a)
+      for (sim::RankId b = a + 1; b < n; ++b) best = std::max(best, hops(a, b));
+    return best;
+  }
+  Rng rng(0x13579B);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto a = static_cast<sim::RankId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<sim::RankId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    best = std::max(best, hops(a, b));
+  }
+  return best;
+}
+
+FullyConnected::FullyConnected(int nodes) : nodes_(nodes) {
+  if (nodes <= 0) throw std::invalid_argument("FullyConnected: nodes must be > 0");
+}
+
+int FullyConnected::hops(sim::RankId a, sim::RankId b) const { return a == b ? 0 : 1; }
+
+Torus::Torus(std::array<int, 3> dims) : dims_(dims) {
+  for (int d : dims_)
+    if (d <= 0) throw std::invalid_argument("Torus: dimensions must be > 0");
+}
+
+std::string Torus::name() const {
+  return "torus-" + std::to_string(dims_[0]) + "x" + std::to_string(dims_[1]) + "x" +
+         std::to_string(dims_[2]);
+}
+
+std::array<int, 3> Torus::coords_of(sim::RankId r) const {
+  std::array<int, 3> c{};
+  c[0] = static_cast<int>(r) % dims_[0];
+  c[1] = (static_cast<int>(r) / dims_[0]) % dims_[1];
+  c[2] = static_cast<int>(r) / (dims_[0] * dims_[1]);
+  return c;
+}
+
+int Torus::hops(sim::RankId a, sim::RankId b) const {
+  assert(a >= 0 && a < nodes() && b >= 0 && b < nodes());
+  const auto ca = coords_of(a);
+  const auto cb = coords_of(b);
+  int h = 0;
+  for (int d = 0; d < 3; ++d) {
+    const int direct = std::abs(ca[d] - cb[d]);
+    h += std::min(direct, dims_[d] - direct);
+  }
+  return h;
+}
+
+Torus Torus::near_cubic(int nodes) {
+  if (nodes <= 0) throw std::invalid_argument("Torus: nodes must be > 0");
+  // Greedy near-cubic factorisation: find x <= y <= z with x*y*z == nodes
+  // and x as close to cbrt(nodes) as possible.
+  int best_x = 1;
+  for (int x = 1; x * x * x <= nodes; ++x)
+    if (nodes % x == 0) best_x = x;
+  const int rest = nodes / best_x;
+  int best_y = 1;
+  for (int y = best_x; y * y <= rest; ++y)
+    if (rest % y == 0) best_y = y;
+  // best_y may be < best_x when rest has no factor >= best_x below sqrt;
+  // fall back to the largest divisor of rest that is <= sqrt(rest).
+  if (best_y < best_x) {
+    best_y = 1;
+    for (int y = 1; y * y <= rest; ++y)
+      if (rest % y == 0) best_y = y;
+  }
+  return Torus({best_x, best_y, rest / best_y});
+}
+
+FatTree::FatTree(int nodes, int radix) : nodes_(nodes), radix_(radix) {
+  if (nodes <= 0) throw std::invalid_argument("FatTree: nodes must be > 0");
+  if (radix < 2) throw std::invalid_argument("FatTree: radix must be >= 2");
+  // levels = number of switch tiers needed so that (radix/2)^levels >= nodes
+  // (each tier halves the ports available for downlinks).
+  const int down = std::max(2, radix / 2);
+  levels_ = 1;
+  std::int64_t reach = down;
+  while (reach < nodes) {
+    reach *= down;
+    ++levels_;
+  }
+}
+
+std::string FatTree::name() const {
+  return "fat-tree-r" + std::to_string(radix_) + "-l" + std::to_string(levels_);
+}
+
+int FatTree::hops(sim::RankId a, sim::RankId b) const {
+  assert(a >= 0 && a < nodes_ && b >= 0 && b < nodes_);
+  if (a == b) return 0;
+  const int down = std::max(2, radix_ / 2);
+  // Find the level of the lowest common ancestor: smallest l such that
+  // a / down^l == b / down^l.
+  std::int64_t block = down;
+  int level = 1;
+  while (a / block != b / block) {
+    block *= down;
+    ++level;
+  }
+  return 2 * level;  // up `level` switches and down again
+}
+
+Dragonfly::Dragonfly(int nodes, int group_size, int router_size)
+    : nodes_(nodes), group_size_(group_size), router_size_(router_size) {
+  if (nodes <= 0) throw std::invalid_argument("Dragonfly: nodes must be > 0");
+  if (group_size <= 0 || router_size <= 0 || group_size % router_size != 0)
+    throw std::invalid_argument("Dragonfly: group_size must be a positive multiple of router_size");
+}
+
+std::string Dragonfly::name() const {
+  return "dragonfly-g" + std::to_string(group_size_) + "-r" + std::to_string(router_size_);
+}
+
+int Dragonfly::hops(sim::RankId a, sim::RankId b) const {
+  assert(a >= 0 && a < nodes_ && b >= 0 && b < nodes_);
+  if (a == b) return 0;
+  const int ga = static_cast<int>(a) / group_size_;
+  const int gb = static_cast<int>(b) / group_size_;
+  const int ra = static_cast<int>(a) / router_size_;
+  const int rb = static_cast<int>(b) / router_size_;
+  if (ra == rb) return 1;              // same router
+  if (ga == gb) return 2;              // local link within group
+  return 5;                            // min global route: up, local, global, local, down
+}
+
+sim::LogGOPSParams effective_params(const sim::LogGOPSParams& base,
+                                    const Topology& topo, TimeNs per_hop_ns) {
+  sim::LogGOPSParams p = base;
+  p.L = base.L + static_cast<TimeNs>(topo.mean_hops() * static_cast<double>(per_hop_ns));
+  return p;
+}
+
+}  // namespace chksim::net

@@ -1,0 +1,103 @@
+// Topology models: hop counts between ranks for common HPC interconnect
+// shapes. The LogGOPS engine uses a uniform latency L; topologies refine the
+// *effective* latency (L + mean-hops * per-hop latency) and feed the
+// analytic coordination-cost models, where tree depth interacts with
+// physical distance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "chksim/sim/op.hpp"
+#include "chksim/sim/loggops.hpp"
+
+namespace chksim::net {
+
+/// Abstract hop-count model over ranks 0..nodes-1 (one rank per node).
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  virtual std::string name() const = 0;
+  virtual int nodes() const = 0;
+  /// Network hops between two ranks (0 when a == b).
+  virtual int hops(sim::RankId a, sim::RankId b) const = 0;
+
+  /// Mean hop count over distinct pairs, computed by sampling for large
+  /// systems (> max_exact nodes) and exactly otherwise. Deterministic.
+  double mean_hops(int max_exact = 512) const;
+
+  /// Maximum hop count (network diameter), exact for <= max_exact nodes,
+  /// sampled otherwise.
+  int diameter(int max_exact = 512) const;
+};
+
+/// Fully connected (single switch): one hop between any distinct pair.
+class FullyConnected final : public Topology {
+ public:
+  explicit FullyConnected(int nodes);
+  std::string name() const override { return "fully-connected"; }
+  int nodes() const override { return nodes_; }
+  int hops(sim::RankId a, sim::RankId b) const override;
+
+ private:
+  int nodes_;
+};
+
+/// k-dimensional torus with per-dimension wraparound distance.
+class Torus final : public Topology {
+ public:
+  /// dims: extent of each dimension; nodes = product of extents.
+  explicit Torus(std::array<int, 3> dims);
+  std::string name() const override;
+  int nodes() const override { return dims_[0] * dims_[1] * dims_[2]; }
+  int hops(sim::RankId a, sim::RankId b) const override;
+
+  /// Factor `nodes` into a near-cubic 3D shape.
+  static Torus near_cubic(int nodes);
+
+ private:
+  std::array<int, 3> coords_of(sim::RankId r) const;
+  std::array<int, 3> dims_;
+};
+
+/// Fat tree with `radix`-port switches: hop count is 2 * (levels to the
+/// lowest common ancestor). Leaves per edge switch = radix / 2.
+class FatTree final : public Topology {
+ public:
+  FatTree(int nodes, int radix);
+  std::string name() const override;
+  int nodes() const override { return nodes_; }
+  int hops(sim::RankId a, sim::RankId b) const override;
+  int levels() const { return levels_; }
+
+ private:
+  int nodes_;
+  int radix_;
+  int levels_;
+};
+
+/// Dragonfly: groups of `group_size` nodes; 1 hop within a router's nodes,
+/// intra-group via local links, one global hop between groups
+/// (min-route: h <= 5 = node-router, local, global, local, router-node).
+class Dragonfly final : public Topology {
+ public:
+  Dragonfly(int nodes, int group_size, int router_size);
+  std::string name() const override;
+  int nodes() const override { return nodes_; }
+  int hops(sim::RankId a, sim::RankId b) const override;
+
+ private:
+  int nodes_;
+  int group_size_;
+  int router_size_;
+};
+
+/// Effective LogGOPS parameters for a topology: L is replaced by
+/// L + mean_hops * per_hop_ns. This folds physical distance into the
+/// contentionless LogGOPS abstraction.
+sim::LogGOPSParams effective_params(const sim::LogGOPSParams& base,
+                                    const Topology& topo, TimeNs per_hop_ns);
+
+}  // namespace chksim::net

@@ -1,0 +1,85 @@
+#include "chksim/noise/noise.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "chksim/support/rng.hpp"
+
+namespace chksim::noise {
+
+std::unique_ptr<sim::BlackoutSchedule> make_periodic_noise(
+    int ranks, const PeriodicNoiseConfig& cfg) {
+  if (ranks <= 0) throw std::invalid_argument("noise: ranks must be > 0");
+  if (cfg.period <= 0 || cfg.duration < 0 || cfg.duration > cfg.period)
+    throw std::invalid_argument("noise: need 0 <= duration <= period, period > 0");
+  if (cfg.aligned)
+    return std::make_unique<sim::PeriodicBlackouts>(cfg.period, cfg.duration, TimeNs{0});
+  std::vector<TimeNs> phases(static_cast<std::size_t>(ranks));
+  Rng rng(cfg.seed);
+  for (auto& p : phases)
+    p = static_cast<TimeNs>(rng.uniform_u64(static_cast<std::uint64_t>(cfg.period)));
+  return std::make_unique<sim::PeriodicBlackouts>(cfg.period, cfg.duration,
+                                                  std::move(phases));
+}
+
+std::unique_ptr<sim::BlackoutSchedule> make_poisson_noise(int ranks, TimeNs mean_gap,
+                                                          TimeNs duration, TimeNs horizon,
+                                                          std::uint64_t seed) {
+  if (ranks <= 0) throw std::invalid_argument("noise: ranks must be > 0");
+  if (mean_gap <= 0 || duration <= 0 || horizon <= 0)
+    throw std::invalid_argument("noise: mean_gap, duration, horizon must be > 0");
+  std::vector<std::vector<sim::Interval>> per_rank(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    Rng rng = Rng::substream(seed, static_cast<std::uint64_t>(r));
+    TimeNs t = 0;
+    auto& list = per_rank[static_cast<std::size_t>(r)];
+    while (true) {
+      const TimeNs gap = units::from_seconds(
+          rng.exponential(units::to_seconds(mean_gap)));
+      if (gap <= 0) continue;
+      if (t > horizon - gap) break;
+      t += gap;
+      list.push_back(sim::Interval{t, t + duration});
+      t += duration;
+    }
+  }
+  return std::make_unique<sim::ListBlackouts>(std::move(per_rank));
+}
+
+std::unique_ptr<sim::BlackoutSchedule> make_single_blackout(int ranks, sim::RankId rank,
+                                                            sim::Interval interval) {
+  if (ranks <= 0 || rank < 0 || rank >= ranks)
+    throw std::invalid_argument("noise: rank out of range");
+  if (interval.end < interval.begin)
+    throw std::invalid_argument("noise: malformed interval");
+  std::vector<std::vector<sim::Interval>> per_rank(static_cast<std::size_t>(ranks));
+  per_rank[static_cast<std::size_t>(rank)].push_back(interval);
+  return std::make_unique<sim::ListBlackouts>(std::move(per_rank));
+}
+
+AmplificationReport measure_amplification(const sim::Program& program,
+                                          const sim::EngineConfig& base_config,
+                                          const sim::BlackoutSchedule& noise,
+                                          double injected) {
+  if (injected < 0) throw std::invalid_argument("noise: injected fraction must be >= 0");
+  AmplificationReport rep;
+  rep.injected = injected;
+
+  sim::EngineConfig base = base_config;
+  base.blackouts = nullptr;
+  const sim::RunResult r0 = sim::run_program(program, base);
+  if (!r0.completed) throw std::runtime_error("base run did not complete: " + r0.error);
+  rep.base_makespan = r0.makespan;
+
+  sim::EngineConfig noisy = base_config;
+  noisy.blackouts = &noise;
+  const sim::RunResult r1 = sim::run_program(program, noisy);
+  if (!r1.completed) throw std::runtime_error("noisy run did not complete: " + r1.error);
+  rep.noisy_makespan = r1.makespan;
+
+  rep.slowdown = static_cast<double>(r1.makespan) / static_cast<double>(r0.makespan);
+  rep.amplification = injected > 0 ? (rep.slowdown - 1.0) / injected : 0.0;
+  return rep;
+}
+
+}  // namespace chksim::noise

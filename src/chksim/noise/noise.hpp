@@ -1,0 +1,64 @@
+// OS-noise injection and amplification analysis.
+//
+// Checkpointing activity is, from the application's point of view,
+// low-frequency high-amplitude noise. This module provides noise schedules
+// built on the same blackout machinery as the checkpoint protocols, plus the
+// amplification metric that connects the two: how much total application
+// slowdown results per unit of injected per-rank unavailability.
+#pragma once
+
+#include <memory>
+
+#include "chksim/sim/availability.hpp"
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::noise {
+
+struct PeriodicNoiseConfig {
+  TimeNs period = 1'000'000;   ///< 1 kHz default.
+  TimeNs duration = 10'000;    ///< 10 us detour per event (1% noise).
+  /// Random per-rank phases (uncoordinated noise, the realistic case) or a
+  /// single common phase (co-scheduled noise).
+  bool aligned = false;
+  std::uint64_t seed = 1;
+};
+
+/// Strictly periodic noise on every rank.
+std::unique_ptr<sim::BlackoutSchedule> make_periodic_noise(int ranks,
+                                                           const PeriodicNoiseConfig& cfg);
+
+/// Poisson noise: exponentially-distributed gaps with the given mean, fixed
+/// event duration, pre-generated up to `horizon` per rank.
+std::unique_ptr<sim::BlackoutSchedule> make_poisson_noise(int ranks, TimeNs mean_gap,
+                                                          TimeNs duration, TimeNs horizon,
+                                                          std::uint64_t seed);
+
+/// A single blackout interval on a single rank (delay-propagation probes).
+std::unique_ptr<sim::BlackoutSchedule> make_single_blackout(int ranks, sim::RankId rank,
+                                                            sim::Interval interval);
+
+/// Injected unavailability fraction of a periodic schedule.
+inline double injected_fraction(const PeriodicNoiseConfig& cfg) {
+  return static_cast<double>(cfg.duration) / static_cast<double>(cfg.period);
+}
+
+struct AmplificationReport {
+  TimeNs base_makespan = 0;
+  TimeNs noisy_makespan = 0;
+  double slowdown = 1.0;           ///< noisy / base.
+  double injected = 0;             ///< injected unavailability fraction.
+  /// (slowdown - 1) / injected: 1.0 = full absorption boundary; values > 1
+  /// mean the network dependency graph amplifies the perturbation, < 1 that
+  /// slack absorbs part of it.
+  double amplification = 0;
+};
+
+/// Run `program` with and without `noise` and report the amplification of
+/// an injected fraction `injected` (pass injected_fraction(cfg) for
+/// periodic noise). The program must be finalized.
+AmplificationReport measure_amplification(const sim::Program& program,
+                                          const sim::EngineConfig& base_config,
+                                          const sim::BlackoutSchedule& noise,
+                                          double injected);
+
+}  // namespace chksim::noise

@@ -1,0 +1,200 @@
+#include "chksim/sim/availability.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chksim::sim {
+
+ListBlackouts::ListBlackouts(std::vector<std::vector<Interval>> per_rank)
+    : per_rank_(std::move(per_rank)) {
+  for (auto& list : per_rank_) {
+    std::sort(list.begin(), list.end(),
+              [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+    // Merge overlapping/abutting intervals and drop empty ones.
+    std::vector<Interval> merged;
+    for (const Interval& iv : list) {
+      assert(iv.end >= iv.begin);
+      if (iv.end == iv.begin) continue;
+      if (!merged.empty() && iv.begin <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, iv.end);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    list = std::move(merged);
+  }
+}
+
+std::optional<Interval> ListBlackouts::next_blackout(RankId rank, TimeNs t) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= per_rank_.size()) return std::nullopt;
+  const auto& list = per_rank_[static_cast<std::size_t>(rank)];
+  // First interval with end > t.
+  auto it = std::upper_bound(list.begin(), list.end(), t,
+                             [](TimeNs v, const Interval& iv) { return v < iv.end; });
+  if (it == list.end()) return std::nullopt;
+  return *it;
+}
+
+TimeNs ListBlackouts::total(RankId rank) const {
+  TimeNs sum = 0;
+  if (rank < 0 || static_cast<std::size_t>(rank) >= per_rank_.size()) return 0;
+  for (const Interval& iv : per_rank_[static_cast<std::size_t>(rank)]) sum += iv.duration();
+  return sum;
+}
+
+PeriodicBlackouts::PeriodicBlackouts(TimeNs period, TimeNs duration, TimeNs phase)
+    : period_(period), duration_(duration), common_phase_(phase) {
+  assert(period > 0 && duration >= 0 && duration <= period && phase >= 0);
+}
+
+PeriodicBlackouts::PeriodicBlackouts(TimeNs period, TimeNs duration,
+                                     std::vector<TimeNs> phases)
+    : period_(period), duration_(duration), phases_(std::move(phases)) {
+  assert(period > 0 && duration >= 0 && duration <= period);
+  for ([[maybe_unused]] TimeNs p : phases_) assert(p >= 0);
+}
+
+void PeriodicBlackouts::set_active_window(TimeNs from, TimeNs until) {
+  assert(from <= until);
+  active_from_ = from;
+  active_until_ = until;
+}
+
+TimeNs PeriodicBlackouts::phase_of(RankId rank) const {
+  if (phases_.empty()) return common_phase_;
+  assert(rank >= 0 && static_cast<std::size_t>(rank) < phases_.size());
+  return phases_[static_cast<std::size_t>(rank)];
+}
+
+std::optional<Interval> PeriodicBlackouts::next_blackout(RankId rank, TimeNs t) const {
+  if (duration_ == 0) return std::nullopt;
+  const TimeNs phase = phase_of(rank);
+  // First k such that interval end (phase + k*period + duration) > t.
+  TimeNs k = 0;
+  if (t >= phase + duration_) {
+    k = (t - phase - duration_) / period_ + 1;
+    // Division may overshoot by one when (t - phase - duration) is an exact
+    // multiple; re-check the previous candidate.
+    if (k > 0 && phase + (k - 1) * period_ + duration_ > t) --k;
+  }
+  TimeNs begin = phase + k * period_;
+  if (begin < active_from_) {
+    const TimeNs skip = (active_from_ - begin + period_ - 1) / period_;
+    begin += skip * period_;
+  }
+  if (begin >= active_until_) return std::nullopt;
+  return Interval{begin, begin + duration_};
+}
+
+PatternedBlackouts::PatternedBlackouts(TimeNs period, std::vector<TimeNs> durations,
+                                       TimeNs phase)
+    : period_(period), durations_(std::move(durations)), common_phase_(phase) {
+  assert(period > 0 && phase >= 0 && !durations_.empty());
+  for ([[maybe_unused]] TimeNs d : durations_) assert(d >= 0 && d <= period);
+}
+
+PatternedBlackouts::PatternedBlackouts(TimeNs period, std::vector<TimeNs> durations,
+                                       std::vector<TimeNs> phases)
+    : period_(period), durations_(std::move(durations)), phases_(std::move(phases)) {
+  assert(period > 0 && !durations_.empty());
+  for ([[maybe_unused]] TimeNs d : durations_) assert(d >= 0 && d <= period);
+  for ([[maybe_unused]] TimeNs p : phases_) assert(p >= 0);
+}
+
+TimeNs PatternedBlackouts::phase_of(RankId rank) const {
+  if (phases_.empty()) return common_phase_;
+  assert(rank >= 0 && static_cast<std::size_t>(rank) < phases_.size());
+  return phases_[static_cast<std::size_t>(rank)];
+}
+
+TimeNs PatternedBlackouts::mean_duration() const {
+  TimeNs sum = 0;
+  for (TimeNs d : durations_) sum += d;
+  return sum / static_cast<TimeNs>(durations_.size());
+}
+
+std::optional<Interval> PatternedBlackouts::next_blackout(RankId rank, TimeNs t) const {
+  const TimeNs phase = phase_of(rank);
+  // Candidate occurrence: first k whose begin could have end > t. Zero-length
+  // occurrences (duration 0) are skipped by advancing k.
+  TimeNs k = 0;
+  if (t > phase) k = (t - phase) / period_;
+  if (k > 0) --k;  // step back one: the previous occurrence may still cover t
+  for (int guard = 0; guard < 4 + static_cast<int>(durations_.size()); ++guard, ++k) {
+    const TimeNs begin = phase + k * period_;
+    const TimeNs dur =
+        durations_[static_cast<std::size_t>(k % static_cast<TimeNs>(durations_.size()))];
+    if (dur == 0) continue;
+    if (begin + dur > t) return Interval{begin, begin + dur};
+  }
+  // Only reachable when every duration in the pattern is zero.
+  return std::nullopt;
+}
+
+UnionBlackouts::UnionBlackouts(std::vector<const BlackoutSchedule*> parts)
+    : parts_(std::move(parts)) {
+  for ([[maybe_unused]] auto* p : parts_) assert(p != nullptr);
+}
+
+std::optional<Interval> UnionBlackouts::next_blackout(RankId rank, TimeNs t) const {
+  // Earliest interval among parts, merged with any parts it overlaps so the
+  // result sequence is non-overlapping and ordered.
+  std::optional<Interval> best;
+  for (const auto* part : parts_) {
+    const auto iv = part->next_blackout(rank, t);
+    if (!iv) continue;
+    if (!best || iv->begin < best->begin) best = iv;
+  }
+  if (!best) return std::nullopt;
+  // Extend across overlapping intervals from other parts (fixed point).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto* part : parts_) {
+      const auto iv = part->next_blackout(rank, best->begin);
+      if (iv && iv->begin <= best->end && iv->end > best->end) {
+        best->end = iv->end;
+        grew = true;
+      }
+      // Also check intervals starting inside the current union.
+      const auto iv2 = part->next_blackout(rank, best->end - 1);
+      if (iv2 && iv2->begin <= best->end && iv2->end > best->end) {
+        best->end = iv2->end;
+        grew = true;
+      }
+    }
+  }
+  return best;
+}
+
+TimeNs Availability::next_available(RankId rank, TimeNs t) const {
+  TimeNs cur = t;
+  while (true) {
+    const auto iv = schedule_->next_blackout(rank, cur);
+    if (!iv || !iv->contains(cur)) return cur;
+    cur = iv->end;
+  }
+}
+
+TimeNs Availability::finish(RankId rank, TimeNs t, TimeNs work) const {
+  assert(work >= 0);
+  TimeNs cur = next_available(rank, t);
+  if (work == 0) return cur;
+  if (mode_ == Preemption::kPreemptive) {
+    TimeNs remaining = work;
+    while (true) {
+      const auto iv = schedule_->next_blackout(rank, cur);
+      if (!iv || cur + remaining <= iv->begin) return cur + remaining;
+      remaining -= iv->begin - cur;
+      cur = next_available(rank, iv->end);
+    }
+  }
+  // Non-preemptive: first gap of at least `work`.
+  while (true) {
+    const auto iv = schedule_->next_blackout(rank, cur);
+    if (!iv || cur + work <= iv->begin) return cur + work;
+    cur = next_available(rank, iv->end);
+  }
+}
+
+}  // namespace chksim::sim

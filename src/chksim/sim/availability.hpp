@@ -1,0 +1,156 @@
+// CPU-availability modelling: checkpoint activity and OS noise are both
+// represented as per-rank "blackout" intervals during which the rank's CPU
+// makes no progress on application work. This is the resilience-as-noise
+// injection technique of the LogGOPSim methodology.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chksim/sim/op.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::sim {
+
+/// Half-open time interval [begin, end).
+struct Interval {
+  TimeNs begin = 0;
+  TimeNs end = 0;
+
+  TimeNs duration() const { return end - begin; }
+  bool contains(TimeNs t) const { return t >= begin && t < end; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Lazily-queried per-rank blackout schedule. Implementations must return
+/// non-overlapping intervals in increasing order: for fixed rank,
+/// next_blackout(rank, t) is the first interval whose end is > t.
+class BlackoutSchedule {
+ public:
+  virtual ~BlackoutSchedule() = default;
+  virtual std::optional<Interval> next_blackout(RankId rank, TimeNs t) const = 0;
+};
+
+/// The always-available schedule.
+class NoBlackouts final : public BlackoutSchedule {
+ public:
+  std::optional<Interval> next_blackout(RankId, TimeNs) const override {
+    return std::nullopt;
+  }
+};
+
+/// Explicit per-rank interval lists. Intervals are sorted and overlapping or
+/// abutting entries are merged at construction.
+class ListBlackouts final : public BlackoutSchedule {
+ public:
+  explicit ListBlackouts(std::vector<std::vector<Interval>> per_rank);
+
+  std::optional<Interval> next_blackout(RankId rank, TimeNs t) const override;
+
+  /// Total blackout time scheduled for `rank`.
+  TimeNs total(RankId rank) const;
+  int ranks() const { return static_cast<int>(per_rank_.size()); }
+
+ private:
+  std::vector<std::vector<Interval>> per_rank_;
+};
+
+/// Strictly periodic blackouts: rank r blacks out during
+/// [phase[r] + k*period, phase[r] + k*period + duration) for every k >= 0
+/// with interval start inside [active_from, active_until).
+class PeriodicBlackouts final : public BlackoutSchedule {
+ public:
+  /// Same phase on every rank (a coordinated schedule).
+  PeriodicBlackouts(TimeNs period, TimeNs duration, TimeNs phase = 0);
+
+  /// Per-rank phases (an uncoordinated schedule). phases[r] must be >= 0.
+  PeriodicBlackouts(TimeNs period, TimeNs duration, std::vector<TimeNs> phases);
+
+  /// Restrict the schedule to interval starts within [from, until).
+  void set_active_window(TimeNs from, TimeNs until);
+
+  std::optional<Interval> next_blackout(RankId rank, TimeNs t) const override;
+
+  TimeNs period() const { return period_; }
+  TimeNs duration() const { return duration_; }
+
+ private:
+  TimeNs phase_of(RankId rank) const;
+
+  TimeNs period_;
+  TimeNs duration_;
+  TimeNs common_phase_ = 0;
+  std::vector<TimeNs> phases_;  // empty => common_phase_ applies to all ranks
+  TimeNs active_from_ = 0;
+  TimeNs active_until_ = std::numeric_limits<TimeNs>::max();
+};
+
+/// Cyclic pattern of blackout durations: occurrence k (k = 0, 1, ...) of the
+/// period starting at phase[r] + k*period lasts durations[k % durations.size()].
+/// Models incremental checkpointing: a long full checkpoint followed by
+/// several short delta checkpoints, repeating.
+class PatternedBlackouts final : public BlackoutSchedule {
+ public:
+  /// Same phase on every rank.
+  PatternedBlackouts(TimeNs period, std::vector<TimeNs> durations, TimeNs phase = 0);
+
+  /// Per-rank phases.
+  PatternedBlackouts(TimeNs period, std::vector<TimeNs> durations,
+                     std::vector<TimeNs> phases);
+
+  std::optional<Interval> next_blackout(RankId rank, TimeNs t) const override;
+
+  TimeNs period() const { return period_; }
+  /// Mean blackout duration over one pattern cycle.
+  TimeNs mean_duration() const;
+
+ private:
+  TimeNs phase_of(RankId rank) const;
+
+  TimeNs period_;
+  std::vector<TimeNs> durations_;
+  TimeNs common_phase_ = 0;
+  std::vector<TimeNs> phases_;
+};
+
+/// Overlay of several schedules; next_blackout returns the earliest
+/// constituent interval, truncated so that results never overlap out of
+/// order. Used to combine a checkpoint schedule with an OS-noise schedule.
+class UnionBlackouts final : public BlackoutSchedule {
+ public:
+  explicit UnionBlackouts(std::vector<const BlackoutSchedule*> parts);
+  std::optional<Interval> next_blackout(RankId rank, TimeNs t) const override;
+
+ private:
+  std::vector<const BlackoutSchedule*> parts_;
+};
+
+/// Whether in-progress work is paused by a blackout (preemptive, the default
+/// model: a system-level checkpointer freezes the process) or whether work
+/// must fit entirely between blackouts (non-preemptive).
+enum class Preemption { kPreemptive, kNonPreemptive };
+
+/// Availability calculator: answers "when can work start" and "when does
+/// work finish" against a blackout schedule.
+class Availability {
+ public:
+  Availability(const BlackoutSchedule* schedule, Preemption mode)
+      : schedule_(schedule), mode_(mode) {}
+
+  /// First instant >= t at which `rank` is available.
+  TimeNs next_available(RankId rank, TimeNs t) const;
+
+  /// Completion time of `work` ns of CPU starting no earlier than t.
+  /// Preemptive mode pauses across blackouts; non-preemptive mode waits for
+  /// a gap of at least `work`. work == 0 completes at next_available(t).
+  TimeNs finish(RankId rank, TimeNs t, TimeNs work) const;
+
+  Preemption mode() const { return mode_; }
+
+ private:
+  const BlackoutSchedule* schedule_;
+  Preemption mode_;
+};
+
+}  // namespace chksim::sim

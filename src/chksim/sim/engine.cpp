@@ -1,0 +1,305 @@
+#include "chksim/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+namespace chksim::sim {
+
+TimeNs RunResult::total_recv_wait() const {
+  TimeNs sum = 0;
+  for (const RankStats& r : ranks) sum += r.recv_wait;
+  return sum;
+}
+
+double RunResult::mean_cpu_busy() const {
+  if (ranks.empty()) return 0;
+  double sum = 0;
+  for (const RankStats& r : ranks) sum += static_cast<double>(r.cpu_busy);
+  return sum / static_cast<double>(ranks.size());
+}
+
+namespace {
+
+enum class EventKind : std::uint8_t { kReady, kArrival };
+
+struct Event {
+  TimeNs time = 0;
+  std::uint64_t seq = 0;  // tie-breaker: strict FIFO among equal-time events
+  EventKind kind = EventKind::kReady;
+  RankId rank = -1;   // kReady: executing rank; kArrival: destination rank
+  OpIndex op = kInvalidOp;  // kReady only
+  RankId src = -1;    // kArrival only
+  Tag tag = 0;        // kArrival only
+  Bytes bytes = 0;    // kArrival only
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct PostedRecv {
+  OpIndex op;
+  TimeNs post_time;
+};
+
+struct ArrivedMsg {
+  TimeNs arrival;
+  Bytes bytes;
+};
+
+// Match key: (source rank, tag) packed into 64 bits.
+std::uint64_t match_key(RankId src, Tag tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+/// Compact FIFO. std::deque is unsuitable here: libstdc++ allocates a 512 B
+/// chunk per deque even when empty, and simulations at scale hold millions
+/// of (mostly empty) match queues.
+template <typename T>
+class SmallFifo {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  void push(T v) { items_.push_back(std::move(v)); }
+  T pop() {
+    T v = items_[head_++];
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+      if (items_.capacity() > 64) items_.shrink_to_fit();
+    }
+    return v;
+  }
+  std::size_t size() const { return items_.size() - head_; }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+struct MatchQueues {
+  SmallFifo<PostedRecv> posted;
+  SmallFifo<ArrivedMsg> arrived;
+};
+
+struct RankState {
+  TimeNs cpu_free = 0;
+  TimeNs nic_free = 0;
+  std::vector<std::uint32_t> indegree;
+  std::unordered_map<std::uint64_t, MatchQueues> match;
+  std::unordered_map<RankId, TimeNs> chan_last_arrival;  // per-source FIFO clamp
+  RankStats stats;
+};
+
+class Run {
+ public:
+  Run(const Program& program, const EngineConfig& config)
+      : prog_(program),
+        cfg_(config),
+        avail_(config.blackouts != nullptr
+                   ? static_cast<const BlackoutSchedule*>(config.blackouts)
+                   : static_cast<const BlackoutSchedule*>(&no_blackouts_),
+              config.preemption) {}
+
+  RunResult execute() {
+    const int nranks = prog_.ranks();
+    states_.resize(static_cast<std::size_t>(nranks));
+    if (cfg_.record_op_finish) result_.op_finish.resize(static_cast<std::size_t>(nranks));
+    std::int64_t total_ops = 0;
+    for (RankId r = 0; r < nranks; ++r) {
+      const auto& ops = prog_.ops(r);
+      auto& st = states_[static_cast<std::size_t>(r)];
+      st.indegree.resize(ops.size());
+      if (cfg_.record_op_finish)
+        result_.op_finish[static_cast<std::size_t>(r)].assign(ops.size(), -1);
+      for (OpIndex i = 0; i < ops.size(); ++i) {
+        st.indegree[i] = ops[i].indegree;
+        if (ops[i].indegree == 0) push_ready(0, r, i);
+      }
+      total_ops += static_cast<std::int64_t>(ops.size());
+    }
+
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      ++result_.events_processed;
+      if (ev.kind == EventKind::kReady) {
+        execute_op(ev.rank, ev.op, ev.time);
+      } else {
+        handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time);
+      }
+    }
+
+    result_.completed = result_.ops_executed == total_ops;
+    if (!result_.completed) describe_deadlock();
+    result_.ranks.reserve(static_cast<std::size_t>(nranks));
+    for (auto& st : states_) result_.ranks.push_back(st.stats);
+    return std::move(result_);
+  }
+
+ private:
+  void push_ready(TimeNs t, RankId r, OpIndex i) {
+    Event ev;
+    ev.time = t;
+    ev.seq = next_seq_++;
+    ev.kind = EventKind::kReady;
+    ev.rank = r;
+    ev.op = i;
+    queue_.push(ev);
+  }
+
+  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes) {
+    Event ev;
+    ev.time = t;
+    ev.seq = next_seq_++;
+    ev.kind = EventKind::kArrival;
+    ev.rank = dst;
+    ev.src = src;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    queue_.push(ev);
+  }
+
+  void execute_op(RankId r, OpIndex i, TimeNs t) {
+    const Op& op = prog_.ops(r)[i];
+    auto& st = states_[static_cast<std::size_t>(r)];
+    switch (op.kind) {
+      case OpKind::kCalc: {
+        const TimeNs start = std::max(t, st.cpu_free);
+        const TimeNs end = avail_.finish(r, start, op.value);
+        st.cpu_free = end;
+        st.stats.cpu_busy += op.value;
+        ++st.stats.calcs;
+        complete(r, i, end);
+        break;
+      }
+      case OpKind::kSend: {
+        const Bytes bytes = op.value;
+        TimeNs cpu_work = cfg_.net.send_cpu(bytes);
+        if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_send_cpu(r, op.peer, bytes);
+        const TimeNs s0 = std::max({t, st.cpu_free, st.nic_free});
+        const TimeNs end = avail_.finish(r, s0, cpu_work);
+        st.cpu_free = end;
+        st.nic_free = end + cfg_.net.nic_gap(bytes);
+        st.stats.cpu_busy += cpu_work;
+        ++st.stats.sends;
+        st.stats.bytes_sent += bytes;
+
+        // Eager: payload leaves at `end`. Rendezvous: a zero-byte RTS leaves
+        // at `end`; the payload path is computed at match time.
+        TimeNs arrival = cfg_.net.rendezvous(bytes) ? end + cfg_.net.L
+                                                    : end + cfg_.net.wire_time(bytes);
+        // Per-channel FIFO (MPI non-overtaking).
+        auto& dst_state = states_[static_cast<std::size_t>(op.peer)];
+        TimeNs& last = dst_state.chan_last_arrival[r];
+        arrival = std::max(arrival, last);
+        last = arrival;
+        push_arrival(arrival, op.peer, r, op.tag, bytes);
+        complete(r, i, end);
+        break;
+      }
+      case OpKind::kRecv: {
+        const std::uint64_t key = match_key(op.peer, op.tag);
+        auto& mq = st.match[key];
+        if (!mq.arrived.empty()) {
+          do_match(r, i, t, mq.arrived.pop());
+        } else {
+          mq.posted.push(PostedRecv{i, t});
+        }
+        break;
+      }
+    }
+  }
+
+  void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t) {
+    auto& st = states_[static_cast<std::size_t>(dst)];
+    auto& mq = st.match[match_key(src, tag)];
+    if (!mq.posted.empty()) {
+      const PostedRecv pr = mq.posted.pop();
+      do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes});
+    } else {
+      mq.arrived.push(ArrivedMsg{t, bytes});
+    }
+  }
+
+  void do_match(RankId r, OpIndex i, TimeNs post_time, const ArrivedMsg& msg) {
+    const Op& op = prog_.ops(r)[i];
+    auto& st = states_[static_cast<std::size_t>(r)];
+    TimeNs data_arrival = msg.arrival;
+    if (cfg_.net.rendezvous(msg.bytes)) {
+      // msg.arrival is the RTS arrival; the payload moves only after both
+      // sides are ready, plus the CTS round trip and re-injection.
+      const TimeNs m = std::max(post_time, msg.arrival);
+      data_arrival = m + cfg_.net.control_time() + cfg_.net.o + cfg_.net.wire_time(msg.bytes) - cfg_.net.L
+                     + cfg_.net.L;  // = m + (o+L) + o + L + G*bytes
+    }
+    TimeNs cpu_work = cfg_.net.recv_cpu(msg.bytes);
+    if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_recv_cpu(op.peer, r, msg.bytes);
+    const TimeNs start = std::max(data_arrival, st.cpu_free);
+    const TimeNs end = avail_.finish(r, start, cpu_work);
+    st.cpu_free = end;
+    st.stats.cpu_busy += cpu_work;
+    ++st.stats.recvs;
+    if (data_arrival > post_time) st.stats.recv_wait += data_arrival - post_time;
+    complete(r, i, end);
+  }
+
+  void complete(RankId r, OpIndex i, TimeNs t) {
+    auto& st = states_[static_cast<std::size_t>(r)];
+    ++result_.ops_executed;
+    st.stats.finish_time = std::max(st.stats.finish_time, t);
+    result_.makespan = std::max(result_.makespan, t);
+    if (cfg_.record_op_finish) result_.op_finish[static_cast<std::size_t>(r)][i] = t;
+    const Op& op = prog_.ops(r)[i];
+    const auto& succ = prog_.successors(r);
+    for (std::uint32_t k = 0; k < op.succ_count; ++k) {
+      const OpIndex v = succ[op.succ_begin + k];
+      assert(st.indegree[v] > 0);
+      if (--st.indegree[v] == 0) push_ready(t, r, v);
+    }
+  }
+
+  void describe_deadlock() {
+    std::string msg = "deadlock: unexecuted operations remain;";
+    int shown = 0;
+    for (RankId r = 0; r < prog_.ranks() && shown < 8; ++r) {
+      const auto& st = states_[static_cast<std::size_t>(r)];
+      std::int64_t pending_recvs = 0;
+      for (const auto& [key, mq] : st.match) {
+        (void)key;
+        pending_recvs += static_cast<std::int64_t>(mq.posted.size());
+      }
+      if (pending_recvs > 0) {
+        msg += " rank " + std::to_string(r) + " has " +
+               std::to_string(pending_recvs) + " unmatched recv(s);";
+        ++shown;
+      }
+    }
+    result_.error = msg;
+  }
+
+  const Program& prog_;
+  const EngineConfig& cfg_;
+  NoBlackouts no_blackouts_;
+  Availability avail_;
+  std::vector<RankState> states_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_seq_ = 0;
+  RunResult result_;
+};
+
+}  // namespace
+
+RunResult Engine::run(const Program& program, const EngineConfig& config) const {
+  if (!program.finalized())
+    throw std::logic_error("Engine::run requires a finalized Program");
+  Run run(program, config);
+  return run.execute();
+}
+
+}  // namespace chksim::sim

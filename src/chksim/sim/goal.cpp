@@ -1,0 +1,217 @@
+#include "chksim/sim/goal.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace chksim::sim {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("GOAL parse error at line " + std::to_string(line) +
+                              ": " + what);
+}
+
+/// Minimal whitespace tokenizer for one line (strips '#' comments).
+std::vector<std::string> tokens_of(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+std::int64_t parse_int(const std::string& tok, int line, const char* what) {
+  std::int64_t v = 0;
+  std::size_t used = 0;
+  try {
+    v = std::stoll(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;  // malformed or out of range; reported below
+  }
+  if (used == 0 || used != tok.size())
+    fail(line, std::string("bad ") + what + ": " + tok);
+  return v;
+}
+
+/// "l<id>:" or "l<id>" -> id.
+std::int64_t parse_label(std::string tok, int line) {
+  if (!tok.empty() && tok.back() == ':') tok.pop_back();
+  if (tok.size() < 2 || tok[0] != 'l') fail(line, "expected label, got: " + tok);
+  return parse_int(tok.substr(1), line, "label");
+}
+
+/// "<n>b" -> n.
+Bytes parse_bytes(std::string tok, int line) {
+  if (tok.empty() || tok.back() != 'b') fail(line, "expected byte count like 64b: " + tok);
+  tok.pop_back();
+  return parse_int(tok, line, "byte count");
+}
+
+}  // namespace
+
+std::string to_goal(const Program& program) {
+  if (!program.finalized())
+    throw std::logic_error("to_goal requires a finalized Program");
+  std::ostringstream os;
+  os << "# chksim GOAL export\n";
+  os << "num_ranks " << program.ranks() << "\n";
+  for (RankId r = 0; r < program.ranks(); ++r) {
+    const auto& ops = program.ops(r);
+    const auto& succ = program.successors(r);
+    os << "rank " << r << " {\n";
+    for (OpIndex i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      os << "  l" << i << ": ";
+      switch (op.kind) {
+        case OpKind::kCalc:
+          os << "calc " << op.value;
+          break;
+        case OpKind::kSend:
+          os << "send " << op.value << "b to " << op.peer << " tag " << op.tag;
+          break;
+        case OpKind::kRecv:
+          os << "recv " << op.value << "b from " << op.peer << " tag " << op.tag;
+          break;
+      }
+      os << "\n";
+    }
+    for (OpIndex i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      for (std::uint32_t k = 0; k < op.succ_count; ++k)
+        os << "  l" << succ[op.succ_begin + k] << " requires l" << i << "\n";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void write_goal(std::ostream& os, const Program& program) { os << to_goal(program); }
+
+Program from_goal(const std::string& text) {
+  std::istringstream is(text);
+  return read_goal(is);
+}
+
+Program read_goal(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+
+  // First meaningful line must be num_ranks.
+  int nranks = -1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+    if (toks.size() != 2 || toks[0] != "num_ranks")
+      fail(line_no, "expected 'num_ranks <N>' first");
+    nranks = static_cast<int>(parse_int(toks[1], line_no, "rank count"));
+    if (nranks <= 0) fail(line_no, "num_ranks must be > 0");
+    break;
+  }
+  if (nranks < 0) fail(line_no, "missing num_ranks header");
+
+  Program program(nranks);
+  RankId current_rank = -1;
+  bool in_block = false;
+  // Label table for the current rank block, plus deferred dependency edges
+  // (labels may be used by `requires` before appearing — we resolve at
+  // block close).
+  std::unordered_map<std::int64_t, OpRef> labels;
+  std::vector<std::pair<std::int64_t, std::int64_t>> deferred;  // (after, before)
+  int block_open_line = 0;
+
+  auto close_block = [&]() {
+    for (const auto& [after, before] : deferred) {
+      const auto a = labels.find(after);
+      const auto b = labels.find(before);
+      if (a == labels.end())
+        fail(block_open_line, "requires references unknown label l" +
+                                  std::to_string(after));
+      if (b == labels.end())
+        fail(block_open_line, "requires references unknown label l" +
+                                  std::to_string(before));
+      program.depends(b->second, a->second);
+    }
+    labels.clear();
+    deferred.clear();
+    in_block = false;
+    current_rank = -1;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "rank") {
+      if (in_block) fail(line_no, "nested rank block");
+      if (toks.size() != 3 || toks[2] != "{")
+        fail(line_no, "expected 'rank <r> {'");
+      const std::int64_t r = parse_int(toks[1], line_no, "rank id");
+      if (r < 0 || r >= nranks) fail(line_no, "rank id out of range");
+      current_rank = static_cast<RankId>(r);
+      in_block = true;
+      block_open_line = line_no;
+      continue;
+    }
+    if (toks[0] == "}") {
+      if (!in_block) fail(line_no, "unmatched '}'");
+      close_block();
+      continue;
+    }
+    if (!in_block) fail(line_no, "statement outside a rank block: " + toks[0]);
+
+    // "l<a> requires l<b>"
+    if (toks.size() == 3 && toks[1] == "requires") {
+      deferred.emplace_back(parse_label(toks[0], line_no),
+                            parse_label(toks[2], line_no));
+      continue;
+    }
+
+    // "l<id>: calc|send|recv ..."
+    if (toks.size() < 2) fail(line_no, "truncated statement");
+    const std::int64_t label = parse_label(toks[0], line_no);
+    if (labels.count(label)) fail(line_no, "duplicate label l" + std::to_string(label));
+
+    OpRef ref;
+    const std::string& verb = toks[1];
+    if (verb == "calc") {
+      if (toks.size() != 3) fail(line_no, "expected 'calc <ns>'");
+      const std::int64_t ns = parse_int(toks[2], line_no, "duration");
+      if (ns < 0) fail(line_no, "negative calc duration");
+      ref = program.calc(current_rank, ns);
+    } else if (verb == "send" || verb == "recv") {
+      // send <bytes>b to <rank> [tag <t>]
+      const char* direction = verb == "send" ? "to" : "from";
+      if (toks.size() != 5 && toks.size() != 7)
+        fail(line_no, "expected '" + verb + " <n>b " + direction +
+                          " <rank> [tag <t>]'");
+      const Bytes bytes = parse_bytes(toks[2], line_no);
+      if (toks[3] != direction)
+        fail(line_no, "expected '" + std::string(direction) + "', got: " + toks[3]);
+      const std::int64_t peer = parse_int(toks[4], line_no, "peer rank");
+      if (peer < 0 || peer >= nranks || peer == current_rank)
+        fail(line_no, "peer rank out of range: " + std::to_string(peer));
+      Tag tag = 0;
+      if (toks.size() == 7) {
+        if (toks[5] != "tag") fail(line_no, "expected 'tag', got: " + toks[5]);
+        tag = static_cast<Tag>(parse_int(toks[6], line_no, "tag"));
+      }
+      ref = verb == "send"
+                ? program.send(current_rank, static_cast<RankId>(peer), bytes, tag)
+                : program.recv(current_rank, static_cast<RankId>(peer), bytes, tag);
+    } else {
+      fail(line_no, "unknown operation: " + verb);
+    }
+    labels.emplace(label, ref);
+  }
+  if (in_block) fail(line_no, "unterminated rank block");
+  return program;
+}
+
+}  // namespace chksim::sim

@@ -1,0 +1,38 @@
+// GOAL-style textual trace format.
+//
+// LogGOPSim consumes GOAL (Group Operation Assembly Language) schedules;
+// chksim speaks a compatible dialect so that programs can be exported for
+// inspection, diffed in tests, and imported from files produced by trace
+// converters. Grammar (line-oriented, '#' comments):
+//
+//   num_ranks <N>
+//   rank <r> {
+//     l<id>: calc <ns>
+//     l<id>: send <bytes>b to <rank> tag <tag>
+//     l<id>: recv <bytes>b from <rank> tag <tag>
+//     l<a> requires l<b>        // b happens-before a
+//   }
+//
+// Labels are local to their rank block. Whitespace is flexible; "tag <t>"
+// is optional on send/recv (default 0).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "chksim/sim/program.hpp"
+
+namespace chksim::sim {
+
+/// Serialize a program (finalized or not) to GOAL text.
+std::string to_goal(const Program& program);
+
+/// Parse GOAL text into a Program (not finalized). Throws
+/// std::invalid_argument with a line number on malformed input.
+Program from_goal(const std::string& text);
+
+/// Stream variants.
+void write_goal(std::ostream& os, const Program& program);
+Program read_goal(std::istream& is);
+
+}  // namespace chksim::sim

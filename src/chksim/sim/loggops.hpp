@@ -1,0 +1,52 @@
+// LogGOPS network-model parameters and point-to-point timing rules.
+//
+// The LogGOPS model (Hoefler et al.) extends LogP/LogGP:
+//   L - wire latency,
+//   o - CPU overhead per message (send and receive side),
+//   g - gap between consecutive messages on one NIC (1/message-rate),
+//   G - gap per byte (1/bandwidth),
+//   O - CPU overhead per byte (we keep it, default 0),
+//   S - eager/rendezvous threshold: messages larger than S pay an RTS/CTS
+//       round trip before the payload moves.
+#pragma once
+
+#include "chksim/support/units.hpp"
+
+namespace chksim::sim {
+
+struct LogGOPSParams {
+  TimeNs L = 1500;       ///< Latency (ns).
+  TimeNs o = 1500;       ///< Per-message CPU overhead (ns).
+  TimeNs g = 2000;       ///< Inter-message gap (ns).
+  double G = 0.25;       ///< Per-byte gap (ns/byte); 0.25 ns/B = 4 GB/s.
+  double O = 0.0;        ///< Per-byte CPU overhead (ns/byte).
+  Bytes S = 65536;       ///< Eager/rendezvous threshold (bytes).
+
+  /// CPU time charged to the sender for an s-byte message.
+  TimeNs send_cpu(Bytes s) const {
+    return o + static_cast<TimeNs>(O * static_cast<double>(s));
+  }
+
+  /// CPU time charged to the receiver when consuming an s-byte message.
+  TimeNs recv_cpu(Bytes s) const { return send_cpu(s); }
+
+  /// NIC occupancy (gap) for an s-byte message.
+  TimeNs nic_gap(Bytes s) const {
+    const TimeNs byte_time = static_cast<TimeNs>(G * static_cast<double>(s));
+    return g > byte_time ? g : byte_time;
+  }
+
+  /// Wire transit time for an s-byte message (injection to arrival),
+  /// excluding CPU overheads: L + G*s.
+  TimeNs wire_time(Bytes s) const {
+    return L + static_cast<TimeNs>(G * static_cast<double>(s));
+  }
+
+  /// True if an s-byte message uses the rendezvous protocol.
+  bool rendezvous(Bytes s) const { return s > S; }
+
+  /// Zero-byte control-message one-way time (RTS/CTS legs).
+  TimeNs control_time() const { return o + L; }
+};
+
+}  // namespace chksim::sim

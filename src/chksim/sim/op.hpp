@@ -1,0 +1,57 @@
+// Core operation types of the application model.
+//
+// A simulated application is, per rank, a DAG of three operation kinds --
+// local computation, message send, and message receive -- exactly the
+// vocabulary of LogGOPSim-style trace-driven simulation. Collectives and
+// application workloads are expanded into this vocabulary by the coll/ and
+// workload/ layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "chksim/support/units.hpp"
+
+namespace chksim::sim {
+
+/// Rank identifier (0-based, dense).
+using RankId = std::int32_t;
+
+/// Message tag. Workload generators allocate disjoint tag ranges per
+/// communication phase so matching is unambiguous.
+using Tag = std::int32_t;
+
+/// Index of an operation within one rank's operation list.
+using OpIndex = std::uint32_t;
+
+inline constexpr OpIndex kInvalidOp = std::numeric_limits<OpIndex>::max();
+
+enum class OpKind : std::uint8_t {
+  kCalc,  ///< Local computation for `value` nanoseconds.
+  kSend,  ///< Send `value` bytes to rank `peer` with tag `tag`.
+  kRecv,  ///< Receive `value` bytes from rank `peer` with tag `tag`.
+};
+
+/// One node of a rank's operation DAG. Successor edges are stored in a
+/// per-rank CSR array owned by the Program.
+struct Op {
+  std::int64_t value = 0;  ///< kCalc: duration (ns); kSend/kRecv: bytes.
+  std::uint32_t succ_begin = 0;  ///< Offset into the rank's successor array.
+  std::uint32_t succ_count = 0;
+  std::uint32_t indegree = 0;  ///< Number of intra-rank predecessors.
+  RankId peer = -1;
+  Tag tag = 0;
+  OpKind kind = OpKind::kCalc;
+};
+
+/// Handle to an operation: (rank, index). Returned by Program builders so
+/// that generators can wire dependencies.
+struct OpRef {
+  RankId rank = -1;
+  OpIndex index = kInvalidOp;
+
+  bool valid() const { return rank >= 0 && index != kInvalidOp; }
+  friend bool operator==(const OpRef&, const OpRef&) = default;
+};
+
+}  // namespace chksim::sim

@@ -1,0 +1,185 @@
+#include "chksim/sim/program.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace chksim::sim {
+
+Program::Program(int nranks) {
+  assert(nranks > 0);
+  rank_ops_.resize(static_cast<std::size_t>(nranks));
+  rank_edges_.resize(static_cast<std::size_t>(nranks));
+  rank_succ_.resize(static_cast<std::size_t>(nranks));
+}
+
+OpRef Program::push(RankId r, Op op) {
+  assert(!finalized_ && "program already finalized");
+  assert(r >= 0 && r < ranks());
+  auto& ops = rank_ops_[static_cast<std::size_t>(r)];
+  const auto index = static_cast<OpIndex>(ops.size());
+  ops.push_back(op);
+  return OpRef{r, index};
+}
+
+OpRef Program::calc(RankId r, TimeNs duration) {
+  assert(duration >= 0);
+  Op op;
+  op.kind = OpKind::kCalc;
+  op.value = duration;
+  return push(r, op);
+}
+
+OpRef Program::send(RankId r, RankId dst, Bytes bytes, Tag tag) {
+  assert(dst >= 0 && dst < ranks() && dst != r && bytes >= 0);
+  Op op;
+  op.kind = OpKind::kSend;
+  op.value = bytes;
+  op.peer = dst;
+  op.tag = tag;
+  return push(r, op);
+}
+
+OpRef Program::recv(RankId r, RankId src, Bytes bytes, Tag tag) {
+  assert(src >= 0 && src < ranks() && src != r && bytes >= 0);
+  Op op;
+  op.kind = OpKind::kRecv;
+  op.value = bytes;
+  op.peer = src;
+  op.tag = tag;
+  return push(r, op);
+}
+
+void Program::depends(OpRef before, OpRef after) {
+  assert(!finalized_);
+  assert(before.valid() && after.valid());
+  assert(before.rank == after.rank && "dependencies are intra-rank only");
+  assert(before.index != after.index);
+  rank_edges_[static_cast<std::size_t>(before.rank)].push_back(
+      Edge{before.index, after.index});
+}
+
+void Program::depends_all(const std::vector<OpRef>& before, OpRef after) {
+  for (const OpRef& b : before) {
+    if (b.valid()) depends(b, after);
+  }
+}
+
+Tag Program::allocate_tags(int count) {
+  assert(count > 0);
+  const Tag first = next_tag_;
+  next_tag_ += count;
+  return first;
+}
+
+ProgramStats Program::finalize() {
+  if (finalized_) throw std::logic_error("Program::finalize called twice");
+  finalized_ = true;
+
+  ProgramStats st;
+  for (RankId r = 0; r < ranks(); ++r) {
+    auto& ops = rank_ops_[static_cast<std::size_t>(r)];
+    auto& edges = rank_edges_[static_cast<std::size_t>(r)];
+    auto& succ = rank_succ_[static_cast<std::size_t>(r)];
+
+    // Sort edges by source, dedupe, and build CSR.
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+    });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.from == b.from && a.to == b.to;
+                            }),
+                edges.end());
+    succ.resize(edges.size());
+    std::size_t e = 0;
+    for (OpIndex i = 0; i < ops.size(); ++i) {
+      ops[i].succ_begin = static_cast<std::uint32_t>(e);
+      while (e < edges.size() && edges[e].from == i) {
+        assert(edges[e].to < ops.size());
+        succ[e] = edges[e].to;
+        ops[edges[e].to].indegree++;
+        ++e;
+      }
+      ops[i].succ_count = static_cast<std::uint32_t>(e - ops[i].succ_begin);
+    }
+    if (e != edges.size()) throw std::logic_error("edge with out-of-range source op");
+
+    // Kahn topological pass: verifies acyclicity and computes graph depth.
+    std::vector<std::uint32_t> indeg(ops.size());
+    std::vector<std::int32_t> depth(ops.size(), 1);
+    std::vector<OpIndex> queue;
+    for (OpIndex i = 0; i < ops.size(); ++i) {
+      indeg[i] = ops[i].indegree;
+      if (indeg[i] == 0) queue.push_back(i);
+    }
+    std::size_t head = 0;
+    std::int64_t visited = 0;
+    while (head < queue.size()) {
+      const OpIndex u = queue[head++];
+      ++visited;
+      st.max_depth = std::max<std::int64_t>(st.max_depth, depth[u]);
+      const Op& op = ops[u];
+      for (std::uint32_t k = 0; k < op.succ_count; ++k) {
+        const OpIndex v = succ[op.succ_begin + k];
+        depth[v] = std::max(depth[v], depth[u] + 1);
+        if (--indeg[v] == 0) queue.push_back(v);
+      }
+    }
+    if (visited != static_cast<std::int64_t>(ops.size()))
+      throw std::logic_error("Program dependency graph has a cycle on rank " +
+                             std::to_string(r));
+
+    st.ops += static_cast<std::int64_t>(ops.size());
+    st.edges += static_cast<std::int64_t>(edges.size());
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case OpKind::kCalc:
+          ++st.calcs;
+          st.calc_total += op.value;
+          break;
+        case OpKind::kSend:
+          ++st.sends;
+          st.bytes_sent += op.value;
+          break;
+        case OpKind::kRecv:
+          ++st.recvs;
+          break;
+      }
+    }
+    edges.clear();
+    edges.shrink_to_fit();
+  }
+  stats_ = st;
+  return st;
+}
+
+std::string Program::check_matching() const {
+  // (src, dst, tag) -> sends minus recvs.
+  std::map<std::tuple<RankId, RankId, Tag>, std::int64_t> balance;
+  for (RankId r = 0; r < ranks(); ++r) {
+    for (const Op& op : rank_ops_[static_cast<std::size_t>(r)]) {
+      if (op.kind == OpKind::kSend) balance[{r, op.peer, op.tag}] += 1;
+      if (op.kind == OpKind::kRecv) balance[{op.peer, r, op.tag}] -= 1;
+    }
+  }
+  std::string report;
+  int shown = 0;
+  for (const auto& [key, diff] : balance) {
+    if (diff == 0) continue;
+    if (shown++ >= 8) {
+      report += "...\n";
+      break;
+    }
+    const auto& [src, dst, tag] = key;
+    report += "channel " + std::to_string(src) + "->" + std::to_string(dst) +
+              " tag " + std::to_string(tag) +
+              (diff > 0 ? ": " + std::to_string(diff) + " unmatched send(s)\n"
+                        : ": " + std::to_string(-diff) + " unmatched recv(s)\n");
+  }
+  return report;
+}
+
+}  // namespace chksim::sim

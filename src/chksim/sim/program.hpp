@@ -1,0 +1,90 @@
+// Program: the complete application model — one operation DAG per rank plus
+// intra-rank dependency edges. Workload generators append operations and
+// edges; finalize() freezes the program into the CSR form the engine runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chksim/sim/op.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::sim {
+
+/// Aggregate statistics computed by finalize(), used for the workload
+/// characterisation table (T1).
+struct ProgramStats {
+  std::int64_t ops = 0;
+  std::int64_t calcs = 0;
+  std::int64_t sends = 0;
+  std::int64_t recvs = 0;
+  std::int64_t edges = 0;
+  Bytes bytes_sent = 0;
+  TimeNs calc_total = 0;
+  /// Longest dependency chain over all ranks (graph depth in ops).
+  std::int64_t max_depth = 0;
+};
+
+class Program {
+ public:
+  explicit Program(int nranks);
+
+  int ranks() const { return static_cast<int>(rank_ops_.size()); }
+
+  /// Append a computation of `duration` ns on rank r. Returns its handle.
+  OpRef calc(RankId r, TimeNs duration);
+
+  /// Append a send of `bytes` from rank r to dst with the given tag.
+  OpRef send(RankId r, RankId dst, Bytes bytes, Tag tag);
+
+  /// Append a receive on rank r of `bytes` from src with the given tag.
+  OpRef recv(RankId r, RankId src, Bytes bytes, Tag tag);
+
+  /// Add the intra-rank dependency `before` happens-before `after`.
+  /// Both handles must refer to the same rank.
+  void depends(OpRef before, OpRef after);
+
+  /// depends() for each valid handle in `before`.
+  void depends_all(const std::vector<OpRef>& before, OpRef after);
+
+  /// Allocate `count` consecutive tags unique within this program. Workload
+  /// and collective generators use this so phases never cross-match.
+  Tag allocate_tags(int count = 1);
+
+  /// Freeze the program: build successor CSR and indegrees, verify the DAG
+  /// is acyclic and well-formed. Must be called exactly once, before run.
+  /// Returns aggregate statistics.
+  ProgramStats finalize();
+
+  bool finalized() const { return finalized_; }
+  const ProgramStats& stats() const { return stats_; }
+
+  /// Accessors used by the engine (valid after finalize()).
+  const std::vector<Op>& ops(RankId r) const { return rank_ops_[static_cast<std::size_t>(r)]; }
+  const std::vector<OpIndex>& successors(RankId r) const {
+    return rank_succ_[static_cast<std::size_t>(r)];
+  }
+
+  /// Optional consistency check: every (src -> dst, tag) send count equals
+  /// the matching recv count. Returns an empty string when consistent, or a
+  /// human-readable description of the first few mismatches.
+  std::string check_matching() const;
+
+ private:
+  struct Edge {
+    OpIndex from;
+    OpIndex to;
+  };
+
+  OpRef push(RankId r, Op op);
+
+  std::vector<std::vector<Op>> rank_ops_;
+  std::vector<std::vector<Edge>> rank_edges_;
+  std::vector<std::vector<OpIndex>> rank_succ_;  // CSR payload, post-finalize
+  Tag next_tag_ = 1;
+  bool finalized_ = false;
+  ProgramStats stats_;
+};
+
+}  // namespace chksim::sim

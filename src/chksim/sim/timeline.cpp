@@ -1,0 +1,180 @@
+#include "chksim/sim/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chksim::sim {
+
+std::string to_string(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kBusy:
+      return "busy";
+    case SegmentKind::kBlackout:
+      return "blackout";
+    case SegmentKind::kIdle:
+      return "idle";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<Interval> merge_intervals(std::vector<Interval> list) {
+  std::sort(list.begin(), list.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  std::vector<Interval> merged;
+  for (const Interval& iv : list) {
+    if (iv.end <= iv.begin) continue;
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+bool covers(const std::vector<Interval>& list, TimeNs t) {
+  auto it = std::upper_bound(list.begin(), list.end(), t,
+                             [](TimeNs v, const Interval& iv) { return v < iv.end; });
+  return it != list.end() && it->contains(t);
+}
+
+}  // namespace
+
+Timeline::Timeline(const Program& program, const RunResult& run,
+                   const EngineConfig& config, TimeNs horizon)
+    : horizon_(horizon) {
+  if (run.op_finish.empty())
+    throw std::invalid_argument("Timeline requires record_op_finish = true");
+  if (horizon <= 0) throw std::invalid_argument("Timeline: horizon must be > 0");
+
+  const int nranks = program.ranks();
+  segments_.resize(static_cast<std::size_t>(nranks));
+  for (RankId r = 0; r < nranks; ++r) {
+    // Blackouts within the horizon.
+    std::vector<Interval> blackouts;
+    if (config.blackouts != nullptr) {
+      TimeNs t = 0;
+      while (true) {
+        const auto iv = config.blackouts->next_blackout(r, t);
+        if (!iv || iv->begin >= horizon) break;
+        blackouts.push_back({std::max<TimeNs>(iv->begin, 0), std::min(iv->end, horizon)});
+        t = iv->end;
+      }
+    }
+    // Busy spans: each op's CPU cost ending at its finish time, clipped.
+    std::vector<Interval> busy;
+    const auto& ops = program.ops(r);
+    const auto& finish = run.op_finish[static_cast<std::size_t>(r)];
+    busy.reserve(ops.size());
+    for (OpIndex i = 0; i < ops.size(); ++i) {
+      if (finish[i] < 0) continue;
+      TimeNs cost = 0;
+      switch (ops[i].kind) {
+        case OpKind::kCalc:
+          cost = ops[i].value;
+          break;
+        case OpKind::kSend:
+          cost = config.net.send_cpu(ops[i].value);
+          break;
+        case OpKind::kRecv:
+          cost = config.net.recv_cpu(ops[i].value);
+          break;
+      }
+      // Allocate the op's CPU cost backwards from its finish time, skipping
+      // blackout intervals (preemptive blackouts pause work mid-op).
+      TimeNs cur = std::min(finish[i], horizon);
+      TimeNs remaining = cost;
+      while (remaining > 0 && cur > 0) {
+        // If cur lies strictly inside a blackout (possible after horizon
+        // clipping), clamp to its start.
+        auto cover = std::upper_bound(
+            blackouts.begin(), blackouts.end(), cur,
+            [](TimeNs v, const Interval& iv) { return v < iv.begin; });
+        if (cover != blackouts.begin()) {
+          --cover;
+          if (cover->begin < cur && cover->end > cur) {
+            cur = cover->begin;
+            continue;
+          }
+        }
+        // The gap below cur is bounded by the last blackout ending <= cur.
+        auto below = std::upper_bound(
+            blackouts.begin(), blackouts.end(), cur,
+            [](TimeNs v, const Interval& iv) { return v < iv.end; });
+        TimeNs gap_lo = 0;
+        TimeNs next_cur = 0;
+        if (below != blackouts.begin()) {
+          --below;
+          gap_lo = below->end;
+          next_cur = below->begin;
+        }
+        const TimeNs take = std::min(remaining, cur - gap_lo);
+        if (take > 0) busy.push_back({cur - take, cur});
+        remaining -= take;
+        cur = next_cur;  // 0 when no earlier blackout exists: loop ends
+      }
+    }
+    busy = merge_intervals(std::move(busy));
+    blackouts = merge_intervals(std::move(blackouts));
+
+    // Sweep over all boundaries and classify each elementary span.
+    std::vector<TimeNs> bounds{0, horizon};
+    for (const Interval& iv : blackouts) {
+      bounds.push_back(iv.begin);
+      bounds.push_back(iv.end);
+    }
+    for (const Interval& iv : busy) {
+      bounds.push_back(iv.begin);
+      bounds.push_back(iv.end);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    auto& out = segments_[static_cast<std::size_t>(r)];
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const TimeNs lo = std::max<TimeNs>(bounds[k], 0);
+      const TimeNs hi = std::min(bounds[k + 1], horizon);
+      if (hi <= lo) continue;
+      SegmentKind kind = SegmentKind::kIdle;
+      if (covers(blackouts, lo)) {
+        kind = SegmentKind::kBlackout;  // blackout wins: CPU makes no progress
+      } else if (covers(busy, lo)) {
+        kind = SegmentKind::kBusy;
+      }
+      if (!out.empty() && out.back().kind == kind && out.back().end == lo) {
+        out.back().end = hi;
+      } else {
+        out.push_back({lo, hi, kind});
+      }
+    }
+  }
+}
+
+TimeNs Timeline::total(RankId rank, SegmentKind kind) const {
+  TimeNs sum = 0;
+  for (const Segment& s : of(rank))
+    if (s.kind == kind) sum += s.duration();
+  return sum;
+}
+
+double Timeline::utilization() const {
+  double busy = 0;
+  for (int r = 0; r < ranks(); ++r)
+    busy += static_cast<double>(total(r, SegmentKind::kBusy));
+  return busy / (static_cast<double>(ranks()) * static_cast<double>(horizon_));
+}
+
+std::string Timeline::to_csv() const {
+  std::string out = "rank,begin_ns,end_ns,kind\n";
+  for (int r = 0; r < ranks(); ++r) {
+    for (const Segment& s : of(r)) {
+      out += std::to_string(r) + ',' + std::to_string(s.begin) + ',' +
+             std::to_string(s.end) + ',' + to_string(s.kind) + '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace chksim::sim

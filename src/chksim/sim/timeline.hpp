@@ -1,0 +1,58 @@
+// Timeline extraction: per-rank activity segments (busy / blackout / idle)
+// reconstructed from a run with recorded op finish times. Powers
+// Gantt-style inspection of where checkpoint delays go, and CSV export for
+// external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::sim {
+
+enum class SegmentKind { kBusy, kBlackout, kIdle };
+
+std::string to_string(SegmentKind kind);
+
+struct Segment {
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  SegmentKind kind = SegmentKind::kIdle;
+
+  TimeNs duration() const { return end - begin; }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Per-rank activity segments over [0, horizon). Busy time is approximated
+/// from op finish times and op costs under the run's network model (exact
+/// for calc; send/recv busy spans are their CPU overheads placed at
+/// completion). Blackouts come from the schedule; the rest is idle.
+/// Requires the run to have been made with record_op_finish = true.
+class Timeline {
+ public:
+  /// Build from a finalized program, its run result, the engine config the
+  /// run used, and the horizon (typically run.makespan).
+  Timeline(const Program& program, const RunResult& run, const EngineConfig& config,
+           TimeNs horizon);
+
+  int ranks() const { return static_cast<int>(segments_.size()); }
+  const std::vector<Segment>& of(RankId rank) const {
+    return segments_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Aggregate time in each state for one rank.
+  TimeNs total(RankId rank, SegmentKind kind) const;
+
+  /// Machine-wide utilisation: busy time / (ranks * horizon).
+  double utilization() const;
+
+  /// CSV: rank,begin_ns,end_ns,kind.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::vector<Segment>> segments_;
+  TimeNs horizon_;
+};
+
+}  // namespace chksim::sim

@@ -1,0 +1,111 @@
+#include "chksim/storage/pfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace chksim::storage {
+
+std::string to_string(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kParallelFs:
+      return "pfs";
+    case StorageTier::kBurstBuffer:
+      return "burst-buffer";
+    case StorageTier::kPartner:
+      return "partner";
+  }
+  return "unknown";
+}
+
+Pfs::Pfs(PfsParams params) : params_(params) {
+  if (params_.node_bw_bytes_per_s <= 0 || params_.pfs_bw_bytes_per_s <= 0)
+    throw std::invalid_argument("Pfs: bandwidths must be positive");
+  if (params_.bb_bw_bytes_per_s < 0)
+    throw std::invalid_argument("Pfs: burst-buffer bandwidth must be >= 0");
+}
+
+WriteTime Pfs::concurrent_write(Bytes bytes, int writers) const {
+  if (bytes < 0) throw std::invalid_argument("Pfs: bytes must be >= 0");
+  if (writers <= 0) throw std::invalid_argument("Pfs: writers must be > 0");
+  WriteTime w;
+  const double share = params_.pfs_bw_bytes_per_s / static_cast<double>(writers);
+  w.per_node_bw = std::min(params_.node_bw_bytes_per_s, share);
+  w.saturated = share < params_.node_bw_bytes_per_s;
+  w.effective_writers = writers;
+  w.per_node = units::from_seconds(static_cast<double>(bytes) / w.per_node_bw);
+  return w;
+}
+
+WriteTime Pfs::spread_write(Bytes bytes, int total_nodes, TimeNs tau) const {
+  return spread_write_groups(bytes, 1, total_nodes, tau);
+}
+
+WriteTime Pfs::spread_write_groups(Bytes bytes, int group_size, int n_groups,
+                                   TimeNs tau) const {
+  if (bytes < 0) throw std::invalid_argument("Pfs: bytes must be >= 0");
+  if (group_size <= 0 || n_groups <= 0)
+    throw std::invalid_argument("Pfs: group_size and n_groups must be > 0");
+  if (tau <= 0) throw std::invalid_argument("Pfs: tau must be > 0");
+  const int total_nodes = group_size * n_groups;
+  const double util = pfs_utilization(params_, bytes, total_nodes, tau);
+  if (util >= 1.0)
+    throw std::invalid_argument(
+        "Pfs: offered checkpoint load exceeds file-system bandwidth "
+        "(utilization " + std::to_string(util) + "); no steady state");
+
+  const double tau_s = units::to_seconds(tau);
+  const double groups = static_cast<double>(n_groups);
+  const double b = static_cast<double>(bytes);
+  // Damped fixed-point iteration on the per-node write time W (seconds):
+  // concurrent writers = group_size * (expected concurrently-writing groups).
+  double w = b / params_.node_bw_bytes_per_s;
+  double writers = static_cast<double>(group_size);
+  for (int i = 0; i < 200; ++i) {
+    writers = static_cast<double>(group_size) * std::max(1.0, groups * w / tau_s);
+    const double bw =
+        std::min(params_.node_bw_bytes_per_s, params_.pfs_bw_bytes_per_s / writers);
+    const double w_next = b / bw;
+    const double w_new = 0.5 * w + 0.5 * w_next;
+    if (std::abs(w_new - w) < 1e-12 * std::max(1.0, w)) {
+      w = w_new;
+      break;
+    }
+    w = w_new;
+  }
+  WriteTime out;
+  out.per_node = units::from_seconds(w);
+  out.effective_writers = writers;
+  out.per_node_bw = b > 0 ? b / w : params_.node_bw_bytes_per_s;
+  out.saturated = params_.pfs_bw_bytes_per_s / writers < params_.node_bw_bytes_per_s;
+  return out;
+}
+
+WriteTime Pfs::burst_buffer_write(Bytes bytes) const {
+  if (params_.bb_bw_bytes_per_s <= 0)
+    throw std::logic_error("Pfs: no burst buffer configured");
+  if (bytes < 0) throw std::invalid_argument("Pfs: bytes must be >= 0");
+  WriteTime w;
+  w.per_node_bw = params_.bb_bw_bytes_per_s;
+  w.effective_writers = 1;
+  w.per_node = units::from_seconds(static_cast<double>(bytes) / w.per_node_bw);
+  return w;
+}
+
+TimeNs Pfs::drain_time(Bytes bytes, int total_nodes) const {
+  if (bytes < 0 || total_nodes <= 0)
+    throw std::invalid_argument("Pfs: invalid drain query");
+  const double total = static_cast<double>(bytes) * static_cast<double>(total_nodes);
+  return units::from_seconds(total / params_.pfs_bw_bytes_per_s);
+}
+
+double pfs_utilization(const PfsParams& params, Bytes bytes, int total_nodes,
+                       TimeNs tau) {
+  assert(tau > 0);
+  const double offered = static_cast<double>(bytes) *
+                         static_cast<double>(total_nodes) / units::to_seconds(tau);
+  return offered / params.pfs_bw_bytes_per_s;
+}
+
+}  // namespace chksim::storage

@@ -1,0 +1,92 @@
+// Parallel-file-system bandwidth model for checkpoint I/O.
+//
+// A node writes its checkpoint through a node link of bandwidth `node_bw`
+// into a file system with aggregate bandwidth `pfs_bw` shared equally by all
+// concurrent writers. This captures the study's key storage asymmetry:
+//
+//  * Coordinated checkpointing writes with all P nodes at once, so each node
+//    gets min(node_bw, pfs_bw / P) — at scale the PFS share dominates and the
+//    write time grows linearly with P.
+//  * Uncoordinated checkpointing spreads writers in time; the expected
+//    concurrency is the solution of a fixed point (writers = P * W / tau),
+//    so per-node bandwidth stays near node_bw until utilisation saturates.
+//
+// An optional burst-buffer tier absorbs the write at local speed and drains
+// to the PFS in the background (the drain only matters when it exceeds the
+// checkpoint interval).
+#pragma once
+
+#include <string>
+
+#include "chksim/support/units.hpp"
+
+namespace chksim::storage {
+
+/// Where checkpoints are written.
+enum class StorageTier {
+  kParallelFs,   ///< Shared PFS: bandwidth contention applies.
+  kBurstBuffer,  ///< Node-local NVM: flat per-node write time.
+  kPartner,      ///< Diskless: copy to a partner node's memory over the
+                 ///< network (no storage contention; survives single-node
+                 ///< failures only).
+};
+
+std::string to_string(StorageTier tier);
+
+struct PfsParams {
+  double node_bw_bytes_per_s = 1.5e9;  ///< Per-node injection bandwidth.
+  double pfs_bw_bytes_per_s = 200e9;   ///< Aggregate file-system bandwidth.
+  double bb_bw_bytes_per_s = 0;        ///< Burst-buffer bandwidth (0 = none).
+};
+
+/// Result of a write-time query.
+struct WriteTime {
+  TimeNs per_node = 0;          ///< Wall time a node is busy writing.
+  double effective_writers = 0; ///< Concurrency used for the bandwidth share.
+  double per_node_bw = 0;       ///< Achieved bytes/s per node.
+  bool saturated = false;       ///< True if the PFS aggregate limit bound.
+};
+
+class Pfs {
+ public:
+  explicit Pfs(PfsParams params);
+
+  const PfsParams& params() const { return params_; }
+
+  /// Write time when exactly `writers` nodes write `bytes` each,
+  /// simultaneously (the coordinated-burst case).
+  WriteTime concurrent_write(Bytes bytes, int writers) const;
+
+  /// Expected write time when `total_nodes` nodes each write `bytes` once
+  /// per interval `tau`, with write start times spread uniformly (the
+  /// uncoordinated case). Solves the fixed point
+  ///     W = bytes / min(node_bw, pfs_bw / max(1, total_nodes * W / tau))
+  /// by damped iteration; throws std::invalid_argument if the offered load
+  /// exceeds the PFS capacity (bytes * total_nodes / tau > pfs_bw), in which
+  /// case no steady state exists.
+  WriteTime spread_write(Bytes bytes, int total_nodes, TimeNs tau) const;
+
+  /// Generalisation of spread_write for hierarchical protocols: `n_groups`
+  /// clusters of `group_size` nodes each checkpoint once per `tau`; nodes
+  /// within a cluster write simultaneously, cluster start times are spread.
+  /// spread_write(b, n, tau) == spread_write_groups(b, 1, n, tau).
+  WriteTime spread_write_groups(Bytes bytes, int group_size, int n_groups,
+                                TimeNs tau) const;
+
+  /// Write time to a node-local burst buffer (requires bb_bw > 0).
+  WriteTime burst_buffer_write(Bytes bytes) const;
+
+  /// Time for the burst buffer to drain `bytes` per node from `total_nodes`
+  /// nodes to the PFS (background; bounds the usable checkpoint interval).
+  TimeNs drain_time(Bytes bytes, int total_nodes) const;
+
+ private:
+  PfsParams params_;
+};
+
+/// Offered-load utilisation of the PFS: fraction of aggregate bandwidth
+/// consumed by `total_nodes` nodes writing `bytes` every `tau`.
+double pfs_utilization(const PfsParams& params, Bytes bytes, int total_nodes,
+                       TimeNs tau);
+
+}  // namespace chksim::storage

@@ -1,0 +1,101 @@
+#include "chksim/support/cli.hpp"
+
+#include <stdexcept>
+
+namespace chksim {
+
+Cli& Cli::flag(const std::string& name, const std::string& default_value,
+               const std::string& help) {
+  Flag f;
+  f.value = default_value;
+  f.default_value = default_value;
+  f.help = help;
+  flags_[name] = std::move(f);
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + arg;
+      return false;
+    }
+    Flag& f = it->second;
+    if (!has_value) {
+      // Booleans may be bare; other flags take the next token.
+      const bool is_boolish = f.default_value == "true" || f.default_value == "false";
+      if (is_boolish) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "flag --" + arg + " needs a value";
+        return false;
+      }
+    }
+    f.value = std::move(value);
+    f.set = true;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::logic_error("undeclared flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t used = 0;
+  const std::int64_t out = std::stoll(v, &used);
+  if (used != v.size())
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  return out;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t used = 0;
+  const double out = std::stod(v, &used);
+  if (used != v.size())
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  return out;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+bool Cli::is_set(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    out += "  --" + name + " (default: " + f.default_value + ")  " + f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace chksim

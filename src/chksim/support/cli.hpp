@@ -1,0 +1,52 @@
+// Tiny command-line flag parser used by the examples and study drivers.
+//
+// Supports "--key value", "--key=value", and bare "--flag" booleans, plus
+// positional arguments. No external dependencies, deterministic error
+// messages, and a generated usage string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chksim {
+
+class Cli {
+ public:
+  /// Declare a flag with a default value and a help string before parse().
+  Cli& flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+
+  /// Parse argv. Returns false (and fills error()) on unknown flags or
+  /// missing values; the caller should print usage() and exit.
+  bool parse(int argc, const char* const* argv);
+
+  /// Value accessors (after parse; defaults apply when the flag is absent).
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the user explicitly set the flag.
+  bool is_set(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Formatted help text for all declared flags.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace chksim

@@ -1,0 +1,69 @@
+#include "chksim/support/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace chksim {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  // -mean * log(1 - U): 1 - U is in (0, 1], so log() is finite.
+  return -mean * std::log1p(-uniform());
+}
+
+double Rng::weibull(double shape, double scale) {
+  assert(shape > 0 && scale > 0);
+  return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Marsaglia polar method; we discard the second variate to keep the
+  // generator stateless beyond the engine itself.
+  double u = 0;
+  double v = 0;
+  double s = 0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::normal_truncated(double mean, double stddev, double lo, double hi) {
+  assert(lo <= hi);
+  if (stddev <= 0) return std::min(std::max(mean, lo), hi);
+  for (int i = 0; i < 1024; ++i) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  // Pathological truncation window: fall back to clamping.
+  return std::min(std::max(mean, lo), hi);
+}
+
+}  // namespace chksim

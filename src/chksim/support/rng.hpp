@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// chksim never uses std::random_device or platform entropy: every stochastic
+// component takes an explicit seed so that simulations are exactly
+// reproducible. The engine is xoshiro256++ (Blackman & Vigna), seeded through
+// splitmix64; both are implemented here from the public-domain reference
+// algorithms so the library has no dependency on unspecified standard-library
+// distribution implementations either — all distributions below are our own,
+// guaranteeing bit-identical streams across toolchains.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace chksim {
+
+/// splitmix64: used to expand a 64-bit seed into xoshiro state, and handy as a
+/// tiny stateless hash for decorrelating per-rank substreams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent substream, e.g. one per simulated rank.
+  /// Streams for distinct (seed, stream) pairs are decorrelated by hashing.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t sm = seed ^ (0x632be59bd9b4e019ULL * (stream + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's unbiased method.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Weibull variate with shape k and scale lambda (both > 0).
+  /// k < 1 models infant mortality (typical for HPC node failures).
+  double weibull(double shape, double scale);
+
+  /// Normal variate (Marsaglia polar method).
+  double normal(double mean, double stddev);
+
+  /// Truncated normal: resamples until the variate lands in [lo, hi].
+  double normal_truncated(double mean, double stddev, double lo, double hi);
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace chksim

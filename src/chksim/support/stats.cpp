@@ -1,0 +1,129 @@
+#include "chksim/support/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace chksim {
+
+void StreamingStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StreamingStats::sample_variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(sample_variance()); }
+
+double percentile_inplace(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= values.size()) return values.back();
+  return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+double percentile(std::vector<double> values, double q) {
+  return percentile_inplace(values, q);
+}
+
+Summary Summary::of(std::vector<double> values) {
+  Summary s;
+  s.count = static_cast<std::int64_t>(values.size());
+  if (values.empty()) return s;
+  StreamingStats acc;
+  for (double v : values) acc.add(v);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  std::sort(values.begin(), values.end());
+  s.p50 = percentile_inplace(values, 0.50);
+  s.p95 = percentile_inplace(values, 0.95);
+  s.p99 = percentile_inplace(values, 0.99);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::array<char, 192> buf{};
+  std::snprintf(buf.data(), buf.size(),
+                "n=%lld mean=%.4g sd=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+                static_cast<long long>(count), mean, stddev, min, p50, p95, p99, max);
+  return std::string(buf.data());
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo) {
+  assert(hi > lo && bins > 0);
+  width_ = (hi - lo) / bins;
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::string Histogram::to_string(int bar_width) const {
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  std::array<char, 128> buf{};
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(counts_[i] * bar_width / peak);
+    std::snprintf(buf.data(), buf.size(), "[%10.4g, %10.4g) %8lld |",
+                  bin_lo(static_cast<int>(i)), bin_hi(static_cast<int>(i)),
+                  static_cast<long long>(counts_[i]));
+    out += buf.data();
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(buf.data(), buf.size(), "underflow=%lld overflow=%lld\n",
+                  static_cast<long long>(underflow_), static_cast<long long>(overflow_));
+    out += buf.data();
+  }
+  return out;
+}
+
+}  // namespace chksim

@@ -1,0 +1,92 @@
+// Streaming and batch statistics used by the simulator and the benchmark
+// harnesses: Welford mean/variance, order statistics, and fixed-width
+// histograms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace chksim {
+
+/// Single-pass (Welford) accumulator for count/mean/variance/min/max.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (parallel-friendly Chan et al. update).
+  void merge(const StreamingStats& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (n denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Order statistic with linear interpolation, q in [0, 1].
+/// The input is copied; use percentile_inplace to avoid the copy.
+double percentile(std::vector<double> values, double q);
+
+/// As percentile(), but sorts the given vector in place.
+double percentile_inplace(std::vector<double>& values, double q);
+
+/// Median convenience wrapper.
+inline double median(std::vector<double> values) { return percentile(std::move(values), 0.5); }
+
+/// Summary of a batch of samples, for table output.
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+
+  static Summary of(std::vector<double> values);
+  std::string to_string() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples land in
+/// saturating underflow/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  std::int64_t bin_count(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::int64_t total() const { return total_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double bin_lo(int i) const { return lo_ + width_ * i; }
+  double bin_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string to_string(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace chksim

@@ -1,0 +1,153 @@
+#include "chksim/support/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace chksim {
+
+std::string format_g(double v) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.4g", v);
+  return std::string(buf.data());
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+void Table::put(std::string cell) {
+  assert(!cells_.empty() && "call row() before streaming cells");
+  assert(cells_.back().size() < headers_.size() && "row has too many cells");
+  cells_.back().push_back(std::move(cell));
+}
+
+Table& Table::operator<<(const std::string& cell) {
+  put(cell);
+  return *this;
+}
+
+Table& Table::operator<<(const char* cell) {
+  put(std::string(cell));
+  return *this;
+}
+
+Table& Table::operator<<(double v) {
+  put(format_g(v));
+  return *this;
+}
+
+Table& Table::operator<<(std::int64_t v) {
+  put(std::to_string(v));
+  return *this;
+}
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += ' ' + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+
+  std::string out = emit_row(headers_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule += std::string(width[c] + 2, '-') + "|";
+  out += rule + '\n';
+  for (const auto& row : cells_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + '"';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ',';
+      line += escape(row[c]);
+    }
+    return line + '\n';
+  };
+  std::string out = emit_row(headers_);
+  for (const auto& row : cells_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_json() const {
+  auto is_number = [](const std::string& s) {
+    if (s.empty()) return false;
+    std::size_t used = 0;
+    try {
+      (void)std::stod(s, &used);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return used == s.size();
+  };
+  auto escape = [](const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += ch;
+      }
+    }
+    return out + "\"";
+  };
+  std::string out = "[";
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += "\n  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += ", ";
+      const std::string& cell = c < cells_[r].size() ? cells_[r][c] : std::string();
+      out += escape(headers_[c]) + ": ";
+      out += is_number(cell) ? cell : escape(cell);
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << to_ascii(); }
+
+}  // namespace chksim

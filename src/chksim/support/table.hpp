@@ -1,0 +1,58 @@
+// Minimal result-table builder for the benchmark harnesses: accumulates rows
+// of heterogeneous cells and renders either an aligned ASCII table (the form
+// the paper's tables/figure series are reported in) or CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chksim {
+
+/// Column-oriented table with string/number cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; cells are appended with the << overloads.
+  Table& row();
+
+  Table& operator<<(const std::string& cell);
+  Table& operator<<(const char* cell);
+  Table& operator<<(double v);
+  Table& operator<<(std::int64_t v);
+  Table& operator<<(int v) { return *this << static_cast<std::int64_t>(v); }
+  Table& operator<<(std::size_t v) { return *this << static_cast<std::int64_t>(v); }
+
+  /// Number of complete + current rows.
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Cell accessor (row r, column c) as formatted string.
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Aligned, pipe-separated ASCII rendering (markdown-compatible).
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  /// JSON array of objects keyed by the headers; cells that parse as
+  /// numbers are emitted as numbers, everything else as strings.
+  std::string to_json() const;
+
+  /// Write ASCII to a stream (used by benches: `std::cout << t.to_ascii()`).
+  void print(std::ostream& os) const;
+
+ private:
+  void put(std::string cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with %.4g (the table default), exposed for tests.
+std::string format_g(double v);
+
+}  // namespace chksim

@@ -1,0 +1,55 @@
+#include "chksim/support/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace chksim::units {
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3g %s", value, unit);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_time(TimeNs t) {
+  const bool neg = t < 0;
+  const double v = std::abs(static_cast<double>(t));
+  std::string s;
+  if (v < 1e3) {
+    s = format_scaled(v, "ns");
+  } else if (v < 1e6) {
+    s = format_scaled(v / 1e3, "us");
+  } else if (v < 1e9) {
+    s = format_scaled(v / 1e6, "ms");
+  } else if (v < 60e9) {
+    s = format_scaled(v / 1e9, "s");
+  } else if (v < 3600e9) {
+    s = format_scaled(v / 60e9, "min");
+  } else {
+    s = format_scaled(v / 3600e9, "h");
+  }
+  return neg ? "-" + s : s;
+}
+
+std::string format_bytes(Bytes b) {
+  const bool neg = b < 0;
+  const double v = std::abs(static_cast<double>(b));
+  std::string s;
+  if (v < static_cast<double>(kKiB)) {
+    s = format_scaled(v, "B");
+  } else if (v < static_cast<double>(kMiB)) {
+    s = format_scaled(v / static_cast<double>(kKiB), "KiB");
+  } else if (v < static_cast<double>(kGiB)) {
+    s = format_scaled(v / static_cast<double>(kMiB), "MiB");
+  } else {
+    s = format_scaled(v / static_cast<double>(kGiB), "GiB");
+  }
+  return neg ? "-" + s : s;
+}
+
+}  // namespace chksim::units

@@ -1,0 +1,63 @@
+// Time and size units used throughout chksim.
+//
+// Simulated time is an integral count of nanoseconds (TimeNs). Integral time
+// keeps the discrete-event core deterministic and exactly reproducible across
+// platforms; doubles are used only at the analytic-model boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chksim {
+
+/// Simulated time in nanoseconds. Signed so that differences are safe.
+using TimeNs = std::int64_t;
+
+/// Message / checkpoint sizes in bytes.
+using Bytes = std::int64_t;
+
+namespace units {
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+inline constexpr TimeNs kHour = 60 * kMinute;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Convert a TimeNs to (double) seconds. Analytic-model boundary only.
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+
+/// Convert (double) seconds to TimeNs, rounding to nearest nanosecond.
+/// Negative inputs round symmetrically.
+constexpr TimeNs from_seconds(double s) {
+  const double ns = s * 1e9;
+  return static_cast<TimeNs>(ns >= 0 ? ns + 0.5 : ns - 0.5);
+}
+
+/// Human-readable time, e.g. "1.234 ms", "12.0 s". For reports and logs.
+std::string format_time(TimeNs t);
+
+/// Human-readable size, e.g. "4.0 KiB", "2.5 GiB".
+std::string format_bytes(Bytes b);
+
+}  // namespace units
+
+namespace literals {
+
+constexpr TimeNs operator""_ns(unsigned long long v) { return static_cast<TimeNs>(v); }
+constexpr TimeNs operator""_us(unsigned long long v) { return static_cast<TimeNs>(v) * units::kMicrosecond; }
+constexpr TimeNs operator""_ms(unsigned long long v) { return static_cast<TimeNs>(v) * units::kMillisecond; }
+constexpr TimeNs operator""_s(unsigned long long v) { return static_cast<TimeNs>(v) * units::kSecond; }
+constexpr Bytes operator""_B(unsigned long long v) { return static_cast<Bytes>(v); }
+constexpr Bytes operator""_KiB(unsigned long long v) { return static_cast<Bytes>(v) * units::kKiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return static_cast<Bytes>(v) * units::kMiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return static_cast<Bytes>(v) * units::kGiB; }
+
+}  // namespace literals
+
+}  // namespace chksim

@@ -1,0 +1,57 @@
+#include "chksim/workload/characterize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chksim/support/stats.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim::workload {
+
+Characterization characterize(const sim::Program& program,
+                              const sim::EngineConfig& config) {
+  if (!program.finalized())
+    throw std::logic_error("characterize requires a finalized Program");
+  const sim::ProgramStats& st = program.stats();
+  const sim::RunResult run = sim::run_program(program, config);
+  if (!run.completed)
+    throw std::runtime_error("characterize: program deadlocked: " + run.error);
+
+  Characterization c;
+  c.ranks = program.ranks();
+  c.ops = st.ops;
+  c.messages = st.sends;
+  c.bytes = st.bytes_sent;
+  c.dependency_depth = st.max_depth;
+  c.makespan = run.makespan;
+
+  const double seconds = units::to_seconds(run.makespan);
+  const double ranks = static_cast<double>(c.ranks);
+  if (seconds > 0) {
+    c.msgs_per_rank_per_second = static_cast<double>(st.sends) / ranks / seconds;
+    c.bytes_per_rank_per_second = static_cast<double>(st.bytes_sent) / ranks / seconds;
+  }
+  if (run.makespan > 0) {
+    c.comm_fraction = 1.0 - static_cast<double>(st.calc_total) / ranks /
+                                static_cast<double>(run.makespan);
+    StreamingStats finish;
+    double wait = 0;
+    for (const sim::RankStats& rs : run.ranks) {
+      finish.add(static_cast<double>(rs.finish_time));
+      wait += static_cast<double>(rs.recv_wait);
+    }
+    c.finish_skew_ns = finish.stddev();
+    c.recv_wait_fraction = wait / ranks / static_cast<double>(run.makespan);
+  }
+  return c;
+}
+
+Characterization characterize_workload(const std::string& name,
+                                       const StdParams& params,
+                                       const sim::EngineConfig& config) {
+  sim::Program p = make_workload(name, params);
+  p.finalize();
+  return characterize(p, config);
+}
+
+}  // namespace chksim::workload

@@ -1,0 +1,44 @@
+// Workload characterisation: the communication-profile metrics that
+// determine how an application responds to checkpoint perturbation
+// (message rate, volume, dependency depth, compute/communication balance,
+// load imbalance). Backs the T1 table and the skew inputs of the
+// coordination model.
+#pragma once
+
+#include <string>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/sim/program.hpp"
+
+namespace chksim::workload {
+
+struct Characterization {
+  int ranks = 0;
+  std::int64_t ops = 0;
+  std::int64_t messages = 0;
+  Bytes bytes = 0;
+  std::int64_t dependency_depth = 0;
+
+  TimeNs makespan = 0;
+  double msgs_per_rank_per_second = 0;
+  double bytes_per_rank_per_second = 0;
+  /// 1 - mean per-rank pure compute / makespan: the fraction of wallclock
+  /// not covered by local computation (communication + waiting).
+  double comm_fraction = 0;
+  /// Mean fraction of makespan ranks spend blocked in receives.
+  double recv_wait_fraction = 0;
+  /// Stddev of per-rank finish times (ns): arrival skew at the final
+  /// synchronisation point; feeds CoordinatedConfig::skew_sigma_ns.
+  double finish_skew_ns = 0;
+};
+
+/// Run `program` (must be finalized) under `net` and compute its profile.
+Characterization characterize(const sim::Program& program,
+                              const sim::EngineConfig& config);
+
+/// Convenience: build a registry workload and characterize it.
+Characterization characterize_workload(const std::string& name,
+                                       const struct StdParams& params,
+                                       const sim::EngineConfig& config);
+
+}  // namespace chksim::workload

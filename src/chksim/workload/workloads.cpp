@@ -1,0 +1,667 @@
+#include "chksim/workload/workloads.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "chksim/coll/collectives.hpp"
+#include "chksim/support/rng.hpp"
+
+namespace chksim::workload {
+
+using coll::Deps;
+using sim::OpRef;
+using sim::Program;
+using sim::RankId;
+using sim::Tag;
+
+Grid2d factor2d(int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("factor2d: ranks must be > 0");
+  Grid2d g;
+  for (int x = 1; x * x <= ranks; ++x)
+    if (ranks % x == 0) g.x = x;
+  g.y = ranks / g.x;
+  return g;
+}
+
+Grid3d factor3d(int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("factor3d: ranks must be > 0");
+  Grid3d g;
+  int best_x = 1;
+  for (int x = 1; x * x * x <= ranks; ++x)
+    if (ranks % x == 0) best_x = x;
+  g.x = best_x;
+  const Grid2d yz = factor2d(ranks / best_x);
+  g.y = std::min(yz.x, yz.y);
+  g.z = std::max(yz.x, yz.y);
+  if (g.y < g.x) std::swap(g.x, g.y);
+  if (g.y > g.z) std::swap(g.y, g.z);
+  if (g.y < g.x) std::swap(g.x, g.y);
+  return g;
+}
+
+namespace {
+
+/// Bulk-synchronous neighbour exchange: per iteration each rank computes,
+/// then exchanges `bytes` with each of its (symmetric) neighbours; the next
+/// iteration's compute waits for all of this iteration's sends and recvs.
+Program make_neighbor_exchange(int ranks, const std::vector<std::vector<RankId>>& nbrs,
+                               int iterations, TimeNs compute, Bytes bytes) {
+  assert(static_cast<int>(nbrs.size()) == ranks);
+  Program p(ranks);
+  const Tag tag0 = p.allocate_tags(iterations);
+  std::vector<std::vector<OpRef>> frontier(static_cast<std::size_t>(ranks));
+  for (int it = 0; it < iterations; ++it) {
+    const Tag tag = tag0 + it;
+    for (RankId r = 0; r < ranks; ++r) {
+      const OpRef c = p.calc(r, compute);
+      p.depends_all(frontier[static_cast<std::size_t>(r)], c);
+      auto& f = frontier[static_cast<std::size_t>(r)];
+      f.clear();
+      for (RankId n : nbrs[static_cast<std::size_t>(r)]) {
+        const OpRef s = p.send(r, n, bytes, tag);
+        p.depends(c, s);
+        f.push_back(s);
+      }
+      for (RankId n : nbrs[static_cast<std::size_t>(r)]) {
+        const OpRef rv = p.recv(r, n, bytes, tag);
+        p.depends(c, rv);
+        f.push_back(rv);
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<std::vector<RankId>> grid2d_neighbors(const Grid2d& g, bool nine_point) {
+  const int ranks = g.x * g.y;
+  std::vector<std::vector<RankId>> nbrs(static_cast<std::size_t>(ranks));
+  auto id = [&](int x, int y) {
+    return static_cast<RankId>(((x + g.x) % g.x) + ((y + g.y) % g.y) * g.x);
+  };
+  for (int y = 0; y < g.y; ++y) {
+    for (int x = 0; x < g.x; ++x) {
+      const RankId r = id(x, y);
+      auto& n = nbrs[static_cast<std::size_t>(r)];
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (!nine_point && dx != 0 && dy != 0) continue;
+          const RankId peer = id(x + dx, y + dy);
+          if (peer != r && std::find(n.begin(), n.end(), peer) == n.end())
+            n.push_back(peer);
+        }
+      }
+    }
+  }
+  return nbrs;
+}
+
+std::vector<std::vector<RankId>> grid3d_neighbors(const Grid3d& g, bool full27) {
+  const int ranks = g.x * g.y * g.z;
+  std::vector<std::vector<RankId>> nbrs(static_cast<std::size_t>(ranks));
+  auto id = [&](int x, int y, int z) {
+    return static_cast<RankId>(((x + g.x) % g.x) + ((y + g.y) % g.y) * g.x +
+                               ((z + g.z) % g.z) * g.x * g.y);
+  };
+  for (int z = 0; z < g.z; ++z) {
+    for (int y = 0; y < g.y; ++y) {
+      for (int x = 0; x < g.x; ++x) {
+        const RankId r = id(x, y, z);
+        auto& n = nbrs[static_cast<std::size_t>(r)];
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int order = std::abs(dx) + std::abs(dy) + std::abs(dz);
+              if (order == 0) continue;
+              if (!full27 && order != 1) continue;
+              const RankId peer = id(x + dx, y + dy, z + dz);
+              if (peer != r && std::find(n.begin(), n.end(), peer) == n.end())
+                n.push_back(peer);
+            }
+          }
+        }
+      }
+    }
+  }
+  return nbrs;
+}
+
+/// Reduce a per-rank multi-op frontier into single-op Deps usable as a
+/// collective entry (inserts zero-duration join calcs where needed).
+Deps join_frontier(Program& p, std::vector<std::vector<OpRef>>& frontier) {
+  Deps entry(frontier.size());
+  for (std::size_t r = 0; r < frontier.size(); ++r) {
+    if (frontier[r].empty()) continue;
+    if (frontier[r].size() == 1) {
+      entry[r] = frontier[r][0];
+    } else {
+      const OpRef j = p.calc(static_cast<RankId>(r), 0);
+      p.depends_all(frontier[r], j);
+      entry[r] = j;
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+Program make_halo2d(const Halo2dConfig& cfg) {
+  const Grid2d g = factor2d(cfg.ranks);
+  return make_neighbor_exchange(cfg.ranks, grid2d_neighbors(g, cfg.nine_point),
+                                cfg.iterations, cfg.compute_per_iter, cfg.halo_bytes);
+}
+
+Program make_halo3d(const Halo3dConfig& cfg) {
+  const Grid3d g = factor3d(cfg.ranks);
+  return make_neighbor_exchange(cfg.ranks, grid3d_neighbors(g, cfg.full27),
+                                cfg.iterations, cfg.compute_per_iter, cfg.halo_bytes);
+}
+
+Program make_sweep2d(const SweepConfig& cfg) {
+  const Grid2d g = factor2d(cfg.ranks);
+  Program p(cfg.ranks);
+  auto id = [&](int x, int y) { return static_cast<RankId>(x + y * g.x); };
+  static constexpr int kDirs[4][2] = {{1, 1}, {-1, 1}, {1, -1}, {-1, -1}};
+  const Tag tag0 = p.allocate_tags(cfg.sweeps * 4);
+  std::vector<OpRef> frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int s = 0; s < cfg.sweeps; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      const Tag tag = tag0 + s * 4 + d;
+      const int dx = kDirs[d][0];
+      const int dy = kDirs[d][1];
+      for (int y = 0; y < g.y; ++y) {
+        for (int x = 0; x < g.x; ++x) {
+          const RankId r = id(x, y);
+          const OpRef c = p.calc(r, cfg.compute_per_stage);
+          if (frontier[static_cast<std::size_t>(r)].valid())
+            p.depends(frontier[static_cast<std::size_t>(r)], c);
+          // Upstream inputs (non-periodic: absent at the inflow boundary).
+          const int ux = x - dx;
+          const int uy = y - dy;
+          if (ux >= 0 && ux < g.x) {
+            const OpRef rv = p.recv(r, id(ux, y), cfg.angle_bytes, tag);
+            if (frontier[static_cast<std::size_t>(r)].valid())
+              p.depends(frontier[static_cast<std::size_t>(r)], rv);
+            p.depends(rv, c);
+          }
+          if (uy >= 0 && uy < g.y) {
+            const OpRef rv = p.recv(r, id(x, uy), cfg.angle_bytes, tag);
+            if (frontier[static_cast<std::size_t>(r)].valid())
+              p.depends(frontier[static_cast<std::size_t>(r)], rv);
+            p.depends(rv, c);
+          }
+          // Downstream outputs.
+          OpRef last = c;
+          const int vx = x + dx;
+          const int vy = y + dy;
+          if (vx >= 0 && vx < g.x) {
+            const OpRef sd = p.send(r, id(vx, y), cfg.angle_bytes, tag);
+            p.depends(c, sd);
+            last = sd;
+          }
+          if (vy >= 0 && vy < g.y) {
+            const OpRef sd = p.send(r, id(x, vy), cfg.angle_bytes, tag);
+            p.depends(c, sd);
+            last = sd;
+          }
+          frontier[static_cast<std::size_t>(r)] = last;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+Program make_hpccg(const HpccgConfig& cfg) {
+  const Grid3d g = factor3d(cfg.ranks);
+  const auto nbrs = grid3d_neighbors(g, /*full27=*/false);
+  Program p(cfg.ranks);
+  const coll::Group group = coll::full_group(cfg.ranks);
+  const Tag tag0 = p.allocate_tags(cfg.iterations);
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    const Tag tag = tag0 + it;
+    std::vector<std::vector<OpRef>> phase(static_cast<std::size_t>(cfg.ranks));
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.spmv_compute);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      auto& f = phase[static_cast<std::size_t>(r)];
+      for (RankId n : nbrs[static_cast<std::size_t>(r)]) {
+        const OpRef s = p.send(r, n, cfg.halo_bytes, tag);
+        p.depends(c, s);
+        f.push_back(s);
+      }
+      for (RankId n : nbrs[static_cast<std::size_t>(r)]) {
+        const OpRef rv = p.recv(r, n, cfg.halo_bytes, tag);
+        p.depends(c, rv);
+        f.push_back(rv);
+      }
+    }
+    frontier = join_frontier(p, phase);
+    // CG dot products: small local work + 8-byte allreduce each.
+    for (int d = 0; d < cfg.dot_products; ++d) {
+      for (RankId r = 0; r < cfg.ranks; ++r) {
+        const OpRef c = p.calc(r, cfg.spmv_compute / 20);
+        if (frontier[static_cast<std::size_t>(r)].valid())
+          p.depends(frontier[static_cast<std::size_t>(r)], c);
+        frontier[static_cast<std::size_t>(r)] = c;
+      }
+      frontier = coll::allreduce_recursive_doubling(p, group, 8, frontier);
+    }
+  }
+  return p;
+}
+
+Program make_lammps(const LammpsConfig& cfg) {
+  const Grid3d g = factor3d(cfg.ranks);
+  const auto nbrs = grid3d_neighbors(g, /*full27=*/false);
+  Program p(cfg.ranks);
+  const coll::Group group = coll::full_group(cfg.ranks);
+  const Tag tag0 = p.allocate_tags(cfg.iterations);
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    const Tag tag = tag0 + it;
+    std::vector<std::vector<OpRef>> phase(static_cast<std::size_t>(cfg.ranks));
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.force_compute);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      auto& f = phase[static_cast<std::size_t>(r)];
+      for (RankId n : nbrs[static_cast<std::size_t>(r)]) {
+        const OpRef s = p.send(r, n, cfg.halo_bytes, tag);
+        p.depends(c, s);
+        f.push_back(s);
+      }
+      for (RankId n : nbrs[static_cast<std::size_t>(r)]) {
+        const OpRef rv = p.recv(r, n, cfg.halo_bytes, tag);
+        p.depends(c, rv);
+        f.push_back(rv);
+      }
+    }
+    frontier = join_frontier(p, phase);
+    if (cfg.allreduce_every > 0 && (it + 1) % cfg.allreduce_every == 0)
+      frontier = coll::allreduce_recursive_doubling(p, group, 8, frontier);
+  }
+  return p;
+}
+
+Program make_fft(const FftConfig& cfg) {
+  Program p(cfg.ranks);
+  const coll::Group group = coll::full_group(cfg.ranks);
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.compute_per_iter);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      frontier[static_cast<std::size_t>(r)] = c;
+    }
+    frontier = coll::alltoall_pairwise(p, group, cfg.bytes_per_pair, frontier);
+  }
+  return p;
+}
+
+Program make_fft2d(const Fft2dConfig& cfg) {
+  const Grid2d g = factor2d(cfg.ranks);
+  Program p(cfg.ranks);
+  auto id = [&](int x, int y) { return static_cast<RankId>(x + y * g.x); };
+  // Row and column subgroups of the process grid.
+  std::vector<coll::Group> rows(static_cast<std::size_t>(g.y));
+  std::vector<coll::Group> cols(static_cast<std::size_t>(g.x));
+  for (int y = 0; y < g.y; ++y)
+    for (int x = 0; x < g.x; ++x) rows[static_cast<std::size_t>(y)].push_back(id(x, y));
+  for (int x = 0; x < g.x; ++x)
+    for (int y = 0; y < g.y; ++y) cols[static_cast<std::size_t>(x)].push_back(id(x, y));
+
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  auto add_compute = [&] {
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.compute_per_iter / 2);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      frontier[static_cast<std::size_t>(r)] = c;
+    }
+  };
+  auto transpose = [&](const std::vector<coll::Group>& groups) {
+    for (const coll::Group& grp : groups) {
+      if (grp.size() < 2) continue;
+      // Entry/exit deps for this subgroup only.
+      Deps entry(grp.size());
+      for (std::size_t i = 0; i < grp.size(); ++i)
+        entry[i] = frontier[static_cast<std::size_t>(grp[i])];
+      const Deps exits = coll::alltoall_pairwise(p, grp, cfg.bytes_per_pair, entry);
+      for (std::size_t i = 0; i < grp.size(); ++i)
+        frontier[static_cast<std::size_t>(grp[i])] = exits[i];
+    }
+  };
+  for (int it = 0; it < cfg.iterations; ++it) {
+    add_compute();
+    transpose(rows);
+    add_compute();
+    transpose(cols);
+  }
+  return p;
+}
+
+Program make_ring(const RingConfig& cfg) {
+  if (cfg.ranks < 2) throw std::invalid_argument("ring needs >= 2 ranks");
+  Program p(cfg.ranks);
+  const Tag tag0 = p.allocate_tags(cfg.iterations);
+  std::vector<std::vector<OpRef>> frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    const Tag tag = tag0 + it;
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.compute_per_iter);
+      p.depends_all(frontier[static_cast<std::size_t>(r)], c);
+      const OpRef s = p.send(r, (r + 1) % cfg.ranks, cfg.bytes, tag);
+      const OpRef rv = p.recv(r, (r + cfg.ranks - 1) % cfg.ranks, cfg.bytes, tag);
+      p.depends(c, s);
+      p.depends(c, rv);
+      frontier[static_cast<std::size_t>(r)] = {s, rv};
+    }
+  }
+  return p;
+}
+
+Program make_random_sparse(const RandomSparseConfig& cfg) {
+  if (cfg.ranks < 2) throw std::invalid_argument("random_sparse needs >= 2 ranks");
+  if (cfg.degree >= cfg.ranks)
+    throw std::invalid_argument("random_sparse: degree must be < ranks");
+  Program p(cfg.ranks);
+  Rng rng(cfg.seed);
+  const Tag tag0 = p.allocate_tags(cfg.iterations);
+  std::vector<std::vector<OpRef>> frontier(static_cast<std::size_t>(cfg.ranks));
+  std::vector<OpRef> calc_of(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    const Tag tag = tag0 + it;
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.compute_per_iter);
+      p.depends_all(frontier[static_cast<std::size_t>(r)], c);
+      frontier[static_cast<std::size_t>(r)] = {c};
+      calc_of[static_cast<std::size_t>(r)] = c;
+    }
+    for (RankId src = 0; src < cfg.ranks; ++src) {
+      // Sample `degree` distinct destinations != src.
+      std::vector<RankId> dsts;
+      while (static_cast<int>(dsts.size()) < cfg.degree) {
+        const auto d = static_cast<RankId>(
+            rng.uniform_u64(static_cast<std::uint64_t>(cfg.ranks)));
+        if (d == src || std::find(dsts.begin(), dsts.end(), d) != dsts.end()) continue;
+        dsts.push_back(d);
+      }
+      for (RankId dst : dsts) {
+        const OpRef s = p.send(src, dst, cfg.bytes, tag);
+        p.depends(calc_of[static_cast<std::size_t>(src)], s);
+        frontier[static_cast<std::size_t>(src)].push_back(s);
+        const OpRef rv = p.recv(dst, src, cfg.bytes, tag);
+        p.depends(calc_of[static_cast<std::size_t>(dst)], rv);
+        frontier[static_cast<std::size_t>(dst)].push_back(rv);
+      }
+    }
+  }
+  return p;
+}
+
+Program make_master_worker(const MasterWorkerConfig& cfg) {
+  if (cfg.ranks < 2) throw std::invalid_argument("master_worker needs >= 2 ranks");
+  Program p(cfg.ranks);
+  Rng rng(cfg.seed);
+  const int workers = cfg.ranks - 1;
+  const Tag tag0 = p.allocate_tags(2 * cfg.tasks);
+  // Per-worker chains; master pipelines dispatch of a worker's next task on
+  // receipt of that worker's previous result.
+  std::vector<OpRef> master_last_recv(static_cast<std::size_t>(workers));
+  std::vector<OpRef> worker_last(static_cast<std::size_t>(workers));
+  for (int t = 0; t < cfg.tasks; ++t) {
+    const int w = t % workers;
+    const RankId worker = static_cast<RankId>(w + 1);
+    const Tag task_tag = tag0 + 2 * t;
+    const Tag result_tag = tag0 + 2 * t + 1;
+    const OpRef dispatch = p.send(0, worker, cfg.task_bytes, task_tag);
+    if (master_last_recv[static_cast<std::size_t>(w)].valid())
+      p.depends(master_last_recv[static_cast<std::size_t>(w)], dispatch);
+    const OpRef task_in = p.recv(worker, 0, cfg.task_bytes, task_tag);
+    if (worker_last[static_cast<std::size_t>(w)].valid())
+      p.depends(worker_last[static_cast<std::size_t>(w)], task_in);
+    const double sd = cfg.task_compute_cv * static_cast<double>(cfg.task_compute_mean);
+    const TimeNs dur = static_cast<TimeNs>(rng.normal_truncated(
+        static_cast<double>(cfg.task_compute_mean), sd,
+        0.1 * static_cast<double>(cfg.task_compute_mean),
+        3.0 * static_cast<double>(cfg.task_compute_mean)));
+    const OpRef work = p.calc(worker, dur);
+    p.depends(task_in, work);
+    const OpRef result_out = p.send(worker, 0, cfg.result_bytes, result_tag);
+    p.depends(work, result_out);
+    worker_last[static_cast<std::size_t>(w)] = result_out;
+    const OpRef result_in = p.recv(0, worker, cfg.result_bytes, result_tag);
+    master_last_recv[static_cast<std::size_t>(w)] = result_in;
+  }
+  return p;
+}
+
+Program make_ep(const EpConfig& cfg) {
+  Program p(cfg.ranks);
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.compute_per_iter);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      frontier[static_cast<std::size_t>(r)] = c;
+    }
+  }
+  if (cfg.ranks > 1)
+    coll::allreduce_recursive_doubling(p, coll::full_group(cfg.ranks), 8, frontier);
+  return p;
+}
+
+Program make_allreduce_loop(const AllreduceConfig& cfg) {
+  Program p(cfg.ranks);
+  const coll::Group group = coll::full_group(cfg.ranks);
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const OpRef c = p.calc(r, cfg.compute_per_iter);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      frontier[static_cast<std::size_t>(r)] = c;
+    }
+    if (cfg.ranks > 1)
+      frontier = coll::allreduce_recursive_doubling(p, group, cfg.reduce_bytes, frontier);
+  }
+  return p;
+}
+
+Program make_imbalanced_bsp(const ImbalancedBspConfig& cfg) {
+  Program p(cfg.ranks);
+  Rng rng(cfg.seed);
+  const coll::Group group = coll::full_group(cfg.ranks);
+  Deps frontier(static_cast<std::size_t>(cfg.ranks));
+  const double mean = static_cast<double>(cfg.compute_mean);
+  const double sd = cfg.compute_cv * mean;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      const TimeNs dur = static_cast<TimeNs>(
+          rng.normal_truncated(mean, sd, 0.05 * mean, 4.0 * mean));
+      const OpRef c = p.calc(r, dur);
+      if (frontier[static_cast<std::size_t>(r)].valid())
+        p.depends(frontier[static_cast<std::size_t>(r)], c);
+      frontier[static_cast<std::size_t>(r)] = c;
+    }
+    if (cfg.ranks > 1)
+      frontier = coll::allreduce_recursive_doubling(p, group, cfg.reduce_bytes, frontier);
+  }
+  return p;
+}
+
+Program make_pipeline(const PipelineConfig& cfg) {
+  if (cfg.ranks < 2) throw std::invalid_argument("pipeline needs >= 2 ranks");
+  Program p(cfg.ranks);
+  const Tag tag0 = p.allocate_tags(cfg.items);
+  // last_of[r]: rank r's most recent op (stages serialize per rank).
+  std::vector<OpRef> last_of(static_cast<std::size_t>(cfg.ranks));
+  for (int item = 0; item < cfg.items; ++item) {
+    const Tag tag = tag0 + item;
+    for (RankId r = 0; r < cfg.ranks; ++r) {
+      OpRef in;
+      if (r > 0) {
+        in = p.recv(r, r - 1, cfg.item_bytes, tag);
+        if (last_of[static_cast<std::size_t>(r)].valid())
+          p.depends(last_of[static_cast<std::size_t>(r)], in);
+      }
+      const OpRef work = p.calc(r, cfg.stage_compute);
+      if (in.valid()) p.depends(in, work);
+      if (!in.valid() && last_of[static_cast<std::size_t>(r)].valid())
+        p.depends(last_of[static_cast<std::size_t>(r)], work);
+      OpRef out = work;
+      if (r + 1 < cfg.ranks) {
+        out = p.send(r, r + 1, cfg.item_bytes, tag);
+        p.depends(work, out);
+      }
+      last_of[static_cast<std::size_t>(r)] = out;
+    }
+  }
+  return p;
+}
+
+namespace {
+
+struct RegistryEntry {
+  std::string description;
+  std::function<Program(const StdParams&)> build;
+};
+
+const std::map<std::string, RegistryEntry>& registry() {
+  static const std::map<std::string, RegistryEntry> kRegistry = {
+      {"halo2d",
+       {"2D 5-point periodic halo exchange",
+        [](const StdParams& s) {
+          return make_halo2d({s.ranks, s.iterations, s.compute, s.bytes, false});
+        }}},
+      {"halo2d9",
+       {"2D 9-point periodic halo exchange",
+        [](const StdParams& s) {
+          return make_halo2d({s.ranks, s.iterations, s.compute, s.bytes, true});
+        }}},
+      {"halo3d",
+       {"3D 7-point periodic halo exchange",
+        [](const StdParams& s) {
+          return make_halo3d({s.ranks, s.iterations, s.compute, s.bytes, false});
+        }}},
+      {"halo3d27",
+       {"3D 27-point periodic halo exchange",
+        [](const StdParams& s) {
+          return make_halo3d({s.ranks, s.iterations, s.compute, s.bytes, true});
+        }}},
+      {"sweep2d",
+       {"2D KBA wavefront sweep, 4 directions",
+        [](const StdParams& s) {
+          return make_sweep2d({s.ranks, s.iterations, s.compute, s.bytes});
+        }}},
+      {"hpccg",
+       {"CG proxy: 3D halo + 3 small allreduces per iteration",
+        [](const StdParams& s) {
+          return make_hpccg({s.ranks, s.iterations, s.compute, s.bytes, 3});
+        }}},
+      {"lammps",
+       {"MD proxy: 3D halo, heavy compute, occasional allreduce",
+        [](const StdParams& s) {
+          return make_lammps({s.ranks, s.iterations, s.compute, s.bytes, 10});
+        }}},
+      {"fft",
+       {"spectral proxy: compute + global alltoall transpose",
+        [](const StdParams& s) {
+          return make_fft({s.ranks, s.iterations, s.compute, s.bytes});
+        }}},
+      {"fft2d",
+       {"pencil 2D FFT proxy: row alltoall + column alltoall per iteration",
+        [](const StdParams& s) {
+          return make_fft2d({s.ranks, s.iterations, s.compute, s.bytes});
+        }}},
+      {"ring",
+       {"unidirectional ring pipeline",
+        [](const StdParams& s) {
+          return make_ring({s.ranks, s.iterations, s.compute, s.bytes});
+        }}},
+      {"random",
+       {"random sparse point-to-point, degree 4",
+        [](const StdParams& s) {
+          return make_random_sparse(
+              {s.ranks, s.iterations, s.compute, s.bytes,
+               std::min(4, s.ranks - 1), s.seed});
+        }}},
+      {"master_worker",
+       {"master/worker task farm",
+        [](const StdParams& s) {
+          MasterWorkerConfig c;
+          c.ranks = s.ranks;
+          c.tasks = s.iterations * (s.ranks - 1);
+          c.task_compute_mean = s.compute;
+          c.task_bytes = s.bytes;
+          c.seed = s.seed;
+          return make_master_worker(c);
+        }}},
+      {"bsp_imbalanced",
+       {"bulk-synchronous loop with 20% compute imbalance",
+        [](const StdParams& s) {
+          ImbalancedBspConfig c;
+          c.ranks = s.ranks;
+          c.iterations = s.iterations;
+          c.compute_mean = s.compute;
+          c.reduce_bytes = std::max<Bytes>(8, s.bytes / 1024);
+          c.seed = s.seed;
+          return make_imbalanced_bsp(c);
+        }}},
+      {"pipeline",
+       {"streaming software pipeline (deep forward chains)",
+        [](const StdParams& s) {
+          PipelineConfig c;
+          c.ranks = s.ranks;
+          c.items = std::max(2, s.iterations * 4);
+          c.stage_compute = s.compute;
+          c.item_bytes = s.bytes;
+          return make_pipeline(c);
+        }}},
+      {"ep",
+       {"embarrassingly parallel control (compute only)",
+        [](const StdParams& s) {
+          return make_ep({s.ranks, s.iterations, s.compute});
+        }}},
+      {"allreduce",
+       {"bulk-synchronous compute + allreduce loop",
+        [](const StdParams& s) {
+          return make_allreduce_loop({s.ranks, s.iterations, s.compute, s.bytes});
+        }}},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+Program make_workload(const std::string& name, const StdParams& params) {
+  const auto it = registry().find(name);
+  if (it == registry().end())
+    throw std::invalid_argument("unknown workload: " + name);
+  return it->second.build(params);
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;
+}
+
+std::string workload_description(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end())
+    throw std::invalid_argument("unknown workload: " + name);
+  return it->second.description;
+}
+
+}  // namespace chksim::workload

@@ -1,0 +1,204 @@
+// Application-workload generators.
+//
+// Each generator emits the communication skeleton of a class of HPC
+// application as a Program DAG. The skeletons are the ones the
+// checkpointing-at-scale literature evaluates against: nearest-neighbour
+// halo exchange (stencil solvers, MD), wavefront sweeps (Sn transport),
+// allreduce-dominated iteration (CG solvers, HPCCG), alltoall transposes
+// (spectral codes), plus stress patterns (ring, random sparse,
+// master/worker) and an embarrassingly-parallel control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chksim/sim/program.hpp"
+
+namespace chksim::workload {
+
+/// Near-square factorisation px*py == ranks with px <= py.
+struct Grid2d {
+  int x = 1;
+  int y = 1;
+};
+Grid2d factor2d(int ranks);
+
+/// Near-cubic factorisation px*py*pz == ranks with px <= py <= pz.
+struct Grid3d {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+};
+Grid3d factor3d(int ranks);
+
+struct Halo2dConfig {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute_per_iter = 1'000'000;  // 1 ms
+  Bytes halo_bytes = 8192;
+  bool nine_point = false;  ///< include diagonal neighbours
+};
+/// Periodic 2D domain decomposition with per-iteration halo exchange.
+sim::Program make_halo2d(const Halo2dConfig& cfg);
+
+struct Halo3dConfig {
+  int ranks = 27;
+  int iterations = 10;
+  TimeNs compute_per_iter = 1'000'000;
+  Bytes halo_bytes = 8192;
+  bool full27 = false;  ///< 27-point stencil (26 neighbours) instead of 7-point
+};
+/// Periodic 3D domain decomposition with per-iteration halo exchange.
+sim::Program make_halo3d(const Halo3dConfig& cfg);
+
+struct SweepConfig {
+  int ranks = 16;
+  int sweeps = 4;                      ///< full 4-direction sweep repetitions
+  TimeNs compute_per_stage = 200'000;  ///< per-rank work per wavefront stage
+  Bytes angle_bytes = 4096;
+};
+/// KBA-style 2D wavefront sweep from each of the four corners; strong
+/// serial dependency chains (the pattern most sensitive to delay
+/// propagation).
+sim::Program make_sweep2d(const SweepConfig& cfg);
+
+struct HpccgConfig {
+  int ranks = 27;
+  int iterations = 10;
+  TimeNs spmv_compute = 2'000'000;
+  Bytes halo_bytes = 8192;
+  int dot_products = 3;  ///< small allreduces per iteration (CG dot products)
+};
+/// HPCCG/CG proxy: 3D halo exchange + latency-sensitive small allreduces.
+sim::Program make_hpccg(const HpccgConfig& cfg);
+
+struct LammpsConfig {
+  int ranks = 27;
+  int iterations = 20;
+  TimeNs force_compute = 5'000'000;
+  Bytes halo_bytes = 65536;
+  int allreduce_every = 10;  ///< thermo output cadence
+};
+/// Molecular-dynamics proxy: 3D halo exchange with heavier compute and an
+/// occasional global reduction.
+sim::Program make_lammps(const LammpsConfig& cfg);
+
+struct FftConfig {
+  int ranks = 16;
+  int iterations = 5;
+  TimeNs compute_per_iter = 1'000'000;
+  Bytes bytes_per_pair = 16384;
+};
+/// Spectral-code proxy: compute + global alltoall transpose per iteration.
+sim::Program make_fft(const FftConfig& cfg);
+
+struct Fft2dConfig {
+  int ranks = 16;  ///< Decomposed as a px x py process grid.
+  int iterations = 5;
+  TimeNs compute_per_iter = 1'000'000;
+  Bytes bytes_per_pair = 16384;
+};
+/// Pencil-decomposed 2D FFT proxy: each iteration does an alltoall within
+/// each process-grid ROW, compute, then an alltoall within each COLUMN —
+/// the classic subcommunicator pattern (perturbation spreads first along
+/// rows, then along columns).
+sim::Program make_fft2d(const Fft2dConfig& cfg);
+
+struct RingConfig {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute_per_iter = 500'000;
+  Bytes bytes = 8192;
+};
+/// Unidirectional ring pipeline.
+sim::Program make_ring(const RingConfig& cfg);
+
+struct RandomSparseConfig {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute_per_iter = 1'000'000;
+  Bytes bytes = 8192;
+  int degree = 4;  ///< out-neighbours per rank per iteration
+  std::uint64_t seed = 1;
+};
+/// Irregular point-to-point pattern: each rank messages `degree` random
+/// peers each iteration (graph/AMR-like).
+sim::Program make_random_sparse(const RandomSparseConfig& cfg);
+
+struct MasterWorkerConfig {
+  int ranks = 8;
+  int tasks = 64;
+  TimeNs task_compute_mean = 2'000'000;
+  double task_compute_cv = 0.3;  ///< coefficient of variation of task cost
+  Bytes task_bytes = 4096;
+  Bytes result_bytes = 1024;
+  std::uint64_t seed = 1;
+};
+/// Master/worker task farm (round-robin dispatch with result-driven
+/// pipelining).
+sim::Program make_master_worker(const MasterWorkerConfig& cfg);
+
+struct EpConfig {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute_per_iter = 1'000'000;
+};
+/// Embarrassingly parallel control: per-iteration compute, one final
+/// 8-byte allreduce.
+sim::Program make_ep(const EpConfig& cfg);
+
+struct AllreduceConfig {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute_per_iter = 1'000'000;
+  Bytes reduce_bytes = 8;
+};
+/// Pure compute + allreduce loop (bulk-synchronous kernel).
+sim::Program make_allreduce_loop(const AllreduceConfig& cfg);
+
+struct ImbalancedBspConfig {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute_mean = 1'000'000;
+  double compute_cv = 0.2;  ///< coefficient of variation of per-rank work
+  Bytes reduce_bytes = 8;
+  std::uint64_t seed = 1;
+};
+/// Bulk-synchronous loop with per-rank, per-iteration compute imbalance
+/// (truncated normal): the source of arrival skew at coordination points.
+sim::Program make_imbalanced_bsp(const ImbalancedBspConfig& cfg);
+
+struct PipelineConfig {
+  int ranks = 16;
+  int items = 64;                    ///< work items flowing through the chain
+  TimeNs stage_compute = 1'000'000;  ///< per-stage processing per item
+  Bytes item_bytes = 65536;
+};
+/// Software pipeline: rank r processes item k then forwards it to rank r+1
+/// (streaming dataflow; deep chains, natural slack at the ends).
+sim::Program make_pipeline(const PipelineConfig& cfg);
+
+/// ---- Registry -----------------------------------------------------------
+
+/// Common knobs accepted by every registry workload.
+struct StdParams {
+  int ranks = 16;
+  int iterations = 10;
+  TimeNs compute = 1'000'000;
+  Bytes bytes = 8192;
+  std::uint64_t seed = 1;
+};
+
+/// Build a workload by name ("halo2d", "halo2d9", "halo3d", "halo3d27",
+/// "sweep2d", "hpccg", "lammps", "fft", "ring", "random", "master_worker",
+/// "ep", "allreduce"). Throws std::invalid_argument on unknown names.
+sim::Program make_workload(const std::string& name, const StdParams& params);
+
+/// All registry names, in a stable order.
+std::vector<std::string> workload_names();
+
+/// One-line description of a registry workload.
+std::string workload_description(const std::string& name);
+
+}  // namespace chksim::workload

@@ -1,0 +1,174 @@
+// Analytic model tests: Young/Daly formulas and LogP coordination costs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chksim/analytic/coordination.hpp"
+#include "chksim/analytic/daly.hpp"
+
+namespace chksim::analytic {
+namespace {
+
+TEST(Young, KnownValue) {
+  // delta = 60 s, M = 7500 s: tau = sqrt(2*60*7500) = 948.68...
+  EXPECT_NEAR(young_interval(60, 7500), 948.683, 0.01);
+  EXPECT_THROW(young_interval(0, 100), std::invalid_argument);
+  EXPECT_THROW(young_interval(10, 0), std::invalid_argument);
+}
+
+TEST(Daly, ReducesTowardYoungForSmallDelta) {
+  // For delta << M, Daly's correction terms vanish.
+  const double M = 1e6;
+  const double delta = 1.0;
+  EXPECT_NEAR(daly_interval(delta, M) / young_interval(delta, M), 1.0, 0.01);
+}
+
+TEST(Daly, ClampsToMtbfForHugeDelta) {
+  EXPECT_DOUBLE_EQ(daly_interval(300, 100), 100);
+}
+
+TEST(Daly, IntervalExceedsYoungMinusDelta) {
+  // Daly's higher-order interval is Young's plus positive corrections minus
+  // delta.
+  const double delta = 60, M = 7500;
+  const double y = young_interval(delta, M);
+  const double d = daly_interval(delta, M);
+  EXPECT_GT(d, y - delta);
+  EXPECT_LT(d, y + delta);
+}
+
+TEST(DalyWalltime, NoFailureLimit) {
+  // As M -> infinity, walltime -> Ts * (1 + delta/tau).
+  const double Ts = 10000, tau = 1000, delta = 100;
+  const double w = daly_walltime(Ts, tau, delta, 10, 1e12);
+  EXPECT_NEAR(w, Ts * (1 + delta / tau), 1.0);
+}
+
+TEST(DalyWalltime, MonotonicInFailureRate) {
+  const double Ts = 10000, tau = 500, delta = 50, R = 100;
+  EXPECT_LT(daly_walltime(Ts, tau, delta, R, 1e6),
+            daly_walltime(Ts, tau, delta, R, 1e4));
+  EXPECT_LT(daly_walltime(Ts, tau, delta, R, 1e4),
+            daly_walltime(Ts, tau, delta, R, 1e3));
+}
+
+TEST(DalyWalltime, OptimalIntervalIsNearMinimum) {
+  const double Ts = 100000, delta = 60, R = 120, M = 7500;
+  const double tau_opt = daly_interval(delta, M);
+  const double w_opt = daly_walltime(Ts, tau_opt, delta, R, M);
+  for (double factor : {0.25, 0.5, 2.0, 4.0}) {
+    EXPECT_LE(w_opt, daly_walltime(Ts, tau_opt * factor, delta, R, M) * 1.001)
+        << "factor " << factor;
+  }
+}
+
+TEST(DalyEfficiency, InUnitInterval) {
+  const double e = daly_efficiency(1e5, 948, 60, 120, 7500);
+  EXPECT_GT(e, 0.5);
+  EXPECT_LT(e, 1.0);
+  EXPECT_NEAR(optimal_efficiency(1e5, 60, 120, 7500),
+              daly_efficiency(1e5, daly_interval(60, 7500), 60, 120, 7500), 1e-12);
+}
+
+TEST(FirstOrderOverhead, Components) {
+  EXPECT_DOUBLE_EQ(first_order_overhead(1000, 60, 120, 7500),
+                   60.0 / 1000 + 1000.0 / 15000 + 120.0 / 7500);
+}
+
+TEST(ExpectedFailures, Linear) {
+  EXPECT_DOUBLE_EQ(expected_failures(7500, 7500), 1.0);
+  EXPECT_DOUBLE_EQ(expected_failures(0, 100), 0.0);
+  EXPECT_THROW(expected_failures(-1, 100), std::invalid_argument);
+}
+
+TEST(Coordination, LogPStep) {
+  sim::LogGOPSParams net;
+  net.L = 1000;
+  net.o = 100;
+  EXPECT_EQ(logp_step(net), 1200);
+}
+
+TEST(Coordination, BarrierCostsAreLogarithmic) {
+  sim::LogGOPSParams net;
+  net.L = 1000;
+  net.o = 100;
+  EXPECT_EQ(barrier_dissemination_cost(net, 1), 0);
+  EXPECT_EQ(barrier_dissemination_cost(net, 2), 1200);
+  EXPECT_EQ(barrier_dissemination_cost(net, 1024), 10 * 1200);
+  EXPECT_EQ(barrier_dissemination_cost(net, 1025), 11 * 1200);
+  EXPECT_EQ(barrier_tree_cost(net, 1024), 2 * 10 * 1200);
+  EXPECT_THROW(barrier_dissemination_cost(net, 0), std::invalid_argument);
+}
+
+TEST(Coordination, MillionRankBarrierIsSubMillisecond) {
+  // The paper's headline coordination observation: even at 2^20 ranks a
+  // LogP dissemination barrier costs ~20 steps, i.e. microseconds.
+  sim::LogGOPSParams net;
+  net.L = 1500;
+  net.o = 1500;
+  const TimeNs cost = barrier_dissemination_cost(net, 1 << 20);
+  EXPECT_EQ(cost, 20 * (1500 + 3000));
+  EXPECT_LT(cost, 1'000'000);  // < 1 ms
+}
+
+TEST(Coordination, AllreduceAddsBandwidthTerm) {
+  sim::LogGOPSParams net;
+  net.L = 1000;
+  net.o = 100;
+  net.G = 1.0;
+  EXPECT_EQ(allreduce_cost(net, 16, 0), 4 * 1200);
+  EXPECT_EQ(allreduce_cost(net, 16, 1000), 4 * 2200);
+}
+
+TEST(ExpectedMaxNormals, KnownCases) {
+  EXPECT_DOUBLE_EQ(expected_max_of_normals(1, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_max_of_normals(100, 0.0), 0.0);
+  EXPECT_NEAR(expected_max_of_normals(2, 1.0), 1.0 / std::sqrt(M_PI), 1e-12);
+  // E[max of 10 std normals] ~ 1.54; the asymptotic expansion
+  // underestimates at small P but must land in the right neighbourhood.
+  EXPECT_NEAR(expected_max_of_normals(10, 1.0), 1.54, 0.25);
+  // Grows like sqrt(2 ln P): a 1024x increase in P costs < 60% more skew.
+  const double g1 = expected_max_of_normals(1 << 10, 1.0);
+  const double g2 = expected_max_of_normals(1 << 20, 1.0);
+  EXPECT_GT(g2, g1);
+  EXPECT_LT(g2 / g1, 1.6);
+}
+
+TEST(CoordinationCost, CombinesSyncAndSkew) {
+  sim::LogGOPSParams net;
+  net.L = 1000;
+  net.o = 100;
+  const TimeNs no_skew =
+      coordination_cost(net, 1024, SyncAlgorithm::kDissemination, 0.0);
+  EXPECT_EQ(no_skew, barrier_dissemination_cost(net, 1024));
+  const TimeNs with_skew =
+      coordination_cost(net, 1024, SyncAlgorithm::kDissemination, 10'000.0);
+  EXPECT_GT(with_skew, no_skew + 30'000);  // ~3.7 sigma at P=1024
+  const TimeNs tree = coordination_cost(net, 1024, SyncAlgorithm::kTree, 0.0);
+  EXPECT_EQ(tree, 2 * no_skew);
+}
+
+class DalyPropertySweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+// Property: walltime at Daly's tau is within 2% of a dense numeric scan.
+TEST_P(DalyPropertySweep, DalyIntervalNearNumericOptimum) {
+  const auto [delta, M] = GetParam();
+  const double Ts = 1e6, R = 2 * delta;
+  const double tau_d = daly_interval(delta, M);
+  const double w_d = daly_walltime(Ts, tau_d, delta, R, M);
+  double best = w_d;
+  for (double tau = tau_d / 8; tau <= tau_d * 8; tau *= 1.05) {
+    best = std::min(best, daly_walltime(Ts, tau, delta, R, M));
+  }
+  EXPECT_LE(w_d, best * 1.02) << "delta=" << delta << " M=" << M;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DalyPropertySweep,
+    ::testing::Values(std::make_tuple(10.0, 86400.0), std::make_tuple(60.0, 7500.0),
+                      std::make_tuple(300.0, 3600.0), std::make_tuple(600.0, 1800.0),
+                      std::make_tuple(5.0, 600.0)));
+
+}  // namespace
+}  // namespace chksim::analytic

@@ -1,0 +1,74 @@
+// Tests for the process-replication comparator.
+#include "chksim/analytic/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chksim::analytic {
+namespace {
+
+ReplicationInputs base() {
+  ReplicationInputs in;
+  in.app_ranks = 1 << 19;  // half of a 2^20-node machine
+  in.node_mtbf_seconds = 25'000.0 * 3600;
+  in.rebuild_seconds = 600;
+  in.ckpt_seconds = 60;
+  in.restart_seconds = 300;
+  return in;
+}
+
+TEST(Replication, JobMtbfFormula) {
+  ReplicationInputs in = base();
+  const double lambda = 1.0 / in.node_mtbf_seconds;
+  const double expected =
+      1.0 / (in.app_ranks * 2.0 * lambda * lambda * in.rebuild_seconds);
+  EXPECT_NEAR(replicated_job_mtbf_seconds(in), expected, 1e-6 * expected);
+}
+
+TEST(Replication, JobMtbfVastlyExceedsUnreplicated) {
+  ReplicationInputs in = base();
+  const double unreplicated = in.node_mtbf_seconds / (2.0 * in.app_ranks);
+  EXPECT_GT(replicated_job_mtbf_seconds(in), 1000 * unreplicated);
+}
+
+TEST(Replication, EfficiencyNearHalfAtExtremeScale) {
+  const double e = replication_efficiency(base());
+  EXPECT_GT(e, 0.45);
+  EXPECT_LE(e, 0.5);
+}
+
+TEST(Replication, EfficiencyCappedAtHalf) {
+  ReplicationInputs in = base();
+  in.ckpt_seconds = 0;  // no checkpointing at all
+  EXPECT_DOUBLE_EQ(replication_efficiency(in), 0.5);
+}
+
+TEST(Replication, MtbfScalesInverselyWithRanks) {
+  ReplicationInputs small = base();
+  small.app_ranks = 1 << 10;
+  ReplicationInputs large = base();
+  large.app_ranks = 1 << 20;
+  EXPECT_NEAR(replicated_job_mtbf_seconds(small) / replicated_job_mtbf_seconds(large),
+              1024.0, 1.0);
+}
+
+TEST(Replication, ShorterRebuildWindowHelps) {
+  ReplicationInputs slow = base();
+  ReplicationInputs fast = base();
+  fast.rebuild_seconds = 60;
+  EXPECT_GT(replicated_job_mtbf_seconds(fast), replicated_job_mtbf_seconds(slow));
+}
+
+TEST(Replication, Validates) {
+  ReplicationInputs in = base();
+  in.app_ranks = 0;
+  EXPECT_THROW(replicated_job_mtbf_seconds(in), std::invalid_argument);
+  in = base();
+  in.node_mtbf_seconds = 0;
+  EXPECT_THROW(replication_efficiency(in), std::invalid_argument);
+  in = base();
+  in.rebuild_seconds = 0;
+  EXPECT_THROW(replication_efficiency(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chksim::analytic

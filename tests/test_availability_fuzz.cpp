@@ -1,0 +1,126 @@
+// Randomized cross-validation of the lazy blackout schedules against a
+// brute-force materialised reference (ListBlackouts), plus Availability
+// calculator properties on random schedules.
+#include <gtest/gtest.h>
+
+#include "chksim/sim/availability.hpp"
+#include "chksim/support/rng.hpp"
+
+namespace chksim::sim {
+namespace {
+
+/// Materialise a lazy schedule into explicit intervals over [0, horizon).
+std::vector<Interval> materialize(const BlackoutSchedule& s, RankId rank,
+                                  TimeNs horizon) {
+  std::vector<Interval> out;
+  TimeNs t = 0;
+  while (true) {
+    const auto iv = s.next_blackout(rank, t);
+    if (!iv || iv->begin >= horizon) break;
+    out.push_back(*iv);
+    t = iv->end;
+  }
+  return out;
+}
+
+class ScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleFuzz, PeriodicMatchesMaterializedReference) {
+  Rng rng(GetParam());
+  const TimeNs period = 50 + static_cast<TimeNs>(rng.uniform_u64(1000));
+  const TimeNs duration = 1 + static_cast<TimeNs>(
+                                  rng.uniform_u64(static_cast<std::uint64_t>(period)));
+  const TimeNs phase = static_cast<TimeNs>(rng.uniform_u64(2000));
+  const TimeNs horizon = 20'000;
+
+  PeriodicBlackouts lazy(period, duration, phase);
+  ListBlackouts reference({materialize(lazy, 0, horizon)});
+
+  for (int i = 0; i < 500; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng.uniform_u64(horizon - 2 * period));
+    const auto a = lazy.next_blackout(0, t);
+    const auto b = reference.next_blackout(0, t);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value()) << "t=" << t;
+    ASSERT_EQ(*a, *b) << "t=" << t << " period=" << period << " dur=" << duration
+                      << " phase=" << phase;
+  }
+}
+
+TEST_P(ScheduleFuzz, PatternedMatchesMaterializedReference) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const TimeNs period = 100 + static_cast<TimeNs>(rng.uniform_u64(1000));
+  const int cycle = 1 + static_cast<int>(rng.uniform_u64(5));
+  std::vector<TimeNs> durations;
+  for (int i = 0; i < cycle; ++i)
+    durations.push_back(
+        static_cast<TimeNs>(rng.uniform_u64(static_cast<std::uint64_t>(period))));
+  const TimeNs phase = static_cast<TimeNs>(rng.uniform_u64(500));
+  const TimeNs horizon = 30'000;
+
+  PatternedBlackouts lazy(period, durations, phase);
+  ListBlackouts reference({materialize(lazy, 0, horizon)});
+
+  bool any = false;
+  for (TimeNs d : durations) any = any || d > 0;
+
+  for (int i = 0; i < 500; ++i) {
+    const TimeNs t = static_cast<TimeNs>(
+        rng.uniform_u64(static_cast<std::uint64_t>(horizon - (cycle + 2) * period)));
+    const auto a = lazy.next_blackout(0, t);
+    const auto b = reference.next_blackout(0, t);
+    if (!any) {
+      ASSERT_FALSE(a.has_value());
+      continue;
+    }
+    ASSERT_TRUE(a.has_value()) << "t=" << t;
+    ASSERT_TRUE(b.has_value()) << "t=" << t;
+    ASSERT_EQ(*a, *b) << "t=" << t << " period=" << period;
+  }
+}
+
+TEST_P(ScheduleFuzz, AvailabilityPropertiesOnRandomLists) {
+  Rng rng(GetParam() ^ 0xF00D);
+  // Random messy interval list (overlaps and zero lengths included).
+  std::vector<Interval> raw;
+  for (int i = 0; i < 40; ++i) {
+    const TimeNs b = static_cast<TimeNs>(rng.uniform_u64(50'000));
+    raw.push_back({b, b + static_cast<TimeNs>(rng.uniform_u64(2'000))});
+  }
+  ListBlackouts bl({raw});
+  Availability av(&bl, Preemption::kPreemptive);
+  Availability av_np(&bl, Preemption::kNonPreemptive);
+
+  for (int i = 0; i < 300; ++i) {
+    const TimeNs t = static_cast<TimeNs>(rng.uniform_u64(60'000));
+    const TimeNs work = static_cast<TimeNs>(rng.uniform_u64(5'000));
+
+    const TimeNs start = av.next_available(0, t);
+    // next_available lands outside every blackout and not before t.
+    ASSERT_GE(start, t);
+    const auto covering = bl.next_blackout(0, start);
+    ASSERT_TRUE(!covering || !covering->contains(start));
+
+    const TimeNs fin = av.finish(0, t, work);
+    ASSERT_GE(fin, start + work);  // elapsed >= pure work
+
+    const TimeNs fin_np = av_np.finish(0, t, work);
+    // Non-preemptive completes a single contiguous block; for one task it
+    // can never beat preemptive.
+    ASSERT_GE(fin_np, fin);
+    // And its whole span [fin_np - work, fin_np) is blackout-free.
+    const auto iv = bl.next_blackout(0, fin_np - work);
+    ASSERT_TRUE(!iv || iv->begin >= fin_np || work == 0)
+        << "non-preemptive block straddles a blackout";
+
+    // Monotonicity: more work never finishes earlier.
+    ASSERT_LE(fin, av.finish(0, t, work + 1));
+    // Time-shift monotonicity: starting later never finishes earlier.
+    ASSERT_LE(fin, av.finish(0, t + 1, work));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace chksim::sim

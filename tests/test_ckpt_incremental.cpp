@@ -1,0 +1,135 @@
+// PatternedBlackouts and incremental-checkpointing tests.
+#include <gtest/gtest.h>
+
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/core/study.hpp"
+
+namespace chksim {
+namespace {
+
+using namespace chksim::literals;
+using sim::Interval;
+using sim::PatternedBlackouts;
+
+TEST(PatternedBlackouts, CycleOfDurations) {
+  // period 100: full 20 at t=0, deltas 5 at t=100, 200, full again at 300.
+  PatternedBlackouts bl(100, {20, 5, 5}, TimeNs{0});
+  EXPECT_EQ(*bl.next_blackout(0, 0), (Interval{0, 20}));
+  EXPECT_EQ(*bl.next_blackout(0, 20), (Interval{100, 105}));
+  EXPECT_EQ(*bl.next_blackout(0, 105), (Interval{200, 205}));
+  EXPECT_EQ(*bl.next_blackout(0, 205), (Interval{300, 320}));
+  EXPECT_EQ(bl.mean_duration(), 10);
+}
+
+TEST(PatternedBlackouts, QueryInsideInterval) {
+  PatternedBlackouts bl(100, {20, 5}, TimeNs{0});
+  EXPECT_EQ(*bl.next_blackout(0, 10), (Interval{0, 20}));
+  EXPECT_EQ(*bl.next_blackout(0, 102), (Interval{100, 105}));
+}
+
+TEST(PatternedBlackouts, SkipsZeroDurations) {
+  PatternedBlackouts bl(100, {10, 0, 0, 10}, TimeNs{0});
+  EXPECT_EQ(*bl.next_blackout(0, 10), (Interval{300, 310}));
+}
+
+TEST(PatternedBlackouts, AllZeroMeansNone) {
+  PatternedBlackouts bl(100, {0, 0}, TimeNs{0});
+  EXPECT_FALSE(bl.next_blackout(0, 0).has_value());
+}
+
+TEST(PatternedBlackouts, PerRankPhases) {
+  PatternedBlackouts bl(100, {20, 5}, std::vector<TimeNs>{0, 50});
+  EXPECT_EQ(bl.next_blackout(0, 0)->begin, 0);
+  EXPECT_EQ(bl.next_blackout(1, 0)->begin, 50);
+  EXPECT_EQ(*bl.next_blackout(1, 71), (Interval{150, 155}));
+}
+
+TEST(PatternedBlackouts, SingleDurationMatchesPeriodic) {
+  PatternedBlackouts pat(100, {10}, TimeNs{7});
+  sim::PeriodicBlackouts per(100, 10, TimeNs{7});
+  for (TimeNs t : {TimeNs{0}, TimeNs{7}, TimeNs{17}, TimeNs{18}, TimeNs{250}}) {
+    const auto a = pat.next_blackout(0, t);
+    const auto b = per.next_blackout(0, t);
+    ASSERT_EQ(a.has_value(), b.has_value()) << t;
+    if (a) EXPECT_EQ(*a, *b) << t;
+  }
+}
+
+TEST(Incremental, SpecEnablement) {
+  ckpt::IncrementalSpec inc;
+  EXPECT_FALSE(inc.enabled());  // full_every = 1
+  inc.full_every = 4;
+  inc.delta_fraction = 0.25;
+  EXPECT_TRUE(inc.enabled());
+  inc.delta_fraction = 1.0;
+  EXPECT_FALSE(inc.enabled());
+}
+
+TEST(Incremental, CoordinatedBlackoutsAlternate) {
+  net::MachineModel m = net::infiniband_system();
+  m.ckpt_bytes_per_node = 64_MiB;
+  ckpt::CoordinatedConfig cfg;
+  cfg.interval = 600_s;
+  cfg.incremental.full_every = 4;
+  cfg.incremental.delta_fraction = 0.25;
+  const ckpt::Artifacts a = ckpt::prepare_coordinated(cfg, m, 64);
+  EXPECT_GT(a.blackout_full, a.blackout_delta);
+  EXPECT_GT(a.blackout_delta, a.coordination_time);
+  // mean = (full + 3*delta) / 4
+  EXPECT_EQ(a.blackout, (a.blackout_full + 3 * a.blackout_delta) / 4);
+  // Schedule really alternates: first interval long, second short.
+  const auto first = a.schedule->next_blackout(0, 0);
+  const auto second = a.schedule->next_blackout(0, first->end);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->duration(), a.blackout_full);
+  EXPECT_EQ(second->duration(), a.blackout_delta);
+}
+
+TEST(Incremental, ReducesDutyCycle) {
+  net::MachineModel m = net::infiniband_system();
+  m.ckpt_bytes_per_node = 64_MiB;
+  ckpt::UncoordinatedConfig base;
+  base.interval = 600_s;
+  ckpt::UncoordinatedConfig inc = base;
+  inc.incremental.full_every = 10;
+  inc.incremental.delta_fraction = 0.1;
+  const auto a0 = ckpt::prepare_uncoordinated(base, m, 64);
+  const auto a1 = ckpt::prepare_uncoordinated(inc, m, 64);
+  EXPECT_LT(a1.duty_cycle(), 0.25 * a0.duty_cycle());
+  EXPECT_EQ(a1.blackout_full, a0.blackout);
+}
+
+TEST(Incremental, InvalidSpecThrows) {
+  net::MachineModel m = net::infiniband_system();
+  m.ckpt_bytes_per_node = 64_MiB;
+  ckpt::CoordinatedConfig cfg;
+  cfg.interval = 600_s;
+  cfg.incremental.full_every = 0;
+  EXPECT_THROW(ckpt::prepare_coordinated(cfg, m, 64), std::invalid_argument);
+  cfg.incremental.full_every = 4;
+  cfg.incremental.delta_fraction = 1.5;
+  EXPECT_THROW(ckpt::prepare_coordinated(cfg, m, 64), std::invalid_argument);
+}
+
+TEST(Incremental, StudyEndToEndReducesOverhead) {
+  core::StudyConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.machine.ckpt_bytes_per_node = 4_MiB;
+  cfg.machine.pfs_bw_bytes_per_s = cfg.machine.node_bw_bytes_per_s * 1e7;
+  cfg.workload = "halo3d";
+  cfg.params.ranks = 27;
+  cfg.params.iterations = 40;
+  cfg.params.compute = 1'000'000;
+  cfg.params.bytes = 4096;
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.fixed_interval = 10'000'000;
+  const core::Breakdown full = core::run_study(cfg);
+  cfg.protocol.incremental.full_every = 5;
+  cfg.protocol.incremental.delta_fraction = 0.2;
+  const core::Breakdown inc = core::run_study(cfg);
+  EXPECT_LT(inc.slowdown, full.slowdown);
+  EXPECT_GT(inc.slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace chksim

@@ -1,0 +1,250 @@
+// Checkpoint-protocol preparation, logging tax, and interval-policy tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chksim/ckpt/interval.hpp"
+#include "chksim/ckpt/protocols.hpp"
+
+namespace chksim::ckpt {
+namespace {
+
+using namespace chksim::literals;
+
+net::MachineModel machine() { return net::infiniband_system(); }
+
+TEST(LoggingTax, SenderSideCharges) {
+  LoggingTaxConfig cfg;
+  cfg.per_message = 500;
+  cfg.per_byte_ns = 0.5;
+  LoggingTax tax(cfg);
+  EXPECT_EQ(tax.extra_send_cpu(0, 1, 1000), 1000);
+  EXPECT_EQ(tax.extra_recv_cpu(0, 1, 1000), 0);
+  EXPECT_TRUE(tax.logged(0, 1));
+}
+
+TEST(LoggingTax, ReceiverSideVariant) {
+  LoggingTaxConfig cfg;
+  cfg.per_message = 500;
+  cfg.receiver_side = true;
+  LoggingTax tax(cfg);
+  EXPECT_EQ(tax.extra_send_cpu(0, 1, 0), 0);
+  EXPECT_EQ(tax.extra_recv_cpu(0, 1, 0), 500);
+}
+
+TEST(LoggingTax, ClusterFilterLogsOnlyCrossTraffic) {
+  LoggingTaxConfig cfg;
+  cfg.per_message = 500;
+  cfg.cluster_size = 4;
+  LoggingTax tax(cfg);
+  EXPECT_FALSE(tax.logged(0, 3));   // same cluster
+  EXPECT_TRUE(tax.logged(0, 4));    // cross cluster
+  EXPECT_EQ(tax.extra_send_cpu(1, 2, 100), 0);
+  EXPECT_EQ(tax.extra_send_cpu(1, 6, 100), 500);
+}
+
+TEST(LoggingTax, InvalidConfigThrows) {
+  LoggingTaxConfig bad;
+  bad.per_message = -1;
+  EXPECT_THROW(LoggingTax{bad}, std::invalid_argument);
+}
+
+TEST(PrepareNone, Empty) {
+  const Artifacts a = prepare_none(16);
+  EXPECT_EQ(a.kind, ProtocolKind::kNone);
+  EXPECT_EQ(a.schedule, nullptr);
+  EXPECT_EQ(a.tax, nullptr);
+  EXPECT_EQ(a.blackout, 0);
+  EXPECT_DOUBLE_EQ(a.duty_cycle(), 0.0);
+  EXPECT_THROW(prepare_none(0), std::invalid_argument);
+}
+
+TEST(PrepareCoordinated, BlackoutCombinesCoordinationAndWrite) {
+  CoordinatedConfig cfg;
+  cfg.interval = 120_s;
+  const Artifacts a = prepare_coordinated(cfg, machine(), 64);
+  EXPECT_EQ(a.kind, ProtocolKind::kCoordinated);
+  EXPECT_GT(a.coordination_time, 0);
+  EXPECT_GT(a.write_time, 0);
+  EXPECT_EQ(a.blackout, a.coordination_time + a.write_time);
+  ASSERT_NE(a.schedule, nullptr);
+  EXPECT_EQ(a.tax, nullptr);
+  // All ranks share one schedule: same first blackout.
+  const auto b0 = a.schedule->next_blackout(0, 0);
+  const auto b7 = a.schedule->next_blackout(7, 0);
+  ASSERT_TRUE(b0 && b7);
+  EXPECT_EQ(*b0, *b7);
+  EXPECT_EQ(b0->begin, cfg.interval);  // first checkpoint one interval in
+  EXPECT_EQ(b0->duration(), a.blackout);
+}
+
+TEST(PrepareCoordinated, WriteTimeGrowsWithScale) {
+  CoordinatedConfig cfg;
+  cfg.interval = 3600_s;
+  const Artifacts small = prepare_coordinated(cfg, machine(), 64);
+  const Artifacts large = prepare_coordinated(cfg, machine(), 16384);
+  EXPECT_GT(large.write_time, 5 * small.write_time);
+  EXPECT_TRUE(large.pfs_saturated);
+}
+
+TEST(PrepareCoordinated, CoordinationIsTinyVersusWrite) {
+  // The paper's coordination finding, in artifact form.
+  CoordinatedConfig cfg;
+  cfg.interval = 3600_s;
+  const Artifacts a = prepare_coordinated(cfg, machine(), 16384);
+  EXPECT_LT(a.coordination_time * 1000, a.write_time);
+}
+
+TEST(PrepareCoordinated, BlackoutExceedingIntervalThrows) {
+  CoordinatedConfig cfg;
+  cfg.interval = 1_s;  // 4 GiB cannot be written in 1 s at scale
+  EXPECT_THROW(prepare_coordinated(cfg, machine(), 16384), std::invalid_argument);
+}
+
+TEST(PrepareUncoordinated, PhasesAreSpread) {
+  UncoordinatedConfig cfg;
+  cfg.interval = 600_s;
+  cfg.phase_seed = 3;
+  const Artifacts a = prepare_uncoordinated(cfg, machine(), 256);
+  ASSERT_NE(a.schedule, nullptr);
+  // Not all first blackouts coincide.
+  const auto b0 = a.schedule->next_blackout(0, 0);
+  bool differs = false;
+  for (sim::RankId r = 1; r < 256 && !differs; ++r) {
+    const auto br = a.schedule->next_blackout(r, 0);
+    if (br->begin != b0->begin) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_EQ(a.coordination_time, 0);
+}
+
+TEST(PrepareUncoordinated, SpreadWriteStaysNodeBoundAtScale) {
+  UncoordinatedConfig cfg;
+  cfg.interval = 3600_s;
+  const Artifacts small = prepare_uncoordinated(cfg, machine(), 64);
+  const Artifacts large = prepare_uncoordinated(cfg, machine(), 16384);
+  // Key storage asymmetry vs the coordinated case: roughly flat write time.
+  EXPECT_LT(large.write_time, 2 * small.write_time);
+}
+
+TEST(PrepareUncoordinated, TaxOnlyWhenConfigured) {
+  UncoordinatedConfig cfg;
+  cfg.interval = 600_s;
+  EXPECT_EQ(prepare_uncoordinated(cfg, machine(), 16).tax, nullptr);
+  cfg.log_per_message = 1000;
+  const Artifacts a = prepare_uncoordinated(cfg, machine(), 16);
+  ASSERT_NE(a.tax, nullptr);
+  EXPECT_EQ(a.tax->extra_send_cpu(0, 1, 0), 1000);
+}
+
+TEST(PrepareHierarchical, ClusterAlignedPhases) {
+  HierarchicalConfig cfg;
+  cfg.interval = 600_s;
+  cfg.cluster_size = 4;
+  cfg.log_per_message = 100;
+  const Artifacts a = prepare_hierarchical(cfg, machine(), 16);
+  ASSERT_NE(a.schedule, nullptr);
+  // Ranks within a cluster share phases.
+  const auto b0 = a.schedule->next_blackout(0, 0);
+  const auto b3 = a.schedule->next_blackout(3, 0);
+  ASSERT_TRUE(b0 && b3);
+  EXPECT_EQ(*b0, *b3);
+  ASSERT_NE(a.tax, nullptr);
+  EXPECT_EQ(a.tax->extra_send_cpu(0, 3, 64), 0);    // intra-cluster
+  EXPECT_EQ(a.tax->extra_send_cpu(0, 4, 64), 100);  // inter-cluster
+}
+
+TEST(PrepareHierarchical, CoordinationScalesWithClusterNotSystem) {
+  HierarchicalConfig cfg;
+  cfg.interval = 3600_s;
+  cfg.cluster_size = 16;
+  const Artifacts h = prepare_hierarchical(cfg, machine(), 4096);
+  CoordinatedConfig ccfg;
+  ccfg.interval = 3600_s;
+  const Artifacts c = prepare_coordinated(ccfg, machine(), 4096);
+  EXPECT_LT(h.coordination_time, c.coordination_time);
+}
+
+TEST(PrepareHierarchical, ClusterSizeClampedToRanks) {
+  HierarchicalConfig cfg;
+  cfg.interval = 600_s;
+  cfg.cluster_size = 1024;
+  const Artifacts a = prepare_hierarchical(cfg, machine(), 8);
+  EXPECT_NE(a.name.find("c=8"), std::string::npos);
+}
+
+TEST(Protocols, ToStringNames) {
+  EXPECT_EQ(to_string(ProtocolKind::kNone), "none");
+  EXPECT_EQ(to_string(ProtocolKind::kCoordinated), "coordinated");
+  EXPECT_EQ(to_string(ProtocolKind::kUncoordinated), "uncoordinated");
+  EXPECT_EQ(to_string(ProtocolKind::kHierarchical), "hierarchical");
+}
+
+TEST(IntervalPolicy, FixedPassesThrough) {
+  EXPECT_EQ(choose_interval(IntervalPolicy::kFixed, ProtocolKind::kCoordinated,
+                            machine(), 64, 42_s),
+            42_s);
+  EXPECT_THROW(choose_interval(IntervalPolicy::kFixed, ProtocolKind::kCoordinated,
+                               machine(), 64, 0),
+               std::invalid_argument);
+}
+
+TEST(IntervalPolicy, YoungMatchesFormulaForCoordinated) {
+  const net::MachineModel m = machine();
+  const int ranks = 1024;
+  const TimeNs tau =
+      choose_interval(IntervalPolicy::kYoung, ProtocolKind::kCoordinated, m, ranks);
+  // delta at this scale: concurrent write + coordination.
+  const storage::Pfs pfs = pfs_of(m);
+  const double delta = units::to_seconds(
+      pfs.concurrent_write(m.ckpt_bytes_per_node, ranks).per_node +
+      analytic::coordination_cost(m.net, ranks,
+                                  analytic::SyncAlgorithm::kDissemination, 0));
+  const double expect = std::sqrt(2.0 * delta * m.system_mtbf_seconds(ranks));
+  EXPECT_NEAR(units::to_seconds(tau), expect, 0.05 * expect);
+}
+
+TEST(IntervalPolicy, OptimalIntervalShrinksWithScale) {
+  const net::MachineModel m = machine();
+  const TimeNs t1 = choose_interval(IntervalPolicy::kDaly, ProtocolKind::kUncoordinated,
+                                    m, 256);
+  const TimeNs t2 = choose_interval(IntervalPolicy::kDaly, ProtocolKind::kUncoordinated,
+                                    m, 4096);
+  EXPECT_GT(t1, t2);  // more failures at scale -> checkpoint more often
+}
+
+TEST(IntervalPolicy, DalyLeavesRoomForBlackout) {
+  // Even in crushing regimes the returned interval admits the blackout.
+  const net::MachineModel m = machine();
+  for (int ranks : {64, 1024, 16384, 65536}) {
+    const TimeNs tau = choose_interval(IntervalPolicy::kDaly,
+                                       ProtocolKind::kCoordinated, m, ranks);
+    CoordinatedConfig cfg;
+    cfg.interval = tau;
+    const Artifacts a = prepare_coordinated(cfg, m, ranks);
+    EXPECT_LT(a.blackout, tau) << "ranks=" << ranks;
+  }
+}
+
+class ProtocolScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolScaleSweep, AllKindsPrepareCleanly) {
+  const int ranks = GetParam();
+  const net::MachineModel m = machine();
+  CoordinatedConfig c;
+  c.interval = 3600_s;
+  EXPECT_GT(prepare_coordinated(c, m, ranks).blackout, 0);
+  UncoordinatedConfig u;
+  u.interval = 3600_s;
+  EXPECT_GT(prepare_uncoordinated(u, m, ranks).blackout, 0);
+  HierarchicalConfig h;
+  h.interval = 3600_s;
+  h.cluster_size = 16;
+  EXPECT_GT(prepare_hierarchical(h, m, ranks).blackout, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ProtocolScaleSweep,
+                         ::testing::Values(1, 2, 16, 100, 1024, 16384));
+
+}  // namespace
+}  // namespace chksim::ckpt

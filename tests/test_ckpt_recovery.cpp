@@ -1,0 +1,184 @@
+// Recovery (makespan-with-failures) model tests.
+#include <gtest/gtest.h>
+
+#include "chksim/analytic/daly.hpp"
+#include "chksim/ckpt/recovery.hpp"
+
+namespace chksim::ckpt {
+namespace {
+
+using namespace chksim::literals;
+
+RecoveryParams base_params() {
+  RecoveryParams p;
+  p.kind = ProtocolKind::kCoordinated;
+  p.work_seconds = 10'000;
+  p.slowdown = 1.05;
+  p.interval_seconds = 500;
+  p.restart_seconds = 100;
+  return p;
+}
+
+TEST(Recovery, NoFailuresGivesPerturbedTime) {
+  const RecoveryParams p = base_params();
+  // Astronomically large MTBF: no failures in practice.
+  fault::Exponential dist(1e15);
+  const MakespanResult r = simulate_makespan(p, dist, 10, 1);
+  EXPECT_NEAR(r.mean_seconds, p.work_seconds * p.slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_failures, 0.0);
+  EXPECT_NEAR(r.efficiency, 1.0 / p.slowdown, 1e-6);
+  EXPECT_EQ(r.trials, 10);
+}
+
+TEST(Recovery, FailuresExtendMakespan) {
+  const RecoveryParams p = base_params();
+  fault::Exponential rare(1e15);
+  fault::Exponential frequent(2000);
+  const MakespanResult r0 = simulate_makespan(p, rare, 50, 1);
+  const MakespanResult r1 = simulate_makespan(p, frequent, 50, 1);
+  EXPECT_GT(r1.mean_seconds, r0.mean_seconds);
+  EXPECT_GT(r1.mean_failures, 1.0);
+  EXPECT_LT(r1.efficiency, r0.efficiency);
+}
+
+TEST(Recovery, CoordinatedLosesAtMostOneInterval) {
+  // With zero restart cost, each failure costs at most tau of rework plus
+  // the re-execution slowdown.
+  RecoveryParams p = base_params();
+  p.restart_seconds = 0;
+  fault::Exponential dist(3000);
+  const MakespanResult r = simulate_makespan(p, dist, 200, 7);
+  const double max_extra_per_failure = p.interval_seconds * p.slowdown;
+  EXPECT_LE(r.mean_seconds,
+            p.work_seconds * p.slowdown + r.mean_failures * max_extra_per_failure + 1.0);
+}
+
+TEST(Recovery, UncoordinatedReplayBeatsCoordinatedRollbackAtEqualTax) {
+  // Same parameters, same failure rate: replaying half an interval at 1.5x
+  // speed beats losing half an interval of real rework on average when the
+  // interval is large relative to restart.
+  RecoveryParams co = base_params();
+  co.interval_seconds = 2000;
+  RecoveryParams un = co;
+  un.kind = ProtocolKind::kUncoordinated;
+  un.replay_speedup = 2.0;
+  fault::Exponential dist(5000);
+  const MakespanResult rc = simulate_makespan(co, dist, 400, 3);
+  const MakespanResult ru = simulate_makespan(un, dist, 400, 3);
+  EXPECT_LT(ru.mean_seconds, rc.mean_seconds);
+}
+
+TEST(Recovery, NoneProtocolRestartsFromScratch) {
+  RecoveryParams p = base_params();
+  p.kind = ProtocolKind::kNone;
+  p.work_seconds = 1000;
+  p.slowdown = 1.0;
+  fault::Exponential dist(5000);
+  const MakespanResult none = simulate_makespan(p, dist, 200, 5);
+  RecoveryParams cp = p;
+  cp.kind = ProtocolKind::kCoordinated;
+  cp.interval_seconds = 100;
+  cp.slowdown = 1.05;
+  const MakespanResult ck = simulate_makespan(cp, dist, 200, 5);
+  // With failures likely during a 1000 s run, checkpointing wins despite
+  // its 5% overhead.
+  EXPECT_LT(ck.mean_seconds, none.mean_seconds);
+}
+
+TEST(Recovery, DeterministicInSeed) {
+  const RecoveryParams p = base_params();
+  fault::Exponential dist(2000);
+  const MakespanResult a = simulate_makespan(p, dist, 50, 11);
+  const MakespanResult b = simulate_makespan(p, dist, 50, 11);
+  EXPECT_DOUBLE_EQ(a.mean_seconds, b.mean_seconds);
+  const MakespanResult c = simulate_makespan(p, dist, 50, 12);
+  EXPECT_NE(a.mean_seconds, c.mean_seconds);
+}
+
+TEST(Recovery, ValidatesParameters) {
+  fault::Exponential dist(1000);
+  RecoveryParams p = base_params();
+  p.work_seconds = 0;
+  EXPECT_THROW(simulate_makespan(p, dist, 10, 1), std::invalid_argument);
+  p = base_params();
+  p.slowdown = 0.5;
+  EXPECT_THROW(simulate_makespan(p, dist, 10, 1), std::invalid_argument);
+  p = base_params();
+  p.interval_seconds = 0;
+  EXPECT_THROW(simulate_makespan(p, dist, 10, 1), std::invalid_argument);
+  p = base_params();
+  EXPECT_THROW(simulate_makespan(p, dist, 0, 1), std::invalid_argument);
+  p.replay_speedup = 0.5;
+  EXPECT_THROW(simulate_makespan(p, dist, 10, 1), std::invalid_argument);
+}
+
+TEST(Recovery, AgainstExplicitTrace) {
+  RecoveryParams p = base_params();
+  p.slowdown = 1.0;
+  p.interval_seconds = 100;
+  p.restart_seconds = 50;
+  p.work_seconds = 1000;
+  // One failure at t=250: rollback to the t=200 commit (losing 50 s of
+  // work), pay 50 s restart. Completion: at failure, w=250; w->200;
+  // t=250+50=300; remaining 800 -> 1100.
+  const std::vector<fault::Failure> trace = {{250_s, 0}};
+  const double mk = makespan_against_trace(p, trace, 1);
+  EXPECT_NEAR(mk, 1100.0, 1e-6);
+}
+
+TEST(Recovery, TraceFailureAfterCompletionIsIgnored) {
+  RecoveryParams p = base_params();
+  p.slowdown = 1.0;
+  p.work_seconds = 100;
+  const std::vector<fault::Failure> trace = {{1000_s, 0}};
+  EXPECT_NEAR(makespan_against_trace(p, trace, 1), 100.0, 1e-9);
+}
+
+TEST(Recovery, EmptyTraceIsFailureFree) {
+  RecoveryParams p = base_params();
+  EXPECT_NEAR(makespan_against_trace(p, {}, 1),
+              p.work_seconds * p.slowdown, 1e-6);
+}
+
+TEST(Recovery, WeibullBurstsHurtMore) {
+  // Same MTBF; Weibull shape 0.5 clusters failures, hurting coordinated
+  // rollback (repeated rework) more than exponential.
+  const RecoveryParams p = base_params();
+  fault::Exponential ex(4000);
+  fault::Weibull wb(4000, 0.5);
+  const MakespanResult re = simulate_makespan(p, ex, 500, 21);
+  const MakespanResult rw = simulate_makespan(p, wb, 500, 21);
+  // Both see failures; the comparison is just sanity (no strict ordering
+  // guarantee, but means should be in the same ballpark).
+  EXPECT_GT(re.mean_failures, 0.5);
+  EXPECT_GT(rw.mean_failures, 0.5);
+  EXPECT_GT(rw.p95_seconds, rw.mean_seconds);
+}
+
+class RecoveryEfficiencySweep : public ::testing::TestWithParam<double> {};
+
+// Property: simulated efficiency at Daly's interval is within a few percent
+// of Daly's analytic efficiency prediction (cross-validation of the MC
+// model against the closed form).
+TEST_P(RecoveryEfficiencySweep, MatchesDalyAnalytic) {
+  const double M = GetParam();
+  const double delta = 60, R = 120;
+  const double tau = analytic::daly_interval(delta, M);
+  RecoveryParams p;
+  p.kind = ProtocolKind::kCoordinated;
+  p.work_seconds = 50'000;
+  // Daly's model counts the checkpoint write as part of the cycle.
+  p.slowdown = 1.0 + delta / tau;
+  p.interval_seconds = tau;
+  p.restart_seconds = R;
+  fault::Exponential dist(M);
+  const MakespanResult r = simulate_makespan(p, dist, 600, 17);
+  const double daly = analytic::daly_efficiency(p.work_seconds, tau, delta, R, M);
+  EXPECT_NEAR(r.efficiency, daly, 0.06) << "M=" << M;
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtbfs, RecoveryEfficiencySweep,
+                         ::testing::Values(3600.0, 7500.0, 20000.0, 100000.0));
+
+}  // namespace
+}  // namespace chksim::ckpt

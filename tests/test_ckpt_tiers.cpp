@@ -1,0 +1,165 @@
+// Storage-tier tests: burst buffer / partner-memory checkpoint paths and
+// the restart-I/O cost model.
+#include <gtest/gtest.h>
+
+#include "chksim/ckpt/interval.hpp"
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/core/failure_study.hpp"
+
+namespace chksim::ckpt {
+namespace {
+
+using namespace chksim::literals;
+using storage::StorageTier;
+
+TEST(StorageTier, Names) {
+  EXPECT_EQ(storage::to_string(StorageTier::kParallelFs), "pfs");
+  EXPECT_EQ(storage::to_string(StorageTier::kBurstBuffer), "burst-buffer");
+  EXPECT_EQ(storage::to_string(StorageTier::kPartner), "partner");
+}
+
+TEST(TierWriteTime, BurstBufferUsesLocalBandwidth) {
+  const net::MachineModel m = net::exascale_projection();
+  const TimeNs t = tier_write_time(StorageTier::kBurstBuffer, m);
+  EXPECT_NEAR(units::to_seconds(t),
+              static_cast<double>(m.ckpt_bytes_per_node) / m.bb_bw_bytes_per_s, 1e-6);
+}
+
+TEST(TierWriteTime, BurstBufferRequiresHardware) {
+  net::MachineModel m = net::infiniband_system();  // no BB
+  EXPECT_THROW(tier_write_time(StorageTier::kBurstBuffer, m), std::invalid_argument);
+}
+
+TEST(TierWriteTime, PartnerUsesNetworkBandwidth) {
+  const net::MachineModel m = net::infiniband_system();
+  const TimeNs t = tier_write_time(StorageTier::kPartner, m);
+  const TimeNs expected =
+      m.net.o + m.net.L +
+      static_cast<TimeNs>(m.net.G * static_cast<double>(m.ckpt_bytes_per_node));
+  EXPECT_EQ(t, expected);
+}
+
+TEST(TierWriteTime, PfsNeedsWriterCount) {
+  EXPECT_THROW(tier_write_time(StorageTier::kParallelFs, net::infiniband_system()),
+               std::invalid_argument);
+}
+
+TEST(Protocols, PartnerTierIsScaleInvariant) {
+  net::MachineModel m = net::infiniband_system();
+  m.ckpt_bytes_per_node = 1_GiB;
+  UncoordinatedConfig cfg;
+  cfg.interval = 3600_s;
+  cfg.tier = StorageTier::kPartner;
+  const Artifacts small = prepare_uncoordinated(cfg, m, 64);
+  const Artifacts large = prepare_uncoordinated(cfg, m, 16384);
+  EXPECT_EQ(small.write_time, large.write_time);
+  EXPECT_FALSE(large.pfs_saturated);
+}
+
+TEST(Protocols, PartnerBeatsContendedPfsAtScale) {
+  net::MachineModel m = net::infiniband_system();
+  CoordinatedConfig pfs_cfg;
+  pfs_cfg.interval = 36000_s;
+  CoordinatedConfig partner_cfg = pfs_cfg;
+  partner_cfg.tier = StorageTier::kPartner;
+  const Artifacts pfs = prepare_coordinated(pfs_cfg, m, 16384);
+  const Artifacts partner = prepare_coordinated(partner_cfg, m, 16384);
+  EXPECT_LT(partner.write_time, pfs.write_time / 100);
+}
+
+TEST(Protocols, BurstBufferTierOnHierarchical) {
+  const net::MachineModel m = net::exascale_projection();
+  HierarchicalConfig cfg;
+  cfg.interval = 600_s;
+  cfg.cluster_size = 32;
+  cfg.tier = StorageTier::kBurstBuffer;
+  const Artifacts a = prepare_hierarchical(cfg, m, 1024);
+  EXPECT_EQ(a.write_time, tier_write_time(StorageTier::kBurstBuffer, m));
+  EXPECT_GT(a.coordination_time, 0);
+}
+
+TEST(IntervalPolicy, TierChangesOptimalInterval) {
+  // Cheaper checkpoints => shorter optimal interval.
+  const net::MachineModel m = net::exascale_projection();
+  const TimeNs pfs_tau = choose_interval(IntervalPolicy::kDaly,
+                                         ProtocolKind::kCoordinated, m, 4096);
+  const TimeNs bb_tau =
+      choose_interval(IntervalPolicy::kDaly, ProtocolKind::kCoordinated, m, 4096, 0,
+                      16, StorageTier::kBurstBuffer);
+  EXPECT_LT(bb_tau, pfs_tau);
+}
+
+TEST(RestartCost, NoneIsBareRestart) {
+  const net::MachineModel m = net::infiniband_system();
+  EXPECT_DOUBLE_EQ(
+      restart_cost_seconds(ProtocolKind::kNone, StorageTier::kParallelFs, m, 1024),
+      m.restart_seconds);
+}
+
+TEST(RestartCost, CoordinatedReadBurstGrowsWithScale) {
+  const net::MachineModel m = net::infiniband_system();
+  // Compare the read-back component (net of the fixed relaunch cost).
+  const double small =
+      restart_cost_seconds(ProtocolKind::kCoordinated, StorageTier::kParallelFs, m, 64) -
+      m.restart_seconds;
+  const double large = restart_cost_seconds(ProtocolKind::kCoordinated,
+                                            StorageTier::kParallelFs, m, 16384) -
+                       m.restart_seconds;
+  EXPECT_GT(large, 5 * small);
+}
+
+TEST(RestartCost, UncoordinatedReadsOnFailedNodeOnly) {
+  const net::MachineModel m = net::infiniband_system();
+  const double u = restart_cost_seconds(ProtocolKind::kUncoordinated,
+                                        StorageTier::kParallelFs, m, 16384);
+  const double expected =
+      m.restart_seconds +
+      static_cast<double>(m.ckpt_bytes_per_node) / m.node_bw_bytes_per_s;
+  EXPECT_NEAR(u, expected, 0.01 * expected);
+}
+
+TEST(RestartCost, HierarchicalReadsClusterWide) {
+  const net::MachineModel m = net::infiniband_system();
+  const double h = restart_cost_seconds(ProtocolKind::kHierarchical,
+                                        StorageTier::kParallelFs, m, 16384, 64);
+  const double u = restart_cost_seconds(ProtocolKind::kUncoordinated,
+                                        StorageTier::kParallelFs, m, 16384);
+  const double c = restart_cost_seconds(ProtocolKind::kCoordinated,
+                                        StorageTier::kParallelFs, m, 16384);
+  EXPECT_GE(h, u);
+  EXPECT_LE(h, c);
+}
+
+TEST(RestartCost, TierReadBack) {
+  const net::MachineModel m = net::exascale_projection();
+  const double bb = restart_cost_seconds(ProtocolKind::kCoordinated,
+                                         StorageTier::kBurstBuffer, m, 16384);
+  EXPECT_NEAR(bb,
+              m.restart_seconds + static_cast<double>(m.ckpt_bytes_per_node) /
+                                      m.bb_bw_bytes_per_s,
+              1.0);
+}
+
+TEST(FailureStudy, RestartIoModelIncreasesMakespanAtScale) {
+  core::FailureStudyConfig cfg;
+  cfg.study.machine = net::infiniband_system();
+  cfg.study.machine.ckpt_bytes_per_node = 4_MiB;
+  cfg.study.machine.node_mtbf_hours = 200;
+  cfg.study.workload = "halo3d";
+  cfg.study.params.ranks = 64;
+  cfg.study.params.iterations = 30;
+  cfg.study.params.compute = 1'000'000;
+  cfg.study.params.bytes = 4096;
+  cfg.study.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.study.protocol.fixed_interval = 10'000'000;  // 10 ms sim interval
+  cfg.recovery_interval_seconds = 120;
+  cfg.work_seconds = 24 * 3600;
+  cfg.trials = 100;
+  const auto bare = core::run_failure_study(cfg);
+  cfg.model_restart_io = true;
+  const auto modeled = core::run_failure_study(cfg);
+  EXPECT_GE(modeled.makespan.mean_seconds, bare.makespan.mean_seconds);
+}
+
+}  // namespace
+}  // namespace chksim::ckpt

@@ -1,0 +1,292 @@
+// Collective expander tests: message counts, completion, and LogP-shaped
+// timing across group sizes (including non-powers of two).
+#include "chksim/coll/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::coll {
+namespace {
+
+using sim::EngineConfig;
+using sim::LogGOPSParams;
+using sim::Program;
+using sim::RunResult;
+
+LogGOPSParams simple_net() {
+  LogGOPSParams p;
+  p.L = 1000;
+  p.o = 100;
+  p.g = 0;
+  p.G = 0.0;
+  p.O = 0.0;
+  p.S = 1 << 30;
+  return p;
+}
+
+RunResult run(Program& p) {
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  RunResult r = sim::run_program(p, cfg);
+  EXPECT_TRUE(r.completed) << r.error;
+  return r;
+}
+
+int ceil_log2(int n) {
+  int bits = 0;
+  int v = n - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+TEST(FullGroup, Enumerates) {
+  const Group g = full_group(4);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_EQ(g[0], 0);
+  EXPECT_EQ(g[3], 3);
+}
+
+TEST(Collectives, EmptyGroupThrows) {
+  Program p(2);
+  EXPECT_THROW(bcast_binomial(p, {}, 0, 8), std::invalid_argument);
+  EXPECT_THROW(barrier_dissemination(p, {}), std::invalid_argument);
+}
+
+TEST(Collectives, BadRootThrows) {
+  Program p(4);
+  EXPECT_THROW(bcast_binomial(p, full_group(4), 7, 8), std::invalid_argument);
+  EXPECT_THROW(reduce_binomial(p, full_group(4), -1, 8), std::invalid_argument);
+}
+
+TEST(BcastBinomial, MessageCountIsPMinus1) {
+  for (int P : {2, 3, 4, 5, 8, 13, 16}) {
+    Program p(P);
+    bcast_binomial(p, full_group(P), 0, 64);
+    const auto st = p.finalize();
+    EXPECT_EQ(st.sends, P - 1) << "P=" << P;
+    EXPECT_EQ(st.recvs, P - 1) << "P=" << P;
+    EXPECT_TRUE(p.check_matching().empty()) << "P=" << P;
+  }
+}
+
+TEST(BcastBinomial, CompletesFromNonZeroRoot) {
+  for (int root : {0, 1, 3, 6}) {
+    Program p(7);
+    bcast_binomial(p, full_group(7), root, 64);
+    run(p);
+  }
+}
+
+TEST(BcastBinomial, LogDepthTiming) {
+  // Binomial tree depth is ceil(log2 P); each hop costs >= o + L + o.
+  const int P = 16;
+  Program p(P);
+  bcast_binomial(p, full_group(P), 0, 8);
+  const RunResult r = run(p);
+  const sim::LogGOPSParams net = simple_net();
+  const TimeNs hop = net.L + 2 * net.o;
+  EXPECT_GE(r.makespan, ceil_log2(P) * hop);
+  // And it is far cheaper than a linear broadcast.
+  EXPECT_LT(r.makespan, (P - 1) * hop);
+}
+
+TEST(ReduceBinomial, MessageCountIsPMinus1) {
+  for (int P : {2, 3, 6, 9, 16}) {
+    Program p(P);
+    reduce_binomial(p, full_group(P), 0, 64);
+    const auto st = p.finalize();
+    EXPECT_EQ(st.sends, P - 1) << "P=" << P;
+    EXPECT_TRUE(p.check_matching().empty());
+  }
+}
+
+TEST(ReduceBinomial, RootExitIsLast) {
+  Program p(8);
+  const Deps exits = reduce_binomial(p, full_group(8), 0, 64);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.record_op_finish = true;
+  const RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  const TimeNs root_done =
+      r.op_finish[0][exits[0].index];
+  for (int i = 1; i < 8; ++i) {
+    const TimeNs member_done =
+        r.op_finish[static_cast<std::size_t>(exits[static_cast<std::size_t>(i)].rank)]
+                   [exits[static_cast<std::size_t>(i)].index];
+    EXPECT_LE(member_done, root_done) << "member " << i;
+  }
+}
+
+TEST(AllreduceRecursiveDoubling, PowerOfTwoMessageCount) {
+  // P * log2(P) sends for power-of-two groups.
+  for (int P : {2, 4, 8, 16}) {
+    Program p(P);
+    allreduce_recursive_doubling(p, full_group(P), 8);
+    const auto st = p.finalize();
+    EXPECT_EQ(st.sends, static_cast<std::int64_t>(P) * ceil_log2(P)) << "P=" << P;
+    EXPECT_TRUE(p.check_matching().empty());
+  }
+}
+
+TEST(AllreduceRecursiveDoubling, NonPowerOfTwoCompletes) {
+  for (int P : {3, 5, 6, 7, 9, 12, 15}) {
+    Program p(P);
+    allreduce_recursive_doubling(p, full_group(P), 8);
+    run(p);
+  }
+}
+
+TEST(AllreduceRecursiveDoubling, SingletonIsNoop) {
+  Program p(1);
+  allreduce_recursive_doubling(p, full_group(1), 8);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, 0);
+}
+
+TEST(AllreduceRecursiveDoubling, LogDepthTiming) {
+  const int P = 32;
+  Program p(P);
+  allreduce_recursive_doubling(p, full_group(P), 8);
+  const RunResult r = run(p);
+  const sim::LogGOPSParams net = simple_net();
+  const TimeNs hop = net.L + 2 * net.o;
+  EXPECT_GE(r.makespan, ceil_log2(P) * hop);
+  EXPECT_LT(r.makespan, 4 * ceil_log2(P) * hop);
+}
+
+TEST(AllreduceRing, MessageCount) {
+  // 2 * (P - 1) steps, one send per member per step.
+  const int P = 6;
+  Program p(P);
+  allreduce_ring(p, full_group(P), 6000);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, static_cast<std::int64_t>(2 * (P - 1)) * P);
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(AllreduceRing, ChunksArePayloadOverP) {
+  const int P = 4;
+  Program p(P);
+  allreduce_ring(p, full_group(P), 4000);
+  const auto st = p.finalize();
+  // Each member sends 2*(P-1) chunks of 1000 bytes.
+  EXPECT_EQ(st.bytes_sent, static_cast<Bytes>(2 * (P - 1)) * P * 1000);
+}
+
+TEST(BarrierDissemination, RoundCount) {
+  for (int P : {2, 3, 4, 5, 8, 11}) {
+    Program p(P);
+    barrier_dissemination(p, full_group(P));
+    const auto st = p.finalize();
+    EXPECT_EQ(st.sends, static_cast<std::int64_t>(P) * ceil_log2(P)) << "P=" << P;
+  }
+}
+
+TEST(BarrierDissemination, NoMemberExitsBeforeLastEntry) {
+  // The defining property of a barrier: every exit happens after every entry.
+  const int P = 8;
+  Program p(P);
+  // Stagger entries with calcs of different lengths.
+  Deps entry(P);
+  for (sim::RankId r = 0; r < P; ++r) entry[static_cast<std::size_t>(r)] = p.calc(r, (r + 1) * 1000);
+  const Deps exits = barrier_dissemination(p, full_group(P), entry);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.record_op_finish = true;
+  const RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  const TimeNs last_entry = P * 1000;  // rank P-1's calc finishes last
+  for (int i = 0; i < P; ++i) {
+    const auto ex = exits[static_cast<std::size_t>(i)];
+    EXPECT_GE(r.op_finish[static_cast<std::size_t>(ex.rank)][ex.index], last_entry);
+  }
+}
+
+TEST(BarrierTree, Completes) {
+  for (int P : {2, 5, 16}) {
+    Program p(P);
+    barrier_tree(p, full_group(P));
+    run(p);
+  }
+}
+
+TEST(AllgatherRing, MessageCountAndBytes) {
+  const int P = 5;
+  Program p(P);
+  allgather_ring(p, full_group(P), 100);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, static_cast<std::int64_t>(P) * (P - 1));
+  EXPECT_EQ(st.bytes_sent, static_cast<Bytes>(P) * (P - 1) * 100);
+}
+
+TEST(AlltoallPairwise, MessageCount) {
+  const int P = 6;
+  Program p(P);
+  alltoall_pairwise(p, full_group(P), 100);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, static_cast<std::int64_t>(P) * (P - 1));
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(GatherScatterLinear, Counts) {
+  const int P = 7;
+  Program pg(P);
+  gather_linear(pg, full_group(P), 2, 64);
+  EXPECT_EQ(pg.finalize().sends, P - 1);
+  Program ps(P);
+  scatter_linear(ps, full_group(P), 2, 64);
+  EXPECT_EQ(ps.finalize().sends, P - 1);
+}
+
+TEST(Collectives, SubgroupsDontTouchOtherRanks) {
+  // A collective over {1, 3, 5} must not add ops on other ranks.
+  Program p(6);
+  const Group sub = {1, 3, 5};
+  allreduce_recursive_doubling(p, sub, 8);
+  p.finalize();
+  EXPECT_TRUE(p.ops(0).empty());
+  EXPECT_TRUE(p.ops(2).empty());
+  EXPECT_TRUE(p.ops(4).empty());
+  EXPECT_FALSE(p.ops(1).empty());
+}
+
+TEST(Collectives, ChainedCollectivesRespectOrder) {
+  // barrier ; allreduce ; barrier over the same group completes (tags keep
+  // the three phases from cross-matching).
+  const int P = 9;
+  Program p(P);
+  Deps d = barrier_dissemination(p, full_group(P));
+  d = allreduce_recursive_doubling(p, full_group(P), 1024, d);
+  d = barrier_dissemination(p, full_group(P), d);
+  run(p);
+}
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, AllCollectivesCompleteAtSize) {
+  const int P = GetParam();
+  {
+    Program p(P);
+    Deps d = bcast_binomial(p, full_group(P), P / 2, 4096);
+    d = reduce_binomial(p, full_group(P), 0, 4096, d);
+    d = allreduce_recursive_doubling(p, full_group(P), 64, d);
+    d = allgather_ring(p, full_group(P), 128, d);
+    d = alltoall_pairwise(p, full_group(P), 32, d);
+    d = barrier_tree(p, full_group(P), d);
+    run(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSweep,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 23, 32, 64));
+
+}  // namespace
+}  // namespace chksim::coll

@@ -1,0 +1,142 @@
+// Cross-validation: engine-simulated collectives against the LogP closed
+// forms (the same check the original methodology used to trust its
+// simulator).
+#include <gtest/gtest.h>
+
+#include "chksim/analytic/coordination.hpp"
+#include "chksim/coll/collectives.hpp"
+#include "chksim/sim/engine.hpp"
+
+namespace chksim {
+namespace {
+
+sim::LogGOPSParams logp() {
+  sim::LogGOPSParams p;
+  p.L = 1700;
+  p.o = 300;
+  p.g = 0;  // pure LogP: no gap, no per-byte terms
+  p.G = 0.0;
+  p.O = 0.0;
+  p.S = 1 << 30;
+  return p;
+}
+
+TimeNs simulate(sim::Program& p) {
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.net = logp();
+  const sim::RunResult r = sim::run_program(p, cfg);
+  EXPECT_TRUE(r.completed) << r.error;
+  return r.makespan;
+}
+
+class PowerOfTwo : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerOfTwo, DisseminationBarrierMatchesClosedForm) {
+  const int P = GetParam();
+  sim::Program p(P);
+  coll::barrier_dissemination(p, coll::full_group(P));
+  EXPECT_EQ(simulate(p), analytic::barrier_dissemination_cost(logp(), P));
+}
+
+TEST_P(PowerOfTwo, AllreduceMatchesClosedFormAtZeroBytes) {
+  // With 0-byte payloads and no gaps, recursive doubling is exactly
+  // log2(P) rounds of (L + 2o) — identical to the dissemination pattern.
+  const int P = GetParam();
+  sim::Program p(P);
+  coll::allreduce_recursive_doubling(p, coll::full_group(P), 0);
+  EXPECT_EQ(simulate(p), analytic::allreduce_cost(logp(), P, 0));
+}
+
+TEST_P(PowerOfTwo, TreeBarrierMatchesClosedForm) {
+  const int P = GetParam();
+  sim::Program p(P);
+  coll::barrier_tree(p, coll::full_group(P));
+  // The closed form 2*ceil(log2 P)*(L+2o) assumes full-depth reduce and
+  // bcast; the simulated binomial tree can be cheaper because shallow
+  // leaves finish early, but never cheaper than half (one direction) and
+  // never more expensive than the closed form.
+  const TimeNs closed = analytic::barrier_tree_cost(logp(), P);
+  const TimeNs sim_time = simulate(p);
+  EXPECT_LE(sim_time, closed);
+  EXPECT_GE(sim_time, closed / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PowerOfTwo, ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+TEST(CollVsAnalytic, BcastDepthBound) {
+  // Binomial bcast completes within ceil(log2 P) * (L + 2o) for any P
+  // (the root's serialized sends overlap the subtree forwarding).
+  for (int P : {3, 5, 9, 17, 33}) {
+    sim::Program p(P);
+    coll::bcast_binomial(p, coll::full_group(P), 0, 0);
+    const TimeNs sim_time = simulate(p);
+    int depth = 0;
+    for (int v = P - 1; v > 0; v >>= 1) ++depth;
+    // Root sends are serialized by o (CPU), children forward concurrently;
+    // allow depth rounds of (L + 2o) plus the root's send pipeline.
+    const TimeNs bound = depth * analytic::logp_step(logp()) +
+                         depth * logp().o;
+    EXPECT_LE(sim_time, bound) << "P=" << P;
+  }
+}
+
+TEST(CollVsAnalytic, RingAllreduceBandwidthScaling) {
+  // For large payloads the ring moves 2*(P-1)*(bytes/P) per member; with
+  // G > 0 the makespan should scale with bytes, nearly independent of the
+  // latency term.
+  sim::LogGOPSParams net = logp();
+  net.G = 0.5;
+  auto run_ring = [&](Bytes bytes) {
+    sim::Program p(8);
+    coll::allreduce_ring(p, coll::full_group(8), bytes);
+    p.finalize();
+    sim::EngineConfig cfg;
+    cfg.net = net;
+    return sim::run_program(p, cfg).makespan;
+  };
+  const TimeNs small = run_ring(80'000);
+  const TimeNs large = run_ring(800'000);
+  const double ratio = static_cast<double>(large) / static_cast<double>(small);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(CollVsAnalytic, RecursiveDoublingBeatsRingForSmallPayloads) {
+  sim::LogGOPSParams net = logp();
+  net.G = 0.25;
+  auto run_algo = [&](bool ring) {
+    sim::Program p(32);
+    if (ring) {
+      coll::allreduce_ring(p, coll::full_group(32), 64);
+    } else {
+      coll::allreduce_recursive_doubling(p, coll::full_group(32), 64);
+    }
+    p.finalize();
+    sim::EngineConfig cfg;
+    cfg.net = net;
+    return sim::run_program(p, cfg).makespan;
+  };
+  EXPECT_LT(run_algo(false), run_algo(true));
+}
+
+TEST(CollVsAnalytic, RingBeatsRecursiveDoublingForLargePayloads) {
+  sim::LogGOPSParams net = logp();
+  net.G = 0.25;
+  auto run_algo = [&](bool ring) {
+    sim::Program p(16);
+    if (ring) {
+      coll::allreduce_ring(p, coll::full_group(16), 4'000'000);
+    } else {
+      coll::allreduce_recursive_doubling(p, coll::full_group(16), 4'000'000);
+    }
+    p.finalize();
+    sim::EngineConfig cfg;
+    cfg.net = net;
+    return sim::run_program(p, cfg).makespan;
+  };
+  EXPECT_LT(run_algo(true), run_algo(false));
+}
+
+}  // namespace
+}  // namespace chksim

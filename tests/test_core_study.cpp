@@ -1,0 +1,226 @@
+// Core facade tests: run_study breakdowns, failure studies, scale model.
+#include "chksim/core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/core/failure_study.hpp"
+#include "chksim/core/scale_model.hpp"
+
+namespace chksim::core {
+namespace {
+
+using namespace chksim::literals;
+
+StudyConfig small_study() {
+  StudyConfig cfg;
+  cfg.machine = net::infiniband_system();
+  // Shrink the checkpoint so short test runs see several checkpoints:
+  // 4 MiB at 1.5 GB/s ~ 2.8 ms per write against a 10 ms interval.
+  cfg.machine.ckpt_bytes_per_node = 4_MiB;
+  cfg.workload = "halo3d";
+  cfg.params.ranks = 27;
+  cfg.params.iterations = 20;
+  cfg.params.compute = 2'000'000;  // 2 ms
+  cfg.params.bytes = 4096;
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.interval_policy = ckpt::IntervalPolicy::kFixed;
+  cfg.protocol.fixed_interval = 10_ms;  // frequent, so the short run sees many
+  return cfg;
+}
+
+TEST(RunStudy, NoneProtocolHasNoOverhead) {
+  StudyConfig cfg = small_study();
+  cfg.protocol.kind = ckpt::ProtocolKind::kNone;
+  const Breakdown b = run_study(cfg);
+  EXPECT_EQ(b.base_makespan, b.perturbed_makespan);
+  EXPECT_DOUBLE_EQ(b.slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(b.duty_cycle, 0.0);
+  EXPECT_GT(b.ops, 0);
+  EXPECT_GT(b.msgs, 0);
+}
+
+TEST(RunStudy, CoordinatedSlowsDown) {
+  const Breakdown b = run_study(small_study());
+  EXPECT_GT(b.perturbed_makespan, b.base_makespan);
+  EXPECT_GT(b.slowdown, 1.0);
+  EXPECT_GT(b.duty_cycle, 0.0);
+  EXPECT_GT(b.blackout, 0);
+  EXPECT_EQ(b.blackout, b.coordination_time + b.write_time);
+  EXPECT_EQ(b.protocol, "coordinated");
+  EXPECT_EQ(b.workload, "halo3d");
+  EXPECT_EQ(b.ranks, 27);
+}
+
+TEST(RunStudy, CoordinatedOverheadTracksDutyCycle) {
+  // Aligned blackouts on a bulk-synchronous app: overhead close to the duty
+  // cycle (propagation factor around 1).
+  const Breakdown b = run_study(small_study());
+  EXPECT_GT(b.propagation_factor, 0.5);
+  EXPECT_LT(b.propagation_factor, 3.0);
+}
+
+TEST(RunStudy, UncoordinatedWithoutTax) {
+  StudyConfig cfg = small_study();
+  cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+  const Breakdown b = run_study(cfg);
+  EXPECT_GT(b.slowdown, 1.0);
+  EXPECT_EQ(b.coordination_time, 0);
+  EXPECT_EQ(b.protocol, "uncoordinated");
+}
+
+TEST(RunStudy, LoggingTaxAddsOverheadWithoutBlackouts) {
+  StudyConfig cfg = small_study();
+  cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+  StudyConfig taxed = cfg;
+  // A tax large relative to slack: 6 sends x 100 us against 2 ms compute.
+  taxed.protocol.log_per_message = 100'000;
+  const Breakdown b0 = run_study(cfg);
+  const Breakdown b1 = run_study(taxed);
+  EXPECT_GT(b1.slowdown, b0.slowdown);
+}
+
+TEST(RunStudy, SmallLoggingTaxIsAbsorbedBySlack) {
+  // The flip side (a key communication effect): a tax much smaller than
+  // the available recv slack does not move the critical path.
+  StudyConfig cfg = small_study();
+  cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+  StudyConfig taxed = cfg;
+  taxed.protocol.log_per_message = 1'000;  // 1 us per message
+  const Breakdown b0 = run_study(cfg);
+  const Breakdown b1 = run_study(taxed);
+  EXPECT_NEAR(b1.slowdown, b0.slowdown, 0.02 * b0.slowdown);
+}
+
+TEST(RunStudy, HierarchicalBetweenExtremes) {
+  StudyConfig cfg = small_study();
+  cfg.protocol.kind = ckpt::ProtocolKind::kHierarchical;
+  cfg.protocol.cluster_size = 9;
+  const Breakdown b = run_study(cfg);
+  EXPECT_GT(b.slowdown, 1.0);
+  EXPECT_NE(b.protocol.find("hierarchical"), std::string::npos);
+}
+
+TEST(RunStudy, DeterministicAcrossCalls) {
+  const Breakdown a = run_study(small_study());
+  const Breakdown b = run_study(small_study());
+  EXPECT_EQ(a.perturbed_makespan, b.perturbed_makespan);
+  EXPECT_EQ(a.base_makespan, b.base_makespan);
+}
+
+TEST(RunStudy, UnknownWorkloadThrows) {
+  StudyConfig cfg = small_study();
+  cfg.workload = "nope";
+  EXPECT_THROW(run_study(cfg), std::invalid_argument);
+}
+
+TEST(PrepareProtocol, ResolvesIntervalPolicy) {
+  ProtocolSpec spec;
+  spec.kind = ckpt::ProtocolKind::kCoordinated;
+  spec.interval_policy = ckpt::IntervalPolicy::kDaly;
+  const ckpt::Artifacts a = prepare_protocol(spec, net::infiniband_system(), 1024);
+  EXPECT_GT(a.interval, 0);
+  EXPECT_GT(a.blackout, 0);
+  EXPECT_LT(a.blackout, a.interval);
+}
+
+TEST(FailureStudy, EndToEnd) {
+  FailureStudyConfig cfg;
+  cfg.study = small_study();
+  cfg.work_seconds = 3600;
+  cfg.trials = 50;
+  const FailureStudyResult r = run_failure_study(cfg);
+  EXPECT_GT(r.breakdown.slowdown, 1.0);
+  EXPECT_GT(r.system_mtbf_seconds, 0);
+  EXPECT_GT(r.makespan.mean_seconds, cfg.work_seconds);
+  EXPECT_GT(r.makespan.efficiency, 0);
+  EXPECT_LE(r.makespan.efficiency, 1.0);
+}
+
+TEST(FailureStudy, WeibullOptionRuns) {
+  FailureStudyConfig cfg;
+  cfg.study = small_study();
+  cfg.work_seconds = 3600;
+  cfg.trials = 20;
+  cfg.weibull_shape = 0.7;
+  const FailureStudyResult r = run_failure_study(cfg);
+  EXPECT_GT(r.makespan.mean_seconds, 0);
+}
+
+TEST(ScaleModel, EfficiencyDegradesWithScale) {
+  ScaleModelConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.interval_policy = ckpt::IntervalPolicy::kDaly;
+  cfg.kappa = 1.2;
+  cfg.trials = 50;
+  const ScalePoint small = efficiency_at_scale(cfg, 1024);
+  const ScalePoint large = efficiency_at_scale(cfg, 65536);
+  EXPECT_GT(small.efficiency, large.efficiency);
+  EXPECT_GT(large.duty_cycle, small.duty_cycle);
+  EXPECT_LT(large.system_mtbf_seconds, small.system_mtbf_seconds);
+}
+
+TEST(ScaleModel, UncoordinatedWinsAtScaleWhenLoggingIsFree) {
+  ScaleModelConfig co;
+  co.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  co.protocol.interval_policy = ckpt::IntervalPolicy::kDaly;
+  co.kappa = 1.2;
+  co.trials = 50;
+  ScaleModelConfig un = co;
+  un.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+  const int P = 4096;
+  const ScalePoint c = efficiency_at_scale(co, P);
+  const ScalePoint u = efficiency_at_scale(un, P);
+  // Spread I/O keeps the uncoordinated duty cycle smaller at scale.
+  EXPECT_LT(u.duty_cycle, c.duty_cycle);
+  EXPECT_GT(u.efficiency, c.efficiency);
+}
+
+TEST(ScaleModel, IoWallIsDetectedAtExtremeScale) {
+  // At 64Ki nodes x 4 GiB, the offered checkpoint load exceeds the PFS
+  // aggregate bandwidth at the optimal interval: the model refuses rather
+  // than returning a fictitious steady state. (This *is* the exascale I/O
+  // wall; E12 marks such points infeasible.)
+  ScaleModelConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+  cfg.protocol.interval_policy = ckpt::IntervalPolicy::kDaly;
+  cfg.kappa = 1.2;
+  cfg.trials = 10;
+  EXPECT_THROW(efficiency_at_scale(cfg, 65536), std::invalid_argument);
+}
+
+TEST(ScaleModel, SweepIsOrdered) {
+  ScaleModelConfig cfg;
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.interval_policy = ckpt::IntervalPolicy::kDaly;
+  cfg.kappa = 1.0;
+  cfg.trials = 30;
+  const auto pts = efficiency_sweep(cfg, {256, 4096, 65536});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_GT(pts[0].efficiency, pts[2].efficiency);
+  EXPECT_THROW(efficiency_at_scale(cfg, 0), std::invalid_argument);
+}
+
+class StudyProtocolSweep : public ::testing::TestWithParam<ckpt::ProtocolKind> {};
+
+TEST_P(StudyProtocolSweep, RunsOnSeveralWorkloads) {
+  for (const char* wl : {"halo2d", "hpccg", "ep"}) {
+    StudyConfig cfg = small_study();
+    cfg.workload = wl;
+    cfg.params.ranks = 16;
+    cfg.protocol.kind = GetParam();
+    cfg.protocol.cluster_size = 4;
+    const Breakdown b = run_study(cfg);
+    EXPECT_GE(b.slowdown, 1.0) << wl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, StudyProtocolSweep,
+                         ::testing::Values(ckpt::ProtocolKind::kNone,
+                                           ckpt::ProtocolKind::kCoordinated,
+                                           ckpt::ProtocolKind::kUncoordinated,
+                                           ckpt::ProtocolKind::kHierarchical));
+
+}  // namespace
+}  // namespace chksim::core

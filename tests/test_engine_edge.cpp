@@ -1,0 +1,185 @@
+// Edge-case and regression tests for the engine and program layers.
+#include <gtest/gtest.h>
+
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::sim {
+namespace {
+
+EngineConfig net() {
+  EngineConfig cfg;
+  cfg.net.L = 1000;
+  cfg.net.o = 100;
+  cfg.net.g = 50;
+  cfg.net.G = 0.0;
+  cfg.net.S = 1 << 30;
+  return cfg;
+}
+
+TEST(EngineEdge, EmptyProgramCompletesInstantly) {
+  Program p(4);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.ops_executed, 0);
+}
+
+TEST(EngineEdge, SomeRanksEmpty) {
+  Program p(4);
+  p.calc(2, 500);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 500);
+  EXPECT_EQ(r.ranks[0].finish_time, 0);
+  EXPECT_EQ(r.ranks[2].finish_time, 500);
+}
+
+TEST(EngineEdge, ZeroDurationCalc) {
+  Program p(1);
+  const OpRef a = p.calc(0, 0);
+  const OpRef b = p.calc(0, 0);
+  p.depends(a, b);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(EngineEdge, ZeroByteMessage) {
+  Program p(2);
+  p.send(0, 1, 0, 1);
+  p.recv(1, 0, 0, 1);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  ASSERT_TRUE(r.completed);
+  // Pure control message: o + L + o.
+  EXPECT_EQ(r.makespan, 1200);
+}
+
+TEST(EngineEdge, ManyMessagesOnOneChannelStayOrdered) {
+  const int kMessages = 200;
+  Program p(2);
+  const Tag tag = p.allocate_tags();
+  OpRef prev_s, prev_r;
+  for (int i = 0; i < kMessages; ++i) {
+    const OpRef s = p.send(0, 1, 8, tag);
+    const OpRef rv = p.recv(1, 0, 8, tag);
+    if (prev_s.valid()) p.depends(prev_s, s);
+    if (prev_r.valid()) p.depends(prev_r, rv);
+    prev_s = s;
+    prev_r = rv;
+  }
+  p.finalize();
+  EngineConfig cfg = net();
+  cfg.record_op_finish = true;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  for (std::size_t i = 1; i < r.op_finish[1].size(); ++i)
+    ASSERT_GT(r.op_finish[1][i], r.op_finish[1][i - 1]);
+}
+
+TEST(EngineEdge, LongSimulatedTimesDontOverflow) {
+  // Hours of simulated compute in one op: ~10^13 ns, far under int64 range.
+  Program p(1);
+  const OpRef a = p.calc(0, 4 * 3'600'000'000'000LL);
+  const OpRef b = p.calc(0, 4 * 3'600'000'000'000LL);
+  p.depends(a, b);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 8 * 3'600'000'000'000LL);
+}
+
+TEST(EngineEdge, WideFanoutDependencies) {
+  // One op with 500 dependents; all become ready simultaneously.
+  Program p(1);
+  const OpRef root = p.calc(0, 10);
+  for (int i = 0; i < 500; ++i) {
+    const OpRef leaf = p.calc(0, 1);
+    p.depends(root, leaf);
+  }
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 510);  // serialized on the rank's CPU
+}
+
+TEST(EngineEdge, WideFanin) {
+  Program p(1);
+  const OpRef sink = p.calc(0, 7);
+  for (int i = 0; i < 300; ++i) {
+    const OpRef src = p.calc(0, 1);
+    p.depends(src, sink);
+  }
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 307);
+}
+
+TEST(EngineEdge, SelfContainedTwoRankDeadlockDiagnosis) {
+  // Both ranks post receives first (classic head-to-head deadlock when
+  // sends depend on the receives).
+  Program p(2);
+  const OpRef r0 = p.recv(0, 1, 8, 1);
+  const OpRef s0 = p.send(0, 1, 8, 2);
+  p.depends(r0, s0);
+  const OpRef r1 = p.recv(1, 0, 8, 2);
+  const OpRef s1 = p.send(1, 0, 8, 1);
+  p.depends(r1, s1);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("unmatched recv"), std::string::npos);
+}
+
+TEST(EngineEdge, RendezvousZeroThreshold) {
+  // S = 0: every nonzero message takes the rendezvous path.
+  Program p(2);
+  p.send(0, 1, 1, 1);
+  p.recv(1, 0, 1, 1);
+  p.finalize();
+  EngineConfig cfg = net();
+  cfg.net.S = 0;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // RTS: o, arrive o+L; match; payload: + (o+L) + o + L + 0; recv o.
+  EXPECT_EQ(r.makespan, 100 + 1000 + 1100 + 100 + 1000 + 100);
+}
+
+TEST(EngineEdge, BlackoutCoveringWholeRun) {
+  Program p(1);
+  p.calc(0, 100);
+  p.finalize();
+  ListBlackouts bl({{{0, 1'000'000}}});
+  EngineConfig cfg = net();
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 1'000'100);
+}
+
+TEST(EngineEdge, StatsViewsConsistent) {
+  Program p(3);
+  p.send(0, 1, 100, 1);
+  p.recv(1, 0, 100, 1);
+  p.send(1, 2, 100, 2);
+  p.recv(2, 1, 100, 2);
+  p.finalize();
+  const RunResult r = run_program(p, net());
+  ASSERT_TRUE(r.completed);
+  std::int64_t sends = 0, recvs = 0;
+  for (const auto& rs : r.ranks) {
+    sends += rs.sends;
+    recvs += rs.recvs;
+  }
+  EXPECT_EQ(sends, 2);
+  EXPECT_EQ(recvs, 2);
+  EXPECT_EQ(r.total_recv_wait(), r.ranks[1].recv_wait + r.ranks[2].recv_wait);
+  EXPECT_GT(r.mean_cpu_busy(), 0.0);
+}
+
+}  // namespace
+}  // namespace chksim::sim

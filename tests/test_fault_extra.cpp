@@ -1,0 +1,87 @@
+// Log-normal failures and trace CSV serialization tests.
+#include <gtest/gtest.h>
+
+#include "chksim/fault/failures.hpp"
+
+namespace chksim::fault {
+namespace {
+
+using namespace chksim::literals;
+
+TEST(LogNormal, MeanMatchesMtbf) {
+  LogNormal d(500.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.mtbf_seconds(), 500.0);
+  Rng rng(4);
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += d.sample_seconds(rng);
+  EXPECT_NEAR(sum / n, 500.0, 12.0);
+}
+
+TEST(LogNormal, HeavyTail) {
+  // Log-normal with sigma=1.5 has median << mean.
+  LogNormal d(1000.0, 1.5);
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(d.sample_seconds(rng));
+  std::sort(samples.begin(), samples.end());
+  const double med = samples[samples.size() / 2];
+  EXPECT_LT(med, 0.5 * 1000.0);
+}
+
+TEST(LogNormal, Validates) {
+  EXPECT_THROW(LogNormal(0, 1), std::invalid_argument);
+  EXPECT_THROW(LogNormal(100, 0), std::invalid_argument);
+  EXPECT_NE(LogNormal(100, 1).name().find("lognormal"), std::string::npos);
+}
+
+TEST(LogNormal, WorksInTraceGeneration) {
+  LogNormal d(3600.0, 1.2);
+  const auto trace = generate_trace(d, 32, 200 * 3600_s, 9);
+  EXPECT_GT(trace.size(), 500u);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    ASSERT_LE(trace[i - 1].time, trace[i].time);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  Exponential d(1800.0);
+  const auto trace = generate_trace(d, 8, 48 * 3600_s, 21);
+  ASSERT_FALSE(trace.empty());
+  const std::string csv = trace_to_csv(trace);
+  const auto parsed = trace_from_csv(csv);
+  EXPECT_EQ(parsed, trace);
+}
+
+TEST(TraceCsv, HeaderAndFormat) {
+  const std::vector<Failure> trace = {{123, 4}, {456, 7}};
+  const std::string csv = trace_to_csv(trace);
+  EXPECT_EQ(csv, "time_ns,node\n123,4\n456,7\n");
+}
+
+TEST(TraceCsv, ParsesWithoutHeader) {
+  const auto t = trace_from_csv("10,1\n5,0\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Failure{5, 0}));  // sorted on parse
+  EXPECT_EQ(t[1], (Failure{10, 1}));
+}
+
+TEST(TraceCsv, EmptyIsEmpty) {
+  EXPECT_TRUE(trace_from_csv("").empty());
+  EXPECT_TRUE(trace_from_csv("time_ns,node\n").empty());
+}
+
+TEST(TraceCsv, MalformedRejectedWithLineNumber) {
+  try {
+    trace_from_csv("time_ns,node\n10,1\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(trace_from_csv("10\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("x,1\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("10,x\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("-5,1\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chksim::fault

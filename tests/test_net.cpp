@@ -1,0 +1,145 @@
+// Machine presets, LogGOPS helpers, and topology hop-count models.
+#include <gtest/gtest.h>
+
+#include "chksim/net/machines.hpp"
+#include "chksim/net/topology.hpp"
+
+namespace chksim::net {
+namespace {
+
+TEST(LogGOPSParams, TimingHelpers) {
+  sim::LogGOPSParams p;
+  p.L = 1000;
+  p.o = 100;
+  p.g = 300;
+  p.G = 0.5;
+  p.O = 0.1;
+  p.S = 1024;
+  EXPECT_EQ(p.send_cpu(1000), 100 + 100);      // o + O*s
+  EXPECT_EQ(p.recv_cpu(1000), 200);
+  EXPECT_EQ(p.nic_gap(100), 300);              // g dominates small messages
+  EXPECT_EQ(p.nic_gap(10000), 5000);           // G*s dominates large ones
+  EXPECT_EQ(p.wire_time(2000), 1000 + 1000);   // L + G*s
+  EXPECT_FALSE(p.rendezvous(1024));
+  EXPECT_TRUE(p.rendezvous(1025));
+  EXPECT_EQ(p.control_time(), 1100);
+}
+
+TEST(Machines, AllPresetsAreSane) {
+  for (const MachineModel& m : all_machines()) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_GT(m.net.L, 0) << m.name;
+    EXPECT_GT(m.net.o, 0) << m.name;
+    EXPECT_GT(m.net.G, 0) << m.name;
+    EXPECT_GT(m.ckpt_bytes_per_node, 0) << m.name;
+    EXPECT_GT(m.node_bw_bytes_per_s, 0) << m.name;
+    EXPECT_GT(m.pfs_bw_bytes_per_s, m.node_bw_bytes_per_s) << m.name;
+    EXPECT_GT(m.node_mtbf_hours, 0) << m.name;
+    EXPECT_GT(m.restart_seconds, 0) << m.name;
+  }
+}
+
+TEST(Machines, LookupByName) {
+  EXPECT_EQ(machine_by_name("infiniband").name, "infiniband");
+  EXPECT_EQ(machine_by_name("exascale").name, "exascale");
+  EXPECT_THROW(machine_by_name("cray-17"), std::invalid_argument);
+}
+
+TEST(Machines, SystemMtbfScalesInversely) {
+  const MachineModel m = infiniband_system();
+  const double m1 = m.system_mtbf_seconds(1);
+  EXPECT_DOUBLE_EQ(m1, m.node_mtbf_hours * 3600.0);
+  EXPECT_DOUBLE_EQ(m.system_mtbf_seconds(1000), m1 / 1000);
+}
+
+TEST(FullyConnected, Hops) {
+  FullyConnected t(8);
+  EXPECT_EQ(t.hops(3, 3), 0);
+  EXPECT_EQ(t.hops(0, 7), 1);
+  EXPECT_EQ(t.diameter(), 1);
+  EXPECT_DOUBLE_EQ(t.mean_hops(), 1.0);
+  EXPECT_THROW(FullyConnected(0), std::invalid_argument);
+}
+
+TEST(Torus, WraparoundDistance) {
+  Torus t({4, 4, 1});
+  // (0,0) to (3,0): wraparound distance is 1, not 3.
+  EXPECT_EQ(t.hops(0, 3), 1);
+  // (0,0) to (2,2): 2 + 2.
+  EXPECT_EQ(t.hops(0, 2 + 2 * 4), 4);
+  EXPECT_EQ(t.hops(5, 5), 0);
+  EXPECT_EQ(t.nodes(), 16);
+}
+
+TEST(Torus, DiameterOfCube) {
+  Torus t({4, 4, 4});
+  EXPECT_EQ(t.diameter(), 6);  // 2 per dimension
+}
+
+TEST(Torus, NearCubicFactorization) {
+  const Torus a = Torus::near_cubic(64);
+  EXPECT_EQ(a.nodes(), 64);
+  EXPECT_EQ(a.diameter(), 6);  // 4x4x4
+  const Torus b = Torus::near_cubic(30);
+  EXPECT_EQ(b.nodes(), 30);
+  EXPECT_THROW(Torus::near_cubic(0), std::invalid_argument);
+}
+
+TEST(FatTree, HopsAreEvenAndBounded) {
+  FatTree t(64, 8);  // radix 8 -> 4 down-ports, 3 levels for 64 nodes
+  EXPECT_EQ(t.levels(), 3);
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 1), 2);    // same edge switch
+  EXPECT_EQ(t.hops(0, 4), 4);    // neighbouring edge switch
+  EXPECT_EQ(t.hops(0, 63), 6);   // across the root
+  EXPECT_EQ(t.diameter(), 2 * t.levels());
+}
+
+TEST(FatTree, InvalidArgsThrow) {
+  EXPECT_THROW(FatTree(0, 8), std::invalid_argument);
+  EXPECT_THROW(FatTree(16, 1), std::invalid_argument);
+}
+
+TEST(Dragonfly, HopClasses) {
+  Dragonfly t(64, 16, 4);  // 4 groups of 16, routers of 4
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 3), 1);    // same router
+  EXPECT_EQ(t.hops(0, 5), 2);    // same group, different router
+  EXPECT_EQ(t.hops(0, 20), 5);   // different group
+  EXPECT_THROW(Dragonfly(64, 15, 4), std::invalid_argument);
+}
+
+TEST(Topology, MeanHopsSampledMatchesExactOnSmall) {
+  Torus t({4, 4, 4});
+  const double exact = t.mean_hops(/*max_exact=*/512);
+  const double sampled = t.mean_hops(/*max_exact=*/1);
+  EXPECT_NEAR(sampled, exact, 0.02);
+}
+
+TEST(Topology, EffectiveParamsFoldHopLatency) {
+  const sim::LogGOPSParams base = infiniband_system().net;
+  Torus t({8, 8, 8});
+  const sim::LogGOPSParams eff = effective_params(base, t, 100);
+  EXPECT_GT(eff.L, base.L);
+  EXPECT_EQ(eff.o, base.o);
+  // Mean hops of an 8^3 torus is 6 (2 per dimension on average).
+  EXPECT_NEAR(static_cast<double>(eff.L - base.L), 600.0, 30.0);
+}
+
+class TopologySymmetry : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologySymmetry, HopsAreSymmetricAndTriangleBounded) {
+  const int n = GetParam();
+  const Torus t = Torus::near_cubic(n);
+  for (sim::RankId a = 0; a < t.nodes(); a += 3) {
+    for (sim::RankId b = 0; b < t.nodes(); b += 5) {
+      ASSERT_EQ(t.hops(a, b), t.hops(b, a));
+      ASSERT_GE(t.hops(a, b), a == b ? 0 : 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologySymmetry, ::testing::Values(8, 27, 30, 64, 125));
+
+}  // namespace
+}  // namespace chksim::net

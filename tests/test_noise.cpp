@@ -1,0 +1,153 @@
+// Noise injection and amplification-analysis tests.
+#include "chksim/noise/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim::noise {
+namespace {
+
+sim::EngineConfig test_net() {
+  sim::EngineConfig cfg;
+  cfg.net.L = 1000;
+  cfg.net.o = 100;
+  cfg.net.g = 100;
+  cfg.net.G = 0.0;
+  cfg.net.S = 1 << 30;
+  return cfg;
+}
+
+TEST(PeriodicNoise, AlignedSharesPhase) {
+  PeriodicNoiseConfig cfg;
+  cfg.period = 1000;
+  cfg.duration = 100;
+  cfg.aligned = true;
+  const auto sched = make_periodic_noise(8, cfg);
+  EXPECT_EQ(sched->next_blackout(0, 0)->begin, sched->next_blackout(7, 0)->begin);
+}
+
+TEST(PeriodicNoise, UnalignedSpreadsPhases) {
+  PeriodicNoiseConfig cfg;
+  cfg.period = 1'000'000;
+  cfg.duration = 100;
+  cfg.seed = 5;
+  const auto sched = make_periodic_noise(64, cfg);
+  const TimeNs b0 = sched->next_blackout(0, 0)->begin;
+  bool differs = false;
+  for (sim::RankId r = 1; r < 64; ++r)
+    if (sched->next_blackout(r, 0)->begin != b0) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(PeriodicNoise, Validates) {
+  PeriodicNoiseConfig cfg;
+  cfg.period = 0;
+  EXPECT_THROW(make_periodic_noise(4, cfg), std::invalid_argument);
+  cfg.period = 10;
+  cfg.duration = 20;
+  EXPECT_THROW(make_periodic_noise(4, cfg), std::invalid_argument);
+  cfg.duration = 5;
+  EXPECT_THROW(make_periodic_noise(0, cfg), std::invalid_argument);
+}
+
+TEST(PoissonNoise, GeneratesWithinHorizon) {
+  const auto sched = make_poisson_noise(4, 10'000, 1'000, 1'000'000, 3);
+  for (sim::RankId r = 0; r < 4; ++r) {
+    TimeNs t = 0;
+    int count = 0;
+    while (auto iv = sched->next_blackout(r, t)) {
+      EXPECT_LT(iv->begin, 1'000'000 + 1'000);
+      EXPECT_EQ(iv->duration(), 1'000);
+      t = iv->end;
+      ++count;
+    }
+    // Mean gap 10 us over 1 ms -> ~90 events.
+    EXPECT_GT(count, 40);
+    EXPECT_LT(count, 160);
+  }
+}
+
+TEST(SingleBlackout, OnlyTargetRankAffected) {
+  const auto sched = make_single_blackout(4, 2, {100, 200});
+  EXPECT_FALSE(sched->next_blackout(0, 0).has_value());
+  EXPECT_TRUE(sched->next_blackout(2, 0).has_value());
+  EXPECT_THROW(make_single_blackout(4, 9, {0, 1}), std::invalid_argument);
+}
+
+TEST(Amplification, EpAbsorbsNothingButAlsoAmplifiesNothing) {
+  // Embarrassingly parallel work with aligned noise: slowdown equals the
+  // injected fraction exactly (amplification = 1), since every rank loses
+  // the same time and there is no propagation.
+  workload::EpConfig wcfg;
+  wcfg.ranks = 8;
+  wcfg.iterations = 20;
+  wcfg.compute_per_iter = 1'000'000;
+  sim::Program p = workload::make_ep(wcfg);
+  p.finalize();
+  PeriodicNoiseConfig ncfg;
+  ncfg.period = 1'000'000;
+  ncfg.duration = 50'000;  // 5%
+  ncfg.aligned = true;
+  const auto noise = make_periodic_noise(8, ncfg);
+  const AmplificationReport rep =
+      measure_amplification(p, test_net(), *noise, injected_fraction(ncfg));
+  EXPECT_NEAR(rep.amplification, 1.0, 0.15);
+}
+
+TEST(Amplification, UnalignedNoiseOnCoupledAppAmplifies) {
+  // A tightly coupled allreduce loop with random-phase noise: every rank
+  // waits for the most-delayed rank each iteration, so slowdown exceeds the
+  // injected fraction.
+  workload::AllreduceConfig wcfg;
+  wcfg.ranks = 32;
+  wcfg.iterations = 30;
+  wcfg.compute_per_iter = 1'000'000;
+  wcfg.reduce_bytes = 8;
+  sim::Program p = workload::make_allreduce_loop(wcfg);
+  p.finalize();
+  PeriodicNoiseConfig ncfg;
+  ncfg.period = 1'000'000;
+  ncfg.duration = 50'000;
+  ncfg.aligned = false;
+  ncfg.seed = 7;
+  const auto noise = make_periodic_noise(32, ncfg);
+  const AmplificationReport rep =
+      measure_amplification(p, test_net(), *noise, injected_fraction(ncfg));
+  EXPECT_GT(rep.amplification, 1.1);
+}
+
+TEST(Amplification, SingleRankDelayPropagates) {
+  // Blacking out one rank of a coupled app for a long interval delays the
+  // whole application by about that interval.
+  workload::AllreduceConfig wcfg;
+  wcfg.ranks = 16;
+  wcfg.iterations = 10;
+  wcfg.compute_per_iter = 1'000'000;
+  sim::Program p = workload::make_allreduce_loop(wcfg);
+  p.finalize();
+  const auto noise = make_single_blackout(16, 5, {0, 3'000'000});
+  const AmplificationReport rep = measure_amplification(p, test_net(), *noise, 0.0);
+  EXPECT_GE(rep.noisy_makespan - rep.base_makespan, 2'500'000);
+}
+
+TEST(Amplification, ReportFieldsConsistent) {
+  workload::EpConfig wcfg;
+  wcfg.ranks = 4;
+  wcfg.iterations = 5;
+  sim::Program p = workload::make_ep(wcfg);
+  p.finalize();
+  PeriodicNoiseConfig ncfg;
+  const auto noise = make_periodic_noise(4, ncfg);
+  const AmplificationReport rep =
+      measure_amplification(p, test_net(), *noise, injected_fraction(ncfg));
+  EXPECT_GT(rep.base_makespan, 0);
+  EXPECT_GE(rep.noisy_makespan, rep.base_makespan);
+  EXPECT_NEAR(rep.slowdown,
+              static_cast<double>(rep.noisy_makespan) /
+                  static_cast<double>(rep.base_makespan),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace chksim::noise

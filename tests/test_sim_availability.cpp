@@ -1,0 +1,172 @@
+// Tests for blackout schedules and the availability calculator.
+#include "chksim/sim/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chksim::sim {
+namespace {
+
+TEST(ListBlackouts, MergesOverlappingAndAbutting) {
+  ListBlackouts bl({{{10, 20}, {15, 30}, {30, 40}, {50, 50}, {60, 70}}});
+  const auto first = bl.next_blackout(0, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, (Interval{10, 40}));
+  const auto second = bl.next_blackout(0, 40);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, (Interval{60, 70}));
+  EXPECT_EQ(bl.total(0), 40);
+}
+
+TEST(ListBlackouts, NextIsFirstWithEndAfterT) {
+  ListBlackouts bl({{{10, 20}, {30, 40}}});
+  EXPECT_EQ(bl.next_blackout(0, 19)->begin, 10);
+  EXPECT_EQ(bl.next_blackout(0, 20)->begin, 30);
+  EXPECT_FALSE(bl.next_blackout(0, 40).has_value());
+}
+
+TEST(ListBlackouts, OutOfRangeRankHasNone) {
+  ListBlackouts bl({{{10, 20}}});
+  EXPECT_FALSE(bl.next_blackout(5, 0).has_value());
+}
+
+TEST(PeriodicBlackouts, BasicSequence) {
+  PeriodicBlackouts bl(100, 10, TimeNs{0});
+  EXPECT_EQ(*bl.next_blackout(0, 0), (Interval{0, 10}));
+  EXPECT_EQ(*bl.next_blackout(0, 5), (Interval{0, 10}));
+  EXPECT_EQ(*bl.next_blackout(0, 10), (Interval{100, 110}));
+  EXPECT_EQ(*bl.next_blackout(0, 110), (Interval{200, 210}));
+  EXPECT_EQ(*bl.next_blackout(0, 111), (Interval{200, 210}));
+}
+
+TEST(PeriodicBlackouts, PerRankPhases) {
+  PeriodicBlackouts bl(100, 10, std::vector<TimeNs>{0, 50});
+  EXPECT_EQ(bl.next_blackout(0, 0)->begin, 0);
+  EXPECT_EQ(bl.next_blackout(1, 0)->begin, 50);
+  EXPECT_EQ(bl.next_blackout(1, 61)->begin, 150);
+}
+
+TEST(PeriodicBlackouts, ActiveWindowClipsSchedule) {
+  PeriodicBlackouts bl(100, 10, TimeNs{0});
+  bl.set_active_window(150, 350);
+  // First interval with start >= 150 is at 200.
+  EXPECT_EQ(bl.next_blackout(0, 0)->begin, 200);
+  EXPECT_EQ(bl.next_blackout(0, 210)->begin, 300);
+  EXPECT_FALSE(bl.next_blackout(0, 310).has_value());
+}
+
+TEST(PeriodicBlackouts, ZeroDurationMeansNone) {
+  PeriodicBlackouts bl(100, 0, TimeNs{0});
+  EXPECT_FALSE(bl.next_blackout(0, 0).has_value());
+}
+
+TEST(UnionBlackouts, MergesParts) {
+  PeriodicBlackouts a(1000, 100, TimeNs{0});    // [0,100), [1000,1100), ...
+  PeriodicBlackouts b(1000, 100, TimeNs{50});   // [50,150), [1050,1150), ...
+  UnionBlackouts u({&a, &b});
+  const auto iv = u.next_blackout(0, 0);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, (Interval{0, 150}));
+  EXPECT_EQ(u.next_blackout(0, 150)->begin, 1000);
+}
+
+TEST(Availability, NextAvailableSkipsBlackout) {
+  ListBlackouts bl({{{10, 20}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  EXPECT_EQ(av.next_available(0, 5), 5);
+  EXPECT_EQ(av.next_available(0, 10), 20);
+  EXPECT_EQ(av.next_available(0, 19), 20);
+  EXPECT_EQ(av.next_available(0, 20), 20);
+}
+
+TEST(Availability, NextAvailableAcrossAdjacentBlackouts) {
+  ListBlackouts bl({{{10, 20}, {25, 30}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  EXPECT_EQ(av.next_available(0, 12), 20);
+  EXPECT_EQ(av.next_available(0, 26), 30);
+}
+
+TEST(Availability, PreemptiveFinishPausesAcrossBlackout) {
+  ListBlackouts bl({{{50, 70}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  // 100 ns of work from t=0: 50 before, pause 20, 50 after -> 120.
+  EXPECT_EQ(av.finish(0, 0, 100), 120);
+}
+
+TEST(Availability, PreemptiveFinishAcrossMultipleBlackouts) {
+  ListBlackouts bl({{{10, 20}, {30, 40}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  // 25 ns from t=0: [0,10)=10, [20,30)=10, [40,45)=5 -> 45.
+  EXPECT_EQ(av.finish(0, 0, 25), 45);
+}
+
+TEST(Availability, FinishExactlyAtBlackoutBoundary) {
+  ListBlackouts bl({{{10, 20}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  // Work that ends exactly where the blackout begins is unaffected.
+  EXPECT_EQ(av.finish(0, 0, 10), 10);
+}
+
+TEST(Availability, FinishStartingInsideBlackout) {
+  ListBlackouts bl({{{10, 20}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  EXPECT_EQ(av.finish(0, 15, 5), 25);
+}
+
+TEST(Availability, ZeroWorkCompletesAtNextAvailable) {
+  ListBlackouts bl({{{10, 20}}});
+  Availability av(&bl, Preemption::kPreemptive);
+  EXPECT_EQ(av.finish(0, 15, 0), 20);
+  EXPECT_EQ(av.finish(0, 5, 0), 5);
+}
+
+TEST(Availability, NonPreemptiveWaitsForGap) {
+  ListBlackouts bl({{{50, 70}, {100, 120}}});
+  Availability av(&bl, Preemption::kNonPreemptive);
+  // 60 ns of work: [0,50) too small, [70,100) too small, starts at 120.
+  EXPECT_EQ(av.finish(0, 0, 60), 180);
+  // 30 ns fits in [70,100).
+  EXPECT_EQ(av.finish(0, 60, 30), 100);
+}
+
+TEST(Availability, NoBlackoutsIsIdentity) {
+  NoBlackouts none;
+  Availability av(&none, Preemption::kPreemptive);
+  EXPECT_EQ(av.next_available(0, 123), 123);
+  EXPECT_EQ(av.finish(0, 123, 77), 200);
+}
+
+class PeriodicFinishProperty
+    : public ::testing::TestWithParam<std::tuple<TimeNs, TimeNs, TimeNs>> {};
+
+// Property: preemptive finish time always equals start + work + stolen time,
+// where stolen time is the blackout overlap of [start, finish).
+TEST_P(PeriodicFinishProperty, ElapsedEqualsWorkPlusOverlap) {
+  const auto [period, duration, work] = GetParam();
+  PeriodicBlackouts bl(period, duration, TimeNs{0});
+  Availability av(&bl, Preemption::kPreemptive);
+  for (TimeNs t0 : {TimeNs{0}, TimeNs{3}, TimeNs{57}, TimeNs{999}}) {
+    const TimeNs start = av.next_available(0, t0);
+    const TimeNs end = av.finish(0, t0, work);
+    // Compute blackout overlap of [start, end) by walking the schedule.
+    TimeNs overlap = 0;
+    TimeNs cur = start;
+    while (true) {
+      const auto iv = bl.next_blackout(0, cur);
+      if (!iv || iv->begin >= end) break;
+      overlap += std::min(end, iv->end) - std::max(cur, iv->begin);
+      cur = iv->end;
+    }
+    ASSERT_EQ(end - start, work + overlap)
+        << "period=" << period << " dur=" << duration << " work=" << work
+        << " t0=" << t0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PeriodicFinishProperty,
+    ::testing::Values(std::make_tuple(100, 10, 5), std::make_tuple(100, 10, 95),
+                      std::make_tuple(100, 10, 1000), std::make_tuple(100, 99, 7),
+                      std::make_tuple(64, 1, 640), std::make_tuple(1000, 500, 2501)));
+
+}  // namespace
+}  // namespace chksim::sim

@@ -1,0 +1,450 @@
+// Engine semantics tests with hand-computed LogGOPS timings.
+#include "chksim/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/sim/program.hpp"
+
+namespace chksim::sim {
+namespace {
+
+// Simple parameter set for hand calculation: latency 1000, overhead 100,
+// gap 200, no per-byte costs, eager only.
+LogGOPSParams simple_net() {
+  LogGOPSParams p;
+  p.L = 1000;
+  p.o = 100;
+  p.g = 200;
+  p.G = 0.0;
+  p.O = 0.0;
+  p.S = 1 << 30;
+  return p;
+}
+
+TEST(Program, FinalizeComputesStats) {
+  Program p(2);
+  const OpRef c = p.calc(0, 50);
+  const OpRef s = p.send(0, 1, 8, 1);
+  p.depends(c, s);
+  p.recv(1, 0, 8, 1);
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.ops, 3);
+  EXPECT_EQ(st.calcs, 1);
+  EXPECT_EQ(st.sends, 1);
+  EXPECT_EQ(st.recvs, 1);
+  EXPECT_EQ(st.edges, 1);
+  EXPECT_EQ(st.bytes_sent, 8);
+  EXPECT_EQ(st.calc_total, 50);
+  EXPECT_EQ(st.max_depth, 2);
+}
+
+TEST(Program, DoubleFinalizeThrows) {
+  Program p(1);
+  p.calc(0, 1);
+  p.finalize();
+  EXPECT_THROW(p.finalize(), std::logic_error);
+}
+
+TEST(Program, CycleDetectionThrows) {
+  Program p(1);
+  const OpRef a = p.calc(0, 1);
+  const OpRef b = p.calc(0, 1);
+  p.depends(a, b);
+  p.depends(b, a);
+  EXPECT_THROW(p.finalize(), std::logic_error);
+}
+
+TEST(Program, DuplicateEdgesAreDeduplicated) {
+  Program p(1);
+  const OpRef a = p.calc(0, 1);
+  const OpRef b = p.calc(0, 1);
+  p.depends(a, b);
+  p.depends(a, b);
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.edges, 1);
+  EngineConfig cfg;
+  const RunResult r = run_program(p, cfg);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Program, TagAllocatorIsMonotonic) {
+  Program p(1);
+  const Tag a = p.allocate_tags(3);
+  const Tag b = p.allocate_tags(1);
+  EXPECT_GE(b, a + 3);
+}
+
+TEST(Program, CheckMatchingReportsImbalance) {
+  Program p(2);
+  p.send(0, 1, 8, 7);
+  EXPECT_NE(p.check_matching().find("unmatched send"), std::string::npos);
+  Program q(2);
+  q.send(0, 1, 8, 7);
+  q.recv(1, 0, 8, 7);
+  EXPECT_TRUE(q.check_matching().empty());
+}
+
+TEST(Engine, RequiresFinalizedProgram) {
+  Program p(1);
+  p.calc(0, 1);
+  EngineConfig cfg;
+  EXPECT_THROW(run_program(p, cfg), std::logic_error);
+}
+
+TEST(Engine, CalcChain) {
+  Program p(1);
+  const OpRef a = p.calc(0, 10);
+  const OpRef b = p.calc(0, 20);
+  const OpRef c = p.calc(0, 30);
+  p.depends(a, b);
+  p.depends(b, c);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 60);
+  EXPECT_EQ(r.ranks[0].cpu_busy, 60);
+  EXPECT_EQ(r.ranks[0].calcs, 3);
+}
+
+TEST(Engine, IndependentCalcsSerializeOnCpu) {
+  Program p(1);
+  p.calc(0, 10);
+  p.calc(0, 20);
+  p.finalize();
+  EngineConfig cfg;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 30);
+}
+
+TEST(Engine, PingTiming) {
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  p.recv(1, 0, 8, 1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.record_op_finish = true;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // Send: CPU [0,100]; arrival 100 + L = 1100; recv CPU [1100,1200].
+  EXPECT_EQ(r.op_finish[0][0], 100);
+  EXPECT_EQ(r.op_finish[1][0], 1200);
+  EXPECT_EQ(r.makespan, 1200);
+  EXPECT_EQ(r.ranks[1].recv_wait, 1100);  // posted at 0, data at 1100
+}
+
+TEST(Engine, PingPongTiming) {
+  Program p(2);
+  const OpRef s0 = p.send(0, 1, 8, 1);
+  const OpRef r0 = p.recv(0, 1, 8, 2);
+  p.depends(s0, r0);
+  const OpRef r1 = p.recv(1, 0, 8, 1);
+  const OpRef s1 = p.send(1, 0, 8, 2);
+  p.depends(r1, s1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // r1 done at 1200; s1 CPU [1200,1300]; arrival 2300; r0 done 2400.
+  EXPECT_EQ(r.makespan, 2400);
+}
+
+TEST(Engine, EarlyMessageHasNoRecvWait) {
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  const OpRef c = p.calc(1, 5000);
+  const OpRef rv = p.recv(1, 0, 8, 1);
+  p.depends(c, rv);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // Message arrives at 1100 while rank 1 computes until 5000; no wait.
+  EXPECT_EQ(r.ranks[1].recv_wait, 0);
+  EXPECT_EQ(r.makespan, 5100);  // recv overhead after calc
+}
+
+TEST(Engine, NicGapSerializesSends) {
+  Program p(3);
+  const OpRef s0 = p.send(0, 1, 8, 1);
+  const OpRef s1 = p.send(0, 2, 8, 1);
+  p.depends(s0, s1);
+  p.recv(1, 0, 8, 1);
+  p.recv(2, 0, 8, 1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.record_op_finish = true;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // First send CPU [0,100], nic free at 100+200=300. Second send ready at
+  // 100 but NIC gap delays start to 300: CPU [300,400], arrival 1400.
+  EXPECT_EQ(r.op_finish[0][1], 400);
+  EXPECT_EQ(r.op_finish[2][0], 1500);
+}
+
+TEST(Engine, PerByteGapAndOverhead) {
+  LogGOPSParams net = simple_net();
+  net.G = 1.0;   // 1 ns per byte on the wire
+  net.O = 0.5;   // 0.5 ns per byte of CPU
+  Program p(2);
+  p.send(0, 1, 1000, 1);
+  p.recv(1, 0, 1000, 1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = net;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // send cpu = o + O*s = 100+500 = 600; arrival = 600 + L + G*s = 2600;
+  // recv cpu 600 -> 3200.
+  EXPECT_EQ(r.makespan, 3200);
+}
+
+TEST(Engine, RendezvousTiming) {
+  LogGOPSParams net = simple_net();
+  net.S = 100;  // 1000-byte message goes rendezvous
+  Program p(2);
+  p.send(0, 1, 1000, 1);
+  p.recv(1, 0, 1000, 1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = net;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // RTS: send CPU [0,100], RTS arrival 1100. Recv posted at 0 -> match 1100.
+  // Data arrival = 1100 + (o+L) + o + L + G*s = 1100+1100+100+1000+0 = 3300.
+  // Recv CPU -> 3400.
+  EXPECT_EQ(r.makespan, 3400);
+}
+
+TEST(Engine, RendezvousWaitsForLatePost) {
+  LogGOPSParams net = simple_net();
+  net.S = 100;
+  Program p(2);
+  p.send(0, 1, 1000, 1);
+  const OpRef c = p.calc(1, 50000);
+  const OpRef rv = p.recv(1, 0, 1000, 1);
+  p.depends(c, rv);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = net;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // Match at post time 50000; payload 50000+2200 = 52200; recv end 52300.
+  EXPECT_EQ(r.makespan, 52300);
+}
+
+TEST(Engine, FifoMatchingWithinTag) {
+  // Two messages on the same (src, tag); receiver consumes them in order.
+  Program p(2);
+  const OpRef s0 = p.send(0, 1, 10, 1);
+  const OpRef s1 = p.send(0, 1, 20, 1);
+  p.depends(s0, s1);
+  const OpRef r0 = p.recv(1, 0, 10, 1);
+  const OpRef r1 = p.recv(1, 0, 20, 1);
+  p.depends(r0, r1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.record_op_finish = true;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.op_finish[1][0], r.op_finish[1][1]);
+}
+
+TEST(Engine, TagsSeparateMatching) {
+  // Messages with different tags match the right receives regardless of
+  // posting order.
+  Program p(2);
+  const OpRef sA = p.send(0, 1, 8, 5);
+  const OpRef sB = p.send(0, 1, 8, 6);
+  p.depends(sA, sB);
+  // Receiver posts tag 6 first, then tag 5; both must complete.
+  const OpRef rB = p.recv(1, 0, 8, 6);
+  const OpRef rA = p.recv(1, 0, 8, 5);
+  p.depends(rB, rA);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  const RunResult r = run_program(p, cfg);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Program p(2);
+  p.recv(1, 0, 8, 1);  // no matching send
+  p.finalize();
+  EngineConfig cfg;
+  const RunResult r = run_program(p, cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("deadlock"), std::string::npos);
+  EXPECT_NE(r.error.find("rank 1"), std::string::npos);
+}
+
+TEST(Engine, BlackoutDelaysCalc) {
+  Program p(1);
+  p.calc(0, 100);
+  p.finalize();
+  ListBlackouts bl({{{50, 70}}});
+  EngineConfig cfg;
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 120);
+  EXPECT_EQ(r.ranks[0].cpu_busy, 100);  // pure work excludes the blackout
+}
+
+TEST(Engine, BlackoutDelaysSendAndPropagatesToReceiver) {
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  p.recv(1, 0, 8, 1);
+  p.finalize();
+  ListBlackouts bl({{{0, 500}}, {}});  // only rank 0 blacked out
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // Send starts at 500, CPU [500,600], arrival 1600, recv end 1700: rank 0's
+  // checkpoint delayed rank 1 even though rank 1 was never blacked out.
+  EXPECT_EQ(r.makespan, 1700);
+  EXPECT_EQ(r.ranks[1].recv_wait, 1600);
+}
+
+TEST(Engine, BlackoutDoesNotDelayWire) {
+  // A receiver-side blackout that ends before arrival costs nothing:
+  // in-flight data is not paused, only CPU work is.
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  p.recv(1, 0, 8, 1);
+  p.finalize();
+  ListBlackouts bl({{}, {{200, 900}}});
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 1200);  // same as without blackout
+}
+
+TEST(Engine, ReceiverBlackoutDelaysRecvOverhead) {
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  p.recv(1, 0, 8, 1);
+  p.finalize();
+  ListBlackouts bl({{}, {{1000, 2000}}});
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // Arrival 1100 inside blackout; recv CPU starts 2000, ends 2100.
+  EXPECT_EQ(r.makespan, 2100);
+}
+
+// Message-logging tax: flat per-message sender cost.
+class FlatTax final : public SendTax {
+ public:
+  explicit FlatTax(TimeNs send_extra, TimeNs recv_extra = 0)
+      : send_extra_(send_extra), recv_extra_(recv_extra) {}
+  TimeNs extra_send_cpu(RankId, RankId, Bytes) const override { return send_extra_; }
+  TimeNs extra_recv_cpu(RankId, RankId, Bytes) const override { return recv_extra_; }
+
+ private:
+  TimeNs send_extra_;
+  TimeNs recv_extra_;
+};
+
+TEST(Engine, SendTaxInflatesOverheads) {
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  p.recv(1, 0, 8, 1);
+  p.finalize();
+  FlatTax tax(50, 25);
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.tax = &tax;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // Send CPU [0,150]; arrival 1150; recv CPU 100+25 -> 1275.
+  EXPECT_EQ(r.makespan, 1275);
+}
+
+TEST(Engine, StatsCountsAndBytes) {
+  Program p(2);
+  const OpRef s = p.send(0, 1, 4096, 1);
+  const OpRef c = p.calc(0, 10);
+  p.depends(s, c);
+  p.recv(1, 0, 4096, 1);
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.ranks[0].sends, 1);
+  EXPECT_EQ(r.ranks[0].calcs, 1);
+  EXPECT_EQ(r.ranks[0].bytes_sent, 4096);
+  EXPECT_EQ(r.ranks[1].recvs, 1);
+  EXPECT_EQ(r.ops_executed, 3);
+  EXPECT_GT(r.events_processed, 0);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Program p(4);
+  for (RankId r = 0; r < 4; ++r) {
+    const RankId next = (r + 1) % 4;
+    const RankId prev = (r + 3) % 4;
+    const OpRef s = p.send(r, next, 64, 1);
+    const OpRef rv = p.recv(r, prev, 64, 1);
+    const OpRef c = p.calc(r, 500);
+    p.depends(s, c);
+    p.depends(rv, c);
+  }
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  const RunResult a = run_program(p, cfg);
+  const RunResult b = run_program(p, cfg);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+// Property sweep: a ring exchange completes and its makespan grows with the
+// per-hop costs in a sane way across parameter combinations.
+class RingParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, TimeNs, TimeNs>> {};
+
+TEST_P(RingParamSweep, CompletesAndScales) {
+  const auto [ranks, latency, overhead] = GetParam();
+  Program p(ranks);
+  const Tag tag = p.allocate_tags();
+  for (RankId r = 0; r < ranks; ++r) {
+    p.send(r, (r + 1) % ranks, 8, tag);
+    p.recv(r, (r + ranks - 1) % ranks, 8, tag);
+  }
+  p.finalize();
+  EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.net.L = latency;
+  cfg.net.o = overhead;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // One hop: send o + L + recv o is a lower bound on makespan.
+  EXPECT_GE(r.makespan, latency + 2 * overhead);
+  EXPECT_EQ(r.ops_executed, static_cast<std::int64_t>(2 * ranks));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingParamSweep,
+    ::testing::Combine(::testing::Values(2, 3, 8, 64),
+                       ::testing::Values<TimeNs>(100, 5000),
+                       ::testing::Values<TimeNs>(10, 1000)));
+
+}  // namespace
+}  // namespace chksim::sim

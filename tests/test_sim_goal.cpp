@@ -1,0 +1,158 @@
+// GOAL trace format: serialization, parsing, round trips, and error
+// reporting.
+#include "chksim/sim/goal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim::sim {
+namespace {
+
+TEST(Goal, SerializeRequiresFinalized) {
+  Program p(1);
+  p.calc(0, 10);
+  EXPECT_THROW(to_goal(p), std::logic_error);
+}
+
+TEST(Goal, SerializeSimpleProgram) {
+  Program p(2);
+  const OpRef c = p.calc(0, 50);
+  const OpRef s = p.send(0, 1, 64, 3);
+  p.depends(c, s);
+  p.recv(1, 0, 64, 3);
+  p.finalize();
+  const std::string goal = to_goal(p);
+  EXPECT_NE(goal.find("num_ranks 2"), std::string::npos);
+  EXPECT_NE(goal.find("l0: calc 50"), std::string::npos);
+  EXPECT_NE(goal.find("l1: send 64b to 1 tag 3"), std::string::npos);
+  EXPECT_NE(goal.find("l0: recv 64b from 0 tag 3"), std::string::npos);
+  EXPECT_NE(goal.find("l1 requires l0"), std::string::npos);
+}
+
+TEST(Goal, ParseBasicProgram) {
+  const std::string text = R"(
+# a comment
+num_ranks 2
+rank 0 {
+  l0: calc 100
+  l1: send 8b to 1 tag 5
+  l1 requires l0
+}
+rank 1 {
+  l0: recv 8b from 0 tag 5
+}
+)";
+  Program p = from_goal(text);
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.ops, 3);
+  EXPECT_EQ(st.edges, 1);
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(Goal, TagIsOptional) {
+  Program p = from_goal(
+      "num_ranks 2\nrank 0 {\n l0: send 8b to 1\n}\nrank 1 {\n l0: recv 8b from 0\n}\n");
+  p.finalize();
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(Goal, RequiresBeforeDefinitionResolvesAtBlockClose) {
+  Program p = from_goal(R"(
+num_ranks 1
+rank 0 {
+  l5 requires l1
+  l1: calc 10
+  l5: calc 20
+}
+)");
+  EXPECT_EQ(p.finalize().edges, 1);
+}
+
+TEST(Goal, RoundTripPreservesSemantics) {
+  workload::StdParams params;
+  params.ranks = 8;
+  params.iterations = 3;
+  params.compute = 100'000;
+  params.bytes = 1024;
+  Program original = workload::make_workload("hpccg", params);
+  const ProgramStats st0 = original.finalize();
+  const std::string goal = to_goal(original);
+
+  Program parsed = from_goal(goal);
+  const ProgramStats st1 = parsed.finalize();
+  EXPECT_EQ(st0.ops, st1.ops);
+  EXPECT_EQ(st0.sends, st1.sends);
+  EXPECT_EQ(st0.recvs, st1.recvs);
+  EXPECT_EQ(st0.edges, st1.edges);
+  EXPECT_EQ(st0.bytes_sent, st1.bytes_sent);
+  EXPECT_EQ(st0.max_depth, st1.max_depth);
+
+  // And the engine agrees: identical makespan.
+  EngineConfig cfg;
+  const RunResult r0 = run_program(original, cfg);
+  const RunResult r1 = run_program(parsed, cfg);
+  ASSERT_TRUE(r0.completed);
+  ASSERT_TRUE(r1.completed);
+  EXPECT_EQ(r0.makespan, r1.makespan);
+}
+
+TEST(Goal, SecondRoundTripIsIdentityText) {
+  workload::StdParams params;
+  params.ranks = 4;
+  params.iterations = 2;
+  Program p = workload::make_workload("ring", params);
+  p.finalize();
+  const std::string once = to_goal(p);
+  Program q = from_goal(once);
+  q.finalize();
+  EXPECT_EQ(to_goal(q), once);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+};
+
+class GoalErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(GoalErrors, Rejected) {
+  EXPECT_THROW(from_goal(GetParam().text), std::invalid_argument) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GoalErrors,
+    ::testing::Values(
+        BadCase{"missing_header", "rank 0 {\n}\n"},
+        BadCase{"zero_ranks", "num_ranks 0\n"},
+        BadCase{"bad_rank_count", "num_ranks x\n"},
+        BadCase{"nested_block", "num_ranks 1\nrank 0 {\nrank 0 {\n"},
+        BadCase{"unmatched_close", "num_ranks 1\n}\n"},
+        BadCase{"unterminated", "num_ranks 1\nrank 0 {\n l0: calc 1\n"},
+        BadCase{"stmt_outside_block", "num_ranks 1\nl0: calc 5\n"},
+        BadCase{"rank_out_of_range", "num_ranks 2\nrank 5 {\n}\n"},
+        BadCase{"self_send", "num_ranks 2\nrank 0 {\n l0: send 8b to 0\n}\n"},
+        BadCase{"peer_out_of_range", "num_ranks 2\nrank 0 {\n l0: send 8b to 9\n}\n"},
+        BadCase{"bad_bytes", "num_ranks 2\nrank 0 {\n l0: send 8 to 1\n}\n"},
+        BadCase{"negative_calc", "num_ranks 1\nrank 0 {\n l0: calc -5\n}\n"},
+        BadCase{"unknown_verb", "num_ranks 1\nrank 0 {\n l0: fma 5\n}\n"},
+        BadCase{"duplicate_label",
+                "num_ranks 1\nrank 0 {\n l0: calc 1\n l0: calc 2\n}\n"},
+        BadCase{"unknown_dep_label",
+                "num_ranks 1\nrank 0 {\n l0: calc 1\n l0 requires l9\n}\n"},
+        BadCase{"bad_label", "num_ranks 1\nrank 0 {\n x0: calc 1\n}\n"},
+        BadCase{"wrong_direction", "num_ranks 2\nrank 0 {\n l0: send 8b from 1\n}\n"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) { return info.param.name; });
+
+TEST(Goal, ParseErrorsMentionLineNumbers) {
+  try {
+    from_goal("num_ranks 1\nrank 0 {\n  l0: calc x\n}\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace chksim::sim

@@ -1,0 +1,121 @@
+// Timeline-extraction tests.
+#include "chksim/sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chksim::sim {
+namespace {
+
+EngineConfig simple_net() {
+  EngineConfig cfg;
+  cfg.net.L = 1000;
+  cfg.net.o = 100;
+  cfg.net.g = 0;
+  cfg.net.G = 0.0;
+  cfg.net.S = 1 << 30;
+  cfg.record_op_finish = true;
+  return cfg;
+}
+
+TEST(Timeline, RequiresRecordedFinishTimes) {
+  Program p(1);
+  p.calc(0, 100);
+  p.finalize();
+  EngineConfig cfg = simple_net();
+  cfg.record_op_finish = false;
+  const RunResult r = run_program(p, cfg);
+  EXPECT_THROW(Timeline(p, r, cfg, 100), std::invalid_argument);
+}
+
+TEST(Timeline, PureCalcIsAllBusy) {
+  Program p(1);
+  const OpRef a = p.calc(0, 100);
+  const OpRef b = p.calc(0, 200);
+  p.depends(a, b);
+  p.finalize();
+  const EngineConfig cfg = simple_net();
+  const RunResult r = run_program(p, cfg);
+  const Timeline tl(p, r, cfg, r.makespan);
+  ASSERT_EQ(tl.ranks(), 1);
+  EXPECT_EQ(tl.total(0, SegmentKind::kBusy), 300);
+  EXPECT_EQ(tl.total(0, SegmentKind::kIdle), 0);
+  EXPECT_EQ(tl.total(0, SegmentKind::kBlackout), 0);
+  EXPECT_DOUBLE_EQ(tl.utilization(), 1.0);
+}
+
+TEST(Timeline, RecvWaitShowsAsIdle) {
+  Program p(2);
+  p.send(0, 1, 8, 1);
+  p.recv(1, 0, 8, 1);
+  p.finalize();
+  const EngineConfig cfg = simple_net();
+  const RunResult r = run_program(p, cfg);
+  const Timeline tl(p, r, cfg, r.makespan);
+  // Rank 1 waits 1100 ns, then 100 ns recv overhead.
+  EXPECT_EQ(tl.total(1, SegmentKind::kIdle), 1100);
+  EXPECT_EQ(tl.total(1, SegmentKind::kBusy), 100);
+  // Rank 0: 100 ns busy, rest idle.
+  EXPECT_EQ(tl.total(0, SegmentKind::kBusy), 100);
+  EXPECT_EQ(tl.total(0, SegmentKind::kIdle), r.makespan - 100);
+}
+
+TEST(Timeline, BlackoutSegmentsAppear) {
+  Program p(1);
+  p.calc(0, 1000);
+  p.finalize();
+  ListBlackouts bl({{{200, 500}}});
+  EngineConfig cfg = simple_net();
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_EQ(r.makespan, 1300);
+  const Timeline tl(p, r, cfg, r.makespan);
+  EXPECT_EQ(tl.total(0, SegmentKind::kBlackout), 300);
+  // Busy = 1000 (split around the blackout).
+  EXPECT_EQ(tl.total(0, SegmentKind::kBusy), 1000);
+  EXPECT_EQ(tl.total(0, SegmentKind::kIdle), 0);
+}
+
+TEST(Timeline, SegmentsPartitionHorizon) {
+  Program p(2);
+  const OpRef s = p.send(0, 1, 8, 1);
+  const OpRef c = p.calc(0, 5000);
+  p.depends(s, c);
+  const OpRef rv = p.recv(1, 0, 8, 1);
+  const OpRef c2 = p.calc(1, 2000);
+  p.depends(rv, c2);
+  p.finalize();
+  PeriodicBlackouts bl(3000, 400, TimeNs{100});
+  EngineConfig cfg = simple_net();
+  cfg.blackouts = &bl;
+  const RunResult r = run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  const Timeline tl(p, r, cfg, r.makespan);
+  for (RankId rank = 0; rank < 2; ++rank) {
+    const auto& segs = tl.of(rank);
+    ASSERT_FALSE(segs.empty());
+    EXPECT_EQ(segs.front().begin, 0);
+    EXPECT_EQ(segs.back().end, r.makespan);
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      EXPECT_EQ(segs[i].begin, segs[i - 1].end);          // contiguous
+      EXPECT_NE(segs[i].kind, segs[i - 1].kind);          // maximal segments
+    }
+    TimeNs sum = 0;
+    for (const Segment& s2 : segs) sum += s2.duration();
+    EXPECT_EQ(sum, r.makespan);
+  }
+}
+
+TEST(Timeline, CsvFormat) {
+  Program p(1);
+  p.calc(0, 50);
+  p.finalize();
+  const EngineConfig cfg = simple_net();
+  const RunResult r = run_program(p, cfg);
+  const Timeline tl(p, r, cfg, r.makespan);
+  const std::string csv = tl.to_csv();
+  EXPECT_NE(csv.find("rank,begin_ns,end_ns,kind"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,50,busy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chksim::sim

@@ -1,0 +1,192 @@
+// Storage (PFS contention) and failure-model tests.
+#include <gtest/gtest.h>
+
+#include "chksim/fault/failures.hpp"
+#include "chksim/storage/pfs.hpp"
+
+namespace chksim {
+namespace {
+
+using namespace chksim::literals;
+
+storage::PfsParams default_pfs() {
+  storage::PfsParams p;
+  p.node_bw_bytes_per_s = 1e9;
+  p.pfs_bw_bytes_per_s = 100e9;
+  p.bb_bw_bytes_per_s = 10e9;
+  return p;
+}
+
+TEST(Pfs, ConcurrentWriteNodeBound) {
+  storage::Pfs pfs(default_pfs());
+  // 10 writers share 100 GB/s -> 10 GB/s each, above the 1 GB/s node link.
+  const auto w = pfs.concurrent_write(1_GiB, 10);
+  EXPECT_FALSE(w.saturated);
+  EXPECT_DOUBLE_EQ(w.per_node_bw, 1e9);
+  EXPECT_NEAR(units::to_seconds(w.per_node), 1.0737, 0.001);
+}
+
+TEST(Pfs, ConcurrentWritePfsBound) {
+  storage::Pfs pfs(default_pfs());
+  // 1000 writers share 100 GB/s -> 100 MB/s each.
+  const auto w = pfs.concurrent_write(1_GiB, 1000);
+  EXPECT_TRUE(w.saturated);
+  EXPECT_DOUBLE_EQ(w.per_node_bw, 1e8);
+  // Write time grows ~10x vs the node-bound case.
+  EXPECT_NEAR(units::to_seconds(w.per_node), 10.737, 0.01);
+}
+
+TEST(Pfs, ConcurrentWriteScalesLinearlyOnceSaturated) {
+  storage::Pfs pfs(default_pfs());
+  const auto w1 = pfs.concurrent_write(1_GiB, 1000);
+  const auto w2 = pfs.concurrent_write(1_GiB, 2000);
+  EXPECT_NEAR(static_cast<double>(w2.per_node) / static_cast<double>(w1.per_node), 2.0,
+              0.01);
+}
+
+TEST(Pfs, SpreadWriteStaysNodeBoundAtLowUtilization) {
+  storage::Pfs pfs(default_pfs());
+  // 1000 nodes, 1 GiB each, every 600 s: offered ~1.8 GB/s << 100 GB/s.
+  const auto w = pfs.spread_write(1_GiB, 1000, 600_s);
+  EXPECT_FALSE(w.saturated);
+  EXPECT_NEAR(units::to_seconds(w.per_node), 1.0737, 0.01);
+  // Only a couple of writers at any instant.
+  EXPECT_LT(w.effective_writers, 5.0);
+}
+
+TEST(Pfs, SpreadBeatsBurstAtScale) {
+  storage::Pfs pfs(default_pfs());
+  const auto burst = pfs.concurrent_write(1_GiB, 4096);
+  const auto spread = pfs.spread_write(1_GiB, 4096, 600_s);
+  EXPECT_GT(burst.per_node, 5 * spread.per_node);
+}
+
+TEST(Pfs, SpreadWriteOverloadThrows) {
+  storage::Pfs pfs(default_pfs());
+  // 100000 nodes * 1 GiB / 600 s ~ 180 GB/s > 100 GB/s aggregate.
+  EXPECT_THROW(pfs.spread_write(1_GiB, 100000, 600_s), std::invalid_argument);
+}
+
+TEST(Pfs, SpreadWriteGroupsInterpolates) {
+  storage::Pfs pfs(default_pfs());
+  const auto solo = pfs.spread_write_groups(1_GiB, 1, 4096, 600_s);
+  const auto clustered = pfs.spread_write_groups(1_GiB, 64, 64, 600_s);
+  const auto burst = pfs.concurrent_write(1_GiB, 4096);
+  EXPECT_GE(clustered.per_node, solo.per_node);
+  EXPECT_LE(clustered.per_node, burst.per_node);
+}
+
+TEST(Pfs, BurstBufferIsFast) {
+  storage::Pfs pfs(default_pfs());
+  const auto w = pfs.burst_buffer_write(1_GiB);
+  EXPECT_NEAR(units::to_seconds(w.per_node), 0.107, 0.01);
+  storage::PfsParams no_bb = default_pfs();
+  no_bb.bb_bw_bytes_per_s = 0;
+  EXPECT_THROW(storage::Pfs(no_bb).burst_buffer_write(1_GiB), std::logic_error);
+}
+
+TEST(Pfs, DrainTime) {
+  storage::Pfs pfs(default_pfs());
+  // 1000 GiB over 100 GB/s.
+  EXPECT_NEAR(units::to_seconds(pfs.drain_time(1_GiB, 1000)), 10.737, 0.01);
+}
+
+TEST(Pfs, Utilization) {
+  const double u = storage::pfs_utilization(default_pfs(), 1_GiB, 1000, 60_s);
+  EXPECT_NEAR(u, 1.0737e12 / 60 / 100e9, 1e-3);
+}
+
+TEST(Pfs, InvalidParamsThrow) {
+  storage::PfsParams p = default_pfs();
+  p.node_bw_bytes_per_s = 0;
+  EXPECT_THROW(storage::Pfs{p}, std::invalid_argument);
+  storage::Pfs ok(default_pfs());
+  EXPECT_THROW(ok.concurrent_write(-1, 4), std::invalid_argument);
+  EXPECT_THROW(ok.concurrent_write(1_KiB, 0), std::invalid_argument);
+  EXPECT_THROW(ok.spread_write(1_KiB, 4, 0), std::invalid_argument);
+}
+
+TEST(FailureDistributions, ExponentialMean) {
+  fault::Exponential d(100.0);
+  EXPECT_DOUBLE_EQ(d.mtbf_seconds(), 100.0);
+  Rng rng(1);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += d.sample_seconds(rng);
+  EXPECT_NEAR(sum / 100000, 100.0, 2.0);
+  EXPECT_THROW(fault::Exponential(0), std::invalid_argument);
+}
+
+TEST(FailureDistributions, WeibullMeanMatchesMtbf) {
+  fault::Weibull d(100.0, 0.7);
+  EXPECT_DOUBLE_EQ(d.mtbf_seconds(), 100.0);
+  Rng rng(2);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample_seconds(rng);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+  EXPECT_THROW(fault::Weibull(100.0, 0), std::invalid_argument);
+}
+
+TEST(GenerateTrace, SortedAndWithinHorizon) {
+  fault::Exponential d(3600.0);
+  const auto trace = fault::generate_trace(d, 64, 24 * 3600_s, 7);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    ASSERT_LE(trace[i - 1].time, trace[i].time);
+  for (const auto& f : trace) {
+    ASSERT_GE(f.time, 0);
+    ASSERT_LT(f.time, 24 * 3600_s);
+    ASSERT_GE(f.node, 0);
+    ASSERT_LT(f.node, 64);
+  }
+}
+
+TEST(GenerateTrace, CountMatchesRate) {
+  // 64 nodes with 1-hour MTBF over 100 hours ~ 6400 failures.
+  fault::Exponential d(3600.0);
+  const auto trace = fault::generate_trace(d, 64, 100 * 3600_s, 11);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 6400.0, 320.0);
+}
+
+TEST(GenerateTrace, DeterministicInSeed) {
+  fault::Weibull d(1000.0, 0.7);
+  const auto a = fault::generate_trace(d, 8, 100000_s, 5);
+  const auto b = fault::generate_trace(d, 8, 100000_s, 5);
+  EXPECT_EQ(a, b);
+  const auto c = fault::generate_trace(d, 8, 100000_s, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(SystemTrace, RateScalesWithNodes) {
+  const auto small = fault::system_exponential_trace(3600.0 * 1000, 10, 1000 * 3600_s, 3);
+  const auto large = fault::system_exponential_trace(3600.0 * 1000, 100, 1000 * 3600_s, 3);
+  EXPECT_GT(large.size(), 5 * small.size());
+}
+
+TEST(TraceSummary, Computes) {
+  fault::Exponential d(100.0);
+  const auto trace = fault::generate_trace(d, 16, 3600_s, 1);
+  const auto s = fault::summarize(trace);
+  EXPECT_EQ(s.failures, static_cast<std::int64_t>(trace.size()));
+  EXPECT_GT(s.mean_interarrival_seconds, 0);
+  EXPECT_LE(s.first, s.last);
+  EXPECT_EQ(fault::summarize({}).failures, 0);
+}
+
+TEST(GenerateTrace, WeibullInfantMortalityBurstier) {
+  // Same MTBF, shape 0.5 vs exponential: Weibull has more short gaps.
+  fault::Weibull wb(3600.0, 0.5);
+  fault::Exponential ex(3600.0);
+  const auto tw = fault::generate_trace(wb, 32, 1000 * 3600_s, 9);
+  const auto te = fault::generate_trace(ex, 32, 1000 * 3600_s, 9);
+  auto short_gaps = [](const std::vector<fault::Failure>& t) {
+    int count = 0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+      if (t[i].time - t[i - 1].time < 60_s) ++count;
+    return static_cast<double>(count) / static_cast<double>(t.size());
+  };
+  EXPECT_GT(short_gaps(tw), short_gaps(te));
+}
+
+}  // namespace
+}  // namespace chksim

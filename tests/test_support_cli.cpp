@@ -1,0 +1,100 @@
+// Tests for the CLI flag parser.
+#include "chksim/support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chksim {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.flag("ranks", "64", "number of ranks")
+      .flag("machine", "infiniband", "machine preset")
+      .flag("duty", "0.1", "checkpoint duty cycle")
+      .flag("verbose", "false", "chatty output");
+  return cli;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get("machine"), "infiniband");
+  EXPECT_EQ(cli.get_int("ranks"), 64);
+  EXPECT_DOUBLE_EQ(cli.get_double("duty"), 0.1);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.is_set("ranks"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--ranks", "1024", "--machine", "bgq"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("ranks"), 1024);
+  EXPECT_EQ(cli.get("machine"), "bgq");
+  EXPECT_TRUE(cli.is_set("ranks"));
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--duty=0.25", "--verbose=true"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("duty"), 0.25);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, BareBooleanFlag) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"halo3d", "--ranks", "8", "extra"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "halo3d");
+  EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, UnknownFlagFails) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--bogus", "1"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--ranks"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, TypeErrorsThrow) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--ranks", "abc", "--duty", "xyz", "--machine", "maybe"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_int("ranks"), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("duty"), std::invalid_argument);
+  EXPECT_THROW(cli.get_bool("machine"), std::invalid_argument);
+  EXPECT_THROW(cli.get("undeclared"), std::logic_error);
+}
+
+TEST(Cli, UsageListsFlags) {
+  Cli cli = make_cli();
+  const std::string u = cli.usage("prog");
+  EXPECT_NE(u.find("--ranks"), std::string::npos);
+  EXPECT_NE(u.find("machine preset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chksim

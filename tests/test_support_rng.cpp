@@ -1,0 +1,189 @@
+// Unit and property tests for the deterministic RNG layer.
+#include "chksim/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace chksim {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  const std::uint64_t c = splitmix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  // Regression-pin the first output of the reference algorithm for seed 0.
+  EXPECT_EQ(a, 0xe220a8397b1dcdafULL);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SubstreamsAreDecorrelated) {
+  Rng a = Rng::substream(7, 0);
+  Rng b = Rng::substream(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-5.0, 3.0);
+    ASSERT_GE(u, -5.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformU64BoundedAndCoversRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.uniform_u64(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformU64One) {
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_u64(1), 0u);
+}
+
+TEST(Rng, UniformI64Inclusive) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.uniform_i64(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(8);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(r.exponential(1e-6), 0.0);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  // Weibull(k=1, lambda) == Exponential(mean=lambda).
+  Rng r(10);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, WeibullLowShapeHasHeavyTail) {
+  // For k < 1 the coefficient of variation exceeds 1.
+  Rng r(11);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.weibull(0.6, 1.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_GT(std::sqrt(var) / mean, 1.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(12);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sumsq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, NormalTruncatedStaysInBounds) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.normal_truncated(0.0, 5.0, -1.0, 1.0);
+    ASSERT_GE(x, -1.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, NormalTruncatedDegenerateStddevClamps) {
+  Rng r(14);
+  EXPECT_DOUBLE_EQ(r.normal_truncated(5.0, 0.0, -1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.normal_truncated(-5.0, 0.0, -1.0, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(r.normal_truncated(0.5, 0.0, -1.0, 1.0), 0.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RngBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundProperty, LemireBoundIsRespectedAndNonDegenerate) {
+  const std::uint64_t n = GetParam();
+  Rng r(n);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = r.uniform_u64(n);
+    ASSERT_LT(v, n);
+    max_seen = std::max(max_seen, v);
+  }
+  if (n > 4) {
+    EXPECT_GT(max_seen, n / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundProperty,
+                         ::testing::Values(2, 3, 10, 100, 1000, 1ull << 20,
+                                           1ull << 40, (1ull << 63) + 5));
+
+}  // namespace
+}  // namespace chksim

@@ -1,0 +1,179 @@
+// Tests for streaming statistics, percentiles, histograms, tables, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chksim/support/stats.hpp"
+#include "chksim/support/table.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim {
+namespace {
+
+using namespace chksim::literals;
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);           // population
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i;
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.5), 5.0);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(Summary, OfBatch) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = Summary::of(v);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_GT(s.p99, s.p95);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Histogram, BinsAndOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1);    // underflow
+  h.add(0.0);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(10.0);  // overflow (hi is exclusive)
+  h.add(5.5);   // bin 5
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(9), 1);
+  EXPECT_EQ(h.bin_count(5), 1);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 20.0);
+}
+
+TEST(Table, AsciiRendering) {
+  Table t({"a", "bb"});
+  t.row() << "x" << 1.5;
+  t.row() << std::int64_t{42} << "y";
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("| a  | bb  |"), std::string::npos);
+  EXPECT_NE(ascii.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.at(0, 1), "1.5");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"h"});
+  t.row() << "a,b";
+  t.row() << "q\"uote";
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Table, JsonOutput) {
+  Table t({"name", "value"});
+  t.row() << "alpha" << 1.5;
+  t.row() << "be\"ta" << "not-a-number";
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("{\"name\": \"alpha\", \"value\": 1.5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"be\\\"ta\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"not-a-number\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(Table, JsonEmptyTable) {
+  Table t({"a"});
+  EXPECT_EQ(t.to_json(), "[\n]\n");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(1_s, 1000000000);
+  EXPECT_EQ(2_ms, 2000000);
+  EXPECT_EQ(3_us, 3000);
+  EXPECT_EQ(1_MiB, 1048576);
+  EXPECT_EQ(units::from_seconds(1.5), 1500000000);
+  EXPECT_DOUBLE_EQ(units::to_seconds(2500000000), 2.5);
+  EXPECT_EQ(units::from_seconds(units::to_seconds(123456789)), 123456789);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(units::format_time(500), "500 ns");
+  EXPECT_EQ(units::format_time(1500), "1.5 us");
+  EXPECT_EQ(units::format_time(2000000), "2 ms");
+  EXPECT_EQ(units::format_time(-3000000000), "-3 s");
+  EXPECT_EQ(units::format_bytes(512), "512 B");
+  EXPECT_EQ(units::format_bytes(2048), "2 KiB");
+}
+
+}  // namespace
+}  // namespace chksim

@@ -1,0 +1,107 @@
+// Tests for the workload characterisation module.
+#include "chksim/workload/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/net/machines.hpp"
+#include "chksim/support/rng.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim::workload {
+namespace {
+
+sim::EngineConfig ib_net() {
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  return cfg;
+}
+
+TEST(Characterize, RequiresFinalized) {
+  sim::Program p(2);
+  p.calc(0, 1);
+  EXPECT_THROW(characterize(p, ib_net()), std::logic_error);
+}
+
+TEST(Characterize, EpIsComputeDominated) {
+  StdParams params;
+  params.ranks = 16;
+  params.iterations = 10;
+  params.compute = 1'000'000;
+  const Characterization c = characterize_workload("ep", params, ib_net());
+  EXPECT_EQ(c.ranks, 16);
+  EXPECT_LT(c.comm_fraction, 0.05);
+  EXPECT_LT(c.msgs_per_rank_per_second, 1000);
+  EXPECT_GT(c.makespan, 0);
+}
+
+TEST(Characterize, FftIsCommunicationHeavy) {
+  StdParams params;
+  params.ranks = 16;
+  params.iterations = 10;
+  params.compute = 1'000'000;
+  params.bytes = 16384;
+  const Characterization ep = characterize_workload("ep", params, ib_net());
+  const Characterization fft = characterize_workload("fft", params, ib_net());
+  EXPECT_GT(fft.comm_fraction, 3 * ep.comm_fraction);
+  EXPECT_GT(fft.msgs_per_rank_per_second, 10 * ep.msgs_per_rank_per_second);
+  EXPECT_GT(fft.bytes_per_rank_per_second, 0);
+}
+
+TEST(Characterize, DepthReflectsStructure) {
+  StdParams params;
+  params.ranks = 16;
+  params.iterations = 10;
+  const Characterization halo = characterize_workload("halo2d", params, ib_net());
+  const Characterization sweep = characterize_workload("sweep2d", params, ib_net());
+  // The wavefront's serial chains are much deeper than halo's iteration count.
+  EXPECT_GT(sweep.dependency_depth, 2 * halo.dependency_depth);
+}
+
+TEST(Characterize, ImbalanceShowsUpAsSkew) {
+  StdParams params;
+  params.ranks = 32;
+  params.iterations = 10;
+  params.compute = 1'000'000;
+  // ep has no synchronisation: per-rank finish times equal (zero-ish skew)
+  // only when work is uniform; bsp_imbalanced ends at an allreduce, so its
+  // finish skew is small too — compare against ep with imbalanced compute.
+  sim::Program p(32);
+  // Build an UNsynchronised imbalanced program: independent random calcs.
+  Rng rng(3);
+  for (sim::RankId r = 0; r < 32; ++r) {
+    for (int i = 0; i < 10; ++i) {
+      p.calc(r, static_cast<TimeNs>(rng.normal_truncated(1e6, 5e5, 1e5, 4e6)));
+    }
+  }
+  p.finalize();
+  const Characterization unsync = characterize(p, ib_net());
+  const Characterization uniform = characterize_workload("ep", params, ib_net());
+  EXPECT_GT(unsync.finish_skew_ns, 10 * (uniform.finish_skew_ns + 1));
+}
+
+TEST(Characterize, RecvWaitFractionBounded) {
+  StdParams params;
+  params.ranks = 16;
+  params.iterations = 10;
+  for (const char* wl : {"halo3d", "hpccg", "ring"}) {
+    const Characterization c = characterize_workload(wl, params, ib_net());
+    EXPECT_GE(c.recv_wait_fraction, 0.0) << wl;
+    EXPECT_LE(c.recv_wait_fraction, 1.0) << wl;
+  }
+}
+
+TEST(Characterize, MatchesProgramStats) {
+  StdParams params;
+  params.ranks = 8;
+  params.iterations = 5;
+  sim::Program p = make_workload("halo3d", params);
+  const sim::ProgramStats st = p.finalize();
+  const Characterization c = characterize(p, ib_net());
+  EXPECT_EQ(c.ops, st.ops);
+  EXPECT_EQ(c.messages, st.sends);
+  EXPECT_EQ(c.bytes, st.bytes_sent);
+  EXPECT_EQ(c.dependency_depth, st.max_depth);
+}
+
+}  // namespace
+}  // namespace chksim::workload

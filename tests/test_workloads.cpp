@@ -1,0 +1,286 @@
+// Workload-generator tests: structural invariants (matching, op counts) and
+// engine completion for every registry workload across sizes.
+#include "chksim/workload/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::workload {
+namespace {
+
+sim::EngineConfig fast_net() {
+  sim::EngineConfig cfg;
+  cfg.net.L = 1000;
+  cfg.net.o = 100;
+  cfg.net.g = 100;
+  cfg.net.G = 0.0;
+  cfg.net.S = 1 << 30;
+  return cfg;
+}
+
+TEST(Factor2d, SquareAndPrime) {
+  const Grid2d a = factor2d(16);
+  EXPECT_EQ(a.x, 4);
+  EXPECT_EQ(a.y, 4);
+  const Grid2d b = factor2d(12);
+  EXPECT_EQ(b.x, 3);
+  EXPECT_EQ(b.y, 4);
+  const Grid2d c = factor2d(7);
+  EXPECT_EQ(c.x, 1);
+  EXPECT_EQ(c.y, 7);
+  EXPECT_THROW(factor2d(0), std::invalid_argument);
+}
+
+TEST(Factor3d, CubicAndOdd) {
+  const Grid3d a = factor3d(27);
+  EXPECT_EQ(a.x, 3);
+  EXPECT_EQ(a.y, 3);
+  EXPECT_EQ(a.z, 3);
+  const Grid3d b = factor3d(64);
+  EXPECT_EQ(b.x * b.y * b.z, 64);
+  EXPECT_LE(b.x, b.y);
+  EXPECT_LE(b.y, b.z);
+  const Grid3d c = factor3d(30);
+  EXPECT_EQ(c.x * c.y * c.z, 30);
+}
+
+TEST(Halo2d, FivePointMessageCount) {
+  Halo2dConfig cfg;
+  cfg.ranks = 16;  // 4x4, all ranks have 4 distinct neighbours
+  cfg.iterations = 3;
+  sim::Program p = make_halo2d(cfg);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, 16 * 4 * 3);
+  EXPECT_EQ(st.recvs, 16 * 4 * 3);
+  EXPECT_EQ(st.calcs, 16 * 3);
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(Halo2d, NinePointHasMoreNeighbors) {
+  Halo2dConfig five;
+  five.ranks = 16;
+  five.iterations = 1;
+  Halo2dConfig nine = five;
+  nine.nine_point = true;
+  sim::Program p5 = make_halo2d(five);
+  sim::Program p9 = make_halo2d(nine);
+  EXPECT_GT(p9.finalize().sends, p5.finalize().sends);
+}
+
+TEST(Halo3d, SevenPointMessageCount) {
+  Halo3dConfig cfg;
+  cfg.ranks = 27;  // 3x3x3: every rank has 6 distinct neighbours
+  cfg.iterations = 2;
+  sim::Program p = make_halo3d(cfg);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, 27 * 6 * 2);
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(Halo3d, TwentySevenPointMessageCount) {
+  Halo3dConfig cfg;
+  cfg.ranks = 27;
+  cfg.iterations = 1;
+  cfg.full27 = true;
+  sim::Program p = make_halo3d(cfg);
+  EXPECT_EQ(p.finalize().sends, 27 * 26);
+}
+
+TEST(Halo2d, DegenerateSmallGridsComplete) {
+  for (int ranks : {2, 3, 4, 6}) {
+    Halo2dConfig cfg;
+    cfg.ranks = ranks;
+    cfg.iterations = 2;
+    sim::Program p = make_halo2d(cfg);
+    p.finalize();
+    ASSERT_TRUE(p.check_matching().empty()) << "ranks=" << ranks;
+    const auto cfg2 = fast_net();
+    const sim::RunResult r = sim::run_program(p, cfg2);
+    ASSERT_TRUE(r.completed) << "ranks=" << ranks << ": " << r.error;
+  }
+}
+
+TEST(Sweep2d, WavefrontDepthScalesWithGridDiagonal) {
+  // With zero network costs and fixed stage compute, one directional sweep
+  // completes in (px + py - 1) stages along the critical path.
+  SweepConfig cfg;
+  cfg.ranks = 16;  // 4x4
+  cfg.sweeps = 1;
+  cfg.compute_per_stage = 1000;
+  cfg.angle_bytes = 0;
+  sim::Program p = make_sweep2d(cfg);
+  p.finalize();
+  sim::EngineConfig ec;
+  ec.net.L = 0;
+  ec.net.o = 0;
+  ec.net.g = 0;
+  ec.net.G = 0;
+  const sim::RunResult r = sim::run_program(p, ec);
+  ASSERT_TRUE(r.completed) << r.error;
+  // 4 directions, each with a (4+4-1)=7-stage diagonal critical path, but
+  // directions pipeline; the lower bound is one full sweep + drain.
+  EXPECT_GE(r.makespan, 7 * 1000);
+  EXPECT_LE(r.makespan, 4 * 16 * 1000);
+}
+
+TEST(Sweep2d, MatchingIsConsistent) {
+  SweepConfig cfg;
+  cfg.ranks = 12;
+  cfg.sweeps = 2;
+  sim::Program p = make_sweep2d(cfg);
+  p.finalize();
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(Hpccg, HasHaloAndAllreduces) {
+  HpccgConfig cfg;
+  cfg.ranks = 8;
+  cfg.iterations = 2;
+  cfg.dot_products = 3;
+  sim::Program p = make_hpccg(cfg);
+  const auto st = p.finalize();
+  // 8 ranks = 2x2x2 grid: 3 distinct neighbours each (periodic dims of
+  // extent 2 collapse +/- to the same rank). Halo sends = 8*3 per iter;
+  // allreduce (P=8, power of 2) = 8*3 sends per call, 3 calls per iter.
+  EXPECT_EQ(st.sends, 2 * (8 * 3 + 3 * 8 * 3));
+  EXPECT_TRUE(p.check_matching().empty());
+}
+
+TEST(Lammps, AllreduceCadence) {
+  LammpsConfig base;
+  base.ranks = 8;
+  base.iterations = 10;
+  base.allreduce_every = 5;
+  sim::Program p = make_lammps(base);
+  const auto st = p.finalize();
+  LammpsConfig none = base;
+  none.allreduce_every = 0;
+  sim::Program q = make_lammps(none);
+  const auto st2 = q.finalize();
+  // Two allreduces' worth of extra sends (iterations 5 and 10).
+  EXPECT_EQ(st.sends - st2.sends, 2 * 8 * 3);
+}
+
+TEST(Fft, AlltoallVolume) {
+  FftConfig cfg;
+  cfg.ranks = 8;
+  cfg.iterations = 2;
+  cfg.bytes_per_pair = 1000;
+  sim::Program p = make_fft(cfg);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, 2 * 8 * 7);
+  EXPECT_EQ(st.bytes_sent, static_cast<Bytes>(2) * 8 * 7 * 1000);
+}
+
+TEST(Ring, Completes) {
+  RingConfig cfg;
+  cfg.ranks = 5;
+  cfg.iterations = 4;
+  sim::Program p = make_ring(cfg);
+  p.finalize();
+  const sim::RunResult r = sim::run_program(p, fast_net());
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_THROW(make_ring({1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(RandomSparse, DegreeRespected) {
+  RandomSparseConfig cfg;
+  cfg.ranks = 10;
+  cfg.iterations = 3;
+  cfg.degree = 4;
+  sim::Program p = make_random_sparse(cfg);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, 10 * 4 * 3);
+  EXPECT_TRUE(p.check_matching().empty());
+  EXPECT_THROW(make_random_sparse({4, 1, 1, 1, 4, 1}), std::invalid_argument);
+}
+
+TEST(RandomSparse, SeedReproducible) {
+  RandomSparseConfig cfg;
+  cfg.ranks = 12;
+  cfg.iterations = 2;
+  cfg.seed = 99;
+  sim::Program a = make_random_sparse(cfg);
+  sim::Program b = make_random_sparse(cfg);
+  a.finalize();
+  b.finalize();
+  const sim::RunResult ra = sim::run_program(a, fast_net());
+  const sim::RunResult rb = sim::run_program(b, fast_net());
+  EXPECT_EQ(ra.makespan, rb.makespan);
+}
+
+TEST(MasterWorker, AllTasksFlowThroughMaster) {
+  MasterWorkerConfig cfg;
+  cfg.ranks = 4;
+  cfg.tasks = 9;
+  sim::Program p = make_master_worker(cfg);
+  const auto st = p.finalize();
+  // Each task: dispatch + result = 2 sends.
+  EXPECT_EQ(st.sends, 2 * 9);
+  EXPECT_TRUE(p.check_matching().empty());
+  const sim::RunResult r = sim::run_program(p, fast_net());
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.ranks[0].sends, 9);  // master dispatches all tasks
+}
+
+TEST(Ep, OnlyFinalCollective) {
+  EpConfig cfg;
+  cfg.ranks = 8;
+  cfg.iterations = 5;
+  sim::Program p = make_ep(cfg);
+  const auto st = p.finalize();
+  EXPECT_EQ(st.sends, 8 * 3);      // one allreduce at P=8
+  EXPECT_EQ(st.calcs, 8 * 5 + 8);  // iteration calcs + collective join nodes
+}
+
+TEST(Registry, AllWorkloadsBuildAndComplete) {
+  StdParams params;
+  params.ranks = 8;
+  params.iterations = 2;
+  params.compute = 100'000;
+  params.bytes = 1024;
+  for (const std::string& name : workload_names()) {
+    sim::Program p = make_workload(name, params);
+    p.finalize();
+    ASSERT_TRUE(p.check_matching().empty()) << name;
+    const sim::RunResult r = sim::run_program(p, fast_net());
+    ASSERT_TRUE(r.completed) << name << ": " << r.error;
+    EXPECT_GT(r.makespan, 0) << name;
+    EXPECT_FALSE(workload_description(name).empty());
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("nope", StdParams{}), std::invalid_argument);
+  EXPECT_THROW(workload_description("nope"), std::invalid_argument);
+}
+
+class RegistrySizeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(RegistrySizeSweep, CompletesAtSize) {
+  const auto& [name, ranks] = GetParam();
+  StdParams params;
+  params.ranks = ranks;
+  params.iterations = 2;
+  params.compute = 50'000;
+  params.bytes = 512;
+  sim::Program p = make_workload(name, params);
+  p.finalize();
+  const sim::RunResult r = sim::run_program(p, fast_net());
+  ASSERT_TRUE(r.completed) << name << "@" << ranks << ": " << r.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegistrySizeSweep,
+    ::testing::Combine(::testing::Values("halo2d", "halo3d", "halo3d27", "sweep2d",
+                                         "hpccg", "lammps", "fft", "ring", "random",
+                                         "master_worker", "ep", "allreduce"),
+                       ::testing::Values(2, 5, 16, 33, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      return std::get<0>(info.param) + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace chksim::workload

@@ -1,0 +1,228 @@
+// Tests for the imbalanced-BSP and pipeline workloads, and the closed-form
+// efficiency model.
+#include <gtest/gtest.h>
+
+#include "chksim/analytic/efficiency.hpp"
+#include "chksim/ckpt/recovery.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim {
+namespace {
+
+sim::EngineConfig fast_net() {
+  sim::EngineConfig cfg;
+  cfg.net.L = 1000;
+  cfg.net.o = 100;
+  cfg.net.g = 100;
+  cfg.net.G = 0.0;
+  cfg.net.S = 1 << 30;
+  return cfg;
+}
+
+TEST(ImbalancedBsp, CompletesAndMatches) {
+  workload::ImbalancedBspConfig cfg;
+  cfg.ranks = 16;
+  cfg.iterations = 5;
+  sim::Program p = workload::make_imbalanced_bsp(cfg);
+  p.finalize();
+  EXPECT_TRUE(p.check_matching().empty());
+  const sim::RunResult r = sim::run_program(p, fast_net());
+  ASSERT_TRUE(r.completed) << r.error;
+}
+
+TEST(ImbalancedBsp, ImbalanceSlowsTheLoop) {
+  // With a barrier-like allreduce every iteration, imbalance makes every
+  // iteration as slow as the slowest rank: cv=0.5 must beat cv=0.
+  workload::ImbalancedBspConfig balanced;
+  balanced.ranks = 32;
+  balanced.iterations = 20;
+  balanced.compute_cv = 0.0;
+  workload::ImbalancedBspConfig skewed = balanced;
+  skewed.compute_cv = 0.5;
+  sim::Program pb = workload::make_imbalanced_bsp(balanced);
+  sim::Program ps = workload::make_imbalanced_bsp(skewed);
+  pb.finalize();
+  ps.finalize();
+  const auto rb = sim::run_program(pb, fast_net());
+  const auto rs = sim::run_program(ps, fast_net());
+  ASSERT_TRUE(rb.completed && rs.completed);
+  EXPECT_GT(rs.makespan, rb.makespan);
+}
+
+TEST(ImbalancedBsp, SeedReproducible) {
+  workload::ImbalancedBspConfig cfg;
+  cfg.ranks = 8;
+  cfg.iterations = 4;
+  cfg.seed = 77;
+  sim::Program a = workload::make_imbalanced_bsp(cfg);
+  sim::Program b = workload::make_imbalanced_bsp(cfg);
+  a.finalize();
+  b.finalize();
+  EXPECT_EQ(sim::run_program(a, fast_net()).makespan,
+            sim::run_program(b, fast_net()).makespan);
+}
+
+TEST(Pipeline, StructureAndCompletion) {
+  workload::PipelineConfig cfg;
+  cfg.ranks = 4;
+  cfg.items = 10;
+  sim::Program p = workload::make_pipeline(cfg);
+  const auto st = p.finalize();
+  // Each item crosses 3 links.
+  EXPECT_EQ(st.sends, 3 * 10);
+  EXPECT_TRUE(p.check_matching().empty());
+  const auto r = sim::run_program(p, fast_net());
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_THROW(workload::make_pipeline({1, 4, 1, 1}), std::invalid_argument);
+}
+
+TEST(Pipeline, SteadyStateThroughputIsStageBound) {
+  // With zero network cost, K items through S stages take about
+  // (S + K - 1) * stage_compute.
+  workload::PipelineConfig cfg;
+  cfg.ranks = 5;
+  cfg.items = 20;
+  cfg.stage_compute = 1000;
+  cfg.item_bytes = 0;
+  sim::Program p = workload::make_pipeline(cfg);
+  p.finalize();
+  sim::EngineConfig net;
+  net.net.L = 0;
+  net.net.o = 0;
+  net.net.g = 0;
+  net.net.G = 0;
+  const auto r = sim::run_program(p, net);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, (5 + 20 - 1) * 1000);
+}
+
+TEST(Pipeline, AbsorbsEarlyStageBlackout) {
+  // A blackout on the first stage while later stages still have buffered
+  // items costs less than the blackout itself (pipeline slack).
+  workload::PipelineConfig cfg;
+  cfg.ranks = 8;
+  cfg.items = 40;
+  cfg.stage_compute = 1'000'000;
+  cfg.item_bytes = 1024;
+  sim::Program p = workload::make_pipeline(cfg);
+  p.finalize();
+  const auto base = sim::run_program(p, fast_net());
+  sim::ListBlackouts bl{[&] {
+    std::vector<std::vector<sim::Interval>> v(8);
+    v[7] = {{base.makespan / 2, base.makespan / 2 + 3'000'000}};
+    return v;
+  }()};
+  sim::EngineConfig cfg2 = fast_net();
+  cfg2.blackouts = &bl;
+  const auto noisy = sim::run_program(p, cfg2);
+  ASSERT_TRUE(noisy.completed);
+  EXPECT_LE(noisy.makespan - base.makespan, 3'100'000);
+}
+
+TEST(Fft2d, SubcommunicatorVolume) {
+  workload::Fft2dConfig cfg;
+  cfg.ranks = 16;  // 4x4 grid
+  cfg.iterations = 2;
+  cfg.bytes_per_pair = 1000;
+  sim::Program p = workload::make_fft2d(cfg);
+  const auto st = p.finalize();
+  // Per iteration: 4 rows x (4*3 pairwise msgs) + 4 cols x (4*3) = 96.
+  EXPECT_EQ(st.sends, 2 * 96);
+  EXPECT_TRUE(p.check_matching().empty());
+  const auto r = sim::run_program(p, fast_net());
+  ASSERT_TRUE(r.completed) << r.error;
+}
+
+TEST(Fft2d, DegenerateGridsComplete) {
+  for (int ranks : {2, 3, 7, 12}) {
+    workload::Fft2dConfig cfg;
+    cfg.ranks = ranks;
+    cfg.iterations = 2;
+    sim::Program p = workload::make_fft2d(cfg);
+    p.finalize();
+    ASSERT_TRUE(p.check_matching().empty()) << ranks;
+    const auto r = sim::run_program(p, fast_net());
+    ASSERT_TRUE(r.completed) << ranks << ": " << r.error;
+  }
+}
+
+TEST(Fft2d, RowBlackoutSpreadsInTwoHops) {
+  // A blackout on one rank delays its row's alltoall immediately and the
+  // rest of the machine only after the following column phase.
+  workload::Fft2dConfig cfg;
+  cfg.ranks = 16;
+  cfg.iterations = 4;
+  cfg.compute_per_iter = 1'000'000;
+  sim::Program p = workload::make_fft2d(cfg);
+  p.finalize();
+  const auto base = sim::run_program(p, fast_net());
+  sim::ListBlackouts bl{[&] {
+    std::vector<std::vector<sim::Interval>> v(16);
+    v[5] = {{0, 2'000'000}};
+    return v;
+  }()};
+  sim::EngineConfig cfg2 = fast_net();
+  cfg2.blackouts = &bl;
+  const auto noisy = sim::run_program(p, cfg2);
+  ASSERT_TRUE(noisy.completed);
+  // Full coupling within the iteration: everyone ends up delayed.
+  EXPECT_GE(noisy.makespan - base.makespan, 1'500'000);
+}
+
+TEST(Registry, NewWorkloadsListed) {
+  const auto names = workload::workload_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "bsp_imbalanced"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pipeline"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fft2d"), names.end());
+}
+
+TEST(ClosedFormEfficiency, MatchesMonteCarlo) {
+  analytic::EfficiencyInputs in;
+  in.kappa = 1.0;
+  in.blackout_seconds = 30;
+  in.interval_seconds = 600;
+  in.restart_seconds = 120;
+  in.system_mtbf_seconds = 7200;
+  const double closed = analytic::coordinated_efficiency(in);
+
+  ckpt::RecoveryParams rp;
+  rp.kind = ckpt::ProtocolKind::kCoordinated;
+  rp.work_seconds = 100'000;
+  rp.slowdown = analytic::perturbation_slowdown(in);
+  rp.interval_seconds = in.interval_seconds;
+  rp.restart_seconds = in.restart_seconds;
+  fault::Exponential dist(in.system_mtbf_seconds);
+  const auto mc = ckpt::simulate_makespan(rp, dist, 600, 13);
+  EXPECT_NEAR(mc.efficiency, closed, 0.05);
+}
+
+TEST(ClosedFormEfficiency, Validates) {
+  analytic::EfficiencyInputs in;
+  in.interval_seconds = 0;
+  EXPECT_THROW(analytic::perturbation_slowdown(in), std::invalid_argument);
+  in.interval_seconds = 100;
+  in.kappa = -1;
+  EXPECT_THROW(analytic::perturbation_slowdown(in), std::invalid_argument);
+  in.kappa = 1;
+  in.system_mtbf_seconds = 0;
+  EXPECT_THROW(analytic::coordinated_efficiency(in), std::invalid_argument);
+}
+
+TEST(ClosedFormEfficiency, DegradesWithFailureRate) {
+  analytic::EfficiencyInputs in;
+  in.kappa = 1.0;
+  in.blackout_seconds = 30;
+  in.interval_seconds = 600;
+  in.restart_seconds = 120;
+  in.system_mtbf_seconds = 50'000;
+  const double healthy = analytic::coordinated_efficiency(in);
+  in.system_mtbf_seconds = 2'000;
+  const double failing = analytic::coordinated_efficiency(in);
+  EXPECT_GT(healthy, failing);
+  EXPECT_LT(healthy, 1.0);
+  EXPECT_GT(failing, 0.0);
+}
+
+}  // namespace
+}  // namespace chksim
