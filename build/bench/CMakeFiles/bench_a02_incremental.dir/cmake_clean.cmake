@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a02_incremental.dir/bench_a02_incremental.cpp.o"
+  "CMakeFiles/bench_a02_incremental.dir/bench_a02_incremental.cpp.o.d"
+  "bench_a02_incremental"
+  "bench_a02_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a02_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_uncoordinated_scale.dir/bench_e03_uncoordinated_scale.cpp.o"
+  "CMakeFiles/bench_e03_uncoordinated_scale.dir/bench_e03_uncoordinated_scale.cpp.o.d"
+  "bench_e03_uncoordinated_scale"
+  "bench_e03_uncoordinated_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_uncoordinated_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_logging_tax.dir/bench_e04_logging_tax.cpp.o"
+  "CMakeFiles/bench_e04_logging_tax.dir/bench_e04_logging_tax.cpp.o.d"
+  "bench_e04_logging_tax"
+  "bench_e04_logging_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_logging_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

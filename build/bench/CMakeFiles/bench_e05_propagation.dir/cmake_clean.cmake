@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_propagation.dir/bench_e05_propagation.cpp.o"
+  "CMakeFiles/bench_e05_propagation.dir/bench_e05_propagation.cpp.o.d"
+  "bench_e05_propagation"
+  "bench_e05_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

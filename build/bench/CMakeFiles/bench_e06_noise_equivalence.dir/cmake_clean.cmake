@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_noise_equivalence.dir/bench_e06_noise_equivalence.cpp.o"
+  "CMakeFiles/bench_e06_noise_equivalence.dir/bench_e06_noise_equivalence.cpp.o.d"
+  "bench_e06_noise_equivalence"
+  "bench_e06_noise_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_noise_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e08_io_contention.cpp" "bench/CMakeFiles/bench_e08_io_contention.dir/bench_e08_io_contention.cpp.o" "gcc" "bench/CMakeFiles/bench_e08_io_contention.dir/bench_e08_io_contention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t01_workload_table.dir/bench_t01_workload_table.cpp.o"
+  "CMakeFiles/bench_t01_workload_table.dir/bench_t01_workload_table.cpp.o.d"
+  "bench_t01_workload_table"
+  "bench_t01_workload_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t01_workload_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t02_machine_table.dir/bench_t02_machine_table.cpp.o"
+  "CMakeFiles/bench_t02_machine_table.dir/bench_t02_machine_table.cpp.o.d"
+  "bench_t02_machine_table"
+  "bench_t02_machine_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t02_machine_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_protocols.dir/compare_protocols.cpp.o"
+  "CMakeFiles/example_compare_protocols.dir/compare_protocols.cpp.o.d"
+  "example_compare_protocols"
+  "example_compare_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interval_tuning.dir/interval_tuning.cpp.o"
+  "CMakeFiles/example_interval_tuning.dir/interval_tuning.cpp.o.d"
+  "example_interval_tuning"
+  "example_interval_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interval_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

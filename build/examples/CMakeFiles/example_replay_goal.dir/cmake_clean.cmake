@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replay_goal.dir/replay_goal.cpp.o"
+  "CMakeFiles/example_replay_goal.dir/replay_goal.cpp.o.d"
+  "example_replay_goal"
+  "example_replay_goal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replay_goal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scale_study.dir/scale_study.cpp.o"
+  "CMakeFiles/example_scale_study.dir/scale_study.cpp.o.d"
+  "example_scale_study"
+  "example_scale_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scale_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

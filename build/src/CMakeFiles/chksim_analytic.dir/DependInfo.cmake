@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chksim/analytic/coordination.cpp" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/coordination.cpp.o" "gcc" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/coordination.cpp.o.d"
+  "/root/repo/src/chksim/analytic/daly.cpp" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/daly.cpp.o" "gcc" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/daly.cpp.o.d"
+  "/root/repo/src/chksim/analytic/efficiency.cpp" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/efficiency.cpp.o" "gcc" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/efficiency.cpp.o.d"
+  "/root/repo/src/chksim/analytic/replication.cpp" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/replication.cpp.o" "gcc" "src/CMakeFiles/chksim_analytic.dir/chksim/analytic/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/coordination.cpp.o"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/coordination.cpp.o.d"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/daly.cpp.o"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/daly.cpp.o.d"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/efficiency.cpp.o"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/efficiency.cpp.o.d"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/replication.cpp.o"
+  "CMakeFiles/chksim_analytic.dir/chksim/analytic/replication.cpp.o.d"
+  "libchksim_analytic.a"
+  "libchksim_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

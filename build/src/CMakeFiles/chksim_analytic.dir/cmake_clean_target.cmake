@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchksim_analytic.a"
+)

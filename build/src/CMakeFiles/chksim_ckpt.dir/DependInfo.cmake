@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chksim/ckpt/interval.cpp" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/interval.cpp.o" "gcc" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/interval.cpp.o.d"
+  "/root/repo/src/chksim/ckpt/logging_tax.cpp" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/logging_tax.cpp.o" "gcc" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/logging_tax.cpp.o.d"
+  "/root/repo/src/chksim/ckpt/protocols.cpp" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/protocols.cpp.o" "gcc" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/protocols.cpp.o.d"
+  "/root/repo/src/chksim/ckpt/recovery.cpp" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/recovery.cpp.o" "gcc" "src/CMakeFiles/chksim_ckpt.dir/chksim/ckpt/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chksim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

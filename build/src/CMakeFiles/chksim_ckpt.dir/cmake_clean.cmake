@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/interval.cpp.o"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/interval.cpp.o.d"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/logging_tax.cpp.o"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/logging_tax.cpp.o.d"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/protocols.cpp.o"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/protocols.cpp.o.d"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/recovery.cpp.o"
+  "CMakeFiles/chksim_ckpt.dir/chksim/ckpt/recovery.cpp.o.d"
+  "libchksim_ckpt.a"
+  "libchksim_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_coll.dir/chksim/coll/collectives.cpp.o"
+  "CMakeFiles/chksim_coll.dir/chksim/coll/collectives.cpp.o.d"
+  "libchksim_coll.a"
+  "libchksim_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

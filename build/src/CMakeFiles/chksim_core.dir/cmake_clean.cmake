@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_core.dir/chksim/core/failure_study.cpp.o"
+  "CMakeFiles/chksim_core.dir/chksim/core/failure_study.cpp.o.d"
+  "CMakeFiles/chksim_core.dir/chksim/core/scale_model.cpp.o"
+  "CMakeFiles/chksim_core.dir/chksim/core/scale_model.cpp.o.d"
+  "CMakeFiles/chksim_core.dir/chksim/core/study.cpp.o"
+  "CMakeFiles/chksim_core.dir/chksim/core/study.cpp.o.d"
+  "libchksim_core.a"
+  "libchksim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

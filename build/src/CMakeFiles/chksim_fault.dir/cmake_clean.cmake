@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_fault.dir/chksim/fault/failures.cpp.o"
+  "CMakeFiles/chksim_fault.dir/chksim/fault/failures.cpp.o.d"
+  "libchksim_fault.a"
+  "libchksim_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

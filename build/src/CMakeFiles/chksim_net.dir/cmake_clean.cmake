@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_net.dir/chksim/net/machines.cpp.o"
+  "CMakeFiles/chksim_net.dir/chksim/net/machines.cpp.o.d"
+  "CMakeFiles/chksim_net.dir/chksim/net/topology.cpp.o"
+  "CMakeFiles/chksim_net.dir/chksim/net/topology.cpp.o.d"
+  "libchksim_net.a"
+  "libchksim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

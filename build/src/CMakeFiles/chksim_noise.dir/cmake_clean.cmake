@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_noise.dir/chksim/noise/noise.cpp.o"
+  "CMakeFiles/chksim_noise.dir/chksim/noise/noise.cpp.o.d"
+  "libchksim_noise.a"
+  "libchksim_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chksim/sim/availability.cpp" "src/CMakeFiles/chksim_sim.dir/chksim/sim/availability.cpp.o" "gcc" "src/CMakeFiles/chksim_sim.dir/chksim/sim/availability.cpp.o.d"
+  "/root/repo/src/chksim/sim/engine.cpp" "src/CMakeFiles/chksim_sim.dir/chksim/sim/engine.cpp.o" "gcc" "src/CMakeFiles/chksim_sim.dir/chksim/sim/engine.cpp.o.d"
+  "/root/repo/src/chksim/sim/goal.cpp" "src/CMakeFiles/chksim_sim.dir/chksim/sim/goal.cpp.o" "gcc" "src/CMakeFiles/chksim_sim.dir/chksim/sim/goal.cpp.o.d"
+  "/root/repo/src/chksim/sim/program.cpp" "src/CMakeFiles/chksim_sim.dir/chksim/sim/program.cpp.o" "gcc" "src/CMakeFiles/chksim_sim.dir/chksim/sim/program.cpp.o.d"
+  "/root/repo/src/chksim/sim/timeline.cpp" "src/CMakeFiles/chksim_sim.dir/chksim/sim/timeline.cpp.o" "gcc" "src/CMakeFiles/chksim_sim.dir/chksim/sim/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_sim.dir/chksim/sim/availability.cpp.o"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/availability.cpp.o.d"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/engine.cpp.o"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/engine.cpp.o.d"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/goal.cpp.o"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/goal.cpp.o.d"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/program.cpp.o"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/program.cpp.o.d"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/timeline.cpp.o"
+  "CMakeFiles/chksim_sim.dir/chksim/sim/timeline.cpp.o.d"
+  "libchksim_sim.a"
+  "libchksim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

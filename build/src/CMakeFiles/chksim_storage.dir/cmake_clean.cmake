@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_storage.dir/chksim/storage/pfs.cpp.o"
+  "CMakeFiles/chksim_storage.dir/chksim/storage/pfs.cpp.o.d"
+  "libchksim_storage.a"
+  "libchksim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chksim/support/cli.cpp" "src/CMakeFiles/chksim_support.dir/chksim/support/cli.cpp.o" "gcc" "src/CMakeFiles/chksim_support.dir/chksim/support/cli.cpp.o.d"
+  "/root/repo/src/chksim/support/rng.cpp" "src/CMakeFiles/chksim_support.dir/chksim/support/rng.cpp.o" "gcc" "src/CMakeFiles/chksim_support.dir/chksim/support/rng.cpp.o.d"
+  "/root/repo/src/chksim/support/stats.cpp" "src/CMakeFiles/chksim_support.dir/chksim/support/stats.cpp.o" "gcc" "src/CMakeFiles/chksim_support.dir/chksim/support/stats.cpp.o.d"
+  "/root/repo/src/chksim/support/table.cpp" "src/CMakeFiles/chksim_support.dir/chksim/support/table.cpp.o" "gcc" "src/CMakeFiles/chksim_support.dir/chksim/support/table.cpp.o.d"
+  "/root/repo/src/chksim/support/units.cpp" "src/CMakeFiles/chksim_support.dir/chksim/support/units.cpp.o" "gcc" "src/CMakeFiles/chksim_support.dir/chksim/support/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_support.dir/chksim/support/cli.cpp.o"
+  "CMakeFiles/chksim_support.dir/chksim/support/cli.cpp.o.d"
+  "CMakeFiles/chksim_support.dir/chksim/support/rng.cpp.o"
+  "CMakeFiles/chksim_support.dir/chksim/support/rng.cpp.o.d"
+  "CMakeFiles/chksim_support.dir/chksim/support/stats.cpp.o"
+  "CMakeFiles/chksim_support.dir/chksim/support/stats.cpp.o.d"
+  "CMakeFiles/chksim_support.dir/chksim/support/table.cpp.o"
+  "CMakeFiles/chksim_support.dir/chksim/support/table.cpp.o.d"
+  "CMakeFiles/chksim_support.dir/chksim/support/units.cpp.o"
+  "CMakeFiles/chksim_support.dir/chksim/support/units.cpp.o.d"
+  "libchksim_support.a"
+  "libchksim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chksim/workload/characterize.cpp" "src/CMakeFiles/chksim_workload.dir/chksim/workload/characterize.cpp.o" "gcc" "src/CMakeFiles/chksim_workload.dir/chksim/workload/characterize.cpp.o.d"
+  "/root/repo/src/chksim/workload/workloads.cpp" "src/CMakeFiles/chksim_workload.dir/chksim/workload/workloads.cpp.o" "gcc" "src/CMakeFiles/chksim_workload.dir/chksim/workload/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chksim_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

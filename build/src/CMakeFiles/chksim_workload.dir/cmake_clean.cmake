@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chksim_workload.dir/chksim/workload/characterize.cpp.o"
+  "CMakeFiles/chksim_workload.dir/chksim/workload/characterize.cpp.o.d"
+  "CMakeFiles/chksim_workload.dir/chksim/workload/workloads.cpp.o"
+  "CMakeFiles/chksim_workload.dir/chksim/workload/workloads.cpp.o.d"
+  "libchksim_workload.a"
+  "libchksim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chksim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

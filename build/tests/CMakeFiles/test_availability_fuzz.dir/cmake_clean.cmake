@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_availability_fuzz.dir/test_availability_fuzz.cpp.o"
+  "CMakeFiles/test_availability_fuzz.dir/test_availability_fuzz.cpp.o.d"
+  "test_availability_fuzz"
+  "test_availability_fuzz.pdb"
+  "test_availability_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_availability_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

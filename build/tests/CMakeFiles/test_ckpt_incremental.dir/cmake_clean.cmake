@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_incremental.dir/test_ckpt_incremental.cpp.o"
+  "CMakeFiles/test_ckpt_incremental.dir/test_ckpt_incremental.cpp.o.d"
+  "test_ckpt_incremental"
+  "test_ckpt_incremental.pdb"
+  "test_ckpt_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

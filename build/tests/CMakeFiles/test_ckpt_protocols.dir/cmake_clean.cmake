@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_protocols.dir/test_ckpt_protocols.cpp.o"
+  "CMakeFiles/test_ckpt_protocols.dir/test_ckpt_protocols.cpp.o.d"
+  "test_ckpt_protocols"
+  "test_ckpt_protocols.pdb"
+  "test_ckpt_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_tiers.dir/test_ckpt_tiers.cpp.o"
+  "CMakeFiles/test_ckpt_tiers.dir/test_ckpt_tiers.cpp.o.d"
+  "test_ckpt_tiers"
+  "test_ckpt_tiers.pdb"
+  "test_ckpt_tiers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

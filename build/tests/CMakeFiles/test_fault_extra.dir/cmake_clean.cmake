@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_extra.dir/test_fault_extra.cpp.o"
+  "CMakeFiles/test_fault_extra.dir/test_fault_extra.cpp.o.d"
+  "test_fault_extra"
+  "test_fault_extra.pdb"
+  "test_fault_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

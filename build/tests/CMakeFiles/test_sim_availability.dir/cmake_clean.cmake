@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_availability.dir/test_sim_availability.cpp.o"
+  "CMakeFiles/test_sim_availability.dir/test_sim_availability.cpp.o.d"
+  "test_sim_availability"
+  "test_sim_availability.pdb"
+  "test_sim_availability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

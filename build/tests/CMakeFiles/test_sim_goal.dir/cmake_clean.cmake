@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_goal.dir/test_sim_goal.cpp.o"
+  "CMakeFiles/test_sim_goal.dir/test_sim_goal.cpp.o.d"
+  "test_sim_goal"
+  "test_sim_goal.pdb"
+  "test_sim_goal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_goal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

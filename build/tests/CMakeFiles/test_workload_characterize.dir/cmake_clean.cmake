@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_characterize.dir/test_workload_characterize.cpp.o"
+  "CMakeFiles/test_workload_characterize.dir/test_workload_characterize.cpp.o.d"
+  "test_workload_characterize"
+  "test_workload_characterize.pdb"
+  "test_workload_characterize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_extra.dir/test_workloads_extra.cpp.o"
+  "CMakeFiles/test_workloads_extra.dir/test_workloads_extra.cpp.o.d"
+  "test_workloads_extra"
+  "test_workloads_extra.pdb"
+  "test_workloads_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_analytic_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_availability_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt_tiers[1]_include.cmake")
+include("/root/repo/build/tests/test_coll_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_coll_vs_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_core_study[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_property[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_availability[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_goal[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_timeline[1]_include.cmake")
+include("/root/repo/build/tests/test_storage_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_support_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_support_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_support_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_characterize[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads_extra[1]_include.cmake")
