@@ -1,18 +1,27 @@
 // E5 — Delay propagation: how far does one rank's checkpoint reach?
 //
 // Inject a single blackout of varying duration on one rank in the middle of
-// the run. Two metrics:
+// the run. Metrics:
 //   * global_delay: makespan extension (the victim itself is always delayed,
 //     so this is ~the blackout whenever the victim ends on the critical
 //     path);
 //   * spread: mean finish-time delay of the OTHER ranks — the true
-//     propagation breadth.
+//     propagation breadth;
+//   * wait attribution (chksim::obs): the perturbed run's total recv_wait
+//     decomposed into the share caused directly by the victim's blackout
+//     (wait[blk]), the share that arrived transitively through intermediate
+//     ranks (wait[prop]), and the wire/structural share a delay-free run
+//     would also have had (wait[net]).
 // Expected shape: EP spreads nothing until its final reduction; the
 // wavefront sweep absorbs small blackouts entirely in pipeline slack; halo
-// and allreduce propagate to everyone (spread ~ blackout).
+// and allreduce propagate to everyone (spread ~ blackout). In the
+// attribution columns that appears as halo/allreduce shifting wait from
+// net to blk+prop as the blackout grows, with prop >> blk once the delay
+// travels multiple hops.
 #include "bench_util.hpp"
 
 #include "chksim/noise/noise.hpp"
+#include "chksim/obs/attribution.hpp"
 
 int main() {
   using namespace chksim;
@@ -24,7 +33,8 @@ int main() {
   const sim::RankId victim = ranks / 2;
 
   Table t({"workload", "blackout", "base", "global_delay", "delay/blackout",
-           "spread(non-victim)", "spread/blackout"});
+           "spread(non-victim)", "spread/blackout", "wait[blk]", "wait[prop]",
+           "wait[net]"});
   for (const char* wl : {"ep", "sweep2d", "halo3d", "allreduce"}) {
     workload::StdParams params;
     params.ranks = ranks;
@@ -44,6 +54,8 @@ int main() {
           noise::make_single_blackout(ranks, victim, {start, start + dur});
       sim::EngineConfig cfg = base;
       cfg.blackouts = noise.get();
+      obs::EventTracer tracer(ranks);
+      cfg.trace = &tracer;
       const sim::RunResult r1 = sim::run_program(program, cfg);
       const TimeNs delay = r1.makespan - r0.makespan;
       double spread = 0;
@@ -53,12 +65,16 @@ int main() {
                                       r0.ranks[static_cast<std::size_t>(r)].finish_time);
       }
       spread /= (ranks - 1);
+      const obs::WaitAttribution att = obs::attribute_waits(tracer);
       t.row() << wl << units::format_time(dur) << units::format_time(r0.makespan)
               << units::format_time(delay)
               << benchutil::fixed(static_cast<double>(delay) / static_cast<double>(dur),
                                   2)
               << units::format_time(static_cast<TimeNs>(spread))
-              << benchutil::fixed(spread / static_cast<double>(dur), 2);
+              << benchutil::fixed(spread / static_cast<double>(dur), 2)
+              << benchutil::pct(att.share_sender_blackout())
+              << benchutil::pct(att.share_propagated())
+              << benchutil::pct(att.share_network());
     }
   }
   std::cout << t.to_ascii();

@@ -1,0 +1,88 @@
+// Observability overhead microbenchmarks (google-benchmark).
+//
+// The contract of EngineConfig::trace is "zero cost when null, cheap when
+// on". This bench quantifies both halves against bench_sim_throughput's
+// halo3d workload:
+//   * TracingOff       — trace == nullptr; must match the seed engine
+//                        throughput (the ISSUE budget is <= 2% regression);
+//   * TracingUnbounded — full-fidelity EventTracer (grows without bound);
+//   * TracingRing4k    — bounded flight-recorder ring (4096 events/rank),
+//                        the fixed-memory configuration for long runs;
+//   * Attribution      — the post-run wait-state attribution pass alone.
+// Results are recorded in BENCH_obs.json at the repo root.
+#include <benchmark/benchmark.h>
+
+#include "chksim/net/machines.hpp"
+#include "chksim/noise/noise.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/obs/tracer.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace {
+
+using namespace chksim;
+using namespace chksim::literals;
+
+sim::Program make_program(int ranks) {
+  workload::StdParams params;
+  params.ranks = ranks;
+  params.iterations = 10;
+  params.compute = 1_ms;
+  params.bytes = 8_KiB;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  return p;
+}
+
+void run_bench(benchmark::State& state, std::size_t ring_capacity, bool tracing) {
+  const int ranks = static_cast<int>(state.range(0));
+  const sim::Program p = make_program(ranks);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  std::int64_t ops = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    obs::EventTracer tracer(ranks, ring_capacity);
+    cfg.trace = tracing ? &tracer : nullptr;
+    const sim::RunResult r = sim::run_program(p, cfg);
+    benchmark::DoNotOptimize(r.makespan);
+    ops += r.ops_executed;
+    events += tracer.recorded();
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["trace_events"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+
+void BM_TracingOff(benchmark::State& state) { run_bench(state, 0, false); }
+void BM_TracingUnbounded(benchmark::State& state) { run_bench(state, 0, true); }
+void BM_TracingRing4k(benchmark::State& state) { run_bench(state, 4096, true); }
+
+BENCHMARK(BM_TracingOff)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TracingUnbounded)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TracingRing4k)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_Attribution(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const sim::Program p = make_program(ranks);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  obs::EventTracer probe(ranks);
+  cfg.trace = &probe;
+  const sim::RunResult r0 = sim::run_program(p, cfg);
+  const auto noise = noise::make_single_blackout(
+      ranks, ranks / 2, {r0.makespan / 3, r0.makespan / 3 + 1_ms});
+  probe.clear();
+  cfg.blackouts = noise.get();
+  (void)sim::run_program(p, cfg);
+  for (auto _ : state) {
+    const obs::WaitAttribution att = obs::attribute_waits(probe);
+    benchmark::DoNotOptimize(att.total.recv_wait);
+  }
+  state.counters["trace_events"] = static_cast<double>(probe.recorded());
+}
+BENCHMARK(BM_Attribution)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 // machine with coordinated checkpointing, and print where the time goes.
 //
 //   $ ./example_quickstart
+//   $ ./example_quickstart --trace-out trace.json --report-out report.json
 //
 // The three steps every chksim study follows:
 //   1. describe the machine (net::MachineModel),
@@ -9,14 +10,27 @@
 //   3. describe the checkpoint protocol (core::ProtocolSpec),
 // then core::run_study() builds the communication DAG, runs it through the
 // LogGOPS engine with and without the protocol's perturbation, and returns
-// the breakdown.
+// the breakdown. With --trace-out the perturbed run is traced (open the file
+// in Perfetto to see ranks, messages, blackouts, and waits on a timeline);
+// with --report-out the study publishes a JSON metrics run-report.
 #include <cstdio>
+#include <iostream>
 
 #include "chksim/core/study.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/obs/export.hpp"
+#include "chksim/support/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+
+  Cli cli;
+  add_observability_flags(cli);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
 
   core::StudyConfig cfg;
 
@@ -39,6 +53,12 @@ int main() {
   cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
   cfg.protocol.fixed_interval = 50_ms;
 
+  // Observability hooks, enabled by the flags.
+  obs::EventTracer tracer(cfg.params.ranks);
+  obs::MetricsRegistry metrics;
+  if (cli.is_set("trace-out")) cfg.trace = &tracer;
+  if (cli.is_set("report-out") || cli.is_set("trace-out")) cfg.metrics = &metrics;
+
   const core::Breakdown b = core::run_study(cfg);
 
   std::printf("workload            : %s on %d ranks (%lld ops, %lld messages)\n",
@@ -59,5 +79,26 @@ int main() {
   std::printf("propagation factor  : %.2f  (overhead / duty cycle; >1 means the\n"
               "                      communication graph amplified the checkpoints)\n",
               b.propagation_factor);
+
+  if (cli.is_set("trace-out")) {
+    const obs::WaitAttribution att = obs::attribute_waits(tracer);
+    std::printf("wait attribution    : %s\n", att.to_string().c_str());
+    std::string error;
+    if (!obs::write_chrome_trace_file(tracer, cli.get("trace-out"), &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::printf("trace               : %s (%llu events)\n",
+                cli.get("trace-out").c_str(),
+                static_cast<unsigned long long>(tracer.recorded()));
+  }
+  if (cli.is_set("report-out")) {
+    std::string error;
+    if (!metrics.write_json_file(cli.get("report-out"), &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::printf("report              : %s\n", cli.get("report-out").c_str());
+  }
   return 0;
 }

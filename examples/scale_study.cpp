@@ -8,9 +8,12 @@
 // and (with --mtbf-hours) the expected efficiency under failures.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "chksim/core/failure_study.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/obs/export.hpp"
 #include "chksim/support/cli.hpp"
 #include "chksim/support/table.hpp"
 
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
       .flag("tier", "pfs", "checkpoint destination: pfs|bb|partner")
       .flag("mtbf-hours", "0", "node MTBF for the failure model (0 = skip)")
       .flag("trials", "200", "Monte-Carlo trials for the failure model");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -71,7 +75,12 @@ int main(int argc, char** argv) {
 
     Table t({"ranks", "protocol", "duty", "slowdown", "propagation",
              mtbf_hours > 0 ? "efficiency(with failures)" : "efficiency(no failures)"});
-    for (const int ranks : parse_scales(cli.get("scales"))) {
+    const std::vector<int> scales = parse_scales(cli.get("scales"));
+    // Observability: the report covers the largest (last) scale; the trace,
+    // when requested, records its perturbed run.
+    std::unique_ptr<obs::EventTracer> tracer;
+    obs::MetricsRegistry metrics;
+    for (const int ranks : scales) {
       core::FailureStudyConfig cfg;
       cfg.study.machine = net::machine_by_name(cli.get("machine"));
       // Scale the checkpoint so the simulated run covers many intervals,
@@ -96,6 +105,15 @@ int main(int argc, char** argv) {
       cfg.work_seconds = 24 * 3600;
       cfg.trials = static_cast<int>(cli.get_int("trials"));
 
+      const bool observe_this_scale = ranks == scales.back();
+      if (observe_this_scale) {
+        if (cli.is_set("trace-out")) {
+          tracer = std::make_unique<obs::EventTracer>(ranks);
+          cfg.study.trace = tracer.get();
+        }
+        if (cli.is_set("report-out")) cfg.study.metrics = &metrics;
+      }
+
       char slow[32], prop[32], duty_s[32], eff[32];
       if (mtbf_hours > 0) {
         const core::FailureStudyResult r = core::run_failure_study(cfg);
@@ -115,6 +133,22 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << t.to_ascii();
+
+    if (tracer != nullptr) {
+      const obs::WaitAttribution att = obs::attribute_waits(*tracer);
+      std::cout << "wait attribution (" << scales.back()
+                << " ranks): " << att.to_string() << "\n";
+      std::string error;
+      if (!obs::write_chrome_trace_file(*tracer, cli.get("trace-out"), &error))
+        throw std::runtime_error(error);
+      std::cout << "trace written to " << cli.get("trace-out") << "\n";
+    }
+    if (cli.is_set("report-out")) {
+      std::string error;
+      if (!metrics.write_json_file(cli.get("report-out"), &error))
+        throw std::runtime_error(error);
+      std::cout << "report written to " << cli.get("report-out") << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -91,7 +91,8 @@ TrialResult run_trial(const RecoveryParams& p, NextFailure&& next_failure, Rng& 
 
 MakespanResult simulate_makespan(const RecoveryParams& params,
                                  const fault::FailureDistribution& system_failures,
-                                 int trials, std::uint64_t seed) {
+                                 int trials, std::uint64_t seed,
+                                 obs::MetricsRegistry* metrics) {
   check_params(params);
   if (trials <= 0) throw std::invalid_argument("trials must be > 0");
   std::vector<double> makespans;
@@ -116,6 +117,15 @@ MakespanResult simulate_makespan(const RecoveryParams& params,
   out.p95_seconds = percentile(std::move(makespans), 0.95);
   out.mean_failures = total_failures / trials;
   out.efficiency = params.work_seconds / out.mean_seconds;
+  if (metrics != nullptr) {
+    metrics->add_counter("recovery.trials", trials);
+    metrics->set_gauge("recovery.mean_seconds", out.mean_seconds);
+    metrics->set_gauge("recovery.stddev_seconds", out.stddev_seconds);
+    metrics->set_gauge("recovery.p95_seconds", out.p95_seconds);
+    metrics->set_gauge("recovery.mean_failures", out.mean_failures);
+    metrics->set_gauge("recovery.efficiency", out.efficiency);
+    metrics->stats("recovery.trial_makespan_seconds").merge(stats);
+  }
   return out;
 }
 

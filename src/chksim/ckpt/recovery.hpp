@@ -30,6 +30,7 @@
 
 #include "chksim/ckpt/protocols.hpp"
 #include "chksim/fault/failures.hpp"
+#include "chksim/obs/metrics.hpp"
 #include "chksim/support/stats.hpp"
 
 namespace chksim::ckpt {
@@ -56,10 +57,13 @@ struct MakespanResult {
 };
 
 /// Monte-Carlo expected makespan. `system_failures` describes the *system*
-/// interarrival distribution (e.g. Exponential(node_mtbf / nodes)).
+/// interarrival distribution (e.g. Exponential(node_mtbf / nodes)). When
+/// `metrics` is given, the result and the per-trial makespan distribution
+/// are published under "recovery.*".
 MakespanResult simulate_makespan(const RecoveryParams& params,
                                  const fault::FailureDistribution& system_failures,
-                                 int trials, std::uint64_t seed);
+                                 int trials, std::uint64_t seed,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
 /// Single-trial deterministic replay against an explicit failure trace
 /// (times in TimeNs wallclock); returns the makespan in seconds. Used by

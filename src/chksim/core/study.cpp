@@ -91,6 +91,7 @@ Breakdown run_study(const StudyConfig& config) {
   sim::EngineConfig pert = base;
   pert.blackouts = art.schedule.get();
   pert.tax = art.tax.get();
+  pert.trace = config.trace;
   const sim::RunResult r1 = sim::run_program(program, pert);
   if (!r1.completed)
     throw std::runtime_error("perturbed run did not complete: " + r1.error);
@@ -100,6 +101,25 @@ Breakdown run_study(const StudyConfig& config) {
   b.slowdown = static_cast<double>(r1.makespan) / static_cast<double>(r0.makespan);
   b.overhead_fraction = b.slowdown - 1.0;
   b.propagation_factor = b.duty_cycle > 0 ? b.overhead_fraction / b.duty_cycle : 0.0;
+
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    m.set_gauge("study.ranks", static_cast<double>(b.ranks));
+    m.set_gauge("study.interval_ns", static_cast<double>(b.interval));
+    m.set_gauge("study.blackout_ns", static_cast<double>(b.blackout));
+    m.set_gauge("study.coordination_ns", static_cast<double>(b.coordination_time));
+    m.set_gauge("study.write_ns", static_cast<double>(b.write_time));
+    m.set_gauge("study.effective_writers", b.effective_writers);
+    m.set_gauge("study.duty_cycle", b.duty_cycle);
+    m.set_gauge("study.slowdown", b.slowdown);
+    m.set_gauge("study.overhead_fraction", b.overhead_fraction);
+    m.set_gauge("study.propagation_factor", b.propagation_factor);
+    m.add_counter("study.ops", b.ops);
+    m.add_counter("study.msgs", b.msgs);
+    m.add_counter("study.bytes_sent", b.bytes_sent);
+    obs::publish_engine_metrics(r0, m, "engine.base");
+    obs::publish_engine_metrics(r1, m, "engine.perturbed");
+  }
   return b;
 }
 

@@ -15,6 +15,7 @@
 #include "chksim/ckpt/interval.hpp"
 #include "chksim/ckpt/protocols.hpp"
 #include "chksim/net/machines.hpp"
+#include "chksim/obs/metrics.hpp"
 #include "chksim/sim/engine.hpp"
 #include "chksim/workload/workloads.hpp"
 
@@ -57,6 +58,13 @@ struct StudyConfig {
   workload::StdParams params;  ///< params.ranks is the simulated scale.
   ProtocolSpec protocol;
   sim::Preemption preemption = sim::Preemption::kPreemptive;
+
+  /// Observability hooks (both optional). `trace` receives the event stream
+  /// of the *perturbed* run — the one whose waits the attribution pass
+  /// explains. `metrics` receives the breakdown plus per-run engine totals
+  /// under "study.*", "engine.base.*", and "engine.perturbed.*".
+  sim::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Where the time went.

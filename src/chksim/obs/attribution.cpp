@@ -1,0 +1,136 @@
+#include "chksim/obs/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace chksim::obs {
+
+namespace {
+
+/// The simulated instant at which an event affects its rank's delay ledger:
+/// op stalls have accrued by the op's end, a message snapshot is taken at
+/// injection, and a wait is classified when the data becomes available.
+TimeNs effect_time(const TraceEvent& ev) {
+  return ev.kind == TraceEventKind::kMsgInject ? ev.t0 : ev.t1;
+}
+
+struct Ledger {
+  TimeNs blk = 0;   ///< Own blackout stall accrued so far.
+  TimeNs prop = 0;  ///< Delay absorbed from upstream so far.
+};
+
+/// dp * num / den without intermediate overflow (all operands are
+/// non-negative TimeNs).
+TimeNs proportion(TimeNs dp, TimeNs num, TimeNs den) {
+  return static_cast<TimeNs>(static_cast<__int128>(dp) * num / den);
+}
+
+}  // namespace
+
+double WaitAttribution::share_sender_blackout() const {
+  return total.recv_wait > 0
+             ? static_cast<double>(total.sender_blackout) /
+                   static_cast<double>(total.recv_wait)
+             : 0.0;
+}
+
+double WaitAttribution::share_propagated() const {
+  return total.recv_wait > 0 ? static_cast<double>(total.propagated) /
+                                   static_cast<double>(total.recv_wait)
+                             : 0.0;
+}
+
+double WaitAttribution::share_network() const {
+  return total.recv_wait > 0 ? static_cast<double>(total.network) /
+                                   static_cast<double>(total.recv_wait)
+                             : 0.0;
+}
+
+std::string WaitAttribution::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "recv_wait %lld ns over %lld wait(s): sender_blackout %.1f%%, "
+                "propagated %.1f%%, network %.1f%%%s",
+                static_cast<long long>(total.recv_wait),
+                static_cast<long long>(total.waits),
+                100.0 * share_sender_blackout(), 100.0 * share_propagated(),
+                100.0 * share_network(), complete ? "" : " (incomplete trace)");
+  return buf;
+}
+
+WaitAttribution attribute_waits(const EventTracer& tracer) {
+  WaitAttribution out;
+  out.ranks.resize(static_cast<std::size_t>(tracer.ranks()));
+  out.complete = tracer.dropped() == 0;
+
+  std::vector<TraceEvent> evs = tracer.events();
+  std::sort(evs.begin(), evs.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    const TimeNs ta = effect_time(a), tb = effect_time(b);
+    if (ta != tb) return ta < tb;
+    return a.seq < b.seq;  // emission order resolves simultaneous effects
+  });
+
+  std::vector<Ledger> ledger(static_cast<std::size_t>(tracer.ranks()));
+  std::unordered_map<std::uint64_t, Ledger> snapshots;  // inject seq -> ledger
+
+  for (const TraceEvent& ev : evs) {
+    const std::size_t r = static_cast<std::size_t>(ev.rank);
+    switch (ev.kind) {
+      case TraceEventKind::kCalc:
+      case TraceEventKind::kSendOp:
+      case TraceEventKind::kRecvOp:
+        ledger[r].blk = saturating_add(ledger[r].blk, ev.stall);
+        break;
+      case TraceEventKind::kMsgInject:
+        snapshots.emplace(ev.seq, ledger[r]);
+        break;
+      case TraceEventKind::kRecvWait: {
+        const TimeNs wait = ev.t1 - ev.t0;
+        RankWaitAttribution& att = out.ranks[r];
+        att.recv_wait = saturating_add(att.recv_wait, wait);
+        ++att.waits;
+
+        TimeNs sender_blackout = 0;
+        TimeNs propagated = 0;
+        const auto snap = snapshots.find(ev.ref);
+        if (snap != snapshots.end()) {
+          const Ledger& s = snap->second;
+          const TimeNs carried = saturating_add(s.blk, s.prop);
+          const TimeNs delay_part = std::min(wait, carried);
+          if (carried > 0) {
+            sender_blackout = proportion(delay_part, s.blk, carried);
+            propagated = delay_part - sender_blackout;
+          }
+          snapshots.erase(snap);  // each message matches exactly once
+        } else if (ev.ref != 0) {
+          ++out.unmatched_waits;  // inject record lost to ring wrap
+        }
+        att.sender_blackout = saturating_add(att.sender_blackout, sender_blackout);
+        att.propagated = saturating_add(att.propagated, propagated);
+        att.network = saturating_add(att.network, wait - sender_blackout - propagated);
+        ledger[r].prop =
+            saturating_add(ledger[r].prop, sender_blackout + propagated);
+        break;
+      }
+      case TraceEventKind::kMsgDeliver:
+      case TraceEventKind::kRts:
+      case TraceEventKind::kCts:
+      case TraceEventKind::kBlackout:
+        break;  // visualization-only events
+    }
+  }
+
+  for (const RankWaitAttribution& r : out.ranks) {
+    out.total.recv_wait = saturating_add(out.total.recv_wait, r.recv_wait);
+    out.total.sender_blackout =
+        saturating_add(out.total.sender_blackout, r.sender_blackout);
+    out.total.propagated = saturating_add(out.total.propagated, r.propagated);
+    out.total.network = saturating_add(out.total.network, r.network);
+    out.total.waits += r.waits;
+  }
+  if (out.unmatched_waits > 0) out.complete = false;
+  return out;
+}
+
+}  // namespace chksim::obs

@@ -1,0 +1,165 @@
+#include "chksim/obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <vector>
+
+namespace chksim::obs {
+
+namespace {
+
+// Track-group layout (see header).
+constexpr int kPidOps = 0;
+constexpr int kPidWaits = 1;
+constexpr int kPidNetwork = 2;
+constexpr int kPidBlackouts = 3;
+
+constexpr const char* pid_name(int pid) {
+  switch (pid) {
+    case kPidOps: return "ops";
+    case kPidWaits: return "waits";
+    case kPidNetwork: return "network";
+    case kPidBlackouts: return "blackouts";
+  }
+  return "?";
+}
+
+int pid_of(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kCalc:
+    case TraceEventKind::kSendOp:
+    case TraceEventKind::kRecvOp:
+      return kPidOps;
+    case TraceEventKind::kRecvWait:
+      return kPidWaits;
+    case TraceEventKind::kMsgInject:
+    case TraceEventKind::kMsgDeliver:
+    case TraceEventKind::kRts:
+    case TraceEventKind::kCts:
+      return kPidNetwork;
+    case TraceEventKind::kBlackout:
+      return kPidBlackouts;
+  }
+  return kPidOps;
+}
+
+/// Microsecond timestamp with fixed 3 decimals (ns resolution), so output
+/// is byte-stable.
+std::string us(TimeNs t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000));
+  return buf;
+}
+
+std::vector<TraceEvent> sorted_for_export(const EventTracer& tracer) {
+  std::vector<TraceEvent> evs = tracer.events();
+  std::sort(evs.begin(), evs.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    return a.seq < b.seq;
+  });
+  return evs;
+}
+
+}  // namespace
+
+void write_chrome_trace(const EventTracer& tracer, std::ostream& out) {
+  const std::vector<TraceEvent> evs = sorted_for_export(tracer);
+
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+  // Metadata: name the process groups and every (group, rank) track used.
+  std::set<std::pair<int, sim::RankId>> tracks;
+  for (const TraceEvent& ev : evs) tracks.insert({pid_of(ev.kind), ev.rank});
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (int pid : {kPidOps, kPidWaits, kPidNetwork, kPidBlackouts}) {
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << pid_name(pid) << "\"}}";
+  }
+  for (const auto& [pid, rank] : tracks) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << rank << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+  }
+
+  for (const TraceEvent& ev : evs) {
+    sep();
+    const int pid = pid_of(ev.kind);
+    const char* name = trace_event_kind_name(ev.kind);
+    if (ev.kind == TraceEventKind::kMsgDeliver) {
+      out << "{\"name\":\"" << name << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+          << us(ev.t0) << ",\"pid\":" << pid << ",\"tid\":" << ev.rank;
+    } else {
+      out << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"ts\":" << us(ev.t0)
+          << ",\"dur\":" << us(ev.t1 - ev.t0) << ",\"pid\":" << pid
+          << ",\"tid\":" << ev.rank;
+    }
+    out << ",\"args\":{\"seq\":" << ev.seq;
+    if (ev.ref != 0) out << ",\"ref\":" << ev.ref;
+    if (ev.peer >= 0) out << ",\"peer\":" << ev.peer;
+    if (ev.op != sim::kInvalidOp) out << ",\"op\":" << ev.op;
+    if (ev.tag != 0) out << ",\"tag\":" << ev.tag;
+    if (ev.bytes != 0) out << ",\"bytes\":" << ev.bytes;
+    if (ev.stall != 0) out << ",\"stall_ns\":" << ev.stall;
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
+                             std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_chrome_trace(tracer, out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void write_trace_csv(const EventTracer& tracer, std::ostream& out) {
+  out << "seq,kind,rank,peer,op,tag,bytes,t0_ns,t1_ns,stall_ns,ref\n";
+  for (const TraceEvent& ev : sorted_for_export(tracer)) {
+    out << ev.seq << ',' << trace_event_kind_name(ev.kind) << ',' << ev.rank
+        << ',' << ev.peer << ',';
+    if (ev.op == sim::kInvalidOp)
+      out << -1;
+    else
+      out << ev.op;
+    out << ',' << ev.tag << ',' << ev.bytes << ',' << ev.t0 << ',' << ev.t1
+        << ',' << ev.stall << ',' << ev.ref << '\n';
+  }
+}
+
+bool write_trace_csv_file(const EventTracer& tracer, const std::string& path,
+                          std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_trace_csv(tracer, out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace chksim::obs

@@ -1,0 +1,41 @@
+// Trace exporters.
+//
+// Chrome trace-event JSON: loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The trace is laid out as four process groups so that
+// overlapping intervals never share a track:
+//
+//   pid 0 "ops"       — calc/send/recv CPU intervals, one track per rank
+//   pid 1 "waits"     — recv-wait intervals (post -> data available)
+//   pid 2 "network"   — message flights (inject -> arrival), RTS/CTS legs,
+//                       and delivery instants
+//   pid 3 "blackouts" — checkpoint/noise blackout intervals
+//
+// CSV: one row per event with raw nanosecond fields, for ad-hoc analysis
+// (pandas, gnuplot, spreadsheets).
+//
+// Both exporters write events sorted by (begin time, seq), so two identical
+// runs produce byte-identical files — relied on by the determinism tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "chksim/obs/tracer.hpp"
+
+namespace chksim::obs {
+
+/// Write the whole trace as Chrome trace-event JSON.
+void write_chrome_trace(const EventTracer& tracer, std::ostream& out);
+
+/// write_chrome_trace to a file; false (and *error) on I/O failure.
+bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
+                             std::string* error = nullptr);
+
+/// Write the whole trace as CSV (header row + one row per event).
+void write_trace_csv(const EventTracer& tracer, std::ostream& out);
+
+/// write_trace_csv to a file; false (and *error) on I/O failure.
+bool write_trace_csv_file(const EventTracer& tracer, const std::string& path,
+                          std::string* error = nullptr);
+
+}  // namespace chksim::obs

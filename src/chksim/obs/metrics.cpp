@@ -1,0 +1,194 @@
+#include "chksim/obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace chksim::obs {
+
+namespace {
+
+/// Shortest round-trip-exact formatting, so reports are byte-stable for
+/// equal inputs and diff cleanly.
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0;
+  // Prefer the shorter %g forms when they round-trip.
+  for (int prec : {6, 9, 12, 15}) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_counter(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+std::int64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  return gauges_.count(name) != 0;
+}
+
+StreamingStats& MetricsRegistry::stats(const std::string& name) {
+  return stats_[name];
+}
+
+const StreamingStats* MetricsRegistry::find_stats(const std::string& name) const {
+  const auto it = stats_.find(name);
+  return it != stats_.end() ? &it->second : nullptr;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                      int bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(lo, hi, bins)).first->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  stats_.clear();
+  histograms_.clear();
+}
+
+bool MetricsRegistry::empty() const {
+  return counters_.empty() && gauges_.empty() && stats_.empty() &&
+         histograms_.empty();
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "\n" : ",\n") << "    " << json_string(name) << ": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    " << json_string(name) << ": "
+        << json_number(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"stats\": {";
+  first = true;
+  for (const auto& [name, s] : stats_) {
+    out << (first ? "\n" : ",\n") << "    " << json_string(name) << ": {"
+        << "\"count\": " << s.count() << ", \"mean\": " << json_number(s.mean())
+        << ", \"stddev\": " << json_number(s.stddev())
+        << ", \"min\": " << json_number(s.min())
+        << ", \"max\": " << json_number(s.max())
+        << ", \"sum\": " << json_number(s.sum()) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    " << json_string(name) << ": {"
+        << "\"lo\": " << json_number(h.bin_lo(0))
+        << ", \"hi\": " << json_number(h.bin_hi(h.bins() - 1))
+        << ", \"underflow\": " << h.underflow()
+        << ", \"overflow\": " << h.overflow() << ", \"bins\": [";
+    for (int i = 0; i < h.bins(); ++i) out << (i == 0 ? "" : ", ") << h.bin_count(i);
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path,
+                                      std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_json(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void publish_engine_metrics(const sim::RunResult& result, MetricsRegistry& registry,
+                            const std::string& prefix) {
+  registry.add_counter(prefix + ".ops_executed", result.ops_executed);
+  registry.add_counter(prefix + ".events_processed", result.events_processed);
+  registry.set_gauge(prefix + ".completed", result.completed ? 1.0 : 0.0);
+  registry.set_gauge(prefix + ".makespan_ns", static_cast<double>(result.makespan));
+  registry.set_gauge(prefix + ".total_recv_wait_ns",
+                     static_cast<double>(result.total_recv_wait()));
+
+  std::int64_t sends = 0, recvs = 0, calcs = 0;
+  Bytes bytes = 0;
+  StreamingStats& cpu = registry.stats(prefix + ".rank_cpu_busy_ns");
+  StreamingStats& wait = registry.stats(prefix + ".rank_recv_wait_ns");
+  StreamingStats& finish = registry.stats(prefix + ".rank_finish_ns");
+  for (const sim::RankStats& r : result.ranks) {
+    sends += r.sends;
+    recvs += r.recvs;
+    calcs += r.calcs;
+    bytes = saturating_add(bytes, r.bytes_sent);
+    cpu.add(static_cast<double>(r.cpu_busy));
+    wait.add(static_cast<double>(r.recv_wait));
+    finish.add(static_cast<double>(r.finish_time));
+  }
+  registry.add_counter(prefix + ".sends", sends);
+  registry.add_counter(prefix + ".recvs", recvs);
+  registry.add_counter(prefix + ".calcs", calcs);
+  registry.add_counter(prefix + ".bytes_sent", bytes);
+}
+
+}  // namespace chksim::obs

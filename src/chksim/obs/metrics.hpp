@@ -1,0 +1,68 @@
+// MetricsRegistry: a registry of named counters, gauges, streaming stats,
+// and histograms, plus a deterministic machine-readable JSON run-report
+// writer.
+//
+// Naming convention: dotted lowercase paths ("engine.perturbed.makespan_ns",
+// "study.slowdown", "recovery.efficiency"). Producers — the study facade,
+// the recovery model, benches, examples — publish into one registry per run;
+// write_json() emits everything with sorted keys so reports diff cleanly
+// across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/support/stats.hpp"
+
+namespace chksim::obs {
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to a counter, creating it at 0 on first use.
+  void add_counter(const std::string& name, std::int64_t delta = 1);
+  /// Current counter value (0 if never touched).
+  std::int64_t counter(const std::string& name) const;
+
+  /// Set a gauge to an instantaneous value (last write wins).
+  void set_gauge(const std::string& name, double value);
+  /// Current gauge value (0 if never set).
+  double gauge(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+
+  /// Streaming accumulator, created on first use. Feed with stats().add(x).
+  StreamingStats& stats(const std::string& name);
+  const StreamingStats* find_stats(const std::string& name) const;
+
+  /// Fixed-width histogram, created with [lo, hi)/bins on first use (later
+  /// calls ignore the shape arguments and return the existing histogram).
+  Histogram& histogram(const std::string& name, double lo, double hi, int bins);
+  const Histogram* find_histogram(const std::string& name) const;
+
+  void clear();
+  bool empty() const;
+
+  /// Deterministic JSON report: counters, gauges, stats summaries, and
+  /// histogram bin counts, all with sorted keys.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+  /// write_json to a file; false (and *error) on I/O failure.
+  bool write_json_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, StreamingStats> stats_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Publish a finished engine run into the registry under `prefix`:
+/// counters (ops, events, sends/recvs/calcs, bytes), gauges (makespan,
+/// completion), and per-rank distributions of cpu_busy / recv_wait /
+/// finish_time.
+void publish_engine_metrics(const sim::RunResult& result, MetricsRegistry& registry,
+                            const std::string& prefix = "engine");
+
+}  // namespace chksim::obs

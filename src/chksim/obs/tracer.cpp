@@ -1,0 +1,66 @@
+#include "chksim/obs/tracer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chksim::obs {
+
+EventTracer::EventTracer(int ranks, std::size_t capacity_per_rank)
+    : capacity_(capacity_per_rank) {
+  if (ranks <= 0) throw std::invalid_argument("EventTracer needs ranks > 0");
+  rings_.resize(static_cast<std::size_t>(ranks));
+}
+
+std::uint64_t EventTracer::record(TraceEvent ev) {
+  if (ev.rank < 0 || ev.rank >= ranks())
+    throw std::out_of_range("EventTracer: event rank outside [0, ranks)");
+  ev.seq = next_seq_++;
+  Ring& ring = rings_[static_cast<std::size_t>(ev.rank)];
+  if (capacity_ == 0 || ring.buf.size() < capacity_) {
+    ring.buf.push_back(ev);
+  } else {
+    ring.buf[ring.head] = ev;
+    ring.head = (ring.head + 1) % capacity_;
+    ring.full = true;
+    ++dropped_;
+  }
+  return ev.seq;
+}
+
+std::vector<TraceEvent> EventTracer::rank_events(sim::RankId rank) const {
+  const Ring& ring = rings_.at(static_cast<std::size_t>(rank));
+  std::vector<TraceEvent> out;
+  out.reserve(ring.buf.size());
+  if (ring.full) {
+    out.insert(out.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.head),
+               ring.buf.end());
+    out.insert(out.end(), ring.buf.begin(),
+               ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.head));
+  } else {
+    out = ring.buf;
+  }
+  return out;
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const Ring& ring : rings_) total += ring.buf.size();
+  out.reserve(total);
+  for (const Ring& ring : rings_) out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void EventTracer::clear() {
+  for (Ring& ring : rings_) {
+    ring.buf.clear();
+    ring.head = 0;
+    ring.full = false;
+  }
+  next_seq_ = 1;
+  dropped_ = 0;
+}
+
+}  // namespace chksim::obs

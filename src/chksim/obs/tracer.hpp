@@ -1,0 +1,60 @@
+// EventTracer: the standard TraceSink implementation.
+//
+// Per-rank ring buffers of TraceEvents. With capacity_per_rank == 0 (the
+// default) buffers grow without bound and the trace is complete; with a
+// bounded capacity the tracer keeps the most recent events per rank and
+// counts what it overwrote, so long runs can be traced at fixed memory for
+// "flight recorder" style debugging. record() is a bump-pointer store — no
+// allocation once a ring reaches capacity — keeping the enabled-tracing
+// overhead low.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chksim/sim/trace.hpp"
+
+namespace chksim::obs {
+
+using sim::TraceEvent;
+using sim::TraceEventKind;
+
+class EventTracer final : public sim::TraceSink {
+ public:
+  /// `ranks` must cover every rank the traced program uses.
+  /// `capacity_per_rank` == 0 keeps everything (unbounded).
+  explicit EventTracer(int ranks, std::size_t capacity_per_rank = 0);
+
+  std::uint64_t record(TraceEvent ev) override;
+
+  int ranks() const { return static_cast<int>(rings_.size()); }
+  std::size_t capacity_per_rank() const { return capacity_; }
+
+  /// Total record() calls since construction/clear().
+  std::uint64_t recorded() const { return next_seq_ - 1; }
+  /// Events overwritten by ring wrap-around; 0 means the trace is complete.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Events still held for one rank, oldest first.
+  std::vector<TraceEvent> rank_events(sim::RankId rank) const;
+
+  /// All held events merged across ranks, in emission (seq) order.
+  std::vector<TraceEvent> events() const;
+
+  /// Forget all events and restart seq numbering (buffers keep capacity).
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    std::size_t head = 0;  // index of the oldest event once the ring is full
+    bool full = false;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace chksim::obs

@@ -9,7 +9,7 @@ namespace chksim::sim {
 
 TimeNs RunResult::total_recv_wait() const {
   TimeNs sum = 0;
-  for (const RankStats& r : ranks) sum += r.recv_wait;
+  for (const RankStats& r : ranks) sum = saturating_add(sum, r.recv_wait);
   return sum;
 }
 
@@ -50,6 +50,7 @@ struct PostedRecv {
 struct ArrivedMsg {
   TimeNs arrival;
   Bytes bytes;
+  std::uint64_t msg_seq = 0;  // tracing only
 };
 
 // Match key: (source rank, tag) packed into 64 bits.
@@ -94,6 +95,7 @@ struct RankState {
   std::unordered_map<std::uint64_t, MatchQueues> match;
   std::unordered_map<RankId, TimeNs> chan_last_arrival;  // per-source FIFO clamp
   RankStats stats;
+  TimeNs blackout_traced = 0;  // tracing only: blackout intervals emitted up to here
 };
 
 class Run {
@@ -101,6 +103,7 @@ class Run {
   Run(const Program& program, const EngineConfig& config)
       : prog_(program),
         cfg_(config),
+        trace_(config.trace),
         avail_(config.blackouts != nullptr
                    ? static_cast<const BlackoutSchedule*>(config.blackouts)
                    : static_cast<const BlackoutSchedule*>(&no_blackouts_),
@@ -131,7 +134,8 @@ class Run {
       if (ev.kind == EventKind::kReady) {
         execute_op(ev.rank, ev.op, ev.time);
       } else {
-        handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time);
+        handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
+                       trace_ != nullptr ? take_arrival_msg_seq(ev.seq) : 0);
       }
     }
 
@@ -153,7 +157,8 @@ class Run {
     queue_.push(ev);
   }
 
-  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes) {
+  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes,
+                    std::uint64_t msg_seq) {
     Event ev;
     ev.time = t;
     ev.seq = next_seq_++;
@@ -162,7 +167,58 @@ class Run {
     ev.src = src;
     ev.tag = tag;
     ev.bytes = bytes;
+    // The kMsgInject trace seq rides in a side table rather than in Event:
+    // growing the priority-queue element would tax the untraced hot path.
+    if (msg_seq != 0) arrival_msg_seq_.emplace(ev.seq, msg_seq);
     queue_.push(ev);
+  }
+
+  std::uint64_t take_arrival_msg_seq(std::uint64_t event_seq) {
+    const auto it = arrival_msg_seq_.find(event_seq);
+    if (it == arrival_msg_seq_.end()) return 0;
+    const std::uint64_t v = it->second;
+    arrival_msg_seq_.erase(it);
+    return v;
+  }
+
+  // --- Tracing (all no-ops unless cfg_.trace is set) ---------------------
+  //
+  // The per-op emission blocks are [[gnu::noinline, gnu::cold]]: inlined into
+  // execute_op/do_match they push those functions past the inliner's budget
+  // and evict the untraced hot path from the instruction cache.
+
+  std::uint64_t emit(TraceEventKind kind, RankId rank, TimeNs t0, TimeNs t1,
+                     TimeNs stall = 0, RankId peer = -1, OpIndex op = kInvalidOp,
+                     Tag tag = 0, Bytes bytes = 0, std::uint64_t ref = 0) {
+    TraceEvent ev;
+    ev.ref = ref;
+    ev.t0 = t0;
+    ev.t1 = t1;
+    ev.stall = stall;
+    ev.bytes = bytes;
+    ev.rank = rank;
+    ev.peer = peer;
+    ev.op = op;
+    ev.tag = tag;
+    ev.kind = kind;
+    return trace_->record(ev);
+  }
+
+  /// Emit each blackout interval of `rank` overlapping [from, to) exactly
+  /// once across the whole run (ops sharing a blackout do not duplicate it).
+  void trace_blackouts(RankId r, TimeNs from, TimeNs to) {
+    if (cfg_.blackouts == nullptr) return;
+    auto& traced = states_[static_cast<std::size_t>(r)].blackout_traced;
+    TimeNs t = std::max(from, traced);
+    while (t < to) {
+      const std::optional<Interval> b = cfg_.blackouts->next_blackout(r, t);
+      if (!b.has_value() || b->begin >= to) break;
+      if (b->end > traced) {
+        emit(TraceEventKind::kBlackout, r, b->begin, b->end);
+        traced = b->end;
+      }
+      t = b->end;
+    }
   }
 
   void execute_op(RankId r, OpIndex i, TimeNs t) {
@@ -173,8 +229,9 @@ class Run {
         const TimeNs start = std::max(t, st.cpu_free);
         const TimeNs end = avail_.finish(r, start, op.value);
         st.cpu_free = end;
-        st.stats.cpu_busy += op.value;
+        st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, op.value);
         ++st.stats.calcs;
+        if (trace_ != nullptr) trace_calc(r, i, start, end, op.value);
         complete(r, i, end);
         break;
       }
@@ -186,9 +243,9 @@ class Run {
         const TimeNs end = avail_.finish(r, s0, cpu_work);
         st.cpu_free = end;
         st.nic_free = end + cfg_.net.nic_gap(bytes);
-        st.stats.cpu_busy += cpu_work;
+        st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
         ++st.stats.sends;
-        st.stats.bytes_sent += bytes;
+        st.stats.bytes_sent = saturating_add(st.stats.bytes_sent, bytes);
 
         // Eager: payload leaves at `end`. Rendezvous: a zero-byte RTS leaves
         // at `end`; the payload path is computed at match time.
@@ -199,7 +256,10 @@ class Run {
         TimeNs& last = dst_state.chan_last_arrival[r];
         arrival = std::max(arrival, last);
         last = arrival;
-        push_arrival(arrival, op.peer, r, op.tag, bytes);
+        std::uint64_t msg_seq = 0;
+        if (trace_ != nullptr)
+          msg_seq = trace_send(r, i, op, s0, end, cpu_work, arrival, bytes);
+        push_arrival(arrival, op.peer, r, op.tag, bytes, msg_seq);
         complete(r, i, end);
         break;
       }
@@ -216,14 +276,15 @@ class Run {
     }
   }
 
-  void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t) {
+  void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t,
+                      std::uint64_t msg_seq) {
     auto& st = states_[static_cast<std::size_t>(dst)];
     auto& mq = st.match[match_key(src, tag)];
     if (!mq.posted.empty()) {
       const PostedRecv pr = mq.posted.pop();
-      do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes});
+      do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes, msg_seq});
     } else {
-      mq.arrived.push(ArrivedMsg{t, bytes});
+      mq.arrived.push(ArrivedMsg{t, bytes, msg_seq});
     }
   }
 
@@ -231,7 +292,8 @@ class Run {
     const Op& op = prog_.ops(r)[i];
     auto& st = states_[static_cast<std::size_t>(r)];
     TimeNs data_arrival = msg.arrival;
-    if (cfg_.net.rendezvous(msg.bytes)) {
+    const bool rendezvous = cfg_.net.rendezvous(msg.bytes);
+    if (rendezvous) {
       // msg.arrival is the RTS arrival; the payload moves only after both
       // sides are ready, plus the CTS round trip and re-injection.
       const TimeNs m = std::max(post_time, msg.arrival);
@@ -243,10 +305,55 @@ class Run {
     const TimeNs start = std::max(data_arrival, st.cpu_free);
     const TimeNs end = avail_.finish(r, start, cpu_work);
     st.cpu_free = end;
-    st.stats.cpu_busy += cpu_work;
+    st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
     ++st.stats.recvs;
-    if (data_arrival > post_time) st.stats.recv_wait += data_arrival - post_time;
+    if (data_arrival > post_time)
+      st.stats.recv_wait =
+          saturating_add(st.stats.recv_wait, data_arrival - post_time);
+    if (trace_ != nullptr)
+      trace_match(r, i, op, post_time, msg, data_arrival, rendezvous, start,
+                  end, cpu_work);
     complete(r, i, end);
+  }
+
+  [[gnu::noinline, gnu::cold]] void trace_calc(RankId r, OpIndex i, TimeNs start,
+                                               TimeNs end, TimeNs work) {
+    trace_blackouts(r, start, end);
+    emit(TraceEventKind::kCalc, r, start, end, end - start - work,
+         /*peer=*/-1, i);
+  }
+
+  [[gnu::noinline, gnu::cold]] std::uint64_t trace_send(RankId r, OpIndex i,
+                                                        const Op& op, TimeNs s0,
+                                                        TimeNs end, TimeNs cpu_work,
+                                                        TimeNs arrival, Bytes bytes) {
+    trace_blackouts(r, s0, end);
+    emit(TraceEventKind::kSendOp, r, s0, end, end - s0 - cpu_work, op.peer, i,
+         op.tag, bytes);
+    const std::uint64_t msg_seq = emit(TraceEventKind::kMsgInject, r, end,
+                                       arrival, 0, op.peer, i, op.tag, bytes);
+    if (cfg_.net.rendezvous(bytes))
+      emit(TraceEventKind::kRts, r, end, arrival, 0, op.peer, i, op.tag, bytes);
+    return msg_seq;
+  }
+
+  [[gnu::noinline, gnu::cold]] void trace_match(RankId r, OpIndex i, const Op& op,
+                                                TimeNs post_time,
+                                                const ArrivedMsg& msg,
+                                                TimeNs data_arrival, bool rendezvous,
+                                                TimeNs start, TimeNs end,
+                                                TimeNs cpu_work) {
+    trace_blackouts(r, start, end);
+    if (rendezvous)
+      emit(TraceEventKind::kCts, r, std::max(post_time, msg.arrival),
+           data_arrival, 0, op.peer, i, op.tag, msg.bytes, msg.msg_seq);
+    emit(TraceEventKind::kMsgDeliver, r, data_arrival, data_arrival, 0, op.peer,
+         i, op.tag, msg.bytes, msg.msg_seq);
+    if (data_arrival > post_time)
+      emit(TraceEventKind::kRecvWait, r, post_time, data_arrival, 0, op.peer, i,
+           op.tag, msg.bytes, msg.msg_seq);
+    emit(TraceEventKind::kRecvOp, r, start, end, end - start - cpu_work,
+         op.peer, i, op.tag, msg.bytes, msg.msg_seq);
   }
 
   void complete(RankId r, OpIndex i, TimeNs t) {
@@ -285,11 +392,15 @@ class Run {
 
   const Program& prog_;
   const EngineConfig& cfg_;
+  TraceSink* const trace_;
   NoBlackouts no_blackouts_;
   Availability avail_;
   std::vector<RankState> states_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::uint64_t next_seq_ = 0;
+  // Event seq of an in-flight arrival -> trace seq of its kMsgInject.
+  // Populated only while tracing; empty (and untouched) otherwise.
+  std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq_;
   RunResult result_;
 };
 

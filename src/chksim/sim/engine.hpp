@@ -30,6 +30,7 @@
 #include "chksim/sim/availability.hpp"
 #include "chksim/sim/loggops.hpp"
 #include "chksim/sim/program.hpp"
+#include "chksim/sim/trace.hpp"
 
 namespace chksim::sim {
 
@@ -56,6 +57,10 @@ struct EngineConfig {
   /// Record per-op finish times (tests / fine-grained analysis only; costs
   /// one TimeNs per op).
   bool record_op_finish = false;
+  /// Optional trace sink (see sim/trace.hpp). When non-null the engine
+  /// records op, message, rendezvous, blackout, and recv-wait events into
+  /// it; when null, tracing costs nothing on the hot path.
+  TraceSink* trace = nullptr;
 };
 
 /// Per-rank accounting.

@@ -32,6 +32,16 @@ enum class OpKind : std::uint8_t {
   kRecv,  ///< Receive `value` bytes from rank `peer` with tag `tag`.
 };
 
+/// Stable lowercase name ("calc", "send", "recv") for traces and reports.
+constexpr const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCalc: return "calc";
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+  }
+  return "?";
+}
+
 /// One node of a rank's operation DAG. Successor edges are stored in a
 /// per-rank CSR array owned by the Program.
 struct Op {

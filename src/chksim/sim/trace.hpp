@@ -1,0 +1,80 @@
+// Trace hook of the discrete-event engine.
+//
+// The engine can publish a flat event stream — op intervals, message
+// injections/deliveries, rendezvous control legs, blackout intervals, and
+// recv-wait intervals — into a TraceSink supplied via EngineConfig::trace.
+// The sink interface lives in the sim layer so the engine can emit without
+// depending on the obs/ subsystem that implements buffering, export, and
+// analysis (see src/chksim/obs/).
+//
+// Events are compact PODs. Interval events carry [t0, t1); op events
+// additionally carry the blackout stall folded into the interval, which is
+// what the wait-state attribution pass consumes. `seq` is a global emission
+// counter assigned by the sink; `ref` links an event to the `seq` of the
+// event that caused it (message deliveries and recv-waits reference their
+// kMsgInject).
+#pragma once
+
+#include <cstdint>
+
+#include "chksim/sim/op.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::sim {
+
+enum class TraceEventKind : std::uint8_t {
+  kCalc,        ///< Computation interval [t0, t1) on `rank` (op `op`).
+  kSendOp,      ///< Send-side CPU interval [t0, t1); peer/tag/bytes describe the message.
+  kRecvOp,      ///< Receive-side CPU interval [t0, t1) after the match.
+  kMsgInject,   ///< Message in flight: injected at t0 on `rank`, first arrival
+                ///< (payload, or RTS for rendezvous) at t1 on `peer`.
+  kMsgDeliver,  ///< Payload available to the receiver at t0 (rank = destination).
+  kRts,         ///< Rendezvous ready-to-send leg [t0, t1) (rank = sender).
+  kCts,         ///< Rendezvous clear-to-send + payload leg [t0, t1) (rank = receiver).
+  kBlackout,    ///< CPU blackout interval [t0, t1) on `rank`.
+  kRecvWait,    ///< Receive posted at t0, data available at t1 (rank = receiver).
+};
+
+/// Stable short name ("calc", "send", "inject", ...) for exporters.
+constexpr const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kCalc: return "calc";
+    case TraceEventKind::kSendOp: return "send";
+    case TraceEventKind::kRecvOp: return "recv";
+    case TraceEventKind::kMsgInject: return "inject";
+    case TraceEventKind::kMsgDeliver: return "deliver";
+    case TraceEventKind::kRts: return "rts";
+    case TraceEventKind::kCts: return "cts";
+    case TraceEventKind::kBlackout: return "blackout";
+    case TraceEventKind::kRecvWait: return "wait";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< Global emission order; assigned by the sink.
+  std::uint64_t ref = 0;  ///< Seq of the causing kMsgInject (0 = none).
+  TimeNs t0 = 0;          ///< Interval begin (or instant).
+  TimeNs t1 = 0;          ///< Interval end.
+  TimeNs stall = 0;       ///< Op events: blackout stall inside [t0, t1).
+  Bytes bytes = 0;
+  RankId rank = -1;       ///< Owning rank (sender for kMsgInject/kRts).
+  RankId peer = -1;       ///< Other endpoint, when the event has one.
+  OpIndex op = kInvalidOp;
+  Tag tag = 0;
+  TraceEventKind kind = TraceEventKind::kCalc;
+};
+
+/// Receiver of engine trace events. Implementations must be cheap: record()
+/// sits on the simulation hot path whenever tracing is enabled.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Record `ev`. The sink assigns the event's global sequence number
+  /// (monotone from 1) and returns it so the engine can cross-reference
+  /// later events (deliveries and waits reference their injection).
+  virtual std::uint64_t record(TraceEvent ev) = 0;
+};
+
+}  // namespace chksim::sim

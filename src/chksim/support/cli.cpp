@@ -90,6 +90,13 @@ bool Cli::is_set(const std::string& name) const {
   return it != flags_.end() && it->second.set;
 }
 
+Cli& add_observability_flags(Cli& cli) {
+  return cli
+      .flag("trace-out", "",
+            "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
+      .flag("report-out", "", "write the JSON metrics run-report");
+}
+
 std::string Cli::usage(const std::string& program) const {
   std::string out = "usage: " + program + " [flags]\n";
   for (const auto& [name, f] : flags_) {

@@ -49,4 +49,12 @@ class Cli {
   std::string error_;
 };
 
+/// Declare the standard observability flags shared by the example drivers:
+///   --trace-out <path>   write a Chrome trace-event JSON of the traced run
+///                        (open in Perfetto or chrome://tracing)
+///   --report-out <path>  write the machine-readable JSON metrics run-report
+/// Both default to "" (off). Drivers check cli.is_set(...) and wire an
+/// obs::EventTracer / obs::MetricsRegistry accordingly.
+Cli& add_observability_flags(Cli& cli);
+
 }  // namespace chksim

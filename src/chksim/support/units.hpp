@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace chksim {
@@ -15,6 +16,18 @@ using TimeNs = std::int64_t;
 
 /// Message / checkpoint sizes in bytes.
 using Bytes = std::int64_t;
+
+/// Saturating int64 addition for TimeNs/Bytes accumulators. At extreme
+/// scales (millions of ranks, hours of simulated time) per-run totals can
+/// exceed the int64 range; clamping to the range boundary beats silently
+/// wrapping into nonsense.
+constexpr std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    return b > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  return out;
+}
 
 namespace units {
 

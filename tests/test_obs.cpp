@@ -1,0 +1,349 @@
+// Observability layer: event tracing, exporters, metrics registry, and
+// wait-state attribution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "chksim/core/study.hpp"
+#include "chksim/net/machines.hpp"
+#include "chksim/noise/noise.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/obs/export.hpp"
+#include "chksim/obs/metrics.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace {
+
+using namespace chksim;
+using namespace chksim::literals;
+
+/// Smallest interesting program: rank 0 computes then sends; rank 1 receives
+/// (and therefore waits).
+sim::Program tiny_program() {
+  sim::Program p(2);
+  const sim::OpRef c = p.calc(0, 1000);
+  const sim::OpRef s = p.send(0, 1, 64, 5);
+  p.depends(c, s);
+  p.recv(1, 0, 64, 5);
+  p.finalize();
+  return p;
+}
+
+sim::LogGOPSParams tiny_net() {
+  sim::LogGOPSParams net;
+  net.L = 100;
+  net.o = 10;
+  net.g = 20;
+  net.G = 0.0;
+  net.O = 0.0;
+  net.S = 1024;
+  return net;
+}
+
+sim::Program halo_program(int ranks, int iterations) {
+  workload::StdParams params;
+  params.ranks = ranks;
+  params.iterations = iterations;
+  params.compute = 1_ms;
+  params.bytes = 8_KiB;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  return p;
+}
+
+TEST(EventTracer, RecordsCoreEventsInOrder) {
+  const sim::Program p = tiny_program();
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  obs::EventTracer tracer(2);
+  cfg.trace = &tracer;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+
+  const auto evs = tracer.events();
+  ASSERT_EQ(evs.size(), tracer.recorded());
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // seq is dense and ascending; one event of each expected kind shows up.
+  int calc = 0, send = 0, recv = 0, inject = 0, deliver = 0, wait = 0;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, i + 1);
+    switch (evs[i].kind) {
+      case obs::TraceEventKind::kCalc: ++calc; break;
+      case obs::TraceEventKind::kSendOp: ++send; break;
+      case obs::TraceEventKind::kRecvOp: ++recv; break;
+      case obs::TraceEventKind::kMsgInject: ++inject; break;
+      case obs::TraceEventKind::kMsgDeliver: ++deliver; break;
+      case obs::TraceEventKind::kRecvWait: ++wait; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(calc, 1);
+  EXPECT_EQ(send, 1);
+  EXPECT_EQ(recv, 1);
+  EXPECT_EQ(inject, 1);
+  EXPECT_EQ(deliver, 1);
+  EXPECT_EQ(wait, 1);  // the recv posts at t=0, data arrives later
+
+  // The wait interval matches the engine's accounting exactly.
+  for (const auto& ev : evs) {
+    if (ev.kind == obs::TraceEventKind::kRecvWait) {
+      EXPECT_EQ(ev.t1 - ev.t0, r.ranks[1].recv_wait);
+    }
+  }
+}
+
+TEST(EventTracer, ZeroCostPathMatchesUntracedResults) {
+  const sim::Program p = halo_program(27, 5);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  const sim::RunResult plain = sim::run_program(p, cfg);
+  obs::EventTracer tracer(27);
+  cfg.trace = &tracer;
+  const sim::RunResult traced = sim::run_program(p, cfg);
+  EXPECT_EQ(plain.makespan, traced.makespan);
+  EXPECT_EQ(plain.ops_executed, traced.ops_executed);
+  for (std::size_t r = 0; r < plain.ranks.size(); ++r) {
+    EXPECT_EQ(plain.ranks[r].recv_wait, traced.ranks[r].recv_wait);
+    EXPECT_EQ(plain.ranks[r].cpu_busy, traced.ranks[r].cpu_busy);
+  }
+}
+
+TEST(EventTracer, RingBufferKeepsNewestAndCounts) {
+  const sim::Program p = halo_program(8, 10);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  obs::EventTracer tracer(8, /*capacity_per_rank=*/16);
+  cfg.trace = &tracer;
+  (void)sim::run_program(p, cfg);
+  EXPECT_GT(tracer.dropped(), 0u);
+  const auto evs = tracer.events();
+  EXPECT_LE(evs.size(), 8u * 16u);
+  EXPECT_EQ(evs.size() + tracer.dropped(), tracer.recorded());
+  // Per-rank events come back oldest-first with ascending seq.
+  for (int r = 0; r < 8; ++r) {
+    const auto rank_evs = tracer.rank_events(r);
+    for (std::size_t i = 1; i < rank_evs.size(); ++i)
+      EXPECT_LT(rank_evs[i - 1].seq, rank_evs[i].seq);
+  }
+}
+
+TEST(TraceExport, DeterministicAcrossIdenticalRuns) {
+  const sim::Program p = halo_program(27, 5);
+  const auto noise = noise::make_single_blackout(27, 13, {2_ms, 4_ms});
+  std::string json[2], csv[2];
+  for (int i = 0; i < 2; ++i) {
+    sim::EngineConfig cfg;
+    cfg.net = net::infiniband_system().net;
+    cfg.blackouts = noise.get();
+    obs::EventTracer tracer(27);
+    cfg.trace = &tracer;
+    const sim::RunResult r = sim::run_program(p, cfg);
+    ASSERT_TRUE(r.completed);
+    std::ostringstream j, c;
+    obs::write_chrome_trace(tracer, j);
+    obs::write_trace_csv(tracer, c);
+    json[i] = j.str();
+    csv[i] = c.str();
+  }
+  EXPECT_EQ(json[0], json[1]);  // byte-identical
+  EXPECT_EQ(csv[0], csv[1]);
+}
+
+// Golden-file check of the Chrome trace-event JSON structure: the tiny
+// two-rank program under fixed LogGOPS parameters must export exactly this.
+// Regenerate with tests --gtest_filter=TraceExport.ChromeTraceGolden after
+// an intentional schema change (the failure message prints the actual).
+TEST(TraceExport, ChromeTraceGolden) {
+  const sim::Program p = tiny_program();
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  obs::EventTracer tracer(2);
+  cfg.trace = &tracer;
+  ASSERT_TRUE(sim::run_program(p, cfg).completed);
+  std::ostringstream out;
+  obs::write_chrome_trace(tracer, out);
+  const std::string expected = R"GOLD({"displayTimeUnit":"ns","traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"ops"}},
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"waits"}},
+{"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"network"}},
+{"name":"process_name","ph":"M","pid":3,"tid":0,"args":{"name":"blackouts"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"rank 1"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"rank 1"}},
+{"name":"thread_name","ph":"M","pid":2,"tid":0,"args":{"name":"rank 0"}},
+{"name":"thread_name","ph":"M","pid":2,"tid":1,"args":{"name":"rank 1"}},
+{"name":"calc","ph":"X","ts":0.000,"dur":1.000,"pid":0,"tid":0,"args":{"seq":1,"op":0}},
+{"name":"wait","ph":"X","ts":0.000,"dur":1.110,"pid":1,"tid":1,"args":{"seq":5,"ref":3,"peer":0,"op":0,"tag":5,"bytes":64}},
+{"name":"send","ph":"X","ts":1.000,"dur":0.010,"pid":0,"tid":0,"args":{"seq":2,"peer":1,"op":1,"tag":5,"bytes":64}},
+{"name":"inject","ph":"X","ts":1.010,"dur":0.100,"pid":2,"tid":0,"args":{"seq":3,"peer":1,"op":1,"tag":5,"bytes":64}},
+{"name":"deliver","ph":"i","s":"t","ts":1.110,"pid":2,"tid":1,"args":{"seq":4,"ref":3,"peer":0,"op":0,"tag":5,"bytes":64}},
+{"name":"recv","ph":"X","ts":1.110,"dur":0.010,"pid":0,"tid":1,"args":{"seq":6,"ref":3,"peer":0,"op":0,"tag":5,"bytes":64}}
+]}
+)GOLD";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(TraceExport, ChromeTraceIsStructurallySoundOnRendezvous) {
+  // A payload above the eager threshold exercises the RTS/CTS events.
+  sim::Program p(2);
+  const sim::OpRef s = p.send(0, 1, 1_MiB, 9);
+  (void)s;
+  p.recv(1, 0, 1_MiB, 9);
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  obs::EventTracer tracer(2);
+  cfg.trace = &tracer;
+  ASSERT_TRUE(sim::run_program(p, cfg).completed);
+  std::ostringstream out;
+  obs::write_chrome_trace(tracer, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"rts\""), std::string::npos);
+  EXPECT_NE(json.find("\"cts\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness probe; no string values
+  // in the export contain braces).
+  std::int64_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Attribution, AccountsForEveryNanosecondPerRank) {
+  const int ranks = 64;
+  const sim::Program p = halo_program(ranks, 10);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  const sim::RunResult base = sim::run_program(p, cfg);
+  const auto noise = noise::make_single_blackout(
+      ranks, ranks / 2, {base.makespan / 3, base.makespan / 3 + 5_ms});
+  cfg.blackouts = noise.get();
+  obs::EventTracer tracer(ranks);
+  cfg.trace = &tracer;
+  const sim::RunResult run = sim::run_program(p, cfg);
+  ASSERT_TRUE(run.completed);
+
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+  ASSERT_TRUE(att.complete);
+  ASSERT_EQ(att.ranks.size(), static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const obs::RankWaitAttribution& a = att.ranks[static_cast<std::size_t>(r)];
+    // The invariant: the three categories partition recv_wait exactly, and
+    // recv_wait matches the engine's own accounting.
+    EXPECT_EQ(a.recv_wait, run.ranks[static_cast<std::size_t>(r)].recv_wait)
+        << "rank " << r;
+    EXPECT_EQ(a.sender_blackout + a.propagated + a.network, a.recv_wait)
+        << "rank " << r;
+    EXPECT_GE(a.sender_blackout, 0);
+    EXPECT_GE(a.propagated, 0);
+    EXPECT_GE(a.network, 0);
+  }
+  EXPECT_EQ(att.total.recv_wait, run.total_recv_wait());
+  EXPECT_EQ(att.total.sender_blackout + att.total.propagated + att.total.network,
+            att.total.recv_wait);
+  // The blackout is visible: some wait is attributed to it, directly on the
+  // victim's neighbours and transitively further out.
+  EXPECT_GT(att.total.sender_blackout, 0);
+  EXPECT_GT(att.total.propagated, 0);
+}
+
+TEST(Attribution, NoDelaysMeansEverythingIsNetwork) {
+  const sim::Program p = halo_program(27, 5);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  obs::EventTracer tracer(27);
+  cfg.trace = &tracer;
+  const sim::RunResult run = sim::run_program(p, cfg);
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+  EXPECT_EQ(att.total.sender_blackout, 0);
+  EXPECT_EQ(att.total.propagated, 0);
+  EXPECT_EQ(att.total.network, run.total_recv_wait());
+  EXPECT_EQ(att.total.recv_wait, run.total_recv_wait());
+}
+
+TEST(Attribution, IncompleteWhenRingDropped) {
+  const sim::Program p = halo_program(8, 10);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  obs::EventTracer tracer(8, /*capacity_per_rank=*/16);
+  cfg.trace = &tracer;
+  (void)sim::run_program(p, cfg);
+  ASSERT_GT(tracer.dropped(), 0u);
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+  EXPECT_FALSE(att.complete);
+}
+
+TEST(MetricsRegistry, CountersGaugesStatsHistograms) {
+  obs::MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add_counter("a.count");
+  m.add_counter("a.count", 4);
+  m.set_gauge("a.gauge", 2.5);
+  m.set_gauge("a.gauge", 3.5);  // last write wins
+  m.stats("a.stats").add(1.0);
+  m.stats("a.stats").add(3.0);
+  m.histogram("a.hist", 0, 10, 5).add(1.0);
+  m.histogram("a.hist", 0, 99, 7).add(9.5);  // shape args ignored after creation
+
+  EXPECT_EQ(m.counter("a.count"), 5);
+  EXPECT_EQ(m.counter("missing"), 0);
+  EXPECT_DOUBLE_EQ(m.gauge("a.gauge"), 3.5);
+  EXPECT_TRUE(m.has_gauge("a.gauge"));
+  EXPECT_FALSE(m.has_gauge("missing"));
+  ASSERT_NE(m.find_stats("a.stats"), nullptr);
+  EXPECT_EQ(m.find_stats("a.stats")->count(), 2);
+  ASSERT_NE(m.find_histogram("a.hist"), nullptr);
+  EXPECT_EQ(m.find_histogram("a.hist")->bins(), 5);
+  EXPECT_EQ(m.find_histogram("a.hist")->total(), 2);
+  EXPECT_FALSE(m.empty());
+
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"a.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"a.gauge\": 3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_EQ(json, m.to_json());  // stable
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MetricsRegistry, StudyPublishesBreakdownAndEngineTotals) {
+  core::StudyConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.machine.ckpt_bytes_per_node = 4_MiB;
+  cfg.workload = "halo3d";
+  cfg.params.ranks = 27;
+  cfg.params.iterations = 10;
+  cfg.params.compute = 1_ms;
+  cfg.params.bytes = 8_KiB;
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.fixed_interval = 20_ms;
+
+  obs::MetricsRegistry m;
+  obs::EventTracer tracer(cfg.params.ranks);
+  cfg.metrics = &m;
+  cfg.trace = &tracer;
+  const core::Breakdown b = core::run_study(cfg);
+
+  EXPECT_DOUBLE_EQ(m.gauge("study.slowdown"), b.slowdown);
+  EXPECT_DOUBLE_EQ(m.gauge("study.duty_cycle"), b.duty_cycle);
+  EXPECT_EQ(m.counter("study.ops"), b.ops);
+  EXPECT_DOUBLE_EQ(m.gauge("engine.base.makespan_ns"),
+                   static_cast<double>(b.base_makespan));
+  EXPECT_DOUBLE_EQ(m.gauge("engine.perturbed.makespan_ns"),
+                   static_cast<double>(b.perturbed_makespan));
+  EXPECT_DOUBLE_EQ(m.gauge("engine.perturbed.total_recv_wait_ns"),
+                   static_cast<double>(b.recv_wait_perturbed));
+  ASSERT_NE(m.find_stats("engine.base.rank_cpu_busy_ns"), nullptr);
+  EXPECT_EQ(m.find_stats("engine.base.rank_cpu_busy_ns")->count(), 27);
+  // The traced perturbed run is attributable.
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+  EXPECT_EQ(att.total.recv_wait, b.recv_wait_perturbed);
+}
+
+}  // namespace

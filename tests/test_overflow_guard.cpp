@@ -1,0 +1,68 @@
+// TimeNs overflow guards at extreme scales: per-rank accumulators in the
+// engine and the cross-rank totals saturate instead of wrapping.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/support/units.hpp"
+
+namespace {
+
+using namespace chksim;
+
+constexpr TimeNs kMax = std::numeric_limits<TimeNs>::max();
+constexpr TimeNs kMin = std::numeric_limits<TimeNs>::min();
+
+TEST(SaturatingAdd, ExactWhenInRange) {
+  EXPECT_EQ(saturating_add(0, 0), 0);
+  EXPECT_EQ(saturating_add(2, 3), 5);
+  EXPECT_EQ(saturating_add(-2, 3), 1);
+  EXPECT_EQ(saturating_add(kMax - 1, 1), kMax);
+  EXPECT_EQ(saturating_add(kMin + 1, -1), kMin);
+}
+
+TEST(SaturatingAdd, ClampsAtBothEnds) {
+  EXPECT_EQ(saturating_add(kMax, 1), kMax);
+  EXPECT_EQ(saturating_add(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_add(kMax - 5, 100), kMax);
+  EXPECT_EQ(saturating_add(kMin, -1), kMin);
+  EXPECT_EQ(saturating_add(kMin, kMin), kMin);
+  EXPECT_EQ(saturating_add(kMin + 5, -100), kMin);
+}
+
+TEST(RunResultOverflow, TotalRecvWaitSaturatesAtNearMaxInputs) {
+  // A million ranks each having waited ~an hour in ns already overflows a
+  // plain int64 sum; near-max per-rank values are the hard case.
+  sim::RunResult r;
+  r.ranks.resize(4);
+  for (sim::RankStats& s : r.ranks) s.recv_wait = kMax / 2;
+  EXPECT_EQ(r.total_recv_wait(), kMax);
+
+  // One near-max rank alone must pass through unclamped.
+  sim::RunResult one;
+  one.ranks.resize(1);
+  one.ranks[0].recv_wait = kMax - 3;
+  EXPECT_EQ(one.total_recv_wait(), kMax - 3);
+}
+
+TEST(RankStatsOverflow, AccumulationPatternSaturates) {
+  // The engine folds per-op contributions with saturating_add; replaying
+  // that accumulation pattern at near-max inputs must clamp, not wrap.
+  sim::RankStats st;
+  st.cpu_busy = kMax - 10;
+  st.cpu_busy = saturating_add(st.cpu_busy, 7);
+  EXPECT_EQ(st.cpu_busy, kMax - 3);
+  st.cpu_busy = saturating_add(st.cpu_busy, 1000);
+  EXPECT_EQ(st.cpu_busy, kMax);
+
+  st.recv_wait = kMax - 1;
+  st.recv_wait = saturating_add(st.recv_wait, kMax - 1);
+  EXPECT_EQ(st.recv_wait, kMax);
+
+  st.bytes_sent = kMax - 2;
+  st.bytes_sent = saturating_add(st.bytes_sent, 4);
+  EXPECT_EQ(st.bytes_sent, kMax);
+}
+
+}  // namespace
