@@ -10,18 +10,24 @@
 // not the coordination or the propagation.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E2", "coordinated checkpointing overhead vs scale");
 
   const TimeNs interval = 10_ms;  // scaled-down period so short runs see many
   const double duty = 0.10;
 
-  Table t({"workload", "ranks", "interval", "blackout", "coord_part", "duty",
-           "slowdown", "overhead", "propagation"});
-  for (const char* wl : {"halo3d", "hpccg", "sweep2d", "ep"}) {
-    for (int ranks : {64, 256, 1024, 4096}) {
+  const std::vector<const char*> workloads =
+      opt.smoke ? std::vector<const char*>{"halo3d"}
+                : std::vector<const char*>{"halo3d", "hpccg", "sweep2d", "ep"};
+  const std::vector<int> scales =
+      opt.smoke ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024, 4096};
+
+  std::vector<core::StudyConfig> cells;
+  for (const char* wl : workloads) {
+    for (int ranks : scales) {
       core::StudyConfig cfg;
       cfg.machine = benchutil::scaled_machine(net::infiniband_system(), interval, duty);
       cfg.workload = wl;
@@ -29,13 +35,19 @@ int main() {
       cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
       cfg.protocol.fixed_interval = interval;
       cfg.protocol.skew_sigma_ns = 0;
-      const core::Breakdown b = core::run_study(cfg);
-      t.row() << wl << std::int64_t{ranks} << units::format_time(b.interval)
-              << units::format_time(b.blackout)
-              << units::format_time(b.coordination_time) << benchutil::pct(b.duty_cycle)
-              << benchutil::fixed(b.slowdown) << benchutil::pct(b.overhead_fraction)
-              << benchutil::fixed(b.propagation_factor, 2);
+      cells.push_back(cfg);
     }
+  }
+  const std::vector<core::Breakdown> results = core::run_sweep(cells, opt.jobs);
+
+  Table t({"workload", "ranks", "interval", "blackout", "coord_part", "duty",
+           "slowdown", "overhead", "propagation"});
+  for (const core::Breakdown& b : results) {
+    t.row() << b.workload << std::int64_t{b.ranks} << units::format_time(b.interval)
+            << units::format_time(b.blackout)
+            << units::format_time(b.coordination_time) << benchutil::pct(b.duty_cycle)
+            << benchutil::fixed(b.slowdown) << benchutil::pct(b.overhead_fraction)
+            << benchutil::fixed(b.propagation_factor, 2);
   }
   std::cout << t.to_ascii();
   return 0;

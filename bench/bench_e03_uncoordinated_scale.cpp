@@ -10,33 +10,48 @@
 // "communication effect": skipping coordination does not skip the cost.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E3",
                     "uncoordinated checkpointing overhead vs scale (no logging tax)");
 
   const TimeNs interval = 10_ms;
   const double duty = 0.10;
 
-  Table t({"workload", "ranks", "duty", "slowdown(coord)", "slowdown(uncoord)",
-           "prop(coord)", "prop(uncoord)"});
-  for (const char* wl : {"halo3d", "hpccg", "sweep2d", "ep"}) {
-    for (int ranks : {64, 256, 1024, 4096}) {
+  const std::vector<const char*> workloads =
+      opt.smoke ? std::vector<const char*>{"halo3d"}
+                : std::vector<const char*>{"halo3d", "hpccg", "sweep2d", "ep"};
+  const std::vector<int> scales =
+      opt.smoke ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024, 4096};
+
+  // Two cells per row: coordinated at 2i, uncoordinated at 2i + 1.
+  std::vector<core::StudyConfig> cells;
+  for (const char* wl : workloads) {
+    for (int ranks : scales) {
       core::StudyConfig cfg;
       cfg.machine = benchutil::scaled_machine(net::infiniband_system(), interval, duty);
       cfg.workload = wl;
       cfg.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
       cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
       cfg.protocol.fixed_interval = interval;
-      const core::Breakdown co = core::run_study(cfg);
+      cells.push_back(cfg);
       cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
-      const core::Breakdown un = core::run_study(cfg);
-      t.row() << wl << std::int64_t{ranks} << benchutil::pct(un.duty_cycle)
-              << benchutil::fixed(co.slowdown) << benchutil::fixed(un.slowdown)
-              << benchutil::fixed(co.propagation_factor, 2)
-              << benchutil::fixed(un.propagation_factor, 2);
+      cells.push_back(cfg);
     }
+  }
+  const std::vector<core::Breakdown> results = core::run_sweep(cells, opt.jobs);
+
+  Table t({"workload", "ranks", "duty", "slowdown(coord)", "slowdown(uncoord)",
+           "prop(coord)", "prop(uncoord)"});
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const core::Breakdown& co = results[i];
+    const core::Breakdown& un = results[i + 1];
+    t.row() << co.workload << std::int64_t{co.ranks} << benchutil::pct(un.duty_cycle)
+            << benchutil::fixed(co.slowdown) << benchutil::fixed(un.slowdown)
+            << benchutil::fixed(co.propagation_factor, 2)
+            << benchutil::fixed(un.propagation_factor, 2);
   }
   std::cout << t.to_ascii();
   return 0;

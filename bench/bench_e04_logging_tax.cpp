@@ -16,50 +16,67 @@
 
 #include "chksim/ckpt/logging_tax.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E4", "message-logging tax vs per-message cost");
 
   const net::MachineModel machine = net::infiniband_system();
+  const std::vector<const char*> workloads = {"hpccg", "halo3d", "fft"};
+  const std::vector<TimeNs> taxes = {0_us, 1_us, 2_us, 5_us, 10_us, 20_us};
 
-  Table t({"workload", "tax/msg", "tax/KiB", "slowdown(sender)", "slowdown(recv)",
-           "msgs/rank/s"});
-  for (const char* wl : {"hpccg", "halo3d", "fft"}) {
+  // Stage 1: one base (untaxed) run per workload.
+  std::vector<sim::Program> programs;
+  for (const char* wl : workloads) {
     workload::StdParams params;
     params.ranks = 256;
     params.iterations = 30;
     params.compute = 1_ms;
     params.bytes = std::string(wl) == "fft" ? Bytes{16_KiB} : Bytes{8_KiB};
-    sim::Program program = workload::make_workload(wl, params);
-    program.finalize();
+    programs.push_back(workload::make_workload(wl, params));
+    programs.back().finalize();
+  }
+  sim::EngineConfig base;
+  base.net = machine.net;
+  std::vector<sim::RunResult> base_runs(workloads.size());
+  par::for_each_index(static_cast<std::int64_t>(workloads.size()), opt.jobs,
+                      [&](std::int64_t i) {
+                        base_runs[static_cast<std::size_t>(i)] = sim::run_program(
+                            programs[static_cast<std::size_t>(i)], base);
+                      });
 
-    sim::EngineConfig base;
-    base.net = machine.net;
-    const sim::RunResult r0 = sim::run_program(program, base);
+  // Stage 2: every (workload, tax, side) is an independent engine run over
+  // the shared read-only program; slot index = ((wl * taxes) + tax) * 2 + side.
+  std::vector<TimeNs> makespans(workloads.size() * taxes.size() * 2);
+  par::for_each_index(static_cast<std::int64_t>(makespans.size()), opt.jobs,
+                      [&](std::int64_t slot) {
+                        const std::size_t side = static_cast<std::size_t>(slot) % 2;
+                        const std::size_t cell = static_cast<std::size_t>(slot) / 2;
+                        const std::size_t wl = cell / taxes.size();
+                        ckpt::LoggingTaxConfig tc;
+                        tc.per_message = taxes[cell % taxes.size()];
+                        tc.per_byte_ns = 0.05;  // 50 ns per KiB
+                        tc.receiver_side = side == 1;
+                        ckpt::LoggingTax tax(tc);
+                        sim::EngineConfig cfg = base;
+                        cfg.tax = &tax;
+                        makespans[static_cast<std::size_t>(slot)] =
+                            sim::run_program(programs[wl], cfg).makespan;
+                      });
 
-    const double msg_rate =
-        static_cast<double>(program.stats().sends) / 256 /
-        units::to_seconds(r0.makespan);
-
-    for (TimeNs tax_msg : {0_us, 1_us, 2_us, 5_us, 10_us, 20_us}) {
-      ckpt::LoggingTaxConfig tc;
-      tc.per_message = tax_msg;
-      tc.per_byte_ns = 0.05;  // 50 ns per KiB
-      ckpt::LoggingTax sender_tax(tc);
-      tc.receiver_side = true;
-      ckpt::LoggingTax recv_tax(tc);
-
-      sim::EngineConfig cfg = base;
-      cfg.tax = &sender_tax;
-      const sim::RunResult rs = sim::run_program(program, cfg);
-      cfg.tax = &recv_tax;
-      const sim::RunResult rr = sim::run_program(program, cfg);
-
-      t.row() << wl << units::format_time(tax_msg) << "51.2 ns"
-              << benchutil::fixed(static_cast<double>(rs.makespan) /
+  Table t({"workload", "tax/msg", "tax/KiB", "slowdown(sender)", "slowdown(recv)",
+           "msgs/rank/s"});
+  for (std::size_t wl = 0; wl < workloads.size(); ++wl) {
+    const sim::RunResult& r0 = base_runs[wl];
+    const double msg_rate = static_cast<double>(programs[wl].stats().sends) / 256 /
+                            units::to_seconds(r0.makespan);
+    for (std::size_t tax = 0; tax < taxes.size(); ++tax) {
+      const std::size_t slot = (wl * taxes.size() + tax) * 2;
+      t.row() << workloads[wl] << units::format_time(taxes[tax]) << "51.2 ns"
+              << benchutil::fixed(static_cast<double>(makespans[slot]) /
                                   static_cast<double>(r0.makespan))
-              << benchutil::fixed(static_cast<double>(rr.makespan) /
+              << benchutil::fixed(static_cast<double>(makespans[slot + 1]) /
                                   static_cast<double>(r0.makespan))
               << benchutil::fixed(msg_rate, 0);
     }

@@ -23,58 +23,92 @@
 #include "chksim/noise/noise.hpp"
 #include "chksim/obs/attribution.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E5", "single-rank blackout propagation vs workload coupling");
 
   const net::MachineModel machine = net::infiniband_system();
   const int ranks = 256;
   const sim::RankId victim = ranks / 2;
+  const std::vector<const char*> workloads = {"ep", "sweep2d", "halo3d", "allreduce"};
+  const std::vector<TimeNs> durations = {100_us, 300_us, 1_ms, 3_ms, 10_ms};
 
-  Table t({"workload", "blackout", "base", "global_delay", "delay/blackout",
-           "spread(non-victim)", "spread/blackout", "wait[blk]", "wait[prop]",
-           "wait[net]"});
-  for (const char* wl : {"ep", "sweep2d", "halo3d", "allreduce"}) {
+  sim::EngineConfig base;
+  base.net = machine.net;
+
+  // Stage 1: the unperturbed reference runs (one per workload; the blackout
+  // window and the spread columns both derive from them).
+  std::vector<sim::Program> programs;
+  for (const char* wl : workloads) {
     workload::StdParams params;
     params.ranks = ranks;
     params.iterations = 30;
     params.compute = 1_ms;
     params.bytes = 8_KiB;
-    sim::Program program = workload::make_workload(wl, params);
-    program.finalize();
+    programs.push_back(workload::make_workload(wl, params));
+    programs.back().finalize();
+  }
+  std::vector<sim::RunResult> base_runs(workloads.size());
+  par::for_each_index(static_cast<std::int64_t>(workloads.size()), opt.jobs,
+                      [&](std::int64_t i) {
+                        base_runs[static_cast<std::size_t>(i)] = sim::run_program(
+                            programs[static_cast<std::size_t>(i)], base);
+                      });
 
-    sim::EngineConfig base;
-    base.net = machine.net;
-    const sim::RunResult r0 = sim::run_program(program, base);
+  // Stage 2: every (workload, duration) is an independent traced run with a
+  // private tracer; each slot keeps only its row's derived numbers.
+  struct Row {
+    TimeNs delay = 0;
+    double spread = 0;
+    double share_blk = 0, share_prop = 0, share_net = 0;
+  };
+  std::vector<Row> rows(workloads.size() * durations.size());
+  par::for_each_index(
+      static_cast<std::int64_t>(rows.size()), opt.jobs, [&](std::int64_t slot) {
+        const std::size_t wl = static_cast<std::size_t>(slot) / durations.size();
+        const TimeNs dur = durations[static_cast<std::size_t>(slot) % durations.size()];
+        const sim::RunResult& r0 = base_runs[wl];
+        const TimeNs start = r0.makespan / 3;
+        const auto noise =
+            noise::make_single_blackout(ranks, victim, {start, start + dur});
+        sim::EngineConfig cfg = base;
+        cfg.blackouts = noise.get();
+        obs::EventTracer tracer(ranks);
+        cfg.trace = &tracer;
+        const sim::RunResult r1 = sim::run_program(programs[wl], cfg);
+        Row& row = rows[static_cast<std::size_t>(slot)];
+        row.delay = r1.makespan - r0.makespan;
+        for (int r = 0; r < ranks; ++r) {
+          if (r == victim) continue;
+          row.spread +=
+              static_cast<double>(r1.ranks[static_cast<std::size_t>(r)].finish_time -
+                                  r0.ranks[static_cast<std::size_t>(r)].finish_time);
+        }
+        row.spread /= (ranks - 1);
+        const obs::WaitAttribution att = obs::attribute_waits(tracer);
+        row.share_blk = att.share_sender_blackout();
+        row.share_prop = att.share_propagated();
+        row.share_net = att.share_network();
+      });
 
-    for (TimeNs dur : {100_us, 300_us, 1_ms, 3_ms, 10_ms}) {
-      const TimeNs start = r0.makespan / 3;
-      const auto noise =
-          noise::make_single_blackout(ranks, victim, {start, start + dur});
-      sim::EngineConfig cfg = base;
-      cfg.blackouts = noise.get();
-      obs::EventTracer tracer(ranks);
-      cfg.trace = &tracer;
-      const sim::RunResult r1 = sim::run_program(program, cfg);
-      const TimeNs delay = r1.makespan - r0.makespan;
-      double spread = 0;
-      for (int r = 0; r < ranks; ++r) {
-        if (r == victim) continue;
-        spread += static_cast<double>(r1.ranks[static_cast<std::size_t>(r)].finish_time -
-                                      r0.ranks[static_cast<std::size_t>(r)].finish_time);
-      }
-      spread /= (ranks - 1);
-      const obs::WaitAttribution att = obs::attribute_waits(tracer);
-      t.row() << wl << units::format_time(dur) << units::format_time(r0.makespan)
-              << units::format_time(delay)
-              << benchutil::fixed(static_cast<double>(delay) / static_cast<double>(dur),
-                                  2)
-              << units::format_time(static_cast<TimeNs>(spread))
-              << benchutil::fixed(spread / static_cast<double>(dur), 2)
-              << benchutil::pct(att.share_sender_blackout())
-              << benchutil::pct(att.share_propagated())
-              << benchutil::pct(att.share_network());
+  Table t({"workload", "blackout", "base", "global_delay", "delay/blackout",
+           "spread(non-victim)", "spread/blackout", "wait[blk]", "wait[prop]",
+           "wait[net]"});
+  for (std::size_t wl = 0; wl < workloads.size(); ++wl) {
+    for (std::size_t d = 0; d < durations.size(); ++d) {
+      const Row& row = rows[wl * durations.size() + d];
+      const TimeNs dur = durations[d];
+      t.row() << workloads[wl] << units::format_time(dur)
+              << units::format_time(base_runs[wl].makespan)
+              << units::format_time(row.delay)
+              << benchutil::fixed(
+                     static_cast<double>(row.delay) / static_cast<double>(dur), 2)
+              << units::format_time(static_cast<TimeNs>(row.spread))
+              << benchutil::fixed(row.spread / static_cast<double>(dur), 2)
+              << benchutil::pct(row.share_blk) << benchutil::pct(row.share_prop)
+              << benchutil::pct(row.share_net);
     }
   }
   std::cout << t.to_ascii();

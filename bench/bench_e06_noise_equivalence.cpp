@@ -13,45 +13,63 @@
 
 #include "chksim/noise/noise.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E6", "equal-budget noise: frequency/amplitude tradeoff");
 
   const net::MachineModel machine = net::infiniband_system();
   const int ranks = 256;
 
-  Table t({"workload", "period", "duration", "aligned", "slowdown", "amplification"});
-  for (const char* wl : {"halo3d", "hpccg"}) {
+  struct Point {
+    TimeNs period;
+    TimeNs duration;
+  };
+  const std::vector<const char*> workloads = {"halo3d", "hpccg"};
+  const std::vector<Point> points = {Point{1_ms, 20_us}, Point{10_ms, 200_us},
+                                     Point{60_ms, 1200_us}, Point{300_ms, 6_ms}};
+
+  std::vector<sim::Program> programs;
+  for (const char* wl : workloads) {
     workload::StdParams params;
     params.ranks = ranks;
     params.iterations = 60;
     params.compute = 1_ms;
     params.bytes = 8_KiB;
-    sim::Program program = workload::make_workload(wl, params);
-    program.finalize();
+    programs.push_back(workload::make_workload(wl, params));
+    programs.back().finalize();
+  }
+  sim::EngineConfig base;
+  base.net = machine.net;
 
-    sim::EngineConfig base;
-    base.net = machine.net;
-
-    struct Point {
-      TimeNs period;
-      TimeNs duration;
-    };
-    for (const Point pt : {Point{1_ms, 20_us}, Point{10_ms, 200_us},
-                           Point{60_ms, 1200_us}, Point{300_ms, 6_ms}}) {
-      for (const bool aligned : {true, false}) {
+  // Every (workload, point, aligned) cell measures independently against the
+  // shared read-only program; slot = ((wl * points) + point) * 2 + aligned?0:1.
+  std::vector<noise::AmplificationReport> reps(workloads.size() * points.size() * 2);
+  par::for_each_index(
+      static_cast<std::int64_t>(reps.size()), opt.jobs, [&](std::int64_t slot) {
+        const std::size_t cell = static_cast<std::size_t>(slot) / 2;
+        const std::size_t wl = cell / points.size();
+        const Point pt = points[cell % points.size()];
         noise::PeriodicNoiseConfig ncfg;
         ncfg.period = pt.period;
         ncfg.duration = pt.duration;
-        ncfg.aligned = aligned;
+        ncfg.aligned = static_cast<std::size_t>(slot) % 2 == 0;
         ncfg.seed = 17;
         const auto sched = noise::make_periodic_noise(ranks, ncfg);
-        const auto rep = noise::measure_amplification(program, base, *sched,
-                                                      noise::injected_fraction(ncfg));
-        t.row() << wl << units::format_time(pt.period)
-                << units::format_time(pt.duration) << (aligned ? "yes" : "no")
-                << benchutil::fixed(rep.slowdown) << benchutil::fixed(rep.amplification, 2);
+        reps[static_cast<std::size_t>(slot)] = noise::measure_amplification(
+            programs[wl], base, *sched, noise::injected_fraction(ncfg));
+      });
+
+  Table t({"workload", "period", "duration", "aligned", "slowdown", "amplification"});
+  for (std::size_t wl = 0; wl < workloads.size(); ++wl) {
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (const bool aligned : {true, false}) {
+        const auto& rep = reps[(wl * points.size() + p) * 2 + (aligned ? 0 : 1)];
+        t.row() << workloads[wl] << units::format_time(points[p].period)
+                << units::format_time(points[p].duration) << (aligned ? "yes" : "no")
+                << benchutil::fixed(rep.slowdown)
+                << benchutil::fixed(rep.amplification, 2);
       }
     }
   }

@@ -10,9 +10,10 @@
 #include "chksim/analytic/daly.hpp"
 #include "chksim/ckpt/recovery.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E7", "interval sweep: simulated vs Daly analytic");
 
   const int ranks = 4096;
@@ -40,7 +41,8 @@ int main() {
       rp.interval_seconds = tau;
       rp.restart_seconds = R;
       fault::Exponential dist(M);
-      const ckpt::MakespanResult mk = ckpt::simulate_makespan(rp, dist, 300, 2024);
+      const ckpt::MakespanResult mk = ckpt::simulate_makespan(
+          rp, dist, 300, 2024, /*metrics=*/nullptr, opt.jobs);
       const double daly = analytic::daly_walltime(work, tau, delta, R, M);
       t.row() << benchutil::fixed(node_mtbf_hours, 0) << benchutil::fixed(mult, 3)
               << benchutil::fixed(tau, 0) << benchutil::fixed(mk.mean_seconds / 3600, 1)

@@ -10,9 +10,12 @@
 // hour exceeds the PFS entirely); burst buffers are flat.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  // E8 is closed-form storage arithmetic — nothing worth parallelising —
+  // but it accepts the standard flags so every bench has a uniform CLI.
+  (void)benchutil::parse_options(argc, argv);
   benchutil::banner("E8", "checkpoint write time vs scale by I/O shape");
 
   const net::MachineModel machine = net::exascale_projection();

@@ -12,18 +12,25 @@
 
 #include "chksim/core/failure_study.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E9", "expected makespan with failures, by protocol");
 
   const TimeNs interval = 10_ms;
   const double duty = 0.08;
 
-  Table t({"workload", "ranks", "protocol", "failure_dist", "slowdown(no-fail)",
-           "mean_failures", "makespan(h)", "efficiency"});
-  for (const char* wl : {"halo3d", "hpccg"}) {
-    for (int ranks : {256, 1024}) {
+  const std::vector<const char*> workloads =
+      opt.smoke ? std::vector<const char*>{"halo3d"}
+                : std::vector<const char*>{"halo3d", "hpccg"};
+  const std::vector<int> scales =
+      opt.smoke ? std::vector<int>{256} : std::vector<int>{256, 1024};
+
+  std::vector<core::FailureStudyConfig> cells;
+  std::vector<double> shapes;  // parallel to cells, for the table
+  for (const char* wl : workloads) {
+    for (int ranks : scales) {
       for (int proto = 0; proto < 3; ++proto) {
         for (const double shape : {0.0, 0.7}) {
           core::FailureStudyConfig cfg;
@@ -56,16 +63,26 @@ int main() {
           cfg.trials = 200;
           cfg.weibull_shape = shape;
           cfg.seed = 7;
-          const core::FailureStudyResult r = core::run_failure_study(cfg);
-          t.row() << wl << std::int64_t{ranks} << r.breakdown.protocol
-                  << (shape == 0.0 ? "exponential" : "weibull(0.7)")
-                  << benchutil::fixed(r.breakdown.slowdown)
-                  << benchutil::fixed(r.makespan.mean_failures, 1)
-                  << benchutil::fixed(r.makespan.mean_seconds / 3600, 2)
-                  << benchutil::fixed(r.makespan.efficiency, 3);
+          cells.push_back(cfg);
+          shapes.push_back(shape);
         }
       }
     }
+  }
+  const std::vector<core::FailureStudyResult> results =
+      core::run_failure_sweep(cells, opt.jobs);
+
+  Table t({"workload", "ranks", "protocol", "failure_dist", "slowdown(no-fail)",
+           "mean_failures", "makespan(h)", "efficiency"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::FailureStudyResult& r = results[i];
+    t.row() << r.breakdown.workload << std::int64_t{r.breakdown.ranks}
+            << r.breakdown.protocol
+            << (shapes[i] == 0.0 ? "exponential" : "weibull(0.7)")
+            << benchutil::fixed(r.breakdown.slowdown)
+            << benchutil::fixed(r.makespan.mean_failures, 1)
+            << benchutil::fixed(r.makespan.mean_seconds / 3600, 2)
+            << benchutil::fixed(r.makespan.efficiency, 3);
   }
   std::cout << t.to_ascii();
   return 0;

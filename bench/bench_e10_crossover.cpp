@@ -13,45 +13,65 @@
 
 #include "chksim/core/failure_study.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E10", "uncoordinated-vs-coordinated crossover in logging tax");
 
   const TimeNs interval = 10_ms;
   const int ranks = 1024;
+  const std::vector<const char*> workloads = {"halo3d", "ep"};
+  const std::vector<double> duties = {0.08, 0.01};
+  const std::vector<TimeNs> taxes = {0_us, 1_us, 2_us, 5_us, 10_us, 20_us, 50_us};
+
+  // Per (workload, duty) group: the coordinated baseline followed by one
+  // uncoordinated cell per tax; groups are laid out back to back.
+  const std::size_t group = 1 + taxes.size();
+  std::vector<core::FailureStudyConfig> cells;
+  for (const char* wl : workloads) {
+    for (const double duty : duties) {
+      core::FailureStudyConfig base;
+      base.study.machine =
+          benchutil::scaled_machine(net::infiniband_system(), interval, duty);
+      base.study.machine.node_mtbf_hours = 500;
+      base.study.workload = wl;
+      base.study.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+      base.study.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+      base.study.protocol.fixed_interval = interval;
+      base.work_seconds = 24 * 3600;
+      base.trials = 200;
+      base.recovery_interval_seconds = 300;
+      base.seed = 11;
+      cells.push_back(base);
+      for (TimeNs tax : taxes) {
+        core::FailureStudyConfig ucfg = base;
+        ucfg.study.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+        ucfg.study.protocol.log_per_message = tax;
+        cells.push_back(ucfg);
+      }
+    }
+  }
+  const std::vector<core::FailureStudyResult> results =
+      core::run_failure_sweep(cells, opt.jobs);
 
   Table t({"workload", "duty", "tax/msg", "eff(coordinated)", "eff(uncoordinated)",
            "winner"});
-  for (const char* wl : {"halo3d", "ep"}) {
-   for (const double duty : {0.08, 0.01}) {
-    // Coordinated baseline (no tax by definition).
-    core::FailureStudyConfig base;
-    base.study.machine =
-        benchutil::scaled_machine(net::infiniband_system(), interval, duty);
-    base.study.machine.node_mtbf_hours = 500;
-    base.study.workload = wl;
-    base.study.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
-    base.study.protocol.kind = ckpt::ProtocolKind::kCoordinated;
-    base.study.protocol.fixed_interval = interval;
-    base.work_seconds = 24 * 3600;
-    base.trials = 200;
-    base.recovery_interval_seconds = 300;
-    base.seed = 11;
-    const core::FailureStudyResult co = core::run_failure_study(base);
-
-    for (TimeNs tax : {0_us, 1_us, 2_us, 5_us, 10_us, 20_us, 50_us}) {
-      core::FailureStudyConfig ucfg = base;
-      ucfg.study.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
-      ucfg.study.protocol.log_per_message = tax;
-      const core::FailureStudyResult un = core::run_failure_study(ucfg);
-      t.row() << wl << benchutil::pct(duty) << units::format_time(tax)
-              << benchutil::fixed(co.makespan.efficiency, 4)
-              << benchutil::fixed(un.makespan.efficiency, 4)
-              << (un.makespan.efficiency >= co.makespan.efficiency ? "uncoordinated"
-                                                                   : "coordinated");
+  std::size_t g = 0;
+  for (const char* wl : workloads) {
+    for (const double duty : duties) {
+      const core::FailureStudyResult& co = results[g * group];
+      for (std::size_t x = 0; x < taxes.size(); ++x) {
+        const core::FailureStudyResult& un = results[g * group + 1 + x];
+        t.row() << wl << benchutil::pct(duty) << units::format_time(taxes[x])
+                << benchutil::fixed(co.makespan.efficiency, 4)
+                << benchutil::fixed(un.makespan.efficiency, 4)
+                << (un.makespan.efficiency >= co.makespan.efficiency
+                        ? "uncoordinated"
+                        : "coordinated");
+      }
+      ++g;
     }
-   }
   }
   std::cout << t.to_ascii();
   return 0;

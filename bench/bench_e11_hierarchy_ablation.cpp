@@ -10,18 +10,21 @@
 // much weaker.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E11", "cluster-size ablation for hierarchical checkpointing");
 
   const TimeNs interval = 10_ms;
   const double duty = 0.08;
   const int ranks = 1024;
+  const std::vector<const char*> workloads = {"halo3d", "random"};
+  const std::vector<int> clusters = {1, 4, 16, 64, 256, 1024};
 
-  Table t({"workload", "cluster", "coord_time", "duty", "slowdown", "propagation"});
-  for (const char* wl : {"halo3d", "random"}) {
-    for (int cluster : {1, 4, 16, 64, 256, 1024}) {
+  std::vector<core::StudyConfig> cells;
+  for (const char* wl : workloads) {
+    for (int cluster : clusters) {
       core::StudyConfig cfg;
       // Contended PFS (uncontended=false): large clusters pay the
       // concurrent-writer penalty that offsets their alignment benefit.
@@ -33,11 +36,18 @@ int main() {
       cfg.protocol.cluster_size = cluster;
       cfg.protocol.fixed_interval = interval;
       cfg.protocol.log_per_message = 2_us;  // inter-cluster traffic only
-      const core::Breakdown b = core::run_study(cfg);
-      t.row() << wl << std::int64_t{cluster} << units::format_time(b.coordination_time)
-              << benchutil::pct(b.duty_cycle) << benchutil::fixed(b.slowdown)
-              << benchutil::fixed(b.propagation_factor, 2);
+      cells.push_back(cfg);
     }
+  }
+  const std::vector<core::Breakdown> results = core::run_sweep(cells, opt.jobs);
+
+  Table t({"workload", "cluster", "coord_time", "duty", "slowdown", "propagation"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::Breakdown& b = results[i];
+    t.row() << b.workload << std::int64_t{clusters[i % clusters.size()]}
+            << units::format_time(b.coordination_time) << benchutil::pct(b.duty_cycle)
+            << benchutil::fixed(b.slowdown)
+            << benchutil::fixed(b.propagation_factor, 2);
   }
   std::cout << t.to_ascii();
   return 0;

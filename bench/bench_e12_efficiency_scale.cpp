@@ -14,12 +14,14 @@
 #include "chksim/analytic/replication.hpp"
 #include "chksim/core/scale_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
   benchutil::banner("E12", "efficiency vs node count, measured kappa + analytic scale model");
 
-  // 1) Measure kappa at an engine-feasible scale with each schedule shape.
+  // 1) Measure kappa at an engine-feasible scale with each schedule shape
+  // (two independent studies — one sweep).
   const TimeNs sim_interval = 10_ms;
   const double sim_duty = 0.08;
   double kappa_aligned = 1.0;
@@ -32,9 +34,11 @@ int main() {
     cfg.params = benchutil::sized_params(1024, sim_interval, 4, 1_ms, 8_KiB);
     cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
     cfg.protocol.fixed_interval = sim_interval;
-    kappa_aligned = core::run_study(cfg).propagation_factor;
-    cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
-    kappa_random = core::run_study(cfg).propagation_factor;
+    std::vector<core::StudyConfig> cells = {cfg, cfg};
+    cells[1].protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+    const std::vector<core::Breakdown> kappas = core::run_sweep(cells, opt.jobs);
+    kappa_aligned = kappas[0].propagation_factor;
+    kappa_random = kappas[1].propagation_factor;
   }
   std::cout << "measured kappa (halo3d @ 1024): aligned="
             << benchutil::fixed(kappa_aligned, 2)
@@ -56,6 +60,7 @@ int main() {
       cfg.kappa = kappa;
       cfg.trials = 150;
       cfg.seed = 99;
+      cfg.jobs = opt.jobs;
       try {
         return benchutil::fixed(core::efficiency_at_scale(cfg, nodes).efficiency, 3);
       } catch (const std::invalid_argument&) {

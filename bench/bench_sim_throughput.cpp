@@ -1,60 +1,181 @@
-// Engine microbenchmarks (google-benchmark): simulator throughput in
-// operations per second for representative workloads and scales. Not an
-// experiment table — this bounds how far the direct simulation can reach
-// and justifies the E12 extrapolation strategy.
-#include <benchmark/benchmark.h>
+// Engine microbenchmarks: simulator throughput in EVENTS per second (the
+// native unit of DES cost — every op execution and message arrival is one
+// queue pop) for representative workloads and scales, plus the wall-clock of
+// a parallel sweep batch at the requested --jobs. Not an experiment table —
+// this bounds how far the direct simulation can reach and justifies the E12
+// extrapolation strategy.
+//
+// With --json-out the measurements are written machine-readably (the
+// "results"/"sweep" objects embedded in BENCH_perf.json); the committed
+// BENCH_perf.json pairs one such report from the seed engine ("before") with
+// one from the current engine ("after").
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "chksim/core/study.hpp"
 #include "chksim/net/machines.hpp"
 #include "chksim/sim/engine.hpp"
+#include "chksim/support/cli.hpp"
+#include "chksim/support/parallel.hpp"
 #include "chksim/workload/workloads.hpp"
 
 namespace {
 
 using namespace chksim;
 using namespace chksim::literals;
+using Clock = std::chrono::steady_clock;
 
-void run_workload(benchmark::State& state, const char* name) {
-  const int ranks = static_cast<int>(state.range(0));
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Measurement {
+  std::string workload;
+  int ranks = 0;
+  std::int64_t events = 0;  // events processed per run
+  double wall_ms_median = 0;
+  double events_per_sec = 0;
+  int repeats = 0;
+};
+
+Measurement measure(const std::string& workload, int ranks, int repeats) {
   workload::StdParams params;
   params.ranks = ranks;
   params.iterations = 10;
   params.compute = 1_ms;
   params.bytes = 8_KiB;
-  sim::Program p = workload::make_workload(name, params);
-  const sim::ProgramStats st = p.finalize();
+  sim::Program p = workload::make_workload(workload, params);
+  p.finalize();
   sim::EngineConfig cfg;
   cfg.net = net::infiniband_system().net;
-  std::int64_t ops = 0;
-  for (auto _ : state) {
+
+  Measurement m;
+  m.workload = workload;
+  m.ranks = ranks;
+  m.repeats = repeats;
+  std::vector<double> walls;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const Clock::time_point t0 = Clock::now();
     const sim::RunResult r = sim::run_program(p, cfg);
-    benchmark::DoNotOptimize(r.makespan);
-    ops += r.ops_executed;
+    walls.push_back(ms_since(t0));
+    m.events = r.events_processed;
   }
-  state.SetItemsProcessed(ops);
-  state.counters["ops_in_program"] = static_cast<double>(st.ops);
+  std::sort(walls.begin(), walls.end());
+  m.wall_ms_median = walls[walls.size() / 2];
+  m.events_per_sec = static_cast<double>(m.events) / (m.wall_ms_median / 1000.0);
+  return m;
 }
 
-void BM_Halo3d(benchmark::State& state) { run_workload(state, "halo3d"); }
-void BM_Hpccg(benchmark::State& state) { run_workload(state, "hpccg"); }
-void BM_Allreduce(benchmark::State& state) { run_workload(state, "allreduce"); }
-
-BENCHMARK(BM_Halo3d)->Arg(64)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Hpccg)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Allreduce)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
-
-void BM_ProgramBuild(benchmark::State& state) {
-  const int ranks = static_cast<int>(state.range(0));
-  workload::StdParams params;
-  params.ranks = ranks;
-  params.iterations = 10;
-  for (auto _ : state) {
-    sim::Program p = workload::make_workload("halo3d", params);
-    const sim::ProgramStats st = p.finalize();
-    benchmark::DoNotOptimize(st.ops);
+/// Wall-clock of a run_sweep batch (the E2/E9-style usage pattern) at the
+/// requested concurrency.
+double measure_sweep_ms(int cells, int jobs) {
+  std::vector<core::StudyConfig> configs;
+  for (int i = 0; i < cells; ++i) {
+    core::StudyConfig cfg;
+    // Scale the checkpoint write to ~10% of the interval (as the E-benches
+    // do) so the blackout fits the scaled-down 10 ms period.
+    cfg.machine.ckpt_bytes_per_node = static_cast<Bytes>(
+        0.10 * units::to_seconds(TimeNs{10_ms}) * cfg.machine.node_bw_bytes_per_s);
+    cfg.machine.pfs_bw_bytes_per_s = cfg.machine.node_bw_bytes_per_s * 1e7;
+    cfg.workload = "halo3d";
+    cfg.params.ranks = 256;
+    cfg.params.iterations = 10;
+    cfg.params.compute = 1_ms;
+    cfg.params.bytes = 8_KiB;
+    cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+    cfg.protocol.fixed_interval = 10_ms;
+    configs.push_back(cfg);
   }
+  const Clock::time_point t0 = Clock::now();
+  core::run_sweep(configs, jobs);
+  return ms_since(t0);
 }
-BENCHMARK(BM_ProgramBuild)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+std::string json_report(const std::vector<Measurement>& results, int jobs,
+                        int sweep_cells, double sweep_ms) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"chksim-bench-perf-v1\",\n"
+      << "  \"jobs\": " << jobs << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"workload\": \"%s\", \"ranks\": %d, \"events\": %lld, "
+                  "\"wall_ms_median\": %.2f, \"events_per_sec\": %.0f, "
+                  "\"repeats\": %d}%s\n",
+                  m.workload.c_str(), m.ranks, static_cast<long long>(m.events),
+                  m.wall_ms_median, m.events_per_sec, m.repeats,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "  \"sweep\": {\"cells\": %d, \"jobs\": %d, \"wall_ms\": %.2f}\n",
+                sweep_cells, jobs, sweep_ms);
+  out << buf << "}\n";
+  return out.str();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("jobs", "0", "concurrency for the sweep measurement; 0 = all cores")
+      .flag("repeats", "5", "timed repetitions per engine measurement")
+      .flag("smoke", "false", "small scales only (for regression tests)")
+      .flag("sweep-cells", "8", "cells in the run_sweep wall-clock measurement")
+      .flag("json-out", "", "write the machine-readable report to this path");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  const int jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
+  const int repeats = std::max(1, static_cast<int>(cli.get_int("repeats")));
+  const bool smoke = cli.get_bool("smoke");
+  const int sweep_cells = std::max(1, static_cast<int>(cli.get_int("sweep-cells")));
+
+  struct Case {
+    const char* workload;
+    int ranks;
+  };
+  const std::vector<Case> cases =
+      smoke ? std::vector<Case>{{"halo3d", 64}, {"hpccg", 64}}
+            : std::vector<Case>{{"halo3d", 64},    {"halo3d", 512},
+                                {"halo3d", 4096},  {"hpccg", 64},
+                                {"hpccg", 512},    {"allreduce", 64},
+                                {"allreduce", 1024}};
+
+  std::printf("%-10s %6s %12s %12s %14s\n", "workload", "ranks", "events/run",
+              "wall ms", "events/sec");
+  std::vector<Measurement> results;
+  for (const Case& c : cases) {
+    results.push_back(measure(c.workload, c.ranks, repeats));
+    const Measurement& m = results.back();
+    std::printf("%-10s %6d %12lld %12.2f %14.0f\n", m.workload.c_str(), m.ranks,
+                static_cast<long long>(m.events), m.wall_ms_median,
+                m.events_per_sec);
+  }
+
+  const double sweep_ms = measure_sweep_ms(smoke ? 2 : sweep_cells, jobs);
+  std::printf("\nrun_sweep: %d cells at --jobs %d: %.2f ms\n",
+              smoke ? 2 : sweep_cells, jobs, sweep_ms);
+
+  if (cli.is_set("json-out")) {
+    const std::string path = cli.get("json-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot open " << path << " for writing\n";
+      return 1;
+    }
+    out << json_report(results, jobs, smoke ? 2 : sweep_cells, sweep_ms);
+    std::cout << "report written to " << path << "\n";
+  }
+  return 0;
+}

@@ -7,13 +7,42 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "chksim/core/study.hpp"
+#include "chksim/support/cli.hpp"
+#include "chksim/support/parallel.hpp"
 #include "chksim/support/table.hpp"
 
 namespace chksim::benchutil {
+
+/// Standard bench command line:
+///   --jobs N    concurrency for independent cells/trials; 0 = all cores
+///               (the default). Results are identical for every value.
+///   --smoke     shrink the sweep to a few-second subset (used by the
+///               determinism regression tests, which byte-compare the
+///               output across --jobs values).
+struct BenchOptions {
+  int jobs = 0;
+  bool smoke = false;
+};
+
+/// Parse the standard flags; prints usage and exits(2) on bad input.
+inline BenchOptions parse_options(int argc, const char* const* argv) {
+  Cli cli;
+  cli.flag("jobs", "0", "concurrent cells/trials; 0 = hardware concurrency");
+  cli.flag("smoke", "false", "run a small subset (for regression tests)");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]) << "\n";
+    std::exit(2);
+  }
+  BenchOptions opt;
+  opt.jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
+  opt.smoke = cli.get_bool("smoke");
+  return opt;
+}
 
 /// Print the standard experiment banner.
 inline void banner(const std::string& id, const std::string& question) {

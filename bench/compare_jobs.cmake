@@ -1,0 +1,38 @@
+# Determinism check: run BENCH with each --jobs value in JOBS_LIST and fail
+# unless every run's stdout is byte-identical to the --jobs 1 run.
+#
+#   cmake -DBENCH=<path> -DARGS="--smoke" -DJOBS_LIST="1;2;8"
+#         -DWORK_DIR=<dir> -P compare_jobs.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "compare_jobs.cmake: BENCH and WORK_DIR are required")
+endif()
+if(NOT DEFINED JOBS_LIST)
+  set(JOBS_LIST 1 2 8)
+endif()
+separate_arguments(extra_args UNIX_COMMAND "${ARGS}")
+
+get_filename_component(bench_name "${BENCH}" NAME_WE)
+set(reference "")
+foreach(jobs ${JOBS_LIST})
+  set(out_file "${WORK_DIR}/${bench_name}_jobs${jobs}.out")
+  execute_process(
+    COMMAND "${BENCH}" ${extra_args} --jobs ${jobs}
+    OUTPUT_FILE "${out_file}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${bench_name} --jobs ${jobs} exited with ${rc}")
+  endif()
+  if(reference STREQUAL "")
+    set(reference "${out_file}")
+  else()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files "${reference}" "${out_file}"
+      RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+        "${bench_name}: output differs between --jobs 1 and --jobs ${jobs} "
+        "(${reference} vs ${out_file})")
+    endif()
+  endif()
+endforeach()
+message(STATUS "${bench_name}: byte-identical output for --jobs {${JOBS_LIST}}")

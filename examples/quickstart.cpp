@@ -20,12 +20,15 @@
 #include "chksim/obs/attribution.hpp"
 #include "chksim/obs/export.hpp"
 #include "chksim/support/cli.hpp"
+#include "chksim/support/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace chksim;
   using namespace chksim::literals;
 
   Cli cli;
+  cli.flag("jobs", "0",
+           "threads for the base/perturbed engine pair; 0 = all cores");
   add_observability_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   }
 
   core::StudyConfig cfg;
+  cfg.jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
 
   // 1. Machine: an InfiniBand system, scaled so each checkpoint writes
   //    4 MiB per node (scaled down so this short demo sees several checkpoints).

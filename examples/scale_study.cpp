@@ -15,6 +15,7 @@
 #include "chksim/obs/attribution.hpp"
 #include "chksim/obs/export.hpp"
 #include "chksim/support/cli.hpp"
+#include "chksim/support/parallel.hpp"
 #include "chksim/support/table.hpp"
 
 namespace {
@@ -61,7 +62,10 @@ int main(int argc, char** argv) {
       .flag("cluster", "16", "hierarchical cluster size")
       .flag("tier", "pfs", "checkpoint destination: pfs|bb|partner")
       .flag("mtbf-hours", "0", "node MTBF for the failure model (0 = skip)")
-      .flag("trials", "200", "Monte-Carlo trials for the failure model");
+      .flag("trials", "200", "Monte-Carlo trials for the failure model")
+      .flag("jobs", "0",
+            "threads across scales/engine-runs/trials; 0 = all cores "
+            "(results are identical for every value)");
   add_observability_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -72,14 +76,14 @@ int main(int argc, char** argv) {
     const TimeNs interval = cli.get_int("interval-ms") * units::kMillisecond;
     const double duty = cli.get_double("duty");
     const double mtbf_hours = cli.get_double("mtbf-hours");
+    const int jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
 
-    Table t({"ranks", "protocol", "duty", "slowdown", "propagation",
-             mtbf_hours > 0 ? "efficiency(with failures)" : "efficiency(no failures)"});
     const std::vector<int> scales = parse_scales(cli.get("scales"));
     // Observability: the report covers the largest (last) scale; the trace,
     // when requested, records its perturbed run.
     std::unique_ptr<obs::EventTracer> tracer;
     obs::MetricsRegistry metrics;
+    std::vector<core::FailureStudyConfig> cells;
     for (const int ranks : scales) {
       core::FailureStudyConfig cfg;
       cfg.study.machine = net::machine_by_name(cli.get("machine"));
@@ -113,23 +117,35 @@ int main(int argc, char** argv) {
         }
         if (cli.is_set("report-out")) cfg.study.metrics = &metrics;
       }
+      cells.push_back(cfg);
+    }
 
-      char slow[32], prop[32], duty_s[32], eff[32];
-      if (mtbf_hours > 0) {
-        const core::FailureStudyResult r = core::run_failure_study(cfg);
+    // The scales are independent cells; run them as one deterministic sweep.
+    Table t({"ranks", "protocol", "duty", "slowdown", "propagation",
+             mtbf_hours > 0 ? "efficiency(with failures)" : "efficiency(no failures)"});
+    char slow[32], prop[32], duty_s[32], eff[32];
+    if (mtbf_hours > 0) {
+      const std::vector<core::FailureStudyResult> results =
+          core::run_failure_sweep(cells, jobs);
+      for (const core::FailureStudyResult& r : results) {
         std::snprintf(slow, sizeof slow, "%.4f", r.breakdown.slowdown);
         std::snprintf(prop, sizeof prop, "%.2f", r.breakdown.propagation_factor);
         std::snprintf(duty_s, sizeof duty_s, "%.2f%%", 100 * r.breakdown.duty_cycle);
         std::snprintf(eff, sizeof eff, "%.4f", r.makespan.efficiency);
-        t.row() << std::int64_t{ranks} << r.breakdown.protocol << duty_s << slow
-                << prop << eff;
-      } else {
-        const core::Breakdown b = core::run_study(cfg.study);
+        t.row() << std::int64_t{r.breakdown.ranks} << r.breakdown.protocol << duty_s
+                << slow << prop << eff;
+      }
+    } else {
+      std::vector<core::StudyConfig> studies;
+      studies.reserve(cells.size());
+      for (const core::FailureStudyConfig& c : cells) studies.push_back(c.study);
+      const std::vector<core::Breakdown> results = core::run_sweep(studies, jobs);
+      for (const core::Breakdown& b : results) {
         std::snprintf(slow, sizeof slow, "%.4f", b.slowdown);
         std::snprintf(prop, sizeof prop, "%.2f", b.propagation_factor);
         std::snprintf(duty_s, sizeof duty_s, "%.2f%%", 100 * b.duty_cycle);
         std::snprintf(eff, sizeof eff, "%.4f", 1.0 / b.slowdown);
-        t.row() << std::int64_t{ranks} << b.protocol << duty_s << slow << prop << eff;
+        t.row() << std::int64_t{b.ranks} << b.protocol << duty_s << slow << prop << eff;
       }
     }
     std::cout << t.to_ascii();

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "chksim/support/parallel.hpp"
+
 namespace chksim::ckpt {
 
 namespace {
@@ -92,20 +94,26 @@ TrialResult run_trial(const RecoveryParams& p, NextFailure&& next_failure, Rng& 
 MakespanResult simulate_makespan(const RecoveryParams& params,
                                  const fault::FailureDistribution& system_failures,
                                  int trials, std::uint64_t seed,
-                                 obs::MetricsRegistry* metrics) {
+                                 obs::MetricsRegistry* metrics, int jobs) {
   check_params(params);
   if (trials <= 0) throw std::invalid_argument("trials must be > 0");
-  std::vector<double> makespans;
-  makespans.reserve(static_cast<std::size_t>(trials));
-  StreamingStats stats;
-  double total_failures = 0;
-  for (int trial = 0; trial < trials; ++trial) {
+  // Every trial's random state derives from (seed, trial) alone and each
+  // task writes only its own slot, so the scheduling order cannot affect
+  // the slot contents; the reduction below runs serially in trial order.
+  std::vector<TrialResult> slots(static_cast<std::size_t>(trials));
+  par::for_each_index(trials, jobs, [&](std::int64_t trial) {
     Rng rng = Rng::substream(seed, static_cast<std::uint64_t>(trial));
     Rng fail_rng = Rng::substream(seed ^ 0x5bd1e995, static_cast<std::uint64_t>(trial));
     auto next_failure = [&](double t) {
       return t + system_failures.sample_seconds(fail_rng);
     };
-    const TrialResult r = run_trial(params, next_failure, rng);
+    slots[static_cast<std::size_t>(trial)] = run_trial(params, next_failure, rng);
+  });
+  std::vector<double> makespans;
+  makespans.reserve(static_cast<std::size_t>(trials));
+  StreamingStats stats;
+  double total_failures = 0;
+  for (const TrialResult& r : slots) {
     makespans.push_back(r.makespan);
     stats.add(r.makespan);
     total_failures += static_cast<double>(r.failures);

@@ -60,10 +60,17 @@ struct MakespanResult {
 /// interarrival distribution (e.g. Exponential(node_mtbf / nodes)). When
 /// `metrics` is given, the result and the per-trial makespan distribution
 /// are published under "recovery.*".
+///
+/// Trials run on up to `jobs` threads (1 = serial on the calling thread,
+/// <= 0 = hardware concurrency). Every trial derives its random streams from
+/// (seed, trial_index) alone and writes only its own result slot, and the
+/// reduction over slots runs serially in trial order after the batch — so
+/// the result is byte-identical for every jobs value.
 MakespanResult simulate_makespan(const RecoveryParams& params,
                                  const fault::FailureDistribution& system_failures,
                                  int trials, std::uint64_t seed,
-                                 obs::MetricsRegistry* metrics = nullptr);
+                                 obs::MetricsRegistry* metrics = nullptr,
+                                 int jobs = 1);
 
 /// Single-trial deterministic replay against an explicit failure trace
 /// (times in TimeNs wallclock); returns the makespan in seconds. Used by

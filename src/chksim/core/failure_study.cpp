@@ -1,6 +1,9 @@
 #include "chksim/core/failure_study.hpp"
 
 #include <memory>
+#include <vector>
+
+#include "chksim/support/parallel.hpp"
 
 namespace chksim::core {
 
@@ -34,7 +37,26 @@ FailureStudyResult run_failure_study(const FailureStudyConfig& config) {
   } else {
     dist = std::make_unique<fault::Exponential>(out.system_mtbf_seconds);
   }
-  out.makespan = ckpt::simulate_makespan(rp, *dist, config.trials, config.seed);
+  out.makespan = ckpt::simulate_makespan(rp, *dist, config.trials, config.seed,
+                                         config.study.metrics, config.jobs);
+  return out;
+}
+
+std::vector<FailureStudyResult> run_failure_sweep(
+    const std::vector<FailureStudyConfig>& configs, int jobs) {
+  std::vector<FailureStudyResult> out(configs.size());
+  std::vector<obs::MetricsRegistry> cell_metrics(configs.size());
+  par::for_each_index(static_cast<std::int64_t>(configs.size()), jobs,
+                      [&](std::int64_t i) {
+                        FailureStudyConfig cell = configs[static_cast<std::size_t>(i)];
+                        if (cell.study.metrics != nullptr)
+                          cell.study.metrics =
+                              &cell_metrics[static_cast<std::size_t>(i)];
+                        out[static_cast<std::size_t>(i)] = run_failure_study(cell);
+                      });
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    if (configs[i].study.metrics != nullptr)
+      configs[i].study.metrics->merge(cell_metrics[i]);
   return out;
 }
 

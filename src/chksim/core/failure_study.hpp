@@ -25,6 +25,10 @@ struct FailureStudyConfig {
   /// through the storage model (ckpt::restart_cost_seconds) instead of the
   /// bare machine.restart_seconds.
   bool model_restart_io = false;
+  /// Concurrency for the Monte-Carlo trials (and, via study.jobs, the
+  /// engine-run pair): 1 = serial, <= 0 = hardware concurrency. Results are
+  /// identical for every value.
+  int jobs = 1;
 };
 
 struct FailureStudyResult {
@@ -37,5 +41,12 @@ struct FailureStudyResult {
 /// Run the perturbation simulation, then the recovery Monte-Carlo at the
 /// same scale.
 FailureStudyResult run_failure_study(const FailureStudyConfig& config);
+
+/// Run a batch of independent failure studies on up to `jobs` threads
+/// (<= 0 = hardware concurrency), in input order. Deterministic for every
+/// jobs value — see run_sweep for the slot/merge discipline (each cell's
+/// inner trials run with that cell's config.jobs).
+std::vector<FailureStudyResult> run_failure_sweep(
+    const std::vector<FailureStudyConfig>& configs, int jobs = 0);
 
 }  // namespace chksim::core

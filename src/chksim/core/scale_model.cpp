@@ -40,8 +40,8 @@ ScalePoint efficiency_at_scale(const ScaleModelConfig& config, int ranks) {
   } else {
     dist = std::make_unique<fault::Exponential>(pt.system_mtbf_seconds);
   }
-  const ckpt::MakespanResult mk =
-      ckpt::simulate_makespan(rp, *dist, config.trials, config.seed);
+  const ckpt::MakespanResult mk = ckpt::simulate_makespan(
+      rp, *dist, config.trials, config.seed, /*metrics=*/nullptr, config.jobs);
   pt.mean_failures = mk.mean_failures;
   pt.efficiency = mk.efficiency;
   return pt;

@@ -30,6 +30,9 @@ struct ScaleModelConfig {
   double replay_speedup = 1.5;
   int trials = 200;
   std::uint64_t seed = 42;
+  /// Concurrency for the recovery Monte-Carlo (1 = serial, <= 0 = hardware
+  /// concurrency). Results are identical for every value.
+  int jobs = 1;
 };
 
 struct ScalePoint {

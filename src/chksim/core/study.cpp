@@ -1,6 +1,9 @@
 #include "chksim/core/study.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "chksim/support/parallel.hpp"
 
 namespace chksim::core {
 
@@ -82,17 +85,27 @@ Breakdown run_study(const StudyConfig& config) {
   sim::EngineConfig base;
   base.net = config.machine.net;
   base.preemption = config.preemption;
-  const sim::RunResult r0 = sim::run_program(program, base);
-  if (!r0.completed)
-    throw std::runtime_error("base run did not complete: " + r0.error);
-  b.base_makespan = r0.makespan;
-  b.recv_wait_base = r0.total_recv_wait();
 
   sim::EngineConfig pert = base;
   pert.blackouts = art.schedule.get();
   pert.tax = art.tax.get();
   pert.trace = config.trace;
-  const sim::RunResult r1 = sim::run_program(program, pert);
+
+  // The base and perturbed runs are independent simulations over the same
+  // (read-only) program; each writes only its own slot, so running them on
+  // two threads cannot change either result.
+  const sim::EngineConfig* cfgs[2] = {&base, &pert};
+  sim::RunResult runs[2];
+  par::for_each_index(2, config.jobs <= 0 ? config.jobs : std::min(config.jobs, 2),
+                      [&](std::int64_t i) {
+                        runs[i] = sim::run_program(program, *cfgs[i]);
+                      });
+  const sim::RunResult& r0 = runs[0];
+  const sim::RunResult& r1 = runs[1];
+  if (!r0.completed)
+    throw std::runtime_error("base run did not complete: " + r0.error);
+  b.base_makespan = r0.makespan;
+  b.recv_wait_base = r0.total_recv_wait();
   if (!r1.completed)
     throw std::runtime_error("perturbed run did not complete: " + r1.error);
   b.perturbed_makespan = r1.makespan;
@@ -121,6 +134,24 @@ Breakdown run_study(const StudyConfig& config) {
     obs::publish_engine_metrics(r1, m, "engine.perturbed");
   }
   return b;
+}
+
+std::vector<Breakdown> run_sweep(const std::vector<StudyConfig>& configs, int jobs) {
+  std::vector<Breakdown> out(configs.size());
+  // Cells publish into private registries so concurrent cells never touch a
+  // shared one; the fold below runs in cell order, which reproduces the
+  // serial last-write-wins gauge semantics exactly.
+  std::vector<obs::MetricsRegistry> cell_metrics(configs.size());
+  par::for_each_index(static_cast<std::int64_t>(configs.size()), jobs,
+                      [&](std::int64_t i) {
+                        StudyConfig cell = configs[static_cast<std::size_t>(i)];
+                        if (cell.metrics != nullptr)
+                          cell.metrics = &cell_metrics[static_cast<std::size_t>(i)];
+                        out[static_cast<std::size_t>(i)] = run_study(cell);
+                      });
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    if (configs[i].metrics != nullptr) configs[i].metrics->merge(cell_metrics[i]);
+  return out;
 }
 
 }  // namespace chksim::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "chksim/ckpt/interval.hpp"
 #include "chksim/ckpt/protocols.hpp"
@@ -65,6 +66,11 @@ struct StudyConfig {
   /// under "study.*", "engine.base.*", and "engine.perturbed.*".
   sim::TraceSink* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Concurrency inside this study: the independent base and perturbed
+  /// engine runs execute on up to `jobs` threads (1 = serial, <= 0 =
+  /// hardware concurrency). The Breakdown is identical for every value.
+  int jobs = 1;
 };
 
 /// Where the time went.
@@ -102,6 +108,20 @@ struct Breakdown {
 /// Build the workload, run it with and without the protocol, and break down
 /// the overhead. Deterministic.
 Breakdown run_study(const StudyConfig& config);
+
+/// Run a batch of independent studies (sweep cells) on up to `jobs` threads
+/// (<= 0 = hardware concurrency), returning the Breakdowns in input order.
+///
+/// Deterministic for every jobs value, including 1: each cell is an
+/// independent simulation writing only its own result slot, and metrics are
+/// folded in cell order after all cells finish — every cell publishes into a
+/// private registry which is then merged into the cell's `metrics` target
+/// (counters add, gauges last-cell-wins, exactly as if the cells had run
+/// serially). Configs sharing a `trace` sink are the one exception: trace
+/// events from concurrent cells would interleave, so give each cell its own
+/// sink (or run with jobs = 1).
+std::vector<Breakdown> run_sweep(const std::vector<StudyConfig>& configs,
+                                 int jobs = 0);
 
 /// Build and finalize the configured workload program (shared helper).
 sim::Program build_workload(const StudyConfig& config);

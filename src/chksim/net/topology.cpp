@@ -9,6 +9,18 @@
 
 namespace chksim::net {
 
+namespace {
+
+// Sampling seeds for the estimators below. Streams are derived with
+// Rng::substream(seed, nodes) instead of seeding the generator with a raw
+// literal: the splitmix64 derivation decorrelates the stream both from other
+// consumers of small literal seeds and across system sizes, while staying
+// fully deterministic for a given topology.
+constexpr std::uint64_t kMeanHopsSeed = 0xABCDEF;
+constexpr std::uint64_t kDiameterSeed = 0x13579B;
+
+}  // namespace
+
 double Topology::mean_hops(int max_exact) const {
   const int n = nodes();
   if (n < 2) return 0.0;
@@ -24,7 +36,7 @@ double Topology::mean_hops(int max_exact) const {
     return sum / static_cast<double>(pairs);
   }
   // Deterministic sampling for big systems.
-  Rng rng(0xABCDEF);
+  Rng rng = Rng::substream(kMeanHopsSeed, static_cast<std::uint64_t>(n));
   double sum = 0;
   const int samples = 200'000;
   int counted = 0;
@@ -47,7 +59,7 @@ int Topology::diameter(int max_exact) const {
       for (sim::RankId b = a + 1; b < n; ++b) best = std::max(best, hops(a, b));
     return best;
   }
-  Rng rng(0x13579B);
+  Rng rng = Rng::substream(kDiameterSeed, static_cast<std::uint64_t>(n));
   for (int i = 0; i < 200'000; ++i) {
     const auto a = static_cast<sim::RankId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
     const auto b = static_cast<sim::RankId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));

@@ -88,6 +88,19 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name) const 
   return it != histograms_.end() ? &it->second : nullptr;
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      histograms_.emplace(name, h);
+    else
+      it->second.merge(h);
+  }
+}
+
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();

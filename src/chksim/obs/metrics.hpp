@@ -41,6 +41,15 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, double lo, double hi, int bins);
   const Histogram* find_histogram(const std::string& name) const;
 
+  /// Fold another registry into this one: counters add, gauges last-write-
+  /// wins (the merged-in registry wins), streaming stats merge via the
+  /// parallel Welford update, and same-named histograms (which must share a
+  /// shape) accumulate bin-wise. Used by parallel drivers, which give every
+  /// task a private registry and merge them in task-index order after the
+  /// batch barrier — so the combined registry is byte-identical for any
+  /// --jobs value.
+  void merge(const MetricsRegistry& other);
+
   void clear();
   bool empty() const;
 

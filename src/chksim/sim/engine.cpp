@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 #include <unordered_map>
+
+#include "chksim/support/dary_heap.hpp"
+#include "chksim/support/flat_map.hpp"
 
 namespace chksim::sim {
 
@@ -22,23 +24,28 @@ double RunResult::mean_cpu_busy() const {
 
 namespace {
 
-enum class EventKind : std::uint8_t { kReady, kArrival };
-
+/// One pending event, packed to 40 bytes: the heap moves events around on
+/// every sift, so element size is hot. The kind rides in seq_kind's low bit
+/// (the shifted seq keeps its strict FIFO tie-break order), and the
+/// kReady-only / kArrival-only fields share storage.
 struct Event {
   TimeNs time = 0;
-  std::uint64_t seq = 0;  // tie-breaker: strict FIFO among equal-time events
-  EventKind kind = EventKind::kReady;
-  RankId rank = -1;   // kReady: executing rank; kArrival: destination rank
-  OpIndex op = kInvalidOp;  // kReady only
-  RankId src = -1;    // kArrival only
-  Tag tag = 0;        // kArrival only
-  Bytes bytes = 0;    // kArrival only
+  std::uint64_t seq_kind = 0;  // (push seq << 1) | kind; kind: 0 ready, 1 arrival
+  Bytes bytes = 0;             // kArrival payload size
+  RankId rank = -1;            // kReady: executing rank; kArrival: destination
+  union {
+    OpIndex op = kInvalidOp;   // kReady
+    RankId src;                // kArrival
+  };
+  Tag tag = 0;                 // kArrival
+
+  bool is_arrival() const { return (seq_kind & 1) != 0; }
 };
 
-struct EventLater {
+struct EventEarlier {
   bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq_kind < b.seq_kind;
   }
 };
 
@@ -62,40 +69,89 @@ std::uint64_t match_key(RankId src, Tag tag) {
 /// Compact FIFO. std::deque is unsuitable here: libstdc++ allocates a 512 B
 /// chunk per deque even when empty, and simulations at scale hold millions
 /// of (mostly empty) match queues.
+///
+/// Two properties matter on the hot path:
+///  * the first two elements live inline — in the dominant pattern (one
+///    message, one receive per (src, tag) key) a queue never heap-allocates;
+///  * the consumed prefix of the spill vector is reclaimed: on full drain the
+///    backing vector is released, and while non-empty the head indices are
+///    recycled once they dominate the storage. Without the latter, a queue
+///    that never fully drains (producer steadily ahead of its consumer)
+///    holds every element it ever saw until the end of the run.
 template <typename T>
-class SmallFifo {
+class CompactFifo {
  public:
-  bool empty() const { return head_ == items_.size(); }
-  void push(T v) { items_.push_back(std::move(v)); }
+  bool empty() const { return inline_head_ == inline_count_ && spill_empty(); }
+
+  void push(T v) {
+    if (spill_empty() && inline_count_ < kInline) {
+      inline_[inline_count_++] = std::move(v);
+      return;
+    }
+    spill_.push_back(std::move(v));
+  }
+
   T pop() {
-    T v = items_[head_++];
-    if (head_ == items_.size()) {
-      items_.clear();
-      head_ = 0;
-      if (items_.capacity() > 64) items_.shrink_to_fit();
+    if (inline_head_ < inline_count_) {
+      T v = std::move(inline_[inline_head_++]);
+      if (inline_head_ == inline_count_) inline_head_ = inline_count_ = 0;
+      return v;
+    }
+    T v = std::move(spill_[spill_head_++]);
+    if (spill_head_ == spill_.size()) {
+      spill_.clear();
+      spill_head_ = 0;
+      if (spill_.capacity() > 64) spill_.shrink_to_fit();
+    } else if (spill_head_ >= 32 && spill_head_ * 2 >= spill_.size()) {
+      spill_.erase(spill_.begin(),
+                   spill_.begin() + static_cast<std::ptrdiff_t>(spill_head_));
+      spill_head_ = 0;
     }
     return v;
   }
-  std::size_t size() const { return items_.size() - head_; }
+
+  std::size_t size() const {
+    return (inline_count_ - inline_head_) + (spill_.size() - spill_head_);
+  }
 
  private:
-  std::vector<T> items_;
-  std::size_t head_ = 0;
+  static constexpr std::uint8_t kInline = 2;
+
+  bool spill_empty() const { return spill_head_ == spill_.size(); }
+
+  T inline_[kInline]{};
+  std::uint8_t inline_head_ = 0;
+  std::uint8_t inline_count_ = 0;
+  std::vector<T> spill_;
+  std::size_t spill_head_ = 0;
 };
 
 struct MatchQueues {
-  SmallFifo<PostedRecv> posted;
-  SmallFifo<ArrivedMsg> arrived;
+  CompactFifo<PostedRecv> posted;
+  CompactFifo<ArrivedMsg> arrived;
 };
 
 struct RankState {
   TimeNs cpu_free = 0;
   TimeNs nic_free = 0;
   std::vector<std::uint32_t> indegree;
-  std::unordered_map<std::uint64_t, MatchQueues> match;
-  std::unordered_map<RankId, TimeNs> chan_last_arrival;  // per-source FIFO clamp
+  // Match state arena: the flat index maps (src, tag) to slot + 1 in the
+  // pool (0 = unassigned), so rehashes shuffle 16-byte entries while the
+  // queues themselves stay put in one contiguous allocation.
+  FlatMap<std::uint64_t, std::uint32_t> match_index;
+  std::vector<MatchQueues> match_pool;
+  FlatMap<std::uint64_t, TimeNs> chan_last_arrival;  // per-source FIFO clamp
   RankStats stats;
   TimeNs blackout_traced = 0;  // tracing only: blackout intervals emitted up to here
+
+  MatchQueues& match(std::uint64_t key) {
+    std::uint32_t& slot = match_index[key];
+    if (slot == 0) {
+      match_pool.emplace_back();
+      slot = static_cast<std::uint32_t>(match_pool.size());
+    }
+    return match_pool[slot - 1];
+  }
 };
 
 class Run {
@@ -107,12 +163,17 @@ class Run {
         avail_(config.blackouts != nullptr
                    ? static_cast<const BlackoutSchedule*>(config.blackouts)
                    : static_cast<const BlackoutSchedule*>(&no_blackouts_),
-              config.preemption) {}
+              config.preemption),
+        always_available_(config.blackouts == nullptr) {}
 
   RunResult execute() {
     const int nranks = prog_.ranks();
     states_.resize(static_cast<std::size_t>(nranks));
     if (cfg_.record_op_finish) result_.op_finish.resize(static_cast<std::size_t>(nranks));
+    // The initial frontier is roughly one ready op per rank; later pushes
+    // grow geometrically, so this one reservation makes queue growth a
+    // non-event on the hot path.
+    queue_.reserve(static_cast<std::size_t>(nranks) + 64);
     std::int64_t total_ops = 0;
     for (RankId r = 0; r < nranks; ++r) {
       const auto& ops = prog_.ops(r);
@@ -131,11 +192,11 @@ class Run {
       const Event ev = queue_.top();
       queue_.pop();
       ++result_.events_processed;
-      if (ev.kind == EventKind::kReady) {
+      if (!ev.is_arrival()) {
         execute_op(ev.rank, ev.op, ev.time);
       } else {
         handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
-                       trace_ != nullptr ? take_arrival_msg_seq(ev.seq) : 0);
+                       trace_ != nullptr ? take_arrival_msg_seq(ev.seq_kind) : 0);
       }
     }
 
@@ -150,8 +211,7 @@ class Run {
   void push_ready(TimeNs t, RankId r, OpIndex i) {
     Event ev;
     ev.time = t;
-    ev.seq = next_seq_++;
-    ev.kind = EventKind::kReady;
+    ev.seq_kind = next_seq_++ << 1;
     ev.rank = r;
     ev.op = i;
     queue_.push(ev);
@@ -161,16 +221,22 @@ class Run {
                     std::uint64_t msg_seq) {
     Event ev;
     ev.time = t;
-    ev.seq = next_seq_++;
-    ev.kind = EventKind::kArrival;
+    ev.seq_kind = (next_seq_++ << 1) | 1;
     ev.rank = dst;
     ev.src = src;
     ev.tag = tag;
     ev.bytes = bytes;
     // The kMsgInject trace seq rides in a side table rather than in Event:
     // growing the priority-queue element would tax the untraced hot path.
-    if (msg_seq != 0) arrival_msg_seq_.emplace(ev.seq, msg_seq);
+    if (msg_seq != 0) arrival_msg_seq_.emplace(ev.seq_kind, msg_seq);
     queue_.push(ev);
+  }
+
+  /// When the rank is always available (no blackout schedule), work finishes
+  /// start + work with no virtual schedule query — the base run of every
+  /// study takes this path for all of its ops.
+  TimeNs finish(RankId r, TimeNs start, TimeNs work) {
+    return always_available_ ? start + work : avail_.finish(r, start, work);
   }
 
   std::uint64_t take_arrival_msg_seq(std::uint64_t event_seq) {
@@ -227,7 +293,7 @@ class Run {
     switch (op.kind) {
       case OpKind::kCalc: {
         const TimeNs start = std::max(t, st.cpu_free);
-        const TimeNs end = avail_.finish(r, start, op.value);
+        const TimeNs end = finish(r, start, op.value);
         st.cpu_free = end;
         st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, op.value);
         ++st.stats.calcs;
@@ -240,7 +306,7 @@ class Run {
         TimeNs cpu_work = cfg_.net.send_cpu(bytes);
         if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_send_cpu(r, op.peer, bytes);
         const TimeNs s0 = std::max({t, st.cpu_free, st.nic_free});
-        const TimeNs end = avail_.finish(r, s0, cpu_work);
+        const TimeNs end = finish(r, s0, cpu_work);
         st.cpu_free = end;
         st.nic_free = end + cfg_.net.nic_gap(bytes);
         st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
@@ -253,7 +319,8 @@ class Run {
                                                     : end + cfg_.net.wire_time(bytes);
         // Per-channel FIFO (MPI non-overtaking).
         auto& dst_state = states_[static_cast<std::size_t>(op.peer)];
-        TimeNs& last = dst_state.chan_last_arrival[r];
+        TimeNs& last = dst_state.chan_last_arrival[static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(r))];
         arrival = std::max(arrival, last);
         last = arrival;
         std::uint64_t msg_seq = 0;
@@ -264,8 +331,7 @@ class Run {
         break;
       }
       case OpKind::kRecv: {
-        const std::uint64_t key = match_key(op.peer, op.tag);
-        auto& mq = st.match[key];
+        auto& mq = st.match(match_key(op.peer, op.tag));
         if (!mq.arrived.empty()) {
           do_match(r, i, t, mq.arrived.pop());
         } else {
@@ -279,7 +345,7 @@ class Run {
   void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t,
                       std::uint64_t msg_seq) {
     auto& st = states_[static_cast<std::size_t>(dst)];
-    auto& mq = st.match[match_key(src, tag)];
+    auto& mq = st.match(match_key(src, tag));
     if (!mq.posted.empty()) {
       const PostedRecv pr = mq.posted.pop();
       do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes, msg_seq});
@@ -303,7 +369,7 @@ class Run {
     TimeNs cpu_work = cfg_.net.recv_cpu(msg.bytes);
     if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_recv_cpu(op.peer, r, msg.bytes);
     const TimeNs start = std::max(data_arrival, st.cpu_free);
-    const TimeNs end = avail_.finish(r, start, cpu_work);
+    const TimeNs end = finish(r, start, cpu_work);
     st.cpu_free = end;
     st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
     ++st.stats.recvs;
@@ -377,10 +443,8 @@ class Run {
     for (RankId r = 0; r < prog_.ranks() && shown < 8; ++r) {
       const auto& st = states_[static_cast<std::size_t>(r)];
       std::int64_t pending_recvs = 0;
-      for (const auto& [key, mq] : st.match) {
-        (void)key;
+      for (const MatchQueues& mq : st.match_pool)
         pending_recvs += static_cast<std::int64_t>(mq.posted.size());
-      }
       if (pending_recvs > 0) {
         msg += " rank " + std::to_string(r) + " has " +
                std::to_string(pending_recvs) + " unmatched recv(s);";
@@ -395,8 +459,9 @@ class Run {
   TraceSink* const trace_;
   NoBlackouts no_blackouts_;
   Availability avail_;
+  const bool always_available_;
   std::vector<RankState> states_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  DaryHeap<Event, EventEarlier, 4> queue_;
   std::uint64_t next_seq_ = 0;
   // Event seq of an in-flight arrival -> trace seq of its kMsgInject.
   // Populated only while tracing; empty (and untouched) otherwise.

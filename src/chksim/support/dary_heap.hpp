@@ -1,0 +1,69 @@
+// DaryHeap: a d-ary (default 4-ary) binary-heap replacement for
+// std::priority_queue on the simulator's event queue.
+//
+// A 4-ary heap is ~half as deep as a binary heap, so pops touch fewer cache
+// lines; with chksim's large Event elements the fan-out-4 sift-down wins
+// measurably. The comparator is a *less/earlier* predicate (min-heap):
+// earlier(a, b) == true means a must pop before b — matching the engine's
+// strict (time, seq) total order, under which any correct heap pops the
+// identical event sequence.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace chksim {
+
+template <typename T, typename Earlier, std::size_t D = 4>
+class DaryHeap {
+ public:
+  static_assert(D >= 2, "a heap needs at least binary fan-out");
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  const T& top() const { return v_.front(); }
+
+  void push(T value) {
+    // Hole insertion: slide parents down into the hole instead of swapping,
+    // one move per level instead of three.
+    std::size_t i = v_.size();
+    v_.emplace_back();
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / D;
+      if (!earlier_(value, v_[parent])) break;
+      v_[i] = std::move(v_[parent]);
+      i = parent;
+    }
+    v_[i] = std::move(value);
+  }
+
+  void pop() {
+    T last = std::move(v_.back());
+    v_.pop_back();
+    if (v_.empty()) return;
+    const std::size_t n = v_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * D + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + D, n);
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (earlier_(v_[c], v_[best])) best = c;
+      if (!earlier_(v_[best], last)) break;
+      v_[i] = std::move(v_[best]);
+      i = best;
+    }
+    v_[i] = std::move(last);
+  }
+
+ private:
+
+  std::vector<T> v_;
+  Earlier earlier_;
+};
+
+}  // namespace chksim

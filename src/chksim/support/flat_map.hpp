@@ -1,0 +1,100 @@
+// FlatMap: a minimal open-addressing hash table for the simulator hot path.
+//
+// std::unordered_map allocates one node per element and chases a pointer per
+// lookup; the engine does a map lookup per receive/arrival/send, which
+// dominates its profile at scale. FlatMap keeps all slots in one contiguous
+// array (a per-rank arena), probes linearly from a multiplicative hash, and
+// supports exactly the operations the engine needs: find, operator[]
+// (insert-or-get), and iteration. No erase — simulation state only grows
+// within a run and is dropped wholesale at the end.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace chksim {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  /// Insert-or-get. The returned reference is invalidated by the next
+  /// insertion (the slot array may rehash).
+  Value& operator[](Key key) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) grow();
+    std::size_t i = probe(key);
+    if (!slots_[i].used) {
+      slots_[i].used = true;
+      slots_[i].key = key;
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  /// Null when absent. Invalidated like operator[].
+  Value* find(Key key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t i = probe(key);
+    return slots_[i].used ? &slots_[i].value : nullptr;
+  }
+  const Value* find(Key key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visit every (key, value) pair; order is unspecified (cold paths only —
+  /// deadlock diagnostics iterate, the hot path never does).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.used) fn(s.key, s.value);
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    bool used = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finalizer: full-avalanche, so linear probing stays short
+    // even for the engine's structured (src << 32 | tag) keys.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  std::size_t probe(Key key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) & mask;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(old.empty() ? 16 : old.size() * 2);
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i =
+          static_cast<std::size_t>(mix(static_cast<std::uint64_t>(s.key))) & mask;
+      while (slots_[i].used) i = (i + 1) & mask;
+      slots_[i].used = true;
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace chksim

@@ -1,0 +1,208 @@
+#include "chksim/support/parallel.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chksim::par {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_jobs(int jobs) { return jobs <= 0 ? hardware_jobs() : jobs; }
+
+struct ThreadPool::Impl {
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> threads;
+  std::mutex wake_mutex;
+  std::condition_variable wake;
+  std::atomic<std::int64_t> pending{0};
+  std::atomic<std::uint64_t> submit_cursor{0};
+  bool stopping = false;  // guarded by wake_mutex
+
+  std::function<void()> try_take(std::size_t self) {
+    const std::size_t n = workers.size();
+    // Own queue first (LIFO: best cache locality for freshly pushed work) …
+    {
+      Worker& w = *workers[self];
+      std::lock_guard<std::mutex> lock(w.mutex);
+      if (!w.queue.empty()) {
+        auto task = std::move(w.queue.back());
+        w.queue.pop_back();
+        return task;
+      }
+    }
+    // … then steal from the others, oldest task first.
+    for (std::size_t k = 1; k < n; ++k) {
+      Worker& w = *workers[(self + k) % n];
+      std::lock_guard<std::mutex> lock(w.mutex);
+      if (!w.queue.empty()) {
+        auto task = std::move(w.queue.front());
+        w.queue.pop_front();
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  bool try_run_one() {
+    std::function<void()> task = try_take(0);
+    if (task == nullptr) return false;
+    pending.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    return true;
+  }
+
+  void run_worker(std::size_t self) {
+    for (;;) {
+      std::function<void()> task = try_take(self);
+      if (task == nullptr) {
+        std::unique_lock<std::mutex> lock(wake_mutex);
+        wake.wait(lock, [&] {
+          return stopping || pending.load(std::memory_order_acquire) > 0;
+        });
+        if (pending.load(std::memory_order_acquire) == 0 && stopping) return;
+        continue;
+      }
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  int n = threads;
+  if (n <= 0) n = std::max(3, hardware_jobs() - 1);
+  impl_->workers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    impl_->workers.push_back(std::make_unique<Impl::Worker>());
+  impl_->threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    impl_->threads.emplace_back(
+        [impl = impl_.get(), i] { impl->run_worker(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+int ThreadPool::threads() const { return static_cast<int>(impl_->threads.size()); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t w =
+      static_cast<std::size_t>(impl_->submit_cursor.fetch_add(1)) %
+      impl_->workers.size();
+  {
+    std::lock_guard<std::mutex> lock(impl_->workers[w]->mutex);
+    impl_->workers[w]->queue.push_back(std::move(task));
+  }
+  impl_->pending.fetch_add(1, std::memory_order_acq_rel);
+  impl_->wake.notify_one();
+}
+
+bool ThreadPool::try_run_one() { return impl_->try_run_one(); }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+namespace {
+
+struct BatchState {
+  std::int64_t count = 0;
+  const std::function<void(std::int64_t)>* task = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  int helpers_left = 0;             // guarded by mutex
+  std::exception_ptr error;         // guarded by mutex
+  std::int64_t error_index = -1;    // guarded by mutex
+
+  // Claims are handed out in index order, so when index k throws, every
+  // index < k has already been claimed and will run to completion before the
+  // batch returns — the lowest recorded error is therefore the same for any
+  // jobs value.
+  void drain() {
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error_index < 0 || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void for_each_index(std::int64_t count, int jobs,
+                    const std::function<void(std::int64_t)>& task) {
+  jobs = resolve_jobs(jobs);
+  if (count <= 0) return;
+
+  ThreadPool& pool = ThreadPool::shared();
+  const int helpers = static_cast<int>(std::min<std::int64_t>(
+      std::min(jobs - 1, pool.threads()), count - 1));
+  if (helpers <= 0) {
+    for (std::int64_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  auto state = std::make_shared<BatchState>();
+  state->count = count;
+  state->task = &task;
+  state->helpers_left = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    pool.submit([state] {
+      state->drain();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->helpers_left == 0) state->done.notify_all();
+    });
+  }
+  state->drain();
+  // Wait for every helper closure to have run (a helper that starts after
+  // the work is exhausted simply finds nothing to claim). While waiting,
+  // help execute queued pool tasks: if all workers are blocked inside nested
+  // batches of their own, the blocked callers run each other's helper
+  // closures, so a nested batch can never deadlock the pool.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  while (state->helpers_left > 0) {
+    lock.unlock();
+    const bool helped = pool.try_run_one();
+    lock.lock();
+    if (!helped) {
+      state->done.wait_for(lock, std::chrono::milliseconds(1),
+                           [&] { return state->helpers_left == 0; });
+    }
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace chksim::par

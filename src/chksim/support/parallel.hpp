@@ -1,0 +1,81 @@
+// chksim::par — a small work-stealing thread pool and a deterministic
+// task-batch API.
+//
+// chksim's studies decompose into many independent simulations (sweep cells,
+// Monte-Carlo trials, base/perturbed engine runs). This module runs such
+// batches on all cores while guaranteeing that the *results* are
+// byte-identical for any --jobs value, including 1:
+//
+//  * a batch is an indexed set of tasks; task i derives all of its random
+//    state from (seed, i) and writes only to result slot i, so scheduling
+//    order cannot leak into the output;
+//  * any serial reduction over the slots (stats, percentiles, metrics
+//    merging) happens after the batch barrier, in index order.
+//
+// The pool itself is one process-wide set of workers (ThreadPool::shared()),
+// each owning a deque: a worker pops its own queue LIFO and steals from the
+// others FIFO when empty. Batches cap their concurrency at `jobs` by
+// enlisting at most jobs-1 workers; the calling thread always participates,
+// so a batch makes progress even when every worker is busy (nested batches
+// cannot deadlock).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace chksim::par {
+
+/// Number of concurrent executors used when jobs == 0 ("auto"): the
+/// hardware concurrency, at least 1.
+int hardware_jobs();
+
+/// Resolve a --jobs style request: values <= 0 mean hardware_jobs().
+int resolve_jobs(int jobs);
+
+/// A fixed-size work-stealing thread pool. Tasks submitted from outside are
+/// distributed round-robin across the per-worker deques; idle workers steal
+/// from their neighbours. The destructor drains all queued tasks, then joins.
+class ThreadPool {
+ public:
+  /// threads <= 0 selects hardware_jobs() - 1 (the submitting thread is
+  /// expected to participate in batches), but at least 3 so that the
+  /// determinism and race tests exercise real concurrency even on
+  /// single-core CI containers (idle workers cost nothing but a condvar).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const;
+
+  /// Enqueue one task. Tasks must not throw (batch tasks are wrapped by
+  /// for_each_index, which captures exceptions; raw submissions that throw
+  /// terminate).
+  void submit(std::function<void()> task);
+
+  /// Pop and execute one queued task on the calling thread, if any.
+  /// Used by batch waiters to lend a hand instead of blocking.
+  bool try_run_one();
+
+  /// The process-wide pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Deterministic batch execution: runs task(i) for every i in [0, count)
+/// using up to `jobs` concurrent executors (the calling thread plus at most
+/// jobs-1 shared-pool workers). Returns after every started task finished.
+///
+/// Exceptions: if any task throws, the batch stops claiming new indices,
+/// finishes the tasks already started, and rethrows the exception with the
+/// lowest index (which later indices also ran is unspecified — but every
+/// index below a throwing one has run to completion, so the rethrown error
+/// is the same for every jobs value).
+void for_each_index(std::int64_t count, int jobs,
+                    const std::function<void(std::int64_t)>& task);
+
+}  // namespace chksim::par

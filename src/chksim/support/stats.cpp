@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace chksim {
 
@@ -102,6 +103,16 @@ void Histogram::add(double x) {
     return;
   }
   ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || width_ != other.width_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 std::string Histogram::to_string(int bar_width) const {

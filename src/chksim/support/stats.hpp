@@ -69,6 +69,11 @@ class Histogram {
   Histogram(double lo, double hi, int bins);
 
   void add(double x);
+
+  /// Accumulate another histogram of the same shape ([lo, hi) and bin
+  /// count); throws std::invalid_argument on a shape mismatch.
+  void merge(const Histogram& other);
+
   std::int64_t bin_count(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
   std::int64_t underflow() const { return underflow_; }
   std::int64_t overflow() const { return overflow_; }

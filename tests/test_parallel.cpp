@@ -1,0 +1,282 @@
+// chksim::par thread pool + deterministic-parallelism contract tests.
+//
+// Two layers: (1) the pool/batch primitives themselves (all indices run,
+// submission order does not matter, exceptions propagate as the lowest
+// throwing index, nested batches do not deadlock); (2) the end-to-end
+// guarantee the ISSUE promises — run_sweep, the recovery Monte-Carlo, and
+// traced studies produce byte-identical results for --jobs 1/2/8.
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chksim/ckpt/recovery.hpp"
+#include "chksim/core/failure_study.hpp"
+#include "chksim/core/study.hpp"
+#include "chksim/fault/failures.hpp"
+#include "chksim/obs/export.hpp"
+#include "chksim/obs/tracer.hpp"
+#include "chksim/support/parallel.hpp"
+
+namespace {
+
+using namespace chksim;
+using namespace chksim::literals;
+
+// ---------------------------------------------------------------------------
+// Pool / batch primitives.
+
+TEST(Parallel, ResolveJobs) {
+  EXPECT_GE(par::hardware_jobs(), 1);
+  EXPECT_EQ(par::resolve_jobs(0), par::hardware_jobs());
+  EXPECT_EQ(par::resolve_jobs(-3), par::hardware_jobs());
+  EXPECT_EQ(par::resolve_jobs(5), 5);
+}
+
+TEST(Parallel, ZeroAndNegativeCountsAreNoOps) {
+  std::atomic<int> ran{0};
+  par::for_each_index(0, 8, [&](std::int64_t) { ran.fetch_add(1); });
+  par::for_each_index(-4, 8, [&](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    const std::int64_t n = 257;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    par::for_each_index(n, jobs, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, SlotResultsIndependentOfJobs) {
+  // The indexed-slot discipline: task i writes slot i from (i) alone, so
+  // the slot vector is identical whatever the concurrency.
+  auto run = [](int jobs) {
+    std::vector<std::uint64_t> slots(500);
+    par::for_each_index(500, jobs, [&](std::int64_t i) {
+      std::uint64_t x = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL + 1;
+      for (int k = 0; k < 10; ++k) x ^= x >> 27, x *= 0x2545f4914f6cdd1dULL;
+      slots[static_cast<std::size_t>(i)] = x;
+    });
+    return slots;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(Parallel, ExceptionPropagatesLowestIndex) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> ran(64);
+    try {
+      par::for_each_index(64, jobs, [&](std::int64_t i) {
+        ran[static_cast<std::size_t>(i)].fetch_add(1);
+        if (i == 7 || i == 23) throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 7") << "jobs=" << jobs;
+    }
+    // Every index below the throwing one ran (claims are handed out in
+    // index order).
+    for (int i = 0; i < 7; ++i)
+      EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1) << "jobs=" << jobs;
+  }
+}
+
+TEST(Parallel, NestedBatchesComplete) {
+  // Saturate the pool with outer tasks that each run an inner batch; the
+  // work-helping waiters must keep everything moving (no deadlock).
+  std::atomic<std::int64_t> total{0};
+  par::for_each_index(8, 8, [&](std::int64_t) {
+    par::for_each_index(16, 4, [&](std::int64_t j) { total.fetch_add(j + 1); });
+  });
+  EXPECT_EQ(total.load(), 8 * (16 * 17) / 2);
+}
+
+TEST(Parallel, PoolSubmissionOrderIndependence) {
+  // Raw submissions complete regardless of which worker queue they land on
+  // (the cursor distributes round-robin; idle workers steal).
+  par::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { done.fetch_add(1); });
+  while (done.load() < 100) {
+    if (!pool.try_run_one()) std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism across --jobs values.
+
+core::StudyConfig small_study(obs::MetricsRegistry* metrics, sim::TraceSink* trace,
+                              int jobs) {
+  core::StudyConfig cfg;
+  cfg.machine.ckpt_bytes_per_node = static_cast<Bytes>(
+      0.10 * units::to_seconds(TimeNs{10_ms}) * cfg.machine.node_bw_bytes_per_s);
+  cfg.machine.pfs_bw_bytes_per_s = cfg.machine.node_bw_bytes_per_s * 1e7;
+  cfg.workload = "halo3d";
+  cfg.params.ranks = 64;
+  cfg.params.iterations = 8;
+  cfg.params.compute = 1_ms;
+  cfg.params.bytes = 8_KiB;
+  cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+  cfg.protocol.fixed_interval = 10_ms;
+  cfg.metrics = metrics;
+  cfg.trace = trace;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+bool same_breakdown(const core::Breakdown& a, const core::Breakdown& b) {
+  return a.ranks == b.ranks && a.workload == b.workload && a.protocol == b.protocol &&
+         a.interval == b.interval && a.blackout == b.blackout &&
+         a.coordination_time == b.coordination_time && a.write_time == b.write_time &&
+         a.base_makespan == b.base_makespan &&
+         a.perturbed_makespan == b.perturbed_makespan && a.slowdown == b.slowdown &&
+         a.overhead_fraction == b.overhead_fraction &&
+         a.propagation_factor == b.propagation_factor &&
+         a.recv_wait_base == b.recv_wait_base &&
+         a.recv_wait_perturbed == b.recv_wait_perturbed && a.ops == b.ops &&
+         a.msgs == b.msgs && a.bytes_sent == b.bytes_sent;
+}
+
+TEST(ParallelDeterminism, StudyIdenticalAcrossJobs) {
+  // One study: breakdown, metrics JSON, and the full trace bytes must be
+  // byte-identical whether the engine pair runs on 1, 2, or 8 threads.
+  std::vector<core::Breakdown> breakdowns;
+  std::vector<std::string> reports;
+  std::vector<std::string> traces;
+  for (const int jobs : {1, 2, 8}) {
+    obs::MetricsRegistry metrics;
+    obs::EventTracer tracer(64);
+    breakdowns.push_back(core::run_study(small_study(&metrics, &tracer, jobs)));
+    reports.push_back(metrics.to_json());
+    std::ostringstream trace_bytes;
+    obs::write_chrome_trace(tracer, trace_bytes);
+    traces.push_back(trace_bytes.str());
+  }
+  for (std::size_t i = 1; i < breakdowns.size(); ++i) {
+    EXPECT_TRUE(same_breakdown(breakdowns[0], breakdowns[i]));
+    EXPECT_EQ(reports[0], reports[i]);
+    EXPECT_EQ(traces[0], traces[i]);
+  }
+  EXPECT_FALSE(traces[0].empty());
+}
+
+TEST(ParallelDeterminism, SweepIdenticalAcrossJobs) {
+  auto sweep = [&](int jobs) {
+    std::vector<core::StudyConfig> cells;
+    obs::MetricsRegistry metrics;
+    for (int ranks : {16, 32, 64}) {
+      core::StudyConfig cfg = small_study(&metrics, nullptr, 1);
+      cfg.params.ranks = ranks;
+      cells.push_back(cfg);
+    }
+    const std::vector<core::Breakdown> out = core::run_sweep(cells, jobs);
+    return std::make_pair(out, metrics.to_json());
+  };
+  const auto serial = sweep(1);
+  for (const int jobs : {2, 8}) {
+    const auto par_run = sweep(jobs);
+    ASSERT_EQ(serial.first.size(), par_run.first.size());
+    for (std::size_t i = 0; i < serial.first.size(); ++i)
+      EXPECT_TRUE(same_breakdown(serial.first[i], par_run.first[i])) << "cell " << i;
+    EXPECT_EQ(serial.second, par_run.second) << "jobs=" << jobs;
+  }
+  EXPECT_NE(serial.second.find("study.slowdown"), std::string::npos);
+}
+
+TEST(ParallelDeterminism, RecoveryMonteCarloIdenticalAcrossJobs) {
+  ckpt::RecoveryParams rp;
+  rp.kind = ckpt::ProtocolKind::kCoordinated;
+  rp.work_seconds = 3600;
+  rp.slowdown = 1.1;
+  rp.interval_seconds = 120;
+  rp.restart_seconds = 30;
+  fault::Exponential dist(1800);
+
+  auto mc = [&](int jobs) {
+    obs::MetricsRegistry metrics;
+    const ckpt::MakespanResult r =
+        ckpt::simulate_makespan(rp, dist, 400, 1234, &metrics, jobs);
+    return std::make_pair(r, metrics.to_json());
+  };
+  const auto serial = mc(1);
+  EXPECT_GT(serial.first.mean_failures, 0.0);
+  for (const int jobs : {2, 8}) {
+    const auto par_run = mc(jobs);
+    // Byte-identical: the reduction runs serially in trial order for every
+    // jobs value, so even floating-point accumulation matches exactly.
+    EXPECT_EQ(serial.first.mean_seconds, par_run.first.mean_seconds);
+    EXPECT_EQ(serial.first.stddev_seconds, par_run.first.stddev_seconds);
+    EXPECT_EQ(serial.first.p95_seconds, par_run.first.p95_seconds);
+    EXPECT_EQ(serial.first.mean_failures, par_run.first.mean_failures);
+    EXPECT_EQ(serial.first.efficiency, par_run.first.efficiency);
+    EXPECT_EQ(serial.second, par_run.second);
+  }
+}
+
+TEST(ParallelDeterminism, FailureSweepIdenticalAcrossJobs) {
+  auto sweep = [&](int jobs) {
+    std::vector<core::FailureStudyConfig> cells;
+    for (int ranks : {16, 32}) {
+      core::FailureStudyConfig cfg;
+      cfg.study = small_study(nullptr, nullptr, 1);
+      cfg.study.params.ranks = ranks;
+      cfg.trials = 50;
+      cfg.work_seconds = 3600;
+      cfg.recovery_interval_seconds = 120;
+      cfg.study.machine.node_mtbf_hours = 100;
+      cells.push_back(cfg);
+    }
+    return core::run_failure_sweep(cells, jobs);
+  };
+  const auto serial = sweep(1);
+  for (const int jobs : {2, 8}) {
+    const auto par_run = sweep(jobs);
+    ASSERT_EQ(serial.size(), par_run.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(same_breakdown(serial[i].breakdown, par_run[i].breakdown));
+      EXPECT_EQ(serial[i].makespan.mean_seconds, par_run[i].makespan.mean_seconds);
+      EXPECT_EQ(serial[i].makespan.p95_seconds, par_run[i].makespan.p95_seconds);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, MetricsMergeMatchesSerialSemantics) {
+  // merge(): counters add, gauges last-write-wins, histograms accumulate.
+  obs::MetricsRegistry a, b;
+  a.add_counter("c", 2);
+  b.add_counter("c", 3);
+  a.set_gauge("g", 1.0);
+  b.set_gauge("g", 7.0);
+  a.stats("s").add(1.0);
+  b.stats("s").add(3.0);
+  a.histogram("h", 0, 10, 5).add(1.0);
+  b.histogram("h", 0, 10, 5).add(9.0);
+  b.histogram("only_b", 0, 1, 2).add(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5);
+  EXPECT_EQ(a.gauge("g"), 7.0);
+  EXPECT_EQ(a.find_stats("s")->count(), 2);
+  EXPECT_EQ(a.find_stats("s")->mean(), 2.0);
+  EXPECT_EQ(a.find_histogram("h")->total(), 2);
+  ASSERT_NE(a.find_histogram("only_b"), nullptr);
+  EXPECT_EQ(a.find_histogram("only_b")->total(), 1);
+
+  obs::MetricsRegistry c;
+  c.histogram("h", 0, 20, 5);  // same name, different shape
+  EXPECT_THROW(c.merge(a), std::invalid_argument);
+}
+
+}  // namespace
