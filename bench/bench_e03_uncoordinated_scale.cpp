@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
   const std::vector<const char*> workloads =
       opt.smoke ? std::vector<const char*>{"halo3d"}
                 : std::vector<const char*>{"halo3d", "hpccg", "sweep2d", "ep"};
-  const std::vector<int> scales =
+  std::vector<int> scales =
       opt.smoke ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024, 4096};
+  if (opt.ranks > 0) scales = {opt.ranks};
 
   // Two cells per row: coordinated at 2i, uncoordinated at 2i + 1.
   std::vector<core::StudyConfig> cells;

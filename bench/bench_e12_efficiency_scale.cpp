@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   // (two independent studies — one sweep).
   const TimeNs sim_interval = 10_ms;
   const double sim_duty = 0.08;
+  const int kappa_ranks = opt.ranks > 0 ? opt.ranks : 1024;
   double kappa_aligned = 1.0;
   double kappa_random = 1.0;
   {
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     cfg.machine = benchutil::scaled_machine(net::infiniband_system(), sim_interval,
                                             sim_duty);
     cfg.workload = "halo3d";
-    cfg.params = benchutil::sized_params(1024, sim_interval, 4, 1_ms, 8_KiB);
+    cfg.params = benchutil::sized_params(kappa_ranks, sim_interval, 4, 1_ms, 8_KiB);
     cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
     cfg.protocol.fixed_interval = sim_interval;
     std::vector<core::StudyConfig> cells = {cfg, cfg};
@@ -40,8 +41,8 @@ int main(int argc, char** argv) {
     kappa_aligned = kappas[0].propagation_factor;
     kappa_random = kappas[1].propagation_factor;
   }
-  std::cout << "measured kappa (halo3d @ 1024): aligned="
-            << benchutil::fixed(kappa_aligned, 2)
+  std::cout << "measured kappa (halo3d @ " << kappa_ranks
+            << "): aligned=" << benchutil::fixed(kappa_aligned, 2)
             << " random=" << benchutil::fixed(kappa_random, 2) << "\n\n";
 
   // 2) Analytic extrapolation.

@@ -5,10 +5,21 @@
 // this bounds how far the direct simulation can reach and justifies the E12
 // extrapolation strategy.
 //
+// Each case is measured in two phases:
+//   build — workload generation + Program::finalize() (DAG construction);
+//   run   — the DES itself on the finalized program.
+// Alongside the timings we report the finalized program's storage footprint
+// (bytes per op, from Program::storage_bytes()) and the process peak RSS,
+// which together determine the largest scale that fits in memory.
+//
 // With --json-out the measurements are written machine-readably (the
 // "results"/"sweep" objects embedded in BENCH_perf.json); the committed
 // BENCH_perf.json pairs one such report from the seed engine ("before") with
 // one from the current engine ("after").
+//
+// --ranks N restricts the sweep to the single case halo3d@N, and
+// --rss-budget-mib M fails the run (exit 1) if peak RSS exceeds M MiB;
+// together they power the ctest memory gate for large-scale builds.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,11 +46,30 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+/// Peak resident set size of this process, from /proc (0 if unavailable).
+std::int64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      std::int64_t kb = 0;
+      is >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
 struct Measurement {
   std::string workload;
   int ranks = 0;
-  std::int64_t events = 0;  // events processed per run
-  double wall_ms_median = 0;
+  std::int64_t ops = 0;             // ops in the program
+  std::int64_t events = 0;          // events processed per run
+  std::int64_t storage_bytes = 0;   // finalized Program footprint
+  double bytes_per_op = 0;
+  double build_ms_median = 0;       // generation + finalize
+  double wall_ms_median = 0;        // DES run
   double events_per_sec = 0;
   int repeats = 0;
 };
@@ -50,15 +80,32 @@ Measurement measure(const std::string& workload, int ranks, int repeats) {
   params.iterations = 10;
   params.compute = 1_ms;
   params.bytes = 8_KiB;
-  sim::Program p = workload::make_workload(workload, params);
-  p.finalize();
-  sim::EngineConfig cfg;
-  cfg.net = net::infiniband_system().net;
 
   Measurement m;
   m.workload = workload;
   m.ranks = ranks;
   m.repeats = repeats;
+
+  // Build phase: generate + finalize a fresh program per repetition.
+  sim::Program p(1);
+  std::vector<double> builds;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    sim::Program fresh = workload::make_workload(workload, params);
+    const sim::ProgramStats st = fresh.finalize();
+    builds.push_back(ms_since(t0));
+    m.ops = st.ops;
+    p = std::move(fresh);
+  }
+  std::sort(builds.begin(), builds.end());
+  m.build_ms_median = builds[builds.size() / 2];
+  m.storage_bytes = static_cast<std::int64_t>(p.storage_bytes());
+  m.bytes_per_op =
+      m.ops > 0 ? static_cast<double>(m.storage_bytes) / static_cast<double>(m.ops) : 0;
+
+  // Run phase: the DES on the (shared, read-only) finalized program.
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
   std::vector<double> walls;
   for (int rep = 0; rep < repeats; ++rep) {
     const Clock::time_point t0 = Clock::now();
@@ -98,27 +145,32 @@ double measure_sweep_ms(int cells, int jobs) {
 }
 
 std::string json_report(const std::vector<Measurement>& results, int jobs,
-                        int sweep_cells, double sweep_ms) {
+                        int sweep_cells, double sweep_ms, std::int64_t rss) {
   std::ostringstream out;
   out << "{\n  \"schema\": \"chksim-bench-perf-v1\",\n"
       << "  \"jobs\": " << jobs << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof buf,
-                  "    {\"workload\": \"%s\", \"ranks\": %d, \"events\": %lld, "
+                  "    {\"workload\": \"%s\", \"ranks\": %d, \"ops\": %lld, "
+                  "\"events\": %lld, \"build_ms_median\": %.2f, "
                   "\"wall_ms_median\": %.2f, \"events_per_sec\": %.0f, "
+                  "\"bytes_per_op\": %.1f, \"storage_bytes\": %lld, "
                   "\"repeats\": %d}%s\n",
-                  m.workload.c_str(), m.ranks, static_cast<long long>(m.events),
-                  m.wall_ms_median, m.events_per_sec, m.repeats,
+                  m.workload.c_str(), m.ranks, static_cast<long long>(m.ops),
+                  static_cast<long long>(m.events), m.build_ms_median,
+                  m.wall_ms_median, m.events_per_sec, m.bytes_per_op,
+                  static_cast<long long>(m.storage_bytes), m.repeats,
                   i + 1 < results.size() ? "," : "");
     out << buf;
   }
   out << "  ],\n";
-  char buf[128];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
-                "  \"sweep\": {\"cells\": %d, \"jobs\": %d, \"wall_ms\": %.2f}\n",
-                sweep_cells, jobs, sweep_ms);
+                "  \"sweep\": {\"cells\": %d, \"jobs\": %d, \"wall_ms\": %.2f},\n"
+                "  \"peak_rss_bytes\": %lld\n",
+                sweep_cells, jobs, sweep_ms, static_cast<long long>(rss));
   out << buf << "}\n";
   return out.str();
 }
@@ -130,6 +182,8 @@ int main(int argc, char** argv) {
   cli.flag("jobs", "0", "concurrency for the sweep measurement; 0 = all cores")
       .flag("repeats", "5", "timed repetitions per engine measurement")
       .flag("smoke", "false", "small scales only (for regression tests)")
+      .flag("ranks", "0", "measure only halo3d at this rank count (0 = full case list)")
+      .flag("rss-budget-mib", "0", "fail (exit 1) if peak RSS exceeds this many MiB")
       .flag("sweep-cells", "8", "cells in the run_sweep wall-clock measurement")
       .flag("json-out", "", "write the machine-readable report to this path");
   if (!cli.parse(argc, argv)) {
@@ -139,33 +193,46 @@ int main(int argc, char** argv) {
   const int jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
   const int repeats = std::max(1, static_cast<int>(cli.get_int("repeats")));
   const bool smoke = cli.get_bool("smoke");
+  const int only_ranks = static_cast<int>(cli.get_int("ranks"));
+  const std::int64_t rss_budget_mib = cli.get_int("rss-budget-mib");
   const int sweep_cells = std::max(1, static_cast<int>(cli.get_int("sweep-cells")));
 
   struct Case {
     const char* workload;
     int ranks;
   };
-  const std::vector<Case> cases =
+  std::vector<Case> cases =
       smoke ? std::vector<Case>{{"halo3d", 64}, {"hpccg", 64}}
             : std::vector<Case>{{"halo3d", 64},    {"halo3d", 512},
-                                {"halo3d", 4096},  {"hpccg", 64},
-                                {"hpccg", 512},    {"allreduce", 64},
-                                {"allreduce", 1024}};
+                                {"halo3d", 4096},  {"halo3d", 16384},
+                                {"halo3d", 32768}, {"halo3d", 65536},
+                                {"hpccg", 64},     {"hpccg", 512},
+                                {"allreduce", 64}, {"allreduce", 1024}};
+  if (only_ranks > 0) cases = {{"halo3d", only_ranks}};
 
-  std::printf("%-10s %6s %12s %12s %14s\n", "workload", "ranks", "events/run",
-              "wall ms", "events/sec");
+  std::printf("%-10s %6s %12s %12s %10s %12s %14s %10s\n", "workload", "ranks",
+              "ops", "events/run", "build ms", "run ms", "events/sec", "B/op");
   std::vector<Measurement> results;
   for (const Case& c : cases) {
     results.push_back(measure(c.workload, c.ranks, repeats));
     const Measurement& m = results.back();
-    std::printf("%-10s %6d %12lld %12.2f %14.0f\n", m.workload.c_str(), m.ranks,
-                static_cast<long long>(m.events), m.wall_ms_median,
-                m.events_per_sec);
+    std::printf("%-10s %6d %12lld %12lld %10.2f %12.2f %14.0f %10.1f\n",
+                m.workload.c_str(), m.ranks, static_cast<long long>(m.ops),
+                static_cast<long long>(m.events), m.build_ms_median,
+                m.wall_ms_median, m.events_per_sec, m.bytes_per_op);
   }
 
-  const double sweep_ms = measure_sweep_ms(smoke ? 2 : sweep_cells, jobs);
-  std::printf("\nrun_sweep: %d cells at --jobs %d: %.2f ms\n",
-              smoke ? 2 : sweep_cells, jobs, sweep_ms);
+  const bool do_sweep = only_ranks == 0;
+  const int cells = smoke ? 2 : sweep_cells;
+  double sweep_ms = 0;
+  if (do_sweep) {
+    sweep_ms = measure_sweep_ms(cells, jobs);
+    std::printf("\nrun_sweep: %d cells at --jobs %d: %.2f ms\n", cells, jobs,
+                sweep_ms);
+  }
+
+  const std::int64_t rss = peak_rss_bytes();
+  std::printf("peak RSS: %.1f MiB\n", static_cast<double>(rss) / (1024.0 * 1024.0));
 
   if (cli.is_set("json-out")) {
     const std::string path = cli.get("json-out");
@@ -174,8 +241,15 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot open " << path << " for writing\n";
       return 1;
     }
-    out << json_report(results, jobs, smoke ? 2 : sweep_cells, sweep_ms);
+    out << json_report(results, jobs, do_sweep ? cells : 0, sweep_ms, rss);
     std::cout << "report written to " << path << "\n";
+  }
+
+  if (rss_budget_mib > 0 && rss > rss_budget_mib * 1024 * 1024) {
+    std::fprintf(stderr, "error: peak RSS %.1f MiB exceeds budget %lld MiB\n",
+                 static_cast<double>(rss) / (1024.0 * 1024.0),
+                 static_cast<long long>(rss_budget_mib));
+    return 1;
   }
   return 0;
 }

@@ -1,3 +1,9 @@
+// Every collective allocates its tags from the program's own counter
+// (Program::allocate_tags) at build time. This is what makes collectives
+// compose with iteration templates: a collective built inside a
+// begin_repeat()/repeat() block has all of its tags >= the block's tag
+// mark, so repeat() rebases them per copy and the replicated phases never
+// cross-match.
 #include "chksim/coll/collectives.hpp"
 
 #include <cassert>

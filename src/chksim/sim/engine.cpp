@@ -169,6 +169,7 @@ class Run {
   RunResult execute() {
     const int nranks = prog_.ranks();
     states_.resize(static_cast<std::size_t>(nranks));
+    views_.resize(static_cast<std::size_t>(nranks));
     if (cfg_.record_op_finish) result_.op_finish.resize(static_cast<std::size_t>(nranks));
     // The initial frontier is roughly one ready op per rank; later pushes
     // grow geometrically, so this one reservation makes queue growth a
@@ -176,16 +177,21 @@ class Run {
     queue_.reserve(static_cast<std::size_t>(nranks) + 64);
     std::int64_t total_ops = 0;
     for (RankId r = 0; r < nranks; ++r) {
-      const auto& ops = prog_.ops(r);
+      const RankOpsView v = prog_.rank_view(r);
+      views_[static_cast<std::size_t>(r)] = v;
       auto& st = states_[static_cast<std::size_t>(r)];
-      st.indegree.resize(ops.size());
+      // Indegrees are not stored in the program (the compact layout keeps
+      // only chain runs + explicit CSR); reconstruct them here.
+      st.indegree.assign(v.count, 0);
       if (cfg_.record_op_finish)
-        result_.op_finish[static_cast<std::size_t>(r)].assign(ops.size(), -1);
-      for (OpIndex i = 0; i < ops.size(); ++i) {
-        st.indegree[i] = ops[i].indegree;
-        if (ops[i].indegree == 0) push_ready(0, r, i);
-      }
-      total_ops += static_cast<std::int64_t>(ops.size());
+        result_.op_finish[static_cast<std::size_t>(r)].assign(v.count, -1);
+      for (OpIndex i = 0; i < v.count; ++i)
+        for (OpIndex k = 1; k <= v.chain[i]; ++k) ++st.indegree[i + k];
+      for (std::uint32_t e = v.xoff[0]; e < v.xoff[v.count]; ++e)
+        ++st.indegree[v.xsucc[e]];
+      for (OpIndex i = 0; i < v.count; ++i)
+        if (st.indegree[i] == 0) push_ready(0, r, i);
+      total_ops += static_cast<std::int64_t>(v.count);
     }
 
     while (!queue_.empty()) {
@@ -288,7 +294,7 @@ class Run {
   }
 
   void execute_op(RankId r, OpIndex i, TimeNs t) {
-    const Op& op = prog_.ops(r)[i];
+    const OpView op = views_[static_cast<std::size_t>(r)].op(i);
     auto& st = states_[static_cast<std::size_t>(r)];
     switch (op.kind) {
       case OpKind::kCalc: {
@@ -355,7 +361,7 @@ class Run {
   }
 
   void do_match(RankId r, OpIndex i, TimeNs post_time, const ArrivedMsg& msg) {
-    const Op& op = prog_.ops(r)[i];
+    const OpView op = views_[static_cast<std::size_t>(r)].op(i);
     auto& st = states_[static_cast<std::size_t>(r)];
     TimeNs data_arrival = msg.arrival;
     const bool rendezvous = cfg_.net.rendezvous(msg.bytes);
@@ -390,7 +396,7 @@ class Run {
   }
 
   [[gnu::noinline, gnu::cold]] std::uint64_t trace_send(RankId r, OpIndex i,
-                                                        const Op& op, TimeNs s0,
+                                                        const OpView& op, TimeNs s0,
                                                         TimeNs end, TimeNs cpu_work,
                                                         TimeNs arrival, Bytes bytes) {
     trace_blackouts(r, s0, end);
@@ -403,7 +409,7 @@ class Run {
     return msg_seq;
   }
 
-  [[gnu::noinline, gnu::cold]] void trace_match(RankId r, OpIndex i, const Op& op,
+  [[gnu::noinline, gnu::cold]] void trace_match(RankId r, OpIndex i, const OpView& op,
                                                 TimeNs post_time,
                                                 const ArrivedMsg& msg,
                                                 TimeNs data_arrival, bool rendezvous,
@@ -428,13 +434,10 @@ class Run {
     st.stats.finish_time = std::max(st.stats.finish_time, t);
     result_.makespan = std::max(result_.makespan, t);
     if (cfg_.record_op_finish) result_.op_finish[static_cast<std::size_t>(r)][i] = t;
-    const Op& op = prog_.ops(r)[i];
-    const auto& succ = prog_.successors(r);
-    for (std::uint32_t k = 0; k < op.succ_count; ++k) {
-      const OpIndex v = succ[op.succ_begin + k];
+    views_[static_cast<std::size_t>(r)].for_each_successor(i, [&](OpIndex v) {
       assert(st.indegree[v] > 0);
       if (--st.indegree[v] == 0) push_ready(t, r, v);
-    }
+    });
   }
 
   void describe_deadlock() {
@@ -461,6 +464,7 @@ class Run {
   Availability avail_;
   const bool always_available_;
   std::vector<RankState> states_;
+  std::vector<RankOpsView> views_;
   DaryHeap<Event, EventEarlier, 4> queue_;
   std::uint64_t next_seq_ = 0;
   // Event seq of an in-flight arrival -> trace seq of its kMsgInject.

@@ -61,11 +61,10 @@ std::string to_goal(const Program& program) {
   os << "# chksim GOAL export\n";
   os << "num_ranks " << program.ranks() << "\n";
   for (RankId r = 0; r < program.ranks(); ++r) {
-    const auto& ops = program.ops(r);
-    const auto& succ = program.successors(r);
+    const RankOpsView v = program.rank_view(r);
     os << "rank " << r << " {\n";
-    for (OpIndex i = 0; i < ops.size(); ++i) {
-      const Op& op = ops[i];
+    for (OpIndex i = 0; i < v.count; ++i) {
+      const OpView op = v.op(i);
       os << "  l" << i << ": ";
       switch (op.kind) {
         case OpKind::kCalc:
@@ -80,11 +79,9 @@ std::string to_goal(const Program& program) {
       }
       os << "\n";
     }
-    for (OpIndex i = 0; i < ops.size(); ++i) {
-      const Op& op = ops[i];
-      for (std::uint32_t k = 0; k < op.succ_count; ++k)
-        os << "  l" << succ[op.succ_begin + k] << " requires l" << i << "\n";
-    }
+    for (OpIndex i = 0; i < v.count; ++i)
+      v.for_each_successor(
+          i, [&](OpIndex to) { os << "  l" << to << " requires l" << i << "\n"; });
     os << "}\n";
   }
   return os.str();

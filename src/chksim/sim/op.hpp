@@ -42,13 +42,11 @@ constexpr const char* op_kind_name(OpKind kind) {
   return "?";
 }
 
-/// One node of a rank's operation DAG. Successor edges are stored in a
-/// per-rank CSR array owned by the Program.
-struct Op {
+/// Value view of one operation. The Program stores operations column-wise
+/// (structure-of-arrays); this is the row type handed to code that wants one
+/// op at a time (engine dispatch, GOAL export, timeline reconstruction).
+struct OpView {
   std::int64_t value = 0;  ///< kCalc: duration (ns); kSend/kRecv: bytes.
-  std::uint32_t succ_begin = 0;  ///< Offset into the rank's successor array.
-  std::uint32_t succ_count = 0;
-  std::uint32_t indegree = 0;  ///< Number of intra-rank predecessors.
   RankId peer = -1;
   Tag tag = 0;
   OpKind kind = OpKind::kCalc;

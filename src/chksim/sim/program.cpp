@@ -2,23 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <tuple>
+#include <type_traits>
 
 namespace chksim::sim {
 
-Program::Program(int nranks) {
-  assert(nranks > 0);
-  rank_ops_.resize(static_cast<std::size_t>(nranks));
-  rank_edges_.resize(static_cast<std::size_t>(nranks));
-  rank_succ_.resize(static_cast<std::size_t>(nranks));
+namespace {
+
+template <typename T, typename Alloc>
+std::size_t capacity_bytes(const std::vector<T, Alloc>& v) {
+  return v.capacity() * sizeof(T);
 }
 
-OpRef Program::push(RankId r, Op op) {
-  assert(!finalized_ && "program already finalized");
+template <typename T>
+void release(std::vector<T>& v) {
+  v.clear();
+  v.shrink_to_fit();
+}
+
+constexpr std::uint8_t kMaxChain = std::numeric_limits<std::uint8_t>::max();
+
+}  // namespace
+
+Program::Program(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("Program: rank count must be > 0");
+  build_.resize(static_cast<std::size_t>(nranks));
+}
+
+OpRef Program::push(RankId r, const BuildOp& op) {
+  if (finalized_) throw std::logic_error("Program: cannot add ops after finalize");
   assert(r >= 0 && r < ranks());
-  auto& ops = rank_ops_[static_cast<std::size_t>(r)];
+  auto& ops = build_[static_cast<std::size_t>(r)].ops;
+  if (ops.size() >= static_cast<std::size_t>(kInvalidOp))
+    throw std::overflow_error("Program: rank " + std::to_string(r) +
+                              " exceeds the 32-bit per-rank op index space");
   const auto index = static_cast<OpIndex>(ops.size());
   ops.push_back(op);
   return OpRef{r, index};
@@ -26,15 +47,18 @@ OpRef Program::push(RankId r, Op op) {
 
 OpRef Program::calc(RankId r, TimeNs duration) {
   assert(duration >= 0);
-  Op op;
+  BuildOp op;
   op.kind = OpKind::kCalc;
   op.value = duration;
   return push(r, op);
 }
 
 OpRef Program::send(RankId r, RankId dst, Bytes bytes, Tag tag) {
-  assert(dst >= 0 && dst < ranks() && dst != r && bytes >= 0);
-  Op op;
+  if (dst < 0 || dst >= ranks() || dst == r)
+    throw std::invalid_argument("Program::send: bad destination rank " +
+                                std::to_string(dst) + " from rank " + std::to_string(r));
+  assert(bytes >= 0);
+  BuildOp op;
   op.kind = OpKind::kSend;
   op.value = bytes;
   op.peer = dst;
@@ -43,8 +67,11 @@ OpRef Program::send(RankId r, RankId dst, Bytes bytes, Tag tag) {
 }
 
 OpRef Program::recv(RankId r, RankId src, Bytes bytes, Tag tag) {
-  assert(src >= 0 && src < ranks() && src != r && bytes >= 0);
-  Op op;
+  if (src < 0 || src >= ranks() || src == r)
+    throw std::invalid_argument("Program::recv: bad source rank " +
+                                std::to_string(src) + " on rank " + std::to_string(r));
+  assert(bytes >= 0);
+  BuildOp op;
   op.kind = OpKind::kRecv;
   op.value = bytes;
   op.peer = src;
@@ -53,12 +80,32 @@ OpRef Program::recv(RankId r, RankId src, Bytes bytes, Tag tag) {
 }
 
 void Program::depends(OpRef before, OpRef after) {
-  assert(!finalized_);
-  assert(before.valid() && after.valid());
-  assert(before.rank == after.rank && "dependencies are intra-rank only");
-  assert(before.index != after.index);
-  rank_edges_[static_cast<std::size_t>(before.rank)].push_back(
-      Edge{before.index, after.index});
+  if (finalized_) throw std::logic_error("Program: cannot add edges after finalize");
+  if (!before.valid() || !after.valid())
+    throw std::invalid_argument("Program::depends: invalid op handle");
+  if (before.rank != after.rank)
+    throw std::invalid_argument("Program::depends: dependencies are intra-rank only");
+  if (before.index == after.index)
+    throw std::invalid_argument("Program::depends: op cannot depend on itself");
+  auto& b = build_[static_cast<std::size_t>(before.rank)];
+  const OpIndex i = before.index;
+  const OpIndex j = after.index;
+  assert(i < b.ops.size() && j < b.ops.size());
+  if (j > i) {
+    std::uint8_t& chain = b.ops[i].chain;
+    const OpIndex dist = j - i;
+    if (dist <= chain) return;  // already implied by the chain run
+    // Extend the chain run when `after` is the next op — unless the edge
+    // crosses into an open repeat block (the chain field is copied with the
+    // block, so an edge from pre-block ops must stay explicit to be
+    // re-targetable per copy).
+    if (dist == static_cast<OpIndex>(chain) + 1 && chain < kMaxChain &&
+        !(in_repeat_ && i < b.mark_ops && j >= b.mark_ops)) {
+      ++chain;
+      return;
+    }
+  }
+  b.edges.push_back(XEdge{i, j});
 }
 
 void Program::depends_all(const std::vector<OpRef>& before, OpRef after) {
@@ -70,71 +117,178 @@ void Program::depends_all(const std::vector<OpRef>& before, OpRef after) {
 Tag Program::allocate_tags(int count) {
   assert(count > 0);
   const Tag first = next_tag_;
+  if (count > std::numeric_limits<Tag>::max() - next_tag_)
+    throw std::overflow_error(
+        "Program::allocate_tags: 32-bit tag space exhausted (allocated up to " +
+        std::to_string(next_tag_) + ")");
   next_tag_ += count;
   return first;
 }
 
+void Program::begin_repeat() {
+  if (finalized_) throw std::logic_error("Program: begin_repeat after finalize");
+  if (in_repeat_) throw std::logic_error("Program: begin_repeat inside an open block");
+  in_repeat_ = true;
+  mark_tag_ = next_tag_;
+  for (auto& b : build_) {
+    b.mark_ops = static_cast<OpIndex>(b.ops.size());
+    b.mark_edges = b.edges.size();
+  }
+}
+
+void Program::repeat(int copies, std::vector<OpRef>* carry) {
+  if (!in_repeat_) throw std::logic_error("Program: repeat without begin_repeat");
+  in_repeat_ = false;
+  if (copies < 0) throw std::invalid_argument("Program::repeat: negative copy count");
+  const Tag tag_stride = next_tag_ - mark_tag_;
+  if (copies == 0) return;
+  if (tag_stride > 0 &&
+      static_cast<std::int64_t>(tag_stride) * copies >
+          static_cast<std::int64_t>(std::numeric_limits<Tag>::max() - next_tag_))
+    throw std::overflow_error(
+        "Program::repeat: 32-bit tag space exhausted by block copies");
+
+  for (RankId r = 0; r < ranks(); ++r) {
+    auto& b = build_[static_cast<std::size_t>(r)];
+    const OpIndex m = b.mark_ops;
+    const auto n = static_cast<OpIndex>(b.ops.size());
+    const OpIndex len = n - m;
+    if (len == 0) continue;
+    if (static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(len) * copies >=
+        static_cast<std::uint64_t>(kInvalidOp))
+      throw std::overflow_error("Program::repeat: rank " + std::to_string(r) +
+                                " exceeds the 32-bit per-rank op index space");
+    // Validate in-edges: a dependency into the block may reach back at most
+    // one block length (the previous iteration), so that the uniform
+    // index shift re-targets it to the preceding copy.
+    const std::size_t edge_end = b.edges.size();
+    std::size_t copyable = 0;
+    for (std::size_t e = b.mark_edges; e < edge_end; ++e) {
+      const XEdge edge = b.edges[e];
+      if (edge.to < m) continue;
+      ++copyable;
+      if (edge.from < m && m - edge.from > len)
+        throw std::invalid_argument(
+            "Program::repeat: rank " + std::to_string(r) + " op " +
+            std::to_string(edge.to) + " depends on op " + std::to_string(edge.from) +
+            ", more than one block length before the block");
+    }
+    b.edges.reserve(edge_end + copyable * copies);
+    // Bulk-instantiate the copies: grow once, then memcpy the POD block per
+    // copy and rebase its tags in place — no per-op push_back branching.
+    static_assert(std::is_trivially_copyable_v<BuildOp>);
+    b.ops.insert(b.ops.end(), static_cast<std::size_t>(len) * copies, BuildOp{});
+    for (int k = 1; k <= copies; ++k) {
+      const OpIndex shift = static_cast<OpIndex>(k) * len;
+      BuildOp* out = b.ops.data() + m + static_cast<std::size_t>(shift);
+      std::memcpy(out, b.ops.data() + m, static_cast<std::size_t>(len) * sizeof(BuildOp));
+      if (tag_stride > 0) {
+        const Tag delta = tag_stride * k;
+        for (OpIndex i = 0; i < len; ++i)
+          if (out[i].kind != OpKind::kCalc && out[i].tag >= mark_tag_)
+            out[i].tag += delta;
+      }
+      for (std::size_t e = b.mark_edges; e < edge_end; ++e) {
+        const XEdge edge = b.edges[e];
+        if (edge.to >= m) b.edges.push_back(XEdge{edge.from + shift, edge.to + shift});
+      }
+    }
+  }
+  if (tag_stride > 0) next_tag_ += tag_stride * copies;
+  if (carry != nullptr) {
+    for (OpRef& ref : *carry) {
+      if (!ref.valid()) continue;
+      const auto& b = build_[static_cast<std::size_t>(ref.rank)];
+      // ops.size() is now mark + (copies + 1) * block_length.
+      const OpIndex block_len =
+          (static_cast<OpIndex>(b.ops.size()) - b.mark_ops) /
+          (static_cast<OpIndex>(copies) + 1);
+      if (ref.index >= b.mark_ops)
+        ref.index += static_cast<OpIndex>(copies) * block_len;
+    }
+  }
+}
+
 ProgramStats Program::finalize() {
   if (finalized_) throw std::logic_error("Program::finalize called twice");
+  if (in_repeat_)
+    throw std::logic_error("Program::finalize inside an open repeat block");
   finalized_ = true;
 
-  ProgramStats st;
+  // Pass 1: canonicalise each rank's explicit edges (sort, dedupe, drop
+  // edges subsumed by a chain run) and size the global arrays. Track which
+  // ranks have a backward explicit edge (to < from): those need a full
+  // Kahn pass below; forward-only ranks are acyclic by construction.
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_edges = 0;
+  std::vector<char> has_backward(static_cast<std::size_t>(nranks_), 0);
   for (RankId r = 0; r < ranks(); ++r) {
-    auto& ops = rank_ops_[static_cast<std::size_t>(r)];
-    auto& edges = rank_edges_[static_cast<std::size_t>(r)];
-    auto& succ = rank_succ_[static_cast<std::size_t>(r)];
-
-    // Sort edges by source, dedupe, and build CSR.
-    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-      return std::tie(a.from, a.to) < std::tie(b.from, b.to);
-    });
-    edges.erase(std::unique(edges.begin(), edges.end(),
-                            [](const Edge& a, const Edge& b) {
-                              return a.from == b.from && a.to == b.to;
-                            }),
-                edges.end());
-    succ.resize(edges.size());
-    std::size_t e = 0;
-    for (OpIndex i = 0; i < ops.size(); ++i) {
-      ops[i].succ_begin = static_cast<std::uint32_t>(e);
-      while (e < edges.size() && edges[e].from == i) {
-        assert(edges[e].to < ops.size());
-        succ[e] = edges[e].to;
-        ops[edges[e].to].indegree++;
-        ++e;
-      }
-      ops[i].succ_count = static_cast<std::uint32_t>(e - ops[i].succ_begin);
+    auto& b = build_[static_cast<std::size_t>(r)];
+    const auto n = static_cast<OpIndex>(b.ops.size());
+    auto& edges = b.edges;
+    const auto less = [](const XEdge& a, const XEdge& e) {
+      return (static_cast<std::uint64_t>(a.from) << 32 | a.to) <
+             (static_cast<std::uint64_t>(e.from) << 32 | e.to);
+    };
+    // Generators emit edges in near-program order, so the sort is usually a
+    // no-op — check first, it is an order of magnitude cheaper.
+    if (!std::is_sorted(edges.begin(), edges.end(), less))
+      std::sort(edges.begin(), edges.end(), less);
+    // One compaction pass: validate, dedupe, flag backward edges, and drop
+    // edges subsumed by a chain run.
+    std::size_t w = 0;
+    XEdge prev{kInvalidOp, kInvalidOp};
+    for (const XEdge e : edges) {
+      if (e.from >= n || e.to >= n)
+        throw std::logic_error("edge with out-of-range op");
+      if (e.from == prev.from && e.to == prev.to) continue;
+      prev = e;
+      if (e.to < e.from)
+        has_backward[static_cast<std::size_t>(r)] = 1;
+      else if (e.to - e.from <= b.ops[e.from].chain)
+        continue;  // covered by the implicit chain run
+      edges[w++] = e;
     }
-    if (e != edges.size()) throw std::logic_error("edge with out-of-range source op");
+    edges.resize(w);
+    total_ops += n;
+    total_edges += edges.size();
+  }
+  if (total_edges >= std::numeric_limits<std::uint32_t>::max())
+    throw std::overflow_error(
+        "Program::finalize: explicit edge count overflows the 32-bit CSR "
+        "offset space (" +
+        std::to_string(total_edges) + " edges)");
 
-    // Kahn topological pass: verifies acyclicity and computes graph depth.
-    std::vector<std::uint32_t> indeg(ops.size());
-    std::vector<std::int32_t> depth(ops.size(), 1);
-    std::vector<OpIndex> queue;
-    for (OpIndex i = 0; i < ops.size(); ++i) {
-      indeg[i] = ops[i].indegree;
-      if (indeg[i] == 0) queue.push_back(i);
-    }
-    std::size_t head = 0;
-    std::int64_t visited = 0;
-    while (head < queue.size()) {
-      const OpIndex u = queue[head++];
-      ++visited;
-      st.max_depth = std::max<std::int64_t>(st.max_depth, depth[u]);
-      const Op& op = ops[u];
-      for (std::uint32_t k = 0; k < op.succ_count; ++k) {
-        const OpIndex v = succ[op.succ_begin + k];
-        depth[v] = std::max(depth[v], depth[u] + 1);
-        if (--indeg[v] == 0) queue.push_back(v);
-      }
-    }
-    if (visited != static_cast<std::int64_t>(ops.size()))
-      throw std::logic_error("Program dependency graph has a cycle on rank " +
-                             std::to_string(r));
+  rank_begin_.resize(static_cast<std::size_t>(nranks_) + 1);
+  value_.resize(total_ops);
+  peer_.resize(total_ops);
+  tag_.resize(total_ops);
+  kind_.resize(total_ops);
+  chain_.resize(total_ops);
+  xoff_.resize(total_ops + 1);
+  xsucc_.resize(total_edges);
 
-    st.ops += static_cast<std::int64_t>(ops.size());
-    st.edges += static_cast<std::int64_t>(edges.size());
-    for (const Op& op : ops) {
+  // Pass 2: pack each rank's columns and CSR, verify acyclicity and compute
+  // depth (Kahn), accumulate stats, then free the build buffers rank by
+  // rank so peak memory stays near one representation, not two.
+  ProgramStats st;
+  std::vector<std::uint32_t> indeg;
+  std::vector<std::int32_t> depth;
+  std::vector<OpIndex> queue;
+  std::uint64_t row = 0;
+  std::uint64_t edge_row = 0;
+  for (RankId r = 0; r < ranks(); ++r) {
+    auto& b = build_[static_cast<std::size_t>(r)];
+    const auto n = static_cast<OpIndex>(b.ops.size());
+    rank_begin_[static_cast<std::size_t>(r)] = row;
+
+    for (OpIndex i = 0; i < n; ++i) {
+      const BuildOp& op = b.ops[i];
+      value_[row + i] = op.value;
+      peer_[row + i] = op.peer;
+      tag_[row + i] = op.tag;
+      kind_[row + i] = op.kind;
+      chain_[row + i] = op.chain;
       switch (op.kind) {
         case OpKind::kCalc:
           ++st.calcs;
@@ -148,21 +302,140 @@ ProgramStats Program::finalize() {
           ++st.recvs;
           break;
       }
+      st.edges += op.chain;
     }
-    edges.clear();
-    edges.shrink_to_fit();
+    // Explicit-successor CSR (edges are sorted by (from, to)).
+    {
+      std::size_t e = 0;
+      for (OpIndex i = 0; i < n; ++i) {
+        xoff_[row + i] = static_cast<std::uint32_t>(edge_row + e);
+        while (e < b.edges.size() && b.edges[e].from == i)
+          xsucc_[edge_row + e] = b.edges[e].to, ++e;
+      }
+      assert(e == b.edges.size());
+    }
+
+    if (!has_backward[static_cast<std::size_t>(r)]) {
+      // Every edge (chain runs and explicit) points forward, so the rank is
+      // acyclic by construction — every generator-built program lands here.
+      // Depth is one ascending relaxation pass: no indegrees, no queue.
+      depth.assign(n, 1);
+      std::size_t e = 0;
+      for (OpIndex i = 0; i < n; ++i) {
+        const std::int32_t du = depth[i];
+        st.max_depth = std::max<std::int64_t>(st.max_depth, du);
+        for (OpIndex k = 1; k <= chain_[row + i]; ++k)
+          depth[i + k] = std::max(depth[i + k], du + 1);
+        while (e < b.edges.size() && b.edges[e].from == i) {
+          const OpIndex v = b.edges[e++].to;
+          depth[v] = std::max(depth[v], du + 1);
+        }
+      }
+    } else {
+      // Kahn topological pass over chain + explicit successors: programs
+      // read from GOAL files can carry backward edges, so acyclicity needs
+      // a real check there.
+      indeg.assign(n, 0);
+      depth.assign(n, 1);
+      queue.clear();
+      for (OpIndex i = 0; i < n; ++i)
+        for (OpIndex k = 1; k <= chain_[row + i]; ++k) ++indeg[i + k];
+      for (const XEdge& e : b.edges) ++indeg[e.to];
+      for (OpIndex i = 0; i < n; ++i)
+        if (indeg[i] == 0) queue.push_back(i);
+      std::size_t head = 0;
+      std::uint64_t visited = 0;
+      while (head < queue.size()) {
+        const OpIndex u = queue[head++];
+        ++visited;
+        st.max_depth = std::max<std::int64_t>(st.max_depth, depth[u]);
+        const std::int32_t du = depth[u];
+        const auto visit = [&](OpIndex v) {
+          depth[v] = std::max(depth[v], du + 1);
+          if (--indeg[v] == 0) queue.push_back(v);
+        };
+        std::uint32_t e = xoff_[row + u];
+        const std::uint32_t e_end = static_cast<std::uint32_t>(
+            u + 1 < n ? xoff_[row + u + 1] : edge_row + b.edges.size());
+        while (e < e_end && xsucc_[e] < u) visit(xsucc_[e++]);
+        for (OpIndex k = 1; k <= chain_[row + u]; ++k) visit(u + k);
+        while (e < e_end) visit(xsucc_[e++]);
+      }
+      if (visited != n)
+        throw std::logic_error(
+            "Program dependency graph has a cycle on rank " +
+            std::to_string(r));
+    }
+
+    st.ops += n;
+    st.edges += static_cast<std::int64_t>(b.edges.size());
+    row += n;
+    edge_row += b.edges.size();
+    release(b.ops);
+    release(b.edges);
   }
+  rank_begin_[static_cast<std::size_t>(nranks_)] = row;
+  xoff_[row] = static_cast<std::uint32_t>(edge_row);
+  release(build_);
+
   stats_ = st;
   return st;
+}
+
+OpIndex Program::rank_size(RankId r) const {
+  assert(r >= 0 && r < ranks());
+  if (finalized_) {
+    return static_cast<OpIndex>(rank_begin_[static_cast<std::size_t>(r) + 1] -
+                                rank_begin_[static_cast<std::size_t>(r)]);
+  }
+  return static_cast<OpIndex>(build_[static_cast<std::size_t>(r)].ops.size());
+}
+
+OpView Program::op(RankId r, OpIndex i) const {
+  assert(r >= 0 && r < ranks() && i < rank_size(r));
+  if (finalized_) {
+    const std::uint64_t row = rank_begin_[static_cast<std::size_t>(r)] + i;
+    return {value_[row], peer_[row], tag_[row], kind_[row]};
+  }
+  const BuildOp& op = build_[static_cast<std::size_t>(r)].ops[i];
+  return {op.value, op.peer, op.tag, op.kind};
+}
+
+RankOpsView Program::rank_view(RankId r) const {
+  assert(finalized_ && r >= 0 && r < ranks());
+  const std::uint64_t row = rank_begin_[static_cast<std::size_t>(r)];
+  RankOpsView v;
+  v.value = value_.data() + row;
+  v.peer = peer_.data() + row;
+  v.tag = tag_.data() + row;
+  v.kind = kind_.data() + row;
+  v.chain = chain_.data() + row;
+  v.xoff = xoff_.data() + row;
+  v.xsucc = xsucc_.data();
+  v.count = static_cast<OpIndex>(rank_begin_[static_cast<std::size_t>(r) + 1] - row);
+  return v;
+}
+
+std::size_t Program::storage_bytes() const {
+  std::size_t bytes = capacity_bytes(rank_begin_) + capacity_bytes(value_) +
+                      capacity_bytes(peer_) + capacity_bytes(tag_) +
+                      capacity_bytes(kind_) + capacity_bytes(chain_) +
+                      capacity_bytes(xoff_) + capacity_bytes(xsucc_) +
+                      capacity_bytes(build_);
+  for (const BuildRank& b : build_)
+    bytes += capacity_bytes(b.ops) + capacity_bytes(b.edges);
+  return bytes;
 }
 
 std::string Program::check_matching() const {
   // (src, dst, tag) -> sends minus recvs.
   std::map<std::tuple<RankId, RankId, Tag>, std::int64_t> balance;
   for (RankId r = 0; r < ranks(); ++r) {
-    for (const Op& op : rank_ops_[static_cast<std::size_t>(r)]) {
-      if (op.kind == OpKind::kSend) balance[{r, op.peer, op.tag}] += 1;
-      if (op.kind == OpKind::kRecv) balance[{op.peer, r, op.tag}] -= 1;
+    const OpIndex n = rank_size(r);
+    for (OpIndex i = 0; i < n; ++i) {
+      const OpView v = op(r, i);
+      if (v.kind == OpKind::kSend) balance[{r, v.peer, v.tag}] += 1;
+      if (v.kind == OpKind::kRecv) balance[{v.peer, r, v.tag}] -= 1;
     }
   }
   std::string report;

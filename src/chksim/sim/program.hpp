@@ -1,6 +1,26 @@
 // Program: the complete application model — one operation DAG per rank plus
 // intra-rank dependency edges. Workload generators append operations and
-// edges; finalize() freezes the program into the CSR form the engine runs.
+// edges; finalize() freezes the program into the compact columnar form the
+// engine runs.
+//
+// Memory model. Simulating 64 Ki+ ranks makes bytes/op the binding resource,
+// so the representation exploits the two regularities every generator has:
+//
+//  * Program order dominates the dependency structure. Edges from op i to
+//    ops i+1 .. i+c on the same rank ("chain runs": a calc fanning out into
+//    the sends/recvs built right after it, or plain sequential chains) are
+//    stored as a single per-op run length `chain`, not as materialized CSR
+//    entries. Only cross-chain dependencies pay for an explicit entry.
+//  * SPMD workloads are iteration-periodic. begin_repeat()/repeat() record
+//    one iteration block and instantiate the remaining copies by columnar
+//    block copy with tag rebasing, so construction is O(ops/iteration +
+//    copies), not O(total ops) generator calls.
+//
+// After finalize() the storage is global rank-major structure-of-arrays
+// (value/peer/tag/kind/chain columns + a CSR of explicit successors):
+// 18 bytes per op + 4 bytes per op of CSR offsets + 4 bytes per explicit
+// edge, versus 32-byte Op rows plus one CSR entry for every edge in the
+// previous array-of-structs layout.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +28,7 @@
 #include <vector>
 
 #include "chksim/sim/op.hpp"
+#include "chksim/support/default_init.hpp"
 #include "chksim/support/units.hpp"
 
 namespace chksim::sim {
@@ -26,11 +47,46 @@ struct ProgramStats {
   std::int64_t max_depth = 0;
 };
 
+/// Raw-pointer view of one rank's finalized operations: the engine's hot
+/// loop reads these columns directly. `xoff`/`xsucc` describe the explicit
+/// (non-chain) successor CSR; `xoff` entries are offsets into the global
+/// `xsucc` array, `xsucc` values are rank-local op indices.
+struct RankOpsView {
+  const std::int64_t* value = nullptr;
+  const RankId* peer = nullptr;
+  const Tag* tag = nullptr;
+  const OpKind* kind = nullptr;
+  const std::uint8_t* chain = nullptr;
+  const std::uint32_t* xoff = nullptr;  // count + 1 entries, global offsets
+  const OpIndex* xsucc = nullptr;       // global array, rank-local targets
+  OpIndex count = 0;
+
+  /// Visit op i's successors in ascending index order — the exact order the
+  /// old sorted-CSR representation produced (explicit back edges, then the
+  /// implicit chain run i+1 .. i+chain[i], then explicit forward edges; any
+  /// explicit edge inside the chain run was deduplicated by finalize()).
+  template <typename F>
+  void for_each_successor(OpIndex i, F&& f) const {
+    std::uint32_t e = xoff[i];
+    const std::uint32_t end = xoff[i + 1];
+    while (e < end && xsucc[e] < i) f(xsucc[e++]);
+    const OpIndex c = chain[i];
+    for (OpIndex k = 1; k <= c; ++k) f(i + k);
+    while (e < end) f(xsucc[e++]);
+  }
+
+  std::uint32_t successor_count(OpIndex i) const {
+    return (xoff[i + 1] - xoff[i]) + chain[i];
+  }
+
+  OpView op(OpIndex i) const { return {value[i], peer[i], tag[i], kind[i]}; }
+};
+
 class Program {
  public:
   explicit Program(int nranks);
 
-  int ranks() const { return static_cast<int>(rank_ops_.size()); }
+  int ranks() const { return nranks_; }
 
   /// Append a computation of `duration` ns on rank r. Returns its handle.
   OpRef calc(RankId r, TimeNs duration);
@@ -52,19 +108,50 @@ class Program {
   /// and collective generators use this so phases never cross-match.
   Tag allocate_tags(int count = 1);
 
-  /// Freeze the program: build successor CSR and indegrees, verify the DAG
-  /// is acyclic and well-formed. Must be called exactly once, before run.
-  /// Returns aggregate statistics.
+  /// Open an iteration-template block: ops, dependencies, and tags recorded
+  /// between begin_repeat() and repeat() form one block per rank.
+  void begin_repeat();
+
+  /// Close the block opened by begin_repeat() and append `copies` further
+  /// instances of it by columnar copy. Per rank, the k-th copy shifts the
+  /// block's op indices by k * block_length and rebases every tag allocated
+  /// inside the block by k * (tags allocated inside the block), so copies
+  /// never cross-match with each other. Dependencies into the block must
+  /// come from at most one block length before it (the usual
+  /// previous-iteration frontier); deeper references throw — they could not
+  /// be re-targeted meaningfully in later copies. `carry`, if given, is a
+  /// set of handles the caller wants re-targeted to the *last* instance
+  /// (e.g. a frontier consumed by ops built after the loop); handles that
+  /// point into the block are shifted, others are left untouched.
+  void repeat(int copies, std::vector<OpRef>* carry = nullptr);
+
+  /// Freeze the program: pack the columnar storage, build the explicit
+  /// successor CSR, verify the DAG is acyclic and well-formed. Must be
+  /// called exactly once, before run. Returns aggregate statistics.
   ProgramStats finalize();
 
   bool finalized() const { return finalized_; }
   const ProgramStats& stats() const { return stats_; }
 
-  /// Accessors used by the engine (valid after finalize()).
-  const std::vector<Op>& ops(RankId r) const { return rank_ops_[static_cast<std::size_t>(r)]; }
-  const std::vector<OpIndex>& successors(RankId r) const {
-    return rank_succ_[static_cast<std::size_t>(r)];
+  /// Number of ops on rank r (valid in both build and finalized phase).
+  OpIndex rank_size(RankId r) const;
+
+  /// One op's fields (valid in both build and finalized phase).
+  OpView op(RankId r, OpIndex i) const;
+
+  /// The engine's accessor (valid after finalize()).
+  RankOpsView rank_view(RankId r) const;
+
+  /// Visit the successors of (r, i) in ascending index order (finalized).
+  template <typename F>
+  void for_each_successor(RankId r, OpIndex i, F&& f) const {
+    rank_view(r).for_each_successor(i, static_cast<F&&>(f));
   }
+
+  /// Bytes currently allocated for the program representation (vector
+  /// capacities, both phases). This is the quantity bench_sim_throughput
+  /// reports as bytes/op.
+  std::size_t storage_bytes() const;
 
   /// Optional consistency check: every (src -> dst, tag) send count equals
   /// the matching recv count. Returns an empty string when consistent, or a
@@ -72,19 +159,48 @@ class Program {
   std::string check_matching() const;
 
  private:
-  struct Edge {
+  struct BuildOp {
+    std::int64_t value = 0;
+    RankId peer = -1;
+    Tag tag = 0;
+    OpKind kind = OpKind::kCalc;
+    std::uint8_t chain = 0;  ///< Implicit edges to ops i+1 .. i+chain.
+  };
+  struct XEdge {
     OpIndex from;
     OpIndex to;
+    friend bool operator==(const XEdge&, const XEdge&) = default;
+  };
+  struct BuildRank {
+    std::vector<BuildOp> ops;
+    std::vector<XEdge> edges;       // explicit (non-chain) dependencies
+    OpIndex mark_ops = 0;           // repeat block start (ops)
+    std::size_t mark_edges = 0;     // repeat block start (edge list)
   };
 
-  OpRef push(RankId r, Op op);
+  OpRef push(RankId r, const BuildOp& op);
 
-  std::vector<std::vector<Op>> rank_ops_;
-  std::vector<std::vector<Edge>> rank_edges_;
-  std::vector<std::vector<OpIndex>> rank_succ_;  // CSR payload, post-finalize
+  int nranks_ = 0;
+  std::vector<BuildRank> build_;  // emptied by finalize()
   Tag next_tag_ = 1;
   bool finalized_ = false;
+  bool in_repeat_ = false;
+  Tag mark_tag_ = 1;  // next_tag_ at begin_repeat()
   ProgramStats stats_;
+
+  // Finalized columnar storage, global rank-major order. rank_begin_[r] is
+  // the global row of rank r's op 0; xoff_ has one entry per op plus a
+  // terminator per rank boundary shared with the next rank's first op.
+  // UninitVector: resize() must not memset arrays finalize() fully
+  // overwrites anyway — at 64 Ki ranks that is hundreds of megabytes.
+  support::UninitVector<std::uint64_t> rank_begin_;  // nranks + 1 entries
+  support::UninitVector<std::int64_t> value_;
+  support::UninitVector<RankId> peer_;
+  support::UninitVector<Tag> tag_;
+  support::UninitVector<OpKind> kind_;
+  support::UninitVector<std::uint8_t> chain_;
+  support::UninitVector<std::uint32_t> xoff_;  // ops + 1 entries
+  support::UninitVector<OpIndex> xsucc_;
 };
 
 }  // namespace chksim::sim

@@ -65,21 +65,21 @@ Timeline::Timeline(const Program& program, const RunResult& run,
     }
     // Busy spans: each op's CPU cost ending at its finish time, clipped.
     std::vector<Interval> busy;
-    const auto& ops = program.ops(r);
+    const RankOpsView ops = program.rank_view(r);
     const auto& finish = run.op_finish[static_cast<std::size_t>(r)];
-    busy.reserve(ops.size());
-    for (OpIndex i = 0; i < ops.size(); ++i) {
+    busy.reserve(ops.count);
+    for (OpIndex i = 0; i < ops.count; ++i) {
       if (finish[i] < 0) continue;
       TimeNs cost = 0;
-      switch (ops[i].kind) {
+      switch (ops.kind[i]) {
         case OpKind::kCalc:
-          cost = ops[i].value;
+          cost = ops.value[i];
           break;
         case OpKind::kSend:
-          cost = config.net.send_cpu(ops[i].value);
+          cost = config.net.send_cpu(ops.value[i]);
           break;
         case OpKind::kRecv:
-          cost = config.net.recv_cpu(ops[i].value);
+          cost = config.net.recv_cpu(ops.value[i]);
           break;
       }
       // Allocate the op's CPU cost backwards from its finish time, skipping

@@ -1,0 +1,40 @@
+// An allocator adaptor that default-initializes instead of
+// value-initializing. `std::vector<T>::resize(n)` zero-fills trivial T; for
+// the multi-megabyte columnar arrays Program::finalize() builds — where
+// every element is overwritten immediately after the resize — that memset
+// is pure waste. `vector<T, DefaultInitAllocator<T>>` skips it.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace chksim::support {
+
+template <typename T, typename Base = std::allocator<T>>
+class DefaultInitAllocator : public Base {
+ public:
+  using Base::Base;
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<Base>::template rebind_alloc<U>>;
+  };
+
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;  // default-init: no zeroing for trivial U
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<Base>::construct(static_cast<Base&>(*this), ptr,
+                                           std::forward<Args>(args)...);
+  }
+};
+
+/// Vector whose resize() leaves trivial elements uninitialized.
+template <typename T>
+using UninitVector = std::vector<T, DefaultInitAllocator<T>>;
+
+}  // namespace chksim::support

@@ -45,6 +45,26 @@ Grid3d factor3d(int ranks) {
 
 namespace {
 
+/// Run `build_iteration` (one SPMD iteration block) `iterations` times,
+/// using Program::repeat to instantiate all but the first two iterations by
+/// block copy: iteration 0 seeds the frontier, iteration 1 is the template
+/// (its in-edges reference iteration 0, exactly the shape every later copy
+/// needs), and the remaining copies are columnar duplicates. Callers that
+/// consume the frontier after the loop pass it via `carry` so repeat() can
+/// re-target it to the last copy.
+template <typename F>
+void repeat_iterations(Program& p, int iterations, F&& build_iteration,
+                       std::vector<OpRef>* carry = nullptr) {
+  if (iterations < 3) {
+    for (int it = 0; it < iterations; ++it) build_iteration();
+    return;
+  }
+  build_iteration();
+  p.begin_repeat();
+  build_iteration();
+  p.repeat(iterations - 2, carry);
+}
+
 /// Bulk-synchronous neighbour exchange: per iteration each rank computes,
 /// then exchanges `bytes` with each of its (symmetric) neighbours; the next
 /// iteration's compute waits for all of this iteration's sends and recvs.
@@ -52,10 +72,9 @@ Program make_neighbor_exchange(int ranks, const std::vector<std::vector<RankId>>
                                int iterations, TimeNs compute, Bytes bytes) {
   assert(static_cast<int>(nbrs.size()) == ranks);
   Program p(ranks);
-  const Tag tag0 = p.allocate_tags(iterations);
   std::vector<std::vector<OpRef>> frontier(static_cast<std::size_t>(ranks));
-  for (int it = 0; it < iterations; ++it) {
-    const Tag tag = tag0 + it;
+  repeat_iterations(p, iterations, [&] {
+    const Tag tag = p.allocate_tags();
     for (RankId r = 0; r < ranks; ++r) {
       const OpRef c = p.calc(r, compute);
       p.depends_all(frontier[static_cast<std::size_t>(r)], c);
@@ -72,7 +91,7 @@ Program make_neighbor_exchange(int ranks, const std::vector<std::vector<RankId>>
         f.push_back(rv);
       }
     }
-  }
+  });
   return p;
 }
 
@@ -166,11 +185,10 @@ Program make_sweep2d(const SweepConfig& cfg) {
   Program p(cfg.ranks);
   auto id = [&](int x, int y) { return static_cast<RankId>(x + y * g.x); };
   static constexpr int kDirs[4][2] = {{1, 1}, {-1, 1}, {1, -1}, {-1, -1}};
-  const Tag tag0 = p.allocate_tags(cfg.sweeps * 4);
   std::vector<OpRef> frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int s = 0; s < cfg.sweeps; ++s) {
+  repeat_iterations(p, cfg.sweeps, [&] {
     for (int d = 0; d < 4; ++d) {
-      const Tag tag = tag0 + s * 4 + d;
+      const Tag tag = p.allocate_tags();
       const int dx = kDirs[d][0];
       const int dy = kDirs[d][1];
       for (int y = 0; y < g.y; ++y) {
@@ -212,7 +230,7 @@ Program make_sweep2d(const SweepConfig& cfg) {
         }
       }
     }
-  }
+  });
   return p;
 }
 
@@ -221,10 +239,9 @@ Program make_hpccg(const HpccgConfig& cfg) {
   const auto nbrs = grid3d_neighbors(g, /*full27=*/false);
   Program p(cfg.ranks);
   const coll::Group group = coll::full_group(cfg.ranks);
-  const Tag tag0 = p.allocate_tags(cfg.iterations);
   Deps frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int it = 0; it < cfg.iterations; ++it) {
-    const Tag tag = tag0 + it;
+  repeat_iterations(p, cfg.iterations, [&] {
+    const Tag tag = p.allocate_tags();
     std::vector<std::vector<OpRef>> phase(static_cast<std::size_t>(cfg.ranks));
     for (RankId r = 0; r < cfg.ranks; ++r) {
       const OpRef c = p.calc(r, cfg.spmv_compute);
@@ -253,7 +270,7 @@ Program make_hpccg(const HpccgConfig& cfg) {
       }
       frontier = coll::allreduce_recursive_doubling(p, group, 8, frontier);
     }
-  }
+  });
   return p;
 }
 
@@ -262,10 +279,9 @@ Program make_lammps(const LammpsConfig& cfg) {
   const auto nbrs = grid3d_neighbors(g, /*full27=*/false);
   Program p(cfg.ranks);
   const coll::Group group = coll::full_group(cfg.ranks);
-  const Tag tag0 = p.allocate_tags(cfg.iterations);
   Deps frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int it = 0; it < cfg.iterations; ++it) {
-    const Tag tag = tag0 + it;
+  const auto halo_iteration = [&] {
+    const Tag tag = p.allocate_tags();
     std::vector<std::vector<OpRef>> phase(static_cast<std::size_t>(cfg.ranks));
     for (RankId r = 0; r < cfg.ranks; ++r) {
       const OpRef c = p.calc(r, cfg.force_compute);
@@ -284,8 +300,24 @@ Program make_lammps(const LammpsConfig& cfg) {
       }
     }
     frontier = join_frontier(p, phase);
-    if (cfg.allreduce_every > 0 && (it + 1) % cfg.allreduce_every == 0)
+  };
+  const auto is_reduce_iter = [&](int it) {
+    return cfg.allreduce_every > 0 && (it + 1) % cfg.allreduce_every == 0;
+  };
+  // Iterations between allreduces are identical; template-replicate each
+  // plain run, then build the allreduce iteration explicitly (its successor
+  // run starts from the allreduce exits, a different in-edge shape).
+  int it = 0;
+  while (it < cfg.iterations) {
+    int run_end = it;
+    while (run_end < cfg.iterations && !is_reduce_iter(run_end)) ++run_end;
+    repeat_iterations(p, run_end - it, halo_iteration, &frontier);
+    it = run_end;
+    if (it < cfg.iterations) {
+      halo_iteration();
       frontier = coll::allreduce_recursive_doubling(p, group, 8, frontier);
+      ++it;
+    }
   }
   return p;
 }
@@ -294,7 +326,7 @@ Program make_fft(const FftConfig& cfg) {
   Program p(cfg.ranks);
   const coll::Group group = coll::full_group(cfg.ranks);
   Deps frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int it = 0; it < cfg.iterations; ++it) {
+  repeat_iterations(p, cfg.iterations, [&] {
     for (RankId r = 0; r < cfg.ranks; ++r) {
       const OpRef c = p.calc(r, cfg.compute_per_iter);
       if (frontier[static_cast<std::size_t>(r)].valid())
@@ -302,7 +334,7 @@ Program make_fft(const FftConfig& cfg) {
       frontier[static_cast<std::size_t>(r)] = c;
     }
     frontier = coll::alltoall_pairwise(p, group, cfg.bytes_per_pair, frontier);
-  }
+  });
   return p;
 }
 
@@ -339,22 +371,21 @@ Program make_fft2d(const Fft2dConfig& cfg) {
         frontier[static_cast<std::size_t>(grp[i])] = exits[i];
     }
   };
-  for (int it = 0; it < cfg.iterations; ++it) {
+  repeat_iterations(p, cfg.iterations, [&] {
     add_compute();
     transpose(rows);
     add_compute();
     transpose(cols);
-  }
+  });
   return p;
 }
 
 Program make_ring(const RingConfig& cfg) {
   if (cfg.ranks < 2) throw std::invalid_argument("ring needs >= 2 ranks");
   Program p(cfg.ranks);
-  const Tag tag0 = p.allocate_tags(cfg.iterations);
   std::vector<std::vector<OpRef>> frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int it = 0; it < cfg.iterations; ++it) {
-    const Tag tag = tag0 + it;
+  repeat_iterations(p, cfg.iterations, [&] {
+    const Tag tag = p.allocate_tags();
     for (RankId r = 0; r < cfg.ranks; ++r) {
       const OpRef c = p.calc(r, cfg.compute_per_iter);
       p.depends_all(frontier[static_cast<std::size_t>(r)], c);
@@ -364,7 +395,7 @@ Program make_ring(const RingConfig& cfg) {
       p.depends(c, rv);
       frontier[static_cast<std::size_t>(r)] = {s, rv};
     }
-  }
+  });
   return p;
 }
 
@@ -447,14 +478,17 @@ Program make_master_worker(const MasterWorkerConfig& cfg) {
 Program make_ep(const EpConfig& cfg) {
   Program p(cfg.ranks);
   Deps frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int it = 0; it < cfg.iterations; ++it) {
-    for (RankId r = 0; r < cfg.ranks; ++r) {
-      const OpRef c = p.calc(r, cfg.compute_per_iter);
-      if (frontier[static_cast<std::size_t>(r)].valid())
-        p.depends(frontier[static_cast<std::size_t>(r)], c);
-      frontier[static_cast<std::size_t>(r)] = c;
-    }
-  }
+  repeat_iterations(
+      p, cfg.iterations,
+      [&] {
+        for (RankId r = 0; r < cfg.ranks; ++r) {
+          const OpRef c = p.calc(r, cfg.compute_per_iter);
+          if (frontier[static_cast<std::size_t>(r)].valid())
+            p.depends(frontier[static_cast<std::size_t>(r)], c);
+          frontier[static_cast<std::size_t>(r)] = c;
+        }
+      },
+      &frontier);
   if (cfg.ranks > 1)
     coll::allreduce_recursive_doubling(p, coll::full_group(cfg.ranks), 8, frontier);
   return p;
@@ -464,7 +498,7 @@ Program make_allreduce_loop(const AllreduceConfig& cfg) {
   Program p(cfg.ranks);
   const coll::Group group = coll::full_group(cfg.ranks);
   Deps frontier(static_cast<std::size_t>(cfg.ranks));
-  for (int it = 0; it < cfg.iterations; ++it) {
+  repeat_iterations(p, cfg.iterations, [&] {
     for (RankId r = 0; r < cfg.ranks; ++r) {
       const OpRef c = p.calc(r, cfg.compute_per_iter);
       if (frontier[static_cast<std::size_t>(r)].valid())
@@ -473,7 +507,7 @@ Program make_allreduce_loop(const AllreduceConfig& cfg) {
     }
     if (cfg.ranks > 1)
       frontier = coll::allreduce_recursive_doubling(p, group, cfg.reduce_bytes, frontier);
-  }
+  });
   return p;
 }
 
@@ -502,11 +536,10 @@ Program make_imbalanced_bsp(const ImbalancedBspConfig& cfg) {
 Program make_pipeline(const PipelineConfig& cfg) {
   if (cfg.ranks < 2) throw std::invalid_argument("pipeline needs >= 2 ranks");
   Program p(cfg.ranks);
-  const Tag tag0 = p.allocate_tags(cfg.items);
   // last_of[r]: rank r's most recent op (stages serialize per rank).
   std::vector<OpRef> last_of(static_cast<std::size_t>(cfg.ranks));
-  for (int item = 0; item < cfg.items; ++item) {
-    const Tag tag = tag0 + item;
+  repeat_iterations(p, cfg.items, [&] {
+    const Tag tag = p.allocate_tags();
     for (RankId r = 0; r < cfg.ranks; ++r) {
       OpRef in;
       if (r > 0) {
@@ -525,7 +558,7 @@ Program make_pipeline(const PipelineConfig& cfg) {
       }
       last_of[static_cast<std::size_t>(r)] = out;
     }
-  }
+  });
   return p;
 }
 

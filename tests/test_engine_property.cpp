@@ -86,15 +86,13 @@ TEST_P(EngineFuzz, InvariantsHold) {
   // Invariant 2: happens-before respected (every op finishes no earlier
   // than each of its intra-rank predecessors).
   for (RankId rank = 0; rank < g.ranks; ++rank) {
-    const auto& ops = g.program.ops(rank);
-    const auto& succ = g.program.successors(rank);
+    const RankOpsView v = g.program.rank_view(rank);
     const auto& finish = r.op_finish[static_cast<std::size_t>(rank)];
-    for (OpIndex i = 0; i < ops.size(); ++i) {
+    for (OpIndex i = 0; i < v.count; ++i) {
       ASSERT_GE(finish[i], 0) << "op never finished";
-      for (std::uint32_t k = 0; k < ops[i].succ_count; ++k) {
-        const OpIndex v = succ[ops[i].succ_begin + k];
-        ASSERT_GE(finish[v], finish[i]) << "dependency order violated";
-      }
+      v.for_each_successor(i, [&](OpIndex to) {
+        ASSERT_GE(finish[to], finish[i]) << "dependency order violated";
+      });
     }
   }
 
@@ -105,7 +103,9 @@ TEST_P(EngineFuzz, InvariantsHold) {
   // Invariant 4: makespan below a fully-serialized upper bound.
   TimeNs upper = 0;
   for (RankId rank = 0; rank < g.ranks; ++rank) {
-    for (const Op& op : g.program.ops(rank)) {
+    const RankOpsView v = g.program.rank_view(rank);
+    for (OpIndex i = 0; i < v.count; ++i) {
+      const OpView op = v.op(i);
       switch (op.kind) {
         case OpKind::kCalc:
           upper += op.value;
@@ -134,12 +134,11 @@ TEST_P(EngineFuzz, InvariantsHold) {
   EXPECT_EQ(rn.ops_executed, st.ops);
   EXPECT_EQ(run_program(g.program, noisy).makespan, rn.makespan);
   for (RankId rank = 0; rank < g.ranks; ++rank) {
-    const auto& ops = g.program.ops(rank);
-    const auto& succ = g.program.successors(rank);
+    const RankOpsView v = g.program.rank_view(rank);
     const auto& finish = rn.op_finish[static_cast<std::size_t>(rank)];
-    for (OpIndex i = 0; i < ops.size(); ++i)
-      for (std::uint32_t k = 0; k < ops[i].succ_count; ++k)
-        ASSERT_GE(finish[succ[ops[i].succ_begin + k]], finish[i]);
+    for (OpIndex i = 0; i < v.count; ++i)
+      v.for_each_successor(i,
+                           [&](OpIndex to) { ASSERT_GE(finish[to], finish[i]); });
   }
 
   // Work conservation under a message tax: per-rank CPU busy time grows by

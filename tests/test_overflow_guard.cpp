@@ -1,8 +1,11 @@
-// TimeNs overflow guards at extreme scales: per-rank accumulators in the
-// engine and the cross-rank totals saturate instead of wrapping.
+// Overflow guards at extreme scales: per-rank accumulators in the engine
+// and the cross-rank totals saturate instead of wrapping, and the Program
+// builder refuses (with a clear diagnostic) to exceed its 32-bit op-index
+// and tag spaces rather than silently aliasing ops or messages.
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <stdexcept>
 
 #include "chksim/sim/engine.hpp"
 #include "chksim/support/units.hpp"
@@ -63,6 +66,29 @@ TEST(RankStatsOverflow, AccumulationPatternSaturates) {
   st.bytes_sent = kMax - 2;
   st.bytes_sent = saturating_add(st.bytes_sent, 4);
   EXPECT_EQ(st.bytes_sent, kMax);
+}
+
+TEST(ProgramOverflow, TagSpaceExhaustionThrows) {
+  sim::Program p(2);
+  constexpr sim::Tag kTagMax = std::numeric_limits<sim::Tag>::max();
+  // Consume most of the tag space in one allocation, then overflow it.
+  const sim::Tag base = p.allocate_tags(kTagMax - 100);
+  EXPECT_GE(base, 1);
+  EXPECT_THROW(p.allocate_tags(200), std::overflow_error);
+  // A small allocation that still fits succeeds.
+  EXPECT_NO_THROW(p.allocate_tags(10));
+}
+
+TEST(ProgramOverflow, RepeatTagStrideExhaustionThrows) {
+  // A block that consumes tags, replicated enough times to exhaust the tag
+  // space, must be rejected up front (before any ops are copied).
+  sim::Program p(2);
+  p.allocate_tags(std::numeric_limits<sim::Tag>::max() / 2);
+  p.begin_repeat();
+  const sim::Tag t = p.allocate_tags(1 << 20);  // block tag stride: 1 Mi
+  p.send(0, 1, 8, t);
+  p.recv(1, 0, 8, t);
+  EXPECT_THROW(p.repeat(2000), std::overflow_error);
 }
 
 }  // namespace

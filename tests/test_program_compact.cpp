@@ -1,0 +1,247 @@
+// Tests for the compact (SoA + implicit-chain) Program representation and
+// the iteration-template API (begin_repeat / repeat).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/sim/goal.hpp"
+
+namespace chksim::sim {
+namespace {
+
+EngineConfig test_config() {
+  EngineConfig cfg;
+  cfg.net.L = 1000;
+  cfg.net.o = 100;
+  cfg.net.g = 200;
+  cfg.net.G = 0.1;
+  cfg.net.S = 4096;
+  return cfg;
+}
+
+TEST(ProgramCompact, ZeroOpProgramRuns) {
+  Program p(4);
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.ops, 0);
+  EXPECT_EQ(st.edges, 0);
+  const RunResult r = run_program(p, test_config());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.ops_executed, 0);
+}
+
+TEST(ProgramCompact, EmptyRankAmongBusyRanks) {
+  // Rank 1 has no ops at all; the others communicate around it.
+  Program p(3);
+  const Tag tag = p.allocate_tags();
+  const OpRef s = p.send(0, 2, 64, tag);
+  const OpRef rv = p.recv(2, 0, 64, tag);
+  const OpRef c = p.calc(2, 500);
+  p.depends(rv, c);
+  (void)s;
+  p.finalize();
+  EXPECT_EQ(p.rank_size(0), 1u);
+  EXPECT_EQ(p.rank_size(1), 0u);
+  EXPECT_EQ(p.rank_size(2), 2u);
+  const RankOpsView empty = p.rank_view(1);
+  EXPECT_EQ(empty.count, 0u);
+  const RunResult r = run_program(p, test_config());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.ops_executed, 3);
+}
+
+TEST(ProgramCompact, SelfSendThrows) {
+  Program p(2);
+  EXPECT_THROW(p.send(0, 0, 64, 1), std::invalid_argument);
+  EXPECT_THROW(p.recv(1, 1, 64, 1), std::invalid_argument);
+  EXPECT_THROW(p.send(0, 5, 64, 1), std::invalid_argument);
+  EXPECT_THROW(p.recv(0, -1, 64, 1), std::invalid_argument);
+}
+
+TEST(ProgramCompact, CheckMatchingReportsMismatches) {
+  Program p(2);
+  const Tag tag = p.allocate_tags(2);
+  p.send(0, 1, 64, tag);                // no matching recv
+  p.recv(0, 1, 128, tag + 1);           // no matching send
+  const auto problems = p.check_matching();
+  EXPECT_FALSE(problems.empty());
+
+  Program ok(2);
+  const Tag t2 = ok.allocate_tags();
+  ok.send(0, 1, 64, t2);
+  ok.recv(1, 0, 64, t2);
+  EXPECT_TRUE(ok.check_matching().empty());
+}
+
+TEST(ProgramCompact, ChainAndExplicitSuccessorsIterateInOrder) {
+  // a -> b -> c is an implicit chain; a -> d is explicit (forward skip) and
+  // d -> b would be backward. for_each_successor must yield ascending order.
+  Program p(1);
+  const OpRef a = p.calc(0, 1);
+  const OpRef b = p.calc(0, 2);
+  const OpRef c = p.calc(0, 3);
+  const OpRef d = p.calc(0, 4);
+  p.depends(a, b);
+  p.depends(b, c);
+  p.depends(a, d);
+  p.finalize();
+  const RankOpsView v = p.rank_view(0);
+  std::vector<OpIndex> succ_of_a;
+  v.for_each_successor(0, [&](OpIndex to) { succ_of_a.push_back(to); });
+  ASSERT_EQ(succ_of_a.size(), 2u);
+  EXPECT_EQ(succ_of_a[0], 1u);  // chain successor first (b)
+  EXPECT_EQ(succ_of_a[1], 3u);  // then the explicit forward edge (d)
+  EXPECT_EQ(v.successor_count(0), 2u);
+  (void)c;
+}
+
+TEST(ProgramCompact, DuplicateDependsCollapses) {
+  Program p(1);
+  const OpRef a = p.calc(0, 1);
+  const OpRef b = p.calc(0, 2);
+  p.depends(a, b);
+  p.depends(a, b);  // duplicate of the chain edge
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.edges, 1);
+}
+
+TEST(ProgramCompact, TagAllocationOverflowThrows) {
+  Program p(2);
+  p.allocate_tags(1000);
+  EXPECT_THROW(p.allocate_tags(std::numeric_limits<Tag>::max() - 500),
+               std::overflow_error);
+}
+
+// --- iteration templates ---------------------------------------------------
+
+/// One ring-ish iteration with a cross-iteration serialization edge.
+void build_iteration(Program& p, std::vector<OpRef>& last) {
+  const Tag tag = p.allocate_tags();
+  for (RankId r = 0; r < 2; ++r) {
+    const OpRef c = p.calc(r, 1000 + 10 * r);
+    if (last[static_cast<std::size_t>(r)].valid())
+      p.depends(last[static_cast<std::size_t>(r)], c);
+    const OpRef s = p.send(r, 1 - r, 256, tag);
+    const OpRef rv = p.recv(r, 1 - r, 256, tag);
+    p.depends(c, s);
+    p.depends(c, rv);
+    last[static_cast<std::size_t>(r)] = rv;
+  }
+}
+
+TEST(ProgramRepeat, MatchesHandUnrolledLoop) {
+  const int iterations = 7;
+
+  Program manual(2);
+  {
+    std::vector<OpRef> last(2);
+    for (int it = 0; it < iterations; ++it) build_iteration(manual, last);
+  }
+  Program templ(2);
+  {
+    std::vector<OpRef> last(2);
+    build_iteration(templ, last);
+    templ.begin_repeat();
+    build_iteration(templ, last);
+    templ.repeat(iterations - 2, &last);
+  }
+  const ProgramStats sm = manual.finalize();
+  const ProgramStats st = templ.finalize();
+  EXPECT_EQ(sm.ops, st.ops);
+  EXPECT_EQ(sm.edges, st.edges);
+  EXPECT_EQ(sm.sends, st.sends);
+
+  // Structural identity: the GOAL export (ops, tags, and dependency lists)
+  // must be byte-identical, not merely equivalent.
+  EXPECT_EQ(to_goal(manual), to_goal(templ));
+
+  const RunResult rm = run_program(manual, test_config());
+  const RunResult rt = run_program(templ, test_config());
+  ASSERT_TRUE(rm.completed);
+  ASSERT_TRUE(rt.completed);
+  EXPECT_EQ(rm.makespan, rt.makespan);
+  EXPECT_EQ(rm.events_processed, rt.events_processed);
+}
+
+TEST(ProgramRepeat, CarryRefsPointAtLastCopy) {
+  Program p(1);
+  std::vector<OpRef> last(1);
+  auto iter = [&] {
+    const OpRef c = p.calc(0, 100);
+    if (last[0].valid()) p.depends(last[0], c);
+    last[0] = c;
+  };
+  iter();
+  p.begin_repeat();
+  iter();
+  p.repeat(3, &last);
+  // 5 ops total; the carried ref must name the final copy.
+  EXPECT_EQ(last[0].index, 4u);
+  const OpRef tail = p.calc(0, 7);
+  p.depends(last[0], tail);
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.ops, 6);
+  const RunResult r = run_program(p, test_config());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 507);  // fully serialized: 5 * 100 + 7
+}
+
+TEST(ProgramRepeat, TooDeepInEdgeThrows) {
+  // An in-edge reaching more than one block length before the block cannot
+  // be replicated (copy k would need iteration k-2's ops).
+  Program p(1);
+  const OpRef old = p.calc(0, 1);
+  p.calc(0, 2);
+  p.begin_repeat();
+  const OpRef in_block = p.calc(0, 3);
+  p.depends(old, in_block);  // reaches 2 ops back; block length is 1
+  EXPECT_THROW(p.repeat(2), std::invalid_argument);
+}
+
+TEST(ProgramRepeat, MisuseThrows) {
+  Program p(1);
+  EXPECT_THROW(p.repeat(1), std::logic_error);  // no open block
+  p.begin_repeat();
+  EXPECT_THROW(p.begin_repeat(), std::logic_error);  // nested
+  EXPECT_THROW(p.finalize(), std::logic_error);      // open block
+  p.calc(0, 1);
+  p.repeat(0);  // zero copies is a no-op close
+  const ProgramStats st = p.finalize();
+  EXPECT_EQ(st.ops, 1);
+}
+
+TEST(ProgramRepeat, RebasesTagsAcrossCopies) {
+  // Two ranks ping-pong with a fresh tag per iteration; FIFO matching per
+  // (src, tag) must remain unambiguous after template instantiation.
+  Program p(2);
+  std::vector<OpRef> last(2);
+  auto iter = [&] {
+    const Tag tag = p.allocate_tags();
+    const OpRef s = p.send(0, 1, 64, tag);
+    const OpRef rv = p.recv(1, 0, 64, tag);
+    if (last[0].valid()) p.depends(last[0], s);
+    if (last[1].valid()) p.depends(last[1], rv);
+    last[0] = s;
+    last[1] = rv;
+  };
+  iter();
+  p.begin_repeat();
+  iter();
+  p.repeat(8, &last);
+  p.finalize();
+  EXPECT_TRUE(p.check_matching().empty());
+  // All ten tags distinct.
+  const RankOpsView v = p.rank_view(0);
+  std::vector<Tag> tags;
+  for (OpIndex i = 0; i < v.count; ++i) tags.push_back(v.tag[i]);
+  std::sort(tags.begin(), tags.end());
+  EXPECT_EQ(std::unique(tags.begin(), tags.end()), tags.end());
+  const RunResult r = run_program(p, test_config());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.ops_executed, 20);
+}
+
+}  // namespace
+}  // namespace chksim::sim

@@ -1,0 +1,85 @@
+// Golden makespan regression for every registry workload.
+//
+// The expected values were produced by the pre-compaction Program
+// representation (per-rank Op vectors + full CSR successor lists) at commit
+// eb8589b, under the exact LogGOPS configuration below. The compact SoA
+// representation and the iteration-template generator rewrites must
+// reproduce each workload's op count, edge count, and makespan exactly —
+// any drift means the DAG (not just its encoding) changed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim {
+namespace {
+
+struct Golden {
+  std::int64_t ops;
+  std::int64_t edges;
+  TimeNs makespan;
+};
+
+const std::map<std::string, Golden>& goldens() {
+  static const std::map<std::string, Golden> kGoldens = {
+      {"allreduce", {960, 1616, 375072}},
+      {"bsp_imbalanced", {960, 1616, 429328}},
+      {"ep", {240, 336, 307608}},
+      {"fft", {3072, 5840, 581520}},
+      {"fft2d", {1536, 2480, 412608}},
+      {"halo2d", {864, 1408, 344472}},
+      {"halo2d9", {1632, 2816, 378744}},
+      {"halo3d", {864, 1408, 344472}},
+      {"halo3d27", {2208, 3872, 404448}},
+      {"hpccg", {3840, 6512, 526416}},
+      {"lammps", {960, 1616, 344472}},
+      {"master_worker", {450, 330, 393982}},
+      {"pipeline", {1104, 1088, 2006120}},
+      {"random", {864, 1488, 345272}},
+      {"ring", {288, 352, 318768}},
+      {"sweep2d", {1536, 2072, 7001232}},
+  };
+  return kGoldens;
+}
+
+class WorkloadGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadGolden, MatchesSeedRepresentation) {
+  const std::string name = GetParam();
+  const Golden& g = goldens().at(name);
+
+  workload::StdParams p;
+  p.ranks = 16;
+  p.iterations = 6;
+  p.compute = 50'000;
+  p.bytes = 4096;
+  p.seed = 7;
+  sim::Program prog = workload::make_workload(name, p);
+  const sim::ProgramStats st = prog.finalize();
+  EXPECT_EQ(st.ops, g.ops) << name;
+  EXPECT_EQ(st.edges, g.edges) << name;
+
+  sim::EngineConfig cfg;
+  cfg.net.L = 1500;
+  cfg.net.o = 200;
+  cfg.net.g = 400;
+  cfg.net.G = 0.3;
+  cfg.net.S = 16384;
+  const sim::RunResult r = sim::run_program(prog, cfg);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.makespan, g.makespan) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, WorkloadGolden,
+    ::testing::Values("allreduce", "bsp_imbalanced", "ep", "fft", "fft2d",
+                      "halo2d", "halo2d9", "halo3d", "halo3d27", "hpccg",
+                      "lammps", "master_worker", "pipeline", "random", "ring",
+                      "sweep2d"),
+    [](const ::testing::TestParamInfo<std::string>& info) { return info.param; });
+
+}  // namespace
+}  // namespace chksim
