@@ -1,0 +1,93 @@
+// E13 — Direct vs decoupled failure-model validation.
+//
+// The whole methodology rests on a decomposition: simulate the checkpoint
+// perturbation failure-free (slowdown sigma), then layer failures on with
+// the analytic renewal model. E13 checks that decomposition against ground
+// truth: the direct simulator (fault::direct) injects the same exponential
+// failure process into the *running* DES — coordinated runs roll every rank
+// back to the last committed snapshot, uncoordinated/hierarchical runs take
+// the failed rank/cluster out for restart + replay-from-log — and the two
+// makespan distributions are compared per protocol x workload x MTBF.
+//
+// Expected shape: close agreement (single-digit relative error) for
+// coordinated under exponential failures, where the renewal model is exact
+// up to commit-phase discreteness; uncoordinated/hierarchical divergence is
+// bounded by the difference between the model's uniform lost-work
+// assumption and the actual checkpoint phase plus the DES-level stall
+// propagation of the outage (peers wait only where the dependency graph
+// says so). Divergence cases are documented in docs/MODEL.md.
+#include "bench_util.hpp"
+
+#include "chksim/core/failure_study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chksim;
+  using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
+  benchutil::banner("E13", "is the decoupled failure model faithful to in-DES failures?");
+
+  const TimeNs interval = 10_ms;
+  const double duty = 0.08;
+
+  const std::vector<const char*> workloads{"halo3d", "hpccg"};
+  const int ranks = opt.ranks > 0 ? opt.ranks : (opt.smoke ? 32 : 64);
+  const int trials = opt.smoke ? 6 : 25;
+  // System MTBF in the simulated frame: the runs cover ~4 checkpoint
+  // periods (~40 ms), so these MTBFs yield roughly 0.5-2 failures/trial.
+  const std::vector<double> mtbf_seconds =
+      opt.smoke ? std::vector<double>{0.030} : std::vector<double>{0.030, 0.090};
+
+  std::vector<core::FailureStudyConfig> cells;
+  for (const char* wl : workloads) {
+    for (int proto = 0; proto < 3; ++proto) {
+      for (const double mtbf : mtbf_seconds) {
+        core::FailureStudyConfig cfg;
+        cfg.mode = core::FailureModel::kDirect;
+        cfg.study.machine =
+            benchutil::scaled_machine(net::infiniband_system(), interval, duty);
+        // Failures must land inside the short simulated horizon: dial the
+        // node MTBF so the system MTBF equals `mtbf`, and use a restart
+        // cost on the same scale as one checkpoint interval.
+        cfg.study.machine.node_mtbf_hours = mtbf * ranks / 3600.0;
+        cfg.study.machine.restart_seconds = 0.002;
+        cfg.study.workload = wl;
+        cfg.study.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+        switch (proto) {
+          case 0:
+            cfg.study.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+            break;
+          case 1:
+            cfg.study.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+            cfg.study.protocol.log_per_message = 1_us;
+            break;
+          case 2:
+            cfg.study.protocol.kind = ckpt::ProtocolKind::kHierarchical;
+            cfg.study.protocol.cluster_size = 16;
+            cfg.study.protocol.log_per_message = 1_us;
+            break;
+        }
+        cfg.study.protocol.fixed_interval = interval;
+        cfg.trials = trials;
+        cfg.seed = 7;
+        cells.push_back(cfg);
+      }
+    }
+  }
+  const std::vector<core::DirectFailureStudyResult> results =
+      core::run_direct_failure_sweep(cells, opt.jobs);
+
+  Table t({"workload", "ranks", "protocol", "mtbf(ms)", "fails/trial",
+           "direct(ms)", "decoupled(ms)", "rel_err"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::DirectFailureStudyResult& r = results[i];
+    t.row() << r.breakdown.workload << std::int64_t{r.breakdown.ranks}
+            << r.breakdown.protocol
+            << benchutil::fixed(r.system_mtbf_seconds * 1e3, 0)
+            << benchutil::fixed(r.direct.mean_failures, 2)
+            << benchutil::fixed(r.direct.mean_seconds * 1e3, 3)
+            << benchutil::fixed(r.decoupled.mean_seconds * 1e3, 3)
+            << benchutil::pct(r.relative_error);
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

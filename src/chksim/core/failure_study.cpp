@@ -1,13 +1,58 @@
 #include "chksim/core/failure_study.hpp"
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "chksim/support/parallel.hpp"
+#include "chksim/support/stats.hpp"
 
 namespace chksim::core {
 
+namespace {
+
+std::unique_ptr<fault::FailureDistribution> make_system_distribution(
+    const FailureStudyConfig& config, double system_mtbf_seconds) {
+  if (config.weibull_shape > 0)
+    return std::make_unique<fault::Weibull>(system_mtbf_seconds,
+                                            config.weibull_shape);
+  return std::make_unique<fault::Exponential>(system_mtbf_seconds);
+}
+
+double study_restart_seconds(const FailureStudyConfig& config, int nodes) {
+  return config.model_restart_io
+             ? ckpt::restart_cost_seconds(config.study.protocol.kind,
+                                          config.study.protocol.tier,
+                                          config.study.machine, nodes,
+                                          config.study.protocol.cluster_size)
+             : config.study.machine.restart_seconds;
+}
+
+fault::RecoveryMode recovery_mode_of(ckpt::ProtocolKind kind) {
+  switch (kind) {
+    case ckpt::ProtocolKind::kNone:          // no commits: rollback to start
+    case ckpt::ProtocolKind::kCoordinated:
+      return fault::RecoveryMode::kGlobalRollback;
+    case ckpt::ProtocolKind::kUncoordinated:
+      return fault::RecoveryMode::kLocalReplay;
+    case ckpt::ProtocolKind::kHierarchical:
+      return fault::RecoveryMode::kClusterReplay;
+  }
+  throw std::logic_error("unknown protocol kind");
+}
+
+}  // namespace
+
 FailureStudyResult run_failure_study(const FailureStudyConfig& config) {
+  if (config.mode == FailureModel::kDirect) {
+    const DirectFailureStudyResult direct = run_direct_failure_study(config);
+    FailureStudyResult out;
+    out.breakdown = direct.breakdown;
+    out.makespan = direct.direct;
+    out.system_mtbf_seconds = direct.system_mtbf_seconds;
+    out.interval = direct.interval;
+    return out;
+  }
   FailureStudyResult out;
   out.breakdown = run_study(config.study);
   out.interval = out.breakdown.interval;
@@ -21,24 +66,136 @@ FailureStudyResult run_failure_study(const FailureStudyConfig& config) {
   rp.interval_seconds = config.recovery_interval_seconds > 0
                             ? config.recovery_interval_seconds
                             : units::to_seconds(out.interval);
-  rp.restart_seconds =
-      config.model_restart_io
-          ? ckpt::restart_cost_seconds(config.study.protocol.kind,
-                                       config.study.protocol.tier,
-                                       config.study.machine, nodes,
-                                       config.study.protocol.cluster_size)
-          : config.study.machine.restart_seconds;
+  rp.restart_seconds = study_restart_seconds(config, nodes);
   rp.replay_speedup = config.replay_speedup;
 
-  std::unique_ptr<fault::FailureDistribution> dist;
-  if (config.weibull_shape > 0) {
-    dist = std::make_unique<fault::Weibull>(out.system_mtbf_seconds,
-                                            config.weibull_shape);
-  } else {
-    dist = std::make_unique<fault::Exponential>(out.system_mtbf_seconds);
-  }
+  const std::unique_ptr<fault::FailureDistribution> dist =
+      make_system_distribution(config, out.system_mtbf_seconds);
   out.makespan = ckpt::simulate_makespan(rp, *dist, config.trials, config.seed,
                                          config.study.metrics, config.jobs);
+  return out;
+}
+
+DirectFailureStudyResult run_direct_failure_study(const FailureStudyConfig& config) {
+  DirectFailureStudyResult out;
+  out.breakdown = run_study(config.study);
+  out.interval = out.breakdown.interval;
+  const int nodes = config.study.params.ranks;
+  out.system_mtbf_seconds = config.study.machine.system_mtbf_seconds(nodes);
+  const double restart_seconds = study_restart_seconds(config, nodes);
+  const std::unique_ptr<fault::FailureDistribution> dist =
+      make_system_distribution(config, out.system_mtbf_seconds);
+
+  // The direct trials re-run the perturbed simulation with live failures.
+  // Program and protocol artifacts are shared read-only across trials.
+  const sim::Program program = build_workload(config.study);
+  const ckpt::Artifacts art =
+      prepare_protocol(config.study.protocol, config.study.machine, nodes);
+
+  sim::EngineConfig pert;
+  pert.net = config.study.machine.net;
+  pert.preemption = config.study.preemption;
+  pert.blackouts = art.schedule.get();
+  pert.tax = art.tax.get();
+
+  fault::DirectConfig dc;
+  dc.mode = recovery_mode_of(config.study.protocol.kind);
+  dc.commits = art.schedule.get();
+  dc.restart = units::from_seconds(restart_seconds);
+  dc.replay_speedup = config.replay_speedup;
+  dc.cluster_size = config.study.protocol.cluster_size;
+
+  if (config.trials <= 0) throw std::invalid_argument("trials must be > 0");
+  // Per-trial substreams + slot writes + serial reduction: byte-identical
+  // results for every jobs value (same discipline as simulate_makespan).
+  std::vector<fault::DirectResult> slots(static_cast<std::size_t>(config.trials));
+  par::for_each_index(config.trials, config.jobs, [&](std::int64_t trial) {
+    slots[static_cast<std::size_t>(trial)] = fault::run_with_failures(
+        program, pert, dc, *dist,
+        Rng::substream(config.seed ^ 0x5bd1e995, static_cast<std::uint64_t>(trial)));
+  });
+
+  const double work_seconds = units::to_seconds(out.breakdown.base_makespan);
+  std::vector<double> makespans;
+  makespans.reserve(slots.size());
+  StreamingStats stats;
+  double total_failures = 0;
+  for (const fault::DirectResult& r : slots) {
+    if (!r.completed)
+      throw std::runtime_error("direct failure trial did not complete: " + r.error);
+    const double m = units::to_seconds(r.makespan_wall);
+    makespans.push_back(m);
+    stats.add(m);
+    total_failures += static_cast<double>(r.stats.failures);
+    out.stats.failures += r.stats.failures;
+    out.stats.rollbacks += r.stats.rollbacks;
+    out.stats.replays += r.stats.replays;
+    out.stats.snapshots += r.stats.snapshots;
+    out.stats.lost_work = saturating_add(out.stats.lost_work, r.stats.lost_work);
+    out.stats.downtime = saturating_add(out.stats.downtime, r.stats.downtime);
+  }
+  out.direct.trials = config.trials;
+  out.direct.mean_seconds = stats.mean();
+  out.direct.stddev_seconds = stats.stddev();
+  out.direct.p95_seconds = percentile(std::move(makespans), 0.95);
+  out.direct.mean_failures = total_failures / config.trials;
+  out.direct.efficiency = work_seconds / out.direct.mean_seconds;
+
+  // Matched decoupled model: same work / slowdown / interval / restart /
+  // failure process, so the residual is purely the modelling difference.
+  ckpt::RecoveryParams rp;
+  rp.kind = config.study.protocol.kind;
+  rp.work_seconds = work_seconds;
+  rp.slowdown = out.breakdown.slowdown;
+  rp.interval_seconds = config.recovery_interval_seconds > 0
+                            ? config.recovery_interval_seconds
+                            : units::to_seconds(out.interval);
+  rp.restart_seconds = restart_seconds;
+  rp.replay_speedup = config.replay_speedup;
+  out.decoupled = ckpt::simulate_makespan(rp, *dist, config.trials, config.seed,
+                                          nullptr, config.jobs);
+  out.relative_error = out.decoupled.mean_seconds > 0
+                           ? (out.direct.mean_seconds - out.decoupled.mean_seconds) /
+                                 out.decoupled.mean_seconds
+                           : 0.0;
+
+  if (config.study.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.study.metrics;
+    m.add_counter("recovery.direct.trials", config.trials);
+    m.add_counter("recovery.direct.failures", out.stats.failures);
+    m.add_counter("recovery.direct.rollbacks", out.stats.rollbacks);
+    m.add_counter("recovery.direct.replays", out.stats.replays);
+    m.add_counter("recovery.direct.snapshots", out.stats.snapshots);
+    m.set_gauge("recovery.direct.mean_seconds", out.direct.mean_seconds);
+    m.set_gauge("recovery.direct.p95_seconds", out.direct.p95_seconds);
+    m.set_gauge("recovery.direct.mean_failures", out.direct.mean_failures);
+    m.set_gauge("recovery.direct.efficiency", out.direct.efficiency);
+    m.set_gauge("recovery.direct.lost_work_seconds",
+                units::to_seconds(out.stats.lost_work));
+    m.set_gauge("recovery.direct.downtime_seconds",
+                units::to_seconds(out.stats.downtime));
+    m.set_gauge("recovery.direct.relative_error_vs_decoupled", out.relative_error);
+    m.stats("recovery.direct.trial_makespan_seconds").merge(stats);
+  }
+  return out;
+}
+
+std::vector<DirectFailureStudyResult> run_direct_failure_sweep(
+    const std::vector<FailureStudyConfig>& configs, int jobs) {
+  std::vector<DirectFailureStudyResult> out(configs.size());
+  std::vector<obs::MetricsRegistry> cell_metrics(configs.size());
+  par::for_each_index(static_cast<std::int64_t>(configs.size()), jobs,
+                      [&](std::int64_t i) {
+                        FailureStudyConfig cell = configs[static_cast<std::size_t>(i)];
+                        if (cell.study.metrics != nullptr)
+                          cell.study.metrics =
+                              &cell_metrics[static_cast<std::size_t>(i)];
+                        out[static_cast<std::size_t>(i)] =
+                            run_direct_failure_study(cell);
+                      });
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    if (configs[i].study.metrics != nullptr)
+      configs[i].study.metrics->merge(cell_metrics[i]);
   return out;
 }
 

@@ -1,13 +1,29 @@
 // End-to-end study with failures: perturbation simulation + Monte-Carlo
-// recovery model (experiments E7, E9, E10).
+// recovery model (experiments E7, E9, E10), and the direct in-DES failure
+// simulation that validates the decoupled decomposition (E13).
 #pragma once
 
 #include "chksim/ckpt/recovery.hpp"
 #include "chksim/core/study.hpp"
+#include "chksim/fault/direct.hpp"
 
 namespace chksim::core {
 
+/// How failures are modelled on top of the perturbation study.
+enum class FailureModel {
+  /// The paper's decomposition: failure-free DES slowdown, then the
+  /// Monte-Carlo renewal model (ckpt::simulate_makespan).
+  kDecoupled,
+  /// Ground truth: failures injected into the running DES via fault::direct
+  /// (rollback / replay applied to the live machine state). Makespans are in
+  /// simulated (engine) time, so machine MTBF/restart must be scaled to the
+  /// simulated horizon for failures to occur at all.
+  kDirect,
+};
+
 struct FailureStudyConfig {
+  /// Failure model; run_failure_study dispatches on this.
+  FailureModel mode = FailureModel::kDecoupled;
   StudyConfig study;
   /// Useful work to complete, in failure-free unperturbed seconds.
   double work_seconds = 24.0 * 3600.0;
@@ -38,8 +54,11 @@ struct FailureStudyResult {
   TimeNs interval = 0;
 };
 
-/// Run the perturbation simulation, then the recovery Monte-Carlo at the
-/// same scale.
+/// Run the perturbation simulation, then failures per config.mode: the
+/// recovery Monte-Carlo (kDecoupled), or the direct in-DES simulation
+/// (kDirect; the makespan distribution then comes from
+/// run_direct_failure_study and is over the simulated horizon — work =
+/// the program's base makespan, not config.work_seconds).
 FailureStudyResult run_failure_study(const FailureStudyConfig& config);
 
 /// Run a batch of independent failure studies on up to `jobs` threads
@@ -47,6 +66,35 @@ FailureStudyResult run_failure_study(const FailureStudyConfig& config);
 /// jobs value — see run_sweep for the slot/merge discipline (each cell's
 /// inner trials run with that cell's config.jobs).
 std::vector<FailureStudyResult> run_failure_sweep(
+    const std::vector<FailureStudyConfig>& configs, int jobs = 0);
+
+/// Direct-vs-decoupled validation cell (E13): both models run over the SAME
+/// frame — work = the program's simulated base makespan, interval = the
+/// prepared protocol's interval, restart = machine.restart_seconds (or the
+/// storage-model cost with model_restart_io), failures = exponential (or
+/// Weibull) with system MTBF from the machine model. config.work_seconds is
+/// ignored.
+struct DirectFailureStudyResult {
+  Breakdown breakdown;            ///< Failure-free perturbation measurement.
+  ckpt::MakespanResult direct;    ///< In-DES simulated makespan distribution.
+  ckpt::MakespanResult decoupled; ///< Renewal model, matched parameters.
+  /// (direct.mean - decoupled.mean) / decoupled.mean.
+  double relative_error = 0;
+  fault::DirectStats stats;       ///< Summed over the direct trials.
+  double system_mtbf_seconds = 0;
+  TimeNs interval = 0;
+};
+
+/// Run the direct in-DES failure simulation for config.trials independent
+/// failure sequences, plus the matched decoupled model, and compare.
+/// Publishes "recovery.direct.*" under config.study.metrics. Deterministic
+/// for every config.jobs value (per-trial RNG substreams, slot writes,
+/// serial reduction).
+DirectFailureStudyResult run_direct_failure_study(const FailureStudyConfig& config);
+
+/// Batch version of run_direct_failure_study, same discipline as
+/// run_failure_sweep.
+std::vector<DirectFailureStudyResult> run_direct_failure_sweep(
     const std::vector<FailureStudyConfig>& configs, int jobs = 0);
 
 }  // namespace chksim::core

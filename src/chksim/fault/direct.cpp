@@ -1,0 +1,317 @@
+#include "chksim/fault/direct.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+namespace chksim::fault {
+
+namespace {
+
+constexpr TimeNs kMaxTime = std::numeric_limits<TimeNs>::max();
+
+/// Failure sources hand out the first failure strictly after `after`.
+/// Failures landing inside a recovery window are folded into it — the same
+/// absorption rule the decoupled model applies (exact for exponential
+/// interarrivals by memorylessness), so direct-vs-decoupled comparisons see
+/// identical failure processes.
+class TraceSource {
+ public:
+  explicit TraceSource(const std::vector<Failure>& trace) : trace_(trace) {}
+
+  std::optional<Failure> next(TimeNs after) {
+    while (index_ < trace_.size() && trace_[index_].time <= after) ++index_;
+    if (index_ == trace_.size()) return std::nullopt;
+    return trace_[index_++];
+  }
+
+ private:
+  const std::vector<Failure>& trace_;
+  std::size_t index_ = 0;
+};
+
+class RenewalSource {
+ public:
+  RenewalSource(const FailureDistribution& dist, Rng rng, int nranks)
+      : dist_(dist), rng_(rng), nranks_(nranks) {}
+
+  std::optional<Failure> next(TimeNs after) {
+    if (t_ < after) t_ = after;
+    t_ = saturating_add(t_, units::from_seconds(dist_.sample_seconds(rng_)));
+    Failure f;
+    f.time = t_;
+    f.node = static_cast<int>(rng_.uniform_u64(static_cast<std::uint64_t>(nranks_)));
+    return f;
+  }
+
+ private:
+  const FailureDistribution& dist_;
+  Rng rng_;
+  TimeNs t_ = 0;
+  int nranks_;
+};
+
+/// Shared driver. The failure/recovery control loop is cold relative to the
+/// DES it steers, so clarity beats micro-optimisation throughout.
+class Runner {
+ public:
+  Runner(const sim::Program& program, const sim::EngineConfig& engine,
+         const DirectConfig& config)
+      : core_(program, engine), cfg_(config), nranks_(program.ranks()) {}
+
+  template <typename Source>
+  DirectResult run(Source& source) {
+    return cfg_.mode == RecoveryMode::kGlobalRollback ? run_rollback(source)
+                                                      : run_replay(source);
+  }
+
+ private:
+  // --- Coordinated: global rollback over a machine/wallclock split --------
+
+  template <typename Source>
+  DirectResult run_rollback(Source& source) {
+    sim::SimCore::Snapshot snap = core_.snapshot();  // consistent cut at t = 0
+    ++stats_.snapshots;
+    TimeNs snap_m = 0;    // machine time of the last committed snapshot
+    TimeNs offset = 0;    // wallclock = machine time + offset
+    TimeNs scan = 0;      // commit-schedule scan position (machine time)
+    TimeNs frontier = 0;  // wallclock already covered by recovery windows
+
+    while (true) {
+      if (stats_.failures >= cfg_.max_failures) return abort_guard(offset);
+      const std::optional<Failure> f = source.next(frontier);
+      if (!f.has_value()) {
+        core_.run_until(kMaxTime);
+        return finish(offset);
+      }
+      const TimeNs t_f = f->time;
+      const TimeNs m_f = t_f - offset;  // failure position in machine time
+      if (m_f >= snap_m && advance_committing(m_f, snap, snap_m, scan))
+        return finish(offset);  // the job outran the failure
+      // A failure with m_f < snap_m landed inside a restart window: the
+      // machine (parked at snap_m) made no progress to lose, the restart
+      // simply starts over from t_f.
+      const TimeNs lost = m_f > snap_m ? m_f - snap_m : 0;
+      if (lost > 0) core_.restore(snap);
+      ++stats_.failures;
+      ++stats_.rollbacks;
+      stats_.lost_work = saturating_add(stats_.lost_work, lost);
+      stats_.downtime = saturating_add(stats_.downtime, cfg_.restart);
+      offset = t_f + cfg_.restart - snap_m;
+      frontier = t_f + cfg_.restart;
+      note_failure(rank_of(f->node), t_f, snap_m + offset,
+                   "global rollback, re-executing");
+      emit_recovery(rank_of(f->node), t_f, t_f + cfg_.restart, lost);
+    }
+  }
+
+  /// Advance the machine to m_f, snapshotting at every checkpoint commit
+  /// (blackout-interval end) on the way; commits are read off rank 0 of the
+  /// schedule (coordinated schedules are rank-uniform). True if the program
+  /// finished at or before m_f — completion wins a tie with the failure.
+  ///
+  /// The DES is event-driven, so ops whose *start* events lie at or before a
+  /// bound can record completions past it; done_by() therefore checks the
+  /// makespan, not just the pending-event queue. Snapshots likewise may
+  /// carry such deterministically pre-computed completions — restoring one
+  /// replays the exact same future, so rollback accounting is unaffected.
+  bool advance_committing(TimeNs m_f, sim::SimCore::Snapshot& snap,
+                          TimeNs& snap_m, TimeNs& scan) {
+    if (cfg_.commits != nullptr) {
+      while (true) {
+        const std::optional<sim::Interval> b = cfg_.commits->next_blackout(0, scan);
+        if (!b.has_value() || b->end > m_f) break;
+        scan = b->end;
+        core_.run_until(b->end);
+        if (done_by(b->end)) return true;
+        snap = core_.snapshot();
+        ++stats_.snapshots;
+        snap_m = b->end;
+      }
+    }
+    core_.run_until(m_f);
+    return done_by(m_f);
+  }
+
+  /// The job truly completed at or before wall-equivalent machine time t.
+  bool done_by(TimeNs t) const {
+    return core_.finished() && core_.makespan() <= t;
+  }
+
+  // --- Uncoordinated / hierarchical: outage + replay-from-log -------------
+
+  template <typename Source>
+  DirectResult run_replay(Source& source) {
+    TimeNs frontier = 0;
+    while (true) {
+      if (stats_.failures >= cfg_.max_failures) return abort_guard(0);
+      const std::optional<Failure> f = source.next(frontier);
+      if (!f.has_value()) {
+        core_.run_until(kMaxTime);
+        return finish(0);
+      }
+      const TimeNs t_f = f->time;
+      core_.run_until(t_f);
+      if (done_by(t_f)) return finish(0);  // completion wins a tie with the failure
+      const sim::RankId failed = rank_of(f->node);
+      const TimeNs last = last_commit(failed, t_f);
+      const TimeNs replay = static_cast<TimeNs>(
+          static_cast<double>(t_f - last) / cfg_.replay_speedup);
+      const TimeNs until = saturating_add(t_f, cfg_.restart + replay);
+      sim::RankId lo = failed;
+      sim::RankId hi = failed + 1;
+      if (cfg_.mode == RecoveryMode::kClusterReplay && cfg_.cluster_size > 1) {
+        lo = (failed / cfg_.cluster_size) * cfg_.cluster_size;
+        hi = std::min<sim::RankId>(lo + cfg_.cluster_size, nranks_);
+      }
+      for (sim::RankId r = lo; r < hi; ++r) {
+        sim::Injection inj;
+        inj.kind = sim::Injection::Kind::kOutage;
+        inj.rank = r;
+        inj.time = t_f;
+        inj.until = until;
+        core_.inject(inj);
+      }
+      note_failure(failed, t_f, until,
+                   cfg_.mode == RecoveryMode::kClusterReplay
+                       ? "cluster replay from message log"
+                       : "local replay from message log");
+      ++stats_.failures;
+      ++stats_.replays;
+      stats_.lost_work = saturating_add(stats_.lost_work, t_f - last);
+      stats_.downtime = saturating_add(stats_.downtime, until - t_f);
+      emit_recovery(failed, t_f, t_f + cfg_.restart, replay);
+      frontier = until;
+    }
+  }
+
+  /// Machine time of `rank`'s last committed local checkpoint at or before
+  /// t (blackout-interval ends of its commit schedule; a commit exactly at t
+  /// counts). Per-rank cursors keep the periodic-schedule walk amortised.
+  TimeNs last_commit(sim::RankId rank, TimeNs t) {
+    if (cfg_.commits == nullptr) return 0;
+    auto& cur = cursors_[rank];
+    while (true) {
+      const std::optional<sim::Interval> b = cfg_.commits->next_blackout(rank, cur.scan);
+      if (!b.has_value() || b->end > t) break;
+      cur.last = b->end;
+      cur.scan = b->end;
+    }
+    return cur.last;
+  }
+
+  // --- Shared plumbing -----------------------------------------------------
+
+  sim::RankId rank_of(int node) const {
+    const sim::RankId r = static_cast<sim::RankId>(node);
+    return (r >= 0 && r < nranks_) ? r : static_cast<sim::RankId>(
+                                             ((node % nranks_) + nranks_) % nranks_);
+  }
+
+  void note_failure(sim::RankId rank, TimeNs t_f, TimeNs resume, const char* phase) {
+    sim::Injection inj;  // until = 0 makes the outage a no-op; only the note lands
+    inj.kind = sim::Injection::Kind::kOutage;
+    inj.rank = rank;
+    inj.time = t_f;
+    inj.until = 0;
+    inj.note = "rank " + std::to_string(rank) + " failed at wall t=" +
+               std::to_string(t_f) + "ns; " + phase + ", resume at wall t=" +
+               std::to_string(resume) + "ns";
+    core_.inject(inj);
+  }
+
+  void emit_recovery(sim::RankId rank, TimeNs t_f, TimeNs restart_end,
+                     TimeNs replay_len) {
+    if (cfg_.trace == nullptr) return;
+    sim::TraceEvent ev;
+    ev.rank = rank;
+    ev.kind = sim::TraceEventKind::kFailure;
+    ev.t0 = t_f;
+    ev.t1 = t_f;
+    cfg_.trace->record(ev);
+    ev.kind = sim::TraceEventKind::kRollback;
+    ev.t0 = t_f;
+    ev.t1 = restart_end;
+    cfg_.trace->record(ev);
+    if (replay_len > 0) {
+      ev.kind = sim::TraceEventKind::kReplay;
+      ev.t0 = restart_end;
+      ev.t1 = restart_end + replay_len;
+      cfg_.trace->record(ev);
+    }
+  }
+
+  DirectResult finish(TimeNs offset) {
+    sim::RunResult rr = core_.take_result();
+    DirectResult out;
+    out.completed = rr.completed;
+    out.makespan_wall = saturating_add(rr.makespan, offset);
+    out.stats = stats_;
+    if (!rr.completed) out.error = rr.error;
+    return out;
+  }
+
+  DirectResult abort_guard(TimeNs offset) {
+    DirectResult out;
+    out.completed = false;
+    out.makespan_wall = saturating_add(core_.makespan(), offset);
+    out.stats = stats_;
+    out.error = "direct failure simulation aborted after " +
+                std::to_string(stats_.failures) +
+                " failures without completing (restart cost at or above the "
+                "failure interarrival time never converges)";
+    return out;
+  }
+
+  struct Cursor {
+    TimeNs scan = 0;
+    TimeNs last = 0;
+  };
+
+  sim::SimCore core_;
+  const DirectConfig& cfg_;
+  const sim::RankId nranks_;
+  DirectStats stats_;
+  std::unordered_map<sim::RankId, Cursor> cursors_;
+};
+
+}  // namespace
+
+const char* to_string(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kGlobalRollback: return "global-rollback";
+    case RecoveryMode::kLocalReplay: return "local-replay";
+    case RecoveryMode::kClusterReplay: return "cluster-replay";
+  }
+  return "?";
+}
+
+DirectResult run_with_failures(const sim::Program& program,
+                               const sim::EngineConfig& engine,
+                               const DirectConfig& config,
+                               const std::vector<Failure>& wall_trace) {
+  Runner runner(program, engine, config);
+  if (std::is_sorted(wall_trace.begin(), wall_trace.end(),
+                     [](const Failure& a, const Failure& b) { return a.time < b.time; })) {
+    TraceSource source(wall_trace);
+    return runner.run(source);
+  }
+  std::vector<Failure> sorted = wall_trace;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Failure& a, const Failure& b) { return a.time < b.time; });
+  TraceSource source(sorted);
+  return runner.run(source);
+}
+
+DirectResult run_with_failures(const sim::Program& program,
+                               const sim::EngineConfig& engine,
+                               const DirectConfig& config,
+                               const FailureDistribution& system_failures,
+                               Rng rng) {
+  Runner runner(program, engine, config);
+  RenewalSource source(system_failures, rng, program.ranks());
+  return runner.run(source);
+}
+
+}  // namespace chksim::fault

@@ -1,0 +1,113 @@
+// Direct (in-DES) failure simulation.
+//
+// The decoupled methodology (ckpt/recovery.hpp) simulates the checkpoint
+// perturbation failure-free and layers failures on analytically. This module
+// is the ground truth that decomposition is validated against: it drives the
+// resumable sim::SimCore, pauses the machine at each failure instant, and
+// applies protocol-faithful recovery inside the discrete-event simulation.
+//
+//  * kGlobalRollback (coordinated): the run is decomposed into machine time
+//    (the failure-free DES clock) and wallclock = machine + offset. The core
+//    is snapshotted at every committed checkpoint (the end of each blackout
+//    interval of the commit schedule). A failure at wallclock t_f with
+//    machine position m_f rolls every rank back by restoring the last
+//    snapshot (machine snap_m) and advancing the offset by the restart cost
+//    plus the re-execution: offset' = t_f + restart - snap_m. A failure that
+//    lands during a restart window (m_f < snap_m) restarts the restart —
+//    no machine progress existed to lose. Re-execution is exact: the DES
+//    deterministically re-runs the lost region, checkpoint blackouts
+//    included.
+//  * kLocalReplay (uncoordinated) / kClusterReplay (hierarchical): no
+//    rollback. The failed rank (or its whole cluster) is taken out with an
+//    outage injection until t_f + restart + (t_f - last local commit) /
+//    replay_speedup — restart, then replay from its last local checkpoint at
+//    replay speedup. Message-log semantics fall out of the DES: in-flight
+//    arrivals still deliver, and peers stall only where the dependency graph
+//    makes them wait on the downed rank (sends to it buffer in the match
+//    queues, i.e. are served from the log).
+//
+// This layer deliberately does not depend on ckpt/ (which links fault/);
+// core/failure_study.cpp maps ckpt::ProtocolKind onto RecoveryMode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chksim/fault/failures.hpp"
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::fault {
+
+/// Protocol-faithful recovery behaviour (see file comment).
+enum class RecoveryMode : std::uint8_t {
+  kGlobalRollback,  ///< Coordinated: all ranks roll back to the last commit.
+  kLocalReplay,     ///< Uncoordinated: only the failed rank replays.
+  kClusterReplay,   ///< Hierarchical: the failed rank's cluster replays.
+};
+
+const char* to_string(RecoveryMode mode);
+
+struct DirectConfig {
+  RecoveryMode mode = RecoveryMode::kGlobalRollback;
+  /// Checkpoint-commit schedule: a checkpoint of rank r commits at the end
+  /// of each of r's blackout intervals (normally the same schedule the
+  /// engine config uses for the perturbation). Null = no checkpoints ever
+  /// commit — every rollback goes to the start of the run.
+  const sim::BlackoutSchedule* commits = nullptr;
+  /// Fixed restart cost per failure (wallclock).
+  TimeNs restart = 0;
+  /// Replay runs faster than original execution by this factor (>= 1);
+  /// kLocalReplay / kClusterReplay only.
+  double replay_speedup = 1.5;
+  /// kClusterReplay: ranks [c * cluster_size, (c+1) * cluster_size) fail and
+  /// recover together.
+  int cluster_size = 1;
+  /// Optional sink for kFailure / kRollback / kReplay events (wallclock
+  /// times). Note the engine's own events are in machine time, which under
+  /// kGlobalRollback lags wallclock by the accumulated recovery offset.
+  sim::TraceSink* trace = nullptr;
+  /// Abort guard: give up after this many failures (restart cost at or above
+  /// the failure interarrival never converges). The result then has
+  /// completed = false and an explanatory error.
+  std::int64_t max_failures = 1'000'000;
+};
+
+struct DirectStats {
+  std::int64_t failures = 0;   ///< Failures that struck before completion.
+  std::int64_t rollbacks = 0;  ///< Global rollbacks applied (kGlobalRollback).
+  std::int64_t replays = 0;    ///< Local/cluster replays applied.
+  std::int64_t snapshots = 0;  ///< Commit snapshots taken (kGlobalRollback).
+  TimeNs lost_work = 0;        ///< Machine time re-executed or replayed.
+  TimeNs downtime = 0;         ///< Restart + replay wallclock added.
+};
+
+struct DirectResult {
+  bool completed = false;
+  /// Wallclock completion time: machine makespan plus accumulated recovery
+  /// offset (kGlobalRollback) or the DES makespan itself (replay modes).
+  TimeNs makespan_wall = 0;
+  DirectStats stats;
+  std::string error;  ///< Set when !completed (guard tripped, or deadlock).
+};
+
+/// Run `program` under `engine` with the failures of `wall_trace` (times are
+/// wallclock, Failure::node indexes ranks; out-of-range nodes are reduced
+/// modulo the rank count). Failures at or after job completion are ignored.
+/// Deterministic.
+DirectResult run_with_failures(const sim::Program& program,
+                               const sim::EngineConfig& engine,
+                               const DirectConfig& config,
+                               const std::vector<Failure>& wall_trace);
+
+/// Same, with failures drawn lazily from a system-level renewal process:
+/// interarrivals sampled from `system_failures`, failed rank uniform. The
+/// process is unbounded, so the run always either completes or trips the
+/// max_failures guard. Deterministic in `rng`'s state.
+DirectResult run_with_failures(const sim::Program& program,
+                               const sim::EngineConfig& engine,
+                               const DirectConfig& config,
+                               const FailureDistribution& system_failures,
+                               Rng rng);
+
+}  // namespace chksim::fault

@@ -117,6 +117,9 @@ WaitAttribution attribute_waits(const EventTracer& tracer) {
       case TraceEventKind::kRts:
       case TraceEventKind::kCts:
       case TraceEventKind::kBlackout:
+      case TraceEventKind::kFailure:
+      case TraceEventKind::kRollback:
+      case TraceEventKind::kReplay:
         break;  // visualization-only events
     }
   }

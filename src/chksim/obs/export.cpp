@@ -17,6 +17,7 @@ constexpr int kPidOps = 0;
 constexpr int kPidWaits = 1;
 constexpr int kPidNetwork = 2;
 constexpr int kPidBlackouts = 3;
+constexpr int kPidFailures = 4;
 
 constexpr const char* pid_name(int pid) {
   switch (pid) {
@@ -24,6 +25,7 @@ constexpr const char* pid_name(int pid) {
     case kPidWaits: return "waits";
     case kPidNetwork: return "network";
     case kPidBlackouts: return "blackouts";
+    case kPidFailures: return "failures";
   }
   return "?";
 }
@@ -43,6 +45,10 @@ int pid_of(TraceEventKind kind) {
       return kPidNetwork;
     case TraceEventKind::kBlackout:
       return kPidBlackouts;
+    case TraceEventKind::kFailure:
+    case TraceEventKind::kRollback:
+    case TraceEventKind::kReplay:
+      return kPidFailures;
   }
   return kPidOps;
 }
@@ -75,16 +81,28 @@ void write_chrome_trace(const EventTracer& tracer, std::ostream& out) {
 
   // Metadata: name the process groups and every (group, rank) track used.
   std::set<std::pair<int, sim::RankId>> tracks;
-  for (const TraceEvent& ev : evs) tracks.insert({pid_of(ev.kind), ev.rank});
+  bool any_failures = false;
+  for (const TraceEvent& ev : evs) {
+    const int pid = pid_of(ev.kind);
+    if (pid == kPidFailures) any_failures = true;
+    tracks.insert({pid, ev.rank});
+  }
   bool first = true;
   auto sep = [&] {
     if (!first) out << ",\n";
     first = false;
   };
+  // The failures group appears only in traces that contain failure events,
+  // keeping failure-free exports byte-identical to earlier versions.
   for (int pid : {kPidOps, kPidWaits, kPidNetwork, kPidBlackouts}) {
     sep();
     out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
         << ",\"tid\":0,\"args\":{\"name\":\"" << pid_name(pid) << "\"}}";
+  }
+  if (any_failures) {
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kPidFailures
+        << ",\"tid\":0,\"args\":{\"name\":\"" << pid_name(kPidFailures) << "\"}}";
   }
   for (const auto& [pid, rank] : tracks) {
     sep();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <unordered_map>
 
 #include "chksim/support/dary_heap.hpp"
@@ -154,9 +155,28 @@ struct RankState {
   }
 };
 
-class Run {
+}  // namespace
+
+/// Everything a snapshot captures: the mutable half of the Impl below. The
+/// immutable half (program views, config, availability) is reconstructible
+/// from the SimCore and deliberately not copied.
+struct SimCore::Snapshot::State {
+  std::vector<RankState> states;
+  DaryHeap<Event, EventEarlier, 4> queue;
+  std::uint64_t next_seq = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq;
+  RunResult result;
+  std::vector<std::string> notes;
+};
+
+SimCore::Snapshot::Snapshot() = default;
+SimCore::Snapshot::~Snapshot() = default;
+SimCore::Snapshot::Snapshot(Snapshot&&) noexcept = default;
+SimCore::Snapshot& SimCore::Snapshot::operator=(Snapshot&&) noexcept = default;
+
+struct SimCore::Impl {
  public:
-  Run(const Program& program, const EngineConfig& config)
+  Impl(const Program& program, const EngineConfig& config)
       : prog_(program),
         cfg_(config),
         trace_(config.trace),
@@ -164,18 +184,16 @@ class Run {
                    ? static_cast<const BlackoutSchedule*>(config.blackouts)
                    : static_cast<const BlackoutSchedule*>(&no_blackouts_),
               config.preemption),
-        always_available_(config.blackouts == nullptr) {}
-
-  RunResult execute() {
+        always_available_(config.blackouts == nullptr) {
     const int nranks = prog_.ranks();
     states_.resize(static_cast<std::size_t>(nranks));
     views_.resize(static_cast<std::size_t>(nranks));
-    if (cfg_.record_op_finish) result_.op_finish.resize(static_cast<std::size_t>(nranks));
+    if (cfg_.record_op_finish)
+      result_.op_finish_offset.assign(static_cast<std::size_t>(nranks) + 1, 0);
     // The initial frontier is roughly one ready op per rank; later pushes
     // grow geometrically, so this one reservation makes queue growth a
     // non-event on the hot path.
     queue_.reserve(static_cast<std::size_t>(nranks) + 64);
-    std::int64_t total_ops = 0;
     for (RankId r = 0; r < nranks; ++r) {
       const RankOpsView v = prog_.rank_view(r);
       views_[static_cast<std::size_t>(r)] = v;
@@ -184,36 +202,99 @@ class Run {
       // only chain runs + explicit CSR); reconstruct them here.
       st.indegree.assign(v.count, 0);
       if (cfg_.record_op_finish)
-        result_.op_finish[static_cast<std::size_t>(r)].assign(v.count, -1);
+        result_.op_finish_offset[static_cast<std::size_t>(r) + 1] =
+            result_.op_finish_offset[static_cast<std::size_t>(r)] + v.count;
       for (OpIndex i = 0; i < v.count; ++i)
         for (OpIndex k = 1; k <= v.chain[i]; ++k) ++st.indegree[i + k];
       for (std::uint32_t e = v.xoff[0]; e < v.xoff[v.count]; ++e)
         ++st.indegree[v.xsucc[e]];
       for (OpIndex i = 0; i < v.count; ++i)
         if (st.indegree[i] == 0) push_ready(0, r, i);
-      total_ops += static_cast<std::int64_t>(v.count);
+      total_ops_ += static_cast<std::int64_t>(v.count);
     }
+    if (cfg_.record_op_finish)
+      result_.op_finish.assign(static_cast<std::size_t>(total_ops_), -1);
+  }
 
-    while (!queue_.empty()) {
-      const Event ev = queue_.top();
-      queue_.pop();
-      ++result_.events_processed;
-      if (!ev.is_arrival()) {
-        execute_op(ev.rank, ev.op, ev.time);
-      } else {
-        handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
-                       trace_ != nullptr ? take_arrival_msg_seq(ev.seq_kind) : 0);
+  void run_until(TimeNs t) {
+    while (!queue_.empty() && queue_.top().time <= t) step_one();
+  }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    step_one();
+    return true;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  bool finished() const { return result_.ops_executed == total_ops_; }
+  TimeNs next_event_time() const { return queue_.empty() ? -1 : queue_.top().time; }
+  TimeNs makespan() const { return result_.makespan; }
+  std::int64_t ops_executed() const { return result_.ops_executed; }
+
+  void inject(const Injection& inj) {
+    switch (inj.kind) {
+      case Injection::Kind::kOutage: {
+        auto& st = states_.at(static_cast<std::size_t>(inj.rank));
+        st.cpu_free = std::max(st.cpu_free, inj.until);
+        st.nic_free = std::max(st.nic_free, inj.until);
+        break;
       }
+      case Injection::Kind::kMessage:
+        push_arrival(inj.time, inj.rank, inj.src, inj.tag, inj.bytes, 0);
+        break;
     }
+    if (!inj.note.empty()) {
+      // Keep only the most recent few: diagnostics context, not a log.
+      if (notes_.size() >= 8) notes_.erase(notes_.begin());
+      notes_.push_back(inj.note);
+    }
+  }
 
-    result_.completed = result_.ops_executed == total_ops;
+  Snapshot snapshot() const {
+    Snapshot snap;
+    snap.state_ = std::make_unique<Snapshot::State>();
+    snap.state_->states = states_;
+    snap.state_->queue = queue_;
+    snap.state_->next_seq = next_seq_;
+    snap.state_->arrival_msg_seq = arrival_msg_seq_;
+    snap.state_->result = result_;
+    snap.state_->notes = notes_;
+    return snap;
+  }
+
+  void restore(const Snapshot& snap) {
+    if (snap.state_ == nullptr)
+      throw std::logic_error("SimCore::restore: empty snapshot");
+    states_ = snap.state_->states;
+    queue_ = snap.state_->queue;
+    next_seq_ = snap.state_->next_seq;
+    arrival_msg_seq_ = snap.state_->arrival_msg_seq;
+    result_ = snap.state_->result;
+    notes_ = snap.state_->notes;
+  }
+
+  RunResult take_result() {
+    result_.completed = result_.ops_executed == total_ops_;
     if (!result_.completed) describe_deadlock();
-    result_.ranks.reserve(static_cast<std::size_t>(nranks));
+    result_.ranks.reserve(states_.size());
     for (auto& st : states_) result_.ranks.push_back(st.stats);
     return std::move(result_);
   }
 
  private:
+  void step_one() {
+    const Event ev = queue_.top();
+    queue_.pop();
+    ++result_.events_processed;
+    if (!ev.is_arrival()) {
+      execute_op(ev.rank, ev.op, ev.time);
+    } else {
+      handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
+                     trace_ != nullptr ? take_arrival_msg_seq(ev.seq_kind) : 0);
+    }
+  }
+
   void push_ready(TimeNs t, RankId r, OpIndex i) {
     Event ev;
     ev.time = t;
@@ -433,7 +514,8 @@ class Run {
     ++result_.ops_executed;
     st.stats.finish_time = std::max(st.stats.finish_time, t);
     result_.makespan = std::max(result_.makespan, t);
-    if (cfg_.record_op_finish) result_.op_finish[static_cast<std::size_t>(r)][i] = t;
+    if (cfg_.record_op_finish)
+      result_.op_finish[result_.op_finish_offset[static_cast<std::size_t>(r)] + i] = t;
     views_[static_cast<std::size_t>(r)].for_each_successor(i, [&](OpIndex v) {
       assert(st.indegree[v] > 0);
       if (--st.indegree[v] == 0) push_ready(t, r, v);
@@ -454,6 +536,12 @@ class Run {
         ++shown;
       }
     }
+    // A wedged injected run (failure modeling) is far easier to diagnose
+    // with the failure context than with the unmatched-recv counts alone.
+    if (!notes_.empty()) {
+      msg += " injected-failure context:";
+      for (const std::string& note : notes_) msg += " [" + note + "]";
+    }
     result_.error = msg;
   }
 
@@ -467,19 +555,43 @@ class Run {
   std::vector<RankOpsView> views_;
   DaryHeap<Event, EventEarlier, 4> queue_;
   std::uint64_t next_seq_ = 0;
+  std::int64_t total_ops_ = 0;
   // Event seq of an in-flight arrival -> trace seq of its kMsgInject.
   // Populated only while tracing; empty (and untouched) otherwise.
   std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq_;
+  // Injection context (failure rank/time/recovery), for deadlock diagnostics.
+  std::vector<std::string> notes_;
   RunResult result_;
 };
 
-}  // namespace
+SimCore::SimCore(const Program& program, const EngineConfig& config) {
+  if (!program.finalized())
+    throw std::logic_error("SimCore requires a finalized Program");
+  impl_ = std::make_unique<Impl>(program, config);
+}
+
+SimCore::~SimCore() = default;
+SimCore::SimCore(SimCore&&) noexcept = default;
+SimCore& SimCore::operator=(SimCore&&) noexcept = default;
+
+void SimCore::run_until(TimeNs t) { impl_->run_until(t); }
+bool SimCore::step() { return impl_->step(); }
+bool SimCore::idle() const { return impl_->idle(); }
+bool SimCore::finished() const { return impl_->finished(); }
+TimeNs SimCore::next_event_time() const { return impl_->next_event_time(); }
+TimeNs SimCore::makespan() const { return impl_->makespan(); }
+std::int64_t SimCore::ops_executed() const { return impl_->ops_executed(); }
+void SimCore::inject(const Injection& injection) { impl_->inject(injection); }
+SimCore::Snapshot SimCore::snapshot() const { return impl_->snapshot(); }
+void SimCore::restore(const Snapshot& snap) { impl_->restore(snap); }
+RunResult SimCore::take_result() { return impl_->take_result(); }
 
 RunResult Engine::run(const Program& program, const EngineConfig& config) const {
   if (!program.finalized())
     throw std::logic_error("Engine::run requires a finalized Program");
-  Run run(program, config);
-  return run.execute();
+  SimCore core(program, config);
+  core.run_until(std::numeric_limits<TimeNs>::max());
+  return core.take_result();
 }
 
 }  // namespace chksim::sim

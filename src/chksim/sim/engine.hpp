@@ -21,9 +21,18 @@
 //  * Blackouts pause (preemptive mode) or exclude (non-preemptive mode) CPU
 //    work; NIC transfers are not affected, matching a checkpointer that
 //    freezes the process but lets in-flight DMA complete.
+//
+// Two entry points share one implementation:
+//
+//  * Engine::run() — one-shot, runs a program to completion (or deadlock).
+//  * SimCore — the resumable core underneath run(): the same machine state
+//    (event heap, match arenas, per-rank cursors and clocks) exposed in
+//    pausable increments with snapshot/restore and external event
+//    injection. fault::direct drives it to simulate failures in-DES.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,20 +83,136 @@ struct RankStats {
   Bytes bytes_sent = 0;
 };
 
+/// Finish times of one rank's ops — a slice of the RunResult arena
+/// (record_op_finish only).
+struct OpFinishView {
+  const TimeNs* data = nullptr;
+  std::size_t count = 0;
+
+  TimeNs operator[](std::size_t i) const { return data[i]; }
+  std::size_t size() const { return count; }
+  const TimeNs* begin() const { return data; }
+  const TimeNs* end() const { return data + count; }
+};
+
 struct RunResult {
   bool completed = false;    ///< False on deadlock (unmatched dependencies).
   TimeNs makespan = 0;       ///< max over ranks of finish_time.
   std::int64_t ops_executed = 0;
   std::int64_t events_processed = 0;
   std::vector<RankStats> ranks;
-  /// op_finish[r][i] = finish time of op i on rank r (record_op_finish only).
-  std::vector<std::vector<TimeNs>> op_finish;
+  /// Per-op finish times, one flat rank-major arena + per-rank offsets
+  /// (record_op_finish only; one allocation instead of one per rank). Op i
+  /// of rank r finished at op_finish[op_finish_offset[r] + i]; unexecuted
+  /// ops hold -1. Use op_finish_of(r) for a per-rank slice.
+  std::vector<TimeNs> op_finish;
+  std::vector<std::uint64_t> op_finish_offset;  ///< ranks + 1 entries when recorded.
   std::string error;  ///< Deadlock diagnostics when !completed.
+
+  bool has_op_finish() const { return !op_finish_offset.empty(); }
+  OpFinishView op_finish_of(RankId r) const {
+    const std::size_t lo = op_finish_offset[static_cast<std::size_t>(r)];
+    const std::size_t hi = op_finish_offset[static_cast<std::size_t>(r) + 1];
+    return {op_finish.data() + lo, hi - lo};
+  }
 
   /// Sum of recv_wait across ranks.
   TimeNs total_recv_wait() const;
   /// Mean cpu_busy across ranks.
   double mean_cpu_busy() const;
+};
+
+/// An externally injected event, applied to a paused SimCore between
+/// run_until() calls. Failure models use outages (a failed rank or cluster
+/// makes no progress while it restarts and replays); kMessage supports
+/// out-of-band arrivals in tests and trace-driven tooling.
+struct Injection {
+  enum class Kind : std::uint8_t {
+    /// `rank`'s CPU and NIC make no progress until `until`. Pending ops and
+    /// in-flight messages are untouched; they simply wait on the delayed
+    /// resources — peers stall only where the dependency graph says so.
+    kOutage,
+    /// Out-of-band message arrival on `rank` from `src` at `time`; matches
+    /// a posted (or future) recv exactly like an engine-generated arrival.
+    kMessage,
+  };
+  Kind kind = Kind::kOutage;
+  RankId rank = -1;   ///< kOutage: delayed rank; kMessage: destination.
+  TimeNs time = 0;    ///< kOutage: failure instant; kMessage: arrival time.
+  TimeNs until = 0;   ///< kOutage: end of the outage.
+  RankId src = -1;    ///< kMessage only.
+  Tag tag = 0;        ///< kMessage only.
+  Bytes bytes = 0;    ///< kMessage only.
+  /// Context recorded by the core ("rank 3 failed at ...; recovery ...");
+  /// surfaced in the deadlock diagnostics if the run never completes.
+  std::string note;
+};
+
+/// The resumable simulation core: explicit, pausable machine state.
+///
+/// Owns the event heap, per-rank match arenas, dependency cursors, and
+/// CPU/NIC clocks of one run. Engine::run() is a thin loop over this class;
+/// failure models pause it mid-run, snapshot it at checkpoint commits, roll
+/// it back, and inject recovery outages.
+///
+/// The program, the EngineConfig, and everything the config points at
+/// (blackout schedule, tax, trace sink) must outlive the core. Lifecycle:
+/// construct (seeds the ready frontier), any sequence of run_until / step /
+/// inject / snapshot / restore, then take_result() exactly once.
+class SimCore {
+ public:
+  SimCore(const Program& program, const EngineConfig& config);
+  ~SimCore();
+  SimCore(SimCore&&) noexcept;
+  SimCore& operator=(SimCore&&) noexcept;
+
+  /// Process every pending event with time <= t, in (time, seq) order.
+  void run_until(TimeNs t);
+
+  /// Process the single earliest pending event. False when idle.
+  bool step();
+
+  /// No pending events: the program completed — or deadlocked.
+  bool idle() const;
+  /// Every op of the program has executed.
+  bool finished() const;
+  /// Time of the earliest pending event; -1 when idle.
+  TimeNs next_event_time() const;
+  /// Completion time of the latest op executed so far.
+  TimeNs makespan() const;
+  std::int64_t ops_executed() const;
+
+  /// Apply an external event (see Injection). Outages move the rank's
+  /// CPU/NIC clocks forward; messages enqueue an arrival. Injections carry
+  /// no event-heap cost until their time is reached by run_until/step.
+  void inject(const Injection& injection);
+
+  /// Deep-copied value snapshot of the complete mutable state (event heap,
+  /// match arenas, cursors, clocks, partial accounting). Cost is O(live
+  /// state), independent of history length. A snapshot may only be restored
+  /// into a core over the same program + config.
+  class Snapshot {
+   public:
+    Snapshot();
+    ~Snapshot();
+    Snapshot(Snapshot&&) noexcept;
+    Snapshot& operator=(Snapshot&&) noexcept;
+
+   private:
+    friend class SimCore;
+    struct State;
+    std::unique_ptr<State> state_;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Finish accounting (completion check, deadlock diagnostics, per-rank
+  /// stats) and hand out the RunResult. Call exactly once, when done.
+  RunResult take_result();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Runs a finalized Program to completion. Stateless between calls.

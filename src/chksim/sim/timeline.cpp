@@ -45,7 +45,7 @@ bool covers(const std::vector<Interval>& list, TimeNs t) {
 Timeline::Timeline(const Program& program, const RunResult& run,
                    const EngineConfig& config, TimeNs horizon)
     : horizon_(horizon) {
-  if (run.op_finish.empty())
+  if (!run.has_op_finish())
     throw std::invalid_argument("Timeline requires record_op_finish = true");
   if (horizon <= 0) throw std::invalid_argument("Timeline: horizon must be > 0");
 
@@ -66,7 +66,7 @@ Timeline::Timeline(const Program& program, const RunResult& run,
     // Busy spans: each op's CPU cost ending at its finish time, clipped.
     std::vector<Interval> busy;
     const RankOpsView ops = program.rank_view(r);
-    const auto& finish = run.op_finish[static_cast<std::size_t>(r)];
+    const OpFinishView finish = run.op_finish_of(r);
     busy.reserve(ops.count);
     for (OpIndex i = 0; i < ops.count; ++i) {
       if (finish[i] < 0) continue;

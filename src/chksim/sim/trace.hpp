@@ -33,6 +33,12 @@ enum class TraceEventKind : std::uint8_t {
   kCts,         ///< Rendezvous clear-to-send + payload leg [t0, t1) (rank = receiver).
   kBlackout,    ///< CPU blackout interval [t0, t1) on `rank`.
   kRecvWait,    ///< Receive posted at t0, data available at t1 (rank = receiver).
+  kFailure,     ///< Injected failure: `rank` (or its cluster) fails at t0.
+                ///< Emitted by failure models (fault::direct), not the engine.
+  kRollback,    ///< Recovery interval [t0, t1): coordinated global rollback
+                ///< window (rank = -1) or the failed rank's restart.
+  kReplay,      ///< Replay interval [t0, t1): the failed rank re-executes from
+                ///< its last local checkpoint at replay speedup.
 };
 
 /// Stable short name ("calc", "send", "inject", ...) for exporters.
@@ -47,6 +53,9 @@ constexpr const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kCts: return "cts";
     case TraceEventKind::kBlackout: return "blackout";
     case TraceEventKind::kRecvWait: return "wait";
+    case TraceEventKind::kFailure: return "failure";
+    case TraceEventKind::kRollback: return "rollback";
+    case TraceEventKind::kReplay: return "replay";
   }
   return "?";
 }

@@ -115,11 +115,11 @@ TEST(ReduceBinomial, RootExitIsLast) {
   const RunResult r = sim::run_program(p, cfg);
   ASSERT_TRUE(r.completed);
   const TimeNs root_done =
-      r.op_finish[0][exits[0].index];
+      r.op_finish_of(0)[exits[0].index];
   for (int i = 1; i < 8; ++i) {
     const TimeNs member_done =
-        r.op_finish[static_cast<std::size_t>(exits[static_cast<std::size_t>(i)].rank)]
-                   [exits[static_cast<std::size_t>(i)].index];
+        r.op_finish_of(exits[static_cast<std::size_t>(i)].rank)
+            [exits[static_cast<std::size_t>(i)].index];
     EXPECT_LE(member_done, root_done) << "member " << i;
   }
 }
@@ -206,7 +206,7 @@ TEST(BarrierDissemination, NoMemberExitsBeforeLastEntry) {
   const TimeNs last_entry = P * 1000;  // rank P-1's calc finishes last
   for (int i = 0; i < P; ++i) {
     const auto ex = exits[static_cast<std::size_t>(i)];
-    EXPECT_GE(r.op_finish[static_cast<std::size_t>(ex.rank)][ex.index], last_entry);
+    EXPECT_GE(r.op_finish_of(static_cast<std::size_t>(ex.rank))[ex.index], last_entry);
   }
 }
 

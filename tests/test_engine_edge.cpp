@@ -76,8 +76,8 @@ TEST(EngineEdge, ManyMessagesOnOneChannelStayOrdered) {
   cfg.record_op_finish = true;
   const RunResult r = run_program(p, cfg);
   ASSERT_TRUE(r.completed);
-  for (std::size_t i = 1; i < r.op_finish[1].size(); ++i)
-    ASSERT_GT(r.op_finish[1][i], r.op_finish[1][i - 1]);
+  for (std::size_t i = 1; i < r.op_finish_of(1).size(); ++i)
+    ASSERT_GT(r.op_finish_of(1)[i], r.op_finish_of(1)[i - 1]);
 }
 
 TEST(EngineEdge, LongSimulatedTimesDontOverflow) {

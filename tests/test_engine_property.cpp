@@ -87,7 +87,7 @@ TEST_P(EngineFuzz, InvariantsHold) {
   // than each of its intra-rank predecessors).
   for (RankId rank = 0; rank < g.ranks; ++rank) {
     const RankOpsView v = g.program.rank_view(rank);
-    const auto& finish = r.op_finish[static_cast<std::size_t>(rank)];
+    const OpFinishView finish = r.op_finish_of(rank);
     for (OpIndex i = 0; i < v.count; ++i) {
       ASSERT_GE(finish[i], 0) << "op never finished";
       v.for_each_successor(i, [&](OpIndex to) {
@@ -135,7 +135,7 @@ TEST_P(EngineFuzz, InvariantsHold) {
   EXPECT_EQ(run_program(g.program, noisy).makespan, rn.makespan);
   for (RankId rank = 0; rank < g.ranks; ++rank) {
     const RankOpsView v = g.program.rank_view(rank);
-    const auto& finish = rn.op_finish[static_cast<std::size_t>(rank)];
+    const OpFinishView finish = rn.op_finish_of(rank);
     for (OpIndex i = 0; i < v.count; ++i)
       v.for_each_successor(i,
                            [&](OpIndex to) { ASSERT_GE(finish[to], finish[i]); });
@@ -217,9 +217,9 @@ TEST_P(CausalityFuzz, MessagesRespectLatency) {
   ASSERT_TRUE(r.completed) << r.error;
   for (const auto& pr : pairs) {
     const TimeNs send_done =
-        r.op_finish[static_cast<std::size_t>(pr.send.rank)][pr.send.index];
+        r.op_finish_of(static_cast<std::size_t>(pr.send.rank))[pr.send.index];
     const TimeNs recv_done =
-        r.op_finish[static_cast<std::size_t>(pr.recv.rank)][pr.recv.index];
+        r.op_finish_of(static_cast<std::size_t>(pr.recv.rank))[pr.recv.index];
     // recv >= send completion + L + recv overhead.
     ASSERT_GE(recv_done, send_done + cfg.net.L + cfg.net.o);
   }

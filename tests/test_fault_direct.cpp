@@ -1,0 +1,449 @@
+// SimCore resumable-API semantics and direct in-DES failure injection,
+// with hand-computed recovery algebra and direct-vs-decoupled agreement
+// checks on explicit failure traces (ISSUE 4 edge cases).
+#include "chksim/fault/direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "chksim/ckpt/recovery.hpp"
+#include "chksim/sim/availability.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/sim/program.hpp"
+
+namespace chksim::fault {
+namespace {
+
+constexpr TimeNs kForever = std::numeric_limits<TimeNs>::max();
+
+// Same hand-calculation parameters as test_sim_engine: latency 1000,
+// overhead 100, gap 200, no per-byte costs, eager only.
+sim::LogGOPSParams simple_net() {
+  sim::LogGOPSParams p;
+  p.L = 1000;
+  p.o = 100;
+  p.g = 200;
+  p.G = 0.0;
+  p.O = 0.0;
+  p.S = 1 << 30;
+  return p;
+}
+
+sim::EngineConfig simple_config() {
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.record_op_finish = true;
+  return cfg;
+}
+
+// One rank, ten dependency-chained 100 ns calcs: the machine executes them
+// strictly serially at true event times, so run_until() bounds are honest
+// (independent ops would all fire their events at t = 0).
+sim::Program chain_program(int calcs = 10, TimeNs each = 100) {
+  sim::Program p(1);
+  sim::OpRef prev{};
+  for (int i = 0; i < calcs; ++i) {
+    const sim::OpRef c = p.calc(0, each);
+    if (i > 0) p.depends(prev, c);
+    prev = c;
+  }
+  p.finalize();
+  return p;
+}
+
+// Two ranks: r0 computes then sends; r1 receives then computes. With
+// simple_net the failure-free timeline is calc [0,100), send [100,200),
+// arrival 1200, recv end 1300, calc end 1400.
+sim::Program pingpong_program() {
+  sim::Program p(2);
+  const sim::OpRef c0 = p.calc(0, 100);
+  const sim::OpRef s = p.send(0, 1, 8, 1);
+  p.depends(c0, s);
+  const sim::OpRef r = p.recv(1, 0, 8, 1);
+  const sim::OpRef c1 = p.calc(1, 100);
+  p.depends(r, c1);
+  p.finalize();
+  return p;
+}
+
+// --- SimCore resumable API -------------------------------------------------
+
+TEST(SimCore, StepLoopMatchesEngineRun) {
+  const sim::Program p = pingpong_program();
+  const sim::EngineConfig cfg = simple_config();
+  const sim::RunResult one_shot = sim::run_program(p, cfg);
+  ASSERT_TRUE(one_shot.completed);
+
+  sim::SimCore core(p, cfg);
+  std::int64_t steps = 0;
+  while (core.step()) ++steps;
+  EXPECT_TRUE(core.idle());
+  EXPECT_TRUE(core.finished());
+  const sim::RunResult stepped = core.take_result();
+  EXPECT_EQ(steps, one_shot.events_processed);
+  EXPECT_TRUE(stepped.completed);
+  EXPECT_EQ(stepped.makespan, one_shot.makespan);
+  EXPECT_EQ(stepped.ops_executed, one_shot.ops_executed);
+  EXPECT_EQ(stepped.events_processed, one_shot.events_processed);
+  EXPECT_EQ(stepped.op_finish, one_shot.op_finish);
+  EXPECT_EQ(stepped.op_finish_offset, one_shot.op_finish_offset);
+}
+
+TEST(SimCore, RunUntilIsIncremental) {
+  const sim::Program p = chain_program();
+  const sim::EngineConfig cfg = simple_config();
+  sim::SimCore core(p, cfg);
+
+  core.run_until(250);  // processes start events at 0, 100, 200
+  EXPECT_FALSE(core.finished());
+  EXPECT_FALSE(core.idle());
+  EXPECT_EQ(core.ops_executed(), 3);
+  EXPECT_EQ(core.makespan(), 300);
+  EXPECT_EQ(core.next_event_time(), 300);
+
+  core.run_until(kForever);
+  EXPECT_TRUE(core.finished());
+  EXPECT_TRUE(core.idle());
+  EXPECT_EQ(core.next_event_time(), -1);
+  const sim::RunResult r = core.take_result();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 1000);
+}
+
+TEST(SimCore, SnapshotRestoreReproducesTheRun) {
+  const sim::Program p = pingpong_program();
+  const sim::EngineConfig cfg = simple_config();
+  const sim::RunResult reference = sim::run_program(p, cfg);
+
+  sim::SimCore core(p, cfg);
+  core.run_until(600);  // mid-flight: message sent, not yet arrived
+  const sim::SimCore::Snapshot snap = core.snapshot();
+  core.run_until(kForever);
+  EXPECT_TRUE(core.finished());
+  EXPECT_EQ(core.makespan(), reference.makespan);
+
+  core.restore(snap);  // rewind and replay: deterministic identical future
+  EXPECT_FALSE(core.finished());
+  core.run_until(kForever);
+  const sim::RunResult replay = core.take_result();
+  EXPECT_TRUE(replay.completed);
+  EXPECT_EQ(replay.makespan, reference.makespan);
+  EXPECT_EQ(replay.ops_executed, reference.ops_executed);
+  EXPECT_EQ(replay.op_finish, reference.op_finish);
+}
+
+TEST(SimCore, InjectedOutageDelaysTheRank) {
+  const sim::Program p = chain_program();
+  sim::SimCore core(p, simple_config());
+  sim::Injection inj;
+  inj.kind = sim::Injection::Kind::kOutage;
+  inj.rank = 0;
+  inj.time = 0;
+  inj.until = 500;
+  core.inject(inj);
+  core.run_until(kForever);
+  const sim::RunResult r = core.take_result();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 1500);  // 500 outage + 10 x 100 work
+}
+
+TEST(SimCore, InjectedMessageSatisfiesARecv) {
+  sim::Program p(2);
+  p.recv(0, 1, 8, 9);  // no matching send anywhere in the program
+  p.finalize();
+  sim::SimCore core(p, simple_config());
+  sim::Injection inj;
+  inj.kind = sim::Injection::Kind::kMessage;
+  inj.rank = 0;
+  inj.src = 1;
+  inj.tag = 9;
+  inj.bytes = 8;
+  inj.time = 300;
+  core.inject(inj);
+  core.run_until(kForever);
+  const sim::RunResult r = core.take_result();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 400);  // arrival 300 + recv overhead o = 100
+}
+
+// --- Coordinated rollback: hand-computed algebra ---------------------------
+
+TEST(DirectRollback, SingleFailureNoCommitsRestartsFromScratch) {
+  const sim::Program p = chain_program();  // W = 1000
+  const sim::EngineConfig cfg = simple_config();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kGlobalRollback;  // commits == nullptr: rollback to start
+  dc.restart = 200;
+  const std::vector<Failure> trace{{350, 0}};
+  const DirectResult r = run_with_failures(p, cfg, dc, trace);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.makespan_wall, 1550);  // t_f + R + full re-execution
+  EXPECT_EQ(r.stats.failures, 1);
+  EXPECT_EQ(r.stats.rollbacks, 1);
+  EXPECT_EQ(r.stats.lost_work, 350);
+  EXPECT_EQ(r.stats.downtime, 200);
+  EXPECT_EQ(r.stats.snapshots, 1);  // the t = 0 snapshot only
+}
+
+TEST(DirectRollback, FailureAfterCompletionIsIgnored) {
+  const sim::Program p = chain_program();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kGlobalRollback;
+  dc.restart = 200;
+  const std::vector<Failure> trace{{1000, 0}};  // exactly at completion: tie
+  const DirectResult r = run_with_failures(p, simple_config(), dc, trace);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan_wall, 1000);  // completion wins the tie
+  EXPECT_EQ(r.stats.failures, 0);
+}
+
+// Fixture for the committed-schedule scenarios: blackouts [300,350) and
+// [650,700) model two checkpoint writes; commits land at the interval ends
+// 350 and 700 (machine time). The chained program stretches to M = 1100.
+class DirectCommitted : public ::testing::Test {
+ protected:
+  DirectCommitted()
+      : program_(chain_program()),
+        commits_(std::vector<std::vector<sim::Interval>>{
+            {{300, 350}, {650, 700}}}),
+        config_(simple_config()) {
+    config_.blackouts = &commits_;
+    const sim::RunResult base = sim::run_program(program_, config_);
+    machine_makespan_ = base.makespan;
+  }
+
+  DirectConfig direct_config() const {
+    DirectConfig dc;
+    dc.mode = RecoveryMode::kGlobalRollback;
+    dc.commits = &commits_;
+    dc.restart = 200;
+    return dc;
+  }
+
+  // Matched decoupled model: work = 1000 ns, slowdown = M / W, commits
+  // every 350 ns of wallclock (= the machine commit positions pre-failure).
+  ckpt::RecoveryParams decoupled_params() const {
+    ckpt::RecoveryParams rp;
+    rp.kind = ckpt::ProtocolKind::kCoordinated;
+    rp.work_seconds = units::to_seconds(1000);
+    rp.slowdown = static_cast<double>(machine_makespan_) / 1000.0;
+    rp.interval_seconds = units::to_seconds(350);
+    rp.restart_seconds = units::to_seconds(200);
+    return rp;
+  }
+
+  void expect_agreement(const std::vector<Failure>& trace,
+                        TimeNs expected_wall) {
+    const DirectConfig dc = direct_config();
+    const DirectResult direct = run_with_failures(program_, config_, dc, trace);
+    ASSERT_TRUE(direct.completed) << direct.error;
+    EXPECT_EQ(direct.makespan_wall, expected_wall);
+    const double decoupled =
+        ckpt::makespan_against_trace(decoupled_params(), trace, /*seed=*/1);
+    // Exact agreement: the decoupled remaining-work algebra collapses to
+    // M - snap_m whenever its last commit's wallclock equals the machine
+    // commit position (offset 0 up to the first failure, and rollbacks
+    // return both models to the same commit).
+    EXPECT_NEAR(units::to_seconds(direct.makespan_wall), decoupled, 1e-12);
+  }
+
+  sim::Program program_;
+  sim::ListBlackouts commits_;
+  sim::EngineConfig config_;
+  TimeNs machine_makespan_ = 0;
+};
+
+TEST_F(DirectCommitted, BaselineStretchesOverTheBlackouts) {
+  EXPECT_EQ(machine_makespan_, 1100);  // 1000 work + 2 x 50 checkpoint
+}
+
+TEST_F(DirectCommitted, FailureExactlyAtCommitBoundaryLosesNothing) {
+  // t_f = 700 is the second commit's end: the commit wins the tie, so the
+  // rollback restores the state of this very instant — zero work lost,
+  // makespan = M + R.
+  const DirectConfig dc = direct_config();
+  const DirectResult r =
+      run_with_failures(program_, config_, dc, {{700, 0}});
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.stats.lost_work, 0);
+  EXPECT_EQ(r.stats.snapshots, 3);  // t = 0, 350, 700
+  expect_agreement({{700, 0}}, machine_makespan_ + 200);
+}
+
+TEST_F(DirectCommitted, FailureDuringCheckpointWriteRollsToPreviousCommit) {
+  // t_f = 680 lands inside the second checkpoint write [650,700): only the
+  // 350 commit holds. Wall = t_f + R + (M - 350).
+  expect_agreement({{680, 0}}, 680 + 200 + machine_makespan_ - 350);
+}
+
+TEST_F(DirectCommitted, NestedFailureDuringRestartIsAbsorbed) {
+  // f2 = 800 lands inside f1's restart window [680, 880): both models fold
+  // it into the ongoing recovery, so the makespan matches the single-failure
+  // case exactly.
+  expect_agreement({{680, 0}, {800, 0}}, 680 + 200 + machine_makespan_ - 350);
+}
+
+TEST_F(DirectCommitted, NestedFailureDuringReExecutionRollsBackAgain) {
+  // f1 = 680 rolls back to commit 350 (offset becomes 530); f2 = 1000 hits
+  // the re-execution at machine time 470 — before the machine re-reaches
+  // the 650-700 checkpoint — so it rolls back to the same commit.
+  expect_agreement({{680, 0}, {1000, 0}}, 1000 + 200 + machine_makespan_ - 350);
+}
+
+TEST_F(DirectCommitted, IntervalLongerThanJobRollsToStart) {
+  // Commit schedule beyond the job: the machine never commits, every
+  // failure re-executes from scratch — same as the no-commit config.
+  sim::ListBlackouts far(
+      std::vector<std::vector<sim::Interval>>{{{5000, 5350}}});
+  DirectConfig dc = direct_config();
+  dc.commits = &far;
+  sim::EngineConfig plain = simple_config();  // no perturbation blackouts
+  const sim::Program p = chain_program();
+  const DirectResult direct = run_with_failures(p, plain, dc, {{350, 0}});
+  ASSERT_TRUE(direct.completed) << direct.error;
+  EXPECT_EQ(direct.makespan_wall, 1550);
+
+  ckpt::RecoveryParams rp;
+  rp.kind = ckpt::ProtocolKind::kCoordinated;
+  rp.work_seconds = units::to_seconds(1000);
+  rp.slowdown = 1.0;
+  rp.interval_seconds = units::to_seconds(5350);
+  rp.restart_seconds = units::to_seconds(200);
+  const double decoupled = ckpt::makespan_against_trace(rp, {{350, 0}}, 1);
+  EXPECT_NEAR(units::to_seconds(direct.makespan_wall), decoupled, 1e-12);
+}
+
+TEST(DirectRollback, ZeroWorkCompletesInstantly) {
+  sim::Program p(2);  // no ops at all
+  p.finalize();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kGlobalRollback;
+  dc.restart = 200;
+  const DirectResult r =
+      run_with_failures(p, simple_config(), dc, {{10, 0}, {20, 1}});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan_wall, 0);
+  EXPECT_EQ(r.stats.failures, 0);  // nothing ever at risk
+  // The decoupled model rejects a zero-work job outright; only the direct
+  // simulator gives the degenerate case a meaning.
+  ckpt::RecoveryParams rp;
+  rp.kind = ckpt::ProtocolKind::kCoordinated;
+  rp.work_seconds = 0;
+  rp.interval_seconds = 1;
+  EXPECT_THROW(ckpt::makespan_against_trace(rp, {{10, 0}}, 1),
+               std::invalid_argument);
+}
+
+// --- Uncoordinated / hierarchical replay -----------------------------------
+
+TEST(DirectReplay, FailedRankReplaysAndDelaysItsNextOp) {
+  // Failure on rank 0 at t = 50: restart 100 + replay 50/2 = 25 parks the
+  // rank until 175. Its send (ready at 100) starts at 175 instead, shifting
+  // the whole downstream chain by 75: makespan 1400 + 75.
+  const sim::Program p = pingpong_program();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kLocalReplay;  // no commits: replay from t = 0
+  dc.restart = 100;
+  dc.replay_speedup = 2.0;
+  const DirectResult r = run_with_failures(p, simple_config(), dc, {{50, 0}});
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.makespan_wall, 1475);
+  EXPECT_EQ(r.stats.failures, 1);
+  EXPECT_EQ(r.stats.replays, 1);
+  EXPECT_EQ(r.stats.rollbacks, 0);
+  EXPECT_EQ(r.stats.lost_work, 50);       // t_f - last local commit
+  EXPECT_EQ(r.stats.downtime, 100 + 25);  // restart + replay
+}
+
+TEST(DirectReplay, InFlightMessageSurvivesAReceiverFailure) {
+  // Failure on rank 1 at t = 50 parks it until 175 — but its recv only
+  // matches at arrival 1200 anyway, so the logged in-flight message is
+  // consumed on replay and the makespan is untouched. This is the
+  // message-log semantics the uncoordinated model assumes.
+  const sim::Program p = pingpong_program();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kLocalReplay;
+  dc.restart = 100;
+  dc.replay_speedup = 2.0;
+  const DirectResult r = run_with_failures(p, simple_config(), dc, {{50, 1}});
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.makespan_wall, 1400);  // failure-free makespan
+  EXPECT_EQ(r.stats.failures, 1);
+}
+
+TEST(DirectReplay, ClusterModeTakesTheWholeClusterDown) {
+  // Same rank-1 failure, but cluster_size = 2 drags rank 0 into the outage:
+  // now the sender is parked until 175 and the delay propagates after all.
+  const sim::Program p = pingpong_program();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kClusterReplay;
+  dc.cluster_size = 2;
+  dc.restart = 100;
+  dc.replay_speedup = 2.0;
+  const DirectResult r = run_with_failures(p, simple_config(), dc, {{50, 1}});
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.makespan_wall, 1475);
+  EXPECT_EQ(r.stats.replays, 1);
+}
+
+TEST(DirectReplay, LocalCommitShortensTheReplay) {
+  // Rank 0 commits locally at 40 (blackout [20,40) stretches its calc to
+  // end at 120); the t = 50 failure then replays only 10 ns of log: outage
+  // until 50 + 100 + 5 = 155, so the send slips from 120 to 155 and the
+  // whole chain shifts by 35.
+  const sim::Program p = pingpong_program();
+  sim::ListBlackouts local({{{{20, 40}}}, {}});
+  sim::EngineConfig cfg = simple_config();
+  cfg.blackouts = &local;
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kLocalReplay;
+  dc.commits = &local;
+  dc.restart = 100;
+  dc.replay_speedup = 2.0;
+  const DirectResult base_probe = run_with_failures(p, cfg, dc, {});
+  ASSERT_TRUE(base_probe.completed);
+  const DirectResult r = run_with_failures(p, cfg, dc, {{50, 0}});
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_EQ(r.stats.lost_work, 10);
+  EXPECT_EQ(r.stats.downtime, 105);
+  EXPECT_EQ(r.makespan_wall, base_probe.makespan_wall + 35);
+}
+
+// --- Diagnostics and determinism -------------------------------------------
+
+TEST(DirectReplay, DeadlockDiagnosticsCarryTheFailureContext) {
+  sim::Program p(2);
+  p.calc(0, 100);
+  p.recv(1, 0, 8, 3);  // never satisfied: the run wedges
+  p.finalize();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kLocalReplay;
+  dc.restart = 100;
+  const DirectResult r = run_with_failures(p, simple_config(), dc, {{10, 0}});
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("injected-failure context"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("local replay"), std::string::npos) << r.error;
+}
+
+TEST(DirectRenewal, SameSeedIsByteIdentical) {
+  const sim::Program p = pingpong_program();
+  DirectConfig dc;
+  dc.mode = RecoveryMode::kGlobalRollback;
+  dc.restart = 200;
+  const Exponential dist(2e-6);  // a couple of failures over a ~1.4 us job
+  const DirectResult a =
+      run_with_failures(p, simple_config(), dc, dist, Rng::substream(42, 0));
+  const DirectResult b =
+      run_with_failures(p, simple_config(), dc, dist, Rng::substream(42, 0));
+  ASSERT_TRUE(a.completed) << a.error;
+  EXPECT_EQ(a.makespan_wall, b.makespan_wall);
+  EXPECT_EQ(a.stats.failures, b.stats.failures);
+  EXPECT_EQ(a.stats.lost_work, b.stats.lost_work);
+  const DirectResult c =
+      run_with_failures(p, simple_config(), dc, dist, Rng::substream(43, 0));
+  (void)c;  // different seed may legitimately coincide; just exercise it
+}
+
+}  // namespace
+}  // namespace chksim::fault

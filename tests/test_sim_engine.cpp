@@ -130,8 +130,8 @@ TEST(Engine, PingTiming) {
   const RunResult r = run_program(p, cfg);
   ASSERT_TRUE(r.completed);
   // Send: CPU [0,100]; arrival 100 + L = 1100; recv CPU [1100,1200].
-  EXPECT_EQ(r.op_finish[0][0], 100);
-  EXPECT_EQ(r.op_finish[1][0], 1200);
+  EXPECT_EQ(r.op_finish_of(0)[0], 100);
+  EXPECT_EQ(r.op_finish_of(1)[0], 1200);
   EXPECT_EQ(r.makespan, 1200);
   EXPECT_EQ(r.ranks[1].recv_wait, 1100);  // posted at 0, data at 1100
 }
@@ -184,8 +184,8 @@ TEST(Engine, NicGapSerializesSends) {
   ASSERT_TRUE(r.completed);
   // First send CPU [0,100], nic free at 100+200=300. Second send ready at
   // 100 but NIC gap delays start to 300: CPU [300,400], arrival 1400.
-  EXPECT_EQ(r.op_finish[0][1], 400);
-  EXPECT_EQ(r.op_finish[2][0], 1500);
+  EXPECT_EQ(r.op_finish_of(0)[1], 400);
+  EXPECT_EQ(r.op_finish_of(2)[0], 1500);
 }
 
 TEST(Engine, PerByteGapAndOverhead) {
@@ -254,7 +254,7 @@ TEST(Engine, FifoMatchingWithinTag) {
   cfg.record_op_finish = true;
   const RunResult r = run_program(p, cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_LT(r.op_finish[1][0], r.op_finish[1][1]);
+  EXPECT_LT(r.op_finish_of(1)[0], r.op_finish_of(1)[1]);
 }
 
 TEST(Engine, TagsSeparateMatching) {
