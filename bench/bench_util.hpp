@@ -18,40 +18,25 @@
 
 namespace chksim::benchutil {
 
-/// Standard bench command line:
-///   --jobs N    concurrency for independent cells/trials; 0 = all cores
-///               (the default). Results are identical for every value.
-///   --smoke     shrink the sweep to a few-second subset (used by the
-///               determinism regression tests, which byte-compare the
-///               output across --jobs values).
-///   --ranks N   override the scale axis: benches with a rank sweep run
-///               only N; benches with a fixed scale run at N instead.
-///               0 (the default) keeps each bench's built-in scales.
-struct BenchOptions {
-  int jobs = 0;
-  bool smoke = false;
-  int ranks = 0;
-};
+/// Standard bench command line (--jobs/--smoke/--ranks): declared and
+/// documented once in support/cli (chksim::add_standard_flags), so the
+/// benches and chksim_run parse identically.
+using BenchOptions = chksim::StdOptions;
 
 /// Parse the standard flags; prints usage and exits(2) on bad input.
 inline BenchOptions parse_options(int argc, const char* const* argv) {
   Cli cli;
-  cli.flag("jobs", "0", "concurrent cells/trials; 0 = hardware concurrency");
-  cli.flag("smoke", "false", "run a small subset (for regression tests)");
-  cli.flag("ranks", "0", "override rank count / scale axis; 0 = bench default");
+  add_standard_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]) << "\n";
     std::exit(2);
   }
-  BenchOptions opt;
-  opt.jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
-  opt.smoke = cli.get_bool("smoke");
-  opt.ranks = static_cast<int>(cli.get_int("ranks"));
-  if (opt.ranks < 0) {
-    std::cerr << "--ranks must be >= 0\n";
+  try {
+    return standard_options(cli);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
     std::exit(2);
   }
-  return opt;
 }
 
 /// Print the standard experiment banner.

@@ -1,0 +1,133 @@
+#include "chksim/campaign/cache.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "chksim/support/hash.hpp"
+
+namespace chksim::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr char kMagic[] = "chksim-cache-v1";
+}
+
+ResultCache::ResultCache(std::string dir, std::string code_version,
+                         obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)), code_version_(std::move(code_version)),
+      metrics_(metrics) {}
+
+void ResultCache::count(const char* which) const {
+  if (metrics_ != nullptr)
+    metrics_->add_counter(std::string("campaign.cache.") + which);
+}
+
+std::string ResultCache::key(const CellSpec& cell) const {
+  return cell_key(cell, code_version_);
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  return dir_ + "/" + key.substr(0, 2) + "/" + key + ".json";
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    count("misses");
+    return std::nullopt;
+  }
+  const auto corrupt = [&]() -> std::optional<std::string> {
+    in.close();
+    std::error_code ec;
+    fs::remove(path, ec);  // best effort; a re-store overwrites anyway
+    count("corrupt");
+    count("misses");
+    return std::nullopt;
+  };
+
+  std::string header;
+  if (!std::getline(in, header)) return corrupt();
+  std::istringstream fields(header);
+  std::string magic, stored_key, checksum;
+  std::size_t size = 0;
+  if (!(fields >> magic >> stored_key >> size >> checksum) ||
+      magic != kMagic || stored_key != key)
+    return corrupt();
+
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) return corrupt();
+  // Exactly `size` payload bytes: anything after them is corruption.
+  if (in.get() != std::ifstream::traits_type::eof()) return corrupt();
+
+  char expect[17];
+  std::snprintf(expect, sizeof expect, "%016llx",
+                static_cast<unsigned long long>(hash::fnv1a(payload)));
+  if (checksum != expect) return corrupt();
+
+  count("hits");
+  return payload;
+}
+
+bool ResultCache::store(const std::string& key, const std::string& payload,
+                        std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+
+  const std::string path = path_for(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    if (error != nullptr)
+      *error = "cannot create cache dir for " + path + ": " + ec.message();
+    return false;
+  }
+
+  char header[96];
+  std::snprintf(header, sizeof header, "%s %s %zu %016llx\n", kMagic, key.c_str(),
+                payload.size(), static_cast<unsigned long long>(hash::fnv1a(payload)));
+
+  // Temp file + fsync + rename: the entry becomes visible only whole.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("cannot open " + tmp);
+  const auto write_all = [&](const char* data, std::size_t len) {
+    while (len > 0) {
+      const ssize_t n = ::write(fd, data, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data += n;
+      len -= static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  if (!write_all(header, std::strlen(header)) ||
+      !write_all(payload.data(), payload.size()) || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("write to " + tmp + " failed");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("rename " + tmp + " -> " + path + " failed");
+  }
+  count("stores");
+  return true;
+}
+
+}  // namespace chksim::campaign

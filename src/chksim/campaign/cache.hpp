@@ -1,0 +1,66 @@
+// Content-addressed on-disk result cache for campaign cells.
+//
+// A cell's result (its metrics-JSON report) is stored under the 128-bit
+// content key of (canonical cell spec, code-version stamp) — see
+// spec.hpp/cell_key. Because the spec is canonicalised and the code version
+// is part of the key, a hit can only come from the same cell run by the
+// same code: a warm rerun of a campaign is pure cache reads, and rebuilding
+// the library invalidates everything implicitly (old entries are simply
+// never addressed again).
+//
+// Layout: <dir>/<key[0:2]>/<key>.json, each entry a one-line header
+//
+//   chksim-cache-v1 <key> <payload-bytes> <payload-fnv1a-hex>\n<payload>
+//
+// Lookups verify the header, length, and checksum; anything inconsistent —
+// torn writes, bit rot, truncation — is deleted and reported as a miss, so
+// a corrupted cache degrades to recomputation, never to wrong results.
+// Stores write a temp file, fsync it, and rename() into place, so a crash
+// mid-store can leave only a temp file, never a half-visible entry.
+//
+// Hit/miss/corrupt/store counters are published into an optional
+// obs::MetricsRegistry under "campaign.cache.*".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "chksim/campaign/spec.hpp"
+#include "chksim/obs/metrics.hpp"
+
+namespace chksim::campaign {
+
+class ResultCache {
+ public:
+  /// `dir` is created (with parents) on first store. `code_version` feeds
+  /// the cell keys; pass version::code_version() in production.
+  ResultCache(std::string dir, std::string code_version,
+              obs::MetricsRegistry* metrics = nullptr);
+
+  /// The content-address of `cell` under this cache's code version.
+  std::string key(const CellSpec& cell) const;
+
+  /// Payload for `key`, or nullopt on miss. Corrupt entries are deleted,
+  /// counted under campaign.cache.corrupt, and reported as a miss.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Atomically store `payload` under `key` (overwrites an existing entry).
+  /// Returns false and fills *error on I/O failure.
+  bool store(const std::string& key, const std::string& payload,
+             std::string* error = nullptr);
+
+  const std::string& dir() const { return dir_; }
+  const std::string& code_version() const { return code_version_; }
+
+  /// Entry path for a key (for tests and tooling).
+  std::string path_for(const std::string& key) const;
+
+ private:
+  void count(const char* which) const;
+
+  std::string dir_;
+  std::string code_version_;
+  obs::MetricsRegistry* metrics_;
+};
+
+}  // namespace chksim::campaign

@@ -1,0 +1,377 @@
+#include "chksim/campaign/runner.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "chksim/campaign/cache.hpp"
+#include "chksim/core/failure_study.hpp"
+#include "chksim/core/study.hpp"
+#include "chksim/net/machines.hpp"
+#include "chksim/support/parallel.hpp"
+#include "chksim/support/units.hpp"
+#include "chksim/support/version.hpp"
+
+namespace chksim::campaign {
+
+namespace {
+
+ckpt::ProtocolKind protocol_kind_of(const std::string& name) {
+  if (name == "none") return ckpt::ProtocolKind::kNone;
+  if (name == "coordinated") return ckpt::ProtocolKind::kCoordinated;
+  if (name == "uncoordinated") return ckpt::ProtocolKind::kUncoordinated;
+  if (name == "hierarchical") return ckpt::ProtocolKind::kHierarchical;
+  throw std::invalid_argument("unknown protocol \"" + name + "\"");
+}
+
+/// Mirror of benchutil::scaled_machine: size the per-node checkpoint so one
+/// write occupies `duty` of each interval at single-writer speed, with the
+/// PFS aggregate limit lifted (the spec's duty axis isolates perturbation
+/// from I/O contention, exactly like the E2/E3 harnesses).
+net::MachineModel scaled_machine(net::MachineModel m, TimeNs interval, double duty) {
+  const double write_seconds = duty * units::to_seconds(interval);
+  m.ckpt_bytes_per_node = static_cast<Bytes>(write_seconds * m.node_bw_bytes_per_s);
+  m.pfs_bw_bytes_per_s = m.node_bw_bytes_per_s * 1e7;
+  return m;
+}
+
+core::StudyConfig study_config_of(const CellSpec& cell) {
+  core::StudyConfig cfg;
+  cfg.machine = net::machine_by_name(cell.machine);
+  const TimeNs interval = units::from_seconds(cell.interval_ms * 1e-3);
+  if (cell.duty > 0) cfg.machine = scaled_machine(cfg.machine, interval, cell.duty);
+  if (cell.mtbf_hours > 0) cfg.machine.node_mtbf_hours = cell.mtbf_hours;
+  cfg.workload = cell.workload;
+  const TimeNs compute = units::from_seconds(cell.compute_us * 1e-6);
+  cfg.params.ranks = cell.ranks;
+  cfg.params.compute = compute;
+  cfg.params.bytes = cell.bytes;
+  // Size the iteration count to span `periods` checkpoint intervals
+  // (mirror of benchutil::sized_params).
+  const double iters = static_cast<double>(interval) * cell.periods /
+                       static_cast<double>(compute);
+  cfg.params.iterations = iters < 2 ? 2 : static_cast<int>(iters);
+  cfg.params.seed = cell.seed;
+  cfg.protocol.kind = protocol_kind_of(cell.protocol);
+  cfg.protocol.fixed_interval = interval;
+  cfg.protocol.cluster_size = cell.cluster_size;
+  cfg.protocol.seed = cell.seed;
+  cfg.jobs = 1;  // campaign-level parallelism only
+  return cfg;
+}
+
+/// Serialised, fsync'd appender: a journal line is durable before the
+/// runner moves on — the property that makes kill -9 recoverable.
+class JournalWriter {
+ public:
+  ~JournalWriter() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void open(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+      throw std::invalid_argument("cannot open journal " + path + ": " +
+                                  std::strerror(errno));
+  }
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Append one line + fsync. Returns the number of lines this writer has
+  /// appended (for the kill-after test hook).
+  int append(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const char* data = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("journal write failed: ") +
+                                 std::strerror(errno));
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0)
+      throw std::runtime_error(std::string("journal fsync failed: ") +
+                               std::strerror(errno));
+    return ++appended_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int fd_ = -1;
+  int appended_ = 0;
+};
+
+std::string journal_line(const CellOutcome& out) {
+  json::Value::Object obj;
+  obj.emplace("v", json::Value::integer(1));
+  obj.emplace("cell", json::Value::integer(out.index));
+  obj.emplace("key", json::Value::string(out.key));
+  obj.emplace("status", json::Value::string(out.status));
+  obj.emplace("attempts", json::Value::integer(out.attempts));
+  if (out.status == "ok")
+    obj.emplace("metrics", json::parse(out.metrics_json));
+  else
+    obj.emplace("error", json::Value::string(out.error));
+  return json::Value::object(std::move(obj)).dump() + "\n";
+}
+
+/// Replay a journal: fill `outcomes` slots for every durable, well-formed
+/// line whose key matches the current expansion. Torn tails, garbage lines,
+/// and entries for a changed spec or code version are skipped — they are
+/// exactly the states a crash or an edit can leave behind, and re-running
+/// the cell is always safe.
+void replay_journal(const std::string& path, const std::vector<std::string>& keys,
+                    std::vector<std::optional<CellOutcome>>* outcomes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;  // no journal yet: nothing to resume
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail from a mid-write crash
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+
+    json::Value v;
+    if (!json::try_parse(line, &v, nullptr)) continue;
+    const json::Value* ver = v.find("v");
+    const json::Value* cell = v.find("cell");
+    const json::Value* key = v.find("key");
+    const json::Value* status = v.find("status");
+    if (ver == nullptr || !ver->is_integer() || ver->as_int() != 1) continue;
+    if (cell == nullptr || !cell->is_integer()) continue;
+    if (key == nullptr || !key->is_string()) continue;
+    if (status == nullptr || !status->is_string()) continue;
+    const std::int64_t index = cell->as_int();
+    if (index < 0 || index >= static_cast<std::int64_t>(keys.size())) continue;
+    if (key->as_string() != keys[static_cast<std::size_t>(index)]) continue;
+    if ((*outcomes)[static_cast<std::size_t>(index)].has_value()) continue;
+
+    CellOutcome out;
+    out.index = static_cast<int>(index);
+    out.key = key->as_string();
+    out.from_journal = true;
+    if (const json::Value* attempts = v.find("attempts");
+        attempts != nullptr && attempts->is_integer())
+      out.attempts = static_cast<int>(attempts->as_int());
+    if (status->as_string() == "ok") {
+      const json::Value* metrics = v.find("metrics");
+      if (metrics == nullptr || !metrics->is_object()) continue;
+      out.status = "ok";
+      out.metrics_json = metrics->dump();
+    } else if (status->as_string() == "failed") {
+      const json::Value* err = v.find("error");
+      out.status = "failed";
+      out.error = err != nullptr && err->is_string() ? err->as_string() : "unknown";
+    } else {
+      continue;
+    }
+    (*outcomes)[static_cast<std::size_t>(index)] = std::move(out);
+  }
+}
+
+}  // namespace
+
+std::string run_cell(const CellSpec& cell) {
+  obs::MetricsRegistry reg;
+  core::StudyConfig study = study_config_of(cell);
+  study.metrics = &reg;
+  if (cell.mode == "failures") {
+    core::FailureStudyConfig f;
+    f.study = study;
+    f.work_seconds = cell.work_hours * 3600.0;
+    f.trials = cell.trials;
+    f.seed = cell.seed;
+    f.jobs = 1;
+    core::run_failure_study(f);
+  } else {
+    core::run_study(study);
+  }
+  return reg.to_json();
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, const RunnerConfig& config) {
+  const std::string code_version =
+      config.code_version.empty() ? version::code_version() : config.code_version;
+  const int total = static_cast<int>(spec.cells.size());
+
+  CampaignResult result;
+  result.name = spec.name;
+  result.code_version = code_version;
+  result.spec = spec;
+
+  std::vector<std::string> keys(spec.cells.size());
+  for (std::size_t i = 0; i < spec.cells.size(); ++i)
+    keys[i] = cell_key(spec.cells[i], code_version);
+
+  if (config.resume && config.journal_path.empty())
+    throw std::invalid_argument("resume requested without a journal path");
+
+  std::vector<std::optional<CellOutcome>> outcomes(spec.cells.size());
+  if (config.resume) replay_journal(config.journal_path, keys, &outcomes);
+
+  JournalWriter journal;
+  if (!config.journal_path.empty()) journal.open(config.journal_path);
+
+  std::optional<ResultCache> cache;
+  if (!config.cache_dir.empty())
+    cache.emplace(config.cache_dir, code_version, config.metrics);
+
+  // Pending = cells the journal did not settle.
+  std::vector<std::size_t> pending;
+  int done = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].has_value()) {
+      ++done;
+      if (config.progress) config.progress(*outcomes[i], done, total);
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  std::mutex settle_mutex;  // serialises done count + progress narration
+  std::atomic<int> executed{0};
+
+  par::for_each_index(
+      static_cast<std::int64_t>(pending.size()), config.jobs,
+      [&](std::int64_t p) {
+        const std::size_t i = pending[static_cast<std::size_t>(p)];
+        const CellSpec& cell = spec.cells[i];
+        CellOutcome out;
+        out.index = static_cast<int>(i);
+        out.key = keys[i];
+
+        std::optional<std::string> hit;
+        if (cache.has_value()) hit = cache->lookup(out.key);
+        if (hit.has_value()) {
+          out.status = "ok";
+          out.from_cache = true;
+          out.metrics_json = std::move(*hit);
+        } else {
+          // Bounded retry on thrown errors; an attempt that overruns the
+          // wall-clock budget is classified as failed once it returns (the
+          // DES has no preemption point to abort it at).
+          const int max_attempts = std::max(1, config.max_attempts);
+          for (out.attempts = 1; out.attempts <= max_attempts; ++out.attempts) {
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+              std::string payload = run_cell(cell);
+              out.seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+              if (config.cell_timeout_seconds > 0 &&
+                  out.seconds > config.cell_timeout_seconds) {
+                out.status = "failed";
+                out.error = "cell exceeded timeout (" +
+                            std::to_string(out.seconds) + "s > " +
+                            std::to_string(config.cell_timeout_seconds) + "s)";
+                break;
+              }
+              out.status = "ok";
+              out.metrics_json = std::move(payload);
+              break;
+            } catch (const std::exception& e) {
+              out.seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+              out.status = "failed";
+              out.error = e.what();
+            } catch (...) {
+              out.status = "failed";
+              out.error = "unknown error";
+            }
+          }
+          if (out.attempts > max_attempts) out.attempts = max_attempts;
+          executed.fetch_add(1, std::memory_order_relaxed);
+          if (out.status == "ok" && cache.has_value()) {
+            std::string err;
+            // A failed store only loses memoisation, never the result.
+            cache->store(out.key, out.metrics_json, &err);
+          }
+        }
+
+        if (journal.is_open()) {
+          const int appended = journal.append(journal_line(out));
+          if (config.kill_after_cells > 0 && appended == config.kill_after_cells) {
+            // Simulated crash: the journal line above is already durable.
+            ::raise(SIGKILL);
+          }
+        }
+
+        outcomes[i] = out;  // slot write; index-ordered fold below
+        std::lock_guard<std::mutex> lock(settle_mutex);
+        ++done;
+        if (config.progress) config.progress(out, done, total);
+      });
+
+  // Index-ordered fold (same discipline as run_sweep's metrics merge).
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    CellOutcome& out = *outcomes[i];
+    if (out.status == "ok")
+      ++result.ok;
+    else
+      ++result.failed;
+    if (out.from_cache) ++result.from_cache;
+    if (out.from_journal) ++result.from_journal;
+    if (config.metrics != nullptr && out.seconds > 0)
+      config.metrics->stats("campaign.cell_seconds").add(out.seconds);
+    result.cells.push_back(std::move(out));
+  }
+
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    m.add_counter("campaign.cells_total", total);
+    m.add_counter("campaign.cells_ok", result.ok);
+    m.add_counter("campaign.cells_failed", result.failed);
+    m.add_counter("campaign.cells_from_cache", result.from_cache);
+    m.add_counter("campaign.cells_from_journal", result.from_journal);
+    m.add_counter("campaign.cells_executed",
+                  executed.load(std::memory_order_relaxed));
+  }
+  return result;
+}
+
+std::string CampaignResult::report_json() const {
+  json::Value::Object root;
+  root.emplace("campaign", json::Value::string(name));
+  root.emplace("schema_version",
+               json::Value::integer(version::schema_version()));
+  root.emplace("code_version", json::Value::string(code_version));
+  json::Value::Array cell_array;
+  for (const CellOutcome& out : cells) {
+    json::Value::Object entry;
+    entry.emplace("spec",
+                  spec.cells[static_cast<std::size_t>(out.index)].to_json());
+    entry.emplace("key", json::Value::string(out.key));
+    entry.emplace("status", json::Value::string(out.status));
+    if (out.status == "ok")
+      // parse/dump-normalised: byte-identical whether the payload came from
+      // a fresh run, the cache, or a journal replay.
+      entry.emplace("metrics", json::parse(out.metrics_json));
+    else
+      entry.emplace("error", json::Value::string(out.error));
+    cell_array.push_back(json::Value::object(std::move(entry)));
+  }
+  root.emplace("cells", json::Value::array(std::move(cell_array)));
+  return json::Value::object(std::move(root)).dump(2) + "\n";
+}
+
+}  // namespace chksim::campaign

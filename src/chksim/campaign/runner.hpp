@@ -1,0 +1,103 @@
+// The campaign executor: expand -> (cache | run) -> journal -> merge.
+//
+// run_campaign() drives a CampaignSpec's cells through chksim::par with the
+// same slot/merge discipline as core::run_sweep, plus the three properties
+// a long sweep needs to survive contact with reality:
+//
+//  * memoisation — cells whose content address is already in the
+//    ResultCache are not re-run (a warm rerun is pure cache reads);
+//  * crash-safe resumption — every completed cell is appended to a JSONL
+//    journal and fsync'd before the next cell can be claimed; a rerun with
+//    resume=true replays the journal and picks up exactly where the
+//    previous process was killed (the checkpointing discipline the
+//    simulated systems themselves use, applied to the simulator);
+//  * graceful degradation — a cell that throws is retried up to
+//    max_attempts times, then recorded as failed; the campaign always runs
+//    to the end of the grid.
+//
+// The merged report is built in cell-index order from canonicalised specs
+// and parse/dump-normalised cell payloads, so it is byte-identical for any
+// jobs value and for cold, warm (all-hits), and killed+resumed runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chksim/campaign/spec.hpp"
+#include "chksim/obs/metrics.hpp"
+
+namespace chksim::campaign {
+
+struct CellOutcome {
+  int index = -1;
+  std::string key;          ///< Content address (spec + code version).
+  std::string status;       ///< "ok" or "failed".
+  bool from_cache = false;  ///< Satisfied by a ResultCache hit.
+  bool from_journal = false;///< Replayed from the resume journal.
+  int attempts = 0;         ///< Execution attempts this run (0 if not run).
+  double seconds = 0;       ///< Wall-clock of the last attempt (0 if not run).
+  std::string error;        ///< For failed cells.
+  std::string metrics_json; ///< The cell's metrics report (ok cells).
+};
+
+struct RunnerConfig {
+  /// Concurrent cells (<= 0 = hardware concurrency). Cells run their inner
+  /// simulations serially (StudyConfig::jobs = 1); the campaign level is
+  /// where the parallelism lives.
+  int jobs = 1;
+  /// Result-cache directory; "" disables memoisation.
+  std::string cache_dir;
+  /// Append-only JSONL journal path; "" disables journaling (and resume).
+  std::string journal_path;
+  /// Replay journal_path before running, skipping completed cells.
+  bool resume = false;
+  /// Wall-clock budget per cell; an attempt that overruns is recorded as
+  /// failed. 0 = unlimited. NOTE: the DES has no preemption points, so the
+  /// overrunning attempt is only *classified* after it returns — this
+  /// bounds what a broken cell can cost a campaign report, not what it can
+  /// cost the process.
+  double cell_timeout_seconds = 0;
+  /// Attempts per cell before it is recorded as failed.
+  int max_attempts = 2;
+  /// Code-version stamp for cache keys; "" = version::code_version().
+  std::string code_version;
+  /// Campaign-level counters (cache hits/misses, cells ok/failed, cell
+  /// timings) are published here. Optional.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Called (serialised) after every settled cell; `done`/`total` include
+  /// journal-replayed cells. Optional; used for progress/ETA narration.
+  std::function<void(const CellOutcome&, int done, int total)> progress;
+  /// TESTING ONLY: raise SIGKILL immediately after the N-th journal append
+  /// of this run, simulating a mid-campaign crash with a durable journal.
+  int kill_after_cells = 0;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::string code_version;
+  CampaignSpec spec;
+  std::vector<CellOutcome> cells;  ///< In cell-index order.
+  int ok = 0;
+  int failed = 0;
+  int from_cache = 0;
+  int from_journal = 0;
+
+  /// Deterministic merged report (pretty JSON, trailing newline):
+  /// campaign name, provenance, and per-cell {spec, key, status,
+  /// metrics|error} in index order. Byte-identical for any jobs value and
+  /// for cold/warm/resumed runs of the same spec + code version.
+  std::string report_json() const;
+};
+
+/// Execute a campaign. Throws std::invalid_argument for configuration
+/// errors (resume without a journal path, unopenable journal); cell-level
+/// failures do NOT throw — they are recorded in the result.
+CampaignResult run_campaign(const CampaignSpec& spec, const RunnerConfig& config);
+
+/// Run one cell to its metrics-JSON payload (the cache/journal/report
+/// artifact). Exposed for tests and tooling.
+std::string run_cell(const CellSpec& cell);
+
+}  // namespace chksim::campaign

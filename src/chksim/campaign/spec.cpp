@@ -1,0 +1,282 @@
+#include "chksim/campaign/spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "chksim/net/machines.hpp"
+#include "chksim/support/hash.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim::campaign {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw std::invalid_argument(what); }
+
+std::string need_string(const json::Value& v, const char* field) {
+  if (!v.is_string()) bad(std::string("field \"") + field + "\" must be a string");
+  return v.as_string();
+}
+
+std::int64_t need_int(const json::Value& v, const char* field) {
+  if (!v.is_integer()) bad(std::string("field \"") + field + "\" must be an integer");
+  return v.as_int();
+}
+
+double need_number(const json::Value& v, const char* field) {
+  if (!v.is_number()) bad(std::string("field \"") + field + "\" must be a number");
+  return v.as_double();
+}
+
+/// One grid field: how to read it into / out of a CellSpec. The table order
+/// IS the expansion order (odometer, last field fastest) and the canonical
+/// JSON relies on json::Value::Object sorting, so the table itself only has
+/// to be complete, not sorted.
+struct Field {
+  const char* name;
+  void (*set)(CellSpec&, const json::Value&);
+  json::Value (*get)(const CellSpec&);
+};
+
+constexpr int kFieldCount = 15;
+
+const Field kFields[kFieldCount] = {
+    {"mode", [](CellSpec& c, const json::Value& v) { c.mode = need_string(v, "mode"); },
+     [](const CellSpec& c) { return json::Value::string(c.mode); }},
+    {"machine",
+     [](CellSpec& c, const json::Value& v) { c.machine = need_string(v, "machine"); },
+     [](const CellSpec& c) { return json::Value::string(c.machine); }},
+    {"workload",
+     [](CellSpec& c, const json::Value& v) { c.workload = need_string(v, "workload"); },
+     [](const CellSpec& c) { return json::Value::string(c.workload); }},
+    {"protocol",
+     [](CellSpec& c, const json::Value& v) { c.protocol = need_string(v, "protocol"); },
+     [](const CellSpec& c) { return json::Value::string(c.protocol); }},
+    {"ranks",
+     [](CellSpec& c, const json::Value& v) {
+       c.ranks = static_cast<int>(need_int(v, "ranks"));
+     },
+     [](const CellSpec& c) { return json::Value::integer(c.ranks); }},
+    {"interval_ms",
+     [](CellSpec& c, const json::Value& v) {
+       c.interval_ms = need_number(v, "interval_ms");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.interval_ms); }},
+    {"duty",
+     [](CellSpec& c, const json::Value& v) { c.duty = need_number(v, "duty"); },
+     [](const CellSpec& c) { return json::Value::number(c.duty); }},
+    {"periods",
+     [](CellSpec& c, const json::Value& v) {
+       c.periods = static_cast<int>(need_int(v, "periods"));
+     },
+     [](const CellSpec& c) { return json::Value::integer(c.periods); }},
+    {"compute_us",
+     [](CellSpec& c, const json::Value& v) {
+       c.compute_us = need_number(v, "compute_us");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.compute_us); }},
+    {"bytes",
+     [](CellSpec& c, const json::Value& v) { c.bytes = need_int(v, "bytes"); },
+     [](const CellSpec& c) { return json::Value::integer(c.bytes); }},
+    {"cluster_size",
+     [](CellSpec& c, const json::Value& v) {
+       c.cluster_size = static_cast<int>(need_int(v, "cluster_size"));
+     },
+     [](const CellSpec& c) { return json::Value::integer(c.cluster_size); }},
+    {"seed",
+     [](CellSpec& c, const json::Value& v) {
+       const std::int64_t s = need_int(v, "seed");
+       if (s < 0) bad("field \"seed\" must be >= 0");
+       c.seed = static_cast<std::uint64_t>(s);
+     },
+     [](const CellSpec& c) {
+       return json::Value::integer(static_cast<std::int64_t>(c.seed));
+     }},
+    {"mtbf_hours",
+     [](CellSpec& c, const json::Value& v) {
+       c.mtbf_hours = need_number(v, "mtbf_hours");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.mtbf_hours); }},
+    {"work_hours",
+     [](CellSpec& c, const json::Value& v) {
+       c.work_hours = need_number(v, "work_hours");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.work_hours); }},
+    {"trials",
+     [](CellSpec& c, const json::Value& v) {
+       c.trials = static_cast<int>(need_int(v, "trials"));
+     },
+     [](const CellSpec& c) { return json::Value::integer(c.trials); }},
+};
+
+int field_index(const std::string& name) {
+  for (int i = 0; i < kFieldCount; ++i)
+    if (name == kFields[i].name) return i;
+  return -1;
+}
+
+}  // namespace
+
+json::Value CellSpec::to_json() const {
+  json::Value::Object obj;
+  for (const Field& f : kFields) obj.emplace(f.name, f.get(*this));
+  return json::Value::object(std::move(obj));
+}
+
+std::string CellSpec::canonical() const { return to_json().dump(); }
+
+CellSpec CellSpec::from_json(const json::Value& v) {
+  if (!v.is_object()) bad("cell spec must be an object");
+  CellSpec cell;
+  for (const auto& [key, value] : v.as_object()) {
+    const int idx = field_index(key);
+    if (idx < 0) bad("unknown cell field \"" + key + "\"");
+    kFields[idx].set(cell, value);
+  }
+  cell.validate();
+  return cell;
+}
+
+void CellSpec::validate() const {
+  if (mode != "study" && mode != "failures")
+    bad("mode must be \"study\" or \"failures\", got \"" + mode + "\"");
+  if (protocol != "none" && protocol != "coordinated" &&
+      protocol != "uncoordinated" && protocol != "hierarchical")
+    bad("unknown protocol \"" + protocol + "\"");
+  net::machine_by_name(machine);  // throws on unknown presets
+  const std::vector<std::string> names = workload::workload_names();
+  if (std::find(names.begin(), names.end(), workload) == names.end())
+    bad("unknown workload \"" + workload + "\"");
+  if (ranks < 1) bad("ranks must be >= 1");
+  if (!(interval_ms > 0)) bad("interval_ms must be > 0");
+  if (duty >= 1.0) bad("duty must be < 1 (blackout would fill the interval)");
+  if (periods < 1) bad("periods must be >= 1");
+  if (!(compute_us > 0)) bad("compute_us must be > 0");
+  if (bytes < 0) bad("bytes must be >= 0");
+  if (cluster_size < 1) bad("cluster_size must be >= 1");
+  if (mtbf_hours < 0) bad("mtbf_hours must be >= 0");
+  if (!(work_hours > 0)) bad("work_hours must be > 0");
+  if (trials < 1) bad("trials must be >= 1");
+}
+
+namespace {
+
+/// A grid field's value list: one entry (fixed) or many (sweep axis).
+using Axis = std::vector<json::Value>;
+
+/// Read a grid object into per-field axes (empty = field not given).
+void read_grid(const json::Value& grid, Axis (&axes)[kFieldCount],
+               const char* what) {
+  if (!grid.is_object()) bad(std::string(what) + " must be an object");
+  for (const auto& [key, value] : grid.as_object()) {
+    const int idx = field_index(key);
+    if (idx < 0)
+      bad(std::string("unknown field \"") + key + "\" in " + what);
+    Axis axis;
+    if (value.is_array()) {
+      if (value.as_array().empty())
+        bad("axis \"" + key + "\" must not be an empty array");
+      for (const json::Value& item : value.as_array()) axis.push_back(item);
+    } else {
+      axis.push_back(value);
+    }
+    axes[idx] = std::move(axis);
+  }
+}
+
+/// Cartesian expansion of one grid, odometer over kFields with the last
+/// field fastest. Cells are validated as they are produced.
+void expand_grid(const Axis (&axes)[kFieldCount], std::vector<CellSpec>* out) {
+  std::size_t idx[kFieldCount] = {};
+  for (;;) {
+    CellSpec cell;
+    for (int f = 0; f < kFieldCount; ++f)
+      if (!axes[f].empty()) kFields[f].set(cell, axes[f][idx[f]]);
+    cell.validate();
+    out->push_back(std::move(cell));
+    int f = kFieldCount - 1;
+    for (; f >= 0; --f) {
+      if (axes[f].size() <= 1) continue;
+      if (++idx[f] < axes[f].size()) break;
+      idx[f] = 0;
+    }
+    if (f < 0) return;
+  }
+}
+
+}  // namespace
+
+CampaignSpec CampaignSpec::parse(const json::Value& doc, bool smoke) {
+  if (!doc.is_object()) bad("campaign document must be an object");
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (key != "name" && key != "grid" && key != "grids" && key != "smoke")
+      bad("unknown campaign field \"" + key + "\"");
+  }
+
+  CampaignSpec spec;
+  if (const json::Value* name = doc.find("name"))
+    spec.name = need_string(*name, "name");
+
+  const json::Value* grid = doc.find("grid");
+  const json::Value* grids = doc.find("grids");
+  if ((grid != nullptr) == (grids != nullptr))
+    bad("campaign needs exactly one of \"grid\" or \"grids\"");
+
+  Axis smoke_axes[kFieldCount];
+  if (smoke) {
+    if (const json::Value* s = doc.find("smoke"))
+      read_grid(*s, smoke_axes, "\"smoke\"");
+  }
+
+  const auto expand_one = [&](const json::Value& g) {
+    Axis axes[kFieldCount];
+    read_grid(g, axes, "\"grid\"");
+    for (int f = 0; f < kFieldCount; ++f)
+      if (!smoke_axes[f].empty()) axes[f] = smoke_axes[f];
+    expand_grid(axes, &spec.cells);
+  };
+
+  if (grid != nullptr) {
+    expand_one(*grid);
+  } else {
+    if (!grids->is_array()) bad("\"grids\" must be an array of grid objects");
+    for (const json::Value& g : grids->as_array()) expand_one(g);
+  }
+  if (spec.cells.empty()) bad("campaign expanded to zero cells");
+  return spec;
+}
+
+CampaignSpec CampaignSpec::parse_text(const std::string& text, bool smoke) {
+  return parse(json::parse(text), smoke);
+}
+
+bool CampaignSpec::parse_file(const std::string& path, bool smoke,
+                              CampaignSpec* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    CampaignSpec spec = parse_text(text.str(), smoke);
+    if (out != nullptr) *out = std::move(spec);
+    return true;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = path + ": " + e.what();
+    return false;
+  }
+}
+
+std::string cell_key(const CellSpec& cell, const std::string& code_version) {
+  std::string material = cell.canonical();
+  material += '\0';
+  material += code_version;
+  return hash::content_key(material);
+}
+
+}  // namespace chksim::campaign

@@ -1,0 +1,107 @@
+// Declarative scenario specifications: experiments as data.
+//
+// A campaign JSON document names a grid of simulation cells; the parser
+// expands every sweep axis (any grid field given as an array) into the
+// cartesian product and resolves each combination into a fully-typed,
+// fully-defaulted CellSpec. Canonicalisation — sorted keys, every field
+// materialised, numbers in their exact shortest form — gives each cell one
+// stable byte representation, which is what the content-addressed result
+// cache hashes and what makes campaign reports byte-identical across
+// cold/warm/resumed runs and every --jobs value.
+//
+// Document shape:
+//
+//   {
+//     "name": "e2_e3_scale",
+//     "grid": {
+//       "workload": ["halo3d", "hpccg"],   // array => sweep axis
+//       "ranks": [64, 256],
+//       "protocol": ["coordinated", "uncoordinated"],
+//       "interval_ms": 10, "duty": 0.10    // scalar => fixed for all cells
+//     },
+//     "smoke": { "workload": "halo3d", "ranks": [64, 256] }
+//   }
+//
+// "grids" (an array of grid objects, expanded in order) may replace "grid"
+// when a campaign concatenates differently-shaped sweeps. The optional
+// "smoke" object overrides grid fields when the campaign is run with
+// --smoke, shrinking it to a regression-gate-sized subset declaratively.
+//
+// Expansion order is deterministic: grids in document order; within a grid,
+// the odometer runs over the fields in CellSpec declaration order with the
+// LAST axis fastest. Unknown fields anywhere are an error (a typo'd axis
+// must not silently fix itself to the default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chksim/support/json.hpp"
+
+namespace chksim::campaign {
+
+/// One fully-resolved simulation cell. Field semantics follow the bench
+/// harnesses (bench_util): the machine's checkpoint size is scaled so one
+/// write occupies `duty` of each `interval_ms` at single-writer speed, and
+/// the workload is sized to cover `periods` checkpoint intervals.
+struct CellSpec {
+  /// "study" = failure-free perturbation breakdown (core::run_study);
+  /// "failures" = decoupled failure study on top of it
+  /// (core::run_failure_study).
+  std::string mode = "study";
+  std::string machine = "infiniband";   ///< net::machine_by_name preset.
+  std::string workload = "halo3d";      ///< workload registry name.
+  std::string protocol = "coordinated"; ///< none|coordinated|uncoordinated|hierarchical.
+  int ranks = 64;
+  double interval_ms = 10.0;   ///< Checkpoint period.
+  double duty = 0.10;          ///< Write duty cycle; <= 0 keeps the preset
+                               ///< checkpoint size and contended PFS.
+  int periods = 4;             ///< Checkpoint periods the workload spans.
+  double compute_us = 1000.0;  ///< Per-iteration compute.
+  std::int64_t bytes = 8192;   ///< Per-message payload.
+  int cluster_size = 16;       ///< Hierarchical protocol cluster size.
+  std::uint64_t seed = 1;      ///< Workload + protocol-phase RNG seed.
+
+  // "failures" mode only (ignored by "study" cells, but still part of the
+  // canonical form — a cell's identity is its full field vector).
+  double mtbf_hours = 0;   ///< Per-node MTBF override; 0 = machine preset.
+  double work_hours = 1.0; ///< Useful work for the recovery model.
+  int trials = 50;         ///< Monte-Carlo trials.
+
+  /// Canonical JSON: every field present, sorted keys.
+  json::Value to_json() const;
+  /// Canonical byte form (compact dump of to_json) — the cache-hash input.
+  std::string canonical() const;
+
+  /// Strict parse: unknown keys, bad types, and invalid values
+  /// (unknown machine/workload/protocol, ranks < 1, ...) all throw
+  /// std::invalid_argument.
+  static CellSpec from_json(const json::Value& v);
+
+  /// Validate the resolved values; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// A parsed campaign: a name plus the fully-expanded deterministic cell
+/// list.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<CellSpec> cells;
+
+  /// Parse + expand a campaign document. With `smoke`, the "smoke" object's
+  /// fields override the grid's before expansion. Throws
+  /// std::invalid_argument / json::ParseError on any problem.
+  static CampaignSpec parse(const json::Value& doc, bool smoke = false);
+  static CampaignSpec parse_text(const std::string& text, bool smoke = false);
+  /// File variant: false + *error instead of throwing.
+  static bool parse_file(const std::string& path, bool smoke, CampaignSpec* out,
+                         std::string* error);
+};
+
+/// The content-address of a cell under a code version:
+/// hash::content_key(canonical-spec + '\0' + code_version). Results
+/// computed by one build never satisfy lookups from another.
+std::string cell_key(const CellSpec& cell, const std::string& code_version);
+
+}  // namespace chksim::campaign

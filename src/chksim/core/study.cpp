@@ -117,6 +117,7 @@ Breakdown run_study(const StudyConfig& config) {
 
   if (config.metrics != nullptr) {
     obs::MetricsRegistry& m = *config.metrics;
+    obs::stamp_provenance(m, config.params.seed);
     m.set_gauge("study.ranks", static_cast<double>(b.ranks));
     m.set_gauge("study.interval_ns", static_cast<double>(b.interval));
     m.set_gauge("study.blackout_ns", static_cast<double>(b.blackout));

@@ -5,45 +5,34 @@
 #include <ostream>
 #include <sstream>
 
+#include "chksim/support/json.hpp"
+#include "chksim/support/version.hpp"
+
 namespace chksim::obs {
 
 namespace {
 
-/// Shortest round-trip-exact formatting, so reports are byte-stable for
-/// equal inputs and diff cleanly.
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double back = 0;
-  // Prefer the shorter %g forms when they round-trip.
-  for (int prec : {6, 9, 12, 15}) {
-    char probe[64];
-    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
-    std::sscanf(probe, "%lf", &back);
-    if (back == v) return probe;
-  }
-  return buf;
-}
-
-std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
+// Formatting shared with the JSON reader/writer, so every chksim report is
+// byte-stable for equal inputs and survives a parse/dump round trip (the
+// campaign report embeds cell reports that way).
+std::string json_number(double v) { return json::format_number(v); }
+std::string json_string(const std::string& s) { return json::escape_string(s); }
 
 }  // namespace
+
+void MetricsRegistry::set_provenance(const std::string& name,
+                                     const std::string& value) {
+  provenance_[name] = value;
+}
+
+std::string MetricsRegistry::provenance(const std::string& name) const {
+  const auto it = provenance_.find(name);
+  return it != provenance_.end() ? it->second : std::string();
+}
+
+bool MetricsRegistry::has_provenance(const std::string& name) const {
+  return provenance_.count(name) != 0;
+}
 
 void MetricsRegistry::add_counter(const std::string& name, std::int64_t delta) {
   counters_[name] += delta;
@@ -89,6 +78,7 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name) const 
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.provenance_) provenance_[name] = value;
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
   for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
   for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
@@ -102,6 +92,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 }
 
 void MetricsRegistry::clear() {
+  provenance_.clear();
   counters_.clear();
   gauges_.clear();
   stats_.clear();
@@ -109,13 +100,20 @@ void MetricsRegistry::clear() {
 }
 
 bool MetricsRegistry::empty() const {
-  return counters_.empty() && gauges_.empty() && stats_.empty() &&
-         histograms_.empty();
+  return provenance_.empty() && counters_.empty() && gauges_.empty() &&
+         stats_.empty() && histograms_.empty();
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
-  out << "{\n  \"counters\": {";
+  out << "{\n  \"provenance\": {";
   bool first = true;
+  for (const auto& [name, value] : provenance_) {
+    out << (first ? "\n" : ",\n") << "    " << json_string(name) << ": "
+        << json_string(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"counters\": {";
+  first = true;
   for (const auto& [name, value] : counters_) {
     out << (first ? "\n" : ",\n") << "    " << json_string(name) << ": " << value;
     first = false;
@@ -173,6 +171,14 @@ bool MetricsRegistry::write_json_file(const std::string& path,
     return false;
   }
   return true;
+}
+
+void stamp_provenance(MetricsRegistry& registry, std::uint64_t seed) {
+  registry.set_provenance("schema_version",
+                          std::to_string(version::schema_version()));
+  registry.set_provenance("code_version", version::code_version());
+  registry.set_provenance("build_type", version::build_type());
+  registry.set_provenance("seed", std::to_string(seed));
 }
 
 void publish_engine_metrics(const sim::RunResult& result, MetricsRegistry& registry,

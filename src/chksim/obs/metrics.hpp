@@ -21,6 +21,15 @@ namespace chksim::obs {
 
 class MetricsRegistry {
  public:
+  /// Set a provenance field (string, last write wins). Provenance is the
+  /// report's identity block — schema version, code version, build type,
+  /// seed — emitted as the first JSON section. Use stamp_provenance() for
+  /// the standard fields.
+  void set_provenance(const std::string& name, const std::string& value);
+  /// Provenance field value ("" if never set).
+  std::string provenance(const std::string& name) const;
+  bool has_provenance(const std::string& name) const;
+
   /// Add `delta` to a counter, creating it at 0 on first use.
   void add_counter(const std::string& name, std::int64_t delta = 1);
   /// Current counter value (0 if never touched).
@@ -41,8 +50,8 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, double lo, double hi, int bins);
   const Histogram* find_histogram(const std::string& name) const;
 
-  /// Fold another registry into this one: counters add, gauges last-write-
-  /// wins (the merged-in registry wins), streaming stats merge via the
+  /// Fold another registry into this one: counters add, provenance and
+  /// gauges last-write-wins (the merged-in registry wins), streaming stats merge via the
   /// parallel Welford update, and same-named histograms (which must share a
   /// shape) accumulate bin-wise. Used by parallel drivers, which give every
   /// task a private registry and merge them in task-index order after the
@@ -53,19 +62,27 @@ class MetricsRegistry {
   void clear();
   bool empty() const;
 
-  /// Deterministic JSON report: counters, gauges, stats summaries, and
-  /// histogram bin counts, all with sorted keys.
+  /// Deterministic JSON report: provenance, counters, gauges, stats
+  /// summaries, and histogram bin counts, all with sorted keys.
   void write_json(std::ostream& out) const;
   std::string to_json() const;
   /// write_json to a file; false (and *error) on I/O failure.
   bool write_json_file(const std::string& path, std::string* error = nullptr) const;
 
  private:
+  std::map<std::string, std::string> provenance_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, StreamingStats> stats_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Stamp the standard provenance fields into a registry: schema_version,
+/// code_version (git describe at configure time), build_type, and the run's
+/// root RNG seed. Every producer that ends in write_json should pass
+/// through here exactly once — the campaign cache keys on the same
+/// code-version stamp, so a cached report always says which code wrote it.
+void stamp_provenance(MetricsRegistry& registry, std::uint64_t seed);
 
 /// Publish a finished engine run into the registry under `prefix`:
 /// counters (ops, events, sends/recvs/calcs, bytes), gauges (makespan,

@@ -1,11 +1,39 @@
 #include "chksim/support/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "chksim/support/parallel.hpp"
 
 namespace chksim {
 
+namespace {
+
+/// Levenshtein distance, for unknown-flag suggestions. Flag names are
+/// short, so the O(n*m) rolling-row form is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 Cli& Cli::flag(const std::string& name, const std::string& default_value,
                const std::string& help) {
+  if (flags_.count(name) != 0)
+    throw std::logic_error("duplicate flag definition: --" + name);
   Flag f;
   f.value = default_value;
   f.default_value = default_value;
@@ -33,6 +61,23 @@ bool Cli::parse(int argc, const char* const* argv) {
     const auto it = flags_.find(arg);
     if (it == flags_.end()) {
       error_ = "unknown flag: --" + arg;
+      // Suggest the closest declared flag when it is plausibly a typo:
+      // small edit distance, or the unknown name is a prefix of exactly
+      // one declared flag. Ties break lexicographically (sorted map).
+      std::string best;
+      std::size_t best_dist = std::string::npos;
+      for (const auto& [name, f] : flags_) {
+        (void)f;
+        const std::size_t d = edit_distance(arg, name);
+        if (d < best_dist) {
+          best_dist = d;
+          best = name;
+        }
+      }
+      const std::size_t threshold = arg.size() <= 3 ? 1 : 2;
+      if (!best.empty() &&
+          (best_dist <= threshold || best.rfind(arg, 0) == 0))
+        error_ += " (did you mean --" + best + "?)";
       return false;
     }
     Flag& f = it->second;
@@ -95,6 +140,22 @@ Cli& add_observability_flags(Cli& cli) {
       .flag("trace-out", "",
             "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
       .flag("report-out", "", "write the JSON metrics run-report");
+}
+
+Cli& add_standard_flags(Cli& cli) {
+  return cli
+      .flag("jobs", "0", "concurrent cells/trials; 0 = hardware concurrency")
+      .flag("smoke", "false", "run a small subset (for regression tests)")
+      .flag("ranks", "0", "override rank count / scale axis; 0 = driver default");
+}
+
+StdOptions standard_options(const Cli& cli) {
+  StdOptions opt;
+  opt.jobs = par::resolve_jobs(static_cast<int>(cli.get_int("jobs")));
+  opt.smoke = cli.get_bool("smoke");
+  opt.ranks = static_cast<int>(cli.get_int("ranks"));
+  if (opt.ranks < 0) throw std::invalid_argument("--ranks must be >= 0");
+  return opt;
 }
 
 std::string Cli::usage(const std::string& program) const {

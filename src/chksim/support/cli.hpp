@@ -15,11 +15,16 @@ namespace chksim {
 class Cli {
  public:
   /// Declare a flag with a default value and a help string before parse().
+  /// Throws std::logic_error if `name` is already declared — duplicate
+  /// definitions are always a programming error (two call sites silently
+  /// fighting over one flag).
   Cli& flag(const std::string& name, const std::string& default_value,
             const std::string& help);
 
   /// Parse argv. Returns false (and fills error()) on unknown flags or
-  /// missing values; the caller should print usage() and exit.
+  /// missing values; the caller should print usage() and exit. Unknown-flag
+  /// errors include a nearest-match suggestion when a declared flag is
+  /// plausibly what the user meant.
   bool parse(int argc, const char* const* argv);
 
   /// Value accessors (after parse; defaults apply when the flag is absent).
@@ -56,5 +61,27 @@ class Cli {
 /// Both default to "" (off). Drivers check cli.is_set(...) and wire an
 /// obs::EventTracer / obs::MetricsRegistry accordingly.
 Cli& add_observability_flags(Cli& cli);
+
+/// The standard driver options shared by the bench harnesses and
+/// chksim_run, so every sweep-style binary parses identically:
+///   --jobs N    concurrency for independent cells/trials; 0 = all cores.
+///               Results are identical for every value.
+///   --smoke     shrink the sweep to a few-second subset (used by the
+///               determinism regression gates, which byte-compare output
+///               across --jobs values).
+///   --ranks N   override the scale axis; 0 = the driver's built-in scales.
+struct StdOptions {
+  int jobs = 0;  ///< Resolved: >= 1 after standard_options().
+  bool smoke = false;
+  int ranks = 0;
+};
+
+/// Declare --jobs/--smoke/--ranks on `cli`.
+Cli& add_standard_flags(Cli& cli);
+
+/// Extract the standard options after parse(). Resolves --jobs through
+/// par::resolve_jobs (0 -> hardware concurrency) and validates --ranks >= 0
+/// (throws std::invalid_argument otherwise).
+StdOptions standard_options(const Cli& cli);
 
 }  // namespace chksim

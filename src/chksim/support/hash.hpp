@@ -1,0 +1,41 @@
+// Content hashing for the campaign result cache.
+//
+// FNV-1a is not cryptographic — the cache defends against *accidental*
+// collisions and corruption, not adversaries. content_key() therefore
+// combines two independent 64-bit FNV-1a streams (different offset bases)
+// into a 128-bit hex key: more than enough headroom for the ~1e4 cells a
+// campaign expands to, while staying dependency-free and byte-stable across
+// platforms.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace chksim::hash {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+/// Second, independent stream basis (golden-ratio constant).
+inline constexpr std::uint64_t kFnvOffsetAlt = kFnvOffset ^ 0x9e3779b97f4a7c15ull;
+
+/// 64-bit FNV-1a over bytes, seedable for chaining.
+constexpr std::uint64_t fnv1a(std::string_view data, std::uint64_t h = kFnvOffset) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 32-hex-character content key (two independent FNV-1a streams).
+inline std::string content_key(std::string_view data) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(fnv1a(data)),
+                static_cast<unsigned long long>(fnv1a(data, kFnvOffsetAlt)));
+  return buf;
+}
+
+}  // namespace chksim::hash

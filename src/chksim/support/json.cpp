@@ -1,0 +1,559 @@
+#include "chksim/support/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chksim::json {
+
+// ---- Value construction and access ---------------------------------------
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  // Preserve integer identity for whole values in the exact range, so that
+  // number(4.0) and integer(4) canonicalise identically.
+  if (d >= -9007199254740992.0 && d <= 9007199254740992.0 &&
+      d == static_cast<double>(static_cast<std::int64_t>(d))) {
+    v.int_ = static_cast<std::int64_t>(d);
+    v.int_exact_ = true;
+  }
+  return v;
+}
+
+Value Value::integer(std::int64_t i) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(i);
+  v.int_ = i;
+  v.int_exact_ = true;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array(Array items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+Value Value::object(Object members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+namespace {
+const char* kind_name(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "bool";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* want, Value::Kind got) {
+  throw TypeError(std::string("expected ") + want + ", got " + kind_name(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::kNumber) type_error("number", kind_);
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_integer()) type_error("integer", kind_);
+  return int_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) type_error("string", kind_);
+  return str_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  return arr_;
+}
+
+Value::Array& Value::as_array() {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  return arr_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  return obj_;
+}
+
+Value::Object& Value::as_object() {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  return obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it != obj_.end() ? &it->second : nullptr;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber:
+      if (int_exact_ != other.int_exact_) return false;
+      return int_exact_ ? int_ == other.int_ : num_ == other.num_;
+    case Kind::kString: return str_ == other.str_;
+    case Kind::kArray: return arr_ == other.arr_;
+    case Kind::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+// ---- Serialisation --------------------------------------------------------
+
+std::string format_number(double v) {
+  char buf[64];
+  // Prefer the shortest %g form that round-trips exactly.
+  for (int prec : {6, 9, 12, 15}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string escape_string(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      if (int_exact_) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+        out += buf;
+      } else {
+        out += format_number(num_);
+      }
+      return;
+    case Kind::kString:
+      out += escape_string(str_);
+      return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) out += indent >= 0 ? "," : ", ";
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+        first = false;
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : obj_) {
+        if (!first) out += indent >= 0 ? "," : ", ";
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        out += escape_string(key);
+        out += ": ";
+        v.dump_to(out, indent, depth + 1);
+        first = false;
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---- Parsing --------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    skip_ws();
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError(what, line, col);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      fail("invalid literal (expected " + std::string(lit) + ")");
+    pos_ += lit.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than " + std::to_string(kMaxDepth));
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case 'n': expect_literal("null"); return Value();
+      case 't': expect_literal("true"); return Value::boolean(true);
+      case 'f': expect_literal("false"); return Value::boolean(false);
+      case '"': return Value::string(parse_string());
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value::Array items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Value::array(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return Value::array(std::move(items));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value::Object members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Value::object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      if (members.count(key) != 0) fail("duplicate object key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members.emplace(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') return Value::object(std::move(members));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      cp <<= 4;
+      if (c >= '0' && c <= '9')
+        cp |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return cp;
+  }
+
+  /// Validate one UTF-8 sequence starting at the current byte (which is
+  /// known to be >= 0x80) and append it. Strict: rejects continuation-byte
+  /// errors, overlong encodings, surrogates, and code points > U+10FFFF.
+  void consume_utf8(std::string& out) {
+    const unsigned char b0 = static_cast<unsigned char>(next());
+    int len = 0;
+    std::uint32_t cp = 0;
+    if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07;
+    } else {
+      --pos_;
+      fail("invalid UTF-8 byte in string");
+    }
+    for (int i = 1; i < len; ++i) {
+      if (eof()) fail("truncated UTF-8 sequence in string");
+      const unsigned char b = static_cast<unsigned char>(next());
+      if ((b & 0xC0) != 0x80) {
+        --pos_;
+        fail("invalid UTF-8 continuation byte in string");
+      }
+      cp = (cp << 6) | (b & 0x3F);
+    }
+    static constexpr std::uint32_t kMinByLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMinByLen[len]) fail("overlong UTF-8 encoding in string");
+    if (cp >= 0xD800 && cp <= 0xDFFF) fail("UTF-8 encoded surrogate in string");
+    if (cp > 0x10FFFF) fail("UTF-8 code point beyond U+10FFFF in string");
+    append_utf8(out, cp);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("unescaped control character in string");
+      if (c >= 0x80) {
+        consume_utf8(out);
+        continue;
+      }
+      ++pos_;
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (next() != '\\' || next() != 'u') {
+              --pos_;
+              fail("unpaired surrogate in \\u escape");
+            }
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate in \\u escape");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    // Integer part: 0, or [1-9][0-9]* (no leading zeros).
+    if (eof()) fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && peek() >= '0' && peek() <= '9') fail("leading zero in number");
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') fail("digit required after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') fail("digit required in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size())
+        return Value::integer(v);
+      // Falls through: magnitude beyond int64, keep it as a double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (errno == ERANGE && !std::isfinite(d)) fail("number out of range");
+    if (!std::isfinite(d)) fail("number out of range");
+    return Value::number(d);
+  }
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+bool try_parse(std::string_view text, Value* out, std::string* error) {
+  try {
+    Value v = parse(text);
+    if (out != nullptr) *out = std::move(v);
+    return true;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace chksim::json

@@ -1,0 +1,132 @@
+// A small strict JSON reader/writer.
+//
+// chksim emits JSON in several places (MetricsRegistry::write_json, trace
+// exporters); the campaign subsystem also needs to *read* it — scenario
+// specs, cached cell results, the resume journal. This parser is
+// deliberately strict so that canonicalised specs hash stably and corrupt
+// cache/journal bytes are rejected rather than half-understood:
+//
+//  * RFC 8259 grammar only — no comments, trailing commas, single quotes,
+//    NaN/Infinity, leading zeros, or bare values with trailing garbage;
+//  * duplicate object keys are an error (a spec that says "ranks" twice is
+//    ambiguous, not last-write-wins);
+//  * strings must be valid UTF-8 (overlongs, surrogates, and >U+10FFFF
+//    rejected); \uXXXX escapes (including surrogate pairs) are decoded;
+//  * numbers that overflow double range are an error; integral values that
+//    fit int64 keep exact integer identity through a dump/parse round trip;
+//  * nesting depth is capped (kMaxDepth) so hostile inputs cannot blow the
+//    stack.
+//
+// dump() is deterministic: object keys sorted (std::map), integers printed
+// exactly, doubles in shortest round-trip form — so canonical specs and
+// merged campaign reports are byte-stable across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chksim::json {
+
+/// Maximum container nesting depth accepted by parse().
+inline constexpr int kMaxDepth = 64;
+
+/// Thrown by parse() with a 1-based position of the offending byte.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : std::runtime_error("JSON parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Thrown by the as_*() accessors on a kind mismatch.
+class TypeError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Value>;
+  /// Sorted storage gives canonical (deterministic) dumps for free.
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;  ///< null
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value integer(std::int64_t v);
+  static Value string(std::string s);
+  static Value array(Array items = {});
+  static Value object(Object members = {});
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  /// Number that is exactly representable as int64 (parsed without
+  /// fraction/exponent, or constructed via integer()).
+  bool is_integer() const { return kind_ == Kind::kNumber && int_exact_; }
+
+  bool as_bool() const;
+  double as_double() const;         ///< Any number.
+  std::int64_t as_int() const;      ///< Integral numbers only.
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+
+  /// Deterministic serialisation: sorted keys, exact integers, shortest
+  /// round-trip doubles, \u-escaped control characters. `indent` < 0 gives
+  /// the compact one-line form; >= 0 pretty-prints with that step.
+  std::string dump(int indent = -1) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool int_exact_ = false;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+/// Parse a complete JSON document. Throws ParseError on any violation.
+Value parse(std::string_view text);
+
+/// Non-throwing wrapper: false + *error on failure.
+bool try_parse(std::string_view text, Value* out, std::string* error);
+
+/// Shortest round-trip-exact decimal form of a double (no trailing zeros
+/// beyond what re-reading needs). Shared by Value::dump and the
+/// MetricsRegistry JSON writer so every chksim report formats numbers
+/// identically.
+std::string format_number(double v);
+
+/// Quote + escape a string for embedding in JSON output.
+std::string escape_string(std::string_view s);
+
+}  // namespace chksim::json

@@ -1,0 +1,18 @@
+#include "chksim/support/version.hpp"
+
+#ifndef CHKSIM_CODE_VERSION
+#define CHKSIM_CODE_VERSION "unversioned"
+#endif
+#ifndef CHKSIM_BUILD_TYPE
+#define CHKSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace chksim::version {
+
+int schema_version() { return 1; }
+
+const char* code_version() { return CHKSIM_CODE_VERSION; }
+
+const char* build_type() { return CHKSIM_BUILD_TYPE; }
+
+}  // namespace chksim::version

@@ -1,0 +1,24 @@
+// Build provenance: the code-version stamp and build type baked in at
+// configure time. The campaign result cache keys on code_version() (a
+// result computed by one build must not satisfy a lookup from another), and
+// every MetricsRegistry JSON report carries all three fields so a stored
+// report can always be traced back to the code that produced it.
+//
+// The stamp comes from `git describe --always --dirty` at CMake configure
+// time (see src/CMakeLists.txt); it goes stale only between configures,
+// which is exactly the granularity at which the build directory itself goes
+// stale. Without git (release tarballs) it falls back to "unversioned".
+#pragma once
+
+namespace chksim::version {
+
+/// JSON report schema version; bump when report layout changes shape.
+int schema_version();
+
+/// Code identity: git describe output, or "unversioned".
+const char* code_version();
+
+/// CMAKE_BUILD_TYPE of this binary ("Release", "RelWithDebInfo", ...).
+const char* build_type();
+
+}  // namespace chksim::version

@@ -1,0 +1,374 @@
+// Tests for the campaign subsystem: spec parsing/expansion, the
+// content-addressed result cache (including corruption recovery), and the
+// runner's memoise/journal/resume behaviour — capped by a fork()-based
+// SIGKILL-mid-campaign test that asserts the resumed report is
+// byte-identical to an uninterrupted run.
+#include "chksim/campaign/cache.hpp"
+#include "chksim/campaign/runner.hpp"
+#include "chksim/campaign/spec.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "chksim/obs/metrics.hpp"
+#include "chksim/support/json.hpp"
+
+namespace chksim::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh per-test scratch directory under gtest's temp dir.
+fs::path scratch() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::path(::testing::TempDir()) / "chksim_campaign" /
+                 (std::string(info->test_suite_name()) + "." + info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Small two-cell campaign used by the runner tests (fast to execute).
+constexpr const char* kTinyDoc = R"({
+  "name": "tiny",
+  "grid": {
+    "workload": "halo3d",
+    "ranks": [64, 128],
+    "protocol": "coordinated",
+    "periods": 2
+  }
+})";
+
+TEST(CellSpec, CanonicalFormIsSortedAndComplete) {
+  const CellSpec cell;
+  const std::string c = cell.canonical();
+  // Every field present, keys sorted, defaults materialised.
+  EXPECT_EQ(c,
+            "{\"bytes\": 8192, \"cluster_size\": 16, \"compute_us\": 1000, "
+            "\"duty\": 0.1, \"interval_ms\": 10, \"machine\": \"infiniband\", "
+            "\"mode\": \"study\", \"mtbf_hours\": 0, \"periods\": 4, "
+            "\"protocol\": \"coordinated\", \"ranks\": 64, \"seed\": 1, "
+            "\"trials\": 50, \"work_hours\": 1, \"workload\": \"halo3d\"}");
+  // Round-trips exactly.
+  EXPECT_EQ(CellSpec::from_json(json::parse(c)).canonical(), c);
+}
+
+TEST(CellSpec, EquivalentSpellingsCanonicaliseIdentically) {
+  // 10 vs 10.0 vs 1e1 must be the same cell (same cache key).
+  const auto parse_cell = [](const std::string& interval) {
+    return CellSpec::from_json(
+        json::parse("{\"interval_ms\": " + interval + "}"));
+  };
+  EXPECT_EQ(parse_cell("10").canonical(), parse_cell("10.0").canonical());
+  EXPECT_EQ(parse_cell("10").canonical(), parse_cell("1e1").canonical());
+}
+
+TEST(CellSpec, RejectsUnknownAndInvalid) {
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"rank\": 64}")),
+               std::invalid_argument);  // typo'd field
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"workload\": \"nope\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"machine\": \"cray\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"protocol\": \"best\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"ranks\": 0}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"duty\": 1.5}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"mode\": \"guess\"}")),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, ExpansionIsDeterministicOdometer) {
+  const CampaignSpec spec = CampaignSpec::parse_text(R"({
+    "name": "grid",
+    "grid": {
+      "protocol": ["coordinated", "uncoordinated"],
+      "ranks": [64, 128]
+    }
+  })");
+  // ranks is declared after protocol, so it is the fastest axis.
+  ASSERT_EQ(spec.cells.size(), 4u);
+  EXPECT_EQ(spec.cells[0].protocol, "coordinated");
+  EXPECT_EQ(spec.cells[0].ranks, 64);
+  EXPECT_EQ(spec.cells[1].protocol, "coordinated");
+  EXPECT_EQ(spec.cells[1].ranks, 128);
+  EXPECT_EQ(spec.cells[2].protocol, "uncoordinated");
+  EXPECT_EQ(spec.cells[2].ranks, 64);
+  EXPECT_EQ(spec.cells[3].protocol, "uncoordinated");
+  EXPECT_EQ(spec.cells[3].ranks, 128);
+}
+
+TEST(CampaignSpec, GridsConcatenateAndSmokeOverrides) {
+  const std::string doc = R"({
+    "name": "multi",
+    "grids": [
+      {"workload": "halo3d", "ranks": [64, 128]},
+      {"mode": "failures", "workload": "ep", "trials": 5}
+    ],
+    "smoke": {"ranks": 64}
+  })";
+  const CampaignSpec full = CampaignSpec::parse_text(doc);
+  ASSERT_EQ(full.cells.size(), 3u);
+  EXPECT_EQ(full.cells[2].mode, "failures");
+  EXPECT_EQ(full.cells[2].trials, 5);
+  // --smoke replaces the ranks axis in every grid.
+  const CampaignSpec smoke = CampaignSpec::parse_text(doc, /*smoke=*/true);
+  ASSERT_EQ(smoke.cells.size(), 2u);
+  EXPECT_EQ(smoke.cells[0].ranks, 64);
+  EXPECT_EQ(smoke.cells[1].ranks, 64);
+}
+
+TEST(CampaignSpec, RejectsMalformedDocuments) {
+  EXPECT_THROW(CampaignSpec::parse_text("{\"name\": \"x\"}"),
+               std::invalid_argument);  // no grid
+  EXPECT_THROW(
+      CampaignSpec::parse_text(
+          "{\"grid\": {}, \"grids\": [{}], \"name\": \"x\"}"),
+      std::invalid_argument);  // both grid and grids
+  EXPECT_THROW(CampaignSpec::parse_text("{\"grid\": {\"ranks\": []}}"),
+               std::invalid_argument);  // empty axis
+  EXPECT_THROW(CampaignSpec::parse_text("{\"grid\": {}, \"extra\": 1}"),
+               std::invalid_argument);  // unknown top-level key
+}
+
+TEST(CellKey, BindsSpecAndCodeVersion) {
+  CellSpec a, b;
+  b.ranks = 128;
+  EXPECT_EQ(cell_key(a, "v1"), cell_key(a, "v1"));
+  EXPECT_NE(cell_key(a, "v1"), cell_key(b, "v1"));
+  EXPECT_NE(cell_key(a, "v1"), cell_key(a, "v2"));  // rebuild invalidates
+  EXPECT_EQ(cell_key(a, "v1").size(), 32u);
+}
+
+TEST(ResultCache, StoreLookupRoundTrip) {
+  const fs::path dir = scratch();
+  obs::MetricsRegistry metrics;
+  ResultCache cache(dir.string(), "v1", &metrics);
+  const std::string key = cache.key(CellSpec{});
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  ASSERT_TRUE(cache.store(key, "{\"x\": 1}\n"));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"x\": 1}\n");
+  EXPECT_EQ(metrics.counter("campaign.cache.misses"), 1);
+  EXPECT_EQ(metrics.counter("campaign.cache.hits"), 1);
+  EXPECT_EQ(metrics.counter("campaign.cache.stores"), 1);
+}
+
+TEST(ResultCache, CorruptEntriesAreEvictedAndMiss) {
+  const fs::path dir = scratch();
+  obs::MetricsRegistry metrics;
+  ResultCache cache(dir.string(), "v1", &metrics);
+  const std::string key = cache.key(CellSpec{});
+  const std::string path = cache.path_for(key);
+
+  const auto corrupt_with = [&](const std::string& bytes) {
+    ASSERT_TRUE(cache.store(key, "payload-bytes"));
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_FALSE(fs::exists(path)) << "corrupt entry not evicted";
+  };
+  corrupt_with("");                                          // empty file
+  corrupt_with("not-the-magic x 3 0\nabc");                  // bad magic
+  corrupt_with("chksim-cache-v1 " + key + " 99 0\nshort");   // truncated
+  corrupt_with("chksim-cache-v1 " + key +
+               " 7 0000000000000000\npayload");              // bad checksum
+  EXPECT_EQ(metrics.counter("campaign.cache.corrupt"), 4);
+
+  // Trailing bytes beyond the declared size are corruption too.
+  ASSERT_TRUE(cache.store(key, "p"));
+  std::ofstream(path, std::ios::binary | std::ios::app) << "extra";
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(RunCell, PayloadIsProvenanceStampedJson) {
+  CellSpec cell;
+  cell.ranks = 64;
+  cell.periods = 2;
+  const std::string payload = run_cell(cell);
+  const json::Value v = json::parse(payload);
+  const json::Value* prov = v.find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->find("seed")->as_string(), "1");
+  ASSERT_NE(v.find("gauges"), nullptr);
+  EXPECT_NE(v.find("gauges")->find("study.slowdown"), nullptr);
+}
+
+TEST(Runner, ColdThenWarmIsByteIdenticalAndAllHits) {
+  const fs::path dir = scratch();
+  const CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+
+  RunnerConfig config;
+  config.jobs = 1;
+  config.cache_dir = (dir / "cache").string();
+  config.code_version = "test-v1";
+
+  obs::MetricsRegistry cold_metrics;
+  config.metrics = &cold_metrics;
+  const auto t0 = std::chrono::steady_clock::now();
+  const CampaignResult cold = run_campaign(spec, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_EQ(cold.ok, 2);
+  EXPECT_EQ(cold.from_cache, 0);
+
+  obs::MetricsRegistry warm_metrics;
+  config.metrics = &warm_metrics;
+  config.jobs = 4;  // jobs must not matter
+  const CampaignResult warm = run_campaign(spec, config);
+  const auto t2 = std::chrono::steady_clock::now();
+  EXPECT_EQ(warm.ok, 2);
+  EXPECT_EQ(warm.from_cache, 2);
+  EXPECT_EQ(warm_metrics.counter("campaign.cells_executed"), 0);
+  EXPECT_EQ(warm.report_json(), cold.report_json());
+
+  // The memoised rerun must beat the cold run by a wide margin; >10x is the
+  // acceptance bar and the measured gap is ~100x (simulation vs file reads).
+  const auto cold_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+  const auto warm_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t2 - t1).count();
+  EXPECT_GT(cold_us, 10 * warm_us)
+      << "cold " << cold_us << "us vs warm " << warm_us << "us";
+}
+
+TEST(Runner, ReportIsValidJsonInCellOrder) {
+  const CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+  RunnerConfig config;
+  config.jobs = 2;
+  config.code_version = "test-v1";
+  const CampaignResult result = run_campaign(spec, config);
+  const json::Value report = json::parse(result.report_json());
+  EXPECT_EQ(report.find("campaign")->as_string(), "tiny");
+  EXPECT_EQ(report.find("code_version")->as_string(), "test-v1");
+  const auto& cells = report.find("cells")->as_array();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].find("spec")->find("ranks")->as_int(), 64);
+  EXPECT_EQ(cells[1].find("spec")->find("ranks")->as_int(), 128);
+  EXPECT_EQ(cells[0].find("status")->as_string(), "ok");
+  ASSERT_NE(cells[0].find("metrics"), nullptr);
+}
+
+TEST(Runner, ResumeSkipsJournaledCellsAndToleratesTornTail) {
+  const fs::path dir = scratch();
+  const CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+
+  RunnerConfig config;
+  config.jobs = 1;
+  config.journal_path = (dir / "journal.jsonl").string();
+  config.code_version = "test-v1";
+  const CampaignResult first = run_campaign(spec, config);
+  EXPECT_EQ(first.ok, 2);
+
+  // Simulate a crash mid-append: a torn half-line at the journal tail.
+  std::ofstream(config.journal_path, std::ios::app | std::ios::binary)
+      << "{\"key\": \"deadbeef";
+
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  config.resume = true;
+  const CampaignResult resumed = run_campaign(spec, config);
+  EXPECT_EQ(resumed.ok, 2);
+  EXPECT_EQ(resumed.from_journal, 2);
+  EXPECT_EQ(metrics.counter("campaign.cells_executed"), 0);
+  EXPECT_EQ(resumed.report_json(), first.report_json());
+}
+
+TEST(Runner, ResumeIgnoresJournalFromDifferentCodeVersion) {
+  const fs::path dir = scratch();
+  const CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+
+  RunnerConfig config;
+  config.jobs = 1;
+  config.journal_path = (dir / "journal.jsonl").string();
+  config.code_version = "old-build";
+  run_campaign(spec, config);
+
+  // Same journal, new code version: every key mismatches, all cells re-run.
+  config.code_version = "new-build";
+  config.resume = true;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const CampaignResult result = run_campaign(spec, config);
+  EXPECT_EQ(result.from_journal, 0);
+  EXPECT_EQ(metrics.counter("campaign.cells_executed"), 2);
+  EXPECT_EQ(result.ok, 2);
+}
+
+TEST(Runner, FailedCellsAreRecordedNotFatal) {
+  CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+  // Sabotage one cell after expansion (parse-time validation can't see it).
+  spec.cells[1].workload = "does-not-exist";
+  RunnerConfig config;
+  config.jobs = 1;
+  config.max_attempts = 3;
+  config.code_version = "test-v1";
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  const CampaignResult result = run_campaign(spec, config);
+  EXPECT_EQ(result.ok, 1);
+  EXPECT_EQ(result.failed, 1);
+  EXPECT_EQ(result.cells[1].status, "failed");
+  EXPECT_EQ(result.cells[1].attempts, 3);
+  EXPECT_FALSE(result.cells[1].error.empty());
+  const json::Value report = json::parse(result.report_json());
+  EXPECT_EQ(report.find("cells")->as_array()[1].find("status")->as_string(),
+            "failed");
+}
+
+TEST(Runner, ResumeWithoutJournalPathThrows) {
+  const CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+  RunnerConfig config;
+  config.resume = true;
+  EXPECT_THROW(run_campaign(spec, config), std::invalid_argument);
+}
+
+// The flagship crash test: fork a child that runs the campaign with
+// kill_after_cells=1, i.e. it SIGKILLs itself right after the first
+// journal append is fsync'd. The parent then resumes from the journal and
+// must produce a report byte-identical to an uninterrupted run.
+TEST(Runner, SigkillMidCampaignThenResumeIsByteIdentical) {
+  const fs::path dir = scratch();
+  const CampaignSpec spec = CampaignSpec::parse_text(kTinyDoc);
+
+  RunnerConfig config;
+  config.jobs = 1;  // serial in-process execution: safe to run after fork()
+  config.journal_path = (dir / "journal.jsonl").string();
+  config.code_version = "test-v1";
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    RunnerConfig child = config;
+    child.kill_after_cells = 1;
+    run_campaign(spec, child);
+    _exit(0);  // unreachable if the kill hook fired
+  }
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(pid, &wait_status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wait_status)) << "child was not killed";
+  EXPECT_EQ(WTERMSIG(wait_status), SIGKILL);
+
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  config.resume = true;
+  const CampaignResult resumed = run_campaign(spec, config);
+  EXPECT_EQ(resumed.from_journal, 1);
+  EXPECT_EQ(metrics.counter("campaign.cells_executed"), 1);
+
+  RunnerConfig uninterrupted;
+  uninterrupted.jobs = 1;
+  uninterrupted.code_version = "test-v1";
+  const CampaignResult baseline = run_campaign(spec, uninterrupted);
+  EXPECT_EQ(resumed.report_json(), baseline.report_json());
+}
+
+}  // namespace
+}  // namespace chksim::campaign

@@ -96,5 +96,53 @@ TEST(Cli, UsageListsFlags) {
   EXPECT_NE(u.find("machine preset"), std::string::npos);
 }
 
+TEST(Cli, DuplicateFlagDefinitionThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(cli.flag("ranks", "1", "again"), std::logic_error);
+}
+
+TEST(Cli, UnknownFlagSuggestsNearestMatch) {
+  Cli cli = make_cli();
+  const auto argv = argv_of({"--rank", "8"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("did you mean --ranks?"), std::string::npos);
+
+  // Typos too far from every declared flag get no (misleading) suggestion.
+  Cli cli2 = make_cli();
+  const auto argv2 = argv_of({"--zzzzzz", "8"});
+  EXPECT_FALSE(cli2.parse(static_cast<int>(argv2.size()), argv2.data()));
+  EXPECT_EQ(cli2.error().find("did you mean"), std::string::npos);
+}
+
+TEST(Cli, StandardFlagsParseAndResolve) {
+  Cli cli;
+  add_standard_flags(cli);
+  const auto argv = argv_of({"--jobs", "3", "--smoke", "--ranks", "128"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const StdOptions opt = standard_options(cli);
+  EXPECT_EQ(opt.jobs, 3);
+  EXPECT_TRUE(opt.smoke);
+  EXPECT_EQ(opt.ranks, 128);
+}
+
+TEST(Cli, StandardFlagsDefaultsResolveJobs) {
+  Cli cli;
+  add_standard_flags(cli);
+  const auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const StdOptions opt = standard_options(cli);
+  EXPECT_GE(opt.jobs, 1);  // 0 resolves to hardware concurrency
+  EXPECT_FALSE(opt.smoke);
+  EXPECT_EQ(opt.ranks, 0);
+}
+
+TEST(Cli, StandardFlagsRejectNegativeRanks) {
+  Cli cli;
+  add_standard_flags(cli);
+  const auto argv = argv_of({"--ranks", "-4"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(standard_options(cli), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace chksim

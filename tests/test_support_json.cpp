@@ -1,0 +1,144 @@
+// Tests for the strict JSON reader/writer, including a rejection corpus of
+// malformed documents (every entry must throw, never half-parse).
+#include "chksim/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace chksim::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegerIdentitySurvivesRoundTrip) {
+  const Value v = parse("{\"big\": 9007199254740993, \"neg\": -123}");
+  ASSERT_TRUE(v.find("big")->is_integer());
+  EXPECT_EQ(v.find("big")->as_int(), 9007199254740993LL);  // not a double
+  EXPECT_EQ(v.dump(), "{\"big\": 9007199254740993, \"neg\": -123}");
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(Json, WholeDoublesCanonicaliseToIntegers) {
+  // 4.0 and 4 must hash identically in canonical specs.
+  EXPECT_EQ(Value::number(4.0).dump(), "4");
+  EXPECT_EQ(parse("4.0").dump(), "4");
+  EXPECT_EQ(parse("1e2").dump(), "100");
+  EXPECT_EQ(parse("0.1").dump(), "0.1");
+}
+
+TEST(Json, DumpSortsKeysAndIsStable) {
+  const Value v = parse("{\"b\": 1, \"a\": {\"z\": [1, 2.5, \"x\"], \"y\": null}}");
+  EXPECT_EQ(v.dump(), "{\"a\": {\"y\": null, \"z\": [1, 2.5, \"x\"]}, \"b\": 1}");
+  EXPECT_EQ(parse(v.dump()).dump(), v.dump());
+}
+
+TEST(Json, PrettyDumpRoundTrips) {
+  const Value v = parse("{\"a\": [1, {\"b\": true}], \"c\": \"s\"}");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+TEST(Json, EscapesDecodeAndReencode) {
+  const Value v = parse("\"a\\nb\\t\\\"q\\\\\\u0041\\u00e9\\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string(), "a\nb\t\"q\\A\xc3\xa9\xf0\x9f\x98\x80");
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(Json, FormatNumberShortestRoundTrip) {
+  for (const double d : {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-8, 1e308}) {
+    const std::string s = format_number(d);
+    EXPECT_EQ(std::stod(s), d) << s;
+  }
+  EXPECT_EQ(format_number(0.1), "0.1");
+  EXPECT_EQ(format_number(100.0), "100");
+}
+
+TEST(Json, RejectionCorpus) {
+  const std::vector<std::string> bad = {
+      "",                        // empty document
+      "  ",                      // only whitespace
+      "tru",                     // truncated literal
+      "nulll",                   // trailing characters in literal
+      "1 2",                     // trailing garbage after value
+      "{\"a\": 1,}",             // trailing comma
+      "[1, 2,]",                 // trailing comma in array
+      "{'a': 1}",                // single quotes
+      "{a: 1}",                  // unquoted key
+      "{\"a\": 1 \"b\": 2}",     // missing comma
+      "{\"a\": 1, \"a\": 2}",    // duplicate key
+      "{\"a\"}",                 // key without value
+      "[1, , 2]",                // elision
+      "01",                      // leading zero
+      "-01",                     // leading zero, negative
+      "1.",                      // fraction without digits
+      ".5",                      // no integer part
+      "1e",                      // exponent without digits
+      "+1",                      // leading plus
+      "NaN", "Infinity", "-Infinity",
+      "1e999",                   // overflows double
+      "\"ab",                    // unterminated string
+      "\"a\\x\"",                // unknown escape
+      "\"a\\u12\"",              // short \u escape
+      "\"\\ud800\"",             // lone high surrogate
+      "\"\\ude00\"",             // lone low surrogate
+      std::string("\"a\x01b\""), // raw control character
+      "\"\xc0\xaf\"",            // overlong UTF-8
+      "\"\xed\xa0\x80\"",        // UTF-8-encoded surrogate
+      "\"\xf4\x90\x80\x80\"",    // > U+10FFFF
+      "\"\xff\"",                // invalid UTF-8 byte
+      "{\"a\": }",               // missing value
+      "[",                       // unterminated array
+      "{\"a\": [1, 2}",          // mismatched close
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW(parse(text), ParseError) << "accepted: " << text;
+    Value out;
+    std::string error;
+    EXPECT_FALSE(try_parse(text, &out, &error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Json, DepthCapIsEnforced) {
+  std::string deep_ok(kMaxDepth, '['), deep_bad(kMaxDepth + 1, '[');
+  deep_ok += "1";
+  deep_ok += std::string(kMaxDepth, ']');
+  deep_bad += "1";
+  deep_bad += std::string(kMaxDepth + 1, ']');
+  EXPECT_NO_THROW(parse(deep_ok));
+  EXPECT_THROW(parse(deep_bad), ParseError);
+}
+
+TEST(Json, ParseErrorReportsPosition) {
+  try {
+    parse("{\n  \"a\": tru\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 1);
+  }
+}
+
+TEST(Json, TypeErrorsThrow) {
+  const Value v = parse("{\"a\": 1.5}");
+  EXPECT_THROW(v.as_string(), TypeError);
+  EXPECT_THROW(v.as_array(), TypeError);
+  EXPECT_THROW(v.find("a")->as_int(), TypeError);  // 1.5 is not integral
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace chksim::json

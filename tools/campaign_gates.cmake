@@ -1,0 +1,82 @@
+# Campaign regression gates for chksim_run, driven as ctest scripts:
+#
+#   cmake -DMODE=determinism -DRUNNER=<chksim_run> -DSPEC=<campaign.json>
+#         -DWORK_DIR=<dir> -P campaign_gates.cmake
+#
+# MODE=determinism — cold run (--jobs 1, empty cache) then warm reruns at
+#   --jobs 2 and 8 against the SAME cache; all three stdout reports must be
+#   byte-identical. This pins both jobs-independence and cold==warm identity
+#   in one pass.
+#
+# MODE=resume — run with a journal and --kill-after 2 (the runner SIGKILLs
+#   itself after the second fsync'd journal append), then rerun with
+#   --resume; the resumed report must be byte-identical to an uninterrupted
+#   run, and the runner stats must show exactly 2 journal-replayed cells.
+if(NOT DEFINED MODE OR NOT DEFINED RUNNER OR NOT DEFINED SPEC OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "campaign_gates.cmake: MODE, RUNNER, SPEC, WORK_DIR are required")
+endif()
+
+set(area "${WORK_DIR}/campaign_${MODE}")
+file(REMOVE_RECURSE "${area}")
+file(MAKE_DIRECTORY "${area}")
+
+function(run_campaign out_file expect_ok)
+  execute_process(
+    COMMAND "${RUNNER}" "${SPEC}" --smoke --quiet ${ARGN}
+    OUTPUT_FILE "${out_file}"
+    RESULT_VARIABLE rc)
+  if(expect_ok AND NOT rc EQUAL 0)
+    message(FATAL_ERROR "chksim_run ${ARGN} exited with ${rc}")
+  endif()
+  if(NOT expect_ok AND rc EQUAL 0)
+    message(FATAL_ERROR "chksim_run ${ARGN} was expected to die but exited 0")
+  endif()
+endfunction()
+
+function(must_match reference candidate what)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${reference}" "${candidate}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "campaign_${MODE}: ${what} (${reference} vs ${candidate})")
+  endif()
+endfunction()
+
+if(MODE STREQUAL "determinism")
+  set(cache "${area}/cache")
+  run_campaign("${area}/cold_jobs1.out" TRUE --jobs 1 --cache-dir "${cache}")
+  run_campaign("${area}/warm_jobs2.out" TRUE --jobs 2 --cache-dir "${cache}")
+  run_campaign("${area}/warm_jobs8.out" TRUE --jobs 8 --cache-dir "${cache}")
+  must_match("${area}/cold_jobs1.out" "${area}/warm_jobs2.out"
+    "warm --jobs 2 report differs from cold --jobs 1")
+  must_match("${area}/cold_jobs1.out" "${area}/warm_jobs8.out"
+    "warm --jobs 8 report differs from cold --jobs 1")
+  message(STATUS "campaign_determinism: cold/warm reports byte-identical for --jobs {1;2;8}")
+
+elseif(MODE STREQUAL "resume")
+  set(journal "${area}/campaign.journal.jsonl")
+  # Crash mid-campaign: SIGKILL after the second journal append.
+  run_campaign("${area}/killed.out" FALSE
+    --jobs 1 --journal "${journal}" --kill-after 2)
+  if(NOT EXISTS "${journal}")
+    message(FATAL_ERROR "campaign_resume: killed run left no journal")
+  endif()
+  # Resume: replay the journal, run the remainder.
+  run_campaign("${area}/resumed.out" TRUE
+    --jobs 1 --journal "${journal}" --resume --stats-out "${area}/resumed_stats.json")
+  # Uninterrupted baseline with its own journal.
+  run_campaign("${area}/baseline.out" TRUE
+    --jobs 1 --journal "${area}/baseline.journal.jsonl")
+  must_match("${area}/baseline.out" "${area}/resumed.out"
+    "resumed report differs from the uninterrupted run")
+  file(READ "${area}/resumed_stats.json" stats)
+  if(NOT stats MATCHES "\"campaign.cells_from_journal\": 2")
+    message(FATAL_ERROR
+      "campaign_resume: expected exactly 2 journal-replayed cells; stats:\n${stats}")
+  endif()
+  message(STATUS "campaign_resume: kill+resume report byte-identical to uninterrupted run")
+
+else()
+  message(FATAL_ERROR "campaign_gates.cmake: unknown MODE '${MODE}'")
+endif()

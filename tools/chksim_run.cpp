@@ -1,0 +1,165 @@
+// chksim_run — the unified campaign driver.
+//
+//   chksim_run campaign.json --jobs 8 --cache-dir .chksim-cache \
+//              --journal campaign.journal.jsonl --resume
+//
+// Expands the declarative campaign spec, runs (or cache-hits) every cell,
+// journals progress, and writes the deterministic merged report to stdout
+// (or --out). Progress/ETA narration goes to stderr, so stdout is
+// byte-identical for any --jobs value and for cold/warm/resumed runs — the
+// property the campaign_determinism and campaign_resume ctest gates pin.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "chksim/campaign/runner.hpp"
+#include "chksim/campaign/spec.hpp"
+#include "chksim/obs/metrics.hpp"
+#include "chksim/support/cli.hpp"
+#include "chksim/support/version.hpp"
+
+namespace {
+
+using namespace chksim;
+
+int fail_usage(const Cli& cli, const char* program, const std::string& message) {
+  std::cerr << message << "\n" << cli.usage(program) << "\n";
+  return 2;
+}
+
+std::string format_eta(double seconds) {
+  char buf[32];
+  if (seconds < 120)
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  else
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  add_standard_flags(cli);  // --jobs / --smoke / --ranks
+  cli.flag("cache-dir", "", "content-addressed result cache directory (\"\" = off)");
+  cli.flag("journal", "", "append-only JSONL journal path (\"\" = off)");
+  cli.flag("resume", "false", "replay the journal and continue an interrupted run");
+  cli.flag("out", "", "write the merged report here instead of stdout");
+  cli.flag("stats-out", "", "write runner metrics (cache hits, timings) as JSON");
+  cli.flag("retries", "2", "attempts per cell before recording it as failed");
+  cli.flag("timeout-s", "0", "per-cell wall-clock budget in seconds (0 = none)");
+  cli.flag("list", "false", "print the expanded cells and exit without running");
+  cli.flag("quiet", "false", "suppress progress narration on stderr");
+  cli.flag("kill-after", "0",
+           "TESTING: SIGKILL self after N journal appends (crash injection)");
+
+  if (!cli.parse(argc, argv))
+    return fail_usage(cli, argv[0], cli.error());
+  if (cli.positional().size() != 1)
+    return fail_usage(cli, argv[0], "exactly one campaign spec file is required");
+
+  StdOptions std_opt;
+  try {
+    std_opt = standard_options(cli);
+  } catch (const std::exception& e) {
+    return fail_usage(cli, argv[0], e.what());
+  }
+
+  const std::string spec_path = cli.positional()[0];
+  campaign::CampaignSpec spec;
+  std::string error;
+  if (!campaign::CampaignSpec::parse_file(spec_path, std_opt.smoke, &spec, &error)) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+  if (std_opt.ranks > 0) {
+    // --ranks overrides the scale axis, exactly as it does for the benches.
+    for (campaign::CellSpec& cell : spec.cells) cell.ranks = std_opt.ranks;
+  }
+
+  if (cli.get_bool("list")) {
+    for (std::size_t i = 0; i < spec.cells.size(); ++i)
+      std::cout << i << " " << spec.cells[i].canonical() << "\n";
+    return 0;
+  }
+
+  obs::MetricsRegistry metrics;
+  campaign::RunnerConfig run;
+  run.jobs = std_opt.jobs;
+  run.cache_dir = cli.get("cache-dir");
+  run.journal_path = cli.get("journal");
+  run.resume = cli.get_bool("resume");
+  run.max_attempts = static_cast<int>(cli.get_int("retries"));
+  run.cell_timeout_seconds = cli.get_double("timeout-s");
+  run.kill_after_cells = static_cast<int>(cli.get_int("kill-after"));
+  run.metrics = &metrics;
+
+  const bool quiet = cli.get_bool("quiet");
+  const auto start = std::chrono::steady_clock::now();
+  if (!quiet) {
+    std::cerr << "campaign \"" << spec.name << "\": " << spec.cells.size()
+              << " cells, jobs=" << run.jobs << ", code="
+              << version::code_version() << "\n";
+  }
+  if (!quiet) {
+    run.progress = [&](const campaign::CellOutcome& out, int done, int total) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double eta = done > 0 ? elapsed / done * (total - done) : 0;
+      const std::string detail = out.error.empty() ? "" : ": " + out.error;
+      std::fprintf(stderr, "[%d/%d] cell %d %s%s%s eta %s\n", done, total,
+                   out.index, out.status.c_str(),
+                   out.from_cache ? " (cache hit)"
+                                  : out.from_journal ? " (journal)" : "",
+                   detail.c_str(), format_eta(eta).c_str());
+    };
+  }
+
+  campaign::CampaignResult result;
+  try {
+    result = campaign::run_campaign(spec, run);
+  } catch (const std::exception& e) {
+    std::cerr << "campaign failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!quiet) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::fprintf(stderr,
+                 "done in %.2fs: %d ok (%d cached, %d journaled), %d failed\n",
+                 elapsed, result.ok, result.from_cache, result.from_journal,
+                 result.failed);
+  }
+
+  const std::string report = result.report_json();
+  const std::string out_path = cli.get("out");
+  if (out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    out << report;
+    if (!out) {
+      std::cerr << "cannot write report to " << out_path << "\n";
+      return 1;
+    }
+    if (!quiet) std::cerr << "report: " << out_path << "\n";
+  }
+
+  if (cli.is_set("stats-out")) {
+    obs::stamp_provenance(metrics, 0);
+    std::string stats_error;
+    if (!metrics.write_json_file(cli.get("stats-out"), &stats_error)) {
+      std::cerr << stats_error << "\n";
+      return 1;
+    }
+  }
+
+  // Failed cells are recorded, not fatal — but the exit status should still
+  // say the campaign is incomplete.
+  return result.failed == 0 ? 0 : 3;
+}
