@@ -69,5 +69,16 @@ int main(int argc, char** argv) {
                        .concurrent_write(machine.ckpt_bytes_per_node, 1 << 14)
                        .per_node)
             << " — coordination is negligible by comparison.\n";
+
+  if (!opt.critical_path_out.empty() && !sim_scales.empty()) {
+    // Focus cell: the largest engine-simulated dissemination barrier.
+    const int ranks = sim_scales.back();
+    sim::Program p(ranks);
+    coll::barrier_dissemination(p, coll::full_group(ranks));
+    p.finalize();
+    sim::EngineConfig cfg;
+    cfg.net = net;
+    benchutil::write_engine_critical_path(opt, p, cfg);
+  }
   return 0;
 }

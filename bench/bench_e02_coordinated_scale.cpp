@@ -50,5 +50,8 @@ int main(int argc, char** argv) {
             << benchutil::fixed(b.propagation_factor, 2);
   }
   std::cout << t.to_ascii();
+
+  // Focus cell for --critical-path-out: the smallest coordinated halo3d run.
+  benchutil::write_focus_critical_path(opt, cells.front());
   return 0;
 }

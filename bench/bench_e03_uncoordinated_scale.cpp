@@ -55,5 +55,9 @@ int main(int argc, char** argv) {
             << benchutil::fixed(un.propagation_factor, 2);
   }
   std::cout << t.to_ascii();
+
+  // Focus cell for --critical-path-out: the smallest UNcoordinated halo3d
+  // run (cells[1]) — the schedule-spread effect this bench is about.
+  benchutil::write_focus_critical_path(opt, cells[1]);
   return 0;
 }

@@ -82,5 +82,16 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << t.to_ascii();
+
+  if (!opt.critical_path_out.empty()) {
+    // Focus cell: halo3d (message-rate heavy) under a 5 us sender-side tax.
+    ckpt::LoggingTaxConfig tc;
+    tc.per_message = 5_us;
+    tc.per_byte_ns = 0.05;
+    ckpt::LoggingTax tax(tc);
+    sim::EngineConfig cfg = base;
+    cfg.tax = &tax;
+    benchutil::write_engine_critical_path(opt, programs[1], cfg);
+  }
   return 0;
 }

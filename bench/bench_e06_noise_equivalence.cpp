@@ -74,5 +74,19 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << t.to_ascii();
+
+  if (!opt.critical_path_out.empty()) {
+    // Focus cell: halo3d under the coarsest UNaligned noise point — the
+    // checkpoint-like perturbation whose amplification the table ends on.
+    noise::PeriodicNoiseConfig ncfg;
+    ncfg.period = points.back().period;
+    ncfg.duration = points.back().duration;
+    ncfg.aligned = false;
+    ncfg.seed = 17;
+    const auto sched = noise::make_periodic_noise(ranks, ncfg);
+    sim::EngineConfig cfg = base;
+    cfg.blackouts = sched.get();
+    benchutil::write_engine_critical_path(opt, programs[0], cfg);
+  }
   return 0;
 }

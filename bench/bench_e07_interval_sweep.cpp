@@ -52,5 +52,9 @@ int main(int argc, char** argv) {
   }
   std::cout << t.to_ascii();
   std::cout << "\n(tau/tau_daly = 1 rows should sit at or near each column minimum.)\n";
+
+  if (!opt.critical_path_out.empty())
+    std::cerr << "E7 is analytic + Monte-Carlo only — no engine run to trace; "
+                 "--critical-path-out ignored.\n";
   return 0;
 }

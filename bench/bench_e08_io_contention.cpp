@@ -15,7 +15,10 @@ int main(int argc, char** argv) {
   using namespace chksim::literals;
   // E8 is closed-form storage arithmetic — nothing worth parallelising —
   // but it accepts the standard flags so every bench has a uniform CLI.
-  (void)benchutil::parse_options(argc, argv);
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
+  if (!opt.critical_path_out.empty())
+    std::cerr << "E8 is closed-form only — no engine run to trace; "
+                 "--critical-path-out ignored.\n";
   benchutil::banner("E8", "checkpoint write time vs scale by I/O shape");
 
   const net::MachineModel machine = net::exascale_projection();

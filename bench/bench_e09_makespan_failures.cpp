@@ -85,5 +85,9 @@ int main(int argc, char** argv) {
             << benchutil::fixed(r.makespan.efficiency, 3);
   }
   std::cout << t.to_ascii();
+
+  // Focus cell for --critical-path-out: the failure-free perturbation run of
+  // the first cell (coordinated halo3d, exponential failures).
+  benchutil::write_focus_critical_path(opt, cells.front().study);
   return 0;
 }

@@ -74,5 +74,9 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << t.to_ascii();
+
+  // Focus cell for --critical-path-out: the first uncoordinated cell
+  // (halo3d, tax 0) — where the logged-message path starts from.
+  benchutil::write_focus_critical_path(opt, cells[1].study);
   return 0;
 }

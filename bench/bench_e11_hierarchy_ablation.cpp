@@ -50,5 +50,9 @@ int main(int argc, char** argv) {
             << benchutil::fixed(b.propagation_factor, 2);
   }
   std::cout << t.to_ascii();
+
+  // Focus cell for --critical-path-out: halo3d at cluster size 1 (pure
+  // uncoordinated), the worst-propagation end of the ablation.
+  benchutil::write_focus_critical_path(opt, cells.front());
   return 0;
 }

@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
     const std::vector<core::Breakdown> kappas = core::run_sweep(cells, opt.jobs);
     kappa_aligned = kappas[0].propagation_factor;
     kappa_random = kappas[1].propagation_factor;
+    // Focus cell for --critical-path-out: the uncoordinated kappa run.
+    benchutil::write_focus_critical_path(opt, cells[1]);
   }
   std::cout << "measured kappa (halo3d @ " << kappa_ranks
             << "): aligned=" << benchutil::fixed(kappa_aligned, 2)

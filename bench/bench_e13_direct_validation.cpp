@@ -89,5 +89,9 @@ int main(int argc, char** argv) {
             << benchutil::pct(r.relative_error);
   }
   std::cout << t.to_ascii();
+
+  // Focus cell for --critical-path-out: the failure-free perturbation run of
+  // the first cell (coordinated halo3d at the stressed MTBF).
+  benchutil::write_focus_critical_path(opt, cells.front().study);
   return 0;
 }

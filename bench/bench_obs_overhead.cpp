@@ -8,13 +8,15 @@
 //   * TracingUnbounded — full-fidelity EventTracer (grows without bound);
 //   * TracingRing4k    — bounded flight-recorder ring (4096 events/rank),
 //                        the fixed-memory configuration for long runs;
-//   * Attribution      — the post-run wait-state attribution pass alone.
+//   * Attribution      — the post-run wait-state attribution pass alone;
+//   * CriticalPath     — the post-run backward critical-path walk alone.
 // Results are recorded in BENCH_obs.json at the repo root.
 #include <benchmark/benchmark.h>
 
 #include "chksim/net/machines.hpp"
 #include "chksim/noise/noise.hpp"
 #include "chksim/obs/attribution.hpp"
+#include "chksim/obs/critical_path.hpp"
 #include "chksim/obs/tracer.hpp"
 #include "chksim/workload/workloads.hpp"
 
@@ -82,6 +84,27 @@ void BM_Attribution(benchmark::State& state) {
   state.counters["trace_events"] = static_cast<double>(probe.recorded());
 }
 BENCHMARK(BM_Attribution)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const sim::Program p = make_program(ranks);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  obs::EventTracer probe(ranks);
+  cfg.trace = &probe;
+  const sim::RunResult r0 = sim::run_program(p, cfg);
+  const auto noise = noise::make_single_blackout(
+      ranks, ranks / 2, {r0.makespan / 3, r0.makespan / 3 + 1_ms});
+  probe.clear();
+  cfg.blackouts = noise.get();
+  (void)sim::run_program(p, cfg);
+  for (auto _ : state) {
+    const obs::CriticalPath cp = obs::extract_critical_path(probe);
+    benchmark::DoNotOptimize(cp.makespan);
+  }
+  state.counters["trace_events"] = static_cast<double>(probe.recorded());
+}
+BENCHMARK(BM_CriticalPath)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,6 +12,9 @@
 #include <string>
 
 #include "chksim/core/study.hpp"
+#include "chksim/obs/critical_path.hpp"
+#include "chksim/obs/export.hpp"
+#include "chksim/obs/tracer.hpp"
 #include "chksim/support/cli.hpp"
 #include "chksim/support/parallel.hpp"
 #include "chksim/support/table.hpp"
@@ -23,12 +26,20 @@ namespace chksim::benchutil {
 /// benches and chksim_run parse identically.
 using BenchOptions = chksim::StdOptions;
 
-/// Parse the standard flags; prints usage and exits(2) on bad input.
+/// Parse the standard flags; prints usage and exits(2) on bad input. The
+/// benches take no positional arguments, and rejecting strays matters: a
+/// harness bug that mangles "--jobs 2" into "--jobs 1 2" must fail loudly,
+/// not silently run a different configuration.
 inline BenchOptions parse_options(int argc, const char* const* argv) {
   Cli cli;
   add_standard_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]) << "\n";
+    std::exit(2);
+  }
+  if (!cli.positional().empty()) {
+    std::cerr << "unexpected argument: " << cli.positional().front() << "\n"
+              << cli.usage(argv[0]) << "\n";
     std::exit(2);
   }
   try {
@@ -88,6 +99,60 @@ inline std::string fixed(double v, int digits = 3) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.*f", digits, v);
   return buf;
+}
+
+/// Write the critical-path artifacts for an already-recorded trace: the
+/// blame report (JSON) at `path` and a flow-stitched Chrome trace at
+/// `path`.trace.json. Narration goes to stderr only, so bench stdout stays
+/// byte-identical with and without the flag. Returns the extracted path
+/// (possibly invalid — callers wanting κ should check .valid).
+inline obs::CriticalPath write_critical_path_outputs(
+    const obs::EventTracer& tracer, const std::string& path) {
+  const obs::CriticalPath cp = obs::extract_critical_path(tracer);
+  std::string error;
+  if (!obs::write_critical_path_json_file(cp, path, &error))
+    std::cerr << error << "\n";
+  else
+    std::cerr << "critical path: " << path << "\n";
+  if (!obs::write_chrome_trace_file(tracer, path + ".trace.json", &cp, &error))
+    std::cerr << error << "\n";
+  else
+    std::cerr << "critical path trace: " << path + ".trace.json" << "\n";
+  if (!cp.valid)
+    std::cerr << "warning: critical path invalid: " << cp.error << "\n";
+  else
+    std::cerr << cp.to_string() << "\n";
+  return cp;
+}
+
+/// --critical-path-out implementation for benches that drive the engine
+/// directly: re-run `program` under `config` with a private tracer and write
+/// the artifacts. No-op when `opt.critical_path_out` is empty.
+inline void write_engine_critical_path(const BenchOptions& opt,
+                                       const sim::Program& program,
+                                       sim::EngineConfig config) {
+  if (opt.critical_path_out.empty()) return;
+  obs::EventTracer tracer(program.ranks());
+  config.trace = &tracer;
+  sim::run_program(program, config);
+  write_critical_path_outputs(tracer, opt.critical_path_out);
+}
+
+/// --critical-path-out implementation for study-driven benches: re-run one
+/// designated focus cell serially with a private tracer on the perturbed run
+/// and write the artifacts (see write_critical_path_outputs). The extra run
+/// is deterministic, so the files are byte-identical for every --jobs value.
+/// No-op when `opt.critical_path_out` is empty.
+inline void write_focus_critical_path(const BenchOptions& opt,
+                                      core::StudyConfig config) {
+  if (opt.critical_path_out.empty()) return;
+  obs::EventTracer tracer(config.params.ranks);
+  config.trace = &tracer;
+  config.metrics = nullptr;
+  config.telemetry = nullptr;
+  config.jobs = 1;
+  core::run_study(config);
+  write_critical_path_outputs(tracer, opt.critical_path_out);
 }
 
 }  // namespace chksim::benchutil

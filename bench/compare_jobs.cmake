@@ -1,38 +1,75 @@
 # Determinism check: run BENCH with each --jobs value in JOBS_LIST and fail
 # unless every run's stdout is byte-identical to the --jobs 1 run.
 #
-#   cmake -DBENCH=<path> -DARGS="--smoke" -DJOBS_LIST="1;2;8"
-#         -DWORK_DIR=<dir> -P compare_jobs.cmake
+#   cmake -DBENCH=<path> -DARGS="--smoke" -DJOBS_LIST="1,2,8"
+#         -DWORK_DIR=<dir> [-DCRITICAL_PATH=1] -P compare_jobs.cmake
+#
+# JOBS_LIST is comma-separated: a semicolon CMake list passed through
+# add_test arrives here with escaped separators ("1\;2\;8"), which foreach
+# silently treats as ONE value — the loop then runs once and compares
+# nothing. Commas survive the trip intact.
+#
+# With CRITICAL_PATH=1 every run additionally gets a per-jobs
+# --critical-path-out file, and the blame report AND the flow-stitched
+# Chrome trace are byte-compared across --jobs values alongside stdout.
 if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "compare_jobs.cmake: BENCH and WORK_DIR are required")
 endif()
 if(NOT DEFINED JOBS_LIST)
-  set(JOBS_LIST 1 2 8)
+  set(JOBS_LIST "1,2,8")
+endif()
+string(REPLACE "," ";" jobs_values "${JOBS_LIST}")
+list(LENGTH jobs_values jobs_count)
+if(jobs_count LESS 2)
+  message(FATAL_ERROR
+    "compare_jobs.cmake: JOBS_LIST=\"${JOBS_LIST}\" has ${jobs_count} "
+    "value(s); a determinism comparison needs at least two")
 endif()
 separate_arguments(extra_args UNIX_COMMAND "${ARGS}")
 
 get_filename_component(bench_name "${BENCH}" NAME_WE)
-set(reference "")
-foreach(jobs ${JOBS_LIST})
-  set(out_file "${WORK_DIR}/${bench_name}_jobs${jobs}.out")
+
+# compare_to_reference(<label> <reference> <candidate>)
+function(compare_to_reference label reference candidate)
   execute_process(
-    COMMAND "${BENCH}" ${extra_args} --jobs ${jobs}
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${reference}" "${candidate}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${bench_name}: ${label} differs across --jobs values "
+      "(${reference} vs ${candidate})")
+  endif()
+endfunction()
+
+set(reference "")
+set(cp_reference "")
+foreach(jobs ${jobs_values})
+  set(out_file "${WORK_DIR}/${bench_name}_jobs${jobs}.out")
+  set(run_args ${extra_args})
+  if(CRITICAL_PATH)
+    set(cp_file "${WORK_DIR}/${bench_name}_jobs${jobs}.cp.json")
+    list(APPEND run_args --critical-path-out "${cp_file}")
+  endif()
+  execute_process(
+    COMMAND "${BENCH}" ${run_args} --jobs ${jobs}
     OUTPUT_FILE "${out_file}"
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "${bench_name} --jobs ${jobs} exited with ${rc}")
   endif()
+  if(CRITICAL_PATH AND NOT EXISTS "${cp_file}")
+    message(FATAL_ERROR "${bench_name} --jobs ${jobs}: no ${cp_file} written")
+  endif()
   if(reference STREQUAL "")
     set(reference "${out_file}")
+    set(cp_reference "${cp_file}")
   else()
-    execute_process(
-      COMMAND ${CMAKE_COMMAND} -E compare_files "${reference}" "${out_file}"
-      RESULT_VARIABLE diff)
-    if(NOT diff EQUAL 0)
-      message(FATAL_ERROR
-        "${bench_name}: output differs between --jobs 1 and --jobs ${jobs} "
-        "(${reference} vs ${out_file})")
+    compare_to_reference("stdout" "${reference}" "${out_file}")
+    if(CRITICAL_PATH)
+      compare_to_reference("critical-path report" "${cp_reference}" "${cp_file}")
+      compare_to_reference("flow trace" "${cp_reference}.trace.json"
+                           "${cp_file}.trace.json")
     endif()
   endif()
 endforeach()
-message(STATUS "${bench_name}: byte-identical output for --jobs {${JOBS_LIST}}")
+message(STATUS "${bench_name}: byte-identical output for --jobs {${jobs_values}}")

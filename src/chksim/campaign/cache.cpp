@@ -48,7 +48,9 @@ std::optional<std::string> ResultCache::lookup(const std::string& key) {
   const auto corrupt = [&]() -> std::optional<std::string> {
     in.close();
     std::error_code ec;
-    fs::remove(path, ec);  // best effort; a re-store overwrites anyway
+    // Best effort; a re-store overwrites anyway. A successful delete is an
+    // eviction (the only way entries ever leave the cache).
+    if (fs::remove(path, ec) && !ec) count("evictions");
     count("corrupt");
     count("misses");
     return std::nullopt;

@@ -18,7 +18,7 @@
 // Stores write a temp file, fsync it, and rename() into place, so a crash
 // mid-store can leave only a temp file, never a half-visible entry.
 //
-// Hit/miss/corrupt/store counters are published into an optional
+// Hit/miss/corrupt/eviction/store counters are published into an optional
 // obs::MetricsRegistry under "campaign.cache.*".
 #pragma once
 
@@ -40,8 +40,9 @@ class ResultCache {
   /// The content-address of `cell` under this cache's code version.
   std::string key(const CellSpec& cell) const;
 
-  /// Payload for `key`, or nullopt on miss. Corrupt entries are deleted,
-  /// counted under campaign.cache.corrupt, and reported as a miss.
+  /// Payload for `key`, or nullopt on miss. Corrupt entries are deleted
+  /// (counted under campaign.cache.corrupt and, when the delete succeeds,
+  /// campaign.cache.evictions) and reported as a miss.
   std::optional<std::string> lookup(const std::string& key);
 
   /// Atomically store `payload` under `key` (overwrites an existing entry).

@@ -331,8 +331,13 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunnerConfig& config
       ++result.failed;
     if (out.from_cache) ++result.from_cache;
     if (out.from_journal) ++result.from_journal;
-    if (config.metrics != nullptr && out.seconds > 0)
+    if (config.metrics != nullptr && out.seconds > 0) {
       config.metrics->stats("campaign.cell_seconds").add(out.seconds);
+      // Fixed shape so stats-out histograms from different runs merge and
+      // diff cleanly; cells beyond 30 s land in the overflow bin.
+      config.metrics->histogram("campaign.cell_seconds_hist", 0.0, 30.0, 30)
+          .add(out.seconds);
+    }
     result.cells.push_back(std::move(out));
   }
 

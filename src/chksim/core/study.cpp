@@ -1,8 +1,12 @@
 #include "chksim/core/study.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "chksim/obs/critical_path.hpp"
+#include "chksim/obs/telemetry.hpp"
+#include "chksim/obs/tracer.hpp"
 #include "chksim/support/parallel.hpp"
 
 namespace chksim::core {
@@ -63,7 +67,10 @@ sim::Program build_workload(const StudyConfig& config) {
 
 Breakdown run_study(const StudyConfig& config) {
   const int ranks = config.params.ranks;
+  std::optional<obs::PhaseTimer> phase;
+  phase.emplace(config.telemetry, "build");
   sim::Program program = build_workload(config);
+  phase.emplace(config.telemetry, "protocol");
 
   Breakdown b;
   b.ranks = ranks;
@@ -94,6 +101,7 @@ Breakdown run_study(const StudyConfig& config) {
   // The base and perturbed runs are independent simulations over the same
   // (read-only) program; each writes only its own slot, so running them on
   // two threads cannot change either result.
+  phase.emplace(config.telemetry, "run");
   const sim::EngineConfig* cfgs[2] = {&base, &pert};
   sim::RunResult runs[2];
   par::for_each_index(2, config.jobs <= 0 ? config.jobs : std::min(config.jobs, 2),
@@ -115,6 +123,7 @@ Breakdown run_study(const StudyConfig& config) {
   b.overhead_fraction = b.slowdown - 1.0;
   b.propagation_factor = b.duty_cycle > 0 ? b.overhead_fraction / b.duty_cycle : 0.0;
 
+  phase.emplace(config.telemetry, "publish");
   if (config.metrics != nullptr) {
     obs::MetricsRegistry& m = *config.metrics;
     obs::stamp_provenance(m, config.params.seed);
@@ -133,7 +142,18 @@ Breakdown run_study(const StudyConfig& config) {
     m.add_counter("study.bytes_sent", b.bytes_sent);
     obs::publish_engine_metrics(r0, m, "engine.base");
     obs::publish_engine_metrics(r1, m, "engine.perturbed");
+    // When the trace sink is a standard EventTracer over the perturbed run,
+    // fold the causal critical path and tracer health into the report.
+    // Everything published here is a deterministic function of the run, so
+    // the cell payload stays byte-stable.
+    if (auto* tracer = dynamic_cast<obs::EventTracer*>(config.trace)) {
+      obs::publish_tracer_stats(*tracer, m);
+      obs::publish_critical_path(obs::extract_critical_path(*tracer), m);
+    }
   }
+  phase.reset();
+  if (config.telemetry != nullptr)
+    obs::publish_process_telemetry(*config.telemetry);
   return b;
 }
 
@@ -143,15 +163,21 @@ std::vector<Breakdown> run_sweep(const std::vector<StudyConfig>& configs, int jo
   // shared one; the fold below runs in cell order, which reproduces the
   // serial last-write-wins gauge semantics exactly.
   std::vector<obs::MetricsRegistry> cell_metrics(configs.size());
+  std::vector<obs::MetricsRegistry> cell_telemetry(configs.size());
   par::for_each_index(static_cast<std::int64_t>(configs.size()), jobs,
                       [&](std::int64_t i) {
                         StudyConfig cell = configs[static_cast<std::size_t>(i)];
                         if (cell.metrics != nullptr)
                           cell.metrics = &cell_metrics[static_cast<std::size_t>(i)];
+                        if (cell.telemetry != nullptr)
+                          cell.telemetry = &cell_telemetry[static_cast<std::size_t>(i)];
                         out[static_cast<std::size_t>(i)] = run_study(cell);
                       });
-  for (std::size_t i = 0; i < configs.size(); ++i)
+  for (std::size_t i = 0; i < configs.size(); ++i) {
     if (configs[i].metrics != nullptr) configs[i].metrics->merge(cell_metrics[i]);
+    if (configs[i].telemetry != nullptr)
+      configs[i].telemetry->merge(cell_telemetry[i]);
+  }
   return out;
 }
 

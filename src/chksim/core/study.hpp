@@ -67,6 +67,15 @@ struct StudyConfig {
   sim::TraceSink* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Optional run self-telemetry sink: wall-clock phase timers
+  /// ("telemetry.phase.{build,protocol,run,publish}_ms") and peak RSS.
+  /// Deliberately separate from `metrics`: cell metrics payloads must stay
+  /// byte-deterministic (the campaign cache and the --jobs gates compare
+  /// them), while telemetry is wall-clock by nature. Point it at a registry
+  /// that is only ever exported through side channels (chksim_run
+  /// --stats-out, bench stderr).
+  obs::MetricsRegistry* telemetry = nullptr;
+
   /// Concurrency inside this study: the independent base and perturbed
   /// engine runs execute on up to `jobs` threads (1 = serial, <= 0 =
   /// hardware concurrency). The Breakdown is identical for every value.

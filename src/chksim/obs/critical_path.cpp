@@ -1,0 +1,316 @@
+#include "chksim/obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <unordered_set>
+
+#include "chksim/obs/metrics.hpp"
+
+namespace chksim::obs {
+
+namespace {
+
+bool is_op_event(TraceEventKind kind) {
+  return kind == TraceEventKind::kCalc || kind == TraceEventKind::kSendOp ||
+         kind == TraceEventKind::kRecvOp;
+}
+
+std::string pct(double share) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", share * 100.0);
+  return buf;
+}
+
+std::string fixed6(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+CriticalPath invalid_path(const std::string& why) {
+  CriticalPath p;
+  p.valid = false;
+  p.error = why;
+  return p;
+}
+
+}  // namespace
+
+double CriticalPath::share_compute() const {
+  return makespan > 0 ? static_cast<double>(compute) / static_cast<double>(makespan) : 0;
+}
+double CriticalPath::share_blackout() const {
+  return makespan > 0 ? static_cast<double>(blackout) / static_cast<double>(makespan) : 0;
+}
+double CriticalPath::share_network() const {
+  return makespan > 0 ? static_cast<double>(network) / static_cast<double>(makespan) : 0;
+}
+double CriticalPath::share_wait() const {
+  return makespan > 0 ? static_cast<double>(wait) / static_cast<double>(makespan) : 0;
+}
+
+std::string CriticalPath::to_string() const {
+  if (!valid) return "critical path: invalid (" + error + ")";
+  char head[64];
+  std::snprintf(head, sizeof head, "%.3f ms",
+                static_cast<double>(makespan) / 1e6);
+  return "critical path: makespan " + std::string(head) + " = compute " +
+         pct(share_compute()) + " + blackout " + pct(share_blackout()) +
+         " + network " + pct(share_network()) + " + wait " +
+         pct(share_wait()) + " (steps " + std::to_string(steps.size()) +
+         ", hops " + std::to_string(hops) + ", ranks " +
+         std::to_string(ranks_visited) + ")";
+}
+
+CriticalPath extract_critical_path(const EventTracer& tracer) {
+  if (tracer.dropped() != 0)
+    return invalid_path("tracer dropped " + std::to_string(tracer.dropped()) +
+                        " events (bounded ring); the walk needs a complete trace");
+  const std::vector<TraceEvent> events = tracer.events();
+  if (events.empty()) return invalid_path("empty trace");
+
+  // Seqs are dense 1..recorded when nothing was dropped; index for O(1)
+  // cause resolution.
+  std::vector<const TraceEvent*> by_seq(tracer.recorded() + 1, nullptr);
+  for (const TraceEvent& ev : events) {
+    if (ev.seq == 0 || ev.seq >= by_seq.size())
+      return invalid_path("trace seq out of range");
+    by_seq[ev.seq] = &ev;
+  }
+
+  // Rendezvous hops are recognizable by the kRts leg that shares the send
+  // op's seq as its cause.
+  std::unordered_set<std::uint64_t> rts_causes;
+  for (const TraceEvent& ev : events)
+    if (ev.kind == TraceEventKind::kRts && ev.cause != 0)
+      rts_causes.insert(ev.cause);
+
+  // Terminal: the op completion that defines the makespan.
+  const TraceEvent* terminal = nullptr;
+  for (const TraceEvent& ev : events) {
+    if (!is_op_event(ev.kind)) continue;
+    if (terminal == nullptr || ev.t1 > terminal->t1 ||
+        (ev.t1 == terminal->t1 && ev.seq < terminal->seq))
+      terminal = &ev;
+  }
+  if (terminal == nullptr) return invalid_path("trace holds no op events");
+
+  CriticalPath path;
+  path.makespan = terminal->t1;
+
+  const TraceEvent* cur = terminal;
+  while (true) {
+    PathStep step;
+    step.seq = cur->seq;
+    step.kind = cur->kind;
+    step.rank = cur->rank;
+    step.op = cur->op;
+    step.t0 = cur->t0;
+    step.t1 = cur->t1;
+    step.compute = cur->t1 - cur->t0 - cur->stall;
+    step.blackout = cur->stall;
+
+    const std::uint64_t c = cur->cause;
+    if (c == 0) {
+      // Head of the chain: anything before the first event is unexplained
+      // (the rank simply started then, or an injected outage held it).
+      step.wait = cur->t0;
+      path.steps.push_back(step);
+      break;
+    }
+    if (c >= cur->seq) return invalid_path("cause link not strictly earlier");
+    const TraceEvent* pred = by_seq[c];
+    if (pred == nullptr) return invalid_path("cause link resolves to no event");
+
+    if (pred->kind == TraceEventKind::kMsgInject) {
+      // Cross-rank hop. The flight spans the gap from the sender's op end
+      // (== inject t0) to this receive's start: wire time, FIFO clamping,
+      // and any rendezvous handshake, all charged as network to the
+      // receiving (waiting) rank.
+      const TimeNs gap = cur->t0 - pred->t0;
+      if (gap < 0) return invalid_path("negative hop gap");
+      step.network = gap;
+      ++path.hops;
+      const bool rendezvous = pred->cause != 0 && rts_causes.count(pred->cause) != 0;
+      if (rendezvous) {
+        ++path.rendezvous_hops;
+        path.network_rendezvous += gap;
+      } else {
+        ++path.eager_hops;
+        path.network_eager += gap;
+      }
+      if (pred->cause == 0) {
+        // Externally injected message: no send op behind it; the time before
+        // injection is unexplained.
+        step.wait = pred->t0;
+        path.steps.push_back(step);
+        break;
+      }
+      const TraceEvent* sender = by_seq[pred->cause];
+      if (sender == nullptr || !is_op_event(sender->kind))
+        return invalid_path("inject cause is not a send op");
+      path.steps.push_back(step);
+      cur = sender;
+      continue;
+    }
+
+    if (!is_op_event(pred->kind))
+      return invalid_path("op cause is neither an op nor an inject");
+    // Same-rank predecessor: the gap (usually zero) is NIC serialization or
+    // a late-post rendezvous handshake before sends/recvs, and an injected
+    // outage (no trace record) before calcs.
+    const TimeNs gap = cur->t0 - pred->t1;
+    if (gap < 0) return invalid_path("negative same-rank gap");
+    if (cur->kind == TraceEventKind::kCalc)
+      step.wait = gap;
+    else
+      step.network = gap;
+    path.steps.push_back(step);
+    cur = pred;
+  }
+
+  std::reverse(path.steps.begin(), path.steps.end());
+
+  std::map<sim::RankId, RankPathShare> by_rank;
+  for (const PathStep& s : path.steps) {
+    path.compute += s.compute;
+    path.blackout += s.blackout;
+    path.network += s.network;
+    path.wait += s.wait;
+    RankPathShare& r = by_rank[s.rank];
+    r.rank = s.rank;
+    r.compute += s.compute;
+    r.blackout += s.blackout;
+    r.network += s.network;
+    r.wait += s.wait;
+    ++r.steps;
+  }
+  path.per_rank.reserve(by_rank.size());
+  for (const auto& [rank, share] : by_rank) path.per_rank.push_back(share);
+  path.ranks_visited = static_cast<std::int64_t>(by_rank.size());
+
+  if (path.classified() != path.makespan)
+    return invalid_path("classified time does not telescope to the makespan");
+  path.valid = true;
+  return path;
+}
+
+double direct_kappa(const CriticalPath& perturbed, const CriticalPath& base,
+                    TimeNs single_rank_blackout) {
+  if (!perturbed.valid || !base.valid || single_rank_blackout <= 0) return 0;
+  const double inflation =
+      static_cast<double>((perturbed.blackout + perturbed.network + perturbed.wait) -
+                          (base.blackout + base.network + base.wait));
+  return inflation / static_cast<double>(single_rank_blackout);
+}
+
+void publish_critical_path(const CriticalPath& path, MetricsRegistry& registry,
+                           const std::string& prefix) {
+  registry.set_gauge(prefix + ".valid", path.valid ? 1 : 0);
+  if (!path.valid) return;
+  registry.set_gauge(prefix + ".makespan_ns", static_cast<double>(path.makespan));
+  registry.set_gauge(prefix + ".compute_ns", static_cast<double>(path.compute));
+  registry.set_gauge(prefix + ".blackout_ns", static_cast<double>(path.blackout));
+  registry.set_gauge(prefix + ".network_ns", static_cast<double>(path.network));
+  registry.set_gauge(prefix + ".wait_ns", static_cast<double>(path.wait));
+  registry.set_gauge(prefix + ".share_compute", path.share_compute());
+  registry.set_gauge(prefix + ".share_blackout", path.share_blackout());
+  registry.set_gauge(prefix + ".share_network", path.share_network());
+  registry.set_gauge(prefix + ".share_wait", path.share_wait());
+  registry.set_gauge(prefix + ".hops", static_cast<double>(path.hops));
+  registry.set_gauge(prefix + ".eager_hops", static_cast<double>(path.eager_hops));
+  registry.set_gauge(prefix + ".rendezvous_hops",
+                     static_cast<double>(path.rendezvous_hops));
+  registry.set_gauge(prefix + ".network_eager_ns",
+                     static_cast<double>(path.network_eager));
+  registry.set_gauge(prefix + ".network_rendezvous_ns",
+                     static_cast<double>(path.network_rendezvous));
+  registry.set_gauge(prefix + ".steps", static_cast<double>(path.steps.size()));
+  registry.set_gauge(prefix + ".ranks_visited",
+                     static_cast<double>(path.ranks_visited));
+}
+
+void write_critical_path_json(const CriticalPath& path, std::ostream& out) {
+  out << "{\n\"schema\":\"chksim-critical-path-v1\",\n";
+  out << "\"valid\":" << (path.valid ? "true" : "false") << ",\n";
+  out << "\"error\":\"" << json_escape(path.error) << "\",\n";
+  out << "\"makespan_ns\":" << path.makespan << ",\n";
+  out << "\"segments\":{\"compute_ns\":" << path.compute
+      << ",\"blackout_ns\":" << path.blackout
+      << ",\"network_ns\":" << path.network << ",\"wait_ns\":" << path.wait
+      << "},\n";
+  out << "\"shares\":{\"compute\":" << fixed6(path.share_compute())
+      << ",\"blackout\":" << fixed6(path.share_blackout())
+      << ",\"network\":" << fixed6(path.share_network())
+      << ",\"wait\":" << fixed6(path.share_wait()) << "},\n";
+  out << "\"hops\":{\"total\":" << path.hops << ",\"eager\":" << path.eager_hops
+      << ",\"rendezvous\":" << path.rendezvous_hops
+      << ",\"network_eager_ns\":" << path.network_eager
+      << ",\"network_rendezvous_ns\":" << path.network_rendezvous << "},\n";
+  out << "\"ranks_visited\":" << path.ranks_visited << ",\n";
+  out << "\"per_rank\":[";
+  for (std::size_t i = 0; i < path.per_rank.size(); ++i) {
+    const RankPathShare& r = path.per_rank[i];
+    if (i != 0) out << ",";
+    out << "\n{\"rank\":" << r.rank << ",\"compute_ns\":" << r.compute
+        << ",\"blackout_ns\":" << r.blackout << ",\"network_ns\":" << r.network
+        << ",\"wait_ns\":" << r.wait << ",\"steps\":" << r.steps << "}";
+  }
+  out << "\n],\n";
+  out << "\"path\":[";
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const PathStep& s = path.steps[i];
+    if (i != 0) out << ",";
+    out << "\n{\"seq\":" << s.seq << ",\"kind\":\""
+        << trace_event_kind_name(s.kind) << "\",\"rank\":" << s.rank
+        << ",\"op\":";
+    if (s.op == sim::kInvalidOp)
+      out << -1;
+    else
+      out << s.op;
+    out << ",\"t0_ns\":" << s.t0 << ",\"t1_ns\":" << s.t1
+        << ",\"compute_ns\":" << s.compute << ",\"blackout_ns\":" << s.blackout
+        << ",\"network_ns\":" << s.network << ",\"wait_ns\":" << s.wait << "}";
+  }
+  out << "\n]\n}\n";
+}
+
+bool write_critical_path_json_file(const CriticalPath& path,
+                                   const std::string& path_out,
+                                   std::string* error) {
+  std::ofstream out(path_out, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path_out + " for writing";
+    return false;
+  }
+  write_critical_path_json(path, out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path_out + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace chksim::obs

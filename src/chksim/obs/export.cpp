@@ -8,6 +8,8 @@
 #include <set>
 #include <vector>
 
+#include "chksim/obs/critical_path.hpp"
+
 namespace chksim::obs {
 
 namespace {
@@ -72,9 +74,24 @@ std::vector<TraceEvent> sorted_for_export(const EventTracer& tracer) {
   return evs;
 }
 
+void warn_if_dropped(const EventTracer& tracer, const char* what) {
+  if (tracer.dropped() == 0) return;
+  std::fprintf(stderr,
+               "warning: %s is incomplete — the tracer's bounded ring dropped "
+               "%llu of %llu events; use an unbounded EventTracer for "
+               "complete traces\n",
+               what, static_cast<unsigned long long>(tracer.dropped()),
+               static_cast<unsigned long long>(tracer.recorded()));
+}
+
 }  // namespace
 
 void write_chrome_trace(const EventTracer& tracer, std::ostream& out) {
+  write_chrome_trace(tracer, out, nullptr);
+}
+
+void write_chrome_trace(const EventTracer& tracer, std::ostream& out,
+                        const CriticalPath* path) {
   const std::vector<TraceEvent> evs = sorted_for_export(tracer);
 
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
@@ -131,17 +148,42 @@ void write_chrome_trace(const EventTracer& tracer, std::ostream& out) {
     if (ev.stall != 0) out << ",\"stall_ns\":" << ev.stall;
     out << "}}";
   }
+
+  // Critical-path flow stitching: one "s"/"f" flow pair per consecutive pair
+  // of path steps, anchored inside the source and target op slices (all path
+  // steps are op events, so they live in the ops group). Perfetto renders
+  // these as clickable arrows along the makespan-defining chain.
+  if (path != nullptr && path->valid) {
+    for (std::size_t i = 0; i + 1 < path->steps.size(); ++i) {
+      const PathStep& a = path->steps[i];
+      const PathStep& b = path->steps[i + 1];
+      sep();
+      out << "{\"name\":\"critical_path\",\"cat\":\"critical_path\",\"ph\":\"s\""
+          << ",\"id\":" << i + 1 << ",\"ts\":" << us(a.t0)
+          << ",\"pid\":" << kPidOps << ",\"tid\":" << a.rank << "}";
+      sep();
+      out << "{\"name\":\"critical_path\",\"cat\":\"critical_path\",\"ph\":\"f\""
+          << ",\"bp\":\"e\",\"id\":" << i + 1 << ",\"ts\":" << us(b.t0)
+          << ",\"pid\":" << kPidOps << ",\"tid\":" << b.rank << "}";
+    }
+  }
   out << "\n]}\n";
 }
 
 bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
                              std::string* error) {
+  return write_chrome_trace_file(tracer, path, nullptr, error);
+}
+
+bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
+                             const CriticalPath* cpath, std::string* error) {
+  warn_if_dropped(tracer, "chrome trace export");
   std::ofstream out(path);
   if (!out) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";
     return false;
   }
-  write_chrome_trace(tracer, out);
+  write_chrome_trace(tracer, out, cpath);
   out.flush();
   if (!out) {
     if (error != nullptr) *error = "write to " + path + " failed";
@@ -151,7 +193,7 @@ bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
 }
 
 void write_trace_csv(const EventTracer& tracer, std::ostream& out) {
-  out << "seq,kind,rank,peer,op,tag,bytes,t0_ns,t1_ns,stall_ns,ref\n";
+  out << "seq,kind,rank,peer,op,tag,bytes,t0_ns,t1_ns,stall_ns,ref,cause\n";
   for (const TraceEvent& ev : sorted_for_export(tracer)) {
     out << ev.seq << ',' << trace_event_kind_name(ev.kind) << ',' << ev.rank
         << ',' << ev.peer << ',';
@@ -160,12 +202,13 @@ void write_trace_csv(const EventTracer& tracer, std::ostream& out) {
     else
       out << ev.op;
     out << ',' << ev.tag << ',' << ev.bytes << ',' << ev.t0 << ',' << ev.t1
-        << ',' << ev.stall << ',' << ev.ref << '\n';
+        << ',' << ev.stall << ',' << ev.ref << ',' << ev.cause << '\n';
   }
 }
 
 bool write_trace_csv_file(const EventTracer& tracer, const std::string& path,
                           std::string* error) {
+  warn_if_dropped(tracer, "CSV trace export");
   std::ofstream out(path);
   if (!out) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";

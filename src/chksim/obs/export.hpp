@@ -24,17 +24,33 @@
 
 namespace chksim::obs {
 
+struct CriticalPath;
+
 /// Write the whole trace as Chrome trace-event JSON.
 void write_chrome_trace(const EventTracer& tracer, std::ostream& out);
 
-/// write_chrome_trace to a file; false (and *error) on I/O failure.
+/// Same, with the critical path stitched on as Perfetto flow events
+/// (ph "s"/"f" pairs linking consecutive path slices), so the
+/// makespan-defining chain is clickable in the UI. Passing nullptr (or an
+/// invalid path) emits exactly the plain export.
+void write_chrome_trace(const EventTracer& tracer, std::ostream& out,
+                        const CriticalPath* path);
+
+/// write_chrome_trace to a file; false (and *error) on I/O failure. Warns on
+/// stderr when the tracer dropped events (the export is then incomplete).
 bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
+                             std::string* error = nullptr);
+
+/// File variant with flow stitching.
+bool write_chrome_trace_file(const EventTracer& tracer, const std::string& path,
+                             const CriticalPath* cpath,
                              std::string* error = nullptr);
 
 /// Write the whole trace as CSV (header row + one row per event).
 void write_trace_csv(const EventTracer& tracer, std::ostream& out);
 
-/// write_trace_csv to a file; false (and *error) on I/O failure.
+/// write_trace_csv to a file; false (and *error) on I/O failure. Warns on
+/// stderr when the tracer dropped events.
 bool write_trace_csv_file(const EventTracer& tracer, const std::string& path,
                           std::string* error = nullptr);
 

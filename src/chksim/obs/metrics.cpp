@@ -189,6 +189,10 @@ void publish_engine_metrics(const sim::RunResult& result, MetricsRegistry& regis
   registry.set_gauge(prefix + ".makespan_ns", static_cast<double>(result.makespan));
   registry.set_gauge(prefix + ".total_recv_wait_ns",
                      static_cast<double>(result.total_recv_wait()));
+  registry.set_gauge(prefix + ".event_heap_peak",
+                     static_cast<double>(result.event_heap_peak));
+  registry.set_gauge(prefix + ".match_arena_slots",
+                     static_cast<double>(result.match_arena_slots));
 
   std::int64_t sends = 0, recvs = 0, calcs = 0;
   Bytes bytes = 0;

@@ -1,0 +1,59 @@
+#include "chksim/obs/telemetry.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "chksim/obs/metrics.hpp"
+#include "chksim/obs/tracer.hpp"
+
+namespace chksim::obs {
+
+std::int64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      std::int64_t kb = 0;
+      is >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+PhaseTimer::PhaseTimer(MetricsRegistry* registry, const std::string& name)
+    : registry_(registry),
+      name_(name),
+      start_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() { stop(); }
+
+void PhaseTimer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (registry_ == nullptr) return;
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start_)
+          .count();
+  registry_->stats("telemetry.phase." + name_ + "_ms").add(ms);
+}
+
+void publish_process_telemetry(MetricsRegistry& registry) {
+  registry.set_gauge("telemetry.peak_rss_bytes",
+                     static_cast<double>(peak_rss_bytes()));
+}
+
+void publish_tracer_stats(const EventTracer& tracer, MetricsRegistry& registry,
+                          const std::string& prefix) {
+  registry.add_counter(prefix + ".events_recorded",
+                       static_cast<std::int64_t>(tracer.recorded()));
+  registry.add_counter(prefix + ".events_dropped",
+                       static_cast<std::int64_t>(tracer.dropped()));
+  registry.set_gauge(prefix + ".capacity_per_rank",
+                     static_cast<double>(tracer.capacity_per_rank()));
+  registry.set_gauge(prefix + ".complete", tracer.dropped() == 0 ? 1.0 : 0.0);
+}
+
+}  // namespace chksim::obs

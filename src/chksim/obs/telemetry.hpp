@@ -1,0 +1,57 @@
+// Run self-telemetry: where did the wall time and memory of a simulation
+// process go?
+//
+// Everything here is *about the run*, not about the simulated system, and is
+// therefore inherently non-deterministic (wall clocks, RSS). Publish it into
+// a dedicated telemetry registry (StudyConfig::telemetry, chksim_run
+// --stats-out) — never into cell metrics payloads or bench stdout, which the
+// campaign cache and the --jobs determinism gates byte-compare.
+//
+// The one deterministic citizen is publish_tracer_stats: recorded/dropped
+// counts are functions of the traced run alone and are safe anywhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace chksim::obs {
+
+class EventTracer;
+class MetricsRegistry;
+
+/// Peak resident set size of this process from /proc/self/status (VmHWM);
+/// 0 when unavailable (non-Linux).
+std::int64_t peak_rss_bytes();
+
+/// RAII wall-clock phase timer: feeds elapsed milliseconds into
+/// registry.stats("telemetry.phase.<name>_ms") on destruction (or stop()).
+/// A null registry makes the timer a no-op, so call sites can pass through
+/// an optional telemetry sink unconditionally.
+class PhaseTimer {
+ public:
+  PhaseTimer(MetricsRegistry* registry, const std::string& name);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Record now instead of at destruction (idempotent).
+  void stop();
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// Publish process-level telemetry: gauge "telemetry.peak_rss_bytes".
+void publish_process_telemetry(MetricsRegistry& registry);
+
+/// Publish tracer health under `prefix` ("trace" by default): counters
+/// events_recorded / events_dropped, gauges capacity_per_rank and complete
+/// (1 when nothing was dropped). Deterministic for a deterministic run.
+void publish_tracer_stats(const EventTracer& tracer, MetricsRegistry& registry,
+                          const std::string& prefix = "trace");
+
+}  // namespace chksim::obs

@@ -144,6 +144,12 @@ struct RankState {
   FlatMap<std::uint64_t, TimeNs> chan_last_arrival;  // per-source FIFO clamp
   RankStats stats;
   TimeNs blackout_traced = 0;  // tracing only: blackout intervals emitted up to here
+  // Tracing only: trace seq of the rank's most recent op event, and per-op
+  // the seq of the same-rank predecessor op event whose completion made the
+  // op ready. Together these let the engine stamp TraceEvent::cause (the
+  // binding start constraint) without any search at emission time.
+  std::uint64_t last_op_seq = 0;
+  std::vector<std::uint64_t> ready_cause;
 
   MatchQueues& match(std::uint64_t key) {
     std::uint32_t& slot = match_index[key];
@@ -164,6 +170,7 @@ struct SimCore::Snapshot::State {
   std::vector<RankState> states;
   DaryHeap<Event, EventEarlier, 4> queue;
   std::uint64_t next_seq = 0;
+  std::size_t heap_peak = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq;
   RunResult result;
   std::vector<std::string> notes;
@@ -201,6 +208,7 @@ struct SimCore::Impl {
       // Indegrees are not stored in the program (the compact layout keeps
       // only chain runs + explicit CSR); reconstruct them here.
       st.indegree.assign(v.count, 0);
+      if (trace_ != nullptr) st.ready_cause.assign(v.count, 0);
       if (cfg_.record_op_finish)
         result_.op_finish_offset[static_cast<std::size_t>(r) + 1] =
             result_.op_finish_offset[static_cast<std::size_t>(r)] + v.count;
@@ -257,6 +265,7 @@ struct SimCore::Impl {
     snap.state_->states = states_;
     snap.state_->queue = queue_;
     snap.state_->next_seq = next_seq_;
+    snap.state_->heap_peak = heap_peak_;
     snap.state_->arrival_msg_seq = arrival_msg_seq_;
     snap.state_->result = result_;
     snap.state_->notes = notes_;
@@ -269,6 +278,7 @@ struct SimCore::Impl {
     states_ = snap.state_->states;
     queue_ = snap.state_->queue;
     next_seq_ = snap.state_->next_seq;
+    heap_peak_ = snap.state_->heap_peak;
     arrival_msg_seq_ = snap.state_->arrival_msg_seq;
     result_ = snap.state_->result;
     notes_ = snap.state_->notes;
@@ -277,8 +287,13 @@ struct SimCore::Impl {
   RunResult take_result() {
     result_.completed = result_.ops_executed == total_ops_;
     if (!result_.completed) describe_deadlock();
+    result_.event_heap_peak = static_cast<std::int64_t>(heap_peak_);
     result_.ranks.reserve(states_.size());
-    for (auto& st : states_) result_.ranks.push_back(st.stats);
+    for (auto& st : states_) {
+      result_.match_arena_slots +=
+          static_cast<std::int64_t>(st.match_pool.size());
+      result_.ranks.push_back(st.stats);
+    }
     return std::move(result_);
   }
 
@@ -302,6 +317,7 @@ struct SimCore::Impl {
     ev.rank = r;
     ev.op = i;
     queue_.push(ev);
+    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
   }
 
   void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes,
@@ -317,6 +333,7 @@ struct SimCore::Impl {
     // growing the priority-queue element would tax the untraced hot path.
     if (msg_seq != 0) arrival_msg_seq_.emplace(ev.seq_kind, msg_seq);
     queue_.push(ev);
+    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
   }
 
   /// When the rank is always available (no blackout schedule), work finishes
@@ -342,9 +359,11 @@ struct SimCore::Impl {
 
   std::uint64_t emit(TraceEventKind kind, RankId rank, TimeNs t0, TimeNs t1,
                      TimeNs stall = 0, RankId peer = -1, OpIndex op = kInvalidOp,
-                     Tag tag = 0, Bytes bytes = 0, std::uint64_t ref = 0) {
+                     Tag tag = 0, Bytes bytes = 0, std::uint64_t ref = 0,
+                     std::uint64_t cause = 0) {
     TraceEvent ev;
     ev.ref = ref;
+    ev.cause = cause;
     ev.t0 = t0;
     ev.t1 = t1;
     ev.stall = stall;
@@ -380,11 +399,13 @@ struct SimCore::Impl {
     switch (op.kind) {
       case OpKind::kCalc: {
         const TimeNs start = std::max(t, st.cpu_free);
+        const std::uint64_t cause =
+            trace_ != nullptr ? op_cause(st, i, st.cpu_free > t) : 0;
         const TimeNs end = finish(r, start, op.value);
         st.cpu_free = end;
         st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, op.value);
         ++st.stats.calcs;
-        if (trace_ != nullptr) trace_calc(r, i, start, end, op.value);
+        if (trace_ != nullptr) trace_calc(r, i, start, end, op.value, cause);
         complete(r, i, end);
         break;
       }
@@ -393,6 +414,8 @@ struct SimCore::Impl {
         TimeNs cpu_work = cfg_.net.send_cpu(bytes);
         if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_send_cpu(r, op.peer, bytes);
         const TimeNs s0 = std::max({t, st.cpu_free, st.nic_free});
+        const std::uint64_t cause =
+            trace_ != nullptr ? op_cause(st, i, s0 > t) : 0;
         const TimeNs end = finish(r, s0, cpu_work);
         st.cpu_free = end;
         st.nic_free = end + cfg_.net.nic_gap(bytes);
@@ -412,7 +435,7 @@ struct SimCore::Impl {
         last = arrival;
         std::uint64_t msg_seq = 0;
         if (trace_ != nullptr)
-          msg_seq = trace_send(r, i, op, s0, end, cpu_work, arrival, bytes);
+          msg_seq = trace_send(r, i, op, s0, end, cpu_work, arrival, bytes, cause);
         push_arrival(arrival, op.peer, r, op.tag, bytes, msg_seq);
         complete(r, i, end);
         break;
@@ -456,6 +479,18 @@ struct SimCore::Impl {
     TimeNs cpu_work = cfg_.net.recv_cpu(msg.bytes);
     if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_recv_cpu(op.peer, r, msg.bytes);
     const TimeNs start = std::max(data_arrival, st.cpu_free);
+    std::uint64_t cause = 0;
+    if (trace_ != nullptr) {
+      // Binding constraint on the recv's start: the previous op holding the
+      // CPU, our own late post (rendezvous handshake anchored at post_time),
+      // or the message itself (its kMsgInject; 0 for injected messages).
+      if (st.cpu_free > data_arrival && st.last_op_seq != 0)
+        cause = st.last_op_seq;
+      else if (rendezvous && post_time > msg.arrival)
+        cause = st.ready_cause[i];
+      else
+        cause = msg.msg_seq;
+    }
     const TimeNs end = finish(r, start, cpu_work);
     st.cpu_free = end;
     st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
@@ -465,28 +500,48 @@ struct SimCore::Impl {
           saturating_add(st.stats.recv_wait, data_arrival - post_time);
     if (trace_ != nullptr)
       trace_match(r, i, op, post_time, msg, data_arrival, rendezvous, start,
-                  end, cpu_work);
+                  end, cpu_work, cause);
     complete(r, i, end);
   }
 
+  /// Tracing only: seq of the event whose completion bound an op's start.
+  /// `resource_bound` means a rank-local clock (CPU/NIC) pushed the start
+  /// past the op's ready time; the binder is then the rank's previous op
+  /// event. When no such event exists (an injected outage moved the clocks
+  /// without a trace record), fall back to the program-order predecessor so
+  /// the walk classifies the unexplained gap as wait time.
+  std::uint64_t op_cause(const RankState& st, OpIndex i, bool resource_bound) const {
+    if (resource_bound && st.last_op_seq != 0) return st.last_op_seq;
+    return st.ready_cause[i];
+  }
+
   [[gnu::noinline, gnu::cold]] void trace_calc(RankId r, OpIndex i, TimeNs start,
-                                               TimeNs end, TimeNs work) {
+                                               TimeNs end, TimeNs work,
+                                               std::uint64_t cause) {
     trace_blackouts(r, start, end);
-    emit(TraceEventKind::kCalc, r, start, end, end - start - work,
-         /*peer=*/-1, i);
+    auto& st = states_[static_cast<std::size_t>(r)];
+    st.last_op_seq = emit(TraceEventKind::kCalc, r, start, end,
+                          end - start - work, /*peer=*/-1, i,
+                          /*tag=*/0, /*bytes=*/0, /*ref=*/0, cause);
   }
 
   [[gnu::noinline, gnu::cold]] std::uint64_t trace_send(RankId r, OpIndex i,
                                                         const OpView& op, TimeNs s0,
                                                         TimeNs end, TimeNs cpu_work,
-                                                        TimeNs arrival, Bytes bytes) {
+                                                        TimeNs arrival, Bytes bytes,
+                                                        std::uint64_t cause) {
     trace_blackouts(r, s0, end);
-    emit(TraceEventKind::kSendOp, r, s0, end, end - s0 - cpu_work, op.peer, i,
-         op.tag, bytes);
-    const std::uint64_t msg_seq = emit(TraceEventKind::kMsgInject, r, end,
-                                       arrival, 0, op.peer, i, op.tag, bytes);
+    auto& st = states_[static_cast<std::size_t>(r)];
+    const std::uint64_t send_seq =
+        emit(TraceEventKind::kSendOp, r, s0, end, end - s0 - cpu_work, op.peer,
+             i, op.tag, bytes, /*ref=*/0, cause);
+    st.last_op_seq = send_seq;
+    const std::uint64_t msg_seq =
+        emit(TraceEventKind::kMsgInject, r, end, arrival, 0, op.peer, i,
+             op.tag, bytes, /*ref=*/0, send_seq);
     if (cfg_.net.rendezvous(bytes))
-      emit(TraceEventKind::kRts, r, end, arrival, 0, op.peer, i, op.tag, bytes);
+      emit(TraceEventKind::kRts, r, end, arrival, 0, op.peer, i, op.tag, bytes,
+           /*ref=*/0, send_seq);
     return msg_seq;
   }
 
@@ -495,8 +550,9 @@ struct SimCore::Impl {
                                                 const ArrivedMsg& msg,
                                                 TimeNs data_arrival, bool rendezvous,
                                                 TimeNs start, TimeNs end,
-                                                TimeNs cpu_work) {
+                                                TimeNs cpu_work, std::uint64_t cause) {
     trace_blackouts(r, start, end);
+    auto& st = states_[static_cast<std::size_t>(r)];
     if (rendezvous)
       emit(TraceEventKind::kCts, r, std::max(post_time, msg.arrival),
            data_arrival, 0, op.peer, i, op.tag, msg.bytes, msg.msg_seq);
@@ -505,8 +561,9 @@ struct SimCore::Impl {
     if (data_arrival > post_time)
       emit(TraceEventKind::kRecvWait, r, post_time, data_arrival, 0, op.peer, i,
            op.tag, msg.bytes, msg.msg_seq);
-    emit(TraceEventKind::kRecvOp, r, start, end, end - start - cpu_work,
-         op.peer, i, op.tag, msg.bytes, msg.msg_seq);
+    st.last_op_seq = emit(TraceEventKind::kRecvOp, r, start, end,
+                          end - start - cpu_work, op.peer, i, op.tag,
+                          msg.bytes, msg.msg_seq, cause);
   }
 
   void complete(RankId r, OpIndex i, TimeNs t) {
@@ -516,9 +573,14 @@ struct SimCore::Impl {
     result_.makespan = std::max(result_.makespan, t);
     if (cfg_.record_op_finish)
       result_.op_finish[result_.op_finish_offset[static_cast<std::size_t>(r)] + i] = t;
+    const bool tracing = trace_ != nullptr;
     views_[static_cast<std::size_t>(r)].for_each_successor(i, [&](OpIndex v) {
       assert(st.indegree[v] > 0);
-      if (--st.indegree[v] == 0) push_ready(t, r, v);
+      if (--st.indegree[v] == 0) {
+        // The op event just emitted for `i` is what made `v` ready.
+        if (tracing) st.ready_cause[v] = st.last_op_seq;
+        push_ready(t, r, v);
+      }
     });
   }
 
@@ -555,6 +617,7 @@ struct SimCore::Impl {
   std::vector<RankOpsView> views_;
   DaryHeap<Event, EventEarlier, 4> queue_;
   std::uint64_t next_seq_ = 0;
+  std::size_t heap_peak_ = 0;  // pending-event high-water (self-telemetry)
   std::int64_t total_ops_ = 0;
   // Event seq of an in-flight arrival -> trace seq of its kMsgInject.
   // Populated only while tracing; empty (and untouched) otherwise.

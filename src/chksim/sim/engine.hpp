@@ -100,6 +100,11 @@ struct RunResult {
   TimeNs makespan = 0;       ///< max over ranks of finish_time.
   std::int64_t ops_executed = 0;
   std::int64_t events_processed = 0;
+  /// Self-telemetry: high-water mark of the pending-event heap and total
+  /// match-queue slots ever allocated across ranks. Both are functions of the
+  /// program + config only (deterministic), so they are safe in reports.
+  std::int64_t event_heap_peak = 0;
+  std::int64_t match_arena_slots = 0;
   std::vector<RankStats> ranks;
   /// Per-op finish times, one flat rank-major arena + per-rank offsets
   /// (record_op_finish only; one allocation instead of one per rank). Op i

@@ -13,6 +13,16 @@
 // counter assigned by the sink; `ref` links an event to the `seq` of the
 // event that caused it (message deliveries and recv-waits reference their
 // kMsgInject).
+//
+// `cause` records the event's *binding start constraint* — the seq of the
+// event whose completion determined t0 — which is what makes the trace a
+// walkable causality graph (obs::extract_critical_path): op events point at
+// the same-rank predecessor that held the CPU/NIC or, for message-bound
+// receives, at the matched message's kMsgInject; kMsgInject points at its
+// kSendOp. 0 means "ready at t0 with no recorded predecessor" (the rank's
+// first op, or an externally injected arrival). Blackout preemption needs no
+// link: op events carry the absorbed stall, and the kBlackout intervals of
+// the rank locate it in time.
 #pragma once
 
 #include <cstdint>
@@ -61,8 +71,9 @@ constexpr const char* trace_event_kind_name(TraceEventKind kind) {
 }
 
 struct TraceEvent {
-  std::uint64_t seq = 0;  ///< Global emission order; assigned by the sink.
-  std::uint64_t ref = 0;  ///< Seq of the causing kMsgInject (0 = none).
+  std::uint64_t seq = 0;    ///< Global emission order; assigned by the sink.
+  std::uint64_t ref = 0;    ///< Seq of the causing kMsgInject (0 = none).
+  std::uint64_t cause = 0;  ///< Seq of the event whose end bound t0 (0 = none).
   TimeNs t0 = 0;          ///< Interval begin (or instant).
   TimeNs t1 = 0;          ///< Interval end.
   TimeNs stall = 0;       ///< Op events: blackout stall inside [t0, t1).

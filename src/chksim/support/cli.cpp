@@ -146,7 +146,11 @@ Cli& add_standard_flags(Cli& cli) {
   return cli
       .flag("jobs", "0", "concurrent cells/trials; 0 = hardware concurrency")
       .flag("smoke", "false", "run a small subset (for regression tests)")
-      .flag("ranks", "0", "override rank count / scale axis; 0 = driver default");
+      .flag("ranks", "0", "override rank count / scale axis; 0 = driver default")
+      .flag("critical-path-out", "",
+            "write the critical-path blame report (JSON) of the driver's "
+            "focus cell here, plus a flow-stitched Chrome trace at "
+            "<path>.trace.json");
 }
 
 StdOptions standard_options(const Cli& cli) {
@@ -155,6 +159,7 @@ StdOptions standard_options(const Cli& cli) {
   opt.smoke = cli.get_bool("smoke");
   opt.ranks = static_cast<int>(cli.get_int("ranks"));
   if (opt.ranks < 0) throw std::invalid_argument("--ranks must be >= 0");
+  opt.critical_path_out = cli.get("critical-path-out");
   return opt;
 }
 

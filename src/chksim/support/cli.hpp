@@ -70,10 +70,17 @@ Cli& add_observability_flags(Cli& cli);
 ///               determinism regression gates, which byte-compare output
 ///               across --jobs values).
 ///   --ranks N   override the scale axis; 0 = the driver's built-in scales.
+///   --critical-path-out <path>
+///               re-run the driver's designated focus cell with tracing and
+///               write its critical-path blame report (JSON) to <path> and a
+///               flow-stitched Chrome trace to <path>.trace.json. Off by
+///               default; the extra traced run is serial and deterministic,
+///               so the files are byte-identical for every --jobs value.
 struct StdOptions {
   int jobs = 0;  ///< Resolved: >= 1 after standard_options().
   bool smoke = false;
   int ranks = 0;
+  std::string critical_path_out;  ///< "" = off.
 };
 
 /// Declare --jobs/--smoke/--ranks on `cli`.

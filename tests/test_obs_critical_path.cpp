@@ -1,0 +1,289 @@
+// Causal critical-path extraction: invariants on hand-crafted programs.
+//
+// The load-bearing property is exact accounting: compute + blackout +
+// network + wait on the extracted chain equals the makespan to the
+// nanosecond, for serial chains, cross-rank chains, and blackout-perturbed
+// runs — and the direct kappa measured from two such paths matches the
+// makespan-ratio definition on a case where both are known exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "chksim/noise/noise.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/obs/critical_path.hpp"
+#include "chksim/obs/export.hpp"
+#include "chksim/obs/metrics.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace {
+
+using namespace chksim;
+using namespace chksim::literals;
+
+sim::LogGOPSParams tiny_net() {
+  sim::LogGOPSParams net;
+  net.L = 100;
+  net.o = 10;
+  net.g = 20;
+  net.G = 0.0;
+  net.O = 0.0;
+  net.S = 1024;
+  return net;
+}
+
+/// Two ranks, one hop: rank 0 computes then sends; rank 1 receives then
+/// computes. The makespan-defining chain must cross from rank 0 to rank 1.
+sim::Program chain_program() {
+  sim::Program p(2);
+  const sim::OpRef c0 = p.calc(0, 1'000'000);
+  const sim::OpRef s = p.send(0, 1, 64, 5);
+  p.depends(c0, s);
+  const sim::OpRef r = p.recv(1, 0, 64, 5);
+  const sim::OpRef c1 = p.calc(1, 500'000);
+  p.depends(r, c1);
+  p.finalize();
+  return p;
+}
+
+/// One working rank (plus an idle peer): three serial calcs. A blackout on
+/// the worker extends the makespan by exactly its duration.
+sim::Program serial_program() {
+  sim::Program p(2);
+  sim::OpRef prev = p.calc(0, 1'000'000);
+  for (int i = 1; i < 3; ++i) {
+    const sim::OpRef next = p.calc(0, 1'000'000);
+    p.depends(prev, next);
+    prev = next;
+  }
+  p.calc(1, 1000);
+  p.finalize();
+  return p;
+}
+
+sim::Program halo_program(int ranks, int iterations) {
+  workload::StdParams params;
+  params.ranks = ranks;
+  params.iterations = iterations;
+  params.compute = 100_us;
+  params.bytes = 8_KiB;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  return p;
+}
+
+obs::CriticalPath trace_and_extract(const sim::Program& p, sim::EngineConfig cfg,
+                                    sim::RunResult* result = nullptr) {
+  obs::EventTracer tracer(p.ranks());
+  cfg.trace = &tracer;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  EXPECT_TRUE(r.completed);
+  if (result != nullptr) *result = r;
+  return obs::extract_critical_path(tracer);
+}
+
+TEST(CriticalPath, ChainSumsToMakespanExactly) {
+  const sim::Program p = chain_program();
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  sim::RunResult r;
+  const obs::CriticalPath cp = trace_and_extract(p, cfg, &r);
+
+  ASSERT_TRUE(cp.valid) << cp.error;
+  EXPECT_EQ(cp.makespan, r.makespan);
+  // The whole point: every nanosecond of [0, makespan) is classified.
+  EXPECT_EQ(cp.compute + cp.blackout + cp.network + cp.wait, cp.makespan);
+  EXPECT_EQ(cp.classified(), cp.makespan);
+
+  // The chain crosses the one rank boundary and visits both ranks.
+  EXPECT_EQ(cp.hops, 1);
+  EXPECT_EQ(cp.ranks_visited, 2);
+  EXPECT_EQ(cp.blackout, 0);
+  EXPECT_GT(cp.network, 0);
+  // Compute on the path is exactly the two calcs (the send/recv ops carry
+  // overhead `o` as their own work time, which also counts as compute).
+  EXPECT_GE(cp.compute, 1'500'000);
+
+  // Steps are chronological and non-overlapping in cause order.
+  ASSERT_FALSE(cp.steps.empty());
+  for (std::size_t i = 1; i < cp.steps.size(); ++i)
+    EXPECT_GE(cp.steps[i].t0, cp.steps[i - 1].t0);
+  // Terminal step ends at the makespan.
+  EXPECT_EQ(cp.steps.back().t1, cp.makespan);
+}
+
+TEST(CriticalPath, BlackoutSegmentEqualsInjectedDuration) {
+  const sim::Program p = serial_program();
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  sim::RunResult base_r;
+  const obs::CriticalPath base = trace_and_extract(p, cfg, &base_r);
+  ASSERT_TRUE(base.valid) << base.error;
+  EXPECT_EQ(base.blackout, 0);
+
+  const TimeNs dur = 700'000;
+  const auto noise = noise::make_single_blackout(2, 0, {300'000, 300'000 + dur});
+  cfg.blackouts = noise.get();
+  sim::RunResult pert_r;
+  const obs::CriticalPath pert = trace_and_extract(p, cfg, &pert_r);
+  ASSERT_TRUE(pert.valid) << pert.error;
+
+  // Serial compute: the outage shifts everything downstream by exactly its
+  // duration, and the path charges it all to the blackout bucket.
+  EXPECT_EQ(pert_r.makespan, base_r.makespan + dur);
+  EXPECT_EQ(pert.blackout, dur);
+  EXPECT_EQ(pert.compute, base.compute);
+  EXPECT_EQ(pert.classified(), pert.makespan);
+
+  // kappa both ways is exactly 1 here: one second of makespan per second of
+  // single-rank blackout, with no compute shift between the two paths.
+  EXPECT_DOUBLE_EQ(obs::direct_kappa(pert, base, dur), 1.0);
+}
+
+TEST(CriticalPath, HaloSumsToMakespanAndAgreesWithAttribution) {
+  const sim::Program p = halo_program(8, 6);
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+
+  obs::EventTracer tracer(8);
+  cfg.trace = &tracer;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  const obs::CriticalPath cp = obs::extract_critical_path(tracer);
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+
+  ASSERT_TRUE(cp.valid) << cp.error;
+  ASSERT_TRUE(att.complete);
+  EXPECT_EQ(cp.makespan, r.makespan);
+  EXPECT_EQ(cp.classified(), cp.makespan);
+  // No blackouts injected: both passes must agree that no wait time is
+  // blackout-caused, directly or transitively.
+  EXPECT_EQ(cp.blackout, 0);
+  EXPECT_EQ(att.total.sender_blackout, 0);
+  EXPECT_EQ(att.total.propagated, 0);
+
+  // Per-rank shares partition the path totals.
+  TimeNs per_rank_sum = 0;
+  std::int64_t step_sum = 0;
+  for (const obs::RankPathShare& share : cp.per_rank) {
+    per_rank_sum += share.compute + share.blackout + share.network + share.wait;
+    step_sum += share.steps;
+  }
+  EXPECT_EQ(per_rank_sum, cp.makespan);
+  EXPECT_EQ(step_sum, static_cast<std::int64_t>(cp.steps.size()));
+}
+
+TEST(CriticalPath, BlackoutRunAgreesWithAttributionDirection) {
+  const sim::Program p = halo_program(8, 6);
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  sim::RunResult base_r;
+  const obs::CriticalPath base = trace_and_extract(p, cfg, &base_r);
+  ASSERT_TRUE(base.valid) << base.error;
+
+  // A blackout much longer than per-iteration slack: the victim's stall
+  // must surface both in the attribution (blackout-caused waits appear) and
+  // on the critical path (blackout segment > 0), and the two kappa
+  // measurements must agree closely.
+  const TimeNs dur = 2_ms;
+  const TimeNs start = base_r.makespan / 3;
+  const auto noise = noise::make_single_blackout(8, 3, {start, start + dur});
+  cfg.blackouts = noise.get();
+
+  obs::EventTracer tracer(8);
+  cfg.trace = &tracer;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  const obs::CriticalPath pert = obs::extract_critical_path(tracer);
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+
+  ASSERT_TRUE(pert.valid) << pert.error;
+  EXPECT_EQ(pert.classified(), pert.makespan);
+  EXPECT_GT(pert.blackout, 0);
+  EXPECT_GT(att.total.sender_blackout + att.total.propagated, 0);
+
+  const double kappa_model = static_cast<double>(r.makespan - base_r.makespan) /
+                             static_cast<double>(dur);
+  const double kappa_path = obs::direct_kappa(pert, base, dur);
+  EXPECT_NEAR(kappa_path, kappa_model, 0.1 * kappa_model + 1e-9);
+}
+
+TEST(CriticalPath, JsonAndFlowTraceAreByteDeterministic) {
+  const sim::Program p = halo_program(8, 4);
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+
+  std::string json[2];
+  std::string flow[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    obs::EventTracer tracer(8);
+    cfg.trace = &tracer;
+    ASSERT_TRUE(sim::run_program(p, cfg).completed);
+    const obs::CriticalPath cp = obs::extract_critical_path(tracer);
+    ASSERT_TRUE(cp.valid) << cp.error;
+    std::ostringstream js, fl;
+    obs::write_critical_path_json(cp, js);
+    obs::write_chrome_trace(tracer, fl, &cp);
+    json[pass] = js.str();
+    flow[pass] = fl.str();
+  }
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_EQ(flow[0], flow[1]);
+  // The stitched trace actually contains the flow events.
+  EXPECT_NE(flow[0].find("\"cat\":\"critical_path\""), std::string::npos);
+  EXPECT_NE(flow[0].find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(flow[0].find("\"ph\":\"f\""), std::string::npos);
+
+  // And the default (unstitched) export is byte-identical to passing no
+  // path — the golden-pinned format is untouched by the new overload.
+  obs::EventTracer tracer(8);
+  cfg.trace = &tracer;
+  ASSERT_TRUE(sim::run_program(p, cfg).completed);
+  std::ostringstream plain2, plain3;
+  obs::write_chrome_trace(tracer, plain2);
+  obs::write_chrome_trace(tracer, plain3, nullptr);
+  EXPECT_EQ(plain2.str(), plain3.str());
+  EXPECT_EQ(plain2.str().find("critical_path"), std::string::npos);
+}
+
+TEST(CriticalPath, BoundedTracerIsRejectedNotWrong) {
+  const sim::Program p = halo_program(8, 8);
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  obs::EventTracer tracer(8, /*capacity_per_rank=*/16);  // will wrap
+  cfg.trace = &tracer;
+  ASSERT_TRUE(sim::run_program(p, cfg).completed);
+  ASSERT_GT(tracer.dropped(), 0u);
+
+  const obs::CriticalPath cp = obs::extract_critical_path(tracer);
+  EXPECT_FALSE(cp.valid);
+  EXPECT_NE(cp.error.find("dropped"), std::string::npos) << cp.error;
+  EXPECT_EQ(cp.classified(), 0);
+
+  // publish still works and reports validity as a gauge.
+  obs::MetricsRegistry m;
+  obs::publish_critical_path(cp, m);
+  EXPECT_TRUE(m.has_gauge("critical_path.valid"));
+  EXPECT_EQ(m.gauge("critical_path.valid"), 0.0);
+}
+
+TEST(CriticalPath, PublishedGaugesMatchStruct) {
+  const sim::Program p = chain_program();
+  sim::EngineConfig cfg;
+  cfg.net = tiny_net();
+  const obs::CriticalPath cp = trace_and_extract(p, cfg);
+  ASSERT_TRUE(cp.valid) << cp.error;
+
+  obs::MetricsRegistry m;
+  obs::publish_critical_path(cp, m);
+  EXPECT_EQ(m.gauge("critical_path.valid"), 1.0);
+  EXPECT_EQ(m.gauge("critical_path.makespan_ns"), static_cast<double>(cp.makespan));
+  EXPECT_EQ(m.gauge("critical_path.compute_ns"), static_cast<double>(cp.compute));
+  EXPECT_EQ(m.gauge("critical_path.network_ns"), static_cast<double>(cp.network));
+  EXPECT_EQ(m.gauge("critical_path.hops"), static_cast<double>(cp.hops));
+  EXPECT_EQ(m.gauge("critical_path.steps"), static_cast<double>(cp.steps.size()));
+}
+
+}  // namespace

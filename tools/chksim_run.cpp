@@ -17,6 +17,7 @@
 #include "chksim/campaign/runner.hpp"
 #include "chksim/campaign/spec.hpp"
 #include "chksim/obs/metrics.hpp"
+#include "chksim/obs/telemetry.hpp"
 #include "chksim/support/cli.hpp"
 #include "chksim/support/version.hpp"
 
@@ -120,6 +121,7 @@ int main(int argc, char** argv) {
 
   campaign::CampaignResult result;
   try {
+    obs::PhaseTimer run_phase(&metrics, "campaign_run");
     result = campaign::run_campaign(spec, run);
   } catch (const std::exception& e) {
     std::cerr << "campaign failed: " << e.what() << "\n";
@@ -136,6 +138,7 @@ int main(int argc, char** argv) {
                  result.failed);
   }
 
+  obs::PhaseTimer export_phase(&metrics, "export");
   const std::string report = result.report_json();
   const std::string out_path = cli.get("out");
   if (out_path.empty()) {
@@ -150,8 +153,11 @@ int main(int argc, char** argv) {
     if (!quiet) std::cerr << "report: " << out_path << "\n";
   }
 
+  export_phase.stop();
+
   if (cli.is_set("stats-out")) {
     obs::stamp_provenance(metrics, 0);
+    obs::publish_process_telemetry(metrics);
     std::string stats_error;
     if (!metrics.write_json_file(cli.get("stats-out"), &stats_error)) {
       std::cerr << stats_error << "\n";
