@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       cfg.machine = benchutil::scaled_machine(net::infiniband_system(), interval, duty);
       cfg.workload = wl;
       cfg.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+      cfg.shards = opt.shards;
       cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
       cfg.protocol.fixed_interval = interval;
       cells.push_back(cfg);

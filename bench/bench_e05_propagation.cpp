@@ -30,20 +30,28 @@ int main(int argc, char** argv) {
   benchutil::banner("E5", "single-rank blackout propagation vs workload coupling");
 
   const net::MachineModel machine = net::infiniband_system();
-  const int ranks = opt.smoke ? 64 : 256;
+  // --ranks overrides the scale for at-scale kappa measurement (2^18+ ranks
+  // with --shards N); the grid then shrinks to the canonical halo3d cell so
+  // the traced runs stay within the RSS budget.
+  const bool at_scale = opt.ranks > 0;
+  const int ranks = at_scale ? opt.ranks : (opt.smoke ? 64 : 256);
   const sim::RankId victim = ranks / 2;
   // The smoke grid keeps the coupled workloads at blackout sizes well above
   // the per-iteration slack, where the delay lands on the critical path and
   // the two kappa measurements below must agree.
   const std::vector<const char*> workloads =
-      opt.smoke ? std::vector<const char*>{"halo3d", "allreduce"}
+      at_scale  ? std::vector<const char*>{"halo3d"}
+      : opt.smoke ? std::vector<const char*>{"halo3d", "allreduce"}
                 : std::vector<const char*>{"ep", "sweep2d", "halo3d", "allreduce"};
   const std::vector<TimeNs> durations =
-      opt.smoke ? std::vector<TimeNs>{3_ms, 10_ms}
+      at_scale  ? std::vector<TimeNs>{10_ms}
+      : opt.smoke ? std::vector<TimeNs>{3_ms, 10_ms}
                 : std::vector<TimeNs>{100_us, 300_us, 1_ms, 3_ms, 10_ms};
+  const int iterations = at_scale ? 6 : 30;
 
   sim::EngineConfig base;
   base.net = machine.net;
+  base.shards = opt.shards;
 
   // Stage 1: the unperturbed reference runs (one per workload; the blackout
   // window, the spread columns, and the kappa_path baselines all derive
@@ -52,7 +60,7 @@ int main(int argc, char** argv) {
   for (const char* wl : workloads) {
     workload::StdParams params;
     params.ranks = ranks;
-    params.iterations = 30;
+    params.iterations = iterations;
     params.compute = 1_ms;
     params.bytes = 8_KiB;
     programs.push_back(workload::make_workload(wl, params));

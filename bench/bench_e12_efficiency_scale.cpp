@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
                                             sim_duty);
     cfg.workload = "halo3d";
     cfg.params = benchutil::sized_params(kappa_ranks, sim_interval, 4, 1_ms, 8_KiB);
+    cfg.shards = opt.shards;
     cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
     cfg.protocol.fixed_interval = sim_interval;
     std::vector<core::StudyConfig> cells = {cfg, cfg};

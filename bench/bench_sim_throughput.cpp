@@ -64,6 +64,7 @@ std::int64_t peak_rss_bytes() {
 struct Measurement {
   std::string workload;
   int ranks = 0;
+  int shards = 1;                   // PDES shard count (1 = serial engine)
   std::int64_t ops = 0;             // ops in the program
   std::int64_t events = 0;          // events processed per run
   std::int64_t storage_bytes = 0;   // finalized Program footprint
@@ -74,7 +75,8 @@ struct Measurement {
   int repeats = 0;
 };
 
-Measurement measure(const std::string& workload, int ranks, int repeats) {
+Measurement measure(const std::string& workload, int ranks, int repeats,
+                    int shards) {
   workload::StdParams params;
   params.ranks = ranks;
   params.iterations = 10;
@@ -84,6 +86,7 @@ Measurement measure(const std::string& workload, int ranks, int repeats) {
   Measurement m;
   m.workload = workload;
   m.ranks = ranks;
+  m.shards = shards;
   m.repeats = repeats;
 
   // Build phase: generate + finalize a fresh program per repetition.
@@ -106,6 +109,7 @@ Measurement measure(const std::string& workload, int ranks, int repeats) {
   // Run phase: the DES on the (shared, read-only) finalized program.
   sim::EngineConfig cfg;
   cfg.net = net::infiniband_system().net;
+  cfg.shards = shards;
   std::vector<double> walls;
   for (int rep = 0; rep < repeats; ++rep) {
     const Clock::time_point t0 = Clock::now();
@@ -153,12 +157,14 @@ std::string json_report(const std::vector<Measurement>& results, int jobs,
     const Measurement& m = results[i];
     char buf[384];
     std::snprintf(buf, sizeof buf,
-                  "    {\"workload\": \"%s\", \"ranks\": %d, \"ops\": %lld, "
+                  "    {\"workload\": \"%s\", \"ranks\": %d, \"shards\": %d, "
+                  "\"ops\": %lld, "
                   "\"events\": %lld, \"build_ms_median\": %.2f, "
                   "\"wall_ms_median\": %.2f, \"events_per_sec\": %.0f, "
                   "\"bytes_per_op\": %.1f, \"storage_bytes\": %lld, "
                   "\"repeats\": %d}%s\n",
-                  m.workload.c_str(), m.ranks, static_cast<long long>(m.ops),
+                  m.workload.c_str(), m.ranks, m.shards,
+                  static_cast<long long>(m.ops),
                   static_cast<long long>(m.events), m.build_ms_median,
                   m.wall_ms_median, m.events_per_sec, m.bytes_per_op,
                   static_cast<long long>(m.storage_bytes), m.repeats,
@@ -185,6 +191,10 @@ int main(int argc, char** argv) {
       .flag("ranks", "0", "measure only halo3d at this rank count (0 = full case list)")
       .flag("rss-budget-mib", "0", "fail (exit 1) if peak RSS exceeds this many MiB")
       .flag("sweep-cells", "8", "cells in the run_sweep wall-clock measurement")
+      .flag("shards", "1", "PDES shard count for every engine measurement (1 = serial)")
+      .flag("shard-sweep", "",
+            "comma-separated shard counts (e.g. 1,2,4,8): re-measure each case "
+            "at every count — the PDES shard-scaling sweep")
       .flag("json-out", "", "write the machine-readable report to this path");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
@@ -196,6 +206,24 @@ int main(int argc, char** argv) {
   const int only_ranks = static_cast<int>(cli.get_int("ranks"));
   const std::int64_t rss_budget_mib = cli.get_int("rss-budget-mib");
   const int sweep_cells = std::max(1, static_cast<int>(cli.get_int("sweep-cells")));
+  // Shard counts to measure each case at: --shard-sweep wins, else --shards.
+  std::vector<int> shard_counts;
+  {
+    const std::string sweep_spec = cli.get("shard-sweep");
+    std::istringstream is(sweep_spec);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      if (tok.empty()) continue;
+      const int s = std::stoi(tok);
+      if (s < 1) {
+        std::cerr << "--shard-sweep values must be >= 1\n";
+        return 2;
+      }
+      shard_counts.push_back(s);
+    }
+    if (shard_counts.empty())
+      shard_counts.push_back(std::max(1, static_cast<int>(cli.get_int("shards"))));
+  }
 
   struct Case {
     const char* workload;
@@ -210,16 +238,20 @@ int main(int argc, char** argv) {
                                 {"allreduce", 64}, {"allreduce", 1024}};
   if (only_ranks > 0) cases = {{"halo3d", only_ranks}};
 
-  std::printf("%-10s %6s %12s %12s %10s %12s %14s %10s\n", "workload", "ranks",
-              "ops", "events/run", "build ms", "run ms", "events/sec", "B/op");
+  std::printf("%-10s %7s %6s %12s %12s %10s %12s %14s %10s\n", "workload",
+              "ranks", "shards", "ops", "events/run", "build ms", "run ms",
+              "events/sec", "B/op");
   std::vector<Measurement> results;
   for (const Case& c : cases) {
-    results.push_back(measure(c.workload, c.ranks, repeats));
-    const Measurement& m = results.back();
-    std::printf("%-10s %6d %12lld %12lld %10.2f %12.2f %14.0f %10.1f\n",
-                m.workload.c_str(), m.ranks, static_cast<long long>(m.ops),
-                static_cast<long long>(m.events), m.build_ms_median,
-                m.wall_ms_median, m.events_per_sec, m.bytes_per_op);
+    for (const int shards : shard_counts) {
+      results.push_back(measure(c.workload, c.ranks, repeats, shards));
+      const Measurement& m = results.back();
+      std::printf("%-10s %7d %6d %12lld %12lld %10.2f %12.2f %14.0f %10.1f\n",
+                  m.workload.c_str(), m.ranks, m.shards,
+                  static_cast<long long>(m.ops),
+                  static_cast<long long>(m.events), m.build_ms_median,
+                  m.wall_ms_median, m.events_per_sec, m.bytes_per_op);
+    }
   }
 
   const bool do_sweep = only_ranks == 0;

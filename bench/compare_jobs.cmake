@@ -1,22 +1,31 @@
-# Determinism check: run BENCH with each --jobs value in JOBS_LIST and fail
-# unless every run's stdout is byte-identical to the --jobs 1 run.
+# Determinism check: run BENCH once per value in JOBS_LIST of the FLAG
+# (default --jobs) and fail unless every run's stdout is byte-identical to
+# the first run's.
 #
 #   cmake -DBENCH=<path> -DARGS="--smoke" -DJOBS_LIST="1,2,8"
-#         -DWORK_DIR=<dir> [-DCRITICAL_PATH=1] -P compare_jobs.cmake
+#         -DWORK_DIR=<dir> [-DFLAG=--shards] [-DCRITICAL_PATH=1]
+#         -P compare_jobs.cmake
 #
 # JOBS_LIST is comma-separated: a semicolon CMake list passed through
 # add_test arrives here with escaped separators ("1\;2\;8"), which foreach
 # silently treats as ONE value — the loop then runs once and compares
 # nothing. Commas survive the trip intact.
 #
-# With CRITICAL_PATH=1 every run additionally gets a per-jobs
+# FLAG selects which axis is swept: "--jobs" gates thread-count determinism,
+# "--shards" gates PDES shard-count determinism. Anything the harness parses
+# works.
+#
+# With CRITICAL_PATH=1 every run additionally gets a per-value
 # --critical-path-out file, and the blame report AND the flow-stitched
-# Chrome trace are byte-compared across --jobs values alongside stdout.
+# Chrome trace are byte-compared across values alongside stdout.
 if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "compare_jobs.cmake: BENCH and WORK_DIR are required")
 endif()
 if(NOT DEFINED JOBS_LIST)
   set(JOBS_LIST "1,2,8")
+endif()
+if(NOT DEFINED FLAG)
+  set(FLAG "--jobs")
 endif()
 string(REPLACE "," ";" jobs_values "${JOBS_LIST}")
 list(LENGTH jobs_values jobs_count)
@@ -28,6 +37,8 @@ endif()
 separate_arguments(extra_args UNIX_COMMAND "${ARGS}")
 
 get_filename_component(bench_name "${BENCH}" NAME_WE)
+# File tag for the swept flag: "--jobs" -> jobs, "--shards" -> shards.
+string(REGEX REPLACE "^--" "" flag_tag "${FLAG}")
 
 # compare_to_reference(<label> <reference> <candidate>)
 function(compare_to_reference label reference candidate)
@@ -36,7 +47,7 @@ function(compare_to_reference label reference candidate)
     RESULT_VARIABLE diff)
   if(NOT diff EQUAL 0)
     message(FATAL_ERROR
-      "${bench_name}: ${label} differs across --jobs values "
+      "${bench_name}: ${label} differs across ${FLAG} values "
       "(${reference} vs ${candidate})")
   endif()
 endfunction()
@@ -44,21 +55,21 @@ endfunction()
 set(reference "")
 set(cp_reference "")
 foreach(jobs ${jobs_values})
-  set(out_file "${WORK_DIR}/${bench_name}_jobs${jobs}.out")
+  set(out_file "${WORK_DIR}/${bench_name}_${flag_tag}${jobs}.out")
   set(run_args ${extra_args})
   if(CRITICAL_PATH)
-    set(cp_file "${WORK_DIR}/${bench_name}_jobs${jobs}.cp.json")
+    set(cp_file "${WORK_DIR}/${bench_name}_${flag_tag}${jobs}.cp.json")
     list(APPEND run_args --critical-path-out "${cp_file}")
   endif()
   execute_process(
-    COMMAND "${BENCH}" ${run_args} --jobs ${jobs}
+    COMMAND "${BENCH}" ${run_args} ${FLAG} ${jobs}
     OUTPUT_FILE "${out_file}"
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${bench_name} --jobs ${jobs} exited with ${rc}")
+    message(FATAL_ERROR "${bench_name} ${FLAG} ${jobs} exited with ${rc}")
   endif()
   if(CRITICAL_PATH AND NOT EXISTS "${cp_file}")
-    message(FATAL_ERROR "${bench_name} --jobs ${jobs}: no ${cp_file} written")
+    message(FATAL_ERROR "${bench_name} ${FLAG} ${jobs}: no ${cp_file} written")
   endif()
   if(reference STREQUAL "")
     set(reference "${out_file}")
@@ -72,4 +83,4 @@ foreach(jobs ${jobs_values})
     endif()
   endif()
 endforeach()
-message(STATUS "${bench_name}: byte-identical output for --jobs {${jobs_values}}")
+message(STATUS "${bench_name}: byte-identical output for ${FLAG} {${jobs_values}}")

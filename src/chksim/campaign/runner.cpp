@@ -190,10 +190,11 @@ void replay_journal(const std::string& path, const std::vector<std::string>& key
 
 }  // namespace
 
-std::string run_cell(const CellSpec& cell) {
+std::string run_cell(const CellSpec& cell, int shards) {
   obs::MetricsRegistry reg;
   core::StudyConfig study = study_config_of(cell);
   study.metrics = &reg;
+  study.shards = shards;
   if (cell.mode == "failures") {
     core::FailureStudyConfig f;
     f.study = study;
@@ -273,7 +274,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunnerConfig& config
           for (out.attempts = 1; out.attempts <= max_attempts; ++out.attempts) {
             const auto t0 = std::chrono::steady_clock::now();
             try {
-              std::string payload = run_cell(cell);
+              std::string payload = run_cell(cell, config.shards);
               out.seconds = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();

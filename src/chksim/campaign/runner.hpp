@@ -47,6 +47,11 @@ struct RunnerConfig {
   /// simulations serially (StudyConfig::jobs = 1); the campaign level is
   /// where the parallelism lives.
   int jobs = 1;
+  /// Conservative-PDES shard count for each cell's engine runs
+  /// (StudyConfig::shards). Results are byte-identical for every value, so
+  /// this is deliberately NOT part of the cell identity — cache entries and
+  /// journal keys are shared across shard counts.
+  int shards = 1;
   /// Result-cache directory; "" disables memoisation.
   std::string cache_dir;
   /// Append-only JSONL journal path; "" disables journaling (and resume).
@@ -97,7 +102,9 @@ struct CampaignResult {
 CampaignResult run_campaign(const CampaignSpec& spec, const RunnerConfig& config);
 
 /// Run one cell to its metrics-JSON payload (the cache/journal/report
-/// artifact). Exposed for tests and tooling.
-std::string run_cell(const CellSpec& cell);
+/// artifact). Exposed for tests and tooling. `shards` selects the PDES
+/// shard count for the cell's engine runs; the payload is byte-identical
+/// for every value.
+std::string run_cell(const CellSpec& cell, int shards = 1);
 
 }  // namespace chksim::campaign

@@ -92,6 +92,7 @@ Breakdown run_study(const StudyConfig& config) {
   sim::EngineConfig base;
   base.net = config.machine.net;
   base.preemption = config.preemption;
+  base.shards = config.shards;
 
   sim::EngineConfig pert = base;
   pert.blackouts = art.schedule.get();
@@ -152,6 +153,24 @@ Breakdown run_study(const StudyConfig& config) {
     }
   }
   phase.reset();
+  // PDES self-telemetry goes to the side channel only: shard counts,
+  // superstep totals, and per-shard high-water marks describe the execution
+  // strategy, which byte-compared cell metrics must not depend on.
+  if (config.telemetry != nullptr && r1.pdes_shards > 0) {
+    obs::MetricsRegistry& t = *config.telemetry;
+    t.set_gauge("pdes.shards", static_cast<double>(r1.pdes_shards));
+    t.set_gauge("pdes.window_ns", static_cast<double>(r1.pdes_window));
+    t.set_gauge("pdes.base.supersteps", static_cast<double>(r0.pdes_supersteps));
+    t.set_gauge("pdes.base.shard_heap_peak",
+                static_cast<double>(r0.pdes_shard_heap_peak));
+    t.set_gauge("pdes.base.lane_peak", static_cast<double>(r0.pdes_lane_peak));
+    t.set_gauge("pdes.perturbed.supersteps",
+                static_cast<double>(r1.pdes_supersteps));
+    t.set_gauge("pdes.perturbed.shard_heap_peak",
+                static_cast<double>(r1.pdes_shard_heap_peak));
+    t.set_gauge("pdes.perturbed.lane_peak",
+                static_cast<double>(r1.pdes_lane_peak));
+  }
   if (config.telemetry != nullptr)
     obs::publish_process_telemetry(*config.telemetry);
   return b;

@@ -80,6 +80,13 @@ struct StudyConfig {
   /// engine runs execute on up to `jobs` threads (1 = serial, <= 0 =
   /// hardware concurrency). The Breakdown is identical for every value.
   int jobs = 1;
+
+  /// Conservative-PDES shard count for each engine run (see
+  /// sim/par_engine.hpp). 1 = the serial engine; N > 1 partitions the ranks
+  /// into N concurrently-advanced shards with byte-identical results —
+  /// Breakdown, metrics, traces, and blame reports are unchanged for every
+  /// value. PDES self-telemetry lands in `telemetry` under "pdes.*".
+  int shards = 1;
 };
 
 /// Where the time went.

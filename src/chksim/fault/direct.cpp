@@ -5,6 +5,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "chksim/sim/par_engine.hpp"
+
 namespace chksim::fault {
 
 namespace {
@@ -52,8 +54,13 @@ class RenewalSource {
   int nranks_;
 };
 
-/// Shared driver. The failure/recovery control loop is cold relative to the
-/// DES it steers, so clarity beats micro-optimisation throughout.
+/// Shared driver, templated over the engine core: sim::SimCore (serial) or
+/// sim::ParEngine (sharded) — both expose the same resumable API and produce
+/// byte-identical results, so which one runs underneath is purely a
+/// throughput decision (engine.shards). The failure/recovery control loop is
+/// cold relative to the DES it steers, so clarity beats micro-optimisation
+/// throughout.
+template <typename Core>
 class Runner {
  public:
   Runner(const sim::Program& program, const sim::EngineConfig& engine,
@@ -71,7 +78,7 @@ class Runner {
 
   template <typename Source>
   DirectResult run_rollback(Source& source) {
-    sim::SimCore::Snapshot snap = core_.snapshot();  // consistent cut at t = 0
+    typename Core::Snapshot snap = core_.snapshot();  // consistent cut at t = 0
     ++stats_.snapshots;
     TimeNs snap_m = 0;    // machine time of the last committed snapshot
     TimeNs offset = 0;    // wallclock = machine time + offset
@@ -116,7 +123,7 @@ class Runner {
   /// makespan, not just the pending-event queue. Snapshots likewise may
   /// carry such deterministically pre-computed completions — restoring one
   /// replays the exact same future, so rollback accounting is unaffected.
-  bool advance_committing(TimeNs m_f, sim::SimCore::Snapshot& snap,
+  bool advance_committing(TimeNs m_f, typename Core::Snapshot& snap,
                           TimeNs& snap_m, TimeNs& scan) {
     if (cfg_.commits != nullptr) {
       while (true) {
@@ -269,12 +276,26 @@ class Runner {
     TimeNs last = 0;
   };
 
-  sim::SimCore core_;
+  Core core_;
   const DirectConfig& cfg_;
   const sim::RankId nranks_;
   DirectStats stats_;
   std::unordered_map<sim::RankId, Cursor> cursors_;
 };
+
+/// Pick the core type from the engine config (mirrors Engine::run's
+/// dispatch, including the serial fallback when there is no lookahead).
+template <typename Source>
+DirectResult run_with_source(const sim::Program& program,
+                             const sim::EngineConfig& engine,
+                             const DirectConfig& config, Source& source) {
+  if (engine.shards > 1 && engine.net.L >= 1 && program.ranks() > 1) {
+    Runner<sim::ParEngine> runner(program, engine, config);
+    return runner.run(source);
+  }
+  Runner<sim::SimCore> runner(program, engine, config);
+  return runner.run(source);
+}
 
 }  // namespace
 
@@ -291,17 +312,16 @@ DirectResult run_with_failures(const sim::Program& program,
                                const sim::EngineConfig& engine,
                                const DirectConfig& config,
                                const std::vector<Failure>& wall_trace) {
-  Runner runner(program, engine, config);
   if (std::is_sorted(wall_trace.begin(), wall_trace.end(),
                      [](const Failure& a, const Failure& b) { return a.time < b.time; })) {
     TraceSource source(wall_trace);
-    return runner.run(source);
+    return run_with_source(program, engine, config, source);
   }
   std::vector<Failure> sorted = wall_trace;
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Failure& a, const Failure& b) { return a.time < b.time; });
   TraceSource source(sorted);
-  return runner.run(source);
+  return run_with_source(program, engine, config, source);
 }
 
 DirectResult run_with_failures(const sim::Program& program,
@@ -309,9 +329,8 @@ DirectResult run_with_failures(const sim::Program& program,
                                const DirectConfig& config,
                                const FailureDistribution& system_failures,
                                Rng rng) {
-  Runner runner(program, engine, config);
   RenewalSource source(system_failures, rng, program.ranks());
-  return runner.run(source);
+  return run_with_source(program, engine, config, source);
 }
 
 }  // namespace chksim::fault

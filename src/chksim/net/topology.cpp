@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "chksim/support/rng.hpp"
@@ -186,6 +187,41 @@ sim::LogGOPSParams effective_params(const sim::LogGOPSParams& base,
   sim::LogGOPSParams p = base;
   p.L = base.L + static_cast<TimeNs>(topo.mean_hops() * static_cast<double>(per_hop_ns));
   return p;
+}
+
+TimeNs min_cross_shard_latency(const sim::LogGOPSParams& base,
+                               const Topology& topo, TimeNs per_hop_ns,
+                               const std::vector<int>& shard_starts) {
+  const int n = topo.nodes();
+  if (shard_starts.empty() || shard_starts.front() != 0)
+    throw std::invalid_argument("min_cross_shard_latency: shard_starts must begin at 0");
+  for (std::size_t s = 1; s < shard_starts.size(); ++s) {
+    if (shard_starts[s] <= shard_starts[s - 1] || shard_starts[s] >= n)
+      throw std::invalid_argument(
+          "min_cross_shard_latency: shard_starts must be strictly increasing "
+          "within [0, nodes)");
+  }
+  if (shard_starts.size() < 2) return base.L;  // One shard: nothing crosses.
+  if (per_hop_ns <= 0) return base.L + per_hop_ns;  // Hops cost nothing.
+
+  // Cross-shard pairs are distinct ranks, so hops >= 1 — that is the floor;
+  // stop the scan as soon as some pair achieves it.
+  const TimeNs floor = base.L + per_hop_ns;
+  int min_hops = std::numeric_limits<int>::max();
+  for (sim::RankId a = 0; a < n; ++a) {
+    // Shard of `a`: the last start <= a.
+    const auto it = std::upper_bound(shard_starts.begin(), shard_starts.end(),
+                                     static_cast<int>(a));
+    const std::size_t sa = static_cast<std::size_t>(it - shard_starts.begin()) - 1;
+    const int lo = shard_starts[sa];
+    const int hi = sa + 1 < shard_starts.size() ? shard_starts[sa + 1] : n;
+    for (sim::RankId b = 0; b < n; ++b) {
+      if (b >= lo && b < hi) continue;  // Same shard.
+      min_hops = std::min(min_hops, topo.hops(a, b));
+      if (min_hops <= 1) return floor;
+    }
+  }
+  return base.L + static_cast<TimeNs>(min_hops) * per_hop_ns;
 }
 
 }  // namespace chksim::net

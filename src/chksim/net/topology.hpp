@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "chksim/sim/op.hpp"
 #include "chksim/sim/loggops.hpp"
@@ -99,5 +100,23 @@ class Dragonfly final : public Topology {
 /// contentionless LogGOPS abstraction.
 sim::LogGOPSParams effective_params(const sim::LogGOPSParams& base,
                                     const Topology& topo, TimeNs per_hop_ns);
+
+/// Minimum effective message latency between ranks in *different* shards of
+/// a contiguous partition: min over cross-shard pairs (a, b) of
+/// base.L + hops(a, b) * per_hop_ns. This is the sound conservative-PDES
+/// lookahead window when shards map to the partition (sim::ParEngine uses
+/// the uniform-latency special case W = net.L; a topology-refined engine
+/// would use this instead). Always >= base.L + per_hop_ns for a partition
+/// with at least two non-empty shards — a window can never be optimistic.
+///
+/// `shard_starts` holds each shard's first rank, strictly increasing,
+/// starting at 0; shard s covers [shard_starts[s], shard_starts[s+1]) and
+/// the last shard ends at topo.nodes(). Exact: every cross-shard pair is
+/// considered, with an early exit once the 1-hop floor is reached (hit
+/// almost immediately on real topologies, where some pair of ranks adjacent
+/// across a shard boundary is 1 hop apart).
+TimeNs min_cross_shard_latency(const sim::LogGOPSParams& base,
+                               const Topology& topo, TimeNs per_hop_ns,
+                               const std::vector<int>& shard_starts);
 
 }  // namespace chksim::net

@@ -1,12 +1,10 @@
 #include "chksim/sim/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
 #include <limits>
-#include <unordered_map>
+#include <stdexcept>
 
-#include "chksim/support/dary_heap.hpp"
-#include "chksim/support/flat_map.hpp"
+#include "chksim/sim/engine_detail.hpp"
+#include "chksim/sim/par_engine.hpp"
 
 namespace chksim::sim {
 
@@ -23,609 +21,21 @@ double RunResult::mean_cpu_busy() const {
   return sum / static_cast<double>(ranks.size());
 }
 
-namespace {
-
-/// One pending event, packed to 40 bytes: the heap moves events around on
-/// every sift, so element size is hot. The kind rides in seq_kind's low bit
-/// (the shifted seq keeps its strict FIFO tie-break order), and the
-/// kReady-only / kArrival-only fields share storage.
-struct Event {
-  TimeNs time = 0;
-  std::uint64_t seq_kind = 0;  // (push seq << 1) | kind; kind: 0 ready, 1 arrival
-  Bytes bytes = 0;             // kArrival payload size
-  RankId rank = -1;            // kReady: executing rank; kArrival: destination
-  union {
-    OpIndex op = kInvalidOp;   // kReady
-    RankId src;                // kArrival
-  };
-  Tag tag = 0;                 // kArrival
-
-  bool is_arrival() const { return (seq_kind & 1) != 0; }
+// The event-processing machinery lives in engine_detail.hpp (shared with the
+// sharded ParEngine); SimCore is the full-range serial instantiation.
+struct SimCore::Impl : detail::CoreImpl {
+  Impl(const Program& program, const EngineConfig& config)
+      : detail::CoreImpl(program, config, 0, program.ranks(), config.trace) {}
 };
 
-struct EventEarlier {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq_kind < b.seq_kind;
-  }
-};
-
-struct PostedRecv {
-  OpIndex op;
-  TimeNs post_time;
-};
-
-struct ArrivedMsg {
-  TimeNs arrival;
-  Bytes bytes;
-  std::uint64_t msg_seq = 0;  // tracing only
-};
-
-// Match key: (source rank, tag) packed into 64 bits.
-std::uint64_t match_key(RankId src, Tag tag) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(tag);
-}
-
-/// Compact FIFO. std::deque is unsuitable here: libstdc++ allocates a 512 B
-/// chunk per deque even when empty, and simulations at scale hold millions
-/// of (mostly empty) match queues.
-///
-/// Two properties matter on the hot path:
-///  * the first two elements live inline — in the dominant pattern (one
-///    message, one receive per (src, tag) key) a queue never heap-allocates;
-///  * the consumed prefix of the spill vector is reclaimed: on full drain the
-///    backing vector is released, and while non-empty the head indices are
-///    recycled once they dominate the storage. Without the latter, a queue
-///    that never fully drains (producer steadily ahead of its consumer)
-///    holds every element it ever saw until the end of the run.
-template <typename T>
-class CompactFifo {
- public:
-  bool empty() const { return inline_head_ == inline_count_ && spill_empty(); }
-
-  void push(T v) {
-    if (spill_empty() && inline_count_ < kInline) {
-      inline_[inline_count_++] = std::move(v);
-      return;
-    }
-    spill_.push_back(std::move(v));
-  }
-
-  T pop() {
-    if (inline_head_ < inline_count_) {
-      T v = std::move(inline_[inline_head_++]);
-      if (inline_head_ == inline_count_) inline_head_ = inline_count_ = 0;
-      return v;
-    }
-    T v = std::move(spill_[spill_head_++]);
-    if (spill_head_ == spill_.size()) {
-      spill_.clear();
-      spill_head_ = 0;
-      if (spill_.capacity() > 64) spill_.shrink_to_fit();
-    } else if (spill_head_ >= 32 && spill_head_ * 2 >= spill_.size()) {
-      spill_.erase(spill_.begin(),
-                   spill_.begin() + static_cast<std::ptrdiff_t>(spill_head_));
-      spill_head_ = 0;
-    }
-    return v;
-  }
-
-  std::size_t size() const {
-    return (inline_count_ - inline_head_) + (spill_.size() - spill_head_);
-  }
-
- private:
-  static constexpr std::uint8_t kInline = 2;
-
-  bool spill_empty() const { return spill_head_ == spill_.size(); }
-
-  T inline_[kInline]{};
-  std::uint8_t inline_head_ = 0;
-  std::uint8_t inline_count_ = 0;
-  std::vector<T> spill_;
-  std::size_t spill_head_ = 0;
-};
-
-struct MatchQueues {
-  CompactFifo<PostedRecv> posted;
-  CompactFifo<ArrivedMsg> arrived;
-};
-
-struct RankState {
-  TimeNs cpu_free = 0;
-  TimeNs nic_free = 0;
-  std::vector<std::uint32_t> indegree;
-  // Match state arena: the flat index maps (src, tag) to slot + 1 in the
-  // pool (0 = unassigned), so rehashes shuffle 16-byte entries while the
-  // queues themselves stay put in one contiguous allocation.
-  FlatMap<std::uint64_t, std::uint32_t> match_index;
-  std::vector<MatchQueues> match_pool;
-  FlatMap<std::uint64_t, TimeNs> chan_last_arrival;  // per-source FIFO clamp
-  RankStats stats;
-  TimeNs blackout_traced = 0;  // tracing only: blackout intervals emitted up to here
-  // Tracing only: trace seq of the rank's most recent op event, and per-op
-  // the seq of the same-rank predecessor op event whose completion made the
-  // op ready. Together these let the engine stamp TraceEvent::cause (the
-  // binding start constraint) without any search at emission time.
-  std::uint64_t last_op_seq = 0;
-  std::vector<std::uint64_t> ready_cause;
-
-  MatchQueues& match(std::uint64_t key) {
-    std::uint32_t& slot = match_index[key];
-    if (slot == 0) {
-      match_pool.emplace_back();
-      slot = static_cast<std::uint32_t>(match_pool.size());
-    }
-    return match_pool[slot - 1];
-  }
-};
-
-}  // namespace
-
-/// Everything a snapshot captures: the mutable half of the Impl below. The
-/// immutable half (program views, config, availability) is reconstructible
-/// from the SimCore and deliberately not copied.
 struct SimCore::Snapshot::State {
-  std::vector<RankState> states;
-  DaryHeap<Event, EventEarlier, 4> queue;
-  std::uint64_t next_seq = 0;
-  std::size_t heap_peak = 0;
-  std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq;
-  RunResult result;
-  std::vector<std::string> notes;
+  detail::CoreImpl::SnapState core;
 };
 
 SimCore::Snapshot::Snapshot() = default;
 SimCore::Snapshot::~Snapshot() = default;
 SimCore::Snapshot::Snapshot(Snapshot&&) noexcept = default;
 SimCore::Snapshot& SimCore::Snapshot::operator=(Snapshot&&) noexcept = default;
-
-struct SimCore::Impl {
- public:
-  Impl(const Program& program, const EngineConfig& config)
-      : prog_(program),
-        cfg_(config),
-        trace_(config.trace),
-        avail_(config.blackouts != nullptr
-                   ? static_cast<const BlackoutSchedule*>(config.blackouts)
-                   : static_cast<const BlackoutSchedule*>(&no_blackouts_),
-              config.preemption),
-        always_available_(config.blackouts == nullptr) {
-    const int nranks = prog_.ranks();
-    states_.resize(static_cast<std::size_t>(nranks));
-    views_.resize(static_cast<std::size_t>(nranks));
-    if (cfg_.record_op_finish)
-      result_.op_finish_offset.assign(static_cast<std::size_t>(nranks) + 1, 0);
-    // The initial frontier is roughly one ready op per rank; later pushes
-    // grow geometrically, so this one reservation makes queue growth a
-    // non-event on the hot path.
-    queue_.reserve(static_cast<std::size_t>(nranks) + 64);
-    for (RankId r = 0; r < nranks; ++r) {
-      const RankOpsView v = prog_.rank_view(r);
-      views_[static_cast<std::size_t>(r)] = v;
-      auto& st = states_[static_cast<std::size_t>(r)];
-      // Indegrees are not stored in the program (the compact layout keeps
-      // only chain runs + explicit CSR); reconstruct them here.
-      st.indegree.assign(v.count, 0);
-      if (trace_ != nullptr) st.ready_cause.assign(v.count, 0);
-      if (cfg_.record_op_finish)
-        result_.op_finish_offset[static_cast<std::size_t>(r) + 1] =
-            result_.op_finish_offset[static_cast<std::size_t>(r)] + v.count;
-      for (OpIndex i = 0; i < v.count; ++i)
-        for (OpIndex k = 1; k <= v.chain[i]; ++k) ++st.indegree[i + k];
-      for (std::uint32_t e = v.xoff[0]; e < v.xoff[v.count]; ++e)
-        ++st.indegree[v.xsucc[e]];
-      for (OpIndex i = 0; i < v.count; ++i)
-        if (st.indegree[i] == 0) push_ready(0, r, i);
-      total_ops_ += static_cast<std::int64_t>(v.count);
-    }
-    if (cfg_.record_op_finish)
-      result_.op_finish.assign(static_cast<std::size_t>(total_ops_), -1);
-  }
-
-  void run_until(TimeNs t) {
-    while (!queue_.empty() && queue_.top().time <= t) step_one();
-  }
-
-  bool step() {
-    if (queue_.empty()) return false;
-    step_one();
-    return true;
-  }
-
-  bool idle() const { return queue_.empty(); }
-  bool finished() const { return result_.ops_executed == total_ops_; }
-  TimeNs next_event_time() const { return queue_.empty() ? -1 : queue_.top().time; }
-  TimeNs makespan() const { return result_.makespan; }
-  std::int64_t ops_executed() const { return result_.ops_executed; }
-
-  void inject(const Injection& inj) {
-    switch (inj.kind) {
-      case Injection::Kind::kOutage: {
-        auto& st = states_.at(static_cast<std::size_t>(inj.rank));
-        st.cpu_free = std::max(st.cpu_free, inj.until);
-        st.nic_free = std::max(st.nic_free, inj.until);
-        break;
-      }
-      case Injection::Kind::kMessage:
-        push_arrival(inj.time, inj.rank, inj.src, inj.tag, inj.bytes, 0);
-        break;
-    }
-    if (!inj.note.empty()) {
-      // Keep only the most recent few: diagnostics context, not a log.
-      if (notes_.size() >= 8) notes_.erase(notes_.begin());
-      notes_.push_back(inj.note);
-    }
-  }
-
-  Snapshot snapshot() const {
-    Snapshot snap;
-    snap.state_ = std::make_unique<Snapshot::State>();
-    snap.state_->states = states_;
-    snap.state_->queue = queue_;
-    snap.state_->next_seq = next_seq_;
-    snap.state_->heap_peak = heap_peak_;
-    snap.state_->arrival_msg_seq = arrival_msg_seq_;
-    snap.state_->result = result_;
-    snap.state_->notes = notes_;
-    return snap;
-  }
-
-  void restore(const Snapshot& snap) {
-    if (snap.state_ == nullptr)
-      throw std::logic_error("SimCore::restore: empty snapshot");
-    states_ = snap.state_->states;
-    queue_ = snap.state_->queue;
-    next_seq_ = snap.state_->next_seq;
-    heap_peak_ = snap.state_->heap_peak;
-    arrival_msg_seq_ = snap.state_->arrival_msg_seq;
-    result_ = snap.state_->result;
-    notes_ = snap.state_->notes;
-  }
-
-  RunResult take_result() {
-    result_.completed = result_.ops_executed == total_ops_;
-    if (!result_.completed) describe_deadlock();
-    result_.event_heap_peak = static_cast<std::int64_t>(heap_peak_);
-    result_.ranks.reserve(states_.size());
-    for (auto& st : states_) {
-      result_.match_arena_slots +=
-          static_cast<std::int64_t>(st.match_pool.size());
-      result_.ranks.push_back(st.stats);
-    }
-    return std::move(result_);
-  }
-
- private:
-  void step_one() {
-    const Event ev = queue_.top();
-    queue_.pop();
-    ++result_.events_processed;
-    if (!ev.is_arrival()) {
-      execute_op(ev.rank, ev.op, ev.time);
-    } else {
-      handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
-                     trace_ != nullptr ? take_arrival_msg_seq(ev.seq_kind) : 0);
-    }
-  }
-
-  void push_ready(TimeNs t, RankId r, OpIndex i) {
-    Event ev;
-    ev.time = t;
-    ev.seq_kind = next_seq_++ << 1;
-    ev.rank = r;
-    ev.op = i;
-    queue_.push(ev);
-    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
-  }
-
-  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes,
-                    std::uint64_t msg_seq) {
-    Event ev;
-    ev.time = t;
-    ev.seq_kind = (next_seq_++ << 1) | 1;
-    ev.rank = dst;
-    ev.src = src;
-    ev.tag = tag;
-    ev.bytes = bytes;
-    // The kMsgInject trace seq rides in a side table rather than in Event:
-    // growing the priority-queue element would tax the untraced hot path.
-    if (msg_seq != 0) arrival_msg_seq_.emplace(ev.seq_kind, msg_seq);
-    queue_.push(ev);
-    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
-  }
-
-  /// When the rank is always available (no blackout schedule), work finishes
-  /// start + work with no virtual schedule query — the base run of every
-  /// study takes this path for all of its ops.
-  TimeNs finish(RankId r, TimeNs start, TimeNs work) {
-    return always_available_ ? start + work : avail_.finish(r, start, work);
-  }
-
-  std::uint64_t take_arrival_msg_seq(std::uint64_t event_seq) {
-    const auto it = arrival_msg_seq_.find(event_seq);
-    if (it == arrival_msg_seq_.end()) return 0;
-    const std::uint64_t v = it->second;
-    arrival_msg_seq_.erase(it);
-    return v;
-  }
-
-  // --- Tracing (all no-ops unless cfg_.trace is set) ---------------------
-  //
-  // The per-op emission blocks are [[gnu::noinline, gnu::cold]]: inlined into
-  // execute_op/do_match they push those functions past the inliner's budget
-  // and evict the untraced hot path from the instruction cache.
-
-  std::uint64_t emit(TraceEventKind kind, RankId rank, TimeNs t0, TimeNs t1,
-                     TimeNs stall = 0, RankId peer = -1, OpIndex op = kInvalidOp,
-                     Tag tag = 0, Bytes bytes = 0, std::uint64_t ref = 0,
-                     std::uint64_t cause = 0) {
-    TraceEvent ev;
-    ev.ref = ref;
-    ev.cause = cause;
-    ev.t0 = t0;
-    ev.t1 = t1;
-    ev.stall = stall;
-    ev.bytes = bytes;
-    ev.rank = rank;
-    ev.peer = peer;
-    ev.op = op;
-    ev.tag = tag;
-    ev.kind = kind;
-    return trace_->record(ev);
-  }
-
-  /// Emit each blackout interval of `rank` overlapping [from, to) exactly
-  /// once across the whole run (ops sharing a blackout do not duplicate it).
-  void trace_blackouts(RankId r, TimeNs from, TimeNs to) {
-    if (cfg_.blackouts == nullptr) return;
-    auto& traced = states_[static_cast<std::size_t>(r)].blackout_traced;
-    TimeNs t = std::max(from, traced);
-    while (t < to) {
-      const std::optional<Interval> b = cfg_.blackouts->next_blackout(r, t);
-      if (!b.has_value() || b->begin >= to) break;
-      if (b->end > traced) {
-        emit(TraceEventKind::kBlackout, r, b->begin, b->end);
-        traced = b->end;
-      }
-      t = b->end;
-    }
-  }
-
-  void execute_op(RankId r, OpIndex i, TimeNs t) {
-    const OpView op = views_[static_cast<std::size_t>(r)].op(i);
-    auto& st = states_[static_cast<std::size_t>(r)];
-    switch (op.kind) {
-      case OpKind::kCalc: {
-        const TimeNs start = std::max(t, st.cpu_free);
-        const std::uint64_t cause =
-            trace_ != nullptr ? op_cause(st, i, st.cpu_free > t) : 0;
-        const TimeNs end = finish(r, start, op.value);
-        st.cpu_free = end;
-        st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, op.value);
-        ++st.stats.calcs;
-        if (trace_ != nullptr) trace_calc(r, i, start, end, op.value, cause);
-        complete(r, i, end);
-        break;
-      }
-      case OpKind::kSend: {
-        const Bytes bytes = op.value;
-        TimeNs cpu_work = cfg_.net.send_cpu(bytes);
-        if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_send_cpu(r, op.peer, bytes);
-        const TimeNs s0 = std::max({t, st.cpu_free, st.nic_free});
-        const std::uint64_t cause =
-            trace_ != nullptr ? op_cause(st, i, s0 > t) : 0;
-        const TimeNs end = finish(r, s0, cpu_work);
-        st.cpu_free = end;
-        st.nic_free = end + cfg_.net.nic_gap(bytes);
-        st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
-        ++st.stats.sends;
-        st.stats.bytes_sent = saturating_add(st.stats.bytes_sent, bytes);
-
-        // Eager: payload leaves at `end`. Rendezvous: a zero-byte RTS leaves
-        // at `end`; the payload path is computed at match time.
-        TimeNs arrival = cfg_.net.rendezvous(bytes) ? end + cfg_.net.L
-                                                    : end + cfg_.net.wire_time(bytes);
-        // Per-channel FIFO (MPI non-overtaking).
-        auto& dst_state = states_[static_cast<std::size_t>(op.peer)];
-        TimeNs& last = dst_state.chan_last_arrival[static_cast<std::uint64_t>(
-            static_cast<std::uint32_t>(r))];
-        arrival = std::max(arrival, last);
-        last = arrival;
-        std::uint64_t msg_seq = 0;
-        if (trace_ != nullptr)
-          msg_seq = trace_send(r, i, op, s0, end, cpu_work, arrival, bytes, cause);
-        push_arrival(arrival, op.peer, r, op.tag, bytes, msg_seq);
-        complete(r, i, end);
-        break;
-      }
-      case OpKind::kRecv: {
-        auto& mq = st.match(match_key(op.peer, op.tag));
-        if (!mq.arrived.empty()) {
-          do_match(r, i, t, mq.arrived.pop());
-        } else {
-          mq.posted.push(PostedRecv{i, t});
-        }
-        break;
-      }
-    }
-  }
-
-  void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t,
-                      std::uint64_t msg_seq) {
-    auto& st = states_[static_cast<std::size_t>(dst)];
-    auto& mq = st.match(match_key(src, tag));
-    if (!mq.posted.empty()) {
-      const PostedRecv pr = mq.posted.pop();
-      do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes, msg_seq});
-    } else {
-      mq.arrived.push(ArrivedMsg{t, bytes, msg_seq});
-    }
-  }
-
-  void do_match(RankId r, OpIndex i, TimeNs post_time, const ArrivedMsg& msg) {
-    const OpView op = views_[static_cast<std::size_t>(r)].op(i);
-    auto& st = states_[static_cast<std::size_t>(r)];
-    TimeNs data_arrival = msg.arrival;
-    const bool rendezvous = cfg_.net.rendezvous(msg.bytes);
-    if (rendezvous) {
-      // msg.arrival is the RTS arrival; the payload moves only after both
-      // sides are ready, plus the CTS round trip and re-injection.
-      const TimeNs m = std::max(post_time, msg.arrival);
-      data_arrival = m + cfg_.net.control_time() + cfg_.net.o + cfg_.net.wire_time(msg.bytes) - cfg_.net.L
-                     + cfg_.net.L;  // = m + (o+L) + o + L + G*bytes
-    }
-    TimeNs cpu_work = cfg_.net.recv_cpu(msg.bytes);
-    if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_recv_cpu(op.peer, r, msg.bytes);
-    const TimeNs start = std::max(data_arrival, st.cpu_free);
-    std::uint64_t cause = 0;
-    if (trace_ != nullptr) {
-      // Binding constraint on the recv's start: the previous op holding the
-      // CPU, our own late post (rendezvous handshake anchored at post_time),
-      // or the message itself (its kMsgInject; 0 for injected messages).
-      if (st.cpu_free > data_arrival && st.last_op_seq != 0)
-        cause = st.last_op_seq;
-      else if (rendezvous && post_time > msg.arrival)
-        cause = st.ready_cause[i];
-      else
-        cause = msg.msg_seq;
-    }
-    const TimeNs end = finish(r, start, cpu_work);
-    st.cpu_free = end;
-    st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
-    ++st.stats.recvs;
-    if (data_arrival > post_time)
-      st.stats.recv_wait =
-          saturating_add(st.stats.recv_wait, data_arrival - post_time);
-    if (trace_ != nullptr)
-      trace_match(r, i, op, post_time, msg, data_arrival, rendezvous, start,
-                  end, cpu_work, cause);
-    complete(r, i, end);
-  }
-
-  /// Tracing only: seq of the event whose completion bound an op's start.
-  /// `resource_bound` means a rank-local clock (CPU/NIC) pushed the start
-  /// past the op's ready time; the binder is then the rank's previous op
-  /// event. When no such event exists (an injected outage moved the clocks
-  /// without a trace record), fall back to the program-order predecessor so
-  /// the walk classifies the unexplained gap as wait time.
-  std::uint64_t op_cause(const RankState& st, OpIndex i, bool resource_bound) const {
-    if (resource_bound && st.last_op_seq != 0) return st.last_op_seq;
-    return st.ready_cause[i];
-  }
-
-  [[gnu::noinline, gnu::cold]] void trace_calc(RankId r, OpIndex i, TimeNs start,
-                                               TimeNs end, TimeNs work,
-                                               std::uint64_t cause) {
-    trace_blackouts(r, start, end);
-    auto& st = states_[static_cast<std::size_t>(r)];
-    st.last_op_seq = emit(TraceEventKind::kCalc, r, start, end,
-                          end - start - work, /*peer=*/-1, i,
-                          /*tag=*/0, /*bytes=*/0, /*ref=*/0, cause);
-  }
-
-  [[gnu::noinline, gnu::cold]] std::uint64_t trace_send(RankId r, OpIndex i,
-                                                        const OpView& op, TimeNs s0,
-                                                        TimeNs end, TimeNs cpu_work,
-                                                        TimeNs arrival, Bytes bytes,
-                                                        std::uint64_t cause) {
-    trace_blackouts(r, s0, end);
-    auto& st = states_[static_cast<std::size_t>(r)];
-    const std::uint64_t send_seq =
-        emit(TraceEventKind::kSendOp, r, s0, end, end - s0 - cpu_work, op.peer,
-             i, op.tag, bytes, /*ref=*/0, cause);
-    st.last_op_seq = send_seq;
-    const std::uint64_t msg_seq =
-        emit(TraceEventKind::kMsgInject, r, end, arrival, 0, op.peer, i,
-             op.tag, bytes, /*ref=*/0, send_seq);
-    if (cfg_.net.rendezvous(bytes))
-      emit(TraceEventKind::kRts, r, end, arrival, 0, op.peer, i, op.tag, bytes,
-           /*ref=*/0, send_seq);
-    return msg_seq;
-  }
-
-  [[gnu::noinline, gnu::cold]] void trace_match(RankId r, OpIndex i, const OpView& op,
-                                                TimeNs post_time,
-                                                const ArrivedMsg& msg,
-                                                TimeNs data_arrival, bool rendezvous,
-                                                TimeNs start, TimeNs end,
-                                                TimeNs cpu_work, std::uint64_t cause) {
-    trace_blackouts(r, start, end);
-    auto& st = states_[static_cast<std::size_t>(r)];
-    if (rendezvous)
-      emit(TraceEventKind::kCts, r, std::max(post_time, msg.arrival),
-           data_arrival, 0, op.peer, i, op.tag, msg.bytes, msg.msg_seq);
-    emit(TraceEventKind::kMsgDeliver, r, data_arrival, data_arrival, 0, op.peer,
-         i, op.tag, msg.bytes, msg.msg_seq);
-    if (data_arrival > post_time)
-      emit(TraceEventKind::kRecvWait, r, post_time, data_arrival, 0, op.peer, i,
-           op.tag, msg.bytes, msg.msg_seq);
-    st.last_op_seq = emit(TraceEventKind::kRecvOp, r, start, end,
-                          end - start - cpu_work, op.peer, i, op.tag,
-                          msg.bytes, msg.msg_seq, cause);
-  }
-
-  void complete(RankId r, OpIndex i, TimeNs t) {
-    auto& st = states_[static_cast<std::size_t>(r)];
-    ++result_.ops_executed;
-    st.stats.finish_time = std::max(st.stats.finish_time, t);
-    result_.makespan = std::max(result_.makespan, t);
-    if (cfg_.record_op_finish)
-      result_.op_finish[result_.op_finish_offset[static_cast<std::size_t>(r)] + i] = t;
-    const bool tracing = trace_ != nullptr;
-    views_[static_cast<std::size_t>(r)].for_each_successor(i, [&](OpIndex v) {
-      assert(st.indegree[v] > 0);
-      if (--st.indegree[v] == 0) {
-        // The op event just emitted for `i` is what made `v` ready.
-        if (tracing) st.ready_cause[v] = st.last_op_seq;
-        push_ready(t, r, v);
-      }
-    });
-  }
-
-  void describe_deadlock() {
-    std::string msg = "deadlock: unexecuted operations remain;";
-    int shown = 0;
-    for (RankId r = 0; r < prog_.ranks() && shown < 8; ++r) {
-      const auto& st = states_[static_cast<std::size_t>(r)];
-      std::int64_t pending_recvs = 0;
-      for (const MatchQueues& mq : st.match_pool)
-        pending_recvs += static_cast<std::int64_t>(mq.posted.size());
-      if (pending_recvs > 0) {
-        msg += " rank " + std::to_string(r) + " has " +
-               std::to_string(pending_recvs) + " unmatched recv(s);";
-        ++shown;
-      }
-    }
-    // A wedged injected run (failure modeling) is far easier to diagnose
-    // with the failure context than with the unmatched-recv counts alone.
-    if (!notes_.empty()) {
-      msg += " injected-failure context:";
-      for (const std::string& note : notes_) msg += " [" + note + "]";
-    }
-    result_.error = msg;
-  }
-
-  const Program& prog_;
-  const EngineConfig& cfg_;
-  TraceSink* const trace_;
-  NoBlackouts no_blackouts_;
-  Availability avail_;
-  const bool always_available_;
-  std::vector<RankState> states_;
-  std::vector<RankOpsView> views_;
-  DaryHeap<Event, EventEarlier, 4> queue_;
-  std::uint64_t next_seq_ = 0;
-  std::size_t heap_peak_ = 0;  // pending-event high-water (self-telemetry)
-  std::int64_t total_ops_ = 0;
-  // Event seq of an in-flight arrival -> trace seq of its kMsgInject.
-  // Populated only while tracing; empty (and untouched) otherwise.
-  std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq_;
-  // Injection context (failure rank/time/recovery), for deadlock diagnostics.
-  std::vector<std::string> notes_;
-  RunResult result_;
-};
 
 SimCore::SimCore(const Program& program, const EngineConfig& config) {
   if (!program.finalized())
@@ -645,13 +55,33 @@ TimeNs SimCore::next_event_time() const { return impl_->next_event_time(); }
 TimeNs SimCore::makespan() const { return impl_->makespan(); }
 std::int64_t SimCore::ops_executed() const { return impl_->ops_executed(); }
 void SimCore::inject(const Injection& injection) { impl_->inject(injection); }
-SimCore::Snapshot SimCore::snapshot() const { return impl_->snapshot(); }
-void SimCore::restore(const Snapshot& snap) { impl_->restore(snap); }
+
+SimCore::Snapshot SimCore::snapshot() const {
+  Snapshot snap;
+  snap.state_ = std::make_unique<Snapshot::State>();
+  snap.state_->core = impl_->save();
+  return snap;
+}
+
+void SimCore::restore(const Snapshot& snap) {
+  if (snap.state_ == nullptr)
+    throw std::logic_error("SimCore::restore: empty snapshot");
+  impl_->load(snap.state_->core);
+}
+
 RunResult SimCore::take_result() { return impl_->take_result(); }
 
 RunResult Engine::run(const Program& program, const EngineConfig& config) const {
   if (!program.finalized())
     throw std::logic_error("Engine::run requires a finalized Program");
+  // Sharded path: sound only with positive lookahead (net.L >= 1ns) and
+  // more than one rank to partition; otherwise fall back to the serial core,
+  // which produces the identical result either way.
+  if (config.shards > 1 && config.net.L >= 1 && program.ranks() > 1) {
+    ParEngine engine(program, config);
+    engine.run_until(std::numeric_limits<TimeNs>::max());
+    return engine.take_result();
+  }
   SimCore core(program, config);
   core.run_until(std::numeric_limits<TimeNs>::max());
   return core.take_result();

@@ -70,6 +70,13 @@ struct EngineConfig {
   /// records op, message, rendezvous, blackout, and recv-wait events into
   /// it; when null, tracing costs nothing on the hot path.
   TraceSink* trace = nullptr;
+  /// Conservative-PDES shard count (see sim/par_engine.hpp). 1 = the serial
+  /// SimCore path, byte-for-byte unchanged. N > 1 partitions ranks into N
+  /// contiguous shards advanced in bounded-window supersteps; the merged
+  /// output is byte-identical to shards = 1 for any N. Engine::run falls
+  /// back to the serial path when net.L < 1 (zero lookahead: a cross-rank
+  /// message could arrive the instant it is sent, so no window is sound).
+  int shards = 1;
 };
 
 /// Per-rank accounting.
@@ -113,6 +120,17 @@ struct RunResult {
   std::vector<TimeNs> op_finish;
   std::vector<std::uint64_t> op_finish_offset;  ///< ranks + 1 entries when recorded.
   std::string error;  ///< Deadlock diagnostics when !completed.
+
+  /// PDES self-telemetry, filled only by the sharded engine (all zero for
+  /// serial runs). These describe the *execution strategy*, not the
+  /// simulated system, and may legitimately differ across shard counts —
+  /// publish them to the telemetry side channel, never to byte-compared
+  /// metrics (every field above this block is shards-invariant).
+  std::int64_t pdes_shards = 0;       ///< Shard count actually used.
+  TimeNs pdes_window = 0;             ///< Conservative lookahead window (ns).
+  std::int64_t pdes_supersteps = 0;   ///< Bounded-window barriers executed.
+  std::int64_t pdes_shard_heap_peak = 0;  ///< Max per-shard event-heap high-water.
+  std::int64_t pdes_lane_peak = 0;    ///< Max cross-shard lane occupancy at a barrier.
 
   bool has_op_finish() const { return !op_finish_offset.empty(); }
   OpFinishView op_finish_of(RankId r) const {
@@ -171,7 +189,10 @@ class SimCore {
   SimCore(SimCore&&) noexcept;
   SimCore& operator=(SimCore&&) noexcept;
 
-  /// Process every pending event with time <= t, in (time, seq) order.
+  /// Process every pending event with time <= t, in (time, rank, key)
+  /// order — a strict total order computed from event content alone, so the
+  /// realized event sequence is independent of heap history (the property
+  /// the sharded engine's byte-identity rests on; see engine_detail.hpp).
   void run_until(TimeNs t);
 
   /// Process the single earliest pending event. False when idle.

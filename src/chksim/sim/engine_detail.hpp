@@ -1,0 +1,771 @@
+// Internal machinery shared by the serial SimCore and the sharded ParEngine.
+//
+// The discrete-event core here executes a contiguous *rank range* of a
+// Program: the serial engine instantiates one core over [0, ranks) and the
+// parallel engine one per shard. Two representation choices make a sharded
+// run byte-identical to the serial run (see sim/par_engine.hpp):
+//
+//  * Content-keyed event order. The pending-event comparator is
+//    (time, rank, key2) where key2 is a pure function of the event itself —
+//    ready events order by op index, arrivals by (source, per-sender message
+//    number). No push-sequence counter appears anywhere, so the pop order of
+//    a rank's events does not depend on *when* the events entered the heap.
+//    A shard that learns about a cross-shard arrival at a window barrier
+//    therefore pops it exactly where the serial engine (which pushed it at
+//    send time) would have.
+//
+//  * Sender-side channel state. The MPI non-overtaking clamp (per-channel
+//    last-arrival time) lives on the *sending* rank keyed by destination,
+//    together with the sender's message counter. Processing an event then
+//    touches only the owning rank's state, so shards can advance their rank
+//    ranges concurrently with no cross-shard writes; cross-range sends are
+//    appended to an outgoing lane instead of pushed into a peer heap.
+//
+// Everything in this header is an implementation detail: the public
+// interfaces are sim::SimCore / sim::Engine (engine.hpp) and sim::ParEngine
+// (par_engine.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chksim/sim/availability.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/support/dary_heap.hpp"
+#include "chksim/support/flat_map.hpp"
+
+namespace chksim::sim::detail {
+
+/// One pending event, packed to 40 bytes: the heap moves events around on
+/// every sift, so element size is hot. The kind rides in key2's top bit, and
+/// the kReady-only / kArrival-only fields share storage.
+struct Event {
+  TimeNs time = 0;
+  std::uint64_t key2 = 0;      // content key; see ready_key / arrival_key
+  Bytes bytes = 0;             // kArrival payload size
+  RankId rank = -1;            // kReady: executing rank; kArrival: destination
+  union {
+    OpIndex op = kInvalidOp;   // kReady
+    RankId src;                // kArrival
+  };
+  Tag tag = 0;                 // kArrival
+
+  bool is_arrival() const { return (key2 >> 63) != 0; }
+};
+
+constexpr std::uint64_t kArrivalBit = std::uint64_t{1} << 63;
+
+/// Ordering key of an injected (out-of-band) arrival: the source field sorts
+/// after every real rank (RankId is a non-negative int32, so real sources
+/// are < 0x7FFFFFFF), and same-time injections to one rank order by
+/// injection count — i.e. by inject() call order, which both engines see
+/// identically because injections only happen while the core is paused.
+constexpr std::uint64_t kInjectedSrc = 0x7FFFFFFFull;
+
+inline std::uint64_t ready_key(OpIndex op) {
+  return static_cast<std::uint32_t>(op);
+}
+
+/// (source, per-sender message number). The counter is per *sender*, not per
+/// channel, which makes the key globally unique per message (one send = one
+/// arrival) — the trace side table below relies on that — while still
+/// increasing along every (src, dst) channel, so same-time arrivals on one
+/// channel keep their FIFO send order. 32 bits of counter allow 4 G sends
+/// per rank, far beyond any feasible run length.
+inline std::uint64_t arrival_key(std::uint64_t src, std::uint64_t msg_count) {
+  return kArrivalBit | (src << 32) | (msg_count & 0xFFFFFFFFull);
+}
+
+/// Strict total order (time, rank, key2) over all events of a run. Every
+/// component is a function of the event's content, so any two heaps holding
+/// the same set of events pop them in the same order regardless of the
+/// pushes' history — the property the sharded engine's determinism rests on.
+/// Equal-time ties break by rank; a pop can only create same-time events on
+/// its own rank (cross-rank arrivals lag by at least L > 0), so the realized
+/// global order visits same-time ranks in increasing order, one contiguous
+/// group per rank.
+struct EventEarlier {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.key2 < b.key2;
+  }
+};
+
+struct PostedRecv {
+  OpIndex op;
+  TimeNs post_time;
+};
+
+struct ArrivedMsg {
+  TimeNs arrival;
+  Bytes bytes;
+  std::uint64_t msg_seq = 0;  // tracing only
+};
+
+// Match key: (source rank, tag) packed into 64 bits.
+inline std::uint64_t match_key(RankId src, Tag tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+/// Compact FIFO. std::deque is unsuitable here: libstdc++ allocates a 512 B
+/// chunk per deque even when empty, and simulations at scale hold millions
+/// of (mostly empty) match queues.
+///
+/// Two properties matter on the hot path:
+///  * the first two elements live inline — in the dominant pattern (one
+///    message, one receive per (src, tag) key) a queue never heap-allocates;
+///  * the consumed prefix of the spill vector is reclaimed: on full drain the
+///    backing vector is released, and while non-empty the head indices are
+///    recycled once they dominate the storage. Without the latter, a queue
+///    that never fully drains (producer steadily ahead of its consumer)
+///    holds every element it ever saw until the end of the run.
+template <typename T>
+class CompactFifo {
+ public:
+  bool empty() const { return inline_head_ == inline_count_ && spill_empty(); }
+
+  void push(T v) {
+    if (spill_empty() && inline_count_ < kInline) {
+      inline_[inline_count_++] = std::move(v);
+      return;
+    }
+    spill_.push_back(std::move(v));
+  }
+
+  T pop() {
+    if (inline_head_ < inline_count_) {
+      T v = std::move(inline_[inline_head_++]);
+      if (inline_head_ == inline_count_) inline_head_ = inline_count_ = 0;
+      return v;
+    }
+    T v = std::move(spill_[spill_head_++]);
+    if (spill_head_ == spill_.size()) {
+      spill_.clear();
+      spill_head_ = 0;
+      if (spill_.capacity() > 64) spill_.shrink_to_fit();
+    } else if (spill_head_ >= 32 && spill_head_ * 2 >= spill_.size()) {
+      spill_.erase(spill_.begin(),
+                   spill_.begin() + static_cast<std::ptrdiff_t>(spill_head_));
+      spill_head_ = 0;
+    }
+    return v;
+  }
+
+  std::size_t size() const {
+    return (inline_count_ - inline_head_) + (spill_.size() - spill_head_);
+  }
+
+ private:
+  static constexpr std::uint8_t kInline = 2;
+
+  bool spill_empty() const { return spill_head_ == spill_.size(); }
+
+  T inline_[kInline]{};
+  std::uint8_t inline_head_ = 0;
+  std::uint8_t inline_count_ = 0;
+  std::vector<T> spill_;
+  std::size_t spill_head_ = 0;
+};
+
+struct MatchQueues {
+  CompactFifo<PostedRecv> posted;
+  CompactFifo<ArrivedMsg> arrived;
+};
+
+struct RankState {
+  TimeNs cpu_free = 0;
+  TimeNs nic_free = 0;
+  std::vector<std::uint32_t> indegree;
+  // Match state arena: the flat index maps (src, tag) to slot + 1 in the
+  // pool (0 = unassigned), so rehashes shuffle 16-byte entries while the
+  // queues themselves stay put in one contiguous allocation.
+  FlatMap<std::uint64_t, std::uint32_t> match_index;
+  std::vector<MatchQueues> match_pool;
+  // Per-destination FIFO clamp (MPI non-overtaking), kept on the *sender* so
+  // a send never writes another rank's state (shard independence).
+  FlatMap<std::uint64_t, TimeNs> chan_last_arrival;
+  std::uint64_t msg_count = 0;  // sends issued by this rank (arrival_key)
+  std::uint64_t inj_count = 0;  // injected arrivals targeting this rank
+  RankStats stats;
+  TimeNs blackout_traced = 0;  // tracing only: blackout intervals emitted up to here
+  // Tracing only: trace seq of the rank's most recent op event, and per-op
+  // the seq of the same-rank predecessor op event whose completion made the
+  // op ready. Together these let the engine stamp TraceEvent::cause (the
+  // binding start constraint) without any search at emission time.
+  std::uint64_t last_op_seq = 0;
+  std::vector<std::uint64_t> ready_cause;
+
+  MatchQueues& match(std::uint64_t key) {
+    std::uint32_t& slot = match_index[key];
+    if (slot == 0) {
+      match_pool.emplace_back();
+      slot = static_cast<std::uint32_t>(match_pool.size());
+    }
+    return match_pool[slot - 1];
+  }
+};
+
+/// A cross-shard message parked in its source shard's outgoing lane between
+/// window barriers. Carries the arrival's full content (including its
+/// ordering key, fixed at send time) plus the provisional trace seq of its
+/// kMsgInject when tracing.
+struct LaneMsg {
+  TimeNs arrival = 0;
+  Bytes bytes = 0;
+  RankId dst = -1;
+  RankId src = -1;
+  Tag tag = 0;
+  std::uint64_t key2 = 0;
+  std::uint64_t msg_seq = 0;
+};
+
+/// One processed event, as recorded for the barrier merge: enough to
+/// reconstruct the serial engine's realized pop order ((time, rank, key2)
+/// streams merged across shards), its heap-size trajectory (pushes per pop),
+/// and the serial trace numbering (trace events emitted per pop).
+struct PopRecord {
+  TimeNs time = 0;
+  std::uint64_t key2 = 0;
+  RankId rank = -1;
+  std::uint32_t pushes = 0;  // serial-equivalent heap pushes (local + lane)
+  std::uint32_t traces = 0;  // trace events emitted during this pop
+};
+
+/// The event-processing core over ranks [lo, hi) of a finalized Program.
+/// All members are public: this is a detail type driven by SimCore (one core
+/// spanning every rank, lanes never used) and ParEngine (one per shard, with
+/// pop recording on).
+class CoreImpl {
+ public:
+  CoreImpl(const Program& program, const EngineConfig& config, RankId lo,
+           RankId hi, TraceSink* trace)
+      : prog_(program),
+        cfg_(config),
+        trace_(trace),
+        avail_(config.blackouts != nullptr
+                   ? static_cast<const BlackoutSchedule*>(config.blackouts)
+                   : static_cast<const BlackoutSchedule*>(&no_blackouts_),
+               config.preemption),
+        always_available_(config.blackouts == nullptr),
+        lo_(lo),
+        hi_(hi) {
+    const std::size_t nlocal = static_cast<std::size_t>(hi - lo);
+    states_.resize(nlocal);
+    views_.resize(nlocal);
+    if (cfg_.record_op_finish)
+      result_.op_finish_offset.assign(nlocal + 1, 0);
+    // The initial frontier is roughly one ready op per rank; later pushes
+    // grow geometrically, so this one reservation makes queue growth a
+    // non-event on the hot path.
+    queue_.reserve(nlocal + 64);
+    for (RankId r = lo; r < hi; ++r) {
+      const std::size_t i = static_cast<std::size_t>(r - lo);
+      const RankOpsView v = prog_.rank_view(r);
+      views_[i] = v;
+      auto& st = states_[i];
+      // Indegrees are not stored in the program (the compact layout keeps
+      // only chain runs + explicit CSR); reconstruct them here.
+      st.indegree.assign(v.count, 0);
+      if (trace_ != nullptr) st.ready_cause.assign(v.count, 0);
+      if (cfg_.record_op_finish)
+        result_.op_finish_offset[i + 1] = result_.op_finish_offset[i] + v.count;
+      for (OpIndex op = 0; op < v.count; ++op)
+        for (OpIndex k = 1; k <= v.chain[op]; ++k) ++st.indegree[op + k];
+      for (std::uint32_t e = v.xoff[0]; e < v.xoff[v.count]; ++e)
+        ++st.indegree[v.xsucc[e]];
+      for (OpIndex op = 0; op < v.count; ++op)
+        if (st.indegree[op] == 0) push_ready(0, r, op);
+      total_ops_ += static_cast<std::int64_t>(v.count);
+    }
+    if (cfg_.record_op_finish)
+      result_.op_finish.assign(
+          static_cast<std::size_t>(result_.op_finish_offset.back()), -1);
+  }
+
+  void run_until(TimeNs t) {
+    while (!queue_.empty() && queue_.top().time <= t) step_one();
+  }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    step_one();
+    return true;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  bool finished() const { return result_.ops_executed == total_ops_; }
+  TimeNs next_event_time() const { return queue_.empty() ? -1 : queue_.top().time; }
+  const Event* peek() const { return queue_.empty() ? nullptr : &queue_.top(); }
+  TimeNs makespan() const { return result_.makespan; }
+  std::int64_t ops_executed() const { return result_.ops_executed; }
+
+  void inject(const Injection& inj) {
+    switch (inj.kind) {
+      case Injection::Kind::kOutage: {
+        auto& st = state(inj.rank);
+        st.cpu_free = std::max(st.cpu_free, inj.until);
+        st.nic_free = std::max(st.nic_free, inj.until);
+        break;
+      }
+      case Injection::Kind::kMessage: {
+        auto& st = state(inj.rank);
+        push_arrival(inj.time, inj.rank, inj.src, inj.tag, inj.bytes,
+                     arrival_key(kInjectedSrc, st.inj_count++), 0);
+        break;
+      }
+    }
+    if (!inj.note.empty()) {
+      // Keep only the most recent few: diagnostics context, not a log.
+      if (notes_.size() >= 8) notes_.erase(notes_.begin());
+      notes_.push_back(inj.note);
+    }
+  }
+
+  /// Everything a snapshot captures: the mutable half of this class. The
+  /// immutable half (program views, config, availability) is reconstructible
+  /// from the core and deliberately not copied. Lanes, pop records, and
+  /// pending trace buffers are empty whenever a snapshot is legal (the core
+  /// is paused and, under ParEngine, barrier-merged), so they need no slots.
+  struct SnapState {
+    std::vector<RankState> states;
+    DaryHeap<Event, EventEarlier, 4> queue;
+    std::size_t heap_peak = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq;
+    RunResult result;
+    std::vector<std::string> notes;
+  };
+
+  SnapState save() const {
+    SnapState s;
+    s.states = states_;
+    s.queue = queue_;
+    s.heap_peak = heap_peak_;
+    s.arrival_msg_seq = arrival_msg_seq_;
+    s.result = result_;
+    s.notes = notes_;
+    return s;
+  }
+
+  void load(const SnapState& s) {
+    assert(lane_.empty() && pops_.empty());
+    states_ = s.states;
+    queue_ = s.queue;
+    heap_peak_ = s.heap_peak;
+    arrival_msg_seq_ = s.arrival_msg_seq;
+    result_ = s.result;
+    notes_ = s.notes;
+  }
+
+  /// Serial finish accounting; ParEngine assembles its merged RunResult from
+  /// the shard members directly instead (par_engine.cpp).
+  RunResult take_result() {
+    result_.completed = result_.ops_executed == total_ops_;
+    if (!result_.completed) {
+      std::string msg = "deadlock: unexecuted operations remain;";
+      int shown = 0;
+      append_deadlock_ranks(msg, shown);
+      append_deadlock_notes(msg);
+      result_.error = std::move(msg);
+    }
+    result_.event_heap_peak = static_cast<std::int64_t>(heap_peak_);
+    result_.ranks.reserve(states_.size());
+    for (auto& st : states_) {
+      result_.match_arena_slots +=
+          static_cast<std::int64_t>(st.match_pool.size());
+      result_.ranks.push_back(st.stats);
+    }
+    return std::move(result_);
+  }
+
+  /// Per-rank deadlock diagnostics over this core's range, appended in rank
+  /// order until `shown` reaches the cap (shared across shards).
+  void append_deadlock_ranks(std::string& msg, int& shown) const {
+    for (RankId r = lo_; r < hi_ && shown < 8; ++r) {
+      const auto& st = states_[static_cast<std::size_t>(r - lo_)];
+      std::int64_t pending_recvs = 0;
+      for (const MatchQueues& mq : st.match_pool)
+        pending_recvs += static_cast<std::int64_t>(mq.posted.size());
+      if (pending_recvs > 0) {
+        msg += " rank " + std::to_string(r) + " has " +
+               std::to_string(pending_recvs) + " unmatched recv(s);";
+        ++shown;
+      }
+    }
+  }
+
+  // A wedged injected run (failure modeling) is far easier to diagnose
+  // with the failure context than with the unmatched-recv counts alone.
+  void append_deadlock_notes(std::string& msg) const {
+    if (notes_.empty()) return;
+    msg += " injected-failure context:";
+    for (const std::string& note : notes_) msg += " [" + note + "]";
+  }
+
+  /// Barrier delivery of a cross-shard message into this core's heap. Not
+  /// counted as a push in the pop records: the sending pop already did.
+  void deliver(const LaneMsg& m) {
+    Event ev;
+    ev.time = m.arrival;
+    ev.key2 = m.key2;
+    ev.rank = m.dst;
+    ev.src = m.src;
+    ev.tag = m.tag;
+    ev.bytes = m.bytes;
+    if (m.msg_seq != 0) arrival_msg_seq_.emplace(m.key2, m.msg_seq);
+    queue_.push(ev);
+    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
+  }
+
+  RankState& state(RankId r) {
+    assert(r >= lo_ && r < hi_);
+    return states_[static_cast<std::size_t>(r - lo_)];
+  }
+
+ private:
+  void step_one() {
+    const Event ev = queue_.top();
+    queue_.pop();
+    ++result_.events_processed;
+    if (!record_pops_) {
+      dispatch(ev);
+      return;
+    }
+    pop_pushes_ = 0;
+    const std::uint64_t emits = emit_count_;
+    dispatch(ev);
+    pops_.push_back(PopRecord{ev.time, ev.key2, ev.rank, pop_pushes_,
+                              static_cast<std::uint32_t>(emit_count_ - emits)});
+  }
+
+  void dispatch(const Event& ev) {
+    if (!ev.is_arrival()) {
+      execute_op(ev.rank, ev.op, ev.time);
+    } else {
+      handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
+                     trace_ != nullptr ? take_arrival_msg_seq(ev.key2) : 0);
+    }
+  }
+
+  void push_ready(TimeNs t, RankId r, OpIndex i) {
+    Event ev;
+    ev.time = t;
+    ev.key2 = ready_key(i);
+    ev.rank = r;
+    ev.op = i;
+    queue_.push(ev);
+    ++pop_pushes_;
+    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
+  }
+
+  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes,
+                    std::uint64_t key2, std::uint64_t msg_seq) {
+    Event ev;
+    ev.time = t;
+    ev.key2 = key2;
+    ev.rank = dst;
+    ev.src = src;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    // The kMsgInject trace seq rides in a side table rather than in Event:
+    // growing the priority-queue element would tax the untraced hot path.
+    // arrival_key is globally unique per message, so key2 indexes it.
+    if (msg_seq != 0) arrival_msg_seq_.emplace(key2, msg_seq);
+    queue_.push(ev);
+    ++pop_pushes_;
+    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
+  }
+
+  /// When the rank is always available (no blackout schedule), work finishes
+  /// start + work with no virtual schedule query — the base run of every
+  /// study takes this path for all of its ops.
+  TimeNs finish(RankId r, TimeNs start, TimeNs work) {
+    return always_available_ ? start + work : avail_.finish(r, start, work);
+  }
+
+  std::uint64_t take_arrival_msg_seq(std::uint64_t key2) {
+    const auto it = arrival_msg_seq_.find(key2);
+    if (it == arrival_msg_seq_.end()) return 0;
+    const std::uint64_t v = it->second;
+    arrival_msg_seq_.erase(it);
+    return v;
+  }
+
+  // --- Tracing (all no-ops unless trace_ is set) -------------------------
+  //
+  // The per-op emission blocks are [[gnu::noinline, gnu::cold]]: inlined into
+  // execute_op/do_match they push those functions past the inliner's budget
+  // and evict the untraced hot path from the instruction cache.
+
+  std::uint64_t emit(TraceEventKind kind, RankId rank, TimeNs t0, TimeNs t1,
+                     TimeNs stall = 0, RankId peer = -1, OpIndex op = kInvalidOp,
+                     Tag tag = 0, Bytes bytes = 0, std::uint64_t ref = 0,
+                     std::uint64_t cause = 0) {
+    TraceEvent ev;
+    ev.ref = ref;
+    ev.cause = cause;
+    ev.t0 = t0;
+    ev.t1 = t1;
+    ev.stall = stall;
+    ev.bytes = bytes;
+    ev.rank = rank;
+    ev.peer = peer;
+    ev.op = op;
+    ev.tag = tag;
+    ev.kind = kind;
+    ++emit_count_;
+    return trace_->record(ev);
+  }
+
+  /// Emit each blackout interval of `rank` overlapping [from, to) exactly
+  /// once across the whole run (ops sharing a blackout do not duplicate it).
+  void trace_blackouts(RankId r, TimeNs from, TimeNs to) {
+    if (cfg_.blackouts == nullptr) return;
+    auto& traced = state(r).blackout_traced;
+    TimeNs t = std::max(from, traced);
+    while (t < to) {
+      const std::optional<Interval> b = cfg_.blackouts->next_blackout(r, t);
+      if (!b.has_value() || b->begin >= to) break;
+      if (b->end > traced) {
+        emit(TraceEventKind::kBlackout, r, b->begin, b->end);
+        traced = b->end;
+      }
+      t = b->end;
+    }
+  }
+
+  void execute_op(RankId r, OpIndex i, TimeNs t) {
+    const OpView op = views_[static_cast<std::size_t>(r - lo_)].op(i);
+    auto& st = state(r);
+    switch (op.kind) {
+      case OpKind::kCalc: {
+        const TimeNs start = std::max(t, st.cpu_free);
+        const std::uint64_t cause =
+            trace_ != nullptr ? op_cause(st, i, st.cpu_free > t) : 0;
+        const TimeNs end = finish(r, start, op.value);
+        st.cpu_free = end;
+        st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, op.value);
+        ++st.stats.calcs;
+        if (trace_ != nullptr) trace_calc(r, i, start, end, op.value, cause);
+        complete(r, i, end);
+        break;
+      }
+      case OpKind::kSend: {
+        const Bytes bytes = op.value;
+        TimeNs cpu_work = cfg_.net.send_cpu(bytes);
+        if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_send_cpu(r, op.peer, bytes);
+        const TimeNs s0 = std::max({t, st.cpu_free, st.nic_free});
+        const std::uint64_t cause =
+            trace_ != nullptr ? op_cause(st, i, s0 > t) : 0;
+        const TimeNs end = finish(r, s0, cpu_work);
+        st.cpu_free = end;
+        st.nic_free = end + cfg_.net.nic_gap(bytes);
+        st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
+        ++st.stats.sends;
+        st.stats.bytes_sent = saturating_add(st.stats.bytes_sent, bytes);
+
+        // Eager: payload leaves at `end`. Rendezvous: a zero-byte RTS leaves
+        // at `end`; the payload path is computed at match time.
+        TimeNs arrival = cfg_.net.rendezvous(bytes) ? end + cfg_.net.L
+                                                    : end + cfg_.net.wire_time(bytes);
+        // Per-channel FIFO (MPI non-overtaking), sender-side.
+        TimeNs& last = st.chan_last_arrival[static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(op.peer))];
+        arrival = std::max(arrival, last);
+        last = arrival;
+        const std::uint64_t key2 =
+            arrival_key(static_cast<std::uint32_t>(r), ++st.msg_count);
+        std::uint64_t msg_seq = 0;
+        if (trace_ != nullptr)
+          msg_seq = trace_send(r, i, op, s0, end, cpu_work, arrival, bytes, cause);
+        if (op.peer >= lo_ && op.peer < hi_) {
+          push_arrival(arrival, op.peer, r, op.tag, bytes, key2, msg_seq);
+        } else {
+          // Counts as a heap push in the pop record: the serial engine
+          // pushes the arrival here, and the replay mirrors the serial heap.
+          lane_.push_back(LaneMsg{arrival, bytes, op.peer, r, op.tag, key2, msg_seq});
+          ++pop_pushes_;
+        }
+        complete(r, i, end);
+        break;
+      }
+      case OpKind::kRecv: {
+        auto& mq = st.match(match_key(op.peer, op.tag));
+        if (!mq.arrived.empty()) {
+          do_match(r, i, t, mq.arrived.pop());
+        } else {
+          mq.posted.push(PostedRecv{i, t});
+        }
+        break;
+      }
+    }
+  }
+
+  void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t,
+                      std::uint64_t msg_seq) {
+    auto& st = state(dst);
+    auto& mq = st.match(match_key(src, tag));
+    if (!mq.posted.empty()) {
+      const PostedRecv pr = mq.posted.pop();
+      do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes, msg_seq});
+    } else {
+      mq.arrived.push(ArrivedMsg{t, bytes, msg_seq});
+    }
+  }
+
+  void do_match(RankId r, OpIndex i, TimeNs post_time, const ArrivedMsg& msg) {
+    const OpView op = views_[static_cast<std::size_t>(r - lo_)].op(i);
+    auto& st = state(r);
+    TimeNs data_arrival = msg.arrival;
+    const bool rendezvous = cfg_.net.rendezvous(msg.bytes);
+    if (rendezvous) {
+      // msg.arrival is the RTS arrival; the payload moves only after both
+      // sides are ready, plus the CTS round trip and re-injection.
+      const TimeNs m = std::max(post_time, msg.arrival);
+      data_arrival = m + cfg_.net.control_time() + cfg_.net.o + cfg_.net.wire_time(msg.bytes) - cfg_.net.L
+                     + cfg_.net.L;  // = m + (o+L) + o + L + G*bytes
+    }
+    TimeNs cpu_work = cfg_.net.recv_cpu(msg.bytes);
+    if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_recv_cpu(op.peer, r, msg.bytes);
+    const TimeNs start = std::max(data_arrival, st.cpu_free);
+    std::uint64_t cause = 0;
+    if (trace_ != nullptr) {
+      // Binding constraint on the recv's start: the previous op holding the
+      // CPU, our own late post (rendezvous handshake anchored at post_time),
+      // or the message itself (its kMsgInject; 0 for injected messages).
+      if (st.cpu_free > data_arrival && st.last_op_seq != 0)
+        cause = st.last_op_seq;
+      else if (rendezvous && post_time > msg.arrival)
+        cause = st.ready_cause[i];
+      else
+        cause = msg.msg_seq;
+    }
+    const TimeNs end = finish(r, start, cpu_work);
+    st.cpu_free = end;
+    st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, cpu_work);
+    ++st.stats.recvs;
+    if (data_arrival > post_time)
+      st.stats.recv_wait =
+          saturating_add(st.stats.recv_wait, data_arrival - post_time);
+    if (trace_ != nullptr)
+      trace_match(r, i, op, post_time, msg, data_arrival, rendezvous, start,
+                  end, cpu_work, cause);
+    complete(r, i, end);
+  }
+
+  /// Tracing only: seq of the event whose completion bound an op's start.
+  /// `resource_bound` means a rank-local clock (CPU/NIC) pushed the start
+  /// past the op's ready time; the binder is then the rank's previous op
+  /// event. When no such event exists (an injected outage moved the clocks
+  /// without a trace record), fall back to the program-order predecessor so
+  /// the walk classifies the unexplained gap as wait time.
+  std::uint64_t op_cause(const RankState& st, OpIndex i, bool resource_bound) const {
+    if (resource_bound && st.last_op_seq != 0) return st.last_op_seq;
+    return st.ready_cause[i];
+  }
+
+  [[gnu::noinline, gnu::cold]] void trace_calc(RankId r, OpIndex i, TimeNs start,
+                                               TimeNs end, TimeNs work,
+                                               std::uint64_t cause) {
+    trace_blackouts(r, start, end);
+    auto& st = state(r);
+    st.last_op_seq = emit(TraceEventKind::kCalc, r, start, end,
+                          end - start - work, /*peer=*/-1, i,
+                          /*tag=*/0, /*bytes=*/0, /*ref=*/0, cause);
+  }
+
+  [[gnu::noinline, gnu::cold]] std::uint64_t trace_send(RankId r, OpIndex i,
+                                                        const OpView& op, TimeNs s0,
+                                                        TimeNs end, TimeNs cpu_work,
+                                                        TimeNs arrival, Bytes bytes,
+                                                        std::uint64_t cause) {
+    trace_blackouts(r, s0, end);
+    auto& st = state(r);
+    const std::uint64_t send_seq =
+        emit(TraceEventKind::kSendOp, r, s0, end, end - s0 - cpu_work, op.peer,
+             i, op.tag, bytes, /*ref=*/0, cause);
+    st.last_op_seq = send_seq;
+    const std::uint64_t msg_seq =
+        emit(TraceEventKind::kMsgInject, r, end, arrival, 0, op.peer, i,
+             op.tag, bytes, /*ref=*/0, send_seq);
+    if (cfg_.net.rendezvous(bytes))
+      emit(TraceEventKind::kRts, r, end, arrival, 0, op.peer, i, op.tag, bytes,
+           /*ref=*/0, send_seq);
+    return msg_seq;
+  }
+
+  [[gnu::noinline, gnu::cold]] void trace_match(RankId r, OpIndex i, const OpView& op,
+                                                TimeNs post_time,
+                                                const ArrivedMsg& msg,
+                                                TimeNs data_arrival, bool rendezvous,
+                                                TimeNs start, TimeNs end,
+                                                TimeNs cpu_work, std::uint64_t cause) {
+    trace_blackouts(r, start, end);
+    auto& st = state(r);
+    if (rendezvous)
+      emit(TraceEventKind::kCts, r, std::max(post_time, msg.arrival),
+           data_arrival, 0, op.peer, i, op.tag, msg.bytes, msg.msg_seq);
+    emit(TraceEventKind::kMsgDeliver, r, data_arrival, data_arrival, 0, op.peer,
+         i, op.tag, msg.bytes, msg.msg_seq);
+    if (data_arrival > post_time)
+      emit(TraceEventKind::kRecvWait, r, post_time, data_arrival, 0, op.peer, i,
+           op.tag, msg.bytes, msg.msg_seq);
+    st.last_op_seq = emit(TraceEventKind::kRecvOp, r, start, end,
+                          end - start - cpu_work, op.peer, i, op.tag,
+                          msg.bytes, msg.msg_seq, cause);
+  }
+
+  void complete(RankId r, OpIndex i, TimeNs t) {
+    auto& st = state(r);
+    ++result_.ops_executed;
+    st.stats.finish_time = std::max(st.stats.finish_time, t);
+    result_.makespan = std::max(result_.makespan, t);
+    if (cfg_.record_op_finish)
+      result_.op_finish[result_.op_finish_offset[static_cast<std::size_t>(r - lo_)] + i] = t;
+    const bool tracing = trace_ != nullptr;
+    views_[static_cast<std::size_t>(r - lo_)].for_each_successor(i, [&](OpIndex v) {
+      assert(st.indegree[v] > 0);
+      if (--st.indegree[v] == 0) {
+        // The op event just emitted for `i` is what made `v` ready.
+        if (tracing) st.ready_cause[v] = st.last_op_seq;
+        push_ready(t, r, v);
+      }
+    });
+  }
+
+ public:
+  const Program& prog_;
+  const EngineConfig& cfg_;
+  TraceSink* const trace_;
+  NoBlackouts no_blackouts_;
+  Availability avail_;
+  const bool always_available_;
+  const RankId lo_;
+  const RankId hi_;
+  std::vector<RankState> states_;
+  std::vector<RankOpsView> views_;
+  DaryHeap<Event, EventEarlier, 4> queue_;
+  std::size_t heap_peak_ = 0;  // pending-event high-water (self-telemetry)
+  std::int64_t total_ops_ = 0;
+  // Ordering key of an in-flight arrival -> trace seq of its kMsgInject.
+  // Populated only while tracing; empty (and untouched) otherwise.
+  std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq_;
+  // Injection context (failure rank/time/recovery), for deadlock diagnostics.
+  std::vector<std::string> notes_;
+  RunResult result_;
+  // Shard-mode hooks (ParEngine): outgoing cross-shard messages and the
+  // per-window pop record stream. Empty and unused in the serial engine.
+  std::vector<LaneMsg> lane_;
+  std::vector<PopRecord> pops_;
+  bool record_pops_ = false;
+  std::uint32_t pop_pushes_ = 0;   // pushes made by the pop in flight
+  std::uint64_t emit_count_ = 0;   // trace events emitted so far
+};
+
+}  // namespace chksim::sim::detail

@@ -1,0 +1,394 @@
+#include "chksim/sim/par_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "chksim/sim/engine_detail.hpp"
+#include "chksim/support/parallel.hpp"
+
+namespace chksim::sim {
+namespace {
+
+// Provisional trace ids: shard tag (1-based) in the top bits, a per-shard
+// running counter (1-based) below. Ids never leave the engine — every ref
+// is remapped to the real sink's sequence number at the barrier merge.
+constexpr int kSeqBits = 48;
+constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+
+/// Per-shard trace buffer. Shards cannot write the real sink directly: sinks
+/// assign sequence numbers in record order, and byte-identity requires the
+/// serial order, which is only known at the barrier. So each shard's core
+/// records into one of these, and the merge forwards the buffered events in
+/// merged pop order — the real sink then assigns exactly the serial seqs.
+class ProvisionalSink final : public TraceSink {
+ public:
+  explicit ProvisionalSink(std::uint64_t shard_tag) : tag_(shard_tag) {}
+
+  std::uint64_t record(TraceEvent ev) override {
+    buf.push_back(ev);
+    return tag_ | ++issued_;
+  }
+
+  std::vector<TraceEvent> buf;  // events recorded since the last barrier
+  std::size_t cursor = 0;       // forwarding position within buf
+
+ private:
+  const std::uint64_t tag_;
+  std::uint64_t issued_ = 0;  // run-total: provisional ids index finals[]
+};
+
+}  // namespace
+
+struct ParEngine::Snapshot::State {
+  std::vector<detail::CoreImpl::SnapState> shards;
+  std::int64_t sim_heap_size = 0;
+  std::int64_t sim_heap_peak = 0;
+  std::int64_t supersteps = 0;
+  std::vector<std::string> notes;
+};
+
+ParEngine::Snapshot::Snapshot() = default;
+ParEngine::Snapshot::~Snapshot() = default;
+ParEngine::Snapshot::Snapshot(Snapshot&&) noexcept = default;
+ParEngine::Snapshot& ParEngine::Snapshot::operator=(Snapshot&&) noexcept = default;
+
+struct ParEngine::Impl {
+  struct Shard {
+    Shard(const Program& p, const EngineConfig& c, RankId lo, RankId hi,
+          bool tracing, std::uint64_t tag)
+        : sink(tag), core(p, c, lo, hi, tracing ? &sink : nullptr) {}
+
+    ProvisionalSink sink;
+    detail::CoreImpl core;
+    // Provisional id (1-based, per shard) -> final sink seq. Append-only
+    // across the run, like the external sink itself: a rollback re-emits
+    // events with fresh ids, but refs into pre-rollback history stay valid.
+    std::vector<std::uint64_t> finals;
+  };
+
+  Impl(const Program& program, const EngineConfig& config)
+      : prog_(program), cfg_(config) {
+    if (!program.finalized())
+      throw std::logic_error("ParEngine requires a finalized Program");
+    const int nranks = program.ranks();
+    int n = config.shards < 1 ? 1 : config.shards;
+    if (n > nranks) n = nranks;
+    if (n > 1 && config.net.L < 1)
+      throw std::logic_error(
+          "ParEngine: shards > 1 requires net.L >= 1ns of lookahead");
+    nshards_ = n;
+    window_ = config.net.L >= 1 ? config.net.L : 1;
+    lo_.resize(static_cast<std::size_t>(n) + 1);
+    for (int s = 0; s <= n; ++s)
+      lo_[static_cast<std::size_t>(s)] = static_cast<RankId>(
+          static_cast<std::int64_t>(nranks) * s / n);
+    shards_.reserve(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      shards_.push_back(std::make_unique<Shard>(
+          program, config, lo_[static_cast<std::size_t>(s)],
+          lo_[static_cast<std::size_t>(s) + 1], config.trace != nullptr,
+          static_cast<std::uint64_t>(s + 1) << kSeqBits));
+      shards_.back()->core.record_pops_ = true;
+      sim_heap_size_ +=
+          static_cast<std::int64_t>(shards_.back()->core.queue_.size());
+    }
+    // The serial engine only pushes while seeding the ready frontier, so its
+    // construction-time high-water equals the total frontier size.
+    sim_heap_peak_ = sim_heap_size_;
+  }
+
+  int owner(RankId r) const {
+    return static_cast<int>(std::upper_bound(lo_.begin() + 1, lo_.end(), r) -
+                            (lo_.begin() + 1));
+  }
+
+  TimeNs next_event_time() const {
+    TimeNs best = -1;
+    for (const auto& shp : shards_) {
+      const TimeNs t = shp->core.next_event_time();
+      if (t >= 0 && (best < 0 || t < best)) best = t;
+    }
+    return best;
+  }
+
+  void run_until(TimeNs t) {
+    while (true) {
+      const TimeNs nxt = next_event_time();
+      if (nxt < 0 || nxt > t) break;
+      // end = min(nxt + window - 1, t), written overflow-safe: callers pass
+      // t = TimeNs max to mean "to completion".
+      const TimeNs end = (t - nxt < window_ - 1) ? t : nxt + (window_ - 1);
+      if (nshards_ > 1) {
+        par::for_each_index(nshards_, nshards_, [&](std::int64_t s) {
+          shards_[static_cast<std::size_t>(s)]->core.run_until(end);
+        });
+      } else {
+        shards_[0]->core.run_until(end);
+      }
+      merge_window();
+      ++supersteps_;
+    }
+  }
+
+  bool step() {
+    int best = -1;
+    const detail::Event* bp = nullptr;
+    for (int s = 0; s < nshards_; ++s) {
+      const detail::Event* e = shards_[static_cast<std::size_t>(s)]->core.peek();
+      if (e == nullptr) continue;
+      if (best < 0 || detail::EventEarlier{}(*e, *bp)) {
+        best = s;
+        bp = e;
+      }
+    }
+    if (best < 0) return false;
+    shards_[static_cast<std::size_t>(best)]->core.step();
+    merge_window();
+    ++supersteps_;
+    return true;
+  }
+
+  /// Map a provisional trace id to the final sink seq (0 maps to 0: "no
+  /// ref"). Always resolvable at forwarding time — any referenced event
+  /// precedes the referring one in merged pop order, including cross-shard
+  /// message refs (the send pop is at least L before the match pop).
+  std::uint64_t remap(std::uint64_t p) const {
+    if (p == 0) return 0;
+    return shards_[static_cast<std::size_t>(p >> kSeqBits) - 1]
+        ->finals[static_cast<std::size_t>((p & kSeqMask) - 1)];
+  }
+
+  void merge_window() {
+    const bool tracing = cfg_.trace != nullptr;
+    // k-way merge of the per-shard pop streams on (time, rank). Ranks are
+    // disjoint across shards and the serial order visits equal-time events
+    // as contiguous per-rank groups in increasing rank order, so this is
+    // exactly the serial realized order; per-rank key order is already
+    // baked into each stream. Shard counts are small — a linear head scan
+    // beats heap maintenance here.
+    pos_.assign(static_cast<std::size_t>(nshards_), 0);
+    while (true) {
+      int best = -1;
+      const detail::PopRecord* bp = nullptr;
+      for (int s = 0; s < nshards_; ++s) {
+        const auto& v = shards_[static_cast<std::size_t>(s)]->core.pops_;
+        const std::size_t i = pos_[static_cast<std::size_t>(s)];
+        if (i >= v.size()) continue;
+        const detail::PopRecord& r = v[i];
+        if (best < 0 || r.time < bp->time ||
+            (r.time == bp->time && r.rank < bp->rank)) {
+          best = s;
+          bp = &r;
+        }
+      }
+      if (best < 0) break;
+      ++pos_[static_cast<std::size_t>(best)];
+      // Serial heap-size replay: the pop removes one event, then its pushes
+      // raise the size monotonically — the post-push size is the only
+      // candidate for a new high-water mark. Lane appends were counted as
+      // pushes by the sender (the serial engine pushes the arrival there);
+      // barrier deliveries are not (already accounted).
+      sim_heap_size_ += static_cast<std::int64_t>(bp->pushes) - 1;
+      if (sim_heap_size_ > sim_heap_peak_) sim_heap_peak_ = sim_heap_size_;
+      if (tracing && bp->traces > 0) {
+        Shard& sh = *shards_[static_cast<std::size_t>(best)];
+        for (std::uint32_t k = 0; k < bp->traces; ++k) {
+          TraceEvent ev = sh.sink.buf[sh.sink.cursor++];
+          ev.ref = remap(ev.ref);
+          ev.cause = remap(ev.cause);
+          sh.finals.push_back(cfg_.trace->record(ev));
+        }
+      }
+    }
+    for (auto& shp : shards_) {
+      assert(shp->sink.cursor == shp->sink.buf.size());
+      shp->sink.buf.clear();
+      shp->sink.cursor = 0;
+      shp->core.pops_.clear();
+    }
+    // Deliver the cross-shard lanes into the destination heaps, (src-shard,
+    // dst-shard) pair at a time. The heaps order by content, so delivery
+    // order cannot affect anything observable.
+    for (auto& shp : shards_)
+      if (shp->core.lane_.size() > lane_peak_) lane_peak_ = shp->core.lane_.size();
+    for (int d = 0; d < nshards_; ++d) {
+      Shard& dst = *shards_[static_cast<std::size_t>(d)];
+      for (int s = 0; s < nshards_; ++s) {
+        if (s == d) continue;
+        for (const detail::LaneMsg& m :
+             shards_[static_cast<std::size_t>(s)]->core.lane_)
+          if (owner(m.dst) == d) dst.core.deliver(m);
+      }
+    }
+    for (auto& shp : shards_) shp->core.lane_.clear();
+  }
+
+  void inject(const Injection& inj) {
+    // The note stays engine-level (injection call order, like the serial
+    // core); the shard applies the mechanical part.
+    Injection local = inj;
+    local.note.clear();
+    shards_[static_cast<std::size_t>(owner(inj.rank))]->core.inject(local);
+    if (inj.kind == Injection::Kind::kMessage) {
+      // Mirror the serial heap accounting: an injected arrival is a push at
+      // injection time.
+      ++sim_heap_size_;
+      if (sim_heap_size_ > sim_heap_peak_) sim_heap_peak_ = sim_heap_size_;
+    }
+    if (!inj.note.empty()) {
+      if (notes_.size() >= 8) notes_.erase(notes_.begin());
+      notes_.push_back(inj.note);
+    }
+  }
+
+  RunResult take_result() {
+    RunResult out;
+    std::int64_t total = 0;
+    for (const auto& shp : shards_) {
+      const RunResult& r = shp->core.result_;
+      total += shp->core.total_ops_;
+      out.ops_executed += r.ops_executed;
+      out.events_processed += r.events_processed;
+      out.makespan = std::max(out.makespan, r.makespan);
+    }
+    out.completed = out.ops_executed == total;
+    if (!out.completed) {
+      std::string msg = "deadlock: unexecuted operations remain;";
+      int shown = 0;
+      for (const auto& shp : shards_)
+        shp->core.append_deadlock_ranks(msg, shown);
+      if (!notes_.empty()) {
+        msg += " injected-failure context:";
+        for (const std::string& note : notes_) msg += " [" + note + "]";
+      }
+      out.error = std::move(msg);
+    }
+    out.event_heap_peak = sim_heap_peak_;
+    out.ranks.reserve(static_cast<std::size_t>(prog_.ranks()));
+    for (const auto& shp : shards_) {
+      for (const auto& st : shp->core.states_) {
+        out.match_arena_slots +=
+            static_cast<std::int64_t>(st.match_pool.size());
+        out.ranks.push_back(st.stats);
+      }
+    }
+    if (cfg_.record_op_finish) {
+      // Per-shard arenas use shard-local offsets; re-base into the serial
+      // rank-major layout (shards are contiguous rank ranges in order).
+      out.op_finish_offset.reserve(static_cast<std::size_t>(prog_.ranks()) + 1);
+      out.op_finish_offset.push_back(0);
+      std::uint64_t base = 0;
+      for (const auto& shp : shards_) {
+        const auto& off = shp->core.result_.op_finish_offset;
+        for (std::size_t i = 1; i < off.size(); ++i)
+          out.op_finish_offset.push_back(base + off[i]);
+        base += off.back();
+        out.op_finish.insert(out.op_finish.end(),
+                             shp->core.result_.op_finish.begin(),
+                             shp->core.result_.op_finish.end());
+      }
+    }
+    out.pdes_shards = nshards_;
+    out.pdes_window = window_;
+    out.pdes_supersteps = supersteps_;
+    for (const auto& shp : shards_)
+      out.pdes_shard_heap_peak =
+          std::max(out.pdes_shard_heap_peak,
+                   static_cast<std::int64_t>(shp->core.heap_peak_));
+    out.pdes_lane_peak = static_cast<std::int64_t>(lane_peak_);
+    return out;
+  }
+
+  const Program& prog_;
+  const EngineConfig& cfg_;
+  int nshards_ = 1;
+  TimeNs window_ = 1;
+  std::vector<RankId> lo_;  // shard s owns ranks [lo_[s], lo_[s+1])
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Abstract replay of the serial engine's heap-size trajectory (the
+  // published event_heap_peak metric is shards-invariant because of this).
+  std::int64_t sim_heap_size_ = 0;
+  std::int64_t sim_heap_peak_ = 0;
+  std::int64_t supersteps_ = 0;
+  std::size_t lane_peak_ = 0;
+  std::vector<std::string> notes_;
+  std::vector<std::size_t> pos_;  // merge scratch
+};
+
+ParEngine::ParEngine(const Program& program, const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(program, config)) {}
+
+ParEngine::~ParEngine() = default;
+ParEngine::ParEngine(ParEngine&&) noexcept = default;
+ParEngine& ParEngine::operator=(ParEngine&&) noexcept = default;
+
+void ParEngine::run_until(TimeNs t) { impl_->run_until(t); }
+bool ParEngine::step() { return impl_->step(); }
+
+bool ParEngine::idle() const {
+  for (const auto& shp : impl_->shards_)
+    if (!shp->core.idle()) return false;
+  return true;
+}
+
+bool ParEngine::finished() const {
+  std::int64_t done = 0, total = 0;
+  for (const auto& shp : impl_->shards_) {
+    done += shp->core.ops_executed();
+    total += shp->core.total_ops_;
+  }
+  return done == total;
+}
+
+TimeNs ParEngine::next_event_time() const { return impl_->next_event_time(); }
+
+TimeNs ParEngine::makespan() const {
+  TimeNs m = 0;
+  for (const auto& shp : impl_->shards_)
+    m = std::max(m, shp->core.makespan());
+  return m;
+}
+
+std::int64_t ParEngine::ops_executed() const {
+  std::int64_t done = 0;
+  for (const auto& shp : impl_->shards_) done += shp->core.ops_executed();
+  return done;
+}
+
+void ParEngine::inject(const Injection& injection) { impl_->inject(injection); }
+
+ParEngine::Snapshot ParEngine::snapshot() const {
+  Snapshot snap;
+  snap.state_ = std::make_unique<Snapshot::State>();
+  snap.state_->shards.reserve(impl_->shards_.size());
+  for (const auto& shp : impl_->shards_)
+    snap.state_->shards.push_back(shp->core.save());
+  snap.state_->sim_heap_size = impl_->sim_heap_size_;
+  snap.state_->sim_heap_peak = impl_->sim_heap_peak_;
+  snap.state_->supersteps = impl_->supersteps_;
+  snap.state_->notes = impl_->notes_;
+  return snap;
+}
+
+void ParEngine::restore(const Snapshot& snap) {
+  if (snap.state_ == nullptr)
+    throw std::logic_error("ParEngine::restore: empty snapshot");
+  if (snap.state_->shards.size() != impl_->shards_.size())
+    throw std::logic_error("ParEngine::restore: shard count mismatch");
+  for (std::size_t s = 0; s < impl_->shards_.size(); ++s)
+    impl_->shards_[s]->core.load(snap.state_->shards[s]);
+  impl_->sim_heap_size_ = snap.state_->sim_heap_size;
+  impl_->sim_heap_peak_ = snap.state_->sim_heap_peak;
+  impl_->supersteps_ = snap.state_->supersteps;
+  impl_->notes_ = snap.state_->notes;
+}
+
+RunResult ParEngine::take_result() { return impl_->take_result(); }
+
+int ParEngine::shards() const { return impl_->nshards_; }
+TimeNs ParEngine::window() const { return impl_->window_; }
+
+}  // namespace chksim::sim

@@ -1,0 +1,119 @@
+// Conservative parallel discrete-event engine: shard the ranks, keep the
+// bytes.
+//
+// ParEngine partitions the ranks of a Program into `shards` contiguous
+// ranges over the rank-major SoA layout, gives each shard its own event
+// heap + match arenas (the same detail::CoreImpl state the serial SimCore
+// uses, instantiated per shard), and advances the shards concurrently in
+// bounded-window supersteps on the shared par::ThreadPool:
+//
+//   1. window  — every shard independently processes its pending events in
+//      [F, F + W - 1], where F is the globally earliest pending event time
+//      and W = net.L is the conservative lookahead. LogGOPS guarantees a
+//      cross-rank message injected at t arrives no earlier than t + L
+//      (wire_time >= L, and the per-channel FIFO clamp only raises arrivals
+//      toward previously delivered ones), so nothing a shard does inside the
+//      window can affect another shard within it. Cross-shard sends are
+//      appended to the source shard's outgoing lane instead of a peer heap.
+//   2. barrier — lanes are delivered into the destination heaps, and the
+//      per-shard pop streams are merged (below).
+//
+// Determinism contract: every observable output — RunResult (minus the
+// pdes_* telemetry block), metrics, trace bytes, critical-path blame — is
+// byte-identical to the serial engine for ANY shard count. This works
+// because the serial engine orders events by content ((time, rank, key):
+// engine_detail.hpp), not by heap-insertion history:
+//
+//  * a shard's pop stream is exactly the serial pop order restricted to its
+//    ranks — late lane delivery cannot reorder pops, since a delivered
+//    arrival is at least one full window ahead of everything the shard
+//    processed when the message was parked;
+//  * with L >= 1 a pop creates same-time events only on its own rank, so the
+//    serial order visits equal-time events as contiguous per-rank groups in
+//    increasing rank order — merging the per-shard streams by (time, rank)
+//    therefore reconstructs the serial global order exactly;
+//  * the serial heap-size trajectory (event_heap_peak is a published
+//    metric) is replayed abstractly over the merged stream from per-pop
+//    push counts, and trace events are buffered per shard with provisional
+//    ids, then renumbered through the real sink in merged order, so even
+//    sink-assigned sequence numbers come out byte-identical.
+//
+// Cost model: one barrier per W of simulated time with work proportional to
+// the events inside the window. The default LogGOPS L (1.5 us) against
+// typical compute grains (>= 1 ms) gives windows that amortize barriers
+// over thousands of events per shard.
+//
+// Use via EngineConfig::shards (Engine::run dispatches; --shards N on the
+// studies/benches) or directly for resumable failure injection — the class
+// mirrors the SimCore API (run_until / step / inject / snapshot / restore /
+// take_result) so fault::direct can drive either interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "chksim/sim/engine.hpp"
+
+namespace chksim::sim {
+
+class ParEngine {
+ public:
+  /// The program must be finalized, the config must outlive the engine, and
+  /// config.net.L must be >= 1 when shards > 1 (throws std::logic_error
+  /// otherwise — callers wanting the silent fallback go through
+  /// Engine::run). The shard count is clamped to [1, ranks].
+  ParEngine(const Program& program, const EngineConfig& config);
+  ~ParEngine();
+  ParEngine(ParEngine&&) noexcept;
+  ParEngine& operator=(ParEngine&&) noexcept;
+
+  /// Process every pending event with time <= t (whole supersteps; on
+  /// return all shards are merged and t is fully covered).
+  void run_until(TimeNs t);
+
+  /// Process the single globally earliest pending event (a one-pop
+  /// superstep on its owning shard, merged immediately). False when idle.
+  bool step();
+
+  bool idle() const;
+  bool finished() const;
+  TimeNs next_event_time() const;
+  TimeNs makespan() const;
+  std::int64_t ops_executed() const;
+
+  /// Apply an external event while paused; semantics match SimCore exactly
+  /// (the injection is routed to the owning shard).
+  void inject(const Injection& injection);
+
+  /// Deep-copied value snapshot of all shard state plus the merge
+  /// accounting. Legal at any pause point (construction, after run_until /
+  /// step — window boundaries included); lanes and trace buffers are always
+  /// empty there, so restore round-trips byte-identically.
+  class Snapshot {
+   public:
+    Snapshot();
+    ~Snapshot();
+    Snapshot(Snapshot&&) noexcept;
+    Snapshot& operator=(Snapshot&&) noexcept;
+
+   private:
+    friend class ParEngine;
+    struct State;
+    std::unique_ptr<State> state_;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Merged finish accounting, byte-identical to the serial RunResult
+  /// except the pdes_* telemetry block. Call exactly once.
+  RunResult take_result();
+
+  int shards() const;
+  TimeNs window() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace chksim::sim

@@ -1,6 +1,7 @@
 #include "chksim/support/cli.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <stdexcept>
 #include <vector>
 
@@ -147,6 +148,9 @@ Cli& add_standard_flags(Cli& cli) {
       .flag("jobs", "0", "concurrent cells/trials; 0 = hardware concurrency")
       .flag("smoke", "false", "run a small subset (for regression tests)")
       .flag("ranks", "0", "override rank count / scale axis; 0 = driver default")
+      .flag("shards", "1",
+            "conservative-PDES shards for direct engine runs; 1 = serial "
+            "engine, N > 1 = sharded (byte-identical output)")
       .flag("critical-path-out", "",
             "write the critical-path blame report (JSON) of the driver's "
             "focus cell here, plus a flow-stitched Chrome trace at "
@@ -159,6 +163,16 @@ StdOptions standard_options(const Cli& cli) {
   opt.smoke = cli.get_bool("smoke");
   opt.ranks = static_cast<int>(cli.get_int("ranks"));
   if (opt.ranks < 0) throw std::invalid_argument("--ranks must be >= 0");
+  opt.shards = static_cast<int>(cli.get_int("shards"));
+  if (opt.shards < 1) throw std::invalid_argument("--shards must be >= 1");
+  // Scales beyond 64 Ki ranks were historically out of reach for the serial
+  // engine; they are supported now (the sharded PDES path exists for them),
+  // but flag it so an accidental huge --ranks is noticed. stderr only: the
+  // determinism gates byte-compare stdout.
+  if (opt.ranks > 65536)
+    std::cerr << "note: --ranks " << opt.ranks
+              << " exceeds the serially-validated 64Ki range; consider "
+                 "--shards N (PDES) for direct runs at this scale\n";
   opt.critical_path_out = cli.get("critical-path-out");
   return opt;
 }

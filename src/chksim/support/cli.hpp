@@ -76,10 +76,16 @@ Cli& add_observability_flags(Cli& cli);
 ///               flow-stitched Chrome trace to <path>.trace.json. Off by
 ///               default; the extra traced run is serial and deterministic,
 ///               so the files are byte-identical for every --jobs value.
+///   --shards N  conservative-PDES shard count for the direct engine runs
+///               (sim::ParEngine); 1 = the serial engine. Output is
+///               byte-identical for every value (the pdes_determinism gates
+///               compare across shard counts), so this is purely a
+///               throughput/scale knob.
 struct StdOptions {
   int jobs = 0;  ///< Resolved: >= 1 after standard_options().
   bool smoke = false;
   int ranks = 0;
+  int shards = 1;  ///< Engine shard count; >= 1 after standard_options().
   std::string critical_path_out;  ///< "" = off.
 };
 

@@ -1,6 +1,9 @@
 // Machine presets, LogGOPS helpers, and topology hop-count models.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "chksim/net/machines.hpp"
 #include "chksim/net/topology.hpp"
 
@@ -140,6 +143,63 @@ TEST_P(TopologySymmetry, HopsAreSymmetricAndTriangleBounded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, TopologySymmetry, ::testing::Values(8, 27, 30, 64, 125));
+
+// Brute-force reference for min_cross_shard_latency: min over all pairs of
+// ranks in different shards of L + hops * per_hop.
+TimeNs brute_force_min_cross(const sim::LogGOPSParams& base,
+                             const Topology& topo, TimeNs per_hop,
+                             const std::vector<int>& starts) {
+  const int n = topo.nodes();
+  auto shard_of = [&](int r) {
+    std::size_t s = 0;
+    while (s + 1 < starts.size() && starts[s + 1] <= r) ++s;
+    return s;
+  };
+  TimeNs best = std::numeric_limits<TimeNs>::max();
+  for (sim::RankId a = 0; a < n; ++a)
+    for (sim::RankId b = 0; b < n; ++b)
+      if (shard_of(static_cast<int>(a)) != shard_of(static_cast<int>(b)))
+        best = std::min(best, base.L + static_cast<TimeNs>(topo.hops(a, b)) * per_hop);
+  return best;
+}
+
+TEST(MinCrossShardLatency, MatchesBruteForceOnStandardTopologies) {
+  sim::LogGOPSParams base = infiniband_system().net;
+  const Torus torus({4, 4, 4});
+  const FatTree fat_tree(64, 8);
+  const Dragonfly dragonfly(64, 16, 4);
+  const FullyConnected full(64);
+  const Topology* topos[] = {&torus, &fat_tree, &dragonfly, &full};
+  const std::vector<std::vector<int>> partitions = {
+      {0, 32},             // Two halves.
+      {0, 16, 32, 48},     // Four even shards.
+      {0, 1},              // A single rank split off.
+      {0, 7, 9, 40, 63},   // Ragged boundaries.
+  };
+  for (const Topology* topo : topos) {
+    for (const auto& starts : partitions) {
+      for (const TimeNs per_hop : {TimeNs{0}, TimeNs{100}, TimeNs{777}}) {
+        const TimeNs got = min_cross_shard_latency(base, *topo, per_hop, starts);
+        const TimeNs want = brute_force_min_cross(base, *topo, per_hop, starts);
+        EXPECT_EQ(got, want)
+            << topo->name() << " shards=" << starts.size() << " per_hop=" << per_hop;
+        // A conservative window can never be optimistic: the cross-shard
+        // minimum is at least the uniform LogGOPS latency.
+        EXPECT_GE(got, base.L) << topo->name();
+      }
+    }
+  }
+}
+
+TEST(MinCrossShardLatency, SingleShardAndValidation) {
+  sim::LogGOPSParams base = infiniband_system().net;
+  const Torus t({4, 4, 4});
+  EXPECT_EQ(min_cross_shard_latency(base, t, 100, {0}), base.L);
+  EXPECT_THROW(min_cross_shard_latency(base, t, 100, {}), std::invalid_argument);
+  EXPECT_THROW(min_cross_shard_latency(base, t, 100, {1, 32}), std::invalid_argument);
+  EXPECT_THROW(min_cross_shard_latency(base, t, 100, {0, 32, 32}), std::invalid_argument);
+  EXPECT_THROW(min_cross_shard_latency(base, t, 100, {0, 64}), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace chksim::net

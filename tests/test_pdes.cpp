@@ -1,0 +1,283 @@
+// Conservative-PDES determinism tests: the sharded engine (sim::ParEngine)
+// must be byte-identical to the serial engine for every shard count — same
+// RunResult (except the pdes_* telemetry block), same Breakdown, same
+// metrics JSON, same trace bytes, same critical-path blame report.
+#include "chksim/sim/par_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chksim/core/study.hpp"
+#include "chksim/fault/direct.hpp"
+#include "chksim/obs/critical_path.hpp"
+#include "chksim/obs/export.hpp"
+#include "chksim/obs/metrics.hpp"
+#include "chksim/obs/tracer.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim {
+namespace {
+
+workload::StdParams smoke_params() {
+  workload::StdParams p;
+  p.ranks = 16;
+  p.iterations = 4;
+  p.compute = 500'000;
+  p.bytes = 4096;
+  p.seed = 7;
+  return p;
+}
+
+sim::Program smoke_program(const std::string& name) {
+  sim::Program p = workload::make_workload(name, smoke_params());
+  p.finalize();
+  return p;
+}
+
+void expect_same_result(const sim::RunResult& a, const sim::RunResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.ops_executed, b.ops_executed) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+  EXPECT_EQ(a.event_heap_peak, b.event_heap_peak) << what;
+  EXPECT_EQ(a.match_arena_slots, b.match_arena_slots) << what;
+  EXPECT_EQ(a.error, b.error) << what;
+  ASSERT_EQ(a.ranks.size(), b.ranks.size()) << what;
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].finish_time, b.ranks[r].finish_time) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].cpu_busy, b.ranks[r].cpu_busy) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].recv_wait, b.ranks[r].recv_wait) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].sends, b.ranks[r].sends) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].recvs, b.ranks[r].recvs) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].calcs, b.ranks[r].calcs) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].bytes_sent, b.ranks[r].bytes_sent) << what << " rank " << r;
+  }
+  EXPECT_EQ(a.op_finish, b.op_finish) << what;
+  EXPECT_EQ(a.op_finish_offset, b.op_finish_offset) << what;
+}
+
+// --- RunResult identity across shard counts, every registry workload. -----
+
+TEST(PdesDeterminism, RunResultIdenticalAcrossShardsAllWorkloads) {
+  for (const std::string& name : workload::workload_names()) {
+    const sim::Program p = smoke_program(name);
+    sim::EngineConfig cfg;
+    cfg.record_op_finish = true;
+    cfg.shards = 1;
+    const sim::RunResult serial = sim::run_program(p, cfg);
+    ASSERT_TRUE(serial.completed) << name;
+    EXPECT_EQ(serial.pdes_shards, 0) << name;
+    for (const int shards : {2, 3, 8}) {
+      cfg.shards = shards;
+      const sim::RunResult sharded = sim::run_program(p, cfg);
+      expect_same_result(serial, sharded,
+                         name + " shards=" + std::to_string(shards));
+      EXPECT_EQ(sharded.pdes_shards, shards) << name;
+      EXPECT_EQ(sharded.pdes_window, cfg.net.L) << name;
+      EXPECT_GT(sharded.pdes_supersteps, 0) << name;
+    }
+  }
+}
+
+// --- Full-pipeline byte identity: Breakdown, metrics JSON, trace bytes,
+// --- blame JSON across --shards 1/2/8, every registry workload. ----------
+
+struct StudyArtifacts {
+  core::Breakdown breakdown;
+  std::string metrics_json;
+  std::string trace_bytes;
+  std::string blame_json;
+};
+
+StudyArtifacts run_study_with_shards(const std::string& workload, int shards) {
+  obs::EventTracer tracer(smoke_params().ranks);
+  obs::MetricsRegistry metrics;
+  core::StudyConfig cfg;
+  cfg.workload = workload;
+  cfg.params = smoke_params();
+  // Shrink the checkpoint so its blackout (~175 us at 1.5 GB/s) lands
+  // several times inside the few-ms smoke runs — the perturbed run must
+  // exercise real blackouts, not just an empty schedule.
+  cfg.machine.ckpt_bytes_per_node = 256 * 1024;
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.fixed_interval = 600'000;
+  cfg.trace = &tracer;
+  cfg.metrics = &metrics;
+  cfg.shards = shards;
+  StudyArtifacts out;
+  out.breakdown = core::run_study(cfg);
+  out.metrics_json = metrics.to_json();
+  std::ostringstream trace_os;
+  obs::write_chrome_trace(tracer, trace_os);
+  out.trace_bytes = trace_os.str();
+  std::ostringstream blame_os;
+  obs::write_critical_path_json(obs::extract_critical_path(tracer), blame_os);
+  out.blame_json = blame_os.str();
+  return out;
+}
+
+void expect_same_breakdown(const core::Breakdown& a, const core::Breakdown& b,
+                           const std::string& what) {
+  EXPECT_EQ(a.base_makespan, b.base_makespan) << what;
+  EXPECT_EQ(a.perturbed_makespan, b.perturbed_makespan) << what;
+  EXPECT_EQ(a.recv_wait_base, b.recv_wait_base) << what;
+  EXPECT_EQ(a.recv_wait_perturbed, b.recv_wait_perturbed) << what;
+  EXPECT_EQ(a.slowdown, b.slowdown) << what;
+  EXPECT_EQ(a.propagation_factor, b.propagation_factor) << what;
+  EXPECT_EQ(a.interval, b.interval) << what;
+  EXPECT_EQ(a.blackout, b.blackout) << what;
+}
+
+TEST(PdesDeterminism, StudyPipelineByteIdenticalAcrossShardsAllWorkloads) {
+  for (const std::string& name : workload::workload_names()) {
+    const StudyArtifacts serial = run_study_with_shards(name, 1);
+    for (const int shards : {2, 8}) {
+      const StudyArtifacts sharded = run_study_with_shards(name, shards);
+      const std::string what = name + " shards=" + std::to_string(shards);
+      expect_same_breakdown(serial.breakdown, sharded.breakdown, what);
+      EXPECT_EQ(serial.metrics_json, sharded.metrics_json) << what;
+      EXPECT_EQ(serial.trace_bytes, sharded.trace_bytes) << what;
+      EXPECT_EQ(serial.blame_json, sharded.blame_json) << what;
+    }
+  }
+}
+
+// --- Injected failures through the sharded core (fault::direct). ----------
+
+TEST(PdesDeterminism, DirectFailuresIdenticalAcrossShards) {
+  const sim::Program p = smoke_program("halo3d");
+  sim::EngineConfig cfg;
+  fault::DirectConfig dc;
+  dc.mode = fault::RecoveryMode::kGlobalRollback;
+  dc.restart = 2'000'000;
+  const std::vector<fault::Failure> trace = {{4'000'000, 3}, {9'000'000, 11}};
+  cfg.shards = 1;
+  const fault::DirectResult serial = fault::run_with_failures(p, cfg, dc, trace);
+  ASSERT_TRUE(serial.completed);
+  for (const int shards : {2, 4, 8}) {
+    cfg.shards = shards;
+    const fault::DirectResult sharded = fault::run_with_failures(p, cfg, dc, trace);
+    EXPECT_EQ(serial.completed, sharded.completed) << shards;
+    EXPECT_EQ(serial.makespan_wall, sharded.makespan_wall) << shards;
+    EXPECT_EQ(serial.stats.failures, sharded.stats.failures) << shards;
+    EXPECT_EQ(serial.stats.lost_work, sharded.stats.lost_work) << shards;
+    EXPECT_EQ(serial.error, sharded.error) << shards;
+  }
+}
+
+// --- Snapshot / restore at an arbitrary window boundary (satellite). ------
+
+TEST(PdesSnapshot, MidRunSnapshotRestoreReproducesFinalResult) {
+  const sim::Program p = smoke_program("hpccg");
+  sim::EngineConfig cfg;
+  cfg.record_op_finish = true;
+  cfg.shards = 4;
+
+  // Reference: uninterrupted sharded run.
+  sim::ParEngine ref(p, cfg);
+  ref.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(ref.finished());
+  const sim::RunResult expected = ref.take_result();
+
+  // Interrupted run: pause at an arbitrary mid-run window boundary,
+  // snapshot, run to completion, then rewind and run to completion again.
+  sim::ParEngine eng(p, cfg);
+  eng.run_until(expected.makespan / 3);
+  ASSERT_FALSE(eng.finished());
+  const sim::ParEngine::Snapshot snap = eng.snapshot();
+  const TimeNs resume_point = eng.next_event_time();
+
+  eng.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(eng.finished());
+
+  eng.restore(snap);
+  EXPECT_FALSE(eng.finished());
+  EXPECT_EQ(eng.next_event_time(), resume_point);
+  eng.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(eng.finished());
+
+  const sim::RunResult replayed = eng.take_result();
+  expect_same_result(expected, replayed, "snapshot replay");
+  EXPECT_EQ(expected.pdes_shards, replayed.pdes_shards);
+}
+
+TEST(PdesSnapshot, StepwiseDriveMatchesRunUntil) {
+  const sim::Program p = smoke_program("ring");
+  sim::EngineConfig cfg;
+  cfg.shards = 3;
+
+  sim::ParEngine ref(p, cfg);
+  ref.run_until(std::numeric_limits<TimeNs>::max());
+  const sim::RunResult expected = ref.take_result();
+
+  sim::ParEngine eng(p, cfg);
+  while (eng.step()) {
+  }
+  ASSERT_TRUE(eng.finished());
+  const sim::RunResult stepped = eng.take_result();
+  expect_same_result(expected, stepped, "stepwise");
+}
+
+// --- Engine::run dispatch and guard rails. --------------------------------
+
+TEST(PdesGuards, ZeroLookaheadFallsBackToSerial) {
+  const sim::Program p = smoke_program("halo2d");
+  sim::EngineConfig cfg;
+  cfg.net.L = 0;  // No lookahead: conservative windows would be unsound.
+  cfg.shards = 8;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.pdes_shards, 0);  // Serial path took it.
+  cfg.shards = 1;
+  const sim::RunResult serial = sim::run_program(p, cfg);
+  expect_same_result(serial, r, "L=0 fallback");
+}
+
+TEST(PdesGuards, ParEngineRejectsZeroLookahead) {
+  const sim::Program p = smoke_program("halo2d");
+  sim::EngineConfig cfg;
+  cfg.net.L = 0;
+  cfg.shards = 2;
+  EXPECT_THROW(sim::ParEngine(p, cfg), std::logic_error);
+}
+
+TEST(PdesGuards, ShardCountClampedToRanks) {
+  const sim::Program p = smoke_program("allreduce");
+  sim::EngineConfig cfg;
+  cfg.shards = 1000;  // More shards than ranks: clamp, don't crash.
+  sim::ParEngine eng(p, cfg);
+  EXPECT_EQ(eng.shards(), smoke_params().ranks);
+  eng.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(eng.finished());
+  const sim::RunResult sharded = eng.take_result();
+  cfg.shards = 1;
+  const sim::RunResult serial = sim::run_program(p, cfg);
+  expect_same_result(serial, sharded, "shards=ranks");
+}
+
+TEST(PdesGuards, DeadlockDiagnosticsMatchSerial) {
+  // An unmatched recv deadlocks; the sharded engine must report the same
+  // ranks in the same format as the serial one.
+  sim::Program p(8);
+  for (int r = 0; r < 8; ++r) p.calc(r, 1000);
+  p.recv(2, 5, 64, 9);  // Never sent.
+  p.recv(6, 1, 64, 9);  // Never sent.
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.shards = 1;
+  const sim::RunResult serial = sim::run_program(p, cfg);
+  ASSERT_FALSE(serial.completed);
+  cfg.shards = 4;
+  const sim::RunResult sharded = sim::run_program(p, cfg);
+  ASSERT_FALSE(sharded.completed);
+  EXPECT_EQ(serial.error, sharded.error);
+  EXPECT_EQ(serial.makespan, sharded.makespan);
+}
+
+}  // namespace
+}  // namespace chksim

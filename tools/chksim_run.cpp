@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   campaign::RunnerConfig run;
   run.jobs = std_opt.jobs;
+  run.shards = std_opt.shards;
   run.cache_dir = cli.get("cache-dir");
   run.journal_path = cli.get("journal");
   run.resume = cli.get_bool("resume");
