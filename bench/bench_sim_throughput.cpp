@@ -61,6 +61,16 @@ std::int64_t peak_rss_bytes() {
   return 0;
 }
 
+/// Reset the kernel's VmHWM high-water mark to the current RSS so the next
+/// peak_rss_bytes() read is attributable to the code between the two calls
+/// (per-measurement peaks instead of one process-lifetime number). Needs a
+/// writable /proc/self/clear_refs; if unavailable the read silently degrades
+/// to the process-wide peak, which is still an upper bound.
+void reset_peak_rss() {
+  std::ofstream clear("/proc/self/clear_refs");
+  if (clear) clear << "5";
+}
+
 struct Measurement {
   std::string workload;
   int ranks = 0;
@@ -73,10 +83,17 @@ struct Measurement {
   double wall_ms_median = 0;        // DES run
   double events_per_sec = 0;
   int repeats = 0;
+  // Memory provenance for this row (the pdes.* working-set gauges).
+  std::int64_t peak_rss = 0;            // VmHWM across this row's run phase
+  std::int64_t ws_bytes = 0;            // engine capacity census after a run
+  std::int64_t ws_match_slot_peak = 0;  // pooled match slots, max over shards
+  std::int64_t shard_heap_peak = 0;     // per-shard pending-event high-water
+  std::int64_t supersteps = 0;          // PDES supersteps (0 = serial engine)
+  double barrier_ms = 0;                // wall time inside the merge barrier
 };
 
 Measurement measure(const std::string& workload, int ranks, int repeats,
-                    int shards) {
+                    int shards, std::int64_t rss_budget_mib) {
   workload::StdParams params;
   params.ranks = ranks;
   params.iterations = 10;
@@ -106,17 +123,28 @@ Measurement measure(const std::string& workload, int ranks, int repeats,
   m.bytes_per_op =
       m.ops > 0 ? static_cast<double>(m.storage_bytes) / static_cast<double>(m.ops) : 0;
 
-  // Run phase: the DES on the (shared, read-only) finalized program.
+  // Run phase: the DES on the (shared, read-only) finalized program. The
+  // budget is enforced up front by the engine (fail-fast estimate) and again
+  // on measured RSS by the caller.
   sim::EngineConfig cfg;
   cfg.net = net::infiniband_system().net;
   cfg.shards = shards;
+  cfg.rss_budget_mib = rss_budget_mib;
   std::vector<double> walls;
+  reset_peak_rss();
   for (int rep = 0; rep < repeats; ++rep) {
     const Clock::time_point t0 = Clock::now();
     const sim::RunResult r = sim::run_program(p, cfg);
     walls.push_back(ms_since(t0));
     m.events = r.events_processed;
+    m.ws_bytes = r.ws_bytes;
+    m.ws_match_slot_peak = r.ws_match_slot_peak;
+    m.shard_heap_peak =
+        r.pdes_shards > 1 ? r.pdes_shard_heap_peak : r.event_heap_peak;
+    m.supersteps = r.pdes_shards > 1 ? r.pdes_supersteps : 0;
+    m.barrier_ms = static_cast<double>(r.pdes_barrier_ns) / 1e6;
   }
+  m.peak_rss = peak_rss_bytes();
   std::sort(walls.begin(), walls.end());
   m.wall_ms_median = walls[walls.size() / 2];
   m.events_per_sec = static_cast<double>(m.events) / (m.wall_ms_median / 1000.0);
@@ -155,19 +183,27 @@ std::string json_report(const std::vector<Measurement>& results, int jobs,
       << "  \"jobs\": " << jobs << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
-    char buf[384];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
                   "    {\"workload\": \"%s\", \"ranks\": %d, \"shards\": %d, "
                   "\"ops\": %lld, "
                   "\"events\": %lld, \"build_ms_median\": %.2f, "
                   "\"wall_ms_median\": %.2f, \"events_per_sec\": %.0f, "
                   "\"bytes_per_op\": %.1f, \"storage_bytes\": %lld, "
-                  "\"repeats\": %d}%s\n",
+                  "\"repeats\": %d, \"peak_rss_bytes\": %lld, "
+                  "\"ws_bytes\": %lld, \"ws_match_slot_peak\": %lld, "
+                  "\"shard_heap_peak\": %lld, \"supersteps\": %lld, "
+                  "\"barrier_ms\": %.2f}%s\n",
                   m.workload.c_str(), m.ranks, m.shards,
                   static_cast<long long>(m.ops),
                   static_cast<long long>(m.events), m.build_ms_median,
                   m.wall_ms_median, m.events_per_sec, m.bytes_per_op,
                   static_cast<long long>(m.storage_bytes), m.repeats,
+                  static_cast<long long>(m.peak_rss),
+                  static_cast<long long>(m.ws_bytes),
+                  static_cast<long long>(m.ws_match_slot_peak),
+                  static_cast<long long>(m.shard_heap_peak),
+                  static_cast<long long>(m.supersteps), m.barrier_ms,
                   i + 1 < results.size() ? "," : "");
     out << buf;
   }
@@ -189,7 +225,15 @@ int main(int argc, char** argv) {
       .flag("repeats", "5", "timed repetitions per engine measurement")
       .flag("smoke", "false", "small scales only (for regression tests)")
       .flag("ranks", "0", "measure only halo3d at this rank count (0 = full case list)")
-      .flag("rss-budget-mib", "0", "fail (exit 1) if peak RSS exceeds this many MiB")
+      .flag("rss-budget-mib", "0",
+            "fail (exit 1) if the engine's upfront working-set estimate or "
+            "the measured peak RSS exceeds this many MiB")
+      .flag("max-ws-mib", "0",
+            "fail (exit 1) if any row's engine working set exceeds this many "
+            "MiB (0 = off)")
+      .flag("max-shard-heap", "0",
+            "fail (exit 1) if any row's per-shard pending-event high-water "
+            "exceeds this count (0 = off)")
       .flag("sweep-cells", "8", "cells in the run_sweep wall-clock measurement")
       .flag("shards", "1", "PDES shard count for every engine measurement (1 = serial)")
       .flag("shard-sweep", "",
@@ -205,6 +249,8 @@ int main(int argc, char** argv) {
   const bool smoke = cli.get_bool("smoke");
   const int only_ranks = static_cast<int>(cli.get_int("ranks"));
   const std::int64_t rss_budget_mib = cli.get_int("rss-budget-mib");
+  const std::int64_t max_ws_mib = cli.get_int("max-ws-mib");
+  const std::int64_t max_shard_heap = cli.get_int("max-shard-heap");
   const int sweep_cells = std::max(1, static_cast<int>(cli.get_int("sweep-cells")));
   // Shard counts to measure each case at: --shard-sweep wins, else --shards.
   std::vector<int> shard_counts;
@@ -238,19 +284,30 @@ int main(int argc, char** argv) {
                                 {"allreduce", 64}, {"allreduce", 1024}};
   if (only_ranks > 0) cases = {{"halo3d", only_ranks}};
 
-  std::printf("%-10s %7s %6s %12s %12s %10s %12s %14s %10s\n", "workload",
-              "ranks", "shards", "ops", "events/run", "build ms", "run ms",
-              "events/sec", "B/op");
+  std::printf("%-10s %7s %6s %12s %12s %10s %12s %14s %10s %10s %10s\n",
+              "workload", "ranks", "shards", "ops", "events/run", "build ms",
+              "run ms", "events/sec", "B/op", "ws MiB", "rss MiB");
   std::vector<Measurement> results;
   for (const Case& c : cases) {
     for (const int shards : shard_counts) {
-      results.push_back(measure(c.workload, c.ranks, repeats, shards));
+      try {
+        results.push_back(
+            measure(c.workload, c.ranks, repeats, shards, rss_budget_mib));
+      } catch (const std::exception& e) {
+        // The engine's upfront working-set estimate rejected the run — the
+        // fail-fast path of --rss-budget-mib (no allocation happened).
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
       const Measurement& m = results.back();
-      std::printf("%-10s %7d %6d %12lld %12lld %10.2f %12.2f %14.0f %10.1f\n",
-                  m.workload.c_str(), m.ranks, m.shards,
-                  static_cast<long long>(m.ops),
-                  static_cast<long long>(m.events), m.build_ms_median,
-                  m.wall_ms_median, m.events_per_sec, m.bytes_per_op);
+      std::printf(
+          "%-10s %7d %6d %12lld %12lld %10.2f %12.2f %14.0f %10.1f %10.1f "
+          "%10.1f\n",
+          m.workload.c_str(), m.ranks, m.shards, static_cast<long long>(m.ops),
+          static_cast<long long>(m.events), m.build_ms_median, m.wall_ms_median,
+          m.events_per_sec, m.bytes_per_op,
+          static_cast<double>(m.ws_bytes) / (1024.0 * 1024.0),
+          static_cast<double>(m.peak_rss) / (1024.0 * 1024.0));
     }
   }
 
@@ -282,6 +339,26 @@ int main(int argc, char** argv) {
                  static_cast<double>(rss) / (1024.0 * 1024.0),
                  static_cast<long long>(rss_budget_mib));
     return 1;
+  }
+  for (const Measurement& m : results) {
+    if (max_ws_mib > 0 && m.ws_bytes > max_ws_mib * 1024 * 1024) {
+      std::fprintf(stderr,
+                   "error: %s@%d (shards %d) working set %.1f MiB exceeds "
+                   "--max-ws-mib %lld\n",
+                   m.workload.c_str(), m.ranks, m.shards,
+                   static_cast<double>(m.ws_bytes) / (1024.0 * 1024.0),
+                   static_cast<long long>(max_ws_mib));
+      return 1;
+    }
+    if (max_shard_heap > 0 && m.shard_heap_peak > max_shard_heap) {
+      std::fprintf(stderr,
+                   "error: %s@%d (shards %d) shard heap peak %lld exceeds "
+                   "--max-shard-heap %lld\n",
+                   m.workload.c_str(), m.ranks, m.shards,
+                   static_cast<long long>(m.shard_heap_peak),
+                   static_cast<long long>(max_shard_heap));
+      return 1;
+    }
   }
   return 0;
 }

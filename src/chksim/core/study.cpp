@@ -170,6 +170,22 @@ Breakdown run_study(const StudyConfig& config) {
                 static_cast<double>(r1.pdes_shard_heap_peak));
     t.set_gauge("pdes.perturbed.lane_peak",
                 static_cast<double>(r1.pdes_lane_peak));
+    t.set_gauge("pdes.base.barrier_ms",
+                static_cast<double>(r0.pdes_barrier_ns) / 1e6);
+    t.set_gauge("pdes.perturbed.barrier_ms",
+                static_cast<double>(r1.pdes_barrier_ns) / 1e6);
+  }
+  // Working-set gauges are engine-agnostic (the serial core reports them
+  // too); barrier/ws numbers are wall- or capacity-derived and so telemetry
+  // only, never part of byte-compared cell metrics.
+  if (config.telemetry != nullptr) {
+    obs::MetricsRegistry& t = *config.telemetry;
+    t.set_gauge("pdes.base.ws_bytes", static_cast<double>(r0.ws_bytes));
+    t.set_gauge("pdes.base.ws_match_slot_peak",
+                static_cast<double>(r0.ws_match_slot_peak));
+    t.set_gauge("pdes.perturbed.ws_bytes", static_cast<double>(r1.ws_bytes));
+    t.set_gauge("pdes.perturbed.ws_match_slot_peak",
+                static_cast<double>(r1.ws_match_slot_peak));
   }
   if (config.telemetry != nullptr)
     obs::publish_process_telemetry(*config.telemetry);

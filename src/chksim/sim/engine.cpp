@@ -1,7 +1,9 @@
 #include "chksim/sim/engine.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "chksim/sim/engine_detail.hpp"
 #include "chksim/sim/par_engine.hpp"
@@ -20,6 +22,62 @@ double RunResult::mean_cpu_busy() const {
   for (const RankStats& r : ranks) sum += static_cast<double>(r.cpu_busy);
   return sum / static_cast<double>(ranks.size());
 }
+
+WorkingSetEstimate estimate_working_set(const Program& program,
+                                        const EngineConfig& config) {
+  WorkingSetEstimate e;
+  e.ranks = program.ranks();
+  e.shards = config.shards < 1 ? 1 : std::min<int>(config.shards, program.ranks());
+  e.program_bytes = static_cast<std::int64_t>(program.storage_bytes());
+  // Fitted per-rank model (see docs/PERFORMANCE.md §3): RankState itself,
+  // the two per-rank FlatMaps at their initial 16 slots, and a handful of
+  // live pooled match slots; plus the 16-bit indegree entry per op.
+  constexpr std::int64_t kPerRankBytes =
+      static_cast<std::int64_t>(sizeof(detail::RankState)) + 16 * 16 + 16 * 24 +
+      6 * static_cast<std::int64_t>(sizeof(detail::MatchSlot));
+  e.rank_state_bytes = e.ranks * kPerRankBytes + program.stats().ops * 2;
+  // Event-side structures: far heap + window buckets hold O(ranks) events in
+  // the steady state; the sharded engine additionally records a PopRecord
+  // per event per window. 256 B/rank covers both with margin.
+  e.event_bytes = e.ranks * 256;
+  e.total_bytes = e.program_bytes + e.rank_state_bytes + e.event_bytes +
+                  (std::int64_t{32} << 20);  // fixed slack
+  return e;
+}
+
+namespace detail {
+
+void enforce_rss_budget(const Program& program, const EngineConfig& config) {
+  if (config.rss_budget_mib <= 0) return;
+  const WorkingSetEstimate e = estimate_working_set(program, config);
+  const std::int64_t budget = config.rss_budget_mib << 20;
+  if (e.total_bytes <= budget) return;
+  const auto mib = [](std::int64_t b) { return (b + (1 << 19)) >> 20; };
+  // Working set scales near-linearly with ranks; suggest the largest power
+  // of two that fits with ~10% headroom.
+  std::int64_t fit = static_cast<std::int64_t>(
+      0.9 * static_cast<double>(e.ranks) * static_cast<double>(budget) /
+      static_cast<double>(e.total_bytes));
+  std::int64_t suggested = 1;
+  while (suggested * 2 <= fit) suggested *= 2;
+  std::string msg =
+      "sim: estimated working set ~" + std::to_string(mib(e.total_bytes)) +
+      " MiB exceeds --rss-budget-mib " + std::to_string(config.rss_budget_mib) +
+      "\n  program storage : " + std::to_string(mib(e.program_bytes)) +
+      " MiB\n  rank/match state: " + std::to_string(mib(e.rank_state_bytes)) +
+      " MiB (" + std::to_string(e.ranks) + " ranks, " +
+      std::to_string(e.shards) + " shard(s))\n  event structures: " +
+      std::to_string(mib(e.event_bytes)) +
+      " MiB\n  suggested max ranks within budget: ~" +
+      std::to_string(fit > 0 ? suggested : 0) +
+      "\n  note: runs beyond 64 Ki ranks should use the sharded engine "
+      "(--shards N): bounded-window supersteps keep each shard's live event "
+      "set cache-sized while output stays byte-identical to the serial "
+      "engine.";
+  throw std::runtime_error(msg);
+}
+
+}  // namespace detail
 
 // The event-processing machinery lives in engine_detail.hpp (shared with the
 // sharded ParEngine); SimCore is the full-range serial instantiation.
@@ -40,6 +98,7 @@ SimCore::Snapshot& SimCore::Snapshot::operator=(Snapshot&&) noexcept = default;
 SimCore::SimCore(const Program& program, const EngineConfig& config) {
   if (!program.finalized())
     throw std::logic_error("SimCore requires a finalized Program");
+  detail::enforce_rss_budget(program, config);
   impl_ = std::make_unique<Impl>(program, config);
 }
 

@@ -77,6 +77,12 @@ struct EngineConfig {
   /// back to the serial path when net.L < 1 (zero lookahead: a cross-rank
   /// message could arrive the instant it is sent, so no window is sound).
   int shards = 1;
+  /// Fail-fast memory budget (MiB of estimated engine + program working set;
+  /// 0 = unlimited). When set, SimCore / ParEngine construction estimates the
+  /// run's working set up front (estimate_working_set) and throws a
+  /// std::runtime_error with a structured diagnostic — including the largest
+  /// rank count that would fit — instead of OOM-ing minutes into a large run.
+  std::int64_t rss_budget_mib = 0;
 };
 
 /// Per-rank accounting.
@@ -107,9 +113,12 @@ struct RunResult {
   TimeNs makespan = 0;       ///< max over ranks of finish_time.
   std::int64_t ops_executed = 0;
   std::int64_t events_processed = 0;
-  /// Self-telemetry: high-water mark of the pending-event heap and total
-  /// match-queue slots ever allocated across ranks. Both are functions of the
-  /// program + config only (deterministic), so they are safe in reports.
+  /// Self-telemetry: high-water mark of the pending-event heap, and the
+  /// per-rank high-water of *live* (src, tag) match bindings summed across
+  /// ranks (bindings are pooled and released when drained; this counts the
+  /// peak concurrently-live set, the quantity that actually occupies memory).
+  /// Both are functions of the program + config only (deterministic and
+  /// shards-invariant), so they are safe in byte-compared reports.
   std::int64_t event_heap_peak = 0;
   std::int64_t match_arena_slots = 0;
   std::vector<RankStats> ranks;
@@ -131,6 +140,15 @@ struct RunResult {
   std::int64_t pdes_supersteps = 0;   ///< Bounded-window barriers executed.
   std::int64_t pdes_shard_heap_peak = 0;  ///< Max per-shard event-heap high-water.
   std::int64_t pdes_lane_peak = 0;    ///< Max cross-shard lane occupancy at a barrier.
+  TimeNs pdes_barrier_ns = 0;         ///< Wall time spent in barrier merges (sharded only).
+
+  /// Engine working-set gauges (capacity census at completion), filled by
+  /// BOTH the serial and the sharded engine. Telemetry like the pdes block:
+  /// the values describe the execution strategy's memory footprint (they
+  /// legitimately differ across shard counts), so publish them to the
+  /// telemetry side channel or bench reports, never to byte-compared metrics.
+  std::int64_t ws_bytes = 0;           ///< Mutable working-set bytes (sum over cores).
+  std::int64_t ws_match_slot_peak = 0; ///< Max per-core match-pool slots allocated.
 
   bool has_op_finish() const { return !op_finish_offset.empty(); }
   OpFinishView op_finish_of(RankId r) const {
@@ -240,6 +258,22 @@ class SimCore {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Up-front engine working-set estimate for a run of `program` under
+/// `config` (see EngineConfig::rss_budget_mib). An engineering model fitted
+/// to measured footprints — per-rank state, dependency counters, event/window
+/// structures, plus the finalized program itself — good to a few tens of
+/// percent, which is what a fail-fast budget gate needs.
+struct WorkingSetEstimate {
+  std::int64_t program_bytes = 0;     ///< Finalized Program storage (shared, read-only).
+  std::int64_t rank_state_bytes = 0;  ///< Per-rank state, match pool, indices.
+  std::int64_t event_bytes = 0;       ///< Heaps, window buckets, pop records, lanes.
+  std::int64_t total_bytes = 0;       ///< Sum of the above plus fixed slack.
+  std::int64_t ranks = 0;
+  int shards = 1;
+};
+WorkingSetEstimate estimate_working_set(const Program& program,
+                                        const EngineConfig& config);
 
 /// Runs a finalized Program to completion. Stateless between calls.
 class Engine {

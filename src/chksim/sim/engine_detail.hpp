@@ -21,6 +21,33 @@
 //    ranges concurrently with no cross-shard writes; cross-range sends are
 //    appended to an outgoing lane instead of pushed into a peer heap.
 //
+// Scale regime (>= 2^18 ranks) design notes:
+//
+//  * Bucketed near-future queue. run_until() drains events through a window
+//    of exact-timestamp buckets (kBucketSpan ns wide): pending events within
+//    the window move out of the far heap into their bucket, each bucket is
+//    sorted once on (rank, key2) and walked sequentially, and events created
+//    at the *current* timestamp mid-walk go through a small straggler heap.
+//    No event ever needs to enter a bucket earlier than the one being
+//    drained (completions finish at or after their pop time; arrivals lag by
+//    wire time >= 0 and same-time arrivals land in the straggler heap), so
+//    the walk realizes exactly the (time, rank, key2) order the heap would —
+//    but as a cache-friendly rank-ascending sweep instead of O(log n)
+//    random-access sifts through a multi-megabyte heap. The far heap only
+//    holds beyond-window times, keeping it orders of magnitude smaller at
+//    scale. Buckets are empty whenever the core is paused, so peek / step /
+//    inject / snapshot see the heap alone, unchanged.
+//
+//  * Pooled match state. (src, tag) match bindings live in one per-core slot
+//    pool with an intrusive free list; a binding is released the moment its
+//    queue drains (FlatMap::erase + freelist push), so a workload that
+//    rebases tags every iteration (as repeat() does) reuses a handful of
+//    slots per rank instead of accumulating one per (src, tag, iteration).
+//    Only ONE of a binding's two logical queues (posted receives / arrived
+//    messages) can be non-empty at any time — handle_arrival pops a posted
+//    receive if present, else parks the message; kRecv pops a parked message
+//    if present, else posts — so a single mode-tagged FIFO stores both.
+//
 // Everything in this header is an implementation detail: the public
 // interfaces are sim::SimCore / sim::Engine (engine.hpp) and sim::ParEngine
 // (par_engine.hpp).
@@ -41,22 +68,29 @@
 
 namespace chksim::sim::detail {
 
-/// One pending event, packed to 40 bytes: the heap moves events around on
-/// every sift, so element size is hot. The kind rides in key2's top bit, and
-/// the kReady-only / kArrival-only fields share storage.
+/// Throws std::runtime_error with a structured diagnostic when
+/// config.rss_budget_mib > 0 and the estimated working set exceeds it
+/// (engine.cpp; called from both engine construction paths).
+void enforce_rss_budget(const Program& program, const EngineConfig& config);
+
+/// One pending event, packed to 32 bytes: the heap and the window buckets
+/// move events around constantly, so element size is hot. The kind rides in
+/// key2's top bit, the kReady-only / kArrival-only fields share storage, and
+/// the payload size is stored narrow (engine guards messages at < 4 GiB).
 struct Event {
   TimeNs time = 0;
-  std::uint64_t key2 = 0;      // content key; see ready_key / arrival_key
-  Bytes bytes = 0;             // kArrival payload size
-  RankId rank = -1;            // kReady: executing rank; kArrival: destination
+  std::uint64_t key2 = 0;        // content key; see ready_key / arrival_key
+  RankId rank = -1;              // kReady: executing rank; kArrival: destination
   union {
-    OpIndex op = kInvalidOp;   // kReady
-    RankId src;                // kArrival
+    OpIndex op = kInvalidOp;     // kReady
+    RankId src;                  // kArrival
   };
-  Tag tag = 0;                 // kArrival
+  Tag tag = 0;                   // kArrival
+  std::uint32_t bytes32 = 0;     // kArrival payload size (checked_event_bytes)
 
   bool is_arrival() const { return (key2 >> 63) != 0; }
 };
+static_assert(sizeof(Event) == 32, "Event is a hot 32-byte packed record");
 
 constexpr std::uint64_t kArrivalBit = std::uint64_t{1} << 63;
 
@@ -75,20 +109,30 @@ inline std::uint64_t ready_key(OpIndex op) {
 /// channel, which makes the key globally unique per message (one send = one
 /// arrival) — the trace side table below relies on that — while still
 /// increasing along every (src, dst) channel, so same-time arrivals on one
-/// channel keep their FIFO send order. 32 bits of counter allow 4 G sends
-/// per rank, far beyond any feasible run length.
+/// channel keep their FIFO send order. Counters are 32-bit with explicit
+/// overflow guards at the call sites (4 G sends per rank is beyond any
+/// feasible run length; the guard turns silent key aliasing into an error).
 inline std::uint64_t arrival_key(std::uint64_t src, std::uint64_t msg_count) {
   return kArrivalBit | (src << 32) | (msg_count & 0xFFFFFFFFull);
+}
+
+/// Event payload sizes are stored as 32 bits (see Event); a per-message
+/// payload of 4 GiB or more would alias, so reject it loudly.
+inline std::uint32_t checked_event_bytes(Bytes bytes) {
+  if (bytes < 0 || bytes > 0xFFFFFFFFll)
+    throw std::invalid_argument(
+        "sim: per-message payloads are limited to < 4 GiB "
+        "(Event stores a 32-bit size)");
+  return static_cast<std::uint32_t>(bytes);
 }
 
 /// Strict total order (time, rank, key2) over all events of a run. Every
 /// component is a function of the event's content, so any two heaps holding
 /// the same set of events pop them in the same order regardless of the
 /// pushes' history — the property the sharded engine's determinism rests on.
-/// Equal-time ties break by rank; a pop can only create same-time events on
-/// its own rank (cross-rank arrivals lag by at least L > 0), so the realized
-/// global order visits same-time ranks in increasing order, one contiguous
-/// group per rank.
+/// Equal-time ties break by rank; same-time events created mid-drain (own
+/// rank completions, or zero-latency arrivals) re-enter through the
+/// straggler heap, so the realized global order is identical to a heap's.
 struct EventEarlier {
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time < b.time;
@@ -97,11 +141,15 @@ struct EventEarlier {
   }
 };
 
-struct PostedRecv {
-  OpIndex op;
-  TimeNs post_time;
+/// (rank, key2) order within one exact-timestamp bucket.
+struct SameTimeEarlier {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.key2 < b.key2;
+  }
 };
 
+/// Transient view of a matched arrival handed to do_match / tracing.
 struct ArrivedMsg {
   TimeNs arrival;
   Bytes bytes;
@@ -162,6 +210,9 @@ class CompactFifo {
     return (inline_count_ - inline_head_) + (spill_.size() - spill_head_);
   }
 
+  /// Bytes reserved by the spill vector (working-set census; cold path).
+  std::size_t spill_capacity_bytes() const { return spill_.capacity() * sizeof(T); }
+
  private:
   static constexpr std::uint8_t kInline = 2;
 
@@ -174,42 +225,60 @@ class CompactFifo {
   std::size_t spill_head_ = 0;
 };
 
-struct MatchQueues {
-  CompactFifo<PostedRecv> posted;
-  CompactFifo<ArrivedMsg> arrived;
+/// One queued match record. A (src, tag) binding holds either pending posted
+/// receives or pending arrived messages — never both (see header notes) — so
+/// one entry type with mode-dependent fields serves both queues.
+struct MatchEntry {
+  TimeNs time = 0;        // posted: post time; arrived: arrival time
+  std::uint64_t aux = 0;  // posted: op index; arrived: msg_seq (tracing only)
+  Bytes bytes = 0;        // arrived: payload size; posted: unused
+};
+
+/// One pooled (src, tag) match binding. Slots live in a per-core pool and
+/// recycle through an intrusive free list the moment their queue drains, so
+/// the pool's size tracks the *live* binding high-water, not the total
+/// number of distinct keys ever touched.
+struct MatchSlot {
+  enum : std::uint8_t { kIdle = 0, kPosted = 1, kArrived = 2 };
+
+  CompactFifo<MatchEntry> fifo;
+  std::uint32_t next_free = 0;  // freelist link (slot index + 1) while idle
+  std::uint8_t mode = kIdle;
 };
 
 struct RankState {
   TimeNs cpu_free = 0;
   TimeNs nic_free = 0;
-  std::vector<std::uint32_t> indegree;
-  // Match state arena: the flat index maps (src, tag) to slot + 1 in the
-  // pool (0 = unassigned), so rehashes shuffle 16-byte entries while the
-  // queues themselves stay put in one contiguous allocation.
+  // Remaining unmet dependencies per op. 16-bit with an overflow side map in
+  // the core (value 0xFFFF = "see CoreImpl::indegree_big_"): fan-in beyond
+  // 65 534 is vanishingly rare, and at 2^20 ranks the narrow array alone
+  // saves ~270 MiB.
+  std::vector<std::uint16_t> indegree;
+  // (src, tag) -> live slot + 1 in the core's match pool (0 = unbound).
+  // Entries are erased when the binding drains, so the index stays at its
+  // live-key working set instead of growing with run length.
   FlatMap<std::uint64_t, std::uint32_t> match_index;
-  std::vector<MatchQueues> match_pool;
   // Per-destination FIFO clamp (MPI non-overtaking), kept on the *sender* so
   // a send never writes another rank's state (shard independence).
   FlatMap<std::uint64_t, TimeNs> chan_last_arrival;
-  std::uint64_t msg_count = 0;  // sends issued by this rank (arrival_key)
-  std::uint64_t inj_count = 0;  // injected arrivals targeting this rank
+  std::uint32_t msg_count = 0;        // sends issued by this rank (arrival_key)
+  std::uint32_t inj_count = 0;        // injected arrivals targeting this rank
+  std::uint32_t match_live = 0;       // live match bindings right now
+  std::uint32_t match_live_peak = 0;  // high-water of match_live (see RunResult)
   RankStats stats;
-  TimeNs blackout_traced = 0;  // tracing only: blackout intervals emitted up to here
-  // Tracing only: trace seq of the rank's most recent op event, and per-op
-  // the seq of the same-rank predecessor op event whose completion made the
-  // op ready. Together these let the engine stamp TraceEvent::cause (the
-  // binding start constraint) without any search at emission time.
+};
+
+/// Per-rank tracing state, split out of RankState so the untraced engine
+/// (every run at scale) never pays its footprint. Allocated only when a
+/// trace sink is attached.
+struct RankTraceState {
+  TimeNs blackout_traced = 0;  // blackout intervals emitted up to here
+  // Trace seq of the rank's most recent op event, and per-op the seq of the
+  // same-rank predecessor op event whose completion made the op ready.
+  // Together these let the engine stamp TraceEvent::cause (the binding start
+  // constraint) without any search at emission time.
   std::uint64_t last_op_seq = 0;
   std::vector<std::uint64_t> ready_cause;
-
-  MatchQueues& match(std::uint64_t key) {
-    std::uint32_t& slot = match_index[key];
-    if (slot == 0) {
-      match_pool.emplace_back();
-      slot = static_cast<std::uint32_t>(match_pool.size());
-    }
-    return match_pool[slot - 1];
-  }
 };
 
 /// A cross-shard message parked in its source shard's outgoing lane between
@@ -218,25 +287,27 @@ struct RankState {
 /// kMsgInject when tracing.
 struct LaneMsg {
   TimeNs arrival = 0;
-  Bytes bytes = 0;
+  std::uint64_t key2 = 0;
+  std::uint64_t msg_seq = 0;
   RankId dst = -1;
   RankId src = -1;
   Tag tag = 0;
-  std::uint64_t key2 = 0;
-  std::uint64_t msg_seq = 0;
+  std::uint32_t bytes32 = 0;
 };
+static_assert(sizeof(LaneMsg) == 40, "LaneMsg packs to 40 bytes");
 
 /// One processed event, as recorded for the barrier merge: enough to
-/// reconstruct the serial engine's realized pop order ((time, rank, key2)
-/// streams merged across shards), its heap-size trajectory (pushes per pop),
-/// and the serial trace numbering (trace events emitted per pop).
+/// reconstruct the serial engine's realized pop order ((time, rank) streams
+/// merged across shards — per-rank key order is already baked into each
+/// stream, so key2 need not be carried), its heap-size trajectory (pushes
+/// per pop), and the serial trace numbering (trace events emitted per pop).
 struct PopRecord {
   TimeNs time = 0;
-  std::uint64_t key2 = 0;
   RankId rank = -1;
   std::uint32_t pushes = 0;  // serial-equivalent heap pushes (local + lane)
   std::uint32_t traces = 0;  // trace events emitted during this pop
 };
+static_assert(sizeof(PopRecord) == 24, "PopRecord packs to 24 bytes");
 
 /// The event-processing core over ranks [lo, hi) of a finalized Program.
 /// All members are public: this is a detail type driven by SimCore (one core
@@ -244,6 +315,12 @@ struct PopRecord {
 /// pop recording on).
 class CoreImpl {
  public:
+  /// Width of the near-future bucket window (ns of simulated time bucketed
+  /// per drain pass). Covers the common LogGOPS latencies (so a PDES
+  /// superstep needs one pass) while keeping the bucket directory at a fixed
+  /// 96 KiB per core.
+  static constexpr TimeNs kBucketSpan = 4096;
+
   CoreImpl(const Program& program, const EngineConfig& config, RankId lo,
            RankId hi, TraceSink* trace)
       : prog_(program),
@@ -259,6 +336,7 @@ class CoreImpl {
     const std::size_t nlocal = static_cast<std::size_t>(hi - lo);
     states_.resize(nlocal);
     views_.resize(nlocal);
+    if (trace_ != nullptr) tstates_.resize(nlocal);
     if (cfg_.record_op_finish)
       result_.op_finish_offset.assign(nlocal + 1, 0);
     // The initial frontier is roughly one ready op per rank; later pushes
@@ -273,13 +351,13 @@ class CoreImpl {
       // Indegrees are not stored in the program (the compact layout keeps
       // only chain runs + explicit CSR); reconstruct them here.
       st.indegree.assign(v.count, 0);
-      if (trace_ != nullptr) st.ready_cause.assign(v.count, 0);
+      if (trace_ != nullptr) tstates_[i].ready_cause.assign(v.count, 0);
       if (cfg_.record_op_finish)
         result_.op_finish_offset[i + 1] = result_.op_finish_offset[i] + v.count;
       for (OpIndex op = 0; op < v.count; ++op)
-        for (OpIndex k = 1; k <= v.chain[op]; ++k) ++st.indegree[op + k];
+        for (OpIndex k = 1; k <= v.chain[op]; ++k) bump_indegree(st, r, op + k);
       for (std::uint32_t e = v.xoff[0]; e < v.xoff[v.count]; ++e)
-        ++st.indegree[v.xsucc[e]];
+        bump_indegree(st, r, v.xsucc[e]);
       for (OpIndex op = 0; op < v.count; ++op)
         if (st.indegree[op] == 0) push_ready(0, r, op);
       total_ops_ += static_cast<std::int64_t>(v.count);
@@ -289,13 +367,27 @@ class CoreImpl {
           static_cast<std::size_t>(result_.op_finish_offset.back()), -1);
   }
 
+  /// Process every pending event with time <= t in (time, rank, key2) order,
+  /// via the bucketed near-future window (see header notes). The window is
+  /// fully drained before returning, so the far heap alone holds the pending
+  /// set whenever the core is paused.
   void run_until(TimeNs t) {
-    while (!queue_.empty() && queue_.top().time <= t) step_one();
+    while (!queue_.empty() && queue_.top().time <= t) {
+      const TimeNs base = queue_.top().time;
+      // limit = min(base + kBucketSpan - 1, t), written overflow-safe:
+      // callers pass t = TimeNs max to mean "to completion".
+      const TimeNs limit = (t - base < kBucketSpan - 1) ? t : base + (kBucketSpan - 1);
+      drain_window(base, limit);
+    }
   }
 
   bool step() {
+    assert(bucket_base_ < 0);
     if (queue_.empty()) return false;
-    step_one();
+    const Event ev = queue_.top();
+    queue_.pop();
+    --pending_;
+    process_event(ev);
     return true;
   }
 
@@ -305,6 +397,7 @@ class CoreImpl {
   const Event* peek() const { return queue_.empty() ? nullptr : &queue_.top(); }
   TimeNs makespan() const { return result_.makespan; }
   std::int64_t ops_executed() const { return result_.ops_executed; }
+  std::size_t pending_events() const { return pending_; }
 
   void inject(const Injection& inj) {
     switch (inj.kind) {
@@ -316,7 +409,12 @@ class CoreImpl {
       }
       case Injection::Kind::kMessage: {
         auto& st = state(inj.rank);
-        push_arrival(inj.time, inj.rank, inj.src, inj.tag, inj.bytes,
+        if (st.inj_count == 0xFFFFFFFFu)
+          throw std::runtime_error(
+              "sim: injected-arrival count exceeds 2^32-1 on one rank "
+              "(arrival-key overflow)");
+        push_arrival(inj.time, inj.rank, inj.src, inj.tag,
+                     checked_event_bytes(inj.bytes),
                      arrival_key(kInjectedSrc, st.inj_count++), 0);
         break;
       }
@@ -330,11 +428,16 @@ class CoreImpl {
 
   /// Everything a snapshot captures: the mutable half of this class. The
   /// immutable half (program views, config, availability) is reconstructible
-  /// from the core and deliberately not copied. Lanes, pop records, and
-  /// pending trace buffers are empty whenever a snapshot is legal (the core
-  /// is paused and, under ParEngine, barrier-merged), so they need no slots.
+  /// from the core and deliberately not copied. Lanes, pop records, window
+  /// buckets, and pending trace buffers are empty whenever a snapshot is
+  /// legal (the core is paused and, under ParEngine, barrier-merged), so
+  /// they need no slots.
   struct SnapState {
     std::vector<RankState> states;
+    std::vector<RankTraceState> tstates;
+    std::vector<MatchSlot> match_pool;
+    std::uint32_t match_free = 0;
+    FlatMap<std::uint64_t, std::uint32_t> indegree_big;
     DaryHeap<Event, EventEarlier, 4> queue;
     std::size_t heap_peak = 0;
     std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq;
@@ -343,8 +446,13 @@ class CoreImpl {
   };
 
   SnapState save() const {
+    assert(bucket_base_ < 0);
     SnapState s;
     s.states = states_;
+    s.tstates = tstates_;
+    s.match_pool = match_pool_;
+    s.match_free = match_free_;
+    s.indegree_big = indegree_big_;
     s.queue = queue_;
     s.heap_peak = heap_peak_;
     s.arrival_msg_seq = arrival_msg_seq_;
@@ -354,9 +462,14 @@ class CoreImpl {
   }
 
   void load(const SnapState& s) {
-    assert(lane_.empty() && pops_.empty());
+    assert(lane_.empty() && pops_.empty() && bucket_base_ < 0);
     states_ = s.states;
+    tstates_ = s.tstates;
+    match_pool_ = s.match_pool;
+    match_free_ = s.match_free;
+    indegree_big_ = s.indegree_big;
     queue_ = s.queue;
+    pending_ = queue_.size();
     heap_peak_ = s.heap_peak;
     arrival_msg_seq_ = s.arrival_msg_seq;
     result_ = s.result;
@@ -377,11 +490,38 @@ class CoreImpl {
     result_.event_heap_peak = static_cast<std::int64_t>(heap_peak_);
     result_.ranks.reserve(states_.size());
     for (auto& st : states_) {
-      result_.match_arena_slots +=
-          static_cast<std::int64_t>(st.match_pool.size());
+      result_.match_arena_slots += static_cast<std::int64_t>(st.match_live_peak);
       result_.ranks.push_back(st.stats);
     }
+    result_.ws_bytes = working_set_bytes();
+    result_.ws_match_slot_peak = static_cast<std::int64_t>(match_pool_.size());
     return std::move(result_);
+  }
+
+  /// Capacity census of this core's mutable working set: bytes actually
+  /// reserved by the event structures, match pool, and per-rank state (the
+  /// Program is shared and excluded). Cold path — called at take_result and
+  /// by the working-set gauges; deterministic for a fixed shard count.
+  std::int64_t working_set_bytes() const {
+    std::int64_t b = static_cast<std::int64_t>(sizeof(CoreImpl));
+    b += static_cast<std::int64_t>(queue_.capacity() * sizeof(Event));
+    for (const auto& v : buckets_)
+      b += static_cast<std::int64_t>(v.capacity() * sizeof(Event));
+    b += static_cast<std::int64_t>(stragglers_.capacity() * sizeof(Event));
+    b += static_cast<std::int64_t>(lane_.capacity() * sizeof(LaneMsg));
+    b += static_cast<std::int64_t>(pops_.capacity() * sizeof(PopRecord));
+    b += static_cast<std::int64_t>(match_pool_.capacity() * sizeof(MatchSlot));
+    for (const auto& ms : match_pool_)
+      b += static_cast<std::int64_t>(ms.fifo.spill_capacity_bytes());
+    b += static_cast<std::int64_t>(states_.capacity() * sizeof(RankState));
+    b += static_cast<std::int64_t>(views_.capacity() * sizeof(RankOpsView));
+    for (const auto& st : states_) {
+      b += static_cast<std::int64_t>(st.indegree.capacity() * sizeof(std::uint16_t));
+      b += static_cast<std::int64_t>(st.match_index.memory_bytes());
+      b += static_cast<std::int64_t>(st.chan_last_arrival.memory_bytes());
+    }
+    b += static_cast<std::int64_t>(indegree_big_.memory_bytes());
+    return b;
   }
 
   /// Per-rank deadlock diagnostics over this core's range, appended in rank
@@ -390,8 +530,11 @@ class CoreImpl {
     for (RankId r = lo_; r < hi_ && shown < 8; ++r) {
       const auto& st = states_[static_cast<std::size_t>(r - lo_)];
       std::int64_t pending_recvs = 0;
-      for (const MatchQueues& mq : st.match_pool)
-        pending_recvs += static_cast<std::int64_t>(mq.posted.size());
+      st.match_index.for_each([&](std::uint64_t, std::uint32_t slot) {
+        const MatchSlot& ms = match_pool_[slot - 1];
+        if (ms.mode == MatchSlot::kPosted)
+          pending_recvs += static_cast<std::int64_t>(ms.fifo.size());
+      });
       if (pending_recvs > 0) {
         msg += " rank " + std::to_string(r) + " has " +
                std::to_string(pending_recvs) + " unmatched recv(s);";
@@ -417,10 +560,9 @@ class CoreImpl {
     ev.rank = m.dst;
     ev.src = m.src;
     ev.tag = m.tag;
-    ev.bytes = m.bytes;
+    ev.bytes32 = m.bytes32;
     if (m.msg_seq != 0) arrival_msg_seq_.emplace(m.key2, m.msg_seq);
-    queue_.push(ev);
-    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
+    enqueue(ev);
   }
 
   RankState& state(RankId r) {
@@ -428,10 +570,86 @@ class CoreImpl {
     return states_[static_cast<std::size_t>(r - lo_)];
   }
 
+  RankTraceState& tstate(RankId r) {
+    assert(trace_ != nullptr && r >= lo_ && r < hi_);
+    return tstates_[static_cast<std::size_t>(r - lo_)];
+  }
+
  private:
-  void step_one() {
-    const Event ev = queue_.top();
-    queue_.pop();
+  /// Every event insertion funnels through here. While a window is active,
+  /// in-window times land in their exact-time bucket (or the straggler heap
+  /// when they tie the timestamp being drained); everything else goes to the
+  /// far heap. The pending-event count replicates the size trajectory a
+  /// single heap would have had, so heap_peak_ (the published
+  /// event_heap_peak) is byte-identical to the pre-bucketing engine.
+  void enqueue(const Event& ev) {
+    ++pending_;
+    if (pending_ > heap_peak_) heap_peak_ = pending_;
+    if (bucket_base_ >= 0 && ev.time <= bucket_limit_) {
+      assert(ev.time >= bucket_cur_);
+      if (ev.time == bucket_cur_) {
+        stragglers_.push_back(ev);
+        std::push_heap(stragglers_.begin(), stragglers_.end(), straggler_later_);
+      } else {
+        const std::size_t idx = static_cast<std::size_t>(ev.time - bucket_base_);
+        buckets_[idx].push_back(ev);
+        ++bucket_count_;
+        if (idx + 1 > bucket_hi_) bucket_hi_ = idx + 1;
+      }
+    } else {
+      queue_.push(ev);
+    }
+  }
+
+  /// Drain every pending event in [base, limit] (inclusive), in
+  /// (time, rank, key2) order, through the bucket window.
+  void drain_window(TimeNs base, TimeNs limit) {
+    if (buckets_.empty()) buckets_.resize(static_cast<std::size_t>(kBucketSpan));
+    bucket_base_ = base;
+    bucket_limit_ = limit;
+    bucket_hi_ = 0;
+    // Move the heap's in-window prefix into the exact-time buckets. Pure
+    // relocation: pending_ is unchanged.
+    while (!queue_.empty() && queue_.top().time <= limit) {
+      const Event& e = queue_.top();
+      const std::size_t idx = static_cast<std::size_t>(e.time - base);
+      buckets_[idx].push_back(e);
+      ++bucket_count_;
+      if (idx + 1 > bucket_hi_) bucket_hi_ = idx + 1;
+      queue_.pop();
+    }
+    for (std::size_t idx = 0; idx < bucket_hi_ && bucket_count_ > 0; ++idx) {
+      std::vector<Event>& b = buckets_[idx];
+      if (b.empty()) continue;
+      bucket_cur_ = base + static_cast<TimeNs>(idx);
+      bucket_count_ -= static_cast<std::int64_t>(b.size());
+      // One sort, then a sequential rank-ascending walk. Processing never
+      // appends to this bucket (same-time creations go through the straggler
+      // heap, later times to later buckets), so iteration is stable.
+      std::sort(b.begin(), b.end(), SameTimeEarlier{});
+      std::size_t cursor = 0;
+      while (cursor < b.size() || !stragglers_.empty()) {
+        bool take_straggler = !stragglers_.empty();
+        if (take_straggler && cursor < b.size())
+          take_straggler = SameTimeEarlier{}(stragglers_.front(), b[cursor]);
+        Event ev;
+        if (take_straggler) {
+          std::pop_heap(stragglers_.begin(), stragglers_.end(), straggler_later_);
+          ev = stragglers_.back();
+          stragglers_.pop_back();
+        } else {
+          ev = b[cursor++];
+        }
+        --pending_;
+        process_event(ev);
+      }
+      b.clear();
+    }
+    assert(bucket_count_ == 0 && stragglers_.empty());
+    bucket_base_ = bucket_cur_ = bucket_limit_ = -1;
+  }
+
+  void process_event(const Event& ev) {
     ++result_.events_processed;
     if (!record_pops_) {
       dispatch(ev);
@@ -440,7 +658,7 @@ class CoreImpl {
     pop_pushes_ = 0;
     const std::uint64_t emits = emit_count_;
     dispatch(ev);
-    pops_.push_back(PopRecord{ev.time, ev.key2, ev.rank, pop_pushes_,
+    pops_.push_back(PopRecord{ev.time, ev.rank, pop_pushes_,
                               static_cast<std::uint32_t>(emit_count_ - emits)});
   }
 
@@ -448,7 +666,8 @@ class CoreImpl {
     if (!ev.is_arrival()) {
       execute_op(ev.rank, ev.op, ev.time);
     } else {
-      handle_arrival(ev.rank, ev.src, ev.tag, ev.bytes, ev.time,
+      handle_arrival(ev.rank, ev.src, ev.tag, static_cast<Bytes>(ev.bytes32),
+                     ev.time,
                      trace_ != nullptr ? take_arrival_msg_seq(ev.key2) : 0);
     }
   }
@@ -459,27 +678,26 @@ class CoreImpl {
     ev.key2 = ready_key(i);
     ev.rank = r;
     ev.op = i;
-    queue_.push(ev);
+    enqueue(ev);
     ++pop_pushes_;
-    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
   }
 
-  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag, Bytes bytes,
-                    std::uint64_t key2, std::uint64_t msg_seq) {
+  void push_arrival(TimeNs t, RankId dst, RankId src, Tag tag,
+                    std::uint32_t bytes32, std::uint64_t key2,
+                    std::uint64_t msg_seq) {
     Event ev;
     ev.time = t;
     ev.key2 = key2;
     ev.rank = dst;
     ev.src = src;
     ev.tag = tag;
-    ev.bytes = bytes;
+    ev.bytes32 = bytes32;
     // The kMsgInject trace seq rides in a side table rather than in Event:
     // growing the priority-queue element would tax the untraced hot path.
     // arrival_key is globally unique per message, so key2 indexes it.
     if (msg_seq != 0) arrival_msg_seq_.emplace(key2, msg_seq);
-    queue_.push(ev);
+    enqueue(ev);
     ++pop_pushes_;
-    if (queue_.size() > heap_peak_) heap_peak_ = queue_.size();
   }
 
   /// When the rank is always available (no blackout schedule), work finishes
@@ -495,6 +713,59 @@ class CoreImpl {
     const std::uint64_t v = it->second;
     arrival_msg_seq_.erase(it);
     return v;
+  }
+
+  // --- Dependency counting (16-bit fast path + overflow side map) --------
+
+  static std::uint64_t big_key(RankId r, OpIndex i) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) | i;
+  }
+
+  /// Construction-time indegree increment. Values 0..0xFFFE live in the
+  /// narrow array; 0xFFFF marks "0xFFFE + indegree_big_[key] excess".
+  void bump_indegree(RankState& st, RankId r, OpIndex i) {
+    std::uint16_t& d = st.indegree[i];
+    if (d < 0xFFFE) {
+      ++d;
+    } else if (d == 0xFFFE) {
+      d = 0xFFFF;
+      indegree_big_[big_key(r, i)] = 1;
+    } else {
+      ++indegree_big_[big_key(r, i)];
+    }
+  }
+
+  // --- Match pool --------------------------------------------------------
+
+  /// Look up (or bind) the match slot for `key` on rank `st`. A fresh
+  /// binding reuses a freelist slot when one exists — its drained FIFO keeps
+  /// any spill capacity it grew, the high-water reuse that keeps steady-state
+  /// match traffic allocation-free.
+  MatchSlot& match_slot(RankState& st, std::uint64_t key) {
+    std::uint32_t& slot = st.match_index[key];
+    if (slot == 0) {
+      if (match_free_ != 0) {
+        slot = match_free_;
+        match_free_ = match_pool_[slot - 1].next_free;
+      } else {
+        match_pool_.emplace_back();
+        slot = static_cast<std::uint32_t>(match_pool_.size());
+      }
+      if (++st.match_live > st.match_live_peak) st.match_live_peak = st.match_live;
+    }
+    return match_pool_[slot - 1];
+  }
+
+  /// Release a drained binding: unlink it from the rank's index and push the
+  /// slot onto the freelist. The caller must have fully drained the FIFO.
+  void release_match_slot(RankState& st, std::uint64_t key, std::uint32_t slot) {
+    MatchSlot& ms = match_pool_[slot - 1];
+    assert(ms.fifo.empty());
+    ms.mode = MatchSlot::kIdle;
+    ms.next_free = match_free_;
+    match_free_ = slot;
+    st.match_index.erase(key);
+    --st.match_live;
   }
 
   // --- Tracing (all no-ops unless trace_ is set) -------------------------
@@ -527,7 +798,7 @@ class CoreImpl {
   /// once across the whole run (ops sharing a blackout do not duplicate it).
   void trace_blackouts(RankId r, TimeNs from, TimeNs to) {
     if (cfg_.blackouts == nullptr) return;
-    auto& traced = state(r).blackout_traced;
+    auto& traced = tstate(r).blackout_traced;
     TimeNs t = std::max(from, traced);
     while (t < to) {
       const std::optional<Interval> b = cfg_.blackouts->next_blackout(r, t);
@@ -547,7 +818,7 @@ class CoreImpl {
       case OpKind::kCalc: {
         const TimeNs start = std::max(t, st.cpu_free);
         const std::uint64_t cause =
-            trace_ != nullptr ? op_cause(st, i, st.cpu_free > t) : 0;
+            trace_ != nullptr ? op_cause(r, i, st.cpu_free > t) : 0;
         const TimeNs end = finish(r, start, op.value);
         st.cpu_free = end;
         st.stats.cpu_busy = saturating_add(st.stats.cpu_busy, op.value);
@@ -558,11 +829,12 @@ class CoreImpl {
       }
       case OpKind::kSend: {
         const Bytes bytes = op.value;
+        const std::uint32_t bytes32 = checked_event_bytes(bytes);
         TimeNs cpu_work = cfg_.net.send_cpu(bytes);
         if (cfg_.tax != nullptr) cpu_work += cfg_.tax->extra_send_cpu(r, op.peer, bytes);
         const TimeNs s0 = std::max({t, st.cpu_free, st.nic_free});
         const std::uint64_t cause =
-            trace_ != nullptr ? op_cause(st, i, s0 > t) : 0;
+            trace_ != nullptr ? op_cause(r, i, s0 > t) : 0;
         const TimeNs end = finish(r, s0, cpu_work);
         st.cpu_free = end;
         st.nic_free = end + cfg_.net.nic_gap(bytes);
@@ -579,28 +851,37 @@ class CoreImpl {
             static_cast<std::uint32_t>(op.peer))];
         arrival = std::max(arrival, last);
         last = arrival;
+        if (st.msg_count == 0xFFFFFFFFu)
+          throw std::runtime_error(
+              "sim: per-rank send count exceeds 2^32-1 (arrival-key overflow)");
         const std::uint64_t key2 =
             arrival_key(static_cast<std::uint32_t>(r), ++st.msg_count);
         std::uint64_t msg_seq = 0;
         if (trace_ != nullptr)
           msg_seq = trace_send(r, i, op, s0, end, cpu_work, arrival, bytes, cause);
         if (op.peer >= lo_ && op.peer < hi_) {
-          push_arrival(arrival, op.peer, r, op.tag, bytes, key2, msg_seq);
+          push_arrival(arrival, op.peer, r, op.tag, bytes32, key2, msg_seq);
         } else {
           // Counts as a heap push in the pop record: the serial engine
           // pushes the arrival here, and the replay mirrors the serial heap.
-          lane_.push_back(LaneMsg{arrival, bytes, op.peer, r, op.tag, key2, msg_seq});
+          lane_.push_back(LaneMsg{arrival, key2, msg_seq, op.peer, r, op.tag,
+                                  bytes32});
           ++pop_pushes_;
         }
         complete(r, i, end);
         break;
       }
       case OpKind::kRecv: {
-        auto& mq = st.match(match_key(op.peer, op.tag));
-        if (!mq.arrived.empty()) {
-          do_match(r, i, t, mq.arrived.pop());
+        const std::uint64_t key = match_key(op.peer, op.tag);
+        MatchSlot& ms = match_slot(st, key);
+        if (ms.mode == MatchSlot::kArrived) {
+          const MatchEntry e = ms.fifo.pop();
+          if (ms.fifo.empty())
+            release_match_slot(st, key, *st.match_index.find(key));
+          do_match(r, i, t, ArrivedMsg{e.time, e.bytes, e.aux});
         } else {
-          mq.posted.push(PostedRecv{i, t});
+          ms.fifo.push(MatchEntry{t, i, 0});
+          ms.mode = MatchSlot::kPosted;
         }
         break;
       }
@@ -610,12 +891,17 @@ class CoreImpl {
   void handle_arrival(RankId dst, RankId src, Tag tag, Bytes bytes, TimeNs t,
                       std::uint64_t msg_seq) {
     auto& st = state(dst);
-    auto& mq = st.match(match_key(src, tag));
-    if (!mq.posted.empty()) {
-      const PostedRecv pr = mq.posted.pop();
-      do_match(dst, pr.op, pr.post_time, ArrivedMsg{t, bytes, msg_seq});
+    const std::uint64_t key = match_key(src, tag);
+    MatchSlot& ms = match_slot(st, key);
+    if (ms.mode == MatchSlot::kPosted) {
+      const MatchEntry pr = ms.fifo.pop();
+      if (ms.fifo.empty())
+        release_match_slot(st, key, *st.match_index.find(key));
+      do_match(dst, static_cast<OpIndex>(pr.aux), pr.time,
+               ArrivedMsg{t, bytes, msg_seq});
     } else {
-      mq.arrived.push(ArrivedMsg{t, bytes, msg_seq});
+      ms.fifo.push(MatchEntry{t, msg_seq, bytes});
+      ms.mode = MatchSlot::kArrived;
     }
   }
 
@@ -639,10 +925,11 @@ class CoreImpl {
       // Binding constraint on the recv's start: the previous op holding the
       // CPU, our own late post (rendezvous handshake anchored at post_time),
       // or the message itself (its kMsgInject; 0 for injected messages).
-      if (st.cpu_free > data_arrival && st.last_op_seq != 0)
-        cause = st.last_op_seq;
+      auto& ts = tstate(r);
+      if (st.cpu_free > data_arrival && ts.last_op_seq != 0)
+        cause = ts.last_op_seq;
       else if (rendezvous && post_time > msg.arrival)
-        cause = st.ready_cause[i];
+        cause = ts.ready_cause[i];
       else
         cause = msg.msg_seq;
     }
@@ -665,19 +952,19 @@ class CoreImpl {
   /// event. When no such event exists (an injected outage moved the clocks
   /// without a trace record), fall back to the program-order predecessor so
   /// the walk classifies the unexplained gap as wait time.
-  std::uint64_t op_cause(const RankState& st, OpIndex i, bool resource_bound) const {
-    if (resource_bound && st.last_op_seq != 0) return st.last_op_seq;
-    return st.ready_cause[i];
+  std::uint64_t op_cause(RankId r, OpIndex i, bool resource_bound) {
+    const auto& ts = tstate(r);
+    if (resource_bound && ts.last_op_seq != 0) return ts.last_op_seq;
+    return ts.ready_cause[i];
   }
 
   [[gnu::noinline, gnu::cold]] void trace_calc(RankId r, OpIndex i, TimeNs start,
                                                TimeNs end, TimeNs work,
                                                std::uint64_t cause) {
     trace_blackouts(r, start, end);
-    auto& st = state(r);
-    st.last_op_seq = emit(TraceEventKind::kCalc, r, start, end,
-                          end - start - work, /*peer=*/-1, i,
-                          /*tag=*/0, /*bytes=*/0, /*ref=*/0, cause);
+    tstate(r).last_op_seq = emit(TraceEventKind::kCalc, r, start, end,
+                                 end - start - work, /*peer=*/-1, i,
+                                 /*tag=*/0, /*bytes=*/0, /*ref=*/0, cause);
   }
 
   [[gnu::noinline, gnu::cold]] std::uint64_t trace_send(RankId r, OpIndex i,
@@ -686,11 +973,11 @@ class CoreImpl {
                                                         TimeNs arrival, Bytes bytes,
                                                         std::uint64_t cause) {
     trace_blackouts(r, s0, end);
-    auto& st = state(r);
+    auto& ts = tstate(r);
     const std::uint64_t send_seq =
         emit(TraceEventKind::kSendOp, r, s0, end, end - s0 - cpu_work, op.peer,
              i, op.tag, bytes, /*ref=*/0, cause);
-    st.last_op_seq = send_seq;
+    ts.last_op_seq = send_seq;
     const std::uint64_t msg_seq =
         emit(TraceEventKind::kMsgInject, r, end, arrival, 0, op.peer, i,
              op.tag, bytes, /*ref=*/0, send_seq);
@@ -707,7 +994,6 @@ class CoreImpl {
                                                 TimeNs start, TimeNs end,
                                                 TimeNs cpu_work, std::uint64_t cause) {
     trace_blackouts(r, start, end);
-    auto& st = state(r);
     if (rendezvous)
       emit(TraceEventKind::kCts, r, std::max(post_time, msg.arrival),
            data_arrival, 0, op.peer, i, op.tag, msg.bytes, msg.msg_seq);
@@ -716,9 +1002,9 @@ class CoreImpl {
     if (data_arrival > post_time)
       emit(TraceEventKind::kRecvWait, r, post_time, data_arrival, 0, op.peer, i,
            op.tag, msg.bytes, msg.msg_seq);
-    st.last_op_seq = emit(TraceEventKind::kRecvOp, r, start, end,
-                          end - start - cpu_work, op.peer, i, op.tag,
-                          msg.bytes, msg.msg_seq, cause);
+    tstate(r).last_op_seq = emit(TraceEventKind::kRecvOp, r, start, end,
+                                 end - start - cpu_work, op.peer, i, op.tag,
+                                 msg.bytes, msg.msg_seq, cause);
   }
 
   void complete(RankId r, OpIndex i, TimeNs t) {
@@ -730,10 +1016,21 @@ class CoreImpl {
       result_.op_finish[result_.op_finish_offset[static_cast<std::size_t>(r - lo_)] + i] = t;
     const bool tracing = trace_ != nullptr;
     views_[static_cast<std::size_t>(r - lo_)].for_each_successor(i, [&](OpIndex v) {
-      assert(st.indegree[v] > 0);
-      if (--st.indegree[v] == 0) {
+      std::uint16_t& d = st.indegree[v];
+      assert(d > 0);
+      if (d == 0xFFFF) [[unlikely]] {
+        // Overflowed fan-in: actual indegree = 0xFFFE + excess; fold the
+        // excess back into the narrow array when it reaches zero.
+        std::uint32_t& excess = indegree_big_[big_key(r, v)];
+        if (--excess == 0) {
+          d = 0xFFFE;
+          indegree_big_.erase(big_key(r, v));
+        }
+        return;
+      }
+      if (--d == 0) {
         // The op event just emitted for `i` is what made `v` ready.
-        if (tracing) st.ready_cause[v] = st.last_op_seq;
+        if (tracing) tstate(r).ready_cause[v] = tstate(r).last_op_seq;
         push_ready(t, r, v);
       }
     });
@@ -749,9 +1046,35 @@ class CoreImpl {
   const RankId lo_;
   const RankId hi_;
   std::vector<RankState> states_;
+  std::vector<RankTraceState> tstates_;  // sized only while tracing
   std::vector<RankOpsView> views_;
+  // Shared per-core match-slot pool + freelist head (slot index + 1; 0 = none).
+  std::vector<MatchSlot> match_pool_;
+  std::uint32_t match_free_ = 0;
+  // Overflow side map for 16-bit indegrees: (rank, op) -> excess over 0xFFFE.
+  FlatMap<std::uint64_t, std::uint32_t> indegree_big_;
+  // Far heap: pending events beyond the active bucket window (all pending
+  // events whenever the core is paused).
   DaryHeap<Event, EventEarlier, 4> queue_;
-  std::size_t heap_peak_ = 0;  // pending-event high-water (self-telemetry)
+  // Near-future window state (see drain_window). bucket_base_ == -1 means no
+  // window is active; buckets/stragglers are empty at every pause point.
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> stragglers_;
+  SameTimeEarlier straggler_earlier_{};
+  // std::push_heap builds a max-heap; invert the comparator to pop the
+  // earliest (rank, key2) first.
+  struct StragglerLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return SameTimeEarlier{}(b, a);
+    }
+  } straggler_later_{};
+  TimeNs bucket_base_ = -1;
+  TimeNs bucket_cur_ = -1;
+  TimeNs bucket_limit_ = -1;
+  std::size_t bucket_hi_ = 0;        // max occupied bucket index + 1
+  std::int64_t bucket_count_ = 0;    // events currently parked in buckets
+  std::size_t pending_ = 0;          // events in heap + buckets + stragglers
+  std::size_t heap_peak_ = 0;        // pending-event high-water (self-telemetry)
   std::int64_t total_ops_ = 0;
   // Ordering key of an in-flight arrival -> trace seq of its kMsgInject.
   // Populated only while tracing; empty (and untouched) otherwise.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -73,6 +74,7 @@ struct ParEngine::Impl {
       : prog_(program), cfg_(config) {
     if (!program.finalized())
       throw std::logic_error("ParEngine requires a finalized Program");
+    detail::enforce_rss_budget(program, config);
     const int nranks = program.ranks();
     int n = config.shards < 1 ? 1 : config.shards;
     if (n > nranks) n = nranks;
@@ -93,7 +95,7 @@ struct ParEngine::Impl {
           static_cast<std::uint64_t>(s + 1) << kSeqBits));
       shards_.back()->core.record_pops_ = true;
       sim_heap_size_ +=
-          static_cast<std::int64_t>(shards_.back()->core.queue_.size());
+          static_cast<std::int64_t>(shards_.back()->core.pending_events());
     }
     // The serial engine only pushes while seeding the ready frontier, so its
     // construction-time high-water equals the total frontier size.
@@ -162,17 +164,24 @@ struct ParEngine::Impl {
   }
 
   void merge_window() {
+    const auto barrier_t0 = std::chrono::steady_clock::now();
     const bool tracing = cfg_.trace != nullptr;
     // k-way merge of the per-shard pop streams on (time, rank). Ranks are
     // disjoint across shards and the serial order visits equal-time events
     // as contiguous per-rank groups in increasing rank order, so this is
     // exactly the serial realized order; per-rank key order is already
-    // baked into each stream. Shard counts are small — a linear head scan
-    // beats heap maintenance here.
+    // baked into each stream. Streaming run consumption: shards own
+    // contiguous rank ranges, so a stream's records sort below every other
+    // head for long stretches — find the best head, then consume its run
+    // until it reaches the second-best key, instead of re-scanning all
+    // heads per record.
     pos_.assign(static_cast<std::size_t>(nshards_), 0);
     while (true) {
       int best = -1;
       const detail::PopRecord* bp = nullptr;
+      TimeNs t2 = 0;
+      RankId r2 = 0;
+      bool have2 = false;
       for (int s = 0; s < nshards_; ++s) {
         const auto& v = shards_[static_cast<std::size_t>(s)]->core.pops_;
         const std::size_t i = pos_[static_cast<std::size_t>(s)];
@@ -180,28 +189,43 @@ struct ParEngine::Impl {
         const detail::PopRecord& r = v[i];
         if (best < 0 || r.time < bp->time ||
             (r.time == bp->time && r.rank < bp->rank)) {
+          if (best >= 0) {
+            t2 = bp->time;
+            r2 = bp->rank;
+            have2 = true;
+          }
           best = s;
           bp = &r;
+        } else if (!have2 || r.time < t2 || (r.time == t2 && r.rank < r2)) {
+          t2 = r.time;
+          r2 = r.rank;
+          have2 = true;
         }
       }
       if (best < 0) break;
-      ++pos_[static_cast<std::size_t>(best)];
-      // Serial heap-size replay: the pop removes one event, then its pushes
-      // raise the size monotonically — the post-push size is the only
-      // candidate for a new high-water mark. Lane appends were counted as
-      // pushes by the sender (the serial engine pushes the arrival there);
-      // barrier deliveries are not (already accounted).
-      sim_heap_size_ += static_cast<std::int64_t>(bp->pushes) - 1;
-      if (sim_heap_size_ > sim_heap_peak_) sim_heap_peak_ = sim_heap_size_;
-      if (tracing && bp->traces > 0) {
-        Shard& sh = *shards_[static_cast<std::size_t>(best)];
-        for (std::uint32_t k = 0; k < bp->traces; ++k) {
-          TraceEvent ev = sh.sink.buf[sh.sink.cursor++];
-          ev.ref = remap(ev.ref);
-          ev.cause = remap(ev.cause);
-          sh.finals.push_back(cfg_.trace->record(ev));
+      Shard& sh = *shards_[static_cast<std::size_t>(best)];
+      const auto& v = sh.core.pops_;
+      std::size_t i = pos_[static_cast<std::size_t>(best)];
+      do {
+        const detail::PopRecord& r = v[i++];
+        // Serial heap-size replay: the pop removes one event, then its
+        // pushes raise the size monotonically — the post-push size is the
+        // only candidate for a new high-water mark. Lane appends were
+        // counted as pushes by the sender (the serial engine pushes the
+        // arrival there); barrier deliveries are not (already accounted).
+        sim_heap_size_ += static_cast<std::int64_t>(r.pushes) - 1;
+        if (sim_heap_size_ > sim_heap_peak_) sim_heap_peak_ = sim_heap_size_;
+        if (tracing && r.traces > 0) {
+          for (std::uint32_t k = 0; k < r.traces; ++k) {
+            TraceEvent ev = sh.sink.buf[sh.sink.cursor++];
+            ev.ref = remap(ev.ref);
+            ev.cause = remap(ev.cause);
+            sh.finals.push_back(cfg_.trace->record(ev));
+          }
         }
-      }
+      } while (i < v.size() && (!have2 || v[i].time < t2 ||
+                                (v[i].time == t2 && v[i].rank < r2)));
+      pos_[static_cast<std::size_t>(best)] = i;
     }
     for (auto& shp : shards_) {
       assert(shp->sink.cursor == shp->sink.buf.size());
@@ -209,21 +233,19 @@ struct ParEngine::Impl {
       shp->sink.cursor = 0;
       shp->core.pops_.clear();
     }
-    // Deliver the cross-shard lanes into the destination heaps, (src-shard,
-    // dst-shard) pair at a time. The heaps order by content, so delivery
-    // order cannot affect anything observable.
-    for (auto& shp : shards_)
+    // Deliver the cross-shard lanes into the destination heaps, one pass per
+    // source lane. The heaps order by content and only grow during delivery,
+    // so neither the delivery order nor the interleaving affects anything
+    // observable (including each destination's pending-event high-water).
+    for (auto& shp : shards_) {
       if (shp->core.lane_.size() > lane_peak_) lane_peak_ = shp->core.lane_.size();
-    for (int d = 0; d < nshards_; ++d) {
-      Shard& dst = *shards_[static_cast<std::size_t>(d)];
-      for (int s = 0; s < nshards_; ++s) {
-        if (s == d) continue;
-        for (const detail::LaneMsg& m :
-             shards_[static_cast<std::size_t>(s)]->core.lane_)
-          if (owner(m.dst) == d) dst.core.deliver(m);
-      }
+      for (const detail::LaneMsg& m : shp->core.lane_)
+        shards_[static_cast<std::size_t>(owner(m.dst))]->core.deliver(m);
+      shp->core.lane_.clear();
     }
-    for (auto& shp : shards_) shp->core.lane_.clear();
+    barrier_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - barrier_t0)
+                       .count();
   }
 
   void inject(const Injection& inj) {
@@ -270,8 +292,7 @@ struct ParEngine::Impl {
     out.ranks.reserve(static_cast<std::size_t>(prog_.ranks()));
     for (const auto& shp : shards_) {
       for (const auto& st : shp->core.states_) {
-        out.match_arena_slots +=
-            static_cast<std::int64_t>(st.match_pool.size());
+        out.match_arena_slots += static_cast<std::int64_t>(st.match_live_peak);
         out.ranks.push_back(st.stats);
       }
     }
@@ -299,6 +320,14 @@ struct ParEngine::Impl {
           std::max(out.pdes_shard_heap_peak,
                    static_cast<std::int64_t>(shp->core.heap_peak_));
     out.pdes_lane_peak = static_cast<std::int64_t>(lane_peak_);
+    out.pdes_barrier_ns = barrier_ns_;
+    for (const auto& shp : shards_) {
+      out.ws_bytes +=
+          static_cast<std::int64_t>(shp->core.working_set_bytes());
+      out.ws_match_slot_peak =
+          std::max(out.ws_match_slot_peak,
+                   static_cast<std::int64_t>(shp->core.match_pool_.size()));
+    }
     return out;
   }
 
@@ -313,6 +342,7 @@ struct ParEngine::Impl {
   std::int64_t sim_heap_size_ = 0;
   std::int64_t sim_heap_peak_ = 0;
   std::int64_t supersteps_ = 0;
+  std::int64_t barrier_ns_ = 0;  // wall time in merge_window (telemetry only)
   std::size_t lane_peak_ = 0;
   std::vector<std::string> notes_;
   std::vector<std::size_t> pos_;  // merge scratch

@@ -165,14 +165,10 @@ StdOptions standard_options(const Cli& cli) {
   if (opt.ranks < 0) throw std::invalid_argument("--ranks must be >= 0");
   opt.shards = static_cast<int>(cli.get_int("shards"));
   if (opt.shards < 1) throw std::invalid_argument("--shards must be >= 1");
-  // Scales beyond 64 Ki ranks were historically out of reach for the serial
-  // engine; they are supported now (the sharded PDES path exists for them),
-  // but flag it so an accidental huge --ranks is noticed. stderr only: the
-  // determinism gates byte-compare stdout.
-  if (opt.ranks > 65536)
-    std::cerr << "note: --ranks " << opt.ranks
-              << " exceeds the serially-validated 64Ki range; consider "
-                 "--shards N (PDES) for direct runs at this scale\n";
+  // Accidental huge --ranks is now caught where it matters: the engines
+  // enforce --rss-budget-mib up front with a structured diagnostic that
+  // includes the sharded-PDES pointer (see sim::estimate_working_set), so no
+  // stderr advisory is needed here.
   opt.critical_path_out = cli.get("critical-path-out");
   return opt;
 }

@@ -23,6 +23,7 @@ class DaryHeap {
 
   bool empty() const { return v_.empty(); }
   std::size_t size() const { return v_.size(); }
+  std::size_t capacity() const { return v_.capacity(); }
   void reserve(std::size_t n) { v_.reserve(n); }
   const T& top() const { return v_.front(); }
 

@@ -5,8 +5,10 @@
 // dominates its profile at scale. FlatMap keeps all slots in one contiguous
 // array (a per-rank arena), probes linearly from a multiplicative hash, and
 // supports exactly the operations the engine needs: find, operator[]
-// (insert-or-get), and iteration. No erase — simulation state only grows
-// within a run and is dropped wholesale at the end.
+// (insert-or-get), erase (backward-shift deletion, no tombstones — the match
+// pool releases drained (src, tag) bindings so the live working set stays
+// bounded at scale), and iteration. Capacity is never returned on erase; the
+// table stays at its high-water slot count for churn-free reuse.
 #pragma once
 
 #include <cstdint>
@@ -41,8 +43,39 @@ class FlatMap {
     return const_cast<FlatMap*>(this)->find(key);
   }
 
+  /// Remove `key` if present. Backward-shift deletion: the vacated slot is
+  /// refilled by sliding back any later element of the same probe cluster
+  /// whose home position precedes the hole, so lookups never need tombstones
+  /// and the probe-length invariant survives arbitrary erase/insert churn.
+  bool erase(Key key) {
+    if (slots_.empty()) return false;
+    std::size_t i = probe(key);
+    if (!slots_[i].used) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!slots_[j].used) break;
+      const std::size_t h = static_cast<std::size_t>(
+                                mix(static_cast<std::uint64_t>(slots_[j].key))) &
+                            mask;
+      // The record at j may fill the hole at i only if its probe path from
+      // its home h passes through i (cyclically: i lies in [h, j]).
+      if (((j - h) & mask) >= ((j - i) & mask)) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    slots_[i] = Slot{};
+    --size_;
+    return true;
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Bytes reserved by the slot array (working-set census; cold path).
+  std::size_t memory_bytes() const { return slots_.size() * sizeof(Slot); }
 
   /// Visit every (key, value) pair; order is unspecified (cold paths only —
   /// deadlock diagnostics iterate, the hot path never does).

@@ -1,0 +1,195 @@
+// Working-set regression tests for the scale-regime memory diet: FlatMap
+// backward-shift erase correctness under churn, match-slot arena reuse across
+// checkpoint iterations and snapshot/restore cycles, and the upfront
+// --rss-budget-mib fail-fast diagnostic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "chksim/sim/engine.hpp"
+#include "chksim/sim/par_engine.hpp"
+#include "chksim/sim/program.hpp"
+#include "chksim/support/flat_map.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim {
+namespace {
+
+// --- FlatMap::erase vs std::unordered_map under randomized churn. ---------
+//
+// Keys are drawn from a small range so probe clusters form and the
+// backward-shift deletion repeatedly exercises the cyclic home-position test
+// (including wraparound across slot 0).
+
+TEST(FlatMapErase, RandomChurnMatchesUnorderedMap) {
+  FlatMap<std::uint64_t, std::uint64_t> fm;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  std::mt19937_64 rng(0x5eed);
+  std::uniform_int_distribution<std::uint64_t> key_dist(0, 255);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  for (int step = 0; step < 20000; ++step) {
+    // Mix in high bits occasionally: the engine's real keys are
+    // (src << 32 | tag), so collisions must come from the hash, not the key.
+    std::uint64_t k = key_dist(rng);
+    if (op_dist(rng) < 3) k |= (k << 32);
+    const int op = op_dist(rng);
+    if (op < 5) {
+      const std::uint64_t v = rng();
+      fm[k] = v;
+      ref[k] = v;
+    } else if (op < 8) {
+      EXPECT_EQ(fm.erase(k), ref.erase(k) > 0) << "step " << step;
+    } else {
+      const std::uint64_t* fv = fm.find(k);
+      const auto rv = ref.find(k);
+      ASSERT_EQ(fv != nullptr, rv != ref.end()) << "step " << step;
+      if (fv != nullptr) EXPECT_EQ(*fv, rv->second) << "step " << step;
+    }
+    ASSERT_EQ(fm.size(), ref.size()) << "step " << step;
+  }
+  // Full-content sweep at the end: every surviving pair agrees.
+  std::size_t seen = 0;
+  fm.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ++seen;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "key " << k;
+    EXPECT_EQ(v, it->second) << "key " << k;
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatMapErase, EraseAbsentAndDrainToEmpty) {
+  FlatMap<std::uint64_t, int> fm;
+  EXPECT_FALSE(fm.erase(7));  // erase on an empty table
+  for (std::uint64_t k = 0; k < 100; ++k) fm[k] = static_cast<int>(k);
+  EXPECT_FALSE(fm.erase(100));
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(fm.erase(k)) << k;
+  EXPECT_TRUE(fm.empty());
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(fm.find(k), nullptr);
+}
+
+// --- Match-slot arena reuse. ----------------------------------------------
+//
+// Iterated workloads rebase message tags per iteration, so the set of
+// distinct (src, tag) keys grows with iteration count — but drained bindings
+// are released back to the pool, so the live high-water (match_arena_slots)
+// and the pool size (ws_match_slot_peak) must track the per-iteration
+// communication degree, not the run-total key count.
+
+TEST(MatchArena, SlotsReusedAcrossIterations) {
+  workload::StdParams params;
+  params.ranks = 32;
+  params.iterations = 20;
+  params.compute = 100'000;
+  params.bytes = 4096;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  sim::EngineConfig cfg;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  ASSERT_TRUE(r.completed);
+  // halo3d has <= 6 neighbors; a generous bound of 16 live bindings per rank
+  // still sits far below the ~6 * iterations distinct keys per rank a
+  // non-releasing arena would accumulate.
+  EXPECT_LE(r.match_arena_slots, static_cast<std::int64_t>(params.ranks) * 16);
+  EXPECT_LE(r.ws_match_slot_peak, static_cast<std::int64_t>(params.ranks) * 16);
+  EXPECT_GT(r.ws_bytes, 0);
+}
+
+TEST(MatchArena, PoolStableAcrossSnapshotRestoreCycles) {
+  workload::StdParams params;
+  params.ranks = 16;
+  params.iterations = 8;
+  params.compute = 100'000;
+  params.bytes = 4096;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  sim::EngineConfig cfg;
+
+  sim::SimCore base(p, cfg);
+  base.run_until(std::numeric_limits<TimeNs>::max());
+  const sim::RunResult once = base.take_result();
+  ASSERT_TRUE(once.completed);
+
+  sim::SimCore core(p, cfg);
+  core.run_until(once.makespan / 2);
+  const sim::SimCore::Snapshot snap = core.snapshot();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    core.run_until(std::numeric_limits<TimeNs>::max());
+    core.restore(snap);
+  }
+  core.run_until(std::numeric_limits<TimeNs>::max());
+  const sim::RunResult cycled = core.take_result();
+  ASSERT_TRUE(cycled.completed);
+  EXPECT_EQ(cycled.makespan, once.makespan);
+  EXPECT_EQ(cycled.match_arena_slots, once.match_arena_slots);
+  // Re-running the same suffix must recycle freed slots, not grow the pool:
+  // allow a small slack over the single-run pool for timing-of-release
+  // differences, nothing proportional to the cycle count.
+  EXPECT_LE(cycled.ws_match_slot_peak, (once.ws_match_slot_peak * 5) / 4 + 4);
+}
+
+// --- Upfront --rss-budget-mib enforcement. --------------------------------
+
+TEST(RssBudget, SerialEngineFailsFastWithDiagnostic) {
+  workload::StdParams params;
+  params.ranks = 64;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.rss_budget_mib = 1;  // below even the fixed slack term
+  try {
+    sim::SimCore core(p, cfg);
+    FAIL() << "expected the budget check to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("exceeds --rss-budget-mib 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("suggested max ranks"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--shards"), std::string::npos) << msg;
+  }
+}
+
+TEST(RssBudget, ShardedEngineFailsFastToo) {
+  workload::StdParams params;
+  params.ranks = 64;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.shards = 4;
+  cfg.rss_budget_mib = 1;
+  EXPECT_THROW(sim::ParEngine(p, cfg), std::runtime_error);
+}
+
+TEST(RssBudget, GenerousBudgetRunsNormally) {
+  workload::StdParams params;
+  params.ranks = 64;
+  sim::Program p = workload::make_workload("halo3d", params);
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.rss_budget_mib = 1 << 16;
+  const sim::RunResult r = sim::run_program(p, cfg);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(RssBudget, EstimateScalesWithRanks) {
+  workload::StdParams params;
+  params.ranks = 64;
+  sim::Program small = workload::make_workload("halo3d", params);
+  small.finalize();
+  params.ranks = 512;
+  sim::Program big = workload::make_workload("halo3d", params);
+  big.finalize();
+  sim::EngineConfig cfg;
+  const sim::WorkingSetEstimate a = sim::estimate_working_set(small, cfg);
+  const sim::WorkingSetEstimate b = sim::estimate_working_set(big, cfg);
+  EXPECT_GT(a.total_bytes, 0);
+  EXPECT_GT(b.rank_state_bytes, a.rank_state_bytes);
+  EXPECT_GT(b.program_bytes, a.program_bytes);
+  EXPECT_EQ(b.ranks, 512);
+}
+
+}  // namespace
+}  // namespace chksim

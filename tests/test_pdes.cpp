@@ -260,6 +260,43 @@ TEST(PdesGuards, ShardCountClampedToRanks) {
   expect_same_result(serial, sharded, "shards=ranks");
 }
 
+TEST(PdesDeterminism, AdversarialSameTimestampStorm) {
+  // Worst case for the window-bucketed event queue: zero overheads and
+  // zero-duration calcs collapse every send, completion, and (with L=1)
+  // every cross-rank arrival onto a handful of identical timestamps, so the
+  // same-time straggler path — not the bucket fast path — carries the run.
+  // Duplicate same-(src, tag) sends additionally force FIFO ordering inside
+  // a single match slot at equal match times.
+  sim::Program p(8);
+  for (int r = 0; r < 8; ++r) {
+    p.calc(r, 0);
+    p.send(r, (r + 1) % 8, 8, 5);
+    p.send(r, (r + 1) % 8, 8, 5);  // duplicate (src, tag), same instant
+    p.send(r, (r + 2) % 8, 8, 5);
+    p.recv(r, (r + 7) % 8, 8, 5);
+    p.recv(r, (r + 7) % 8, 8, 5);
+    p.recv(r, (r + 6) % 8, 8, 5);
+    p.calc(r, 0);
+  }
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.record_op_finish = true;
+  cfg.net.L = 1;  // minimum sound lookahead: 1 ns windows
+  cfg.net.o = 0;
+  cfg.net.g = 0;
+  cfg.net.G = 0.0;
+  cfg.net.O = 0.0;
+  cfg.shards = 1;
+  const sim::RunResult serial = sim::run_program(p, cfg);
+  ASSERT_TRUE(serial.completed);
+  for (const int shards : {2, 3, 8}) {
+    cfg.shards = shards;
+    const sim::RunResult sharded = sim::run_program(p, cfg);
+    expect_same_result(serial, sharded,
+                       "same-timestamp storm shards=" + std::to_string(shards));
+  }
+}
+
 TEST(PdesGuards, DeadlockDiagnosticsMatchSerial) {
   // An unmatched recv deadlocks; the sharded engine must report the same
   // ranks in the same format as the serial one.
