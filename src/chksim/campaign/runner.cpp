@@ -17,6 +17,7 @@
 
 #include "chksim/campaign/cache.hpp"
 #include "chksim/core/failure_study.hpp"
+#include "chksim/core/platform_study.hpp"
 #include "chksim/core/study.hpp"
 #include "chksim/net/machines.hpp"
 #include "chksim/support/parallel.hpp"
@@ -38,20 +39,35 @@ ckpt::ProtocolKind protocol_kind_of(const std::string& name) {
 /// Mirror of benchutil::scaled_machine: size the per-node checkpoint so one
 /// write occupies `duty` of each interval at single-writer speed, with the
 /// PFS aggregate limit lifted (the spec's duty axis isolates perturbation
-/// from I/O contention, exactly like the E2/E3 harnesses).
-net::MachineModel scaled_machine(net::MachineModel m, TimeNs interval, double duty) {
+/// from I/O contention, exactly like the E2/E3 harnesses). Platform cells
+/// keep the real PFS limit — cross-job contention is the quantity under
+/// study there — so they only get the checkpoint-size scaling.
+net::MachineModel scaled_machine(net::MachineModel m, TimeNs interval, double duty,
+                                 bool lift_pfs) {
   const double write_seconds = duty * units::to_seconds(interval);
   m.ckpt_bytes_per_node = static_cast<Bytes>(write_seconds * m.node_bw_bytes_per_s);
-  m.pfs_bw_bytes_per_s = m.node_bw_bytes_per_s * 1e7;
+  if (lift_pfs) m.pfs_bw_bytes_per_s = m.node_bw_bytes_per_s * 1e7;
+  return m;
+}
+
+/// Resolve a cell's machine: preset, duty scaling, then the cell's explicit
+/// storage overrides (which win over both).
+net::MachineModel machine_of(const CellSpec& cell) {
+  net::MachineModel m = net::machine_by_name(cell.machine);
+  const TimeNs interval = units::from_seconds(cell.interval_ms * 1e-3);
+  if (cell.duty > 0)
+    m = scaled_machine(m, interval, cell.duty, cell.mode != "platform");
+  if (cell.node_bw_gbs > 0) m.node_bw_bytes_per_s = cell.node_bw_gbs * 1e9;
+  if (cell.pfs_bw_gbs > 0) m.pfs_bw_bytes_per_s = cell.pfs_bw_gbs * 1e9;
+  if (cell.bb_bw_gbs > 0) m.bb_bw_bytes_per_s = cell.bb_bw_gbs * 1e9;
+  if (cell.mtbf_hours > 0) m.node_mtbf_hours = cell.mtbf_hours;
   return m;
 }
 
 core::StudyConfig study_config_of(const CellSpec& cell) {
   core::StudyConfig cfg;
-  cfg.machine = net::machine_by_name(cell.machine);
+  cfg.machine = machine_of(cell);
   const TimeNs interval = units::from_seconds(cell.interval_ms * 1e-3);
-  if (cell.duty > 0) cfg.machine = scaled_machine(cfg.machine, interval, cell.duty);
-  if (cell.mtbf_hours > 0) cfg.machine.node_mtbf_hours = cell.mtbf_hours;
   cfg.workload = cell.workload;
   const TimeNs compute = units::from_seconds(cell.compute_us * 1e-6);
   cfg.params.ranks = cell.ranks;
@@ -67,7 +83,21 @@ core::StudyConfig study_config_of(const CellSpec& cell) {
   cfg.protocol.fixed_interval = interval;
   cfg.protocol.cluster_size = cell.cluster_size;
   cfg.protocol.seed = cell.seed;
+  cfg.protocol.tier = storage::tier_by_name(cell.tier);
   cfg.jobs = 1;  // campaign-level parallelism only
+  return cfg;
+}
+
+core::PlatformConfig platform_config_of(const CellSpec& cell) {
+  const core::StudyConfig study = study_config_of(cell);
+  core::PlatformConfig cfg;
+  cfg.machine = study.machine;
+  cfg.jobs = core::make_job_mix({cell.workload}, cell.njobs, cell.ranks,
+                                study.params, study.protocol);
+  cfg.arbiter = storage::arbiter_policy_by_name(cell.arbiter);
+  cfg.stagger_frac = cell.stagger;
+  cfg.preemption = study.preemption;
+  cfg.threads = 1;  // campaign-level parallelism only
   return cfg;
 }
 
@@ -192,6 +222,13 @@ void replay_journal(const std::string& path, const std::vector<std::string>& key
 
 std::string run_cell(const CellSpec& cell, int shards) {
   obs::MetricsRegistry reg;
+  if (cell.mode == "platform") {
+    core::PlatformConfig platform = platform_config_of(cell);
+    platform.metrics = &reg;
+    platform.shards = shards;
+    core::run_platform_study(platform);
+    return reg.to_json();
+  }
   core::StudyConfig study = study_config_of(cell);
   study.metrics = &reg;
   study.shards = shards;

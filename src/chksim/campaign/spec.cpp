@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "chksim/net/machines.hpp"
+#include "chksim/storage/pfs.hpp"
+#include "chksim/storage/shared_pfs.hpp"
 #include "chksim/support/hash.hpp"
 #include "chksim/workload/workloads.hpp"
 
@@ -40,7 +42,7 @@ struct Field {
   json::Value (*get)(const CellSpec&);
 };
 
-constexpr int kFieldCount = 15;
+constexpr int kFieldCount = 22;
 
 const Field kFields[kFieldCount] = {
     {"mode", [](CellSpec& c, const json::Value& v) { c.mode = need_string(v, "mode"); },
@@ -109,6 +111,39 @@ const Field kFields[kFieldCount] = {
        c.trials = static_cast<int>(need_int(v, "trials"));
      },
      [](const CellSpec& c) { return json::Value::integer(c.trials); }},
+    {"tier",
+     [](CellSpec& c, const json::Value& v) { c.tier = need_string(v, "tier"); },
+     [](const CellSpec& c) { return json::Value::string(c.tier); }},
+    {"node_bw_gbs",
+     [](CellSpec& c, const json::Value& v) {
+       c.node_bw_gbs = need_number(v, "node_bw_gbs");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.node_bw_gbs); }},
+    {"pfs_bw_gbs",
+     [](CellSpec& c, const json::Value& v) {
+       c.pfs_bw_gbs = need_number(v, "pfs_bw_gbs");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.pfs_bw_gbs); }},
+    {"bb_bw_gbs",
+     [](CellSpec& c, const json::Value& v) {
+       c.bb_bw_gbs = need_number(v, "bb_bw_gbs");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.bb_bw_gbs); }},
+    {"arbiter",
+     [](CellSpec& c, const json::Value& v) {
+       c.arbiter = need_string(v, "arbiter");
+     },
+     [](const CellSpec& c) { return json::Value::string(c.arbiter); }},
+    {"njobs",
+     [](CellSpec& c, const json::Value& v) {
+       c.njobs = static_cast<int>(need_int(v, "njobs"));
+     },
+     [](const CellSpec& c) { return json::Value::integer(c.njobs); }},
+    {"stagger",
+     [](CellSpec& c, const json::Value& v) {
+       c.stagger = need_number(v, "stagger");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.stagger); }},
 };
 
 int field_index(const std::string& name) {
@@ -140,12 +175,13 @@ CellSpec CellSpec::from_json(const json::Value& v) {
 }
 
 void CellSpec::validate() const {
-  if (mode != "study" && mode != "failures")
-    bad("mode must be \"study\" or \"failures\", got \"" + mode + "\"");
+  if (mode != "study" && mode != "failures" && mode != "platform")
+    bad("mode must be \"study\", \"failures\", or \"platform\", got \"" + mode +
+        "\"");
   if (protocol != "none" && protocol != "coordinated" &&
       protocol != "uncoordinated" && protocol != "hierarchical")
     bad("unknown protocol \"" + protocol + "\"");
-  net::machine_by_name(machine);  // throws on unknown presets
+  const net::MachineModel preset = net::machine_by_name(machine);  // throws
   const std::vector<std::string> names = workload::workload_names();
   if (std::find(names.begin(), names.end(), workload) == names.end())
     bad("unknown workload \"" + workload + "\"");
@@ -159,6 +195,33 @@ void CellSpec::validate() const {
   if (mtbf_hours < 0) bad("mtbf_hours must be >= 0");
   if (!(work_hours > 0)) bad("work_hours must be > 0");
   if (trials < 1) bad("trials must be >= 1");
+
+  // Storage axes: resolve the effective parameters (cell override where
+  // > 0, machine preset otherwise) and validate them against the tier.
+  // The preset's burst-buffer bandwidth only participates when the tier
+  // actually uses it, so a preset that happens to carry one never turns
+  // into a spurious dead-axis error.
+  const storage::StorageTier t = storage::tier_by_name(tier);  // throws
+  if (node_bw_gbs < 0) bad("node_bw_gbs must be >= 0 (0 = machine preset)");
+  if (pfs_bw_gbs < 0) bad("pfs_bw_gbs must be >= 0 (0 = machine preset)");
+  storage::PfsParams p;
+  p.node_bw_bytes_per_s =
+      node_bw_gbs > 0 ? node_bw_gbs * 1e9 : preset.node_bw_bytes_per_s;
+  p.pfs_bw_bytes_per_s =
+      pfs_bw_gbs > 0 ? pfs_bw_gbs * 1e9 : preset.pfs_bw_bytes_per_s;
+  p.bb_bw_bytes_per_s = bb_bw_gbs != 0
+                            ? bb_bw_gbs * 1e9
+                            : (t == storage::StorageTier::kBurstBuffer
+                                   ? preset.bb_bw_bytes_per_s
+                                   : 0.0);
+  storage::validate_pfs_params(p, t);
+
+  storage::arbiter_policy_by_name(arbiter);  // throws on unknown policies
+  if (njobs < 1) bad("njobs must be >= 1");
+  if (mode == "platform" && njobs < 2)
+    bad("platform mode needs njobs >= 2 (one job cannot contend with itself; "
+        "use mode \"study\" for single-job runs)");
+  if (!(stagger >= 0) || stagger > 1) bad("stagger must be in [0, 1]");
 }
 
 namespace {

@@ -48,7 +48,9 @@ namespace chksim::campaign {
 struct CellSpec {
   /// "study" = failure-free perturbation breakdown (core::run_study);
   /// "failures" = decoupled failure study on top of it
-  /// (core::run_failure_study).
+  /// (core::run_failure_study); "platform" = multi-job interference study
+  /// (core::run_platform_study — njobs jobs of `ranks` ranks each contend
+  /// for the shared PFS under `arbiter`).
   std::string mode = "study";
   std::string machine = "infiniband";   ///< net::machine_by_name preset.
   std::string workload = "halo3d";      ///< workload registry name.
@@ -68,6 +70,17 @@ struct CellSpec {
   double mtbf_hours = 0;   ///< Per-node MTBF override; 0 = machine preset.
   double work_hours = 1.0; ///< Useful work for the recovery model.
   int trials = 50;         ///< Monte-Carlo trials.
+
+  // Storage axes (sweepable; 0 keeps the machine preset's value).
+  std::string tier = "pfs";  ///< pfs|burst-buffer|partner (checkpoint dest).
+  double node_bw_gbs = 0;    ///< Per-node injection bandwidth, GB/s.
+  double pfs_bw_gbs = 0;     ///< Aggregate PFS bandwidth, GB/s.
+  double bb_bw_gbs = 0;      ///< Burst-buffer bandwidth, GB/s.
+
+  // "platform" mode only.
+  std::string arbiter = "fcfs";  ///< fcfs|fair|blocking|cooperative.
+  int njobs = 2;                 ///< Jobs in the mix (ranks each).
+  double stagger = 0;            ///< Machine-wide phase stagger in [0, 1].
 
   /// Canonical JSON: every field present, sorted keys.
   json::Value to_json() const;

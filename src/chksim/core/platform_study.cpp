@@ -1,0 +1,381 @@
+#include "chksim/core/platform_study.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "chksim/obs/telemetry.hpp"
+#include "chksim/platform/job.hpp"
+#include "chksim/support/parallel.hpp"
+
+namespace chksim::core {
+
+namespace {
+
+/// Duty-cycle-based first guess of a job's perturbed makespan; the fixed
+/// point refines it (only the burst COUNT has to converge, not the value).
+TimeNs initial_machine_end(TimeNs base, double duty, TimeNs blackout) {
+  const double denom = std::max(0.1, 1.0 - duty);
+  return static_cast<TimeNs>(static_cast<double>(base) / denom) + blackout;
+}
+
+/// Per-round convergence signature: per-stream completed burst counts plus
+/// the failure count. The timeline's output depends on the machine_end
+/// estimates only through these, so equal signatures mean the last engine
+/// run and the last timeline are mutually consistent.
+std::vector<std::int64_t> signature_of(const platform::TimelineResult& tl) {
+  std::vector<std::int64_t> sig;
+  for (const platform::JobTimeline& jt : tl.jobs) {
+    for (const auto& s : jt.stream_blackouts)
+      sig.push_back(static_cast<std::int64_t>(s.size()));
+    sig.push_back(jt.failures);
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::vector<PlatformJobSpec> make_job_mix(const std::vector<std::string>& workloads,
+                                          int njobs, int ranks_per_job,
+                                          const workload::StdParams& params,
+                                          const ProtocolSpec& protocol) {
+  if (njobs <= 0)
+    throw std::invalid_argument("make_job_mix: job count must be > 0");
+  if (ranks_per_job <= 0)
+    throw std::invalid_argument("make_job_mix: ranks_per_job must be > 0");
+  const std::vector<std::string> names =
+      workloads.empty() ? workload::workload_names() : workloads;
+  std::vector<PlatformJobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(njobs));
+  for (int j = 0; j < njobs; ++j) {
+    PlatformJobSpec spec;
+    spec.workload = names[static_cast<std::size_t>(j) % names.size()];
+    spec.params = params;
+    spec.params.ranks = ranks_per_job;
+    spec.params.seed = params.seed + static_cast<std::uint64_t>(j);
+    spec.protocol = protocol;
+    spec.protocol.seed = protocol.seed + static_cast<std::uint64_t>(j);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+PlatformBreakdown run_platform_study(const PlatformConfig& config) {
+  const int njobs = static_cast<int>(config.jobs.size());
+  if (njobs == 0)
+    throw std::invalid_argument("run_platform_study: empty job mix");
+  if (config.stagger_frac < 0 || config.stagger_frac > 1)
+    throw std::invalid_argument(
+        "run_platform_study: stagger_frac = " +
+        std::to_string(config.stagger_frac) + ": must be in [0, 1]");
+  for (int j = 0; j < njobs; ++j) {
+    const PlatformJobSpec& spec = config.jobs[static_cast<std::size_t>(j)];
+    if (spec.protocol.incremental.enabled())
+      throw std::invalid_argument(
+          "run_platform_study: job " + std::to_string(j) +
+          " (full_every = " + std::to_string(spec.protocol.incremental.full_every) +
+          "): incremental checkpointing is not supported in platform mode — "
+          "the timeline models uniform bursts (see MODEL.md §8)");
+  }
+
+  // Storage parameters of the shared machine.
+  storage::PfsParams pfs_params;
+  pfs_params.node_bw_bytes_per_s = config.machine.node_bw_bytes_per_s;
+  pfs_params.pfs_bw_bytes_per_s = config.machine.pfs_bw_bytes_per_s;
+  pfs_params.bb_bw_bytes_per_s = config.machine.bb_bw_bytes_per_s;
+  storage::validate_pfs_params(pfs_params);
+
+  // Build every job's program (independent slots — safe to parallelise),
+  // then compose them into one rank space.
+  std::optional<obs::PhaseTimer> phase;
+  phase.emplace(config.telemetry, "build");
+  std::vector<sim::Program> programs;
+  programs.reserve(static_cast<std::size_t>(njobs));
+  for (int j = 0; j < njobs; ++j)
+    programs.emplace_back(
+        std::max(1, config.jobs[static_cast<std::size_t>(j)].params.ranks));
+  par::for_each_index(njobs, config.threads, [&](std::int64_t j) {
+    const PlatformJobSpec& spec = config.jobs[static_cast<std::size_t>(j)];
+    programs[static_cast<std::size_t>(j)] =
+        workload::make_workload(spec.workload, spec.params);
+    programs[static_cast<std::size_t>(j)].finalize();
+  });
+  std::vector<const sim::Program*> parts;
+  parts.reserve(programs.size());
+  for (const sim::Program& p : programs) parts.push_back(&p);
+  const sim::Program composed = sim::Program::compose(parts);
+
+  std::vector<sim::RankId> begin(static_cast<std::size_t>(njobs) + 1, 0);
+  for (int j = 0; j < njobs; ++j)
+    begin[static_cast<std::size_t>(j) + 1] =
+        begin[static_cast<std::size_t>(j)] + programs[static_cast<std::size_t>(j)].ranks();
+  const int total_ranks = begin[static_cast<std::size_t>(njobs)];
+
+  // Prepare each job's protocol and its burst-stream description.
+  phase.emplace(config.telemetry, "protocol");
+  std::vector<ckpt::Artifacts> arts;
+  arts.reserve(static_cast<std::size_t>(njobs));
+  std::vector<platform::JobIo> ios;
+  ios.reserve(static_cast<std::size_t>(njobs));
+  for (int j = 0; j < njobs; ++j) {
+    const PlatformJobSpec& spec = config.jobs[static_cast<std::size_t>(j)];
+    const int n = spec.params.ranks;
+    arts.push_back(prepare_protocol(spec.protocol, config.machine, n));
+    const ckpt::Artifacts& a = arts.back();
+
+    platform::JobIoParams p;
+    p.kind = a.kind;
+    p.ranks = n;
+    p.interval = a.interval;
+    p.coordination_time = a.coordination_time;
+    p.write_time = a.write_time;
+    p.tier = spec.protocol.tier;
+    p.cluster_size = spec.protocol.cluster_size;
+    p.phase_seed = spec.protocol.seed;
+    if (a.interval > 0)
+      p.stagger_shift = static_cast<TimeNs>(
+          config.stagger_frac * static_cast<double>(j) /
+          static_cast<double>(njobs) * static_cast<double>(a.interval));
+    p.bytes_per_node = config.machine.ckpt_bytes_per_node;
+    p.restart_fixed = units::from_seconds(
+        spec.protocol.tier == storage::StorageTier::kParallelFs
+            ? config.machine.restart_seconds
+            : ckpt::restart_cost_seconds(a.kind, spec.protocol.tier,
+                                         config.machine, n,
+                                         spec.protocol.cluster_size));
+    if (config.failures && n > 0)
+      p.mtbf_seconds = config.machine.system_mtbf_seconds(n);
+    p.failure_seed = config.failure_seed;
+    ios.push_back(platform::make_job_io(p));
+  }
+
+  // Base run: the composed machine with no checkpointing anywhere.
+  phase.emplace(config.telemetry, "run");
+  sim::EngineConfig base_cfg;
+  base_cfg.net = config.machine.net;
+  base_cfg.preemption = config.preemption;
+  base_cfg.shards = config.shards;
+  const sim::RunResult base = sim::run_program(composed, base_cfg);
+  if (!base.completed)
+    throw std::runtime_error("platform base run did not complete: " + base.error);
+
+  std::vector<TimeNs> base_makespan(static_cast<std::size_t>(njobs), 0);
+  for (int j = 0; j < njobs; ++j) {
+    const sim::RunResult s = sim::slice_result(base, begin[static_cast<std::size_t>(j)],
+                                               begin[static_cast<std::size_t>(j) + 1]);
+    base_makespan[static_cast<std::size_t>(j)] = s.makespan;
+    ios[static_cast<std::size_t>(j)].machine_end = initial_machine_end(
+        s.makespan, arts[static_cast<std::size_t>(j)].duty_cycle(),
+        arts[static_cast<std::size_t>(j)].blackout);
+  }
+
+  // The message-tax dispatch is fixed across rounds.
+  platform::PlatformTax tax;
+  for (int j = 0; j < njobs; ++j)
+    tax.add_job(begin[static_cast<std::size_t>(j)],
+                begin[static_cast<std::size_t>(j) + 1],
+                arts[static_cast<std::size_t>(j)].tax.get());
+
+  // Fixed point: timeline (burst durations under contention) <-> composed
+  // engine run (makespans under those blackouts).
+  platform::TimelineResult tl;
+  sim::RunResult perturbed;
+  std::optional<sim::ListBlackouts> schedule;
+  std::vector<std::int64_t> prev_sig;
+  int rounds = 0;
+  for (int round = 0; round < std::max(1, config.max_rounds); ++round) {
+    rounds = round + 1;
+    platform::TimelineConfig tcfg;
+    tcfg.pfs = pfs_params;
+    tcfg.policy = config.arbiter;
+    tcfg.jobs = ios;
+    tl = platform::run_timeline(tcfg);
+
+    // Map per-stream machine-time blackouts onto the composed rank space.
+    std::vector<std::vector<sim::Interval>> per_rank(
+        static_cast<std::size_t>(total_ranks));
+    for (int j = 0; j < njobs; ++j) {
+      const platform::JobIo& io = ios[static_cast<std::size_t>(j)];
+      const platform::JobTimeline& jt = tl.jobs[static_cast<std::size_t>(j)];
+      for (std::size_t si = 0; si < io.streams.size(); ++si) {
+        const platform::BurstStream& bs = io.streams[si];
+        for (sim::RankId r = bs.rank_begin; r < bs.rank_end; ++r) {
+          auto& list =
+              per_rank[static_cast<std::size_t>(begin[static_cast<std::size_t>(j)] + r)];
+          list.insert(list.end(), jt.stream_blackouts[si].begin(),
+                      jt.stream_blackouts[si].end());
+        }
+      }
+    }
+    schedule.emplace(std::move(per_rank));
+
+    sim::EngineConfig pert_cfg = base_cfg;
+    pert_cfg.blackouts = &*schedule;
+    if (!tax.empty()) pert_cfg.tax = &tax;
+    perturbed = sim::run_program(composed, pert_cfg);
+    if (!perturbed.completed)
+      throw std::runtime_error("platform perturbed run did not complete: " +
+                               perturbed.error);
+    for (int j = 0; j < njobs; ++j)
+      ios[static_cast<std::size_t>(j)].machine_end =
+          sim::slice_result(perturbed, begin[static_cast<std::size_t>(j)],
+                            begin[static_cast<std::size_t>(j) + 1])
+              .makespan;
+
+    std::vector<std::int64_t> sig = signature_of(tl);
+    if (sig == prev_sig) break;
+    prev_sig = std::move(sig);
+  }
+
+  // Observability extras on the converged state: the per-rank contention map
+  // (composed rank space) and, when requested, a traced replay of the final
+  // perturbed run (same schedule, so it reproduces the measured run).
+  if (config.storage_map != nullptr) {
+    *config.storage_map = obs::StorageContentionMap(total_ranks);
+    for (int j = 0; j < njobs; ++j) {
+      const platform::JobIo& io = ios[static_cast<std::size_t>(j)];
+      const platform::JobTimeline& jt = tl.jobs[static_cast<std::size_t>(j)];
+      for (std::size_t si = 0; si < io.streams.size(); ++si) {
+        const platform::BurstStream& bs = io.streams[si];
+        config.storage_map->add_range(begin[static_cast<std::size_t>(j)] + bs.rank_begin,
+                                      begin[static_cast<std::size_t>(j)] + bs.rank_end,
+                                      jt.stream_contention[si]);
+      }
+    }
+  }
+  if (config.trace != nullptr) {
+    sim::EngineConfig trace_cfg = base_cfg;
+    trace_cfg.blackouts = &*schedule;
+    if (!tax.empty()) trace_cfg.tax = &tax;
+    trace_cfg.trace = config.trace;
+    const sim::RunResult traced = sim::run_program(composed, trace_cfg);
+    if (!traced.completed)
+      throw std::runtime_error("platform traced run did not complete: " +
+                               traced.error);
+  }
+
+  // Assemble the breakdown.
+  phase.emplace(config.telemetry, "publish");
+  PlatformBreakdown out;
+  out.total_ranks = total_ranks;
+  out.rounds = rounds;
+  out.pfs_requests = tl.pfs.requests;
+  out.pfs_busy = tl.pfs.busy;
+  out.pfs_peak_active = tl.pfs.peak_active;
+  out.pfs_preemptions = tl.pfs.preemptions;
+
+  double base_node_s = 0, wall_node_s = 0;
+  for (int j = 0; j < njobs; ++j) {
+    const PlatformJobSpec& spec = config.jobs[static_cast<std::size_t>(j)];
+    const ckpt::Artifacts& a = arts[static_cast<std::size_t>(j)];
+    const platform::JobTimeline& jt = tl.jobs[static_cast<std::size_t>(j)];
+    const sim::RunResult bs = sim::slice_result(
+        base, begin[static_cast<std::size_t>(j)], begin[static_cast<std::size_t>(j) + 1]);
+    const sim::RunResult ps = sim::slice_result(
+        perturbed, begin[static_cast<std::size_t>(j)],
+        begin[static_cast<std::size_t>(j) + 1]);
+
+    PlatformJobBreakdown b;
+    b.job = j;
+    b.workload = spec.workload;
+    b.protocol = a.name;
+    b.ranks = spec.params.ranks;
+    b.rank_begin = begin[static_cast<std::size_t>(j)];
+    b.interval = a.interval;
+    b.duty_cycle = a.duty_cycle();
+    b.base_makespan = bs.makespan;
+    b.perturbed_makespan = ps.makespan;
+    b.wall_makespan = ps.makespan + jt.offset;
+    b.slowdown = bs.makespan > 0 ? static_cast<double>(ps.makespan) /
+                                       static_cast<double>(bs.makespan)
+                                 : 1.0;
+    b.overhead_fraction = b.slowdown - 1.0;
+    b.propagation_factor =
+        b.duty_cycle > 0 ? b.overhead_fraction / b.duty_cycle : 0.0;
+    b.recv_wait_base = bs.total_recv_wait();
+    b.recv_wait_perturbed = ps.total_recv_wait();
+    b.bursts = jt.bursts;
+    b.commits = jt.commits;
+    b.queue_wait = jt.queue_wait;
+    b.storage_contention = jt.contention;
+    b.write = jt.write;
+    b.failures = jt.failures;
+    b.lost = jt.lost;
+    b.restart = jt.restart;
+    out.machine_makespan = std::max(out.machine_makespan, b.wall_makespan);
+
+    const double n = static_cast<double>(b.ranks);
+    base_node_s += units::to_seconds(b.base_makespan) * n;
+    wall_node_s += units::to_seconds(b.wall_makespan) * n;
+    out.waste_contention_node_s += units::to_seconds(jt.contention_nodes);
+    out.waste_failure_node_s += units::to_seconds(jt.offset) * n;
+    out.waste_checkpoint_node_s +=
+        units::to_seconds(b.perturbed_makespan - b.base_makespan) * n;
+    out.jobs.push_back(std::move(b));
+  }
+  // Contention is carved out of the checkpoint+propagation overhead.
+  out.waste_checkpoint_node_s =
+      std::max(0.0, out.waste_checkpoint_node_s - out.waste_contention_node_s);
+  out.machine_efficiency = wall_node_s > 0 ? base_node_s / wall_node_s : 0.0;
+
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    obs::stamp_provenance(m, config.failure_seed);
+    m.set_gauge("platform.machine.jobs", static_cast<double>(njobs));
+    m.set_gauge("platform.machine.ranks", static_cast<double>(total_ranks));
+    m.set_gauge("platform.machine.rounds", static_cast<double>(out.rounds));
+    m.set_gauge("platform.machine.makespan_ns",
+                static_cast<double>(out.machine_makespan));
+    m.set_gauge("platform.machine.efficiency", out.machine_efficiency);
+    m.set_gauge("platform.machine.waste_checkpoint_node_s",
+                out.waste_checkpoint_node_s);
+    m.set_gauge("platform.machine.waste_contention_node_s",
+                out.waste_contention_node_s);
+    m.set_gauge("platform.machine.waste_failure_node_s",
+                out.waste_failure_node_s);
+    m.add_counter("platform.machine.pfs.requests", out.pfs_requests);
+    m.add_counter("platform.machine.pfs.preemptions", out.pfs_preemptions);
+    m.set_gauge("platform.machine.pfs.busy_ns", static_cast<double>(out.pfs_busy));
+    m.set_gauge("platform.machine.pfs.peak_active",
+                static_cast<double>(out.pfs_peak_active));
+    for (const PlatformJobBreakdown& b : out.jobs) {
+      const std::string p = "platform.job" + std::to_string(b.job) + ".";
+      m.set_gauge(p + "ranks", static_cast<double>(b.ranks));
+      m.set_gauge(p + "interval_ns", static_cast<double>(b.interval));
+      m.set_gauge(p + "duty_cycle", b.duty_cycle);
+      m.set_gauge(p + "base_makespan_ns", static_cast<double>(b.base_makespan));
+      m.set_gauge(p + "perturbed_makespan_ns",
+                  static_cast<double>(b.perturbed_makespan));
+      m.set_gauge(p + "wall_makespan_ns", static_cast<double>(b.wall_makespan));
+      m.set_gauge(p + "slowdown", b.slowdown);
+      m.set_gauge(p + "overhead_fraction", b.overhead_fraction);
+      m.set_gauge(p + "propagation_factor", b.propagation_factor);
+      m.set_gauge(p + "recv_wait_perturbed_ns",
+                  static_cast<double>(b.recv_wait_perturbed));
+      m.add_counter(p + "bursts", b.bursts);
+      m.add_counter(p + "commits", b.commits);
+      m.set_gauge(p + "queue_wait_ns", static_cast<double>(b.queue_wait));
+      m.set_gauge(p + "storage_contention_ns",
+                  static_cast<double>(b.storage_contention));
+      m.set_gauge(p + "write_ns", static_cast<double>(b.write));
+      m.add_counter(p + "failures", b.failures);
+      m.set_gauge(p + "lost_ns", static_cast<double>(b.lost));
+      m.set_gauge(p + "restart_ns", static_cast<double>(b.restart));
+    }
+  }
+  phase.reset();
+  if (config.telemetry != nullptr) {
+    obs::MetricsRegistry& t = *config.telemetry;
+    if (perturbed.pdes_shards > 0) {
+      t.set_gauge("pdes.shards", static_cast<double>(perturbed.pdes_shards));
+      t.set_gauge("pdes.perturbed.supersteps",
+                  static_cast<double>(perturbed.pdes_supersteps));
+    }
+    t.set_gauge("pdes.perturbed.ws_bytes", static_cast<double>(perturbed.ws_bytes));
+    obs::publish_process_telemetry(t);
+  }
+  return out;
+}
+
+}  // namespace chksim::core

@@ -1,0 +1,147 @@
+// The platform study: N jobs on one machine, sharing the file system.
+//
+// run_study (study.hpp) answers the paper's questions for one application
+// that owns the whole machine. run_platform_study lifts that assumption:
+// a job mix runs inside ONE composed discrete-event simulation (one rank
+// space, one event order — Program::compose), while every checkpoint write
+// and restart read goes through the SharedPfs arbiter, so jobs' checkpoint
+// phases contend, queue, and stretch each other exactly as the arbitration
+// policy dictates.
+//
+// Execution is a fixed point between two coupled simulations (see
+// platform/timeline.hpp for the split): the platform timeline resolves
+// every burst's realised blackout against the arbiter given current job
+// makespans; the composed engine run replays those blackouts against the
+// full message graph and yields new per-job makespans (slice_result); the
+// loop repeats until per-stream burst counts stabilise (at most
+// max_rounds, in practice 2-3). Both halves are deterministic, so the whole
+// study is byte-stable across --jobs and --shards.
+//
+// The prize question (E14): with several jobs contending, does machine-wide
+// staggering of checkpoint phases (stagger_frac > 0) beat every job running
+// its per-job-optimal Daly interval in phase (stagger_frac = 0)?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chksim/core/study.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/platform/timeline.hpp"
+#include "chksim/storage/shared_pfs.hpp"
+
+namespace chksim::core {
+
+/// One job of the mix: its own workload, scale, and protocol.
+struct PlatformJobSpec {
+  std::string workload = "halo3d";
+  workload::StdParams params;  ///< params.ranks is the job's size.
+  ProtocolSpec protocol;
+};
+
+struct PlatformConfig {
+  net::MachineModel machine = net::infiniband_system();
+  std::vector<PlatformJobSpec> jobs;
+  storage::ArbiterPolicy arbiter = storage::ArbiterPolicy::kFcfs;
+
+  /// Machine-wide checkpoint staggering in [0, 1]: job j's burst phases are
+  /// shifted by stagger_frac * (j / N) * interval_j. 0 = jobs checkpoint in
+  /// phase (the each-job-for-itself baseline); 1 = phases spread evenly
+  /// across the interval.
+  double stagger_frac = 0;
+
+  /// Per-job failures (job-level rollback; restart reads contend through
+  /// the arbiter). Job j's MTBF is machine.node_mtbf_hours / ranks_j.
+  bool failures = false;
+  std::uint64_t failure_seed = 1;
+
+  sim::Preemption preemption = sim::Preemption::kPreemptive;
+
+  /// Optional: receives the event stream of one extra perturbed run executed
+  /// after the fixed point converges (the converged blackout schedule is
+  /// deterministic, so the traced run reproduces the measured one). Feed it
+  /// to obs::attribute_waits together with `storage_map` to split waits into
+  /// sender_blackout / storage_contention / propagated / network.
+  sim::TraceSink* trace = nullptr;
+  /// Optional: filled with the converged per-rank (composed rank space)
+  /// storage-contention intervals — the obs attribution input.
+  obs::StorageContentionMap* storage_map = nullptr;
+
+  obs::MetricsRegistry* metrics = nullptr;    ///< "platform.*" namespaces.
+  obs::MetricsRegistry* telemetry = nullptr;  ///< Side channel (wall-clock).
+  int threads = 1;  ///< Worker threads for the base/perturbed engine pair.
+  int shards = 1;   ///< Conservative-PDES shards for each engine run.
+  int max_rounds = 5;  ///< Fixed-point iteration cap.
+};
+
+/// Where one job's time went (the per-job Breakdown).
+struct PlatformJobBreakdown {
+  int job = 0;
+  std::string workload;
+  std::string protocol;
+  int ranks = 0;
+  sim::RankId rank_begin = 0;  ///< First composed rank of the job.
+  TimeNs interval = 0;
+  double duty_cycle = 0;  ///< Solo (uncontended) blackout / interval.
+
+  TimeNs base_makespan = 0;       ///< No checkpointing, no contention.
+  TimeNs perturbed_makespan = 0;  ///< With blackouts as resolved under contention.
+  TimeNs wall_makespan = 0;       ///< perturbed + failure lost/restart time.
+  double slowdown = 1.0;          ///< perturbed / base.
+  double overhead_fraction = 0;   ///< slowdown - 1.
+  double propagation_factor = 0;  ///< overhead_fraction / duty_cycle.
+  TimeNs recv_wait_base = 0;
+  TimeNs recv_wait_perturbed = 0;
+
+  // Storage behaviour under contention (from the timeline).
+  std::int64_t bursts = 0;
+  std::int64_t commits = 0;
+  TimeNs queue_wait = 0;           ///< Summed over the job's bursts.
+  TimeNs storage_contention = 0;   ///< queue wait + bandwidth-share stretch.
+  TimeNs write = 0;                ///< Realised service time.
+
+  // Failures (0 when config.failures is off).
+  std::int64_t failures = 0;
+  TimeNs lost = 0;     ///< Machine time rolled back.
+  TimeNs restart = 0;  ///< Restart read + relaunch time.
+};
+
+/// Machine-level result: per-job breakdowns plus the platform totals.
+struct PlatformBreakdown {
+  std::vector<PlatformJobBreakdown> jobs;
+  int total_ranks = 0;
+  int rounds = 0;              ///< Fixed-point rounds until burst counts settled.
+  TimeNs machine_makespan = 0; ///< max over jobs of wall_makespan.
+
+  /// Node-time efficiency: sum_j(base_j * n_j) / sum_j(wall_j * n_j).
+  double machine_efficiency = 0;
+  /// Machine-level waste, node-seconds by category. checkpoint covers
+  /// blackout + propagation net of contention; the three sum (with the
+  /// useful node-time) to the occupied node-time.
+  double waste_checkpoint_node_s = 0;
+  double waste_contention_node_s = 0;
+  double waste_failure_node_s = 0;
+
+  // Arbiter totals.
+  std::int64_t pfs_requests = 0;
+  TimeNs pfs_busy = 0;
+  std::int64_t pfs_peak_active = 0;
+  std::int64_t pfs_preemptions = 0;
+};
+
+/// Run the job mix to completion. Deterministic (byte-stable metrics across
+/// thread and shard counts). Throws std::invalid_argument for an empty mix
+/// or a job with incremental checkpointing enabled (the platform timeline
+/// models uniform bursts; see MODEL.md §8).
+PlatformBreakdown run_platform_study(const PlatformConfig& config);
+
+/// Build an N-job mix by cycling `workloads` (registry names; empty =
+/// the full registry order), giving every job `ranks_per_job` ranks, the
+/// same base parameters, and the shared protocol spec with decorrelated
+/// per-job seeds (params.seed + j, protocol.seed + j).
+std::vector<PlatformJobSpec> make_job_mix(const std::vector<std::string>& workloads,
+                                          int njobs, int ranks_per_job,
+                                          const workload::StdParams& params,
+                                          const ProtocolSpec& protocol);
+
+}  // namespace chksim::core

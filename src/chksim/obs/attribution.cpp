@@ -17,6 +17,7 @@ TimeNs effect_time(const TraceEvent& ev) {
 
 struct Ledger {
   TimeNs blk = 0;   ///< Own blackout stall accrued so far.
+  TimeNs cont = 0;  ///< Subset of stall inside contention intervals.
   TimeNs prop = 0;  ///< Delay absorbed from upstream so far.
 };
 
@@ -28,9 +29,90 @@ TimeNs proportion(TimeNs dp, TimeNs num, TimeNs den) {
 
 }  // namespace
 
+StorageContentionMap::StorageContentionMap(int ranks)
+    : per_rank_(static_cast<std::size_t>(ranks < 0 ? 0 : ranks)) {}
+
+void StorageContentionMap::add_range(sim::RankId begin, sim::RankId end,
+                                     const std::vector<sim::Interval>& intervals) {
+  if (intervals.empty()) return;
+  if (begin < 0 || end > static_cast<sim::RankId>(per_rank_.size()) || begin >= end)
+    return;
+  // Normalise once: sort and merge the incoming list.
+  std::vector<sim::Interval> merged = intervals;
+  std::sort(merged.begin(), merged.end(),
+            [](const sim::Interval& a, const sim::Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].end <= merged[i].begin) continue;
+    if (w > 0 && merged[i].begin <= merged[w - 1].end) {
+      merged[w - 1].end = std::max(merged[w - 1].end, merged[i].end);
+    } else {
+      merged[w++] = merged[i];
+    }
+  }
+  merged.resize(w);
+  if (merged.empty()) return;
+  empty_ = false;
+  for (sim::RankId r = begin; r < end; ++r) {
+    std::vector<sim::Interval>& dst = per_rank_[static_cast<std::size_t>(r)];
+    if (dst.empty()) {
+      dst = merged;
+      continue;
+    }
+    // Merge the two sorted disjoint lists.
+    std::vector<sim::Interval> both;
+    both.reserve(dst.size() + merged.size());
+    both.insert(both.end(), dst.begin(), dst.end());
+    both.insert(both.end(), merged.begin(), merged.end());
+    std::sort(both.begin(), both.end(),
+              [](const sim::Interval& a, const sim::Interval& b) {
+                return a.begin < b.begin;
+              });
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < both.size(); ++i) {
+      if (k > 0 && both[i].begin <= both[k - 1].end) {
+        both[k - 1].end = std::max(both[k - 1].end, both[i].end);
+      } else {
+        both[k++] = both[i];
+      }
+    }
+    both.resize(k);
+    dst = std::move(both);
+  }
+}
+
+TimeNs StorageContentionMap::overlap(sim::RankId rank, TimeNs t0, TimeNs t1) const {
+  if (rank < 0 || rank >= static_cast<sim::RankId>(per_rank_.size()) || t1 <= t0)
+    return 0;
+  const std::vector<sim::Interval>& list = per_rank_[static_cast<std::size_t>(rank)];
+  // First interval that could overlap: the one before the first with
+  // begin > t0, then walk forward.
+  auto it = std::upper_bound(list.begin(), list.end(), t0,
+                             [](TimeNs t, const sim::Interval& iv) {
+                               return t < iv.begin;
+                             });
+  if (it != list.begin()) --it;
+  TimeNs total = 0;
+  for (; it != list.end() && it->begin < t1; ++it) {
+    const TimeNs lo = std::max(it->begin, t0);
+    const TimeNs hi = std::min(it->end, t1);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
 double WaitAttribution::share_sender_blackout() const {
   return total.recv_wait > 0
              ? static_cast<double>(total.sender_blackout) /
+                   static_cast<double>(total.recv_wait)
+             : 0.0;
+}
+
+double WaitAttribution::share_storage_contention() const {
+  return total.recv_wait > 0
+             ? static_cast<double>(total.storage_contention) /
                    static_cast<double>(total.recv_wait)
              : 0.0;
 }
@@ -48,18 +130,32 @@ double WaitAttribution::share_network() const {
 }
 
 std::string WaitAttribution::to_string() const {
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "recv_wait %lld ns over %lld wait(s): sender_blackout %.1f%%, "
-                "propagated %.1f%%, network %.1f%%%s",
-                static_cast<long long>(total.recv_wait),
-                static_cast<long long>(total.waits),
-                100.0 * share_sender_blackout(), 100.0 * share_propagated(),
-                100.0 * share_network(), complete ? "" : " (incomplete trace)");
+  char buf[320];
+  if (total.storage_contention > 0) {
+    std::snprintf(
+        buf, sizeof buf,
+        "recv_wait %lld ns over %lld wait(s): sender_blackout %.1f%%, "
+        "storage_contention %.1f%%, propagated %.1f%%, network %.1f%%%s",
+        static_cast<long long>(total.recv_wait),
+        static_cast<long long>(total.waits), 100.0 * share_sender_blackout(),
+        100.0 * share_storage_contention(), 100.0 * share_propagated(),
+        100.0 * share_network(), complete ? "" : " (incomplete trace)");
+  } else {
+    std::snprintf(
+        buf, sizeof buf,
+        "recv_wait %lld ns over %lld wait(s): sender_blackout %.1f%%, "
+        "propagated %.1f%%, network %.1f%%%s",
+        static_cast<long long>(total.recv_wait),
+        static_cast<long long>(total.waits), 100.0 * share_sender_blackout(),
+        100.0 * share_propagated(), 100.0 * share_network(),
+        complete ? "" : " (incomplete trace)");
+  }
   return buf;
 }
 
-WaitAttribution attribute_waits(const EventTracer& tracer) {
+WaitAttribution attribute_waits(const EventTracer& tracer,
+                                const StorageContentionMap* storage) {
+  if (storage != nullptr && storage->empty()) storage = nullptr;
   WaitAttribution out;
   out.ranks.resize(static_cast<std::size_t>(tracer.ranks()));
   out.complete = tracer.dropped() == 0;
@@ -79,9 +175,17 @@ WaitAttribution attribute_waits(const EventTracer& tracer) {
     switch (ev.kind) {
       case TraceEventKind::kCalc:
       case TraceEventKind::kSendOp:
-      case TraceEventKind::kRecvOp:
-        ledger[r].blk = saturating_add(ledger[r].blk, ev.stall);
+      case TraceEventKind::kRecvOp: {
+        // The part of the stall inside the rank's contention intervals was
+        // caused by other tenants of the shared storage; the rest is the
+        // protocol's own blackout.
+        TimeNs cont_part = 0;
+        if (storage != nullptr && ev.stall > 0)
+          cont_part = std::min(ev.stall, storage->overlap(ev.rank, ev.t0, ev.t1));
+        ledger[r].blk = saturating_add(ledger[r].blk, ev.stall - cont_part);
+        ledger[r].cont = saturating_add(ledger[r].cont, cont_part);
         break;
+      }
       case TraceEventKind::kMsgInject:
         snapshots.emplace(ev.seq, ledger[r]);
         break;
@@ -92,25 +196,31 @@ WaitAttribution attribute_waits(const EventTracer& tracer) {
         ++att.waits;
 
         TimeNs sender_blackout = 0;
+        TimeNs storage_contention = 0;
         TimeNs propagated = 0;
         const auto snap = snapshots.find(ev.ref);
         if (snap != snapshots.end()) {
           const Ledger& s = snap->second;
-          const TimeNs carried = saturating_add(s.blk, s.prop);
+          const TimeNs carried =
+              saturating_add(saturating_add(s.blk, s.cont), s.prop);
           const TimeNs delay_part = std::min(wait, carried);
           if (carried > 0) {
             sender_blackout = proportion(delay_part, s.blk, carried);
-            propagated = delay_part - sender_blackout;
+            storage_contention = proportion(delay_part, s.cont, carried);
+            propagated = delay_part - sender_blackout - storage_contention;
           }
           snapshots.erase(snap);  // each message matches exactly once
         } else if (ev.ref != 0) {
           ++out.unmatched_waits;  // inject record lost to ring wrap
         }
         att.sender_blackout = saturating_add(att.sender_blackout, sender_blackout);
+        att.storage_contention =
+            saturating_add(att.storage_contention, storage_contention);
         att.propagated = saturating_add(att.propagated, propagated);
-        att.network = saturating_add(att.network, wait - sender_blackout - propagated);
-        ledger[r].prop =
-            saturating_add(ledger[r].prop, sender_blackout + propagated);
+        att.network = saturating_add(
+            att.network, wait - sender_blackout - storage_contention - propagated);
+        ledger[r].prop = saturating_add(
+            ledger[r].prop, sender_blackout + storage_contention + propagated);
         break;
       }
       case TraceEventKind::kMsgDeliver:
@@ -128,6 +238,8 @@ WaitAttribution attribute_waits(const EventTracer& tracer) {
     out.total.recv_wait = saturating_add(out.total.recv_wait, r.recv_wait);
     out.total.sender_blackout =
         saturating_add(out.total.sender_blackout, r.sender_blackout);
+    out.total.storage_contention =
+        saturating_add(out.total.storage_contention, r.storage_contention);
     out.total.propagated = saturating_add(out.total.propagated, r.propagated);
     out.total.network = saturating_add(out.total.network, r.network);
     out.total.waits += r.waits;

@@ -5,37 +5,46 @@
 // causality graph. Every nanosecond of recv_wait is classified as exactly
 // one of:
 //
-//   sender_blackout — the matched message's sender had itself lost CPU time
-//                     to blackouts (checkpoint writes, noise) by injection
-//                     time; the immediate sender is the root cause.
-//   propagated      — the sender was late because *it* had absorbed delay
-//                     from its own upstream senders (transitively); the root
-//                     cause is further up the dependency chain. This is the
-//                     paper's communication-propagation effect made visible
-//                     per rank.
-//   network         — everything a delay-free execution would also have
-//                     waited for: wire latency, rendezvous round trips, and
-//                     structural slack (the sender simply was not ready yet,
-//                     with no delay anywhere upstream).
+//   sender_blackout    — the matched message's sender had itself lost CPU
+//                        time to blackouts (checkpoint writes, noise) by
+//                        injection time; the immediate sender is the root
+//                        cause.
+//   storage_contention — the part of the sender's blackout stall that a
+//                        StorageContentionMap marks as caused by OTHER
+//                        tenants of the shared file system (queue wait +
+//                        bandwidth-share stretch in the platform timeline).
+//                        Only produced when a map is supplied; zero
+//                        otherwise.
+//   propagated         — the sender was late because *it* had absorbed delay
+//                        from its own upstream senders (transitively); the
+//                        root cause is further up the dependency chain. This
+//                        is the paper's communication-propagation effect
+//                        made visible per rank.
+//   network            — everything a delay-free execution would also have
+//                        waited for: wire latency, rendezvous round trips,
+//                        and structural slack (the sender simply was not
+//                        ready yet, with no delay anywhere upstream).
 //
 // Model: a running per-rank delay ledger, maintained in event-effect order.
-// Each rank r carries blk[r] (CPU time its own ops lost to blackouts so far)
-// and prop[r] (delay it has absorbed from upstream via waits). When a
-// message is injected, the sender's ledger (blk, prop) is snapshotted; when
-// a receive that waited W matches that message, the delay-caused part is
+// Each rank r carries blk[r] (CPU time its own ops lost to blackouts so
+// far), cont[r] (the subset of that stall inside the rank's contention
+// intervals), and prop[r] (delay it has absorbed from upstream via waits).
+// When a message is injected, the sender's ledger is snapshotted; when a
+// receive that waited W matches that message, the delay-caused part is
 //
-//   dp = min(W, blk + prop)
+//   dp = min(W, blk + cont + prop)
 //
 // (had the sender carried no delay, everything it did would have happened
 // that much earlier, to first order), split proportionally between
-// sender_blackout and propagated; the remainder W - dp is network. The
-// receiver's prop ledger then grows by dp — this is how delay propagates
-// transitively through the attribution. Ledgers never decay: a rank that
-// catches up through slack simply stops producing waits downstream, so the
-// approximation stays consistent.
+// sender_blackout, storage_contention, and propagated; the remainder W - dp
+// is network. The receiver's prop ledger then grows by dp — this is how
+// delay propagates transitively through the attribution. Ledgers never
+// decay: a rank that catches up through slack simply stops producing waits
+// downstream, so the approximation stays consistent.
 //
-// Invariant (tested): per rank, sender_blackout + propagated + network ==
-// recv_wait == the engine's RankStats::recv_wait, to the nanosecond.
+// Invariant (tested): per rank, sender_blackout + storage_contention +
+// propagated + network == recv_wait == the engine's RankStats::recv_wait,
+// to the nanosecond.
 #pragma once
 
 #include <cstdint>
@@ -43,12 +52,39 @@
 #include <vector>
 
 #include "chksim/obs/tracer.hpp"
+#include "chksim/sim/availability.hpp"
 
 namespace chksim::obs {
+
+/// Per-rank intervals during which a rank's blackout stall is attributable
+/// to storage contention from other tenants (the contention tails of the
+/// platform timeline's resolved bursts, mapped onto the traced rank space).
+/// Intervals are sorted and merged at add time, so overlap queries are a
+/// binary search.
+class StorageContentionMap {
+ public:
+  explicit StorageContentionMap(int ranks);
+
+  /// Record contention intervals for every rank in [begin, end). May be
+  /// called repeatedly per rank; overlapping additions merge.
+  void add_range(sim::RankId begin, sim::RankId end,
+                 const std::vector<sim::Interval>& intervals);
+
+  /// Total overlap of [t0, t1) with `rank`'s contention intervals.
+  TimeNs overlap(sim::RankId rank, TimeNs t0, TimeNs t1) const;
+
+  bool empty() const { return empty_; }
+  int ranks() const { return static_cast<int>(per_rank_.size()); }
+
+ private:
+  std::vector<std::vector<sim::Interval>> per_rank_;  ///< Sorted, disjoint.
+  bool empty_ = true;
+};
 
 struct RankWaitAttribution {
   TimeNs recv_wait = 0;        ///< Total attributed wait (== engine recv_wait).
   TimeNs sender_blackout = 0;  ///< Immediate sender's own blackout delay.
+  TimeNs storage_contention = 0;  ///< Sender stall caused by other tenants.
   TimeNs propagated = 0;       ///< Transitive upstream delay.
   TimeNs network = 0;          ///< Wire/rendezvous/structural wait.
   std::int64_t waits = 0;      ///< Number of wait intervals attributed.
@@ -67,15 +103,21 @@ struct WaitAttribution {
 
   /// Category shares of total.recv_wait, in [0, 1] (0 when there is none).
   double share_sender_blackout() const;
+  double share_storage_contention() const;
   double share_propagated() const;
   double share_network() const;
 
-  /// Compact one-line summary for logs and examples.
+  /// Compact one-line summary for logs and examples (the storage category
+  /// appears only when it attributed anything).
   std::string to_string() const;
 };
 
 /// Run the attribution pass over a recorded trace. The trace must come from
-/// a single finished Engine::run with this tracer as the sink.
-WaitAttribution attribute_waits(const EventTracer& tracer);
+/// a single finished Engine::run with this tracer as the sink. When
+/// `storage` is non-null, each op stall overlapping the rank's contention
+/// intervals is classified storage_contention rather than sender_blackout
+/// (platform runs); null reproduces the single-job categories exactly.
+WaitAttribution attribute_waits(const EventTracer& tracer,
+                                const StorageContentionMap* storage = nullptr);
 
 }  // namespace chksim::obs

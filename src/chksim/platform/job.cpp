@@ -1,0 +1,143 @@
+#include "chksim/platform/job.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "chksim/support/rng.hpp"
+
+namespace chksim::platform {
+
+namespace {
+
+/// Same scheme as protocols.cpp random_phases(): one Rng over the seed,
+/// uniform draws in [0, interval), in stream order.
+std::vector<TimeNs> random_phases(int count, TimeNs interval, std::uint64_t seed) {
+  std::vector<TimeNs> phases(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (auto& p : phases)
+    p = static_cast<TimeNs>(rng.uniform_u64(static_cast<std::uint64_t>(interval)));
+  return phases;
+}
+
+TimeNs shifted(TimeNs phase, TimeNs shift, TimeNs interval) {
+  return (phase + shift) % interval;
+}
+
+}  // namespace
+
+JobIo make_job_io(const JobIoParams& p) {
+  if (p.ranks <= 0)
+    throw std::invalid_argument("make_job_io: rank count must be > 0");
+  JobIo io;
+  io.kind = p.kind;
+  io.ranks = p.ranks;
+  io.mtbf_seconds = p.mtbf_seconds;
+  io.failure_seed = p.failure_seed;
+  io.restart_fixed = p.restart_fixed;
+  if (p.kind == ckpt::ProtocolKind::kNone) return io;
+
+  if (p.interval <= 0)
+    throw std::invalid_argument(
+        "make_job_io: checkpointing job needs a positive interval");
+  io.interval = p.interval;
+  io.coordination_time = p.coordination_time;
+  io.through_pfs = p.tier == storage::StorageTier::kParallelFs;
+  io.fixed_write = io.through_pfs ? 0 : p.write_time;
+  const TimeNs shift = p.stagger_shift % p.interval;
+
+  switch (p.kind) {
+    case ckpt::ProtocolKind::kCoordinated: {
+      BurstStream s;
+      s.writers = p.ranks;
+      s.bytes_per_writer = p.bytes_per_node;
+      // First checkpoint one interval in, matching the solo coordinated
+      // schedule (protocols.cpp); the stagger shift then delays it further.
+      s.phase = p.interval + shift;
+      s.rank_begin = 0;
+      s.rank_end = p.ranks;
+      io.streams.push_back(s);
+      io.restart_writers = p.ranks;  // global rollback re-reads everywhere
+      break;
+    }
+    case ckpt::ProtocolKind::kUncoordinated: {
+      const std::vector<TimeNs> phases =
+          random_phases(p.ranks, p.interval, p.phase_seed);
+      io.streams.reserve(static_cast<std::size_t>(p.ranks));
+      for (int r = 0; r < p.ranks; ++r) {
+        BurstStream s;
+        s.writers = 1;
+        s.bytes_per_writer = p.bytes_per_node;
+        s.phase = shifted(phases[static_cast<std::size_t>(r)], shift, p.interval);
+        s.rank_begin = r;
+        s.rank_end = r + 1;
+        io.streams.push_back(s);
+      }
+      io.restart_writers = 1;  // only the failed node re-reads
+      break;
+    }
+    case ckpt::ProtocolKind::kHierarchical: {
+      const int cluster = std::max(1, std::min(p.cluster_size, p.ranks));
+      const int n_clusters = (p.ranks + cluster - 1) / cluster;
+      const std::vector<TimeNs> phases =
+          random_phases(n_clusters, p.interval, p.phase_seed);
+      io.streams.reserve(static_cast<std::size_t>(n_clusters));
+      for (int g = 0; g < n_clusters; ++g) {
+        BurstStream s;
+        s.rank_begin = g * cluster;
+        s.rank_end = std::min(p.ranks, (g + 1) * cluster);
+        s.writers = s.rank_end - s.rank_begin;
+        s.bytes_per_writer = p.bytes_per_node;
+        s.phase = shifted(phases[static_cast<std::size_t>(g)], shift, p.interval);
+        io.streams.push_back(s);
+      }
+      io.restart_writers = cluster;  // the failed cluster re-reads
+      break;
+    }
+    case ckpt::ProtocolKind::kNone:
+      break;
+  }
+  io.restart_bytes_per_writer = p.bytes_per_node;
+  if (!io.through_pfs) io.restart_writers = 0;  // read-back folded into fixed
+  return io;
+}
+
+void PlatformTax::add_job(sim::RankId begin, sim::RankId end,
+                          const sim::SendTax* tax) {
+  if (begin >= end)
+    throw std::invalid_argument("PlatformTax: empty rank range");
+  if (!entries_.empty() && begin != entries_.back().end)
+    throw std::invalid_argument(
+        "PlatformTax: job rank ranges must be contiguous and ascending");
+  entries_.push_back(Entry{begin, end, tax});
+}
+
+const PlatformTax::Entry* PlatformTax::entry_of(sim::RankId rank) const {
+  // Ranges are contiguous and sorted; find the one containing `rank`.
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), rank,
+                             [](sim::RankId r, const Entry& e) { return r < e.end; });
+  if (it == entries_.end() || rank < it->begin) return nullptr;
+  return &*it;
+}
+
+TimeNs PlatformTax::extra_send_cpu(sim::RankId src, sim::RankId dst,
+                                   Bytes bytes) const {
+  const Entry* e = entry_of(src);
+  if (e == nullptr || e->tax == nullptr) return 0;
+  return e->tax->extra_send_cpu(src - e->begin, dst - e->begin, bytes);
+}
+
+TimeNs PlatformTax::extra_recv_cpu(sim::RankId src, sim::RankId dst,
+                                   Bytes bytes) const {
+  const Entry* e = entry_of(dst);
+  if (e == nullptr || e->tax == nullptr) return 0;
+  return e->tax->extra_recv_cpu(src - e->begin, dst - e->begin, bytes);
+}
+
+bool PlatformTax::empty() const {
+  for (const Entry& e : entries_)
+    if (e.tax != nullptr) return false;
+  return true;
+}
+
+}  // namespace chksim::platform

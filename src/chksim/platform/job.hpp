@@ -1,0 +1,135 @@
+// Job-level building blocks of the multi-job platform layer.
+//
+// A "job" is one application with its own Program, checkpoint protocol, and
+// contiguous rank range inside the composed machine (see Program::compose).
+// This header defines what the platform timeline needs to know about each
+// job's checkpoint I/O behaviour — its burst streams — plus the rank-range
+// dispatch shims that let per-job artifacts (message-logging taxes) run
+// unchanged inside the composed engine.
+//
+// Burst streams. Every prepared protocol reduces to a set of periodic burst
+// streams against the shared file system:
+//
+//   coordinated    1 stream: all n ranks write together every interval.
+//   uncoordinated  n streams: each rank writes alone on its own random phase.
+//   hierarchical   n/c streams: each cluster of c ranks writes together on
+//                  the cluster's random phase.
+//
+// A stream owns the job-local rank range it blacks out; the timeline turns
+// each burst occurrence into an IoRequest and hands back the realised
+// blackout interval (coordination + queue wait + service), which the
+// platform maps onto the composed rank space for the engine run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::platform {
+
+/// One periodic checkpoint burst stream of a job.
+struct BurstStream {
+  int writers = 1;              ///< Nodes writing simultaneously per burst.
+  Bytes bytes_per_writer = 0;   ///< Checkpoint bytes each writer moves.
+  TimeNs phase = 0;             ///< First burst start (machine time).
+  sim::RankId rank_begin = 0;   ///< Job-local rank range this stream
+  sim::RankId rank_end = 0;     ///< blacks out: [rank_begin, rank_end).
+};
+
+/// Everything the platform timeline needs to know about one job's I/O.
+struct JobIo {
+  ckpt::ProtocolKind kind = ckpt::ProtocolKind::kNone;
+  int ranks = 0;
+  TimeNs interval = 0;
+  /// Per-burst coordination cost (sync + skew), charged before the write.
+  TimeNs coordination_time = 0;
+  /// True when checkpoints go through the shared PFS (contended). False for
+  /// burst-buffer / partner tiers: bursts then black out their ranks for
+  /// coordination_time + fixed_write without touching the arbiter.
+  bool through_pfs = true;
+  TimeNs fixed_write = 0;  ///< Per-burst write time when !through_pfs.
+  std::vector<BurstStream> streams;
+
+  /// Restart model: on a failure the job re-reads its last checkpoint.
+  /// restart_writers > 0 and through_pfs: the read contends through the
+  /// arbiter (priority kPriorityRestart). restart_writers == 0: the
+  /// read-back is already folded into restart_fixed.
+  int restart_writers = 0;
+  Bytes restart_bytes_per_writer = 0;
+  TimeNs restart_fixed = 0;  ///< Relaunch cost (plus read-back when local).
+
+  /// Job-level failure process: exponential interarrivals with this MTBF
+  /// (seconds); <= 0 disables failures for the job.
+  double mtbf_seconds = 0;
+  std::uint64_t failure_seed = 1;
+
+  /// Machine-time end of the job (its perturbed engine makespan). Bursts
+  /// start while their machine start time is < machine_end. Set per
+  /// fixed-point round by the platform study.
+  TimeNs machine_end = 0;
+};
+
+/// Inputs for make_job_io: the prepared protocol numbers plus the platform
+/// placement knobs the Artifacts struct does not carry.
+struct JobIoParams {
+  ckpt::ProtocolKind kind = ckpt::ProtocolKind::kNone;
+  int ranks = 0;
+  TimeNs interval = 0;
+  TimeNs coordination_time = 0;
+  /// Analytic per-burst write time (used verbatim when the tier bypasses
+  /// the PFS; ignored for PFS-tier jobs, whose writes the arbiter resolves).
+  TimeNs write_time = 0;
+  storage::StorageTier tier = storage::StorageTier::kParallelFs;
+  int cluster_size = 16;           ///< Hierarchical only.
+  std::uint64_t phase_seed = 1;    ///< Uncoordinated/hierarchical phases.
+  /// Machine-wide stagger shift added to every phase (mod interval): the
+  /// platform's E14 knob for de-phasing jobs' checkpoint bursts.
+  TimeNs stagger_shift = 0;
+  Bytes bytes_per_node = 0;        ///< machine.ckpt_bytes_per_node.
+  TimeNs restart_fixed = 0;        ///< Fixed relaunch cost (+ local read-back).
+  double mtbf_seconds = 0;
+  std::uint64_t failure_seed = 1;
+};
+
+/// Expand a prepared protocol into its burst streams (see file comment).
+/// Phases replicate the protocols.cpp scheme — Rng(phase_seed), uniform in
+/// [0, interval) — so a platform job's schedule shape matches its solo
+/// prepare_*() schedule; the stagger shift is then added mod interval.
+/// Throws std::invalid_argument for a checkpointing job with interval <= 0
+/// or non-positive rank count.
+JobIo make_job_io(const JobIoParams& params);
+
+/// Rank-range dispatch of per-job message taxes inside a composed engine
+/// run. Jobs occupy contiguous rank ranges and never message each other, so
+/// a message's tax is decided entirely by the sender's (== receiver's) job;
+/// ranks are translated back to job-local numbering before dispatch (the
+/// per-job LoggingTax's cluster arithmetic needs job-local ranks).
+class PlatformTax final : public sim::SendTax {
+ public:
+  /// Register the next job's rank range [begin, end) and its tax (may be
+  /// null = untaxed job). Ranges must be added in ascending, contiguous
+  /// order.
+  void add_job(sim::RankId begin, sim::RankId end, const sim::SendTax* tax);
+
+  TimeNs extra_send_cpu(sim::RankId src, sim::RankId dst, Bytes bytes) const override;
+  TimeNs extra_recv_cpu(sim::RankId src, sim::RankId dst, Bytes bytes) const override;
+
+  /// True when no registered job carries a tax (the engine can skip the
+  /// tax hook entirely).
+  bool empty() const;
+
+ private:
+  struct Entry {
+    sim::RankId begin = 0;
+    sim::RankId end = 0;
+    const sim::SendTax* tax = nullptr;
+  };
+  const Entry* entry_of(sim::RankId rank) const;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace chksim::platform

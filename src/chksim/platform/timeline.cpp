@@ -1,0 +1,306 @@
+#include "chksim/platform/timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "chksim/support/rng.hpp"
+
+namespace chksim::platform {
+
+namespace {
+
+constexpr TimeNs kInf = std::numeric_limits<TimeNs>::max();
+
+/// Livelock guard: a job whose MTBF is shorter than its restart time never
+/// finishes (a real phenomenon, but an unbounded event loop here).
+constexpr std::int64_t kMaxFailuresPerJob = 100'000;
+
+/// A scheduled future event of a burst: its arbiter submission (PFS tier)
+/// or its local completion (burst-buffer / partner tier).
+struct PendingEvent {
+  TimeNs wall = 0;
+  int job = 0;
+  int stream = 0;
+  TimeNs start_wall = 0;
+  TimeNs start_machine = 0;
+};
+
+/// What an arbiter completion cookie resolves to.
+struct BurstInfo {
+  int job = 0;
+  int stream = -1;  ///< -1 = restart read.
+  TimeNs start_wall = 0;
+  TimeNs start_machine = 0;
+};
+
+struct StreamState {
+  std::int64_t k_next = 0;  ///< Next burst occurrence to fire.
+};
+
+struct JobState {
+  TimeNs offset = 0;        ///< wall - machine (grows with failures).
+  TimeNs m_commit = 0;      ///< Machine time of the last completed burst.
+  int in_flight = 0;        ///< Started bursts (or restart reads) not yet done.
+  bool restarting = false;
+  TimeNs next_failure = kInf;  ///< Wall time; kInf = disabled.
+  Rng rng{1};
+  std::vector<StreamState> streams;
+};
+
+TimeNs sample_failure_gap(JobState& s, double mtbf_seconds) {
+  return static_cast<TimeNs>(s.rng.exponential(mtbf_seconds * 1e9));
+}
+
+/// First burst occurrence strictly after the commit point: bursts with
+/// machine start <= m_commit were saved by the commit; later ones replay.
+std::int64_t first_replayed_burst(TimeNs m_commit, TimeNs phase, TimeNs interval) {
+  if (m_commit < phase) return 0;
+  return (m_commit - phase) / interval + 1;
+}
+
+/// Candidate event, ordered by (time, type, job, stream). Types: 0 arbiter
+/// completion, 1 local completion, 2 failure, 3 submission, 4 burst start.
+struct Candidate {
+  TimeNs time = kInf;
+  int type = 0;
+  int job = -1;
+  int stream = -1;
+
+  bool beats(const Candidate& o) const {
+    if (time != o.time) return time < o.time;
+    if (type != o.type) return type < o.type;
+    if (job != o.job) return job < o.job;
+    return stream < o.stream;
+  }
+};
+
+std::size_t min_pending(const std::vector<PendingEvent>& q) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    const PendingEvent& a = q[i];
+    const PendingEvent& b = q[best];
+    if (a.wall != b.wall ? a.wall < b.wall
+                         : (a.job != b.job ? a.job < b.job : a.stream < b.stream))
+      best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+TimelineResult run_timeline(const TimelineConfig& config) {
+  const int njobs = static_cast<int>(config.jobs.size());
+  storage::SharedPfs pfs(config.pfs, config.policy);
+  TimelineResult out;
+  out.jobs.resize(config.jobs.size());
+  std::vector<JobState> state(config.jobs.size());
+
+  for (int j = 0; j < njobs; ++j) {
+    const JobIo& io = config.jobs[static_cast<std::size_t>(j)];
+    JobState& s = state[static_cast<std::size_t>(j)];
+    s.streams.resize(io.streams.size());
+    out.jobs[static_cast<std::size_t>(j)].stream_blackouts.resize(io.streams.size());
+    out.jobs[static_cast<std::size_t>(j)].stream_contention.resize(io.streams.size());
+    if (io.mtbf_seconds > 0) {
+      s.rng = Rng::substream(io.failure_seed, static_cast<std::uint64_t>(j));
+      s.next_failure = sample_failure_gap(s, io.mtbf_seconds);
+    }
+  }
+
+  std::vector<BurstInfo> bursts;       // arbiter cookie = index
+  std::vector<PendingEvent> submits;   // scheduled arbiter submissions
+  std::vector<PendingEvent> locals;    // scheduled non-PFS completions
+  std::vector<storage::IoCompletion> done;
+  TimeNs now = 0;
+
+  const auto complete_burst = [&](int job, int stream, TimeNs start_wall,
+                                  TimeNs start_machine, TimeNs finish,
+                                  TimeNs queue_wait, TimeNs service,
+                                  TimeNs contention) {
+    JobTimeline& jt = out.jobs[static_cast<std::size_t>(job)];
+    JobState& s = state[static_cast<std::size_t>(job)];
+    const int writers =
+        config.jobs[static_cast<std::size_t>(job)]
+            .streams[static_cast<std::size_t>(stream)]
+            .writers;
+    s.in_flight -= 1;
+    const TimeNs dur = finish - start_wall;
+    const TimeNs m_end = start_machine + dur;
+    jt.stream_blackouts[static_cast<std::size_t>(stream)].push_back(
+        sim::Interval{start_machine, m_end});
+    const TimeNs tail = std::min(contention, dur);
+    if (tail > 0)
+      jt.stream_contention[static_cast<std::size_t>(stream)].push_back(
+          sim::Interval{m_end - tail, m_end});
+    jt.commits += 1;
+    jt.queue_wait += queue_wait;
+    jt.contention += contention;
+    jt.contention_nodes += contention * writers;
+    jt.write += service;
+    s.m_commit = std::max(s.m_commit, m_end);
+  };
+
+  for (;;) {
+    Candidate best;
+    const TimeNs tc = pfs.next_completion();
+    if (tc >= 0) best = Candidate{tc, 0, -1, -1};
+    if (!locals.empty()) {
+      const PendingEvent& e = locals[min_pending(locals)];
+      const Candidate c{e.wall, 1, e.job, e.stream};
+      if (c.beats(best)) best = c;
+    }
+    for (int j = 0; j < njobs; ++j) {
+      const JobIo& io = config.jobs[static_cast<std::size_t>(j)];
+      JobState& s = state[static_cast<std::size_t>(j)];
+      if (s.next_failure != kInf && !s.restarting && s.in_flight == 0) {
+        // A failure landing while a burst is in flight defers to the
+        // burst's completion; `now` only grows, so this stays causal.
+        const TimeNs t = std::max(s.next_failure, now);
+        if (t < io.machine_end + s.offset) {
+          const Candidate c{t, 2, j, -1};
+          if (c.beats(best)) best = c;
+        }
+      }
+      if (!s.restarting) {
+        for (int si = 0; si < static_cast<int>(io.streams.size()); ++si) {
+          const BurstStream& bs = io.streams[static_cast<std::size_t>(si)];
+          const TimeNs m = bs.phase + s.streams[static_cast<std::size_t>(si)].k_next *
+                                          io.interval;
+          if (m >= io.machine_end) continue;
+          const Candidate c{m + s.offset, 4, j, si};
+          if (c.beats(best)) best = c;
+        }
+      }
+    }
+    if (!submits.empty()) {
+      const PendingEvent& e = submits[min_pending(submits)];
+      const Candidate c{e.wall, 3, e.job, e.stream};
+      if (c.beats(best)) best = c;
+    }
+    if (best.time == kInf) break;
+    now = best.time;
+
+    switch (best.type) {
+      case 0: {  // arbiter completions up to `now`, in (finish, id) order
+        done.clear();
+        pfs.advance(now, &done);
+        for (const storage::IoCompletion& c : done) {
+          const BurstInfo& b = bursts[static_cast<std::size_t>(c.cookie)];
+          const JobIo& io = config.jobs[static_cast<std::size_t>(b.job)];
+          JobTimeline& jt = out.jobs[static_cast<std::size_t>(b.job)];
+          JobState& s = state[static_cast<std::size_t>(b.job)];
+          if (b.stream >= 0) {
+            complete_burst(b.job, b.stream, b.start_wall, b.start_machine,
+                           c.finish, c.queue_wait, c.service, c.contention);
+          } else {  // restart read done; relaunch, then resume from the commit
+            s.in_flight -= 1;
+            jt.restart += (c.finish - b.start_wall) + io.restart_fixed;
+            s.offset = (c.finish + io.restart_fixed) - s.m_commit;
+            s.restarting = false;
+            s.next_failure = c.finish + io.restart_fixed +
+                             sample_failure_gap(s, io.mtbf_seconds);
+          }
+        }
+        break;
+      }
+      case 1: {  // local (non-PFS) burst completion
+        const std::size_t i = min_pending(locals);
+        const PendingEvent e = locals[i];
+        locals.erase(locals.begin() + static_cast<std::ptrdiff_t>(i));
+        const JobIo& io = config.jobs[static_cast<std::size_t>(e.job)];
+        complete_burst(e.job, e.stream, e.start_wall, e.start_machine, e.wall,
+                       0, io.fixed_write, 0);
+        break;
+      }
+      case 2: {  // failure: roll back to the last commit, restart, replay
+        const int j = best.job;
+        const JobIo& io = config.jobs[static_cast<std::size_t>(j)];
+        JobTimeline& jt = out.jobs[static_cast<std::size_t>(j)];
+        JobState& s = state[static_cast<std::size_t>(j)];
+        jt.failures += 1;
+        if (jt.failures > kMaxFailuresPerJob)
+          throw std::runtime_error(
+              "platform timeline: job " + std::to_string(j) + " exceeded " +
+              std::to_string(kMaxFailuresPerJob) +
+              " failures — MTBF is too short for its restart cost to make "
+              "progress");
+        const TimeNs m_at = now - s.offset;
+        jt.lost += std::max<TimeNs>(0, m_at - s.m_commit);
+        for (std::size_t si = 0; si < io.streams.size(); ++si) {
+          StreamState& ss = s.streams[si];
+          ss.k_next = std::min(
+              ss.k_next, first_replayed_burst(s.m_commit, io.streams[si].phase,
+                                              io.interval));
+        }
+        if (io.restart_writers > 0) {
+          s.restarting = true;
+          s.in_flight += 1;
+          storage::IoRequest req;
+          req.job = j;
+          req.writers = io.restart_writers;
+          req.bytes_per_writer = io.restart_bytes_per_writer;
+          req.priority = storage::kPriorityRestart;
+          req.cookie = static_cast<std::int64_t>(bursts.size());
+          bursts.push_back(BurstInfo{j, -1, now, m_at});
+          pfs.submit(now, req);
+        } else {  // read-back is local; only the fixed relaunch cost applies
+          jt.restart += io.restart_fixed;
+          s.offset = (now + io.restart_fixed) - s.m_commit;
+          s.next_failure =
+              now + io.restart_fixed + sample_failure_gap(s, io.mtbf_seconds);
+        }
+        break;
+      }
+      case 3: {  // arbiter submission of a started burst
+        const std::size_t i = min_pending(submits);
+        const PendingEvent e = submits[i];
+        submits.erase(submits.begin() + static_cast<std::ptrdiff_t>(i));
+        const JobIo& io = config.jobs[static_cast<std::size_t>(e.job)];
+        const BurstStream& bs = io.streams[static_cast<std::size_t>(e.stream)];
+        storage::IoRequest req;
+        req.job = e.job;
+        req.writers = bs.writers;
+        req.bytes_per_writer = bs.bytes_per_writer;
+        req.priority = storage::kPriorityWrite;
+        req.cookie = static_cast<std::int64_t>(bursts.size());
+        bursts.push_back(
+            BurstInfo{e.job, e.stream, e.start_wall, e.start_machine});
+        pfs.submit(e.wall, req);
+        break;
+      }
+      case 4: {  // burst start: blackout begins, write follows coordination
+        const int j = best.job;
+        const int si = best.stream;
+        const JobIo& io = config.jobs[static_cast<std::size_t>(j)];
+        const BurstStream& bs = io.streams[static_cast<std::size_t>(si)];
+        JobState& s = state[static_cast<std::size_t>(j)];
+        StreamState& ss = s.streams[static_cast<std::size_t>(si)];
+        const TimeNs m = bs.phase + ss.k_next * io.interval;
+        ss.k_next += 1;
+        out.jobs[static_cast<std::size_t>(j)].bursts += 1;
+        s.in_flight += 1;
+        PendingEvent e{now + io.coordination_time, j, si, now, m};
+        if (io.through_pfs) {
+          submits.push_back(e);
+        } else {
+          e.wall += io.fixed_write;
+          locals.push_back(e);
+        }
+        break;
+      }
+    }
+  }
+
+  for (int j = 0; j < njobs; ++j) {
+    JobTimeline& jt = out.jobs[static_cast<std::size_t>(j)];
+    jt.offset = state[static_cast<std::size_t>(j)].offset;
+    jt.wall_end = config.jobs[static_cast<std::size_t>(j)].machine_end + jt.offset;
+    out.wall_end = std::max(out.wall_end, jt.wall_end);
+  }
+  out.pfs = pfs.stats();
+  return out;
+}
+
+}  // namespace chksim::platform

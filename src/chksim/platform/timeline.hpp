@@ -1,0 +1,83 @@
+// The platform timeline: a wallclock discrete-event simulation of every
+// job's checkpoint bursts, restarts, and failures against the SharedPfs
+// arbiter.
+//
+// Division of labour with the engine. Checkpoint burst *starts* are
+// schedule-driven (periodic per stream, independent of the application's
+// instantaneous state — exactly the preemptive-blackout model the single-job
+// studies use), so the storage contention they generate can be resolved on a
+// timeline of its own: each burst occurrence becomes an IoRequest, the
+// arbiter decides when it finishes, and the realised blackout interval
+// [start, completion) — coordination + queue wait + service — is handed
+// back in machine time. The composed engine run then replays these resolved
+// blackouts against the full message graph to measure propagation. An outer
+// fixed point (run_platform_study) closes the loop between job makespans and
+// burst counts.
+//
+// Failures are job-level: a failure rolls the job back to its most recent
+// completed burst (its last commit), submits the protocol's restart read
+// through the arbiter at restart priority — contending with neighbours'
+// checkpoint writes — and shifts the job's wallclock by the lost work plus
+// the realised restart time. The job then replays: burst starts between the
+// commit and the failure recur (and re-contend). Machine time (the engine
+// axis) is unchanged — wall = machine + offset(job) — so failure waste is
+// accounted here, on the platform axis, while the engine measures the
+// failure-free propagation behaviour. Approximations (documented in
+// MODEL.md §8): rollback is job-level even for message-logging protocols,
+// and a failure that lands while the job has a burst in flight is processed
+// when the burst completes.
+//
+// Everything is serial and deterministic: events are processed in strict
+// (time, kind, job, stream) order and all randomness comes from seeded
+// substreams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chksim/platform/job.hpp"
+#include "chksim/sim/availability.hpp"
+#include "chksim/storage/shared_pfs.hpp"
+
+namespace chksim::platform {
+
+struct TimelineConfig {
+  storage::PfsParams pfs;
+  storage::ArbiterPolicy policy = storage::ArbiterPolicy::kFcfs;
+  std::vector<JobIo> jobs;  ///< machine_end must be set on every entry.
+};
+
+/// One job's resolved timeline.
+struct JobTimeline {
+  /// Realised blackout intervals per stream, machine time, in start order.
+  /// Intervals of one stream may overlap after a rollback replay (the same
+  /// machine region re-executes); ListBlackouts merges them.
+  std::vector<std::vector<sim::Interval>> stream_blackouts;
+  /// The contention tail of each blackout — the part attributable to other
+  /// tenants (queue wait + bandwidth-share stretch), machine time. Feeds
+  /// the obs storage_contention attribution category.
+  std::vector<std::vector<sim::Interval>> stream_contention;
+
+  TimeNs offset = 0;    ///< wall - machine at job end (failure-added delay).
+  TimeNs wall_end = 0;  ///< machine_end + offset.
+
+  std::int64_t bursts = 0;      ///< Burst occurrences fired (incl. replays).
+  std::int64_t commits = 0;     ///< Bursts completed.
+  std::int64_t failures = 0;
+  TimeNs queue_wait = 0;        ///< Summed over completed bursts.
+  TimeNs contention = 0;        ///< Summed over completed bursts.
+  TimeNs contention_nodes = 0;  ///< Sum of contention x writers (node-ns).
+  TimeNs write = 0;             ///< Summed service time (bursts).
+  TimeNs lost = 0;              ///< Machine time rolled back by failures.
+  TimeNs restart = 0;           ///< Restart time (read-back + relaunch).
+};
+
+struct TimelineResult {
+  std::vector<JobTimeline> jobs;
+  storage::SharedPfs::Stats pfs;
+  TimeNs wall_end = 0;  ///< max over jobs of wall_end.
+};
+
+TimelineResult run_timeline(const TimelineConfig& config);
+
+}  // namespace chksim::platform

@@ -23,6 +23,33 @@ double RunResult::mean_cpu_busy() const {
   return sum / static_cast<double>(ranks.size());
 }
 
+RunResult slice_result(const RunResult& whole, RankId begin, RankId end) {
+  const auto n = static_cast<RankId>(whole.ranks.size());
+  if (begin < 0 || end > n || begin >= end)
+    throw std::invalid_argument("slice_result: bad rank range [" +
+                                std::to_string(begin) + ", " +
+                                std::to_string(end) + ") of " + std::to_string(n));
+  RunResult out;
+  out.completed = whole.completed;
+  out.error = whole.error;
+  out.ranks.assign(whole.ranks.begin() + begin, whole.ranks.begin() + end);
+  for (const RankStats& r : out.ranks) {
+    out.makespan = std::max(out.makespan, r.finish_time);
+    out.ops_executed += r.sends + r.recvs + r.calcs;
+  }
+  if (whole.has_op_finish()) {
+    const std::uint64_t lo = whole.op_finish_offset[static_cast<std::size_t>(begin)];
+    const std::uint64_t hi = whole.op_finish_offset[static_cast<std::size_t>(end)];
+    out.op_finish.assign(whole.op_finish.begin() + static_cast<std::ptrdiff_t>(lo),
+                         whole.op_finish.begin() + static_cast<std::ptrdiff_t>(hi));
+    out.op_finish_offset.reserve(static_cast<std::size_t>(end - begin) + 1);
+    for (RankId r = begin; r <= end; ++r)
+      out.op_finish_offset.push_back(
+          whole.op_finish_offset[static_cast<std::size_t>(r)] - lo);
+  }
+  return out;
+}
+
 WorkingSetEstimate estimate_working_set(const Program& program,
                                         const EngineConfig& config) {
   WorkingSetEstimate e;

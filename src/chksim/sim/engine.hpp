@@ -163,6 +163,14 @@ struct RunResult {
   double mean_cpu_busy() const;
 };
 
+/// Restrict a composed run's result to the contiguous rank range
+/// [begin, end) — the per-job view of a Program::compose run. Per-rank
+/// stats, makespan, op-finish times (when recorded), and ops_executed are
+/// exact for the slice; whole-machine telemetry (events_processed, heap
+/// peaks, the pdes_*/ws_* blocks) has no per-job decomposition and is
+/// zeroed. Throws std::invalid_argument on an empty or out-of-range slice.
+RunResult slice_result(const RunResult& whole, RankId begin, RankId end);
+
 /// An externally injected event, applied to a paused SimCore between
 /// run_until() calls. Failure models use outages (a failed rank or cluster
 /// makes no progress while it restarts and replays); kMessage supports

@@ -382,6 +382,83 @@ ProgramStats Program::finalize() {
   return st;
 }
 
+Program Program::compose(const std::vector<const Program*>& parts) {
+  if (parts.empty())
+    throw std::invalid_argument("Program::compose: no parts");
+  std::int64_t total_ranks = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_edges = 0;
+  for (const Program* p : parts) {
+    if (p == nullptr || !p->finalized())
+      throw std::invalid_argument(
+          "Program::compose: every part must be a finalized program");
+    total_ranks += p->nranks_;
+    total_ops += p->rank_begin_[static_cast<std::size_t>(p->nranks_)];
+    total_edges += p->xoff_[p->rank_begin_[static_cast<std::size_t>(p->nranks_)]];
+  }
+  if (total_ranks > std::numeric_limits<RankId>::max())
+    throw std::overflow_error("Program::compose: combined rank count overflows");
+  if (total_edges >= std::numeric_limits<std::uint32_t>::max())
+    throw std::overflow_error(
+        "Program::compose: combined explicit edge count overflows the "
+        "32-bit CSR offset space");
+
+  Program out(static_cast<int>(total_ranks));
+  release(out.build_);
+  out.finalized_ = true;
+  out.rank_begin_.resize(static_cast<std::size_t>(total_ranks) + 1);
+  out.value_.resize(total_ops);
+  out.peer_.resize(total_ops);
+  out.tag_.resize(total_ops);
+  out.kind_.resize(total_ops);
+  out.chain_.resize(total_ops);
+  out.xoff_.resize(total_ops + 1);
+  out.xsucc_.resize(total_edges);
+
+  RankId rank_off = 0;
+  std::uint64_t row = 0;
+  std::uint64_t edge_row = 0;
+  ProgramStats st;
+  for (const Program* p : parts) {
+    const std::uint64_t ops = p->rank_begin_[static_cast<std::size_t>(p->nranks_)];
+    const std::uint64_t edges = p->xoff_[ops];
+    for (RankId r = 0; r < p->nranks_; ++r)
+      out.rank_begin_[static_cast<std::size_t>(rank_off + r)] =
+          row + p->rank_begin_[static_cast<std::size_t>(r)];
+    std::memcpy(out.value_.data() + row, p->value_.data(),
+                ops * sizeof(std::int64_t));
+    std::memcpy(out.tag_.data() + row, p->tag_.data(), ops * sizeof(Tag));
+    std::memcpy(out.kind_.data() + row, p->kind_.data(), ops * sizeof(OpKind));
+    std::memcpy(out.chain_.data() + row, p->chain_.data(),
+                ops * sizeof(std::uint8_t));
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const RankId peer = p->peer_[i];
+      out.peer_[row + i] = peer < 0 ? peer : peer + rank_off;
+    }
+    for (std::uint64_t i = 0; i < ops; ++i)
+      out.xoff_[row + i] =
+          p->xoff_[i] + static_cast<std::uint32_t>(edge_row);
+    std::memcpy(out.xsucc_.data() + edge_row, p->xsucc_.data(),
+                edges * sizeof(OpIndex));
+    st.ops += p->stats_.ops;
+    st.calcs += p->stats_.calcs;
+    st.sends += p->stats_.sends;
+    st.recvs += p->stats_.recvs;
+    st.edges += p->stats_.edges;
+    st.bytes_sent += p->stats_.bytes_sent;
+    st.calc_total += p->stats_.calc_total;
+    st.max_depth = std::max(st.max_depth, p->stats_.max_depth);
+    rank_off += p->nranks_;
+    row += ops;
+    edge_row += edges;
+  }
+  out.rank_begin_[static_cast<std::size_t>(total_ranks)] = row;
+  out.xoff_[row] = static_cast<std::uint32_t>(edge_row);
+  out.stats_ = st;
+  out.next_tag_ = 1;
+  return out;
+}
+
 OpIndex Program::rank_size(RankId r) const {
   assert(r >= 0 && r < ranks());
   if (finalized_) {

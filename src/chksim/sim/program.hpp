@@ -130,6 +130,17 @@ class Program {
   /// called exactly once, before run. Returns aggregate statistics.
   ProgramStats finalize();
 
+  /// Concatenate finalized programs into one finalized program over the
+  /// union rank space: part k's rank r becomes global rank
+  /// (sum of earlier parts' ranks) + r. Peers are rebased by the same
+  /// offset; nothing else changes — parts never message each other, so the
+  /// composed DAG is the disjoint union and (src, dst, tag) channels stay
+  /// disjoint even when parts reuse tag values. This is how the platform
+  /// layer runs N jobs inside one engine (and one PDES shard space) while
+  /// keeping every job's program byte-identical to its solo build.
+  /// Throws std::invalid_argument on an empty list or a non-finalized part.
+  static Program compose(const std::vector<const Program*>& parts);
+
   bool finalized() const { return finalized_; }
   const ProgramStats& stats() const { return stats_; }
 

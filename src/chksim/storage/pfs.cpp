@@ -19,12 +19,53 @@ std::string to_string(StorageTier tier) {
   return "unknown";
 }
 
-Pfs::Pfs(PfsParams params) : params_(params) {
-  if (params_.node_bw_bytes_per_s <= 0 || params_.pfs_bw_bytes_per_s <= 0)
-    throw std::invalid_argument("Pfs: bandwidths must be positive");
-  if (params_.bb_bw_bytes_per_s < 0)
-    throw std::invalid_argument("Pfs: burst-buffer bandwidth must be >= 0");
+StorageTier tier_by_name(const std::string& name) {
+  if (name == "pfs") return StorageTier::kParallelFs;
+  if (name == "burst-buffer") return StorageTier::kBurstBuffer;
+  if (name == "partner") return StorageTier::kPartner;
+  throw std::invalid_argument("unknown storage tier \"" + name +
+                              "\" (expected pfs, burst-buffer, or partner)");
 }
+
+namespace {
+
+[[noreturn]] void bad_param(const char* field, double value,
+                            const std::string& constraint) {
+  throw std::invalid_argument("PfsParams." + std::string(field) + " = " +
+                              std::to_string(value) + ": " + constraint);
+}
+
+/// Positive and finite — NaN fails every comparison, so test explicitly.
+bool positive_finite(double v) { return std::isfinite(v) && v > 0; }
+
+}  // namespace
+
+void validate_pfs_params(const PfsParams& params) {
+  if (!positive_finite(params.node_bw_bytes_per_s))
+    bad_param("node_bw_bytes_per_s", params.node_bw_bytes_per_s,
+              "must be positive and finite");
+  if (!positive_finite(params.pfs_bw_bytes_per_s))
+    bad_param("pfs_bw_bytes_per_s", params.pfs_bw_bytes_per_s,
+              "must be positive and finite");
+  if (std::isnan(params.bb_bw_bytes_per_s) || params.bb_bw_bytes_per_s < 0 ||
+      (params.bb_bw_bytes_per_s > 0 && !std::isfinite(params.bb_bw_bytes_per_s)))
+    bad_param("bb_bw_bytes_per_s", params.bb_bw_bytes_per_s,
+              "must be >= 0 and finite");
+}
+
+void validate_pfs_params(const PfsParams& params, StorageTier tier) {
+  validate_pfs_params(params);
+  if (tier == StorageTier::kBurstBuffer && params.bb_bw_bytes_per_s <= 0)
+    bad_param("bb_bw_bytes_per_s", params.bb_bw_bytes_per_s,
+              "tier is burst-buffer but no burst-buffer bandwidth is configured");
+  if (tier != StorageTier::kBurstBuffer && params.bb_bw_bytes_per_s > 0)
+    bad_param("bb_bw_bytes_per_s", params.bb_bw_bytes_per_s,
+              "burst-buffer bandwidth is set but tier \"" + to_string(tier) +
+                  "\" never uses it (dead sweep axis; set it to 0 or use the "
+                  "burst-buffer tier)");
+}
+
+Pfs::Pfs(PfsParams params) : params_(params) { validate_pfs_params(params_); }
 
 WriteTime Pfs::concurrent_write(Bytes bytes, int writers) const {
   if (bytes < 0) throw std::invalid_argument("Pfs: bytes must be >= 0");

@@ -33,11 +33,27 @@ enum class StorageTier {
 
 std::string to_string(StorageTier tier);
 
+/// Inverse of to_string ("pfs", "burst-buffer", "partner"); throws
+/// std::invalid_argument for anything else.
+StorageTier tier_by_name(const std::string& name);
+
 struct PfsParams {
   double node_bw_bytes_per_s = 1.5e9;  ///< Per-node injection bandwidth.
   double pfs_bw_bytes_per_s = 200e9;   ///< Aggregate file-system bandwidth.
   double bb_bw_bytes_per_s = 0;        ///< Burst-buffer bandwidth (0 = none).
 };
+
+/// Validate storage parameters, optionally against the checkpoint tier they
+/// will serve. Throws std::invalid_argument with a structured diagnostic —
+/// "PfsParams.<field> = <value>: <constraint>" — for non-positive or NaN/inf
+/// bandwidths, negative/NaN burst-buffer bandwidth, and the silent-garbage
+/// configurations a sweep can produce: bb_bw > 0 with a tier that never
+/// touches the burst buffer (the axis would be dead weight), or
+/// tier == kBurstBuffer with bb_bw <= 0 (every write would throw later,
+/// far from the config that caused it). Pass no tier to check the
+/// bandwidths alone.
+void validate_pfs_params(const PfsParams& params);
+void validate_pfs_params(const PfsParams& params, StorageTier tier);
 
 /// Result of a write-time query.
 struct WriteTime {

@@ -1,0 +1,251 @@
+#include "chksim/storage/shared_pfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chksim::storage {
+
+namespace {
+
+/// Remainders at or below this many bytes count as drained. Far below one
+/// byte, far above double rounding noise at any realistic transfer size.
+constexpr double kDrainEpsilonBytes = 1e-6;
+
+}  // namespace
+
+std::string to_string(ArbiterPolicy policy) {
+  switch (policy) {
+    case ArbiterPolicy::kFcfs:
+      return "fcfs";
+    case ArbiterPolicy::kFairShare:
+      return "fair";
+    case ArbiterPolicy::kBlocking:
+      return "blocking";
+    case ArbiterPolicy::kCooperative:
+      return "cooperative";
+  }
+  return "unknown";
+}
+
+ArbiterPolicy arbiter_policy_by_name(const std::string& name) {
+  for (ArbiterPolicy p : all_arbiter_policies())
+    if (name == to_string(p)) return p;
+  throw std::invalid_argument(
+      "unknown arbiter policy \"" + name +
+      "\" (expected fcfs, fair, blocking, or cooperative)");
+}
+
+std::vector<ArbiterPolicy> all_arbiter_policies() {
+  return {ArbiterPolicy::kFcfs, ArbiterPolicy::kFairShare,
+          ArbiterPolicy::kBlocking, ArbiterPolicy::kCooperative};
+}
+
+SharedPfs::SharedPfs(PfsParams params, ArbiterPolicy policy)
+    : params_(params), policy_(policy) {
+  validate_pfs_params(params_);
+}
+
+std::int64_t SharedPfs::submit(TimeNs now, const IoRequest& request) {
+  if (now < clock_)
+    throw std::invalid_argument("SharedPfs: submit at " + std::to_string(now) +
+                                " behind the clock " + std::to_string(clock_));
+  if (request.writers < 1)
+    throw std::invalid_argument("SharedPfs: writers must be >= 1");
+  if (request.bytes_per_writer < 0)
+    throw std::invalid_argument("SharedPfs: bytes_per_writer must be >= 0");
+
+  // Bring the machine up to the submission instant first, so the new
+  // request cannot retroactively slow transfers that finished before it
+  // arrived. Completions surface on the caller's next advance().
+  advance(now, &pending_);
+
+  Active a;
+  a.id = next_id_++;
+  a.job = request.job;
+  a.writers = request.writers;
+  a.priority = request.priority;
+  a.cookie = request.cookie;
+  a.submit = now;
+  a.total_bytes = static_cast<double>(request.bytes_per_writer) *
+                  static_cast<double>(request.writers);
+  a.remaining_bytes = a.total_bytes;
+  active_.push_back(a);
+  stats_.requests += 1;
+  stats_.peak_active =
+      std::max(stats_.peak_active, static_cast<std::int64_t>(active_.size()));
+  compute_rates();
+  return a.id;
+}
+
+void SharedPfs::compute_rates() {
+  rates_.assign(active_.size(), 0.0);
+  if (active_.empty()) {
+    holder_ = -1;
+    return;
+  }
+
+  if (policy_ == ArbiterPolicy::kFairShare) {
+    holder_ = -1;
+    // Max-min water-filling of pfs_bw with per-request injection caps.
+    std::vector<std::size_t> order(active_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ca =
+          static_cast<double>(active_[a].writers) * params_.node_bw_bytes_per_s;
+      const double cb =
+          static_cast<double>(active_[b].writers) * params_.node_bw_bytes_per_s;
+      if (ca != cb) return ca < cb;
+      return active_[a].id < active_[b].id;
+    });
+    double bw = params_.pfs_bw_bytes_per_s;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t i = order[k];
+      const double cap =
+          static_cast<double>(active_[i].writers) * params_.node_bw_bytes_per_s;
+      const double share = bw / static_cast<double>(order.size() - k);
+      const double r = std::min(cap, share);
+      rates_[i] = r;
+      bw -= r;
+      active_[i].started = true;
+    }
+    return;
+  }
+
+  // Exclusive policies: pick (or keep) the holder.
+  std::size_t pick = active_.size();
+  const bool preemptive = policy_ == ArbiterPolicy::kCooperative;
+  if (!preemptive && holder_ >= 0) {
+    for (std::size_t i = 0; i < active_.size(); ++i)
+      if (active_[i].id == holder_) pick = i;
+  }
+  if (pick == active_.size()) {
+    // kFcfs grants in (submit, id) order — which is plain id order, since
+    // submissions arrive in non-decreasing time. kBlocking and kCooperative
+    // grant in (priority, id) order.
+    const bool by_priority = policy_ != ArbiterPolicy::kFcfs;
+    pick = 0;
+    for (std::size_t i = 1; i < active_.size(); ++i) {
+      if (by_priority && active_[i].priority != active_[pick].priority) {
+        if (active_[i].priority < active_[pick].priority) pick = i;
+        continue;
+      }
+      if (active_[i].id < active_[pick].id) pick = i;
+    }
+  }
+  const std::int64_t new_holder = active_[pick].id;
+  if (preemptive && holder_ >= 0 && new_holder != holder_) {
+    for (const Active& a : active_)
+      if (a.id == holder_ && a.started) stats_.preemptions += 1;
+  }
+  holder_ = new_holder;
+  active_[pick].started = true;
+  rates_[pick] =
+      std::min(static_cast<double>(active_[pick].writers) *
+                   params_.node_bw_bytes_per_s,
+               params_.pfs_bw_bytes_per_s);
+}
+
+TimeNs SharedPfs::earliest_finish() const {
+  TimeNs best = -1;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    TimeNs t;
+    if (active_[i].remaining_bytes <= kDrainEpsilonBytes) {
+      t = clock_;  // drained (or zero-byte): completes now
+    } else if (rates_[i] > 0) {
+      const double dt_ns =
+          std::ceil(active_[i].remaining_bytes / rates_[i] * 1e9);
+      t = clock_ + static_cast<TimeNs>(dt_ns);
+    } else {
+      continue;  // starved: no finish until the rates change
+    }
+    if (best < 0 || t < best) best = t;
+  }
+  return best;
+}
+
+void SharedPfs::complete(std::size_t index, TimeNs at,
+                         std::vector<IoCompletion>* out) {
+  const Active& a = active_[index];
+  IoCompletion c;
+  c.id = a.id;
+  c.job = a.job;
+  c.priority = a.priority;
+  c.cookie = a.cookie;
+  c.submit = a.submit;
+  c.finish = at;
+  c.queue_wait = a.queue_wait;
+  c.service = at - a.submit - a.queue_wait;
+  const double alone_bw =
+      std::min(static_cast<double>(a.writers) * params_.node_bw_bytes_per_s,
+               params_.pfs_bw_bytes_per_s);
+  // Same ceil arithmetic as earliest_finish(), so a request that never
+  // shared the server reports exactly zero contention.
+  c.uncontended = a.total_bytes > 0
+                      ? static_cast<TimeNs>(std::ceil(a.total_bytes / alone_bw * 1e9))
+                      : 0;
+  c.contention = std::max<TimeNs>(0, (at - a.submit) - c.uncontended);
+  stats_.queue_wait_total += c.queue_wait;
+  stats_.contention_total += c.contention;
+  stats_.bytes_moved += static_cast<Bytes>(a.total_bytes);
+  if (holder_ == a.id) holder_ = -1;
+  out->push_back(c);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  rates_.erase(rates_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void SharedPfs::progress_segment(TimeNs to, std::vector<IoCompletion>* out) {
+  const TimeNs dt = to - clock_;
+  if (dt > 0) {
+    const double dt_s = static_cast<double>(dt) * 1e-9;
+    bool any_moving = false;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (rates_[i] > 0) {
+        active_[i].remaining_bytes =
+            std::max(0.0, active_[i].remaining_bytes - rates_[i] * dt_s);
+        any_moving = true;
+      } else {
+        active_[i].queue_wait += dt;
+      }
+    }
+    if (any_moving) stats_.busy += dt;
+    clock_ = to;
+  }
+  // Complete drained requests in id order: completions at one instant come
+  // out (finish, id)-sorted, the same content-keyed tie order the engine's
+  // event heap uses.
+  bool completed = false;
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].remaining_bytes <= kDrainEpsilonBytes) {
+      complete(i, clock_, out);
+      completed = true;
+    } else {
+      ++i;
+    }
+  }
+  if (completed) compute_rates();
+}
+
+void SharedPfs::advance(TimeNs t, std::vector<IoCompletion>* out) {
+  if (!pending_.empty() && out != &pending_) {
+    out->insert(out->end(), pending_.begin(), pending_.end());
+    pending_.clear();
+  }
+  for (;;) {
+    const TimeNs te = earliest_finish();
+    if (te >= 0 && te <= t) {
+      progress_segment(te, out);
+      continue;
+    }
+    if (t > clock_) progress_segment(t, out);
+    if (clock_ < t) clock_ = t;
+    return;
+  }
+}
+
+TimeNs SharedPfs::next_completion() const {
+  if (!pending_.empty()) return pending_.front().finish;
+  return earliest_finish();
+}
+
+}  // namespace chksim::storage

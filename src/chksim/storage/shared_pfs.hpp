@@ -1,0 +1,192 @@
+// SharedPfs: the parallel file system as a first-class discrete-event
+// resource, shared by many jobs.
+//
+// The analytic Pfs (pfs.hpp) answers "how long does this write take" with
+// closed-form formulas that assume one application owns the whole machine.
+// SharedPfs answers the question the platform layer actually has to pose —
+// "do two jobs' coordinated bursts stall each other?" — by simulating the
+// file system as a server: checkpoint writes and restart reads arrive as
+// I/O requests, an arbitration policy decides who gets bandwidth at each
+// instant, and completions come back as events with the realised queueing
+// delay and service stretch attached.
+//
+// The service model matches the analytic one exactly in the uncontended
+// limit (the oracle property the tests pin): a request of `writers` nodes
+// writing `bytes_per_writer` each drains at
+//
+//     rate = min(writers * node_bw, granted share of pfs_bw)
+//
+// so a lone FCFS burst finishes in bytes / min(node_bw, pfs_bw / writers)
+// per node — byte-for-byte Pfs::concurrent_write. Under contention the
+// policies differ in how pfs_bw is granted:
+//
+//   kFcfs        exclusive access in arrival order, non-preemptive. An
+//                arriving burst queues until every earlier request drained.
+//   kFairShare   all active requests progress concurrently; pfs_bw is
+//                split max-min fairly, each request capped at its own
+//                injection limit (writers * node_bw). The event-driven
+//                generalisation of the analytic fixed point.
+//   kBlocking    exclusive and non-preemptive like FCFS, but the grant
+//                order is (priority, arrival): urgent I/O — restart reads
+//                of a failed job — overtakes queued checkpoint writes. A
+//                write that has started blocks everything until it drains.
+//   kCooperative interruptible writes: exclusive, priority-preemptive with
+//                resume. An arriving higher-priority request pauses the
+//                in-progress transfer (its bytes are kept, not discarded)
+//                and the preempted request resumes when the server frees.
+//
+// All arithmetic is serial and deterministic; ties (same-instant arrivals)
+// break on (time, priority where the policy says so, submission sequence),
+// and the submission sequence is itself deterministic because the platform
+// timeline submits in a content-keyed order. Times are integer nanoseconds;
+// in-flight remainders are tracked in double bytes (exactly representable
+// progress deltas are not required — completion instants are re-derived
+// from the remainder each segment, so drift cannot accumulate across
+// requests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chksim/storage/pfs.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::storage {
+
+/// How concurrent I/O requests share the file system.
+enum class ArbiterPolicy : std::uint8_t {
+  kFcfs,
+  kFairShare,
+  kBlocking,
+  kCooperative,
+};
+
+std::string to_string(ArbiterPolicy policy);
+/// Parse "fcfs" | "fair" | "blocking" | "cooperative"; throws
+/// std::invalid_argument on anything else.
+ArbiterPolicy arbiter_policy_by_name(const std::string& name);
+/// All policies, in enum order (for sweeps and tables).
+std::vector<ArbiterPolicy> all_arbiter_policies();
+
+/// Priorities: lower value wins where the policy is priority-aware
+/// (kBlocking's grant order, kCooperative's preemption).
+inline constexpr int kPriorityRestart = 0;  ///< Restart read of a failed job.
+inline constexpr int kPriorityWrite = 1;    ///< Checkpoint write.
+
+/// One I/O request: `writers` nodes of `job` each move `bytes_per_writer`
+/// through the shared file system, starting no earlier than its submit time.
+struct IoRequest {
+  int job = 0;
+  int writers = 1;
+  Bytes bytes_per_writer = 0;
+  int priority = kPriorityWrite;
+  /// Opaque caller cookie, returned on the completion (the platform layer
+  /// uses it to map completions back to burst-stream indices).
+  std::int64_t cookie = 0;
+};
+
+/// A finished request, with the realised schedule attached.
+struct IoCompletion {
+  std::int64_t id = 0;  ///< Submission sequence number (per-arbiter, from 0).
+  int job = 0;
+  int priority = kPriorityWrite;
+  std::int64_t cookie = 0;
+  TimeNs submit = 0;
+  TimeNs finish = 0;
+  /// Time spent at zero rate (queued behind exclusive holders, or paused by
+  /// a preemption). Always 0 under kFairShare, which never fully starves.
+  TimeNs queue_wait = 0;
+  /// finish - submit - queue_wait: time the request actually moved bytes.
+  TimeNs service = 0;
+  /// What the same request would have taken alone on the machine:
+  /// total bytes / min(writers * node_bw, pfs_bw).
+  TimeNs uncontended = 0;
+  /// (finish - submit) - uncontended: the delay caused by other tenants —
+  /// queueing plus bandwidth-share stretch. Never negative.
+  TimeNs contention = 0;
+};
+
+/// The shared-storage arbiter. Drive it like any DES resource: submit
+/// requests in non-decreasing time order, interleaved with advance(t) calls
+/// that move the internal clock and surface completions.
+class SharedPfs {
+ public:
+  /// Throws std::invalid_argument (via validate_pfs_params) on bad params.
+  SharedPfs(PfsParams params, ArbiterPolicy policy);
+
+  const PfsParams& params() const { return params_; }
+  ArbiterPolicy policy() const { return policy_; }
+
+  /// Submit a request at time `now`; `now` must be >= the clock (the
+  /// greatest time passed to submit/advance so far) and the request must
+  /// have writers >= 1 and bytes_per_writer >= 0. Returns the request id.
+  /// A zero-byte request completes instantly (surfaced by the next
+  /// advance()).
+  std::int64_t submit(TimeNs now, const IoRequest& request);
+
+  /// Advance the clock to `t`, appending every completion with
+  /// finish <= t to `out` in (finish, id) order.
+  void advance(TimeNs t, std::vector<IoCompletion>* out);
+
+  /// Finish instant of the earliest in-flight completion under the current
+  /// active set (valid until the next submit), or -1 when idle. The
+  /// platform event loop uses min(next submission, next_completion()).
+  TimeNs next_completion() const;
+
+  bool idle() const { return active_.empty(); }
+  TimeNs clock() const { return clock_; }
+
+  /// Lifetime aggregates (for machine-level reports).
+  struct Stats {
+    std::int64_t requests = 0;
+    std::int64_t preemptions = 0;   ///< kCooperative pauses applied.
+    TimeNs busy = 0;                ///< Time with at least one non-zero rate.
+    TimeNs queue_wait_total = 0;    ///< Summed over completed requests.
+    TimeNs contention_total = 0;    ///< Summed over completed requests.
+    Bytes bytes_moved = 0;
+    std::int64_t peak_active = 0;   ///< Max concurrently in-flight requests.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Active {
+    std::int64_t id = 0;
+    int job = 0;
+    int writers = 1;
+    int priority = kPriorityWrite;
+    std::int64_t cookie = 0;
+    TimeNs submit = 0;
+    double remaining_bytes = 0;  ///< Total across writers.
+    double total_bytes = 0;
+    TimeNs queue_wait = 0;
+    bool started = false;  ///< Has ever held the server (exclusive policies).
+  };
+
+  /// Fill `rates_` (bytes/s per active request, parallel to active_) per
+  /// the policy. Also returns the index that exclusively holds the server
+  /// (-1 for fair-share / idle).
+  void compute_rates();
+  /// Advance every active request by the segment [clock_, to), completing
+  /// requests whose remainder drains exactly at `to`.
+  void progress_segment(TimeNs to, std::vector<IoCompletion>* out);
+  TimeNs earliest_finish() const;
+  void complete(std::size_t index, TimeNs at, std::vector<IoCompletion>* out);
+
+  PfsParams params_;
+  ArbiterPolicy policy_;
+  TimeNs clock_ = 0;
+  std::int64_t next_id_ = 0;
+  /// Exclusive policies: id of the request currently holding the server
+  /// (kFcfs/kBlocking keep it until the holder drains; kCooperative can
+  /// switch it on arrival). -1 = free.
+  std::int64_t holder_ = -1;
+  std::vector<Active> active_;   ///< Submission order (id ascending).
+  std::vector<double> rates_;    ///< Parallel to active_; bytes/s.
+  /// Completions realised inside submit() (the internal catch-up advance);
+  /// drained ahead of new completions by the next advance().
+  std::vector<IoCompletion> pending_;
+  Stats stats_;
+};
+
+}  // namespace chksim::storage

@@ -50,11 +50,14 @@ TEST(CellSpec, CanonicalFormIsSortedAndComplete) {
   const std::string c = cell.canonical();
   // Every field present, keys sorted, defaults materialised.
   EXPECT_EQ(c,
-            "{\"bytes\": 8192, \"cluster_size\": 16, \"compute_us\": 1000, "
-            "\"duty\": 0.1, \"interval_ms\": 10, \"machine\": \"infiniband\", "
-            "\"mode\": \"study\", \"mtbf_hours\": 0, \"periods\": 4, "
+            "{\"arbiter\": \"fcfs\", \"bb_bw_gbs\": 0, \"bytes\": 8192, "
+            "\"cluster_size\": 16, \"compute_us\": 1000, \"duty\": 0.1, "
+            "\"interval_ms\": 10, \"machine\": \"infiniband\", "
+            "\"mode\": \"study\", \"mtbf_hours\": 0, \"njobs\": 2, "
+            "\"node_bw_gbs\": 0, \"periods\": 4, \"pfs_bw_gbs\": 0, "
             "\"protocol\": \"coordinated\", \"ranks\": 64, \"seed\": 1, "
-            "\"trials\": 50, \"work_hours\": 1, \"workload\": \"halo3d\"}");
+            "\"stagger\": 0, \"tier\": \"pfs\", \"trials\": 50, "
+            "\"work_hours\": 1, \"workload\": \"halo3d\"}");
   // Round-trips exactly.
   EXPECT_EQ(CellSpec::from_json(json::parse(c)).canonical(), c);
 }
@@ -84,6 +87,51 @@ TEST(CellSpec, RejectsUnknownAndInvalid) {
                std::invalid_argument);
   EXPECT_THROW(CellSpec::from_json(json::parse("{\"mode\": \"guess\"}")),
                std::invalid_argument);
+}
+
+TEST(CellSpec, StorageFieldsAreSweepableAndValidated) {
+  // The storage axes round-trip and land in the canonical form (so they are
+  // part of the cache key).
+  const CellSpec cell = CellSpec::from_json(json::parse(
+      R"({"tier": "pfs", "node_bw_gbs": 1.5, "pfs_bw_gbs": 24})"));
+  EXPECT_EQ(cell.tier, "pfs");
+  EXPECT_DOUBLE_EQ(cell.pfs_bw_gbs, 24);
+  EXPECT_NE(cell.canonical().find("\"pfs_bw_gbs\": 24"), std::string::npos);
+  EXPECT_NE(cell_key(cell, "v1"), cell_key(CellSpec{}, "v1"));
+
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"tier\": \"tape\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"pfs_bw_gbs\": -1}")),
+               std::invalid_argument);
+  // Dead sweep axis: burst-buffer bandwidth on a tier that never uses it.
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"bb_bw_gbs\": 5}")),
+               std::invalid_argument);
+  // With the burst-buffer tier the same axis is live.
+  const CellSpec bb = CellSpec::from_json(
+      json::parse(R"({"tier": "burst-buffer", "bb_bw_gbs": 5})"));
+  EXPECT_DOUBLE_EQ(bb.bb_bw_gbs, 5);
+}
+
+TEST(CellSpec, PlatformFieldsAreValidated) {
+  const CellSpec cell = CellSpec::from_json(json::parse(
+      R"({"mode": "platform", "njobs": 4, "arbiter": "fair", "stagger": 0.5})"));
+  EXPECT_EQ(cell.mode, "platform");
+  EXPECT_EQ(cell.njobs, 4);
+  EXPECT_EQ(cell.arbiter, "fair");
+  EXPECT_DOUBLE_EQ(cell.stagger, 0.5);
+
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"arbiter\": \"lifo\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"njobs\": 0}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"stagger\": 1.5}")),
+               std::invalid_argument);
+  // One job cannot contend with itself.
+  EXPECT_THROW(CellSpec::from_json(
+                   json::parse(R"({"mode": "platform", "njobs": 1})")),
+               std::invalid_argument);
+  // Outside platform mode the platform knobs are inert but still range-checked.
+  EXPECT_EQ(CellSpec::from_json(json::parse("{\"njobs\": 1}")).njobs, 1);
 }
 
 TEST(CampaignSpec, ExpansionIsDeterministicOdometer) {
@@ -200,6 +248,23 @@ TEST(RunCell, PayloadIsProvenanceStampedJson) {
   EXPECT_EQ(prov->find("seed")->as_string(), "1");
   ASSERT_NE(v.find("gauges"), nullptr);
   EXPECT_NE(v.find("gauges")->find("study.slowdown"), nullptr);
+}
+
+TEST(RunCell, PlatformModeEmitsPerJobAndMachineMetrics) {
+  CellSpec cell = CellSpec::from_json(json::parse(R"({
+    "mode": "platform", "ranks": 8, "njobs": 2, "periods": 2,
+    "arbiter": "fcfs", "stagger": 0.5
+  })"));
+  const std::string payload = run_cell(cell);
+  const json::Value v = json::parse(payload);
+  const json::Value* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("platform.machine.efficiency"), nullptr);
+  EXPECT_NE(gauges->find("platform.machine.waste_contention_node_s"), nullptr);
+  EXPECT_NE(gauges->find("platform.job0.slowdown"), nullptr);
+  EXPECT_NE(gauges->find("platform.job1.storage_contention_ns"), nullptr);
+  ASSERT_NE(gauges->find("platform.machine.jobs"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("platform.machine.jobs")->as_double(), 2.0);
 }
 
 TEST(Runner, ColdThenWarmIsByteIdenticalAndAllHits) {

@@ -1,0 +1,398 @@
+// Platform-layer tests: program composition, result slicing, job I/O
+// streams, the multi-job study against its single-job oracle, and the
+// storage-contention wait attribution.
+#include "chksim/core/platform_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/core/study.hpp"
+#include "chksim/platform/job.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim {
+namespace {
+
+using namespace chksim::literals;
+
+sim::Program finalized_workload(const std::string& name, int ranks,
+                                std::uint64_t seed) {
+  workload::StdParams p;
+  p.ranks = ranks;
+  p.iterations = 8;
+  p.compute = 500'000;  // 0.5 ms
+  p.bytes = 4096;
+  p.seed = seed;
+  sim::Program prog = workload::make_workload(name, p);
+  prog.finalize();
+  return prog;
+}
+
+// A composed program must behave as the disjoint union of its parts: each
+// job's slice of the composed run is byte-identical to the job's solo run.
+TEST(PlatformCompose, SlicesMatchSoloRuns) {
+  const sim::Program a = finalized_workload("halo3d", 27, 1);
+  const sim::Program b = finalized_workload("hpccg", 16, 2);
+  const sim::Program composed = sim::Program::compose({&a, &b});
+  EXPECT_EQ(composed.ranks(), 43);
+  EXPECT_TRUE(composed.finalized());
+
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  const sim::RunResult ra = sim::run_program(a, cfg);
+  const sim::RunResult rb = sim::run_program(b, cfg);
+  const sim::RunResult rc = sim::run_program(composed, cfg);
+  ASSERT_TRUE(rc.completed);
+
+  const sim::RunResult sa = sim::slice_result(rc, 0, 27);
+  const sim::RunResult sb = sim::slice_result(rc, 27, 43);
+  EXPECT_EQ(sa.makespan, ra.makespan);
+  EXPECT_EQ(sb.makespan, rb.makespan);
+  EXPECT_EQ(sa.ops_executed, ra.ops_executed);
+  EXPECT_EQ(sb.ops_executed, rb.ops_executed);
+  EXPECT_EQ(sa.total_recv_wait(), ra.total_recv_wait());
+  EXPECT_EQ(sb.total_recv_wait(), rb.total_recv_wait());
+  ASSERT_EQ(sa.ranks.size(), ra.ranks.size());
+  for (std::size_t r = 0; r < ra.ranks.size(); ++r) {
+    EXPECT_EQ(sa.ranks[r].finish_time, ra.ranks[r].finish_time);
+    EXPECT_EQ(sa.ranks[r].cpu_busy, ra.ranks[r].cpu_busy);
+    EXPECT_EQ(sa.ranks[r].sends, ra.ranks[r].sends);
+    EXPECT_EQ(sa.ranks[r].bytes_sent, ra.ranks[r].bytes_sent);
+  }
+}
+
+TEST(PlatformCompose, ComposedMatchesSoloUnderPdesShards) {
+  const sim::Program a = finalized_workload("halo3d", 27, 1);
+  const sim::Program b = finalized_workload("hpccg", 16, 2);
+  const sim::Program composed = sim::Program::compose({&a, &b});
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  const sim::RunResult serial = sim::run_program(composed, cfg);
+  // Shard cuts land inside both jobs' rank ranges.
+  cfg.shards = 4;
+  const sim::RunResult sharded = sim::run_program(composed, cfg);
+  EXPECT_EQ(serial.makespan, sharded.makespan);
+  EXPECT_EQ(serial.ops_executed, sharded.ops_executed);
+  EXPECT_EQ(serial.total_recv_wait(), sharded.total_recv_wait());
+}
+
+TEST(PlatformCompose, Validation) {
+  EXPECT_THROW(sim::Program::compose({}), std::invalid_argument);
+  sim::Program raw(4);  // never finalized
+  EXPECT_THROW(sim::Program::compose({&raw}), std::invalid_argument);
+
+  const sim::Program a = finalized_workload("halo3d", 8, 1);
+  sim::EngineConfig cfg;
+  cfg.net = net::infiniband_system().net;
+  const sim::RunResult r = sim::run_program(a, cfg);
+  EXPECT_THROW(sim::slice_result(r, 4, 4), std::invalid_argument);
+  EXPECT_THROW(sim::slice_result(r, 0, 9), std::invalid_argument);
+  EXPECT_THROW(sim::slice_result(r, -1, 4), std::invalid_argument);
+}
+
+TEST(PlatformJobIo, StreamShapesPerProtocol) {
+  platform::JobIoParams p;
+  p.ranks = 12;
+  p.interval = 10_ms;
+  p.coordination_time = 100_us;
+  p.bytes_per_node = 1_MiB;
+  p.phase_seed = 7;
+
+  p.kind = ckpt::ProtocolKind::kCoordinated;
+  platform::JobIo co = platform::make_job_io(p);
+  ASSERT_EQ(co.streams.size(), 1u);
+  EXPECT_EQ(co.streams[0].writers, 12);
+  // First checkpoint one interval in, as in the solo coordinated schedule.
+  EXPECT_EQ(co.streams[0].phase, 10_ms);
+  EXPECT_EQ(co.streams[0].rank_begin, 0);
+  EXPECT_EQ(co.streams[0].rank_end, 12);
+  EXPECT_EQ(co.restart_writers, 12);
+  EXPECT_TRUE(co.through_pfs);
+
+  p.kind = ckpt::ProtocolKind::kUncoordinated;
+  platform::JobIo un = platform::make_job_io(p);
+  ASSERT_EQ(un.streams.size(), 12u);
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_EQ(un.streams[static_cast<std::size_t>(r)].writers, 1);
+    EXPECT_EQ(un.streams[static_cast<std::size_t>(r)].rank_begin, r);
+    EXPECT_LT(un.streams[static_cast<std::size_t>(r)].phase, 10_ms);
+  }
+  EXPECT_EQ(un.restart_writers, 1);
+
+  p.kind = ckpt::ProtocolKind::kHierarchical;
+  p.cluster_size = 5;
+  platform::JobIo hi = platform::make_job_io(p);
+  ASSERT_EQ(hi.streams.size(), 3u);  // ceil(12 / 5)
+  EXPECT_EQ(hi.streams[0].writers, 5);
+  EXPECT_EQ(hi.streams[2].writers, 2);  // remainder cluster
+  EXPECT_EQ(hi.streams[2].rank_end, 12);
+  EXPECT_EQ(hi.restart_writers, 5);
+
+  // The stagger shift (taken mod interval) delays every stream's phase.
+  p.kind = ckpt::ProtocolKind::kCoordinated;
+  p.stagger_shift = 4_ms;
+  EXPECT_EQ(platform::make_job_io(p).streams[0].phase, 14_ms);
+  p.stagger_shift = 14_ms;
+  EXPECT_EQ(platform::make_job_io(p).streams[0].phase, 14_ms);
+
+  // Burst-buffer tier bypasses the arbiter.
+  p.stagger_shift = 0;
+  p.tier = storage::StorageTier::kBurstBuffer;
+  p.write_time = 3_ms;
+  platform::JobIo bb = platform::make_job_io(p);
+  EXPECT_FALSE(bb.through_pfs);
+  EXPECT_EQ(bb.fixed_write, 3_ms);
+  EXPECT_EQ(bb.restart_writers, 0);
+
+  p.interval = 0;
+  EXPECT_THROW(platform::make_job_io(p), std::invalid_argument);
+}
+
+TEST(PlatformJobIo, TaxDispatchTranslatesRanks) {
+  struct Probe final : sim::SendTax {
+    TimeNs extra_send_cpu(sim::RankId src, sim::RankId, Bytes) const override {
+      return 1000 + src;  // encodes the (job-local) sender rank
+    }
+  };
+  Probe probe;
+  platform::PlatformTax tax;
+  tax.add_job(0, 8, nullptr);
+  tax.add_job(8, 20, &probe);
+  EXPECT_FALSE(tax.empty());
+  EXPECT_EQ(tax.extra_send_cpu(3, 4, 64), 0);        // untaxed job
+  EXPECT_EQ(tax.extra_send_cpu(8, 9, 64), 1000);     // job-local rank 0
+  EXPECT_EQ(tax.extra_send_cpu(19, 8, 64), 1011);    // job-local rank 11
+  EXPECT_THROW(tax.add_job(25, 30, nullptr), std::invalid_argument);
+}
+
+core::PlatformConfig contended_config(int njobs, double stagger) {
+  core::PlatformConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.machine.ckpt_bytes_per_node = 2_MiB;
+  // PFS carries exactly one job's coordinated burst at node speed: any
+  // overlap between jobs' bursts must queue or stretch.
+  cfg.machine.pfs_bw_bytes_per_s = cfg.machine.node_bw_bytes_per_s * 8;
+  workload::StdParams params;
+  params.ranks = 8;
+  params.iterations = 10;
+  params.compute = 1_ms;
+  params.bytes = 4096;
+  core::ProtocolSpec protocol;
+  protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  protocol.interval_policy = ckpt::IntervalPolicy::kFixed;
+  protocol.fixed_interval = 10_ms;
+  cfg.jobs = core::make_job_mix({"halo3d"}, njobs, 8, params, protocol);
+  cfg.stagger_frac = stagger;
+  return cfg;
+}
+
+// Single job at full PFS bandwidth: the arbiter must be invisible (no queue
+// wait, no contention), and the platform numbers must agree with the
+// single-application run_study oracle on the same machine.
+TEST(PlatformStudy, SingleJobMatchesRunStudyOracle) {
+  core::PlatformConfig cfg = contended_config(1, 0);
+  const core::PlatformBreakdown pb = core::run_platform_study(cfg);
+  ASSERT_EQ(pb.jobs.size(), 1u);
+  const core::PlatformJobBreakdown& j = pb.jobs[0];
+  EXPECT_EQ(j.queue_wait, 0);
+  EXPECT_EQ(j.storage_contention, 0);
+  EXPECT_DOUBLE_EQ(pb.waste_contention_node_s, 0.0);
+  EXPECT_GT(j.bursts, 0);
+  EXPECT_GT(j.slowdown, 1.0);
+
+  core::StudyConfig sc;
+  sc.machine = cfg.machine;
+  sc.workload = cfg.jobs[0].workload;
+  sc.params = cfg.jobs[0].params;
+  sc.protocol = cfg.jobs[0].protocol;
+  const core::Breakdown sb = core::run_study(sc);
+  EXPECT_EQ(j.base_makespan, sb.base_makespan);
+  // The realised lone-burst write equals the analytic write up to per-burst
+  // rounding, so the perturbed makespans track each other closely.
+  EXPECT_NEAR(static_cast<double>(j.perturbed_makespan),
+              static_cast<double>(sb.perturbed_makespan),
+              0.01 * static_cast<double>(sb.perturbed_makespan));
+}
+
+TEST(PlatformStudy, ContentionAppearsWithSecondJob) {
+  const core::PlatformBreakdown solo = core::run_platform_study(contended_config(1, 0));
+  const core::PlatformBreakdown duo = core::run_platform_study(contended_config(2, 0));
+  ASSERT_EQ(duo.jobs.size(), 2u);
+  TimeNs contention = 0;
+  for (const core::PlatformJobBreakdown& j : duo.jobs) contention += j.storage_contention;
+  EXPECT_GT(contention, 0);
+  EXPECT_GT(duo.waste_contention_node_s, 0.0);
+  EXPECT_LT(duo.machine_efficiency, solo.machine_efficiency);
+  EXPECT_EQ(duo.total_ranks, 16);
+  EXPECT_GT(duo.pfs_requests, 0);
+  EXPECT_GE(duo.pfs_peak_active, 2);
+}
+
+// The E14 mechanism at unit-test scale: de-phasing in-phase bursts strictly
+// reduces contention and recovers machine efficiency.
+TEST(PlatformStudy, StaggerReducesContention) {
+  const core::PlatformBreakdown in_phase =
+      core::run_platform_study(contended_config(4, 0));
+  const core::PlatformBreakdown spread =
+      core::run_platform_study(contended_config(4, 1));
+  auto total_contention = [](const core::PlatformBreakdown& b) {
+    TimeNs t = 0;
+    for (const core::PlatformJobBreakdown& j : b.jobs) t += j.storage_contention;
+    return t;
+  };
+  EXPECT_GT(total_contention(in_phase), 0);
+  EXPECT_LT(total_contention(spread), total_contention(in_phase));
+  EXPECT_GT(spread.machine_efficiency, in_phase.machine_efficiency);
+}
+
+TEST(PlatformStudy, DeterministicAcrossThreadsAndShards) {
+  core::PlatformConfig a = contended_config(3, 0.5);
+  core::PlatformConfig b = contended_config(3, 0.5);
+  b.threads = 2;
+  b.shards = 2;
+  const core::PlatformBreakdown ra = core::run_platform_study(a);
+  const core::PlatformBreakdown rb = core::run_platform_study(b);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_EQ(ra.machine_makespan, rb.machine_makespan);
+  EXPECT_DOUBLE_EQ(ra.machine_efficiency, rb.machine_efficiency);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  for (std::size_t j = 0; j < ra.jobs.size(); ++j) {
+    EXPECT_EQ(ra.jobs[j].base_makespan, rb.jobs[j].base_makespan);
+    EXPECT_EQ(ra.jobs[j].perturbed_makespan, rb.jobs[j].perturbed_makespan);
+    EXPECT_EQ(ra.jobs[j].bursts, rb.jobs[j].bursts);
+    EXPECT_EQ(ra.jobs[j].queue_wait, rb.jobs[j].queue_wait);
+    EXPECT_EQ(ra.jobs[j].storage_contention, rb.jobs[j].storage_contention);
+  }
+}
+
+TEST(PlatformStudy, JobLevelFailuresRollBackAndCharge) {
+  core::PlatformConfig cfg = contended_config(2, 0);
+  cfg.failures = true;
+  cfg.failure_seed = 3;
+  // Per-job MTBF of about one checkpoint interval, relaunch shrunk so the
+  // contended restart read is what shows up in the numbers.
+  cfg.machine.node_mtbf_hours = 10e-3 * 8 / 3600.0;
+  cfg.machine.restart_seconds = 0.5e-3;
+  const core::PlatformBreakdown fb = core::run_platform_study(cfg);
+  std::int64_t failures = 0;
+  for (const core::PlatformJobBreakdown& j : fb.jobs) {
+    failures += j.failures;
+    EXPECT_EQ(j.wall_makespan >= j.perturbed_makespan, true);
+    if (j.failures > 0) {
+      EXPECT_GT(j.lost, 0);
+      EXPECT_GT(j.restart, 0);
+      EXPECT_GT(j.wall_makespan, j.perturbed_makespan);
+    }
+  }
+  ASSERT_GT(failures, 0);
+  EXPECT_GT(fb.waste_failure_node_s, 0.0);
+
+  const core::PlatformBreakdown again = core::run_platform_study(cfg);
+  ASSERT_EQ(again.jobs.size(), fb.jobs.size());
+  for (std::size_t j = 0; j < fb.jobs.size(); ++j) {
+    EXPECT_EQ(again.jobs[j].failures, fb.jobs[j].failures);
+    EXPECT_EQ(again.jobs[j].wall_makespan, fb.jobs[j].wall_makespan);
+  }
+}
+
+TEST(PlatformStudy, MetricsNamespacesPerJob) {
+  core::PlatformConfig cfg = contended_config(2, 0.5);
+  obs::MetricsRegistry m;
+  cfg.metrics = &m;
+  const core::PlatformBreakdown b = core::run_platform_study(cfg);
+  EXPECT_DOUBLE_EQ(m.gauge("platform.machine.jobs"), 2.0);
+  EXPECT_DOUBLE_EQ(m.gauge("platform.machine.efficiency"), b.machine_efficiency);
+  EXPECT_EQ(m.counter("platform.machine.pfs.requests"), b.pfs_requests);
+  for (const core::PlatformJobBreakdown& j : b.jobs) {
+    const std::string p = "platform.job" + std::to_string(j.job) + ".";
+    EXPECT_DOUBLE_EQ(m.gauge(p + "slowdown"), j.slowdown);
+    EXPECT_EQ(m.counter(p + "bursts"), j.bursts);
+    EXPECT_DOUBLE_EQ(m.gauge(p + "storage_contention_ns"),
+                     static_cast<double>(j.storage_contention));
+  }
+}
+
+TEST(PlatformStudy, Validation) {
+  core::PlatformConfig empty;
+  empty.jobs.clear();
+  EXPECT_THROW(core::run_platform_study(empty), std::invalid_argument);
+
+  core::PlatformConfig bad_stagger = contended_config(2, 0);
+  bad_stagger.stagger_frac = 1.5;
+  EXPECT_THROW(core::run_platform_study(bad_stagger), std::invalid_argument);
+
+  core::PlatformConfig incremental = contended_config(2, 0);
+  incremental.jobs[1].protocol.incremental.full_every = 4;
+  EXPECT_THROW(core::run_platform_study(incremental), std::invalid_argument);
+
+  EXPECT_THROW(core::make_job_mix({}, 0, 8, workload::StdParams{}, core::ProtocolSpec{}),
+               std::invalid_argument);
+}
+
+TEST(PlatformStudy, MakeJobMixCyclesAndDecorrelates) {
+  workload::StdParams params;
+  params.seed = 10;
+  core::ProtocolSpec protocol;
+  protocol.seed = 20;
+  const auto mix = core::make_job_mix({"halo3d", "ep"}, 3, 16, params, protocol);
+  ASSERT_EQ(mix.size(), 3u);
+  EXPECT_EQ(mix[0].workload, "halo3d");
+  EXPECT_EQ(mix[1].workload, "ep");
+  EXPECT_EQ(mix[2].workload, "halo3d");
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(mix[static_cast<std::size_t>(j)].params.ranks, 16);
+    EXPECT_EQ(mix[static_cast<std::size_t>(j)].params.seed, 10u + static_cast<std::uint64_t>(j));
+    EXPECT_EQ(mix[static_cast<std::size_t>(j)].protocol.seed, 20u + static_cast<std::uint64_t>(j));
+  }
+  // Empty list cycles the full registry.
+  const auto all = core::make_job_mix({}, 2, 8, params, protocol);
+  EXPECT_EQ(all[0].workload, workload::workload_names()[0]);
+}
+
+TEST(PlatformStorageMap, MergesAndQueriesIntervals) {
+  obs::StorageContentionMap map(4);
+  EXPECT_TRUE(map.empty());
+  map.add_range(1, 3, {{100, 200}, {150, 250}});  // overlapping: merge to [100,250)
+  map.add_range(2, 3, {{240, 300}});              // extends rank 2's interval
+  EXPECT_FALSE(map.empty());
+  EXPECT_EQ(map.ranks(), 4);
+  EXPECT_EQ(map.overlap(0, 0, 1000), 0);
+  EXPECT_EQ(map.overlap(1, 0, 1000), 150);
+  EXPECT_EQ(map.overlap(1, 120, 180), 60);
+  EXPECT_EQ(map.overlap(1, 250, 400), 0);
+  EXPECT_EQ(map.overlap(2, 0, 1000), 200);  // [100,300) after the merge
+  EXPECT_EQ(map.overlap(2, 260, 280), 20);
+}
+
+// The attribution invariant in platform mode: with the converged contention
+// map, every rank's waits split exactly into sender_blackout +
+// storage_contention + propagated + network, and contention shows up as a
+// nonzero category.
+TEST(PlatformAttribution, StorageContentionCategoryBalances) {
+  core::PlatformConfig cfg = contended_config(2, 0);
+  obs::EventTracer tracer(16);
+  obs::StorageContentionMap map(0);
+  cfg.trace = &tracer;
+  cfg.storage_map = &map;
+  const core::PlatformBreakdown b = core::run_platform_study(cfg);
+  ASSERT_FALSE(map.empty());
+
+  const obs::WaitAttribution att = obs::attribute_waits(tracer, &map);
+  ASSERT_TRUE(att.complete);
+  TimeNs recv_wait = 0;
+  for (const core::PlatformJobBreakdown& j : b.jobs) recv_wait += j.recv_wait_perturbed;
+  EXPECT_EQ(att.total.recv_wait, recv_wait);
+  for (const obs::RankWaitAttribution& r : att.ranks)
+    EXPECT_EQ(r.sender_blackout + r.storage_contention + r.propagated + r.network,
+              r.recv_wait);
+  EXPECT_GT(att.total.storage_contention, 0);
+  EXPECT_GT(att.share_storage_contention(), 0.0);
+
+  // Without the map the same trace degrades to the single-job categories.
+  const obs::WaitAttribution plain = obs::attribute_waits(tracer);
+  EXPECT_EQ(plain.total.storage_contention, 0);
+  EXPECT_EQ(plain.total.recv_wait, att.total.recv_wait);
+  EXPECT_GE(plain.total.sender_blackout, att.total.sender_blackout);
+}
+
+}  // namespace
+}  // namespace chksim

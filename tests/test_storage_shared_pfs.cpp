@@ -1,0 +1,313 @@
+// SharedPfs arbiter tests: oracle agreement with the closed-form Pfs,
+// arbitration-policy semantics, and adversarial same-instant burst storms.
+#include "chksim/storage/shared_pfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace chksim {
+namespace {
+
+using namespace chksim::literals;
+using storage::ArbiterPolicy;
+using storage::IoCompletion;
+using storage::IoRequest;
+using storage::SharedPfs;
+
+// Power-of-two bandwidths make every byte/bandwidth division exactly
+// representable in double, so oracle comparisons hold to the nanosecond.
+storage::PfsParams dyadic_params() {
+  storage::PfsParams p;
+  p.node_bw_bytes_per_s = 1073741824.0;  // 2^30 B/s
+  p.pfs_bw_bytes_per_s = 4294967296.0;   // 2^32 B/s
+  p.bb_bw_bytes_per_s = 0;
+  return p;
+}
+
+std::vector<IoCompletion> drain(SharedPfs& pfs, TimeNs until) {
+  std::vector<IoCompletion> out;
+  pfs.advance(until, &out);
+  return out;
+}
+
+IoRequest burst(int job, int writers, Bytes bytes_per_writer,
+                int priority = storage::kPriorityWrite) {
+  IoRequest r;
+  r.job = job;
+  r.writers = writers;
+  r.bytes_per_writer = bytes_per_writer;
+  r.priority = priority;
+  return r;
+}
+
+TEST(SharedPfs, PolicyNamesRoundTrip) {
+  for (const ArbiterPolicy p : storage::all_arbiter_policies())
+    EXPECT_EQ(storage::arbiter_policy_by_name(storage::to_string(p)), p);
+  EXPECT_THROW(storage::arbiter_policy_by_name("lifo"), std::invalid_argument);
+  EXPECT_EQ(storage::all_arbiter_policies().size(), 4u);
+}
+
+// The oracle property: a lone FCFS burst finishes exactly when the analytic
+// Pfs says a coordinated write of the same shape does.
+TEST(SharedPfs, FcfsLoneBurstMatchesAnalyticOracle) {
+  const storage::Pfs oracle(dyadic_params());
+  // PFS-bound: 16 writers share 2^32 B/s -> 2^28 B/s each.
+  {
+    SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFcfs);
+    pfs.submit(0, burst(0, 16, 1_MiB));
+    const auto done = drain(pfs, 1_s);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].finish, oracle.concurrent_write(1_MiB, 16).per_node);
+    EXPECT_EQ(done[0].finish, 3906250);  // 2^24 B / 2^32 B/s = 2^-8 s
+    EXPECT_EQ(done[0].queue_wait, 0);
+    EXPECT_EQ(done[0].contention, 0);
+    EXPECT_EQ(done[0].service, done[0].finish);
+    EXPECT_EQ(done[0].uncontended, done[0].finish);
+  }
+  // Node-bound: 2 writers get 2^31 B/s of share, capped at 2^30 per node.
+  {
+    SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFcfs);
+    pfs.submit(0, burst(0, 2, 1_MiB));
+    const auto done = drain(pfs, 1_s);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].finish, oracle.concurrent_write(1_MiB, 2).per_node);
+    EXPECT_EQ(done[0].contention, 0);
+  }
+}
+
+TEST(SharedPfs, FcfsSerialisesSameInstantBursts) {
+  SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFcfs);
+  const TimeNs kT = 3906250;  // each burst alone: 2^24 B / 2^32 B/s
+  pfs.submit(0, burst(0, 16, 1_MiB));
+  pfs.submit(0, burst(1, 16, 1_MiB));
+  const auto done = drain(pfs, 1_s);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, 0);
+  EXPECT_EQ(done[0].finish, kT);
+  EXPECT_EQ(done[0].queue_wait, 0);
+  EXPECT_EQ(done[1].id, 1);
+  EXPECT_EQ(done[1].finish, 2 * kT);
+  EXPECT_EQ(done[1].queue_wait, kT);  // queued behind the full first burst
+  EXPECT_EQ(done[1].service, kT);
+  EXPECT_EQ(done[1].contention, kT);
+  EXPECT_EQ(pfs.stats().requests, 2);
+  EXPECT_EQ(pfs.stats().peak_active, 2);
+  EXPECT_EQ(pfs.stats().queue_wait_total, kT);
+  EXPECT_EQ(pfs.stats().contention_total, kT);
+  EXPECT_EQ(pfs.stats().busy, 2 * kT);
+  EXPECT_EQ(pfs.stats().bytes_moved, 2 * 16 * 1_MiB);
+  EXPECT_TRUE(pfs.idle());
+}
+
+// Fair share splits the aggregate evenly between identical PFS-bound
+// requests: both run at half speed and finish together at twice the
+// uncontended time (all of the delay is stretch, none is queueing).
+TEST(SharedPfs, FairShareSplitsEvenly) {
+  SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFairShare);
+  const TimeNs kT = 3906250;
+  pfs.submit(0, burst(0, 16, 1_MiB));
+  pfs.submit(0, burst(1, 16, 1_MiB));
+  const auto done = drain(pfs, 1_s);
+  ASSERT_EQ(done.size(), 2u);
+  for (const IoCompletion& c : done) {
+    EXPECT_EQ(c.finish, 2 * kT);
+    EXPECT_EQ(c.queue_wait, 0);  // fair share never starves
+    EXPECT_EQ(c.uncontended, kT);
+    EXPECT_EQ(c.contention, kT);
+  }
+  EXPECT_EQ(done[0].id, 0);  // same-instant completions surface in id order
+  EXPECT_EQ(done[1].id, 1);
+  EXPECT_EQ(pfs.stats().busy, 2 * kT);
+}
+
+// Max-min water-filling respects injection caps: a 1-writer request is
+// limited by its own node link, and the leftover aggregate all goes to the
+// wide request.
+TEST(SharedPfs, FairShareMaxMinRespectsInjectionCaps) {
+  SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFairShare);
+  pfs.submit(0, burst(0, 1, 1_MiB));    // cap 2^30 B/s
+  pfs.submit(0, burst(1, 16, 1_MiB));   // cap 2^34, gets 2^32 - 2^30
+  const auto done = drain(pfs, 1_s);
+  ASSERT_EQ(done.size(), 2u);
+  // Small request runs at its full node speed: 2^20 / 2^30 = 2^-10 s.
+  EXPECT_EQ(done[0].id, 0);
+  EXPECT_NEAR(static_cast<double>(done[0].finish), 976562.5, 1.0);
+  EXPECT_EQ(done[0].contention, 0);
+  // Wide request: 3*2^30 B/s while sharing, then the full 2^32. Continuous
+  // solution: 2^-10 + 13*2^-12 s = 4150390.625 ns (ceil rounding adds ~ns).
+  EXPECT_EQ(done[1].id, 1);
+  EXPECT_NEAR(static_cast<double>(done[1].finish), 4150390.625, 4.0);
+  EXPECT_EQ(done[1].queue_wait, 0);
+}
+
+// The steady-state oracle: single-writer requests arriving uniformly spread
+// (the uncoordinated checkpoint pattern) under fair share realise a mean
+// write time near Pfs::spread_write's fixed point.
+TEST(SharedPfs, FairShareMatchesSpreadWriteFixedPoint) {
+  storage::PfsParams params;
+  params.node_bw_bytes_per_s = 1e9;
+  params.pfs_bw_bytes_per_s = 4e9;
+  const int nodes = 64;
+  const TimeNs tau = units::from_seconds(1.2);  // utilisation ~0.9
+  const Bytes bytes = 64_MiB;
+  const storage::Pfs oracle(params);
+  const TimeNs predicted = oracle.spread_write(bytes, nodes, tau).per_node;
+
+  SharedPfs pfs(params, ArbiterPolicy::kFairShare);
+  std::vector<IoCompletion> done;
+  const int periods = 3;
+  for (int p = 0; p < periods; ++p) {
+    for (int i = 0; i < nodes; ++i) {
+      const TimeNs at = p * tau + i * (tau / nodes);
+      pfs.advance(at, &done);
+      pfs.submit(at, burst(i % 4, 1, bytes));
+    }
+  }
+  pfs.advance((periods + 2) * tau, &done);
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(periods * nodes));
+  double mean = 0;
+  for (const IoCompletion& c : done)
+    mean += static_cast<double>(c.finish - c.submit) / static_cast<double>(done.size());
+  // Realised mean can only exceed the solo time, and stays within the
+  // closed-form fixed point's tolerance band at this utilisation.
+  EXPECT_GE(mean, static_cast<double>(predicted) - 2.0);
+  EXPECT_NEAR(mean, static_cast<double>(predicted),
+              0.15 * static_cast<double>(predicted));
+}
+
+// Adversarial same-instant storm: eight bursts of different sizes all at
+// t = 0, the last one a priority-0 restart read. Pins the tie-break and
+// grant order of every policy, work conservation, and the per-completion
+// accounting identities.
+TEST(SharedPfs, SameInstantBurstStormPolicyMatrix) {
+  const TimeNs kUnit = 3906250;         // job j's solo time: (j+1) * kUnit
+  const TimeNs kTotal = 36 * kUnit;     // serial makespan, exactly
+  struct Case {
+    ArbiterPolicy policy;
+    std::vector<int> completion_ids;
+    std::int64_t preemptions;
+  };
+  const std::vector<Case> cases = {
+      // FCFS ignores priority: plain submission order.
+      {ArbiterPolicy::kFcfs, {0, 1, 2, 3, 4, 5, 6, 7}, 0},
+      // Equal shares drain the smallest remainder first.
+      {ArbiterPolicy::kFairShare, {0, 1, 2, 3, 4, 5, 6, 7}, 0},
+      // Blocking: request 0 already holds the server (non-preemptive), the
+      // restart read then overtakes the queued writes.
+      {ArbiterPolicy::kBlocking, {0, 7, 1, 2, 3, 4, 5, 6}, 0},
+      // Cooperative: the restart read preempts the in-progress write.
+      {ArbiterPolicy::kCooperative, {7, 0, 1, 2, 3, 4, 5, 6}, 1},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(storage::to_string(c.policy));
+    SharedPfs pfs(dyadic_params(), c.policy);
+    for (int j = 0; j < 8; ++j)
+      pfs.submit(0, burst(j, 4, (j + 1) * 4_MiB,
+                          j == 7 ? storage::kPriorityRestart
+                                 : storage::kPriorityWrite));
+    const auto done = drain(pfs, 1_s);
+    ASSERT_EQ(done.size(), 8u);
+    for (std::size_t k = 0; k < done.size(); ++k) {
+      EXPECT_EQ(done[k].id, c.completion_ids[k]) << "position " << k;
+      // Accounting identities hold for every request under every policy.
+      EXPECT_EQ(done[k].queue_wait + done[k].service, done[k].finish - done[k].submit);
+      EXPECT_EQ(done[k].contention,
+                done[k].finish - done[k].submit - done[k].uncontended);
+      EXPECT_GE(done[k].contention, 0);
+      if (k > 0) EXPECT_GE(done[k].finish, done[k - 1].finish);
+    }
+    // Every request alone saturates the PFS (4 writers x 2^30 = 2^32), so
+    // all four policies are work-conserving: the storm drains in exactly
+    // the serial makespan (ceil rounding can add a few ns).
+    EXPECT_NEAR(static_cast<double>(done.back().finish),
+                static_cast<double>(kTotal), 8.0);
+    EXPECT_EQ(pfs.stats().preemptions, c.preemptions);
+    EXPECT_EQ(pfs.stats().requests, 8);
+    EXPECT_EQ(pfs.stats().peak_active, 8);
+    EXPECT_EQ(pfs.stats().bytes_moved, 36 * 4 * 4_MiB);
+  }
+}
+
+// Mid-service restart read: cooperative pauses the write (bytes kept) and
+// resumes it; blocking makes the read wait for the full write.
+TEST(SharedPfs, CooperativePreemptsBlockingDoesNot) {
+  const TimeNs kHalf = 1953125;       // half of the write's 2^-8 s
+  const TimeNs kRead = 976563;        // ceil(2^20 / 2^30 * 1e9)
+  // Cooperative: read runs immediately at the preemption point.
+  {
+    SharedPfs pfs(dyadic_params(), ArbiterPolicy::kCooperative);
+    pfs.submit(0, burst(0, 4, 4_MiB));
+    std::vector<IoCompletion> out;
+    pfs.advance(kHalf, &out);
+    ASSERT_TRUE(out.empty());
+    pfs.submit(kHalf, burst(1, 1, 1_MiB, storage::kPriorityRestart));
+    const auto done = drain(pfs, 1_s);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].priority, storage::kPriorityRestart);
+    EXPECT_EQ(done[0].finish, kHalf + kRead);
+    EXPECT_EQ(done[0].queue_wait, 0);
+    // The paused write kept its first-half bytes: it finishes one read later
+    // than it would have alone, with the pause booked as queue wait.
+    EXPECT_EQ(done[1].finish, 2 * kHalf + kRead);
+    EXPECT_EQ(done[1].queue_wait, kRead);
+    EXPECT_EQ(done[1].service, 2 * kHalf);
+    EXPECT_EQ(pfs.stats().preemptions, 1);
+  }
+  // Blocking: the started write is never interrupted.
+  {
+    SharedPfs pfs(dyadic_params(), ArbiterPolicy::kBlocking);
+    pfs.submit(0, burst(0, 4, 4_MiB));
+    std::vector<IoCompletion> out;
+    pfs.advance(kHalf, &out);
+    pfs.submit(kHalf, burst(1, 1, 1_MiB, storage::kPriorityRestart));
+    const auto done = drain(pfs, 1_s);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].priority, storage::kPriorityWrite);
+    EXPECT_EQ(done[0].finish, 2 * kHalf);
+    EXPECT_EQ(done[0].queue_wait, 0);
+    EXPECT_EQ(done[1].finish, 2 * kHalf + kRead);
+    EXPECT_EQ(done[1].queue_wait, kHalf);  // waited out the write's second half
+    EXPECT_EQ(pfs.stats().preemptions, 0);
+  }
+}
+
+TEST(SharedPfs, ZeroByteRequestCompletesInstantly) {
+  SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFcfs);
+  pfs.submit(5, burst(0, 4, 0));
+  EXPECT_EQ(pfs.next_completion(), 5);
+  const auto done = drain(pfs, 5);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].finish, 5);
+  EXPECT_EQ(done[0].service, 0);
+  EXPECT_EQ(done[0].contention, 0);
+}
+
+TEST(SharedPfs, NextCompletionTracksEarliestFinish) {
+  SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFairShare);
+  EXPECT_EQ(pfs.next_completion(), -1);
+  EXPECT_TRUE(pfs.idle());
+  pfs.submit(0, burst(0, 16, 1_MiB));
+  EXPECT_EQ(pfs.next_completion(), 3906250);
+  EXPECT_FALSE(pfs.idle());
+  std::vector<IoCompletion> out;
+  pfs.advance(1_s, &out);
+  EXPECT_EQ(pfs.next_completion(), -1);
+  EXPECT_EQ(pfs.clock(), 1_s);
+}
+
+TEST(SharedPfs, ValidationThrows) {
+  storage::PfsParams bad = dyadic_params();
+  bad.pfs_bw_bytes_per_s = 0;
+  EXPECT_THROW(SharedPfs(bad, ArbiterPolicy::kFcfs), std::invalid_argument);
+
+  SharedPfs pfs(dyadic_params(), ArbiterPolicy::kFcfs);
+  EXPECT_THROW(pfs.submit(0, burst(0, 0, 1_KiB)), std::invalid_argument);
+  EXPECT_THROW(pfs.submit(0, burst(0, 1, -1)), std::invalid_argument);
+  std::vector<IoCompletion> out;
+  pfs.advance(10, &out);
+  EXPECT_THROW(pfs.submit(5, burst(0, 1, 1_KiB)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chksim
