@@ -1,0 +1,250 @@
+// E15 — in-fabric contention: how the protocol rankings move when
+// checkpoint and message traffic share the network.
+//
+// E8 asked what checkpoint writes cost under a shared-PFS pipe, E11 where
+// hierarchical clustering's sweet spot sits, and E12 which protocol carries
+// furthest — all with the network as an infinite crossbar (analytic LogGOPS
+// transit). Flow mode (core::NetworkMode::kFlow) routes every message and
+// checkpoint transfer over explicit fabric links with max-min fair sharing,
+// so those questions get re-asked with the contention the paper says
+// matters:
+//
+//   1. protocol crossover vs scale — coordinated bursts, uncoordinated +
+//      logging tax, hierarchical clusters, each analytic vs flow. The PFS
+//      and its gateway fan-in saturate as ranks grow, so the scale at which
+//      spreading (uncoordinated/hierarchical) overtakes the coordinated
+//      burst moves between the two network models;
+//   2. burst-buffer drain vs halo traffic — the analytic model books a BB
+//      checkpoint as a fixed fast blackout and the drain to the PFS is
+//      free; in flow mode the drain crosses the same links as the halo
+//      exchange;
+//   3. logging traffic vs collectives — the uncoordinated logging tax
+//      delays sends; under a contended fabric those delayed collectives
+//      (hpccg's allreduces) pay again in the network;
+//   4. topology-aware staggering — hierarchical clusters are contiguous
+//      rank blocks, i.e. contiguous fabric placement, and each cluster gets
+//      its own checkpoint phase: cluster size IS stagger-by-placement. The
+//      sweep shows how much placement-block staggering is worth once the
+//      fabric, not just the PFS, carries the bursts.
+//
+// Expected shape: at small scale flow mode tracks analytic (nothing
+// saturates); as the offered checkpoint load crosses the PFS/gateway
+// capacity the coordinated burst pays the most, and the
+// uncoordinated/hierarchical crossover arrives one scale step earlier in
+// flow mode than in analytic mode.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chksim;
+  using namespace chksim::literals;
+  const benchutil::BenchOptions opt = benchutil::parse_options(argc, argv);
+  benchutil::banner("E15",
+                    "protocol crossovers under in-fabric contention (flow mode)");
+
+  const TimeNs interval = 10_ms;
+  const double duty = 0.08;
+  // Keep the real PFS limit (uncontended=false): the aggregate I/O wall is
+  // part of the question. In smoke mode shrink the PFS so even the small
+  // smoke scales push past it and the gates exercise a contended solver.
+  net::MachineModel machine = benchutil::scaled_machine(
+      net::infiniband_system(), interval, duty, /*uncontended=*/false);
+  if (opt.smoke) machine.pfs_bw_bytes_per_s = 24e9;
+
+  const std::vector<int> scales =
+      opt.smoke ? std::vector<int>{27, 64, 125} : std::vector<int>{64, 216, 512};
+
+  const auto base_config = [&](int ranks, const char* workload) {
+    core::StudyConfig cfg;
+    cfg.machine = machine;
+    cfg.workload = workload;
+    cfg.params = benchutil::sized_params(ranks, interval, 4, 1_ms, 8_KiB);
+    cfg.protocol.fixed_interval = interval;
+    cfg.shards = opt.shards;
+    return cfg;
+  };
+  const auto flow_of = [](core::StudyConfig cfg) {
+    cfg.network.mode = core::NetworkMode::kFlow;
+    return cfg;
+  };
+
+  {
+    const core::FabricPlan plan =
+        core::plan_fabric(machine, scales.back(), core::FlowSpec{});
+    std::cout << "machine=" << machine.name << " interval=10ms duty="
+              << benchutil::pct(duty) << " pfs_bw="
+              << benchutil::fixed(machine.pfs_bw_bytes_per_s / 1e9, 0)
+              << " GB/s fabric=" << net::flow::to_string(plan.router.kind)
+              << " gateways(top scale)=" << plan.router.gateways << "\n\n";
+  }
+
+  // ------------------------------------------------------------------
+  // 1) Protocol crossover vs scale, analytic vs flow (the E12 re-ask).
+  // ------------------------------------------------------------------
+  struct ProtoCase {
+    const char* name;
+    ckpt::ProtocolKind kind;
+  };
+  const std::vector<ProtoCase> protos = {
+      {"coordinated", ckpt::ProtocolKind::kCoordinated},
+      {"uncoordinated+log", ckpt::ProtocolKind::kUncoordinated},
+      {"hierarchical(c=64)+log", ckpt::ProtocolKind::kHierarchical},
+  };
+  std::vector<core::StudyConfig> cells;
+  for (const int ranks : scales) {
+    for (const ProtoCase& pc : protos) {
+      core::StudyConfig cfg = base_config(ranks, "halo3d");
+      cfg.protocol.kind = pc.kind;
+      cfg.protocol.cluster_size = 64;
+      if (pc.kind != ckpt::ProtocolKind::kCoordinated)
+        cfg.protocol.log_per_message = 2_us;
+      cells.push_back(cfg);            // analytic
+      cells.push_back(flow_of(cfg));   // flow
+    }
+  }
+  const std::vector<core::Breakdown> xr = core::run_sweep(cells, opt.jobs);
+
+  Table t({"ranks", "protocol", "network", "slowdown", "efficiency",
+           "propagation", "fabric_contention", "io_bursts"});
+  // efficiency[scale][proto][mode]
+  std::vector<std::vector<std::array<double, 2>>> eff(
+      scales.size(), std::vector<std::array<double, 2>>(protos.size()));
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    const core::Breakdown& b = xr[i];
+    const std::size_t scale_i = i / (2 * protos.size());
+    const std::size_t proto_i = (i / 2) % protos.size();
+    const std::size_t mode_i = i % 2;
+    eff[scale_i][proto_i][mode_i] = 1.0 / b.slowdown;
+    t.row() << std::int64_t{b.ranks} << protos[proto_i].name << b.network
+            << benchutil::fixed(b.slowdown, 4)
+            << benchutil::pct(1.0 / b.slowdown)
+            << benchutil::fixed(b.propagation_factor, 2)
+            << units::format_time(b.fabric.contention_ns)
+            << std::int64_t{b.io_bursts};
+  }
+  std::cout << t.to_ascii() << "\n";
+
+  // The crossover statement: first scale (if any) at which the spreading
+  // protocol beats coordinated, per network model.
+  for (std::size_t p = 1; p < protos.size(); ++p) {
+    for (std::size_t m = 0; m < 2; ++m) {
+      std::string at = "not reached";
+      for (std::size_t s = 0; s < scales.size(); ++s) {
+        if (eff[s][p][m] > eff[s][0][m]) {
+          at = std::to_string(scales[s]) + " ranks";
+          break;
+        }
+      }
+      std::cout << "crossover[" << protos[p].name << " > coordinated, "
+                << (m == 0 ? "analytic" : "flow") << "]: " << at << "\n";
+    }
+  }
+  std::cout << "\n";
+
+  // ------------------------------------------------------------------
+  // 2) Burst-buffer drain vs halo traffic (the E8 re-ask).
+  // ------------------------------------------------------------------
+  {
+    const int ranks = scales[1];
+    core::StudyConfig cfg = base_config(ranks, "halo3d");
+    cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+    cfg.protocol.tier = storage::StorageTier::kBurstBuffer;
+    cfg.machine.bb_bw_bytes_per_s = 8e9;
+    const std::vector<core::Breakdown> bb =
+        core::run_sweep({cfg, flow_of(cfg)}, opt.jobs);
+    Table bt({"network", "slowdown", "blackout", "drain_flows",
+              "storage_bytes", "fabric_contention"});
+    for (const core::Breakdown& b : bb)
+      bt.row() << b.network << benchutil::fixed(b.slowdown, 4)
+               << units::format_time(b.blackout)
+               << std::int64_t{b.fabric.io_flows}
+               << units::format_bytes(b.fabric.storage_bytes)
+               << units::format_time(b.fabric.contention_ns);
+    std::cout << "burst-buffer drain vs halo traffic (" << ranks
+              << " ranks, bb_bw=8 GB/s):\n"
+              << bt.to_ascii();
+    std::cout << "verdict[bb-drain]: analytic books the drain as free; flow "
+                 "mode charges the halo exchange "
+              << benchutil::fixed((bb[1].slowdown / bb[0].slowdown - 1) * 100, 2)
+              << "% extra slowdown for sharing links with it\n\n";
+  }
+
+  // ------------------------------------------------------------------
+  // 3) Logging traffic vs collectives (the E4/E11 tax, re-asked).
+  // ------------------------------------------------------------------
+  {
+    const int ranks = scales[1];
+    std::vector<core::StudyConfig> lg;
+    for (const TimeNs tax : {TimeNs{0}, TimeNs{50_us}}) {
+      core::StudyConfig cfg = base_config(ranks, "hpccg");
+      cfg.protocol.kind = ckpt::ProtocolKind::kUncoordinated;
+      cfg.protocol.log_per_message = tax;
+      lg.push_back(cfg);
+      lg.push_back(flow_of(cfg));
+    }
+    const std::vector<core::Breakdown> lr = core::run_sweep(lg, opt.jobs);
+    Table lt({"log_tax", "network", "slowdown", "propagation",
+              "fabric_contention"});
+    for (std::size_t i = 0; i < lr.size(); ++i)
+      lt.row() << (i < 2 ? "none" : "50us/msg") << lr[i].network
+               << benchutil::fixed(lr[i].slowdown, 4)
+               << benchutil::fixed(lr[i].propagation_factor, 2)
+               << units::format_time(lr[i].fabric.contention_ns);
+    std::cout << "logging tax on a collective-heavy workload (hpccg, " << ranks
+              << " ranks, uncoordinated):\n"
+              << lt.to_ascii();
+    const double analytic_tax = lr[2].slowdown / lr[0].slowdown;
+    const double flow_tax = lr[3].slowdown / lr[1].slowdown;
+    std::cout << "verdict[logging]: the 50us/msg tax multiplies slowdown by "
+              << benchutil::fixed(analytic_tax, 4) << " (analytic) vs "
+              << benchutil::fixed(flow_tax, 4)
+              << " (flow) — contended collectives "
+              << (flow_tax > analytic_tax ? "amplify" : "absorb")
+              << " the logging traffic\n\n";
+  }
+
+  // ------------------------------------------------------------------
+  // 4) Topology-aware staggering: cluster size = placement-block stagger.
+  // ------------------------------------------------------------------
+  {
+    const int ranks = scales.back();
+    std::vector<core::StudyConfig> st;
+    const std::vector<int> clusters = {16, 64, std::min(256, ranks)};
+    for (const int c : clusters) {
+      core::StudyConfig cfg = base_config(ranks, "halo3d");
+      cfg.protocol.kind = ckpt::ProtocolKind::kHierarchical;
+      cfg.protocol.cluster_size = c;
+      cfg.protocol.log_per_message = 2_us;
+      st.push_back(cfg);
+      st.push_back(flow_of(cfg));
+    }
+    const std::vector<core::Breakdown> sr = core::run_sweep(st, opt.jobs);
+    Table stt({"cluster", "network", "slowdown", "efficiency", "propagation",
+               "fabric_contention"});
+    for (std::size_t i = 0; i < sr.size(); ++i)
+      stt.row() << std::int64_t{clusters[i / 2]} << sr[i].network
+                << benchutil::fixed(sr[i].slowdown, 4)
+                << benchutil::pct(1.0 / sr[i].slowdown)
+                << benchutil::fixed(sr[i].propagation_factor, 2)
+                << units::format_time(sr[i].fabric.contention_ns);
+    std::cout << "stagger-by-placement (hierarchical cluster sweep, " << ranks
+              << " ranks — clusters are contiguous fabric blocks with "
+                 "per-cluster phases):\n"
+              << stt.to_ascii();
+    // Best cluster per mode: where placement staggering pays off.
+    for (std::size_t m = 0; m < 2; ++m) {
+      std::size_t best = m;
+      for (std::size_t i = m; i < sr.size(); i += 2)
+        if (sr[i].slowdown < sr[best].slowdown) best = i;
+      std::cout << "verdict[stagger-" << (m == 0 ? "analytic" : "flow")
+                << "]: best cluster " << clusters[best / 2] << " at slowdown "
+                << benchutil::fixed(sr[best].slowdown, 4) << "\n";
+    }
+  }
+
+  // Focus cell for --critical-path-out: the top-scale coordinated flow
+  // cell — the run whose waits the network_contention category explains.
+  core::StudyConfig focus = base_config(scales.back(), "halo3d");
+  focus.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  benchutil::write_focus_critical_path(opt, flow_of(focus));
+  return 0;
+}

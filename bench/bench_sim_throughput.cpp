@@ -25,11 +25,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "chksim/core/fabric_plan.hpp"
 #include "chksim/core/study.hpp"
+#include "chksim/net/flow/flownet.hpp"
 #include "chksim/net/machines.hpp"
 #include "chksim/sim/engine.hpp"
 #include "chksim/support/cli.hpp"
@@ -75,6 +78,7 @@ struct Measurement {
   std::string workload;
   int ranks = 0;
   int shards = 1;                   // PDES shard count (1 = serial engine)
+  bool flow = false;                // flow-level fabric instead of analytic
   std::int64_t ops = 0;             // ops in the program
   std::int64_t events = 0;          // events processed per run
   std::int64_t storage_bytes = 0;   // finalized Program footprint
@@ -93,7 +97,7 @@ struct Measurement {
 };
 
 Measurement measure(const std::string& workload, int ranks, int repeats,
-                    int shards, std::int64_t rss_budget_mib) {
+                    int shards, std::int64_t rss_budget_mib, bool flow) {
   workload::StdParams params;
   params.ranks = ranks;
   params.iterations = 10;
@@ -104,6 +108,7 @@ Measurement measure(const std::string& workload, int ranks, int repeats,
   m.workload = workload;
   m.ranks = ranks;
   m.shards = shards;
+  m.flow = flow;
   m.repeats = repeats;
 
   // Build phase: generate + finalize a fresh program per repetition.
@@ -130,9 +135,27 @@ Measurement measure(const std::string& workload, int ranks, int repeats,
   cfg.net = net::infiniband_system().net;
   cfg.shards = shards;
   cfg.rss_budget_mib = rss_budget_mib;
+  // Flow mode: route every message over the explicit fabric and take arrival
+  // times from the max-min solver. The Router (immutable route tables) is
+  // built once and each repetition gets a fresh FlowNet (mutable solver
+  // state), both outside the timed region — the measured delta vs analytic
+  // is the in-loop solver cost, not setup.
+  core::FabricPlan plan;
+  std::unique_ptr<net::flow::Router> router;
+  if (flow) {
+    core::FlowSpec spec;
+    spec.mode = core::NetworkMode::kFlow;
+    plan = core::plan_fabric(net::infiniband_system(), ranks, spec);
+    router = std::make_unique<net::flow::Router>(plan.router);
+  }
   std::vector<double> walls;
   reset_peak_rss();
   for (int rep = 0; rep < repeats; ++rep) {
+    std::unique_ptr<net::flow::FlowNet> fnet;
+    if (flow) {
+      fnet = std::make_unique<net::flow::FlowNet>(router.get(), plan.net);
+      cfg.fabric = fnet.get();
+    }
     const Clock::time_point t0 = Clock::now();
     const sim::RunResult r = sim::run_program(p, cfg);
     walls.push_back(ms_since(t0));
@@ -183,10 +206,10 @@ std::string json_report(const std::vector<Measurement>& results, int jobs,
       << "  \"jobs\": " << jobs << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
-    char buf[640];
+    char buf[704];
     std::snprintf(buf, sizeof buf,
                   "    {\"workload\": \"%s\", \"ranks\": %d, \"shards\": %d, "
-                  "\"ops\": %lld, "
+                  "\"network\": \"%s\", \"ops\": %lld, "
                   "\"events\": %lld, \"build_ms_median\": %.2f, "
                   "\"wall_ms_median\": %.2f, \"events_per_sec\": %.0f, "
                   "\"bytes_per_op\": %.1f, \"storage_bytes\": %lld, "
@@ -195,7 +218,7 @@ std::string json_report(const std::vector<Measurement>& results, int jobs,
                   "\"shard_heap_peak\": %lld, \"supersteps\": %lld, "
                   "\"barrier_ms\": %.2f}%s\n",
                   m.workload.c_str(), m.ranks, m.shards,
-                  static_cast<long long>(m.ops),
+                  m.flow ? "flow" : "analytic", static_cast<long long>(m.ops),
                   static_cast<long long>(m.events), m.build_ms_median,
                   m.wall_ms_median, m.events_per_sec, m.bytes_per_op,
                   static_cast<long long>(m.storage_bytes), m.repeats,
@@ -235,6 +258,9 @@ int main(int argc, char** argv) {
             "fail (exit 1) if any row's per-shard pending-event high-water "
             "exceeds this count (0 = off)")
       .flag("sweep-cells", "8", "cells in the run_sweep wall-clock measurement")
+      .flag("network", "analytic",
+            "engine network model for every measurement: analytic | flow "
+            "(explicit-fabric max-min solver; rows are tagged \"+flow\")")
       .flag("shards", "1", "PDES shard count for every engine measurement (1 = serial)")
       .flag("shard-sweep", "",
             "comma-separated shard counts (e.g. 1,2,4,8): re-measure each case "
@@ -252,6 +278,12 @@ int main(int argc, char** argv) {
   const std::int64_t max_ws_mib = cli.get_int("max-ws-mib");
   const std::int64_t max_shard_heap = cli.get_int("max-shard-heap");
   const int sweep_cells = std::max(1, static_cast<int>(cli.get_int("sweep-cells")));
+  const std::string network = cli.get("network");
+  if (network != "analytic" && network != "flow") {
+    std::cerr << "--network must be analytic or flow\n";
+    return 2;
+  }
+  const bool flow = network == "flow";
   // Shard counts to measure each case at: --shard-sweep wins, else --shards.
   std::vector<int> shard_counts;
   {
@@ -292,7 +324,7 @@ int main(int argc, char** argv) {
     for (const int shards : shard_counts) {
       try {
         results.push_back(
-            measure(c.workload, c.ranks, repeats, shards, rss_budget_mib));
+            measure(c.workload, c.ranks, repeats, shards, rss_budget_mib, flow));
       } catch (const std::exception& e) {
         // The engine's upfront working-set estimate rejected the run — the
         // fail-fast path of --rss-budget-mib (no allocation happened).
@@ -300,10 +332,11 @@ int main(int argc, char** argv) {
         return 1;
       }
       const Measurement& m = results.back();
+      const std::string label = m.workload + (m.flow ? "+flow" : "");
       std::printf(
           "%-10s %7d %6d %12lld %12lld %10.2f %12.2f %14.0f %10.1f %10.1f "
           "%10.1f\n",
-          m.workload.c_str(), m.ranks, m.shards, static_cast<long long>(m.ops),
+          label.c_str(), m.ranks, m.shards, static_cast<long long>(m.ops),
           static_cast<long long>(m.events), m.build_ms_median, m.wall_ms_median,
           m.events_per_sec, m.bytes_per_op,
           static_cast<double>(m.ws_bytes) / (1024.0 * 1024.0),

@@ -84,6 +84,9 @@ core::StudyConfig study_config_of(const CellSpec& cell) {
   cfg.protocol.cluster_size = cell.cluster_size;
   cfg.protocol.seed = cell.seed;
   cfg.protocol.tier = storage::tier_by_name(cell.tier);
+  cfg.network.mode = core::network_mode_by_name(cell.network);
+  cfg.network.routing = net::flow::routing_by_name(cell.routing);
+  cfg.network.link_bw_gbs = cell.link_bw_gbs;
   cfg.jobs = 1;  // campaign-level parallelism only
   return cfg;
 }
@@ -95,6 +98,7 @@ core::PlatformConfig platform_config_of(const CellSpec& cell) {
   cfg.jobs = core::make_job_mix({cell.workload}, cell.njobs, cell.ranks,
                                 study.params, study.protocol);
   cfg.arbiter = storage::arbiter_policy_by_name(cell.arbiter);
+  cfg.network = study.network;
   cfg.stagger_frac = cell.stagger;
   cfg.preemption = study.preemption;
   cfg.threads = 1;  // campaign-level parallelism only

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "chksim/core/fabric_plan.hpp"
 #include "chksim/net/machines.hpp"
 #include "chksim/storage/pfs.hpp"
 #include "chksim/storage/shared_pfs.hpp"
@@ -42,7 +43,7 @@ struct Field {
   json::Value (*get)(const CellSpec&);
 };
 
-constexpr int kFieldCount = 22;
+constexpr int kFieldCount = 25;
 
 const Field kFields[kFieldCount] = {
     {"mode", [](CellSpec& c, const json::Value& v) { c.mode = need_string(v, "mode"); },
@@ -129,6 +130,21 @@ const Field kFields[kFieldCount] = {
        c.bb_bw_gbs = need_number(v, "bb_bw_gbs");
      },
      [](const CellSpec& c) { return json::Value::number(c.bb_bw_gbs); }},
+    {"network",
+     [](CellSpec& c, const json::Value& v) {
+       c.network = need_string(v, "network");
+     },
+     [](const CellSpec& c) { return json::Value::string(c.network); }},
+    {"link_bw_gbs",
+     [](CellSpec& c, const json::Value& v) {
+       c.link_bw_gbs = need_number(v, "link_bw_gbs");
+     },
+     [](const CellSpec& c) { return json::Value::number(c.link_bw_gbs); }},
+    {"routing",
+     [](CellSpec& c, const json::Value& v) {
+       c.routing = need_string(v, "routing");
+     },
+     [](const CellSpec& c) { return json::Value::string(c.routing); }},
     {"arbiter",
      [](CellSpec& c, const json::Value& v) {
        c.arbiter = need_string(v, "arbiter");
@@ -215,6 +231,20 @@ void CellSpec::validate() const {
                                    ? preset.bb_bw_bytes_per_s
                                    : 0.0);
   storage::validate_pfs_params(p, t);
+
+  // Network axes: resolve the mode, then reject flow-only knobs on
+  // analytic cells — a sweep that varies link_bw_gbs or routing without
+  // flipping the mode would silently run identical cells otherwise (same
+  // dead-axis rule as the tier-gated bb_bw_gbs above).
+  const core::NetworkMode nm = core::network_mode_by_name(network);  // throws
+  net::flow::routing_by_name(routing);  // throws on unknown routings
+  if (link_bw_gbs < 0) bad("link_bw_gbs must be >= 0 (0 = NIC rate)");
+  if (nm == core::NetworkMode::kAnalytic) {
+    if (link_bw_gbs != 0)
+      bad("link_bw_gbs is a flow-mode knob; set network: \"flow\" or drop it");
+    if (routing != "minimal")
+      bad("routing is a flow-mode knob; set network: \"flow\" or drop it");
+  }
 
   storage::arbiter_policy_by_name(arbiter);  // throws on unknown policies
   if (njobs < 1) bad("njobs must be >= 1");

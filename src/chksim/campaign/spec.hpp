@@ -77,6 +77,14 @@ struct CellSpec {
   double pfs_bw_gbs = 0;     ///< Aggregate PFS bandwidth, GB/s.
   double bb_bw_gbs = 0;      ///< Burst-buffer bandwidth, GB/s.
 
+  // Network axes (sweepable). "flow" routes application messages and
+  // checkpoint I/O over an explicit fabric (net::flow) so they contend for
+  // links; the flow-only knobs below are dead axes under "analytic" and
+  // non-default values there are rejected.
+  std::string network = "analytic";  ///< analytic|flow (core::NetworkMode).
+  double link_bw_gbs = 0;   ///< Fabric link capacity, GB/s; 0 = NIC rate.
+  std::string routing = "minimal";  ///< minimal|valiant (flow mode only).
+
   // "platform" mode only.
   std::string arbiter = "fcfs";  ///< fcfs|fair|blocking|cooperative.
   int njobs = 2;                 ///< Jobs in the mix (ranks each).

@@ -1,0 +1,197 @@
+#include "chksim/core/fabric_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chksim::core {
+
+namespace {
+
+bool name_contains(const std::string& name, const char* what) {
+  return name.find(what) != std::string::npos;
+}
+
+/// Greedy near-cubic factorization, mirroring net::Torus::near_cubic.
+std::array<int, 3> near_cubic_dims(int nodes) {
+  int best_x = 1;
+  for (int x = 1; x * x * x <= nodes; ++x)
+    if (nodes % x == 0) best_x = x;
+  const int rest = nodes / best_x;
+  int best_y = 1;
+  for (int y = best_x; y * y <= rest; ++y)
+    if (rest % y == 0) best_y = y;
+  if (best_y < best_x) {
+    best_y = 1;
+    for (int y = 1; y * y <= rest; ++y)
+      if (rest % y == 0) best_y = y;
+  }
+  return {best_x, best_y, rest / best_y};
+}
+
+}  // namespace
+
+std::string to_string(NetworkMode mode) {
+  return mode == NetworkMode::kFlow ? "flow" : "analytic";
+}
+
+NetworkMode network_mode_by_name(const std::string& name) {
+  if (name == "analytic") return NetworkMode::kAnalytic;
+  if (name == "flow") return NetworkMode::kFlow;
+  throw std::invalid_argument("unknown network mode \"" + name +
+                              "\" (want \"analytic\" or \"flow\")");
+}
+
+FabricPlan plan_fabric(const net::MachineModel& machine, int ranks,
+                       const FlowSpec& spec) {
+  if (spec.ranks_per_node < 1)
+    throw std::invalid_argument("FlowSpec: ranks_per_node must be >= 1");
+  FabricPlan plan;
+  plan.router.node_map.ranks_per_node = spec.ranks_per_node;
+  plan.router.nodes =
+      std::max(1, plan.router.node_map.nodes_for(std::max(ranks, 1)));
+  plan.router.routing = spec.routing;
+
+  if (name_contains(machine.name, "torus") || name_contains(machine.name, "bgq")) {
+    plan.router.kind = net::flow::FabricKind::kTorus;
+    plan.router.dims = near_cubic_dims(plan.router.nodes);
+  } else if (name_contains(machine.name, "exascale") ||
+             name_contains(machine.name, "dragonfly")) {
+    plan.router.kind = net::flow::FabricKind::kDragonfly;
+  } else {
+    plan.router.kind = net::flow::FabricKind::kFatTree;
+  }
+
+  // NIC bandwidth is the LogGOPS per-byte gap inverted: G ns/byte at the
+  // NIC is 1/G bytes/ns. GB/s and bytes/ns are numerically equal.
+  const double nic_bw = machine.net.G > 0 ? 1.0 / machine.net.G : 16.0;
+  plan.net.node_bw = nic_bw;
+  plan.net.link_bw = spec.link_bw_gbs > 0 ? spec.link_bw_gbs : nic_bw;
+  const double pfs_bw = machine.pfs_bw_bytes_per_s / 1e9;
+  plan.net.pfs_bw = pfs_bw > 0 ? pfs_bw : nic_bw;
+  plan.net.base_latency = std::max<TimeNs>(machine.net.L, 1);
+  // Per-node storage software path: caps each checkpoint flow's rate so
+  // the uncontended realized write matches the analytic per-node write and
+  // fabric contention only ever adds time.
+  plan.net.io_rate_cap = machine.node_bw_bytes_per_s > 0
+                             ? machine.node_bw_bytes_per_s / 1e9
+                             : 0;
+  // Auto gateway count is bandwidth-matched: enough gateway NICs that the
+  // storage system — not an artificial fan-in through one eject link — is
+  // the aggregate bottleneck for checkpoint traffic.
+  plan.router.gateways =
+      spec.gateways > 0
+          ? spec.gateways
+          : std::max(1, static_cast<int>(std::ceil(plan.net.pfs_bw / nic_bw)));
+  plan.router.gateways = std::min(plan.router.gateways, plan.router.nodes);
+  return plan;
+}
+
+IoPlan realize_io_bursts(const ckpt::Artifacts& art, storage::StorageTier tier,
+                         const net::MachineModel& machine,
+                         const net::flow::Router& router,
+                         const net::flow::FlowNetConfig& fcfg, int ranks,
+                         TimeNs horizon) {
+  IoPlan plan;
+  plan.horizon = horizon;
+  if (art.schedule == nullptr || ranks <= 0 || horizon <= 0) return plan;
+
+  const int rpn = router.config().node_map.ranks_per_node;
+  const Bytes full_bytes =
+      std::max<Bytes>(machine.ckpt_bytes_per_node / std::max(rpn, 1), 0);
+  const TimeNs coord = std::max<TimeNs>(art.coordination_time, 0);
+  const TimeNs full_write = std::max<TimeNs>(art.blackout_full - coord, 0);
+
+  // Walk the analytic schedule: one burst per (rank, blackout interval).
+  struct Burst {
+    sim::RankId rank = 0;
+    TimeNs begin = 0, end = 0;  // the analytic interval
+    Bytes bytes = 0;
+  };
+  std::vector<Burst> bursts;
+  std::vector<std::vector<sim::Interval>> realized(
+      static_cast<std::size_t>(ranks));
+  for (sim::RankId r = 0; r < ranks; ++r) {
+    TimeNs t = 0;
+    while (true) {
+      const std::optional<sim::Interval> iv = art.schedule->next_blackout(r, t);
+      if (!iv.has_value() || iv->begin >= horizon) break;
+      const TimeNs write = std::max<TimeNs>(iv->duration() - coord, 0);
+      Burst b;
+      b.rank = r;
+      b.begin = iv->begin;
+      b.end = iv->end;
+      // Bytes are proportional to the analytic write duration: exact for a
+      // full checkpoint and for bandwidth-proportional incremental deltas.
+      b.bytes = full_write > 0
+                    ? static_cast<Bytes>(std::llround(
+                          static_cast<double>(full_bytes) *
+                          static_cast<double>(write) /
+                          static_cast<double>(full_write)))
+                    : 0;
+      bursts.push_back(b);
+      t = iv->end;
+    }
+  }
+  plan.count = static_cast<std::int64_t>(bursts.size());
+  if (bursts.empty()) return plan;
+
+  if (tier == storage::StorageTier::kBurstBuffer) {
+    // Node-local write: the blackout keeps its analytic duration; the
+    // BB -> PFS drain rides the fabric in the background from blackout end.
+    for (std::size_t i = 0; i < bursts.size(); ++i) {
+      const Burst& b = bursts[i];
+      realized[static_cast<std::size_t>(b.rank)].push_back({b.begin, b.end});
+      if (b.bytes <= 0) continue;
+      IoBurst io;
+      io.inject = b.end;
+      io.req.kind = sim::FlowKind::kIo;
+      io.req.src = b.rank;
+      io.req.dst = -1;
+      io.req.bytes = b.bytes;
+      io.req.key2 = static_cast<std::uint64_t>(i) + 1;
+      io.req.cookie = static_cast<std::int64_t>(i);
+      plan.bursts.push_back(io);
+    }
+    plan.schedule = std::make_unique<sim::ListBlackouts>(std::move(realized));
+    return plan;
+  }
+
+  // PFS / partner tiers: the write itself crosses the fabric. Realize the
+  // durations on a scratch solver over just the I/O flows (start times are
+  // wallclock-fixed, so one pass is the fixed point), then rebuild the
+  // schedule: blackout = [begin, max(begin + coordination, realized drain)].
+  net::flow::FlowNet scratch(&router, fcfg);
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const Burst& b = bursts[i];
+    IoBurst io;
+    io.inject = b.begin + coord;
+    io.req.kind = sim::FlowKind::kIo;
+    io.req.src = b.rank;
+    io.req.dst = tier == storage::StorageTier::kPartner
+                     ? (b.rank + ranks / 2) % ranks
+                     : sim::RankId{-1};
+    io.req.bytes = std::max<Bytes>(b.bytes, 1);  // zero-byte flows are not flows
+    io.req.key2 = static_cast<std::uint64_t>(i) + 1;
+    io.req.cookie = static_cast<std::int64_t>(i);
+    plan.bursts.push_back(io);
+    scratch.submit(io.inject, io.req);
+  }
+  std::vector<sim::FlowCompletion> sink;
+  while (scratch.next_event() >= 0) {
+    scratch.advance(scratch.next_event(), &sink);
+  }
+  std::vector<TimeNs> finish(bursts.size(), 0);
+  for (const net::flow::FlowNet::IoRealized& io : scratch.io_log())
+    finish[static_cast<std::size_t>(io.cookie)] = io.finish;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const Burst& b = bursts[i];
+    const TimeNs end = std::max(b.begin + coord, finish[i]);
+    realized[static_cast<std::size_t>(b.rank)].push_back(
+        {b.begin, std::max(end, b.begin + 1)});
+  }
+  plan.schedule = std::make_unique<sim::ListBlackouts>(std::move(realized));
+  return plan;
+}
+
+}  // namespace chksim::core

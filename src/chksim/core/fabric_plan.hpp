@@ -1,0 +1,108 @@
+// Flow-mode planning for the study layer: which fabric a machine gets, and
+// how checkpoint I/O bursts become flows in it.
+//
+// run_study's flow mode (NetworkMode::kFlow) replaces both halves of the
+// analytic transport model:
+//
+//   * messages — the engine routes every send through a net::flow::FlowNet
+//     (EngineConfig::fabric), so arrival times reflect link sharing;
+//   * checkpoint I/O — each blackout's write phase becomes a kIo flow on the
+//     same fabric. Because checkpoint *start* times are fixed by the
+//     protocol's wallclock schedule (periodic phases never shift), the
+//     realized write durations are a one-shot function of the burst set:
+//     realize_io_bursts() runs a scratch solver over just the I/O flows and
+//     rebuilds the blackout schedule with the realized durations. The same
+//     burst set is then pre-staged into the engine-run fabric, where
+//     application messages additionally contend with it — that extra
+//     slowdown lands on the messages (the network_contention wait category),
+//     not on the blackouts, which keeps blackout determinism trivial and is
+//     the documented first-order split (docs/MODEL.md "Flow-level network
+//     model").
+//
+// Tier mapping: kParallelFs writes flow rank -> gateway -> PFS ingress and
+// the realized drain defines the blackout; kPartner copies to the rank's
+// far partner ((r + ranks/2) % ranks) over the fabric, ditto; kBurstBuffer
+// keeps the analytic (node-local) blackout and instead injects the
+// BB -> PFS drain as a background flow at blackout end — the E15
+// "drain vs halo traffic" mechanism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chksim/ckpt/protocols.hpp"
+#include "chksim/net/flow/flownet.hpp"
+#include "chksim/sim/availability.hpp"
+
+namespace chksim::core {
+
+enum class NetworkMode : std::uint8_t {
+  kAnalytic,  ///< Closed-form LogGOPS transit (the default).
+  kFlow,      ///< Max-min fair-shared fabric (net::flow).
+};
+
+std::string to_string(NetworkMode mode);
+/// "analytic" | "flow"; throws std::invalid_argument otherwise.
+NetworkMode network_mode_by_name(const std::string& name);
+
+/// Flow-mode knobs carried by StudyConfig (dead axes under kAnalytic; the
+/// campaign spec rejects non-default values there).
+struct FlowSpec {
+  NetworkMode mode = NetworkMode::kAnalytic;
+  net::flow::Routing routing = net::flow::Routing::kMinimal;
+  /// Fabric base-link capacity in GB/s (numerically bytes/ns). 0 = match
+  /// the NIC bandwidth derived from the machine's LogGOPS G.
+  double link_bw_gbs = 0;
+  int ranks_per_node = 1;
+  /// PFS gateway nodes (evenly spaced). 0 = auto: bandwidth-matched,
+  /// ceil(pfs_bw / nic_bw) clamped to [1, nodes], so the storage system
+  /// rather than gateway fan-in bounds aggregate checkpoint bandwidth.
+  int gateways = 0;
+};
+
+/// A resolved fabric: construct Router(plan.router) then
+/// FlowNet(&router, plan.net). Kept as configs so every engine run can
+/// build its own (mutable) solver instance from one plan.
+struct FabricPlan {
+  net::flow::RouterConfig router;
+  net::flow::FlowNetConfig net;
+};
+
+/// Map a machine model to its fabric. The topology family follows the
+/// machine's name ("torus"/"bgq" -> torus with near-cubic dims,
+/// "exascale"/"dragonfly" -> dragonfly, anything else -> fat-tree); NIC
+/// bandwidth is 1/G bytes per ns, the PFS ingress is the machine's
+/// aggregate PFS bandwidth, and the latency floor is the machine's L.
+FabricPlan plan_fabric(const net::MachineModel& machine, int ranks,
+                       const FlowSpec& spec);
+
+/// One checkpoint transfer to pre-stage into the engine-run fabric.
+struct IoBurst {
+  TimeNs inject = 0;
+  sim::FlowRequest req;
+};
+
+/// The realized checkpoint plan for one study run.
+struct IoPlan {
+  /// Blackout schedule with solver-realized write durations, materialized
+  /// over [0, horizon). Null when the protocol schedules no blackouts.
+  std::unique_ptr<sim::ListBlackouts> schedule;
+  std::vector<IoBurst> bursts;
+  std::int64_t count = 0;  ///< Bursts walked (== bursts.size()).
+  TimeNs horizon = 0;      ///< The walk's cutoff (burst starts < horizon).
+};
+
+/// Walk `art.schedule` over [0, horizon), turn every blackout's write phase
+/// into a kIo flow, realize the write durations on a scratch solver, and
+/// rebuild the schedule. Per-burst bytes are inferred from the analytic
+/// write duration relative to the full write (exact for full and for
+/// bandwidth-proportional incremental deltas). Deterministic.
+IoPlan realize_io_bursts(const ckpt::Artifacts& art, storage::StorageTier tier,
+                         const net::MachineModel& machine,
+                         const net::flow::Router& router,
+                         const net::flow::FlowNetConfig& fcfg, int ranks,
+                         TimeNs horizon);
+
+}  // namespace chksim::core

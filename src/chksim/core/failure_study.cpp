@@ -1,6 +1,7 @@
 #include "chksim/core/failure_study.hpp"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -98,6 +99,18 @@ DirectFailureStudyResult run_direct_failure_study(const FailureStudyConfig& conf
   pert.blackouts = art.schedule.get();
   pert.tax = art.tax.get();
 
+  // Flow mode: message traffic rides the fabric (each trial gets its own
+  // solver instance — fabric state is mutated by the run and snapshotted
+  // with the engine during rollbacks). Blackouts keep the analytic schedule:
+  // failures extend the run open-endedly, so a horizon-bounded realized
+  // schedule cannot cover it.
+  std::optional<FabricPlan> plan;
+  std::optional<net::flow::Router> router;
+  if (config.study.network.mode == NetworkMode::kFlow) {
+    plan = plan_fabric(config.study.machine, nodes, config.study.network);
+    router.emplace(plan->router);
+  }
+
   fault::DirectConfig dc;
   dc.mode = recovery_mode_of(config.study.protocol.kind);
   dc.commits = art.schedule.get();
@@ -110,8 +123,14 @@ DirectFailureStudyResult run_direct_failure_study(const FailureStudyConfig& conf
   // results for every jobs value (same discipline as simulate_makespan).
   std::vector<fault::DirectResult> slots(static_cast<std::size_t>(config.trials));
   par::for_each_index(config.trials, config.jobs, [&](std::int64_t trial) {
+    sim::EngineConfig trial_pert = pert;
+    std::optional<net::flow::FlowNet> fab;
+    if (router.has_value()) {
+      fab.emplace(&*router, plan->net);
+      trial_pert.fabric = &*fab;
+    }
     slots[static_cast<std::size_t>(trial)] = fault::run_with_failures(
-        program, pert, dc, *dist,
+        program, trial_pert, dc, *dist,
         Rng::substream(config.seed ^ 0x5bd1e995, static_cast<std::uint64_t>(trial)));
   });
 

@@ -156,7 +156,29 @@ PlatformBreakdown run_platform_study(const PlatformConfig& config) {
   base_cfg.net = config.machine.net;
   base_cfg.preemption = config.preemption;
   base_cfg.shards = config.shards;
-  const sim::RunResult base = sim::run_program(composed, base_cfg);
+
+  // Flow mode routes the composed machine's message traffic over one shared
+  // fabric (checkpoint I/O stays with the SharedPfs arbiter — the platform
+  // fixed point owns storage). Every engine run gets a fresh solver
+  // instance: fabric state is consumed by the run it serves.
+  std::optional<FabricPlan> fplan;
+  std::optional<net::flow::Router> frouter;
+  if (config.network.mode == NetworkMode::kFlow) {
+    fplan = plan_fabric(config.machine, total_ranks, config.network);
+    frouter.emplace(fplan->router);
+  }
+  const auto fresh_fabric = [&]() -> std::optional<net::flow::FlowNet> {
+    if (!frouter.has_value()) return std::nullopt;
+    return net::flow::FlowNet(&*frouter, fplan->net);
+  };
+
+  sim::RunResult base;
+  {
+    sim::EngineConfig cfg = base_cfg;
+    std::optional<net::flow::FlowNet> fab = fresh_fabric();
+    if (fab.has_value()) cfg.fabric = &*fab;
+    base = sim::run_program(composed, cfg);
+  }
   if (!base.completed)
     throw std::runtime_error("platform base run did not complete: " + base.error);
 
@@ -213,6 +235,8 @@ PlatformBreakdown run_platform_study(const PlatformConfig& config) {
     sim::EngineConfig pert_cfg = base_cfg;
     pert_cfg.blackouts = &*schedule;
     if (!tax.empty()) pert_cfg.tax = &tax;
+    std::optional<net::flow::FlowNet> fab = fresh_fabric();
+    if (fab.has_value()) pert_cfg.fabric = &*fab;
     perturbed = sim::run_program(composed, pert_cfg);
     if (!perturbed.completed)
       throw std::runtime_error("platform perturbed run did not complete: " +
@@ -249,6 +273,8 @@ PlatformBreakdown run_platform_study(const PlatformConfig& config) {
     trace_cfg.blackouts = &*schedule;
     if (!tax.empty()) trace_cfg.tax = &tax;
     trace_cfg.trace = config.trace;
+    std::optional<net::flow::FlowNet> fab = fresh_fabric();
+    if (fab.has_value()) trace_cfg.fabric = &*fab;
     const sim::RunResult traced = sim::run_program(composed, trace_cfg);
     if (!traced.completed)
       throw std::runtime_error("platform traced run did not complete: " +

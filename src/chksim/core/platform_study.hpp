@@ -57,6 +57,12 @@ struct PlatformConfig {
 
   sim::Preemption preemption = sim::Preemption::kPreemptive;
 
+  /// Network model for the composed engine runs. Under NetworkMode::kFlow
+  /// message traffic is routed over one machine-wide fabric
+  /// (core/fabric_plan.hpp); checkpoint I/O stays with the SharedPfs
+  /// arbiter, which owns storage in the platform fixed point.
+  FlowSpec network;
+
   /// Optional: receives the event stream of one extra perturbed run executed
   /// after the fixed point converges (the converged blackout schedule is
   /// deterministic, so the traced run reproduces the measured one). Feed it

@@ -11,6 +11,58 @@
 
 namespace chksim::core {
 
+namespace {
+
+/// Flow-mode engine pair: base first (its makespan bounds the checkpoint
+/// horizon), then the perturbed run against the realized schedule with the
+/// same I/O bursts pre-staged into its fabric. The horizon guard re-walks
+/// with a longer horizon if blackouts push the run past the materialized
+/// schedule — each iteration is deterministic, so so is the loop.
+struct FlowRuns {
+  FabricPlan plan;
+  IoPlan io;
+};
+
+FlowRuns run_flow_pair(const StudyConfig& config, const ckpt::Artifacts& art,
+                       const sim::Program& program,
+                       const sim::EngineConfig& base_in,
+                       const sim::EngineConfig& pert_in, sim::RunResult* runs) {
+  FlowRuns out;
+  out.plan = plan_fabric(config.machine, config.params.ranks, config.network);
+  const net::flow::Router router(out.plan.router);
+  {
+    net::flow::FlowNet fab(&router, out.plan.net);
+    sim::EngineConfig base = base_in;
+    base.fabric = &fab;
+    runs[0] = sim::run_program(program, base);
+  }
+  if (!runs[0].completed) return out;
+
+  TimeNs horizon = saturating_add(
+      saturating_add(runs[0].makespan, runs[0].makespan),
+      saturating_add(art.interval, art.interval));
+  for (int guard = 0; guard < 6; ++guard) {
+    IoPlan io = realize_io_bursts(art, config.protocol.tier, config.machine,
+                                  router, out.plan.net, config.params.ranks,
+                                  horizon);
+    net::flow::FlowNet fab(&router, out.plan.net);
+    for (const IoBurst& burst : io.bursts) fab.submit(burst.inject, burst.req);
+    sim::EngineConfig pert = pert_in;
+    pert.fabric = &fab;
+    if (io.schedule != nullptr) pert.blackouts = io.schedule.get();
+    runs[1] = sim::run_program(program, pert);
+    if (!runs[1].completed || runs[1].makespan <= horizon) {
+      out.io = std::move(io);
+      break;
+    }
+    horizon = saturating_add(saturating_add(runs[1].makespan, runs[1].makespan),
+                             saturating_add(art.interval, art.interval));
+  }
+  return out;
+}
+
+}  // namespace
+
 ckpt::Artifacts prepare_protocol(const ProtocolSpec& spec,
                                  const net::MachineModel& machine, int ranks) {
   const TimeNs interval = spec.kind == ckpt::ProtocolKind::kNone
@@ -103,12 +155,19 @@ Breakdown run_study(const StudyConfig& config) {
   // (read-only) program; each writes only its own slot, so running them on
   // two threads cannot change either result.
   phase.emplace(config.telemetry, "run");
-  const sim::EngineConfig* cfgs[2] = {&base, &pert};
   sim::RunResult runs[2];
-  par::for_each_index(2, config.jobs <= 0 ? config.jobs : std::min(config.jobs, 2),
-                      [&](std::int64_t i) {
-                        runs[i] = sim::run_program(program, *cfgs[i]);
-                      });
+  FlowRuns flow;
+  const bool flow_mode = config.network.mode == NetworkMode::kFlow;
+  if (flow_mode) {
+    flow = run_flow_pair(config, art, program, base, pert, runs);
+  } else {
+    const sim::EngineConfig* cfgs[2] = {&base, &pert};
+    par::for_each_index(2,
+                        config.jobs <= 0 ? config.jobs : std::min(config.jobs, 2),
+                        [&](std::int64_t i) {
+                          runs[i] = sim::run_program(program, *cfgs[i]);
+                        });
+  }
   const sim::RunResult& r0 = runs[0];
   const sim::RunResult& r1 = runs[1];
   if (!r0.completed)
@@ -123,6 +182,11 @@ Breakdown run_study(const StudyConfig& config) {
   b.slowdown = static_cast<double>(r1.makespan) / static_cast<double>(r0.makespan);
   b.overhead_fraction = b.slowdown - 1.0;
   b.propagation_factor = b.duty_cycle > 0 ? b.overhead_fraction / b.duty_cycle : 0.0;
+  if (flow_mode) {
+    b.network = to_string(config.network.mode);
+    b.fabric = r1.fabric;
+    b.io_bursts = flow.io.count;
+  }
 
   phase.emplace(config.telemetry, "publish");
   if (config.metrics != nullptr) {
@@ -143,6 +207,35 @@ Breakdown run_study(const StudyConfig& config) {
     m.add_counter("study.bytes_sent", b.bytes_sent);
     obs::publish_engine_metrics(r0, m, "engine.base");
     obs::publish_engine_metrics(r1, m, "engine.perturbed");
+    // Flow-mode fabric gauges (deterministic, shard-invariant). Published
+    // only under NetworkMode::kFlow so analytic cell payloads are unchanged.
+    if (flow_mode) {
+      const sim::FabricStats& fs = r1.fabric;
+      m.set_gauge("net.flow.msg_flows", static_cast<double>(fs.msg_flows));
+      m.set_gauge("net.flow.io_flows", static_cast<double>(fs.io_flows));
+      m.set_gauge("net.flow.active_peak", static_cast<double>(fs.active_peak));
+      m.set_gauge("net.flow.recomputes", static_cast<double>(fs.recomputes));
+      m.set_gauge("net.flow.fill_rounds", static_cast<double>(fs.fill_rounds));
+      m.set_gauge("net.flow.fifo_holds", static_cast<double>(fs.fifo_holds));
+      m.set_gauge("net.flow.contention_ns", static_cast<double>(fs.contention_ns));
+      m.set_gauge("net.flow.bytes_moved", static_cast<double>(fs.bytes_moved));
+      m.set_gauge("net.flow.fabric_bytes", static_cast<double>(fs.fabric_bytes));
+      // Mean utilization per link class over the perturbed makespan: NIC
+      // bytes spread over every node's inject+eject pair, storage bytes over
+      // the gateways' PFS ingress links.
+      const double span = static_cast<double>(r1.makespan);
+      const int nodes = flow.plan.router.nodes;
+      const int gws = flow.plan.router.gateways;
+      if (span > 0 && nodes > 0) {
+        m.set_gauge("net.flow.util.nic",
+                    static_cast<double>(fs.nic_bytes) /
+                        (2.0 * nodes * flow.plan.net.node_bw * span));
+        m.set_gauge("net.flow.util.storage",
+                    static_cast<double>(fs.storage_bytes) /
+                        (static_cast<double>(gws) * flow.plan.net.pfs_bw * span));
+      }
+      m.set_gauge("net.flow.io_bursts", static_cast<double>(flow.io.count));
+    }
     // When the trace sink is a standard EventTracer over the perturbed run,
     // fold the causal critical path and tracer health into the report.
     // Everything published here is a deterministic function of the run, so

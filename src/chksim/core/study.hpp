@@ -15,6 +15,7 @@
 
 #include "chksim/ckpt/interval.hpp"
 #include "chksim/ckpt/protocols.hpp"
+#include "chksim/core/fabric_plan.hpp"
 #include "chksim/net/machines.hpp"
 #include "chksim/obs/metrics.hpp"
 #include "chksim/sim/engine.hpp"
@@ -59,6 +60,13 @@ struct StudyConfig {
   workload::StdParams params;  ///< params.ranks is the simulated scale.
   ProtocolSpec protocol;
   sim::Preemption preemption = sim::Preemption::kPreemptive;
+
+  /// Network model: analytic LogGOPS transit (default) or the flow-level
+  /// fabric (core/fabric_plan.hpp). Flow mode runs the engine pair serially
+  /// (the realized checkpoint schedule depends on the base makespan) and
+  /// publishes "net.flow.*" gauges; results stay byte-identical across
+  /// `jobs` and `shards`.
+  FlowSpec network;
 
   /// Observability hooks (both optional). `trace` receives the event stream
   /// of the *perturbed* run — the one whose waits the attribution pass
@@ -119,6 +127,11 @@ struct Breakdown {
   std::int64_t ops = 0;
   std::int64_t msgs = 0;
   Bytes bytes_sent = 0;
+
+  // Flow mode only (zeros / "analytic" otherwise).
+  std::string network = "analytic";
+  sim::FabricStats fabric;     ///< Perturbed-run fabric totals.
+  std::int64_t io_bursts = 0;  ///< Checkpoint transfers realized as flows.
 };
 
 /// Build the workload, run it with and without the protocol, and break down

@@ -1,0 +1,361 @@
+#include "chksim/net/flow/flownet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace chksim::net::flow {
+
+namespace {
+
+/// Remainders at or below this many bytes count as drained (same threshold
+/// as storage::SharedPfs).
+constexpr double kDrainEpsilonBytes = 1e-6;
+
+sim::FlowCompletion make_completion(TimeNs at, TimeNs uncontended,
+                                    const sim::FlowRequest& req) {
+  sim::FlowCompletion c;
+  c.finish = at;
+  c.uncontended = uncontended;
+  c.req = req;
+  return c;
+}
+
+}  // namespace
+
+FlowNet::FlowNet(const Router* router, FlowNetConfig config)
+    : router_(router), cfg_(config) {
+  if (router_ == nullptr)
+    throw std::invalid_argument("FlowNet: router must not be null");
+  if (cfg_.node_bw <= 0 || cfg_.link_bw <= 0 || cfg_.pfs_bw <= 0)
+    throw std::invalid_argument("FlowNet: bandwidths must be > 0");
+  if (cfg_.base_latency < 1)
+    throw std::invalid_argument(
+        "FlowNet: base_latency must be >= 1 ns (the engine's lookahead)");
+  if (cfg_.per_hop_ns < 0)
+    throw std::invalid_argument("FlowNet: per_hop_ns must be >= 0");
+}
+
+double FlowNet::capacity_of(LinkId id) const {
+  switch (Router::link_class(id)) {
+    case LinkClass::kInject:
+    case LinkClass::kEject:
+      return cfg_.node_bw;
+    case LinkClass::kStorage:
+      return cfg_.pfs_bw;
+    case LinkClass::kFabric:
+      return cfg_.link_bw * router_->capacity_units(id);
+  }
+  return cfg_.link_bw;
+}
+
+std::uint64_t FlowNet::chan_key(const sim::FlowRequest& req) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(req.src))
+          << 32) |
+         static_cast<std::uint32_t>(req.dst);
+}
+
+bool FlowNet::pending_before(const Pending& a, const Pending& b) const {
+  if (a.activate != b.activate) return a.activate < b.activate;
+  if (a.req.kind != b.req.kind) return a.req.kind < b.req.kind;
+  if (a.req.src != b.req.src) return a.req.src < b.req.src;
+  return a.req.key2 < b.req.key2;
+}
+
+void FlowNet::build_route(const sim::FlowRequest& req,
+                          std::vector<LinkId>* route, TimeNs* latency,
+                          TimeNs* alone_ns, Bytes bytes) const {
+  if (req.kind == sim::FlowKind::kIo && req.dst < 0)
+    router_->io_route(req.src, route);
+  else
+    router_->route(req.src, req.dst, route);
+  int hops = 0;
+  double bw = -1;
+  for (const LinkId id : *route) {
+    if (Router::link_class(id) == LinkClass::kFabric) ++hops;
+    const double cap = capacity_of(id);
+    if (bw < 0 || cap < bw) bw = cap;
+  }
+  if (req.kind == sim::FlowKind::kIo && cfg_.io_rate_cap > 0)
+    bw = std::min(bw, cfg_.io_rate_cap);
+  *latency = cfg_.base_latency + cfg_.per_hop_ns * hops;
+  *alone_ns =
+      bytes > 0
+          ? static_cast<TimeNs>(std::ceil(static_cast<double>(bytes) / bw))
+          : 0;
+}
+
+TimeNs FlowNet::uncontended_arrival(TimeNs now, sim::RankId src,
+                                    sim::RankId dst, Bytes bytes) const {
+  const int a = router_->node_of(src);
+  const int b = router_->node_of(dst);
+  const double units = router_->bottleneck_units(a, b);
+  // Same arithmetic as the per-link fold in build_route: min over
+  // {node_bw, link_bw * units_i, node_bw} equals this closed form exactly
+  // (min is exact on doubles), so the estimate matches submit() to the bit.
+  const double bw =
+      units > 0 ? std::min(cfg_.node_bw, cfg_.link_bw * units) : cfg_.node_bw;
+  const TimeNs lat =
+      cfg_.base_latency + cfg_.per_hop_ns * router_->fabric_hops(a, b);
+  const TimeNs dur =
+      bytes > 0
+          ? static_cast<TimeNs>(std::ceil(static_cast<double>(bytes) / bw))
+          : 0;
+  return now + lat + dur;
+}
+
+TimeNs FlowNet::submit(TimeNs now, const sim::FlowRequest& req) {
+  if (req.bytes < 0)
+    throw std::invalid_argument("FlowNet: bytes must be >= 0");
+  Pending p;
+  p.req = req;
+  p.inject = now;
+  TimeNs lat = 0;
+  TimeNs alone = 0;
+  build_route(req, &p.route, &lat, &alone, req.bytes);
+  p.activate = now + lat;
+  if (p.activate <= clock_)
+    throw std::logic_error(
+        "FlowNet: submission at t=" + std::to_string(now) +
+        " activates at t=" + std::to_string(p.activate) +
+        ", not ahead of the fabric clock t=" + std::to_string(clock_) +
+        " — the engine's lookahead was violated");
+  p.uncontended = p.activate + alone;
+  const TimeNs unc = p.uncontended;
+  if (req.kind == sim::FlowKind::kMsg)
+    chans_[chan_key(req)].fifo.push_back(req.key2);
+  pending_.push_back(std::move(p));
+  std::push_heap(pending_.begin(), pending_.end(),
+                 [this](const Pending& a, const Pending& b) {
+                   return pending_before(b, a);
+                 });
+  if (next_event_ < 0 || pending_.front().activate < next_event_)
+    next_event_ = pending_.front().activate;
+  stats_.active_peak =
+      std::max(stats_.active_peak, static_cast<std::int64_t>(in_fabric()));
+  return unc;
+}
+
+void FlowNet::recompute_rates() {
+  ++epoch_;
+  links_.clear();
+  ++stats_.recomputes;
+  // Touch every link of every active flow, in canonical flow order; links_
+  // ends up in first-touch order — a pure function of the active set.
+  for (Flow& f : active_) {
+    f.rate = 0;
+    for (const LinkId id : f.route) {
+      LinkSlot& s = link_slots_[id];
+      if (s.epoch != epoch_) {
+        s.epoch = epoch_;
+        s.index = static_cast<std::uint32_t>(links_.size());
+        links_.push_back({id, capacity_of(id), 0});
+      }
+      ++links_[s.index].unfrozen;
+    }
+  }
+  // Progressive water-filling: repeatedly find the most constrained link
+  // (smallest residual / unfrozen, first in links_ order on ties), freeze
+  // its flows at the equal share, subtract that share along their routes.
+  // The per-flow I/O cap acts as a virtual single-flow link: when the cap
+  // is tighter than every link's equal share, every still-unfrozen capped
+  // flow freezes at the cap in one round (all caps are equal, and the cap
+  // being <= each link's share keeps every residual nonnegative).
+  frozen_.assign(active_.size(), 0);
+  std::size_t left = active_.size();
+  std::size_t capped_left = 0;
+  if (cfg_.io_rate_cap > 0)
+    for (const Flow& f : active_)
+      if (f.req.kind == sim::FlowKind::kIo) ++capped_left;
+  while (left > 0) {
+    int best = -1;
+    double best_share = 0;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (links_[i].unfrozen == 0) continue;
+      const double share = links_[i].residual / links_[i].unfrozen;
+      if (best < 0 || share < best_share) {
+        best = static_cast<int>(i);
+        best_share = share;
+      }
+    }
+    if (capped_left > 0 && (best < 0 || cfg_.io_rate_cap <= best_share)) {
+      ++stats_.fill_rounds;
+      for (std::size_t fi = 0; fi < active_.size(); ++fi) {
+        if (frozen_[fi]) continue;
+        Flow& f = active_[fi];
+        if (f.req.kind != sim::FlowKind::kIo) continue;
+        frozen_[fi] = 1;
+        --left;
+        --capped_left;
+        f.rate = cfg_.io_rate_cap;
+        for (const LinkId id : f.route) {
+          LinkScratch& l = links_[link_slots_.find(id)->index];
+          l.residual -= cfg_.io_rate_cap;
+          if (l.residual < 0) l.residual = 0;
+          --l.unfrozen;
+        }
+      }
+      continue;
+    }
+    if (best < 0) break;  // defensive: every flow crosses >= 2 links
+    ++stats_.fill_rounds;
+    const LinkId bottleneck = links_[static_cast<std::size_t>(best)].id;
+    for (std::size_t fi = 0; fi < active_.size(); ++fi) {
+      if (frozen_[fi]) continue;
+      Flow& f = active_[fi];
+      if (std::find(f.route.begin(), f.route.end(), bottleneck) ==
+          f.route.end())
+        continue;
+      frozen_[fi] = 1;
+      --left;
+      if (capped_left > 0 && f.req.kind == sim::FlowKind::kIo) --capped_left;
+      f.rate = best_share;
+      for (const LinkId id : f.route) {
+        LinkScratch& l = links_[link_slots_.find(id)->index];
+        l.residual -= best_share;
+        if (l.residual < 0) l.residual = 0;  // FP guard; math keeps it >= 0
+        --l.unfrozen;
+      }
+    }
+  }
+  // Refresh cached completion times and the next intrinsic event.
+  TimeNs nxt = pending_.empty() ? -1 : pending_.front().activate;
+  for (Flow& f : active_) {
+    if (f.remaining <= kDrainEpsilonBytes)
+      f.finish = clock_;
+    else if (f.rate > 0)
+      f.finish = clock_ + static_cast<TimeNs>(std::ceil(f.remaining / f.rate));
+    else
+      f.finish = clock_ + 1;  // unreachable; keeps the clock moving if not
+    if (nxt < 0 || f.finish < nxt) nxt = f.finish;
+  }
+  next_event_ = nxt;
+}
+
+void FlowNet::run_events(TimeNs t, std::vector<sim::FlowCompletion>* out) {
+  for (;;) {
+    const TimeNs e = next_event_;
+    if (e < 0 || e > t) break;
+    const double dt = static_cast<double>(e - clock_);
+    if (dt > 0)
+      for (Flow& f : active_) f.remaining -= f.rate * dt;
+    clock_ = e;
+    bool changed = false;
+    // Complete drained flows, compacting the active set in place. Flows are
+    // visited in canonical (activation) order, so completion ties at e are
+    // deterministic.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      Flow& f = active_[i];
+      if (f.finish > e) {
+        if (w != i) active_[w] = std::move(f);
+        ++w;
+        continue;
+      }
+      changed = true;
+      stats_.bytes_moved += f.req.bytes;
+      for (const LinkId id : f.route) {
+        switch (Router::link_class(id)) {
+          case LinkClass::kInject:
+          case LinkClass::kEject:
+            stats_.nic_bytes += f.req.bytes;
+            break;
+          case LinkClass::kFabric:
+            stats_.fabric_bytes += f.req.bytes;
+            break;
+          case LinkClass::kStorage:
+            stats_.storage_bytes += f.req.bytes;
+            break;
+        }
+      }
+      if (f.req.kind == sim::FlowKind::kIo) {
+        ++stats_.io_flows;
+        stats_.contention_ns += e - f.uncontended;
+        io_log_.push_back({f.req.cookie, f.inject, e, f.uncontended});
+        continue;
+      }
+      Chan& chan = chans_[chan_key(f.req)];
+      if (chan.head < chan.fifo.size() && chan.fifo[chan.head] == f.req.key2) {
+        // At the channel head: deliver now (the clamp is provably a no-op —
+        // earlier deliveries happened at earlier or equal event times — but
+        // states the FIFO invariant explicitly).
+        const TimeNs arr = std::max(e, chan.last_arrival);
+        chan.last_arrival = arr;
+        ++chan.head;
+        ++stats_.msg_flows;
+        stats_.contention_ns += arr - f.uncontended;
+        out->push_back(make_completion(arr, f.uncontended, f.req));
+        // Release held successors that are now at the head, in FIFO order.
+        bool progressed = true;
+        while (progressed && chan.head < chan.fifo.size()) {
+          progressed = false;
+          const std::uint64_t want = chan.fifo[chan.head];
+          for (std::size_t h = 0; h < chan.held.size(); ++h) {
+            if (chan.held[h].req.key2 != want) continue;
+            const TimeNs harr = std::max(chan.held[h].raw, chan.last_arrival);
+            chan.last_arrival = harr;
+            ++chan.head;
+            ++stats_.msg_flows;
+            stats_.contention_ns += harr - chan.held[h].uncontended;
+            out->push_back(make_completion(harr, chan.held[h].uncontended,
+                                           chan.held[h].req));
+            chan.held.erase(chan.held.begin() +
+                            static_cast<std::ptrdiff_t>(h));
+            progressed = true;
+            break;
+          }
+        }
+        if (chan.head == chan.fifo.size()) {
+          chan.fifo.clear();
+          chan.head = 0;
+        }
+      } else {
+        // Drained under earlier channel traffic: links freed, delivery held.
+        ++stats_.fifo_holds;
+        Held hf;
+        hf.raw = e;
+        hf.uncontended = f.uncontended;
+        hf.req = f.req;
+        chan.held.push_back(std::move(hf));
+      }
+    }
+    active_.resize(w);
+    // Activate pending flows due now, in canonical heap order.
+    while (!pending_.empty() && pending_.front().activate <= e) {
+      std::pop_heap(pending_.begin(), pending_.end(),
+                    [this](const Pending& a, const Pending& b) {
+                      return pending_before(b, a);
+                    });
+      Pending p = std::move(pending_.back());
+      pending_.pop_back();
+      Flow f;
+      f.req = p.req;
+      f.inject = p.inject;
+      f.activate = p.activate;
+      f.uncontended = p.uncontended;
+      f.remaining = static_cast<double>(p.req.bytes);
+      f.route = std::move(p.route);
+      active_.push_back(std::move(f));
+      changed = true;
+    }
+    if (changed) recompute_rates();
+  }
+}
+
+void FlowNet::advance(TimeNs t, std::vector<sim::FlowCompletion>* out) {
+  run_events(t, out);
+}
+
+std::unique_ptr<sim::Fabric> FlowNet::clone() const {
+  return std::make_unique<FlowNet>(*this);
+}
+
+void FlowNet::restore(const sim::Fabric& snapshot) {
+  const auto* other = dynamic_cast<const FlowNet*>(&snapshot);
+  if (other == nullptr)
+    throw std::invalid_argument("FlowNet: restore from a foreign fabric");
+  *this = *other;
+}
+
+}  // namespace chksim::net::flow

@@ -1,0 +1,162 @@
+// FlowNet: the max-min fair-share flow solver behind sim::Fabric.
+//
+// Every in-flight transfer is a *flow* on the route the Router assigns it.
+// Link capacities are divided among the flows crossing them by progressive
+// water-filling (the same policy storage::SharedPfs::kFairShare applies to
+// one link, generalized to a route per flow): repeatedly find the most
+// loaded link, grant its flows their equal share, subtract, repeat. Rates
+// are piecewise constant between *intrinsic events* — flow activations and
+// completions — and the solver only ever advances from one intrinsic event
+// to the next, exactly like SharedPfs::advance/next_completion, its design
+// oracle.
+//
+// Where FlowNet deliberately diverges from SharedPfs: SharedPfs progresses
+// remaining bytes up to each caller-supplied instant, so its float state
+// depends on the call pattern (fine for its single serial driver). FlowNet
+// is driven by both the serial engine and the sharded ParEngine with
+// different call patterns, so its state is a function of the submission set
+// alone:
+//
+//   * state changes only at intrinsic event times — advance(t) with any
+//     call pattern yields byte-identical completions;
+//   * a flow submitted at t first affects the fabric at t + latency(route)
+//     >= t + base_latency (>= 1 ns), so submissions may arrive late and out
+//     of order (the sharded engine applies a window's submissions at the
+//     barrier) as long as their activation is still ahead of the clock —
+//     enforced, not assumed;
+//   * flows are ordered internally by content (activation, kind, src,
+//     key2), never by submission call order, and all floating-point
+//     arithmetic runs in that canonical order.
+//
+// Message flows respect per-(src, dst) channel FIFO: a flow's links are
+// released when its bytes are through, but its delivery is held until every
+// earlier flow on its channel has been delivered (a small message can drain
+// under a large one, not overtake it). I/O flows complete silently into
+// io_log(). See docs/MODEL.md "Flow-level network model".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chksim/net/flow/router.hpp"
+#include "chksim/sim/fabric.hpp"
+#include "chksim/support/flat_map.hpp"
+
+namespace chksim::net::flow {
+
+struct FlowNetConfig {
+  double node_bw = 0.25;   ///< Inject/eject link bandwidth (bytes/ns).
+  double link_bw = 0.25;   ///< Fabric base capacity unit (bytes/ns).
+  double pfs_bw = 1.0;     ///< Storage ingress link (bytes/ns, kIo only).
+  /// Per-flow rate ceiling for kIo flows (bytes/ns; 0 = uncapped). Models
+  /// the node-local storage software path: a checkpoint write cannot run
+  /// faster than the node can produce it, even on an idle fabric, so the
+  /// uncontended realized write matches the analytic per-node storage rate
+  /// and fabric contention only ever adds time.
+  double io_rate_cap = 0;
+  TimeNs base_latency = 1500;  ///< Route latency floor (the LogGOPS L).
+  TimeNs per_hop_ns = 0;       ///< Extra latency per fabric link.
+};
+
+class FlowNet final : public sim::Fabric {
+ public:
+  /// `router` must outlive the FlowNet (shared, const). Throws on
+  /// non-positive bandwidths or base_latency < 1 (the determinism contract
+  /// needs at least one nanosecond of lookahead).
+  FlowNet(const Router* router, FlowNetConfig config);
+
+  FlowNet(const FlowNet&) = default;
+  FlowNet& operator=(const FlowNet&) = default;
+
+  // sim::Fabric interface.
+  TimeNs submit(TimeNs now, const sim::FlowRequest& req) override;
+  TimeNs uncontended_arrival(TimeNs now, sim::RankId src, sim::RankId dst,
+                             Bytes bytes) const override;
+  void advance(TimeNs t, std::vector<sim::FlowCompletion>* out) override;
+  TimeNs next_event() const override { return next_event_; }
+  TimeNs min_latency() const override { return cfg_.base_latency; }
+  sim::FabricStats stats() const override { return stats_; }
+  std::unique_ptr<sim::Fabric> clone() const override;
+  void restore(const sim::Fabric& snapshot) override;
+
+  /// Realized kIo completions, in completion order.
+  struct IoRealized {
+    std::int64_t cookie = 0;
+    TimeNs submit = 0;
+    TimeNs finish = 0;
+    TimeNs uncontended = 0;
+  };
+  const std::vector<IoRealized>& io_log() const { return io_log_; }
+
+  const Router& router() const { return *router_; }
+  const FlowNetConfig& config() const { return cfg_; }
+  TimeNs clock() const { return clock_; }
+  std::size_t in_fabric() const { return pending_.size() + active_.size(); }
+
+ private:
+  struct Flow {
+    sim::FlowRequest req;
+    TimeNs inject = 0;
+    TimeNs activate = 0;
+    TimeNs finish = 0;       // cached completion at current rates
+    TimeNs uncontended = 0;  // delivery estimate if alone on the route
+    double remaining = 0;    // bytes
+    double rate = 0;         // bytes/ns
+    std::vector<LinkId> route;
+  };
+  struct Pending {
+    TimeNs activate = 0;
+    TimeNs inject = 0;
+    TimeNs uncontended = 0;
+    sim::FlowRequest req;
+    std::vector<LinkId> route;
+  };
+  // A drained flow whose delivery waits for earlier channel traffic. Links
+  // are already released; only the completion record is parked here.
+  struct Held {
+    TimeNs raw = 0;  // drain time; delivery is max(raw, channel last arrival)
+    TimeNs uncontended = 0;
+    sim::FlowRequest req;
+  };
+  struct Chan {
+    std::vector<std::uint64_t> fifo;  // key2 in submission (= inject) order
+    std::size_t head = 0;
+    TimeNs last_arrival = 0;
+    std::vector<Held> held;
+  };
+  struct LinkScratch {
+    LinkId id = 0;
+    double residual = 0;
+    int unfrozen = 0;
+  };
+  struct LinkSlot {
+    std::uint64_t epoch = 0;
+    std::uint32_t index = 0;
+  };
+
+  void build_route(const sim::FlowRequest& req, std::vector<LinkId>* route,
+                   TimeNs* latency, TimeNs* alone_ns, Bytes bytes) const;
+  double capacity_of(LinkId id) const;
+  static std::uint64_t chan_key(const sim::FlowRequest& req);
+  bool pending_before(const Pending& a, const Pending& b) const;
+  void run_events(TimeNs t, std::vector<sim::FlowCompletion>* out);
+  void recompute_rates();
+
+  const Router* router_;
+  FlowNetConfig cfg_;
+  TimeNs clock_ = 0;
+  TimeNs next_event_ = -1;
+  std::vector<Pending> pending_;  // heap by (activate, kind, src, key2)
+  std::vector<Flow> active_;      // canonical activation order
+  FlatMap<std::uint64_t, Chan> chans_;
+  std::vector<IoRealized> io_log_;
+  sim::FabricStats stats_;
+
+  // Per-recompute scratch (epoch-tagged lazy link state; copied harmlessly).
+  std::uint64_t epoch_ = 0;
+  FlatMap<LinkId, LinkSlot> link_slots_;
+  std::vector<LinkScratch> links_;
+  std::vector<char> frozen_;
+};
+
+}  // namespace chksim::net::flow

@@ -1,0 +1,332 @@
+#include "chksim/net/flow/router.hpp"
+
+#include <stdexcept>
+
+namespace chksim::net::flow {
+
+namespace {
+
+constexpr LinkId make_link(LinkClass cls, std::uint64_t payload) {
+  return (static_cast<LinkId>(cls) << 56) | payload;
+}
+
+// Fabric-link payload sub-kinds (dragonfly / fat-tree direction bits live
+// inside the payload; every family's payload stays below 2^52).
+constexpr std::uint64_t kDfRtr = 0;
+constexpr std::uint64_t kDfLocal = 1;
+constexpr std::uint64_t kDfGlobal = 2;
+
+constexpr LinkId df_link(std::uint64_t sub, std::uint64_t payload) {
+  return make_link(LinkClass::kFabric, (sub << 52) | payload);
+}
+
+constexpr LinkId ft_link(bool down_dir, int level, std::uint64_t block) {
+  return make_link(LinkClass::kFabric,
+                   (static_cast<std::uint64_t>(down_dir) << 52) |
+                       (static_cast<std::uint64_t>(level) << 44) | block);
+}
+
+}  // namespace
+
+std::string to_string(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::kFullyConnected: return "fully-connected";
+    case FabricKind::kTorus: return "torus";
+    case FabricKind::kFatTree: return "fat-tree";
+    case FabricKind::kDragonfly: return "dragonfly";
+  }
+  return "unknown";
+}
+
+std::string to_string(Routing routing) {
+  switch (routing) {
+    case Routing::kMinimal: return "minimal";
+    case Routing::kValiant: return "valiant";
+  }
+  return "unknown";
+}
+
+Routing routing_by_name(const std::string& name) {
+  if (name == "minimal") return Routing::kMinimal;
+  if (name == "valiant") return Routing::kValiant;
+  throw std::invalid_argument("unknown routing \"" + name +
+                              "\" (expected minimal or valiant)");
+}
+
+Router::Router(RouterConfig config) : cfg_(config) {
+  if (cfg_.nodes <= 0)
+    throw std::invalid_argument("Router: nodes must be > 0");
+  if (cfg_.gateways < 1 || cfg_.gateways > cfg_.nodes)
+    throw std::invalid_argument("Router: gateways must be in [1, nodes]");
+  if (cfg_.node_map.ranks_per_node < 1)
+    throw std::invalid_argument("Router: ranks_per_node must be >= 1");
+  switch (cfg_.kind) {
+    case FabricKind::kFullyConnected:
+      break;
+    case FabricKind::kTorus: {
+      std::int64_t prod = 1;
+      for (int d = 0; d < 3; ++d) {
+        if (cfg_.dims[static_cast<std::size_t>(d)] < 1)
+          throw std::invalid_argument("Router: torus dims must be >= 1");
+        prod *= cfg_.dims[static_cast<std::size_t>(d)];
+      }
+      if (prod != cfg_.nodes)
+        throw std::invalid_argument(
+            "Router: torus dims product " + std::to_string(prod) +
+            " != nodes " + std::to_string(cfg_.nodes));
+      break;
+    }
+    case FabricKind::kFatTree:
+      if (cfg_.radix < 2)
+        throw std::invalid_argument("Router: fat-tree radix must be >= 2");
+      break;
+    case FabricKind::kDragonfly:
+      if (cfg_.group_size <= 0 || cfg_.router_size <= 0 ||
+          cfg_.group_size % cfg_.router_size != 0)
+        throw std::invalid_argument(
+            "Router: dragonfly group_size must be a positive multiple of "
+            "router_size");
+      break;
+  }
+}
+
+std::array<int, 3> Router::coords(int n) const {
+  const int d0 = cfg_.dims[0];
+  const int d1 = cfg_.dims[1];
+  return {n % d0, (n / d0) % d1, n / (d0 * d1)};
+}
+
+int Router::node_at(const std::array<int, 3>& c) const {
+  return c[0] + cfg_.dims[0] * (c[1] + cfg_.dims[1] * c[2]);
+}
+
+int Router::fat_tree_down() const { return cfg_.radix / 2 < 2 ? 2 : cfg_.radix / 2; }
+
+int Router::fat_tree_level(int a, int b) const {
+  const int down = fat_tree_down();
+  std::int64_t block = down;
+  int level = 1;
+  while (a / block != b / block) {
+    block *= down;
+    ++level;
+  }
+  return level;
+}
+
+int Router::routers_per_group() const {
+  return cfg_.group_size / cfg_.router_size;
+}
+
+int Router::num_groups() const {
+  return (cfg_.nodes + cfg_.group_size - 1) / cfg_.group_size;
+}
+
+void Router::torus_route(int a, int b, std::vector<LinkId>* out) const {
+  auto ca = coords(a);
+  const auto cb = coords(b);
+  for (int d = 0; d < 3; ++d) {
+    const int ext = cfg_.dims[static_cast<std::size_t>(d)];
+    const int fwd = (cb[static_cast<std::size_t>(d)] -
+                     ca[static_cast<std::size_t>(d)] + ext) % ext;
+    const int back = (ext - fwd) % ext;
+    // Shorter wrap direction; ties prefer +.
+    const bool plus = fwd <= back;
+    const int steps = plus ? fwd : back;
+    for (int s = 0; s < steps; ++s) {
+      const int node = node_at(ca);
+      out->push_back(make_link(
+          LinkClass::kFabric,
+          (static_cast<std::uint64_t>(node) * 3 + static_cast<std::uint64_t>(d)) * 2 +
+              (plus ? 0 : 1)));
+      int& c = ca[static_cast<std::size_t>(d)];
+      c = plus ? (c + 1) % ext : (c - 1 + ext) % ext;
+    }
+  }
+}
+
+void Router::fat_tree_route(int a, int b, std::vector<LinkId>* out) const {
+  const int down = fat_tree_down();
+  const int level = fat_tree_level(a, b);
+  // Climb to the lowest common ancestor: the level-k up link belongs to the
+  // level-(k-1) block containing a.
+  std::int64_t block = 1;
+  for (int k = 1; k <= level; ++k) {
+    out->push_back(ft_link(false, k, static_cast<std::uint64_t>(a / block)));
+    block *= down;
+  }
+  // Descend into b's blocks.
+  for (int k = level; k >= 1; --k) {
+    block /= down;
+    out->push_back(ft_link(true, k, static_cast<std::uint64_t>(b / block)));
+  }
+}
+
+void Router::dragonfly_minimal(int a, int b, std::vector<LinkId>* out) const {
+  const int rt = cfg_.router_size;
+  const int ra = a / rt;
+  const int rb = b / rt;
+  const int ga = a / cfg_.group_size;
+  const int gb = b / cfg_.group_size;
+  const std::uint64_t routers =
+      static_cast<std::uint64_t>((cfg_.nodes + rt - 1) / rt);
+  out->push_back(df_link(kDfRtr, static_cast<std::uint64_t>(ra)));
+  if (ra == rb) return;
+  if (ga == gb) {
+    out->push_back(df_link(kDfLocal, static_cast<std::uint64_t>(ra) * routers +
+                                         static_cast<std::uint64_t>(rb)));
+    return;
+  }
+  const int r = routers_per_group();
+  const int exit_r = ga * r + gb % r;   // ga's router holding the ga->gb link
+  const int entry_r = gb * r + ga % r;  // gb's router holding the gb->ga link
+  const std::uint64_t groups = static_cast<std::uint64_t>(num_groups());
+  out->push_back(df_link(kDfLocal, static_cast<std::uint64_t>(ra) * routers +
+                                       static_cast<std::uint64_t>(exit_r)));
+  out->push_back(df_link(kDfGlobal, static_cast<std::uint64_t>(ga) * groups +
+                                        static_cast<std::uint64_t>(gb)));
+  out->push_back(df_link(kDfLocal, static_cast<std::uint64_t>(entry_r) * routers +
+                                       static_cast<std::uint64_t>(rb)));
+  out->push_back(df_link(kDfRtr, static_cast<std::uint64_t>(rb)));
+}
+
+void Router::dragonfly_route(int a, int b, std::vector<LinkId>* out) const {
+  const int ga = a / cfg_.group_size;
+  const int gb = b / cfg_.group_size;
+  if (cfg_.routing == Routing::kValiant && ga != gb) {
+    // Deterministic Valiant-style detour: minimal to a fixed intermediate
+    // group, then minimal onward. Falls back to minimal when the
+    // intermediate coincides with an endpoint group.
+    const int gm = (ga + gb) % num_groups();
+    if (gm != ga && gm != gb) {
+      const int rt = cfg_.router_size;
+      const int r = routers_per_group();
+      const std::uint64_t routers =
+          static_cast<std::uint64_t>((cfg_.nodes + rt - 1) / rt);
+      const std::uint64_t groups = static_cast<std::uint64_t>(num_groups());
+      const auto local = [&](int r1, int r2) {
+        out->push_back(df_link(kDfLocal,
+                               static_cast<std::uint64_t>(r1) * routers +
+                                   static_cast<std::uint64_t>(r2)));
+      };
+      const auto global = [&](int g1, int g2) {
+        out->push_back(df_link(kDfGlobal,
+                               static_cast<std::uint64_t>(g1) * groups +
+                                   static_cast<std::uint64_t>(g2)));
+      };
+      out->push_back(df_link(kDfRtr, static_cast<std::uint64_t>(a / rt)));
+      local(a / rt, ga * r + gm % r);      // to ga's exit towards gm
+      global(ga, gm);
+      local(gm * r + ga % r, gm * r + gb % r);  // across the detour group
+      global(gm, gb);
+      local(gb * r + gm % r, b / rt);      // gb's entry to b's router
+      out->push_back(df_link(kDfRtr, static_cast<std::uint64_t>(b / rt)));
+      return;
+    }
+  }
+  dragonfly_minimal(a, b, out);
+}
+
+void Router::fabric_route(int a, int b, std::vector<LinkId>* out) const {
+  if (a == b) return;
+  switch (cfg_.kind) {
+    case FabricKind::kFullyConnected:
+      out->push_back(make_link(LinkClass::kFabric,
+                               static_cast<std::uint64_t>(a) *
+                                       static_cast<std::uint64_t>(cfg_.nodes) +
+                                   static_cast<std::uint64_t>(b)));
+      return;
+    case FabricKind::kTorus: torus_route(a, b, out); return;
+    case FabricKind::kFatTree: fat_tree_route(a, b, out); return;
+    case FabricKind::kDragonfly: dragonfly_route(a, b, out); return;
+  }
+}
+
+int Router::fabric_hops(int a, int b) const {
+  if (a == b) return 0;
+  switch (cfg_.kind) {
+    case FabricKind::kFullyConnected:
+      return 1;
+    case FabricKind::kTorus: {
+      const auto ca = coords(a);
+      const auto cb = coords(b);
+      int h = 0;
+      for (int d = 0; d < 3; ++d) {
+        const int ext = cfg_.dims[static_cast<std::size_t>(d)];
+        const int fwd = (cb[static_cast<std::size_t>(d)] -
+                         ca[static_cast<std::size_t>(d)] + ext) % ext;
+        h += fwd <= ext - fwd ? fwd : ext - fwd;
+      }
+      return h;
+    }
+    case FabricKind::kFatTree:
+      return 2 * fat_tree_level(a, b);
+    case FabricKind::kDragonfly: {
+      const int ga = a / cfg_.group_size;
+      const int gb = b / cfg_.group_size;
+      if (a / cfg_.router_size == b / cfg_.router_size) return 1;
+      if (ga == gb) return 2;
+      if (cfg_.routing == Routing::kValiant) {
+        const int gm = (ga + gb) % num_groups();
+        if (gm != ga && gm != gb) return 7;
+      }
+      return 5;
+    }
+  }
+  return 0;
+}
+
+void Router::route(sim::RankId src, sim::RankId dst,
+                   std::vector<LinkId>* out) const {
+  const int a = node_of(src);
+  const int b = node_of(dst);
+  out->push_back(make_link(LinkClass::kInject, static_cast<std::uint64_t>(a)));
+  fabric_route(a, b, out);
+  out->push_back(make_link(LinkClass::kEject, static_cast<std::uint64_t>(b)));
+}
+
+int Router::gateway_node(int node) const {
+  const std::int64_t g = static_cast<std::int64_t>(node) * cfg_.gateways /
+                         cfg_.nodes;
+  return static_cast<int>(g * cfg_.nodes / cfg_.gateways);
+}
+
+void Router::io_route(sim::RankId src, std::vector<LinkId>* out) const {
+  const int a = node_of(src);
+  const int gw = gateway_node(a);
+  out->push_back(make_link(LinkClass::kInject, static_cast<std::uint64_t>(a)));
+  fabric_route(a, gw, out);
+  out->push_back(make_link(LinkClass::kEject, static_cast<std::uint64_t>(gw)));
+  out->push_back(make_link(LinkClass::kStorage, 0));
+}
+
+double Router::capacity_units(LinkId id) const {
+  if (link_class(id) != LinkClass::kFabric) return 1.0;
+  const std::uint64_t payload = id & ((std::uint64_t{1} << 56) - 1);
+  switch (cfg_.kind) {
+    case FabricKind::kFullyConnected:
+    case FabricKind::kTorus:
+      return 1.0;
+    case FabricKind::kFatTree: {
+      const int level = static_cast<int>((payload >> 44) & 0xFF);
+      double units = 1.0;
+      for (int k = 1; k < level; ++k) units *= fat_tree_down();
+      return units;
+    }
+    case FabricKind::kDragonfly:
+      return (payload >> 52) == kDfRtr ? static_cast<double>(cfg_.router_size)
+                                       : 1.0;
+  }
+  return 1.0;
+}
+
+double Router::bottleneck_units(int a, int b) const {
+  if (a == b) return 0.0;
+  // Every family's minimal route crosses at least one unit-capacity link,
+  // except the dragonfly same-router case (the router crossbar alone).
+  if (cfg_.kind == FabricKind::kDragonfly &&
+      a / cfg_.router_size == b / cfg_.router_size)
+    return static_cast<double>(cfg_.router_size);
+  return 1.0;
+}
+
+}  // namespace chksim::net::flow

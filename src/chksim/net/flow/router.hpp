@@ -1,0 +1,159 @@
+// Link enumeration and deterministic minimal routes for the flow-level
+// network model.
+//
+// `net::Topology` answers "how many hops" — enough to refine latency, blind
+// to sharing. The Router extends each topology family with an explicit link
+// structure so that a transfer can be mapped to the sequence of links it
+// crosses and those links can be contended for (net/flow/flownet.hpp):
+//
+//   fully-connected  a dedicated directed link per (a, b) node pair — a
+//                    crossbar. Fabric contention is impossible by
+//                    construction; the per-node injection/ejection links
+//                    (below) still serialize a node's aggregate traffic.
+//   torus            directed +/- links per (node, dimension). Routes walk
+//                    dimensions in x, y, z order taking the shorter wrap
+//                    direction (ties prefer +), one link per hop.
+//   fat-tree         one *fattened* logical up/down link per subtree and
+//                    level: the level-k link of a block has capacity
+//                    down^(k-1) base units, the classic full-bisection
+//                    thinning knob. A route climbs to the lowest common
+//                    ancestor and descends: 2 * level links.
+//   dragonfly        per-router crossbar links ("rtr", capacity
+//                    router_size units), intra-group local links per
+//                    ordered router pair, and global links per ordered
+//                    group pair. Minimal routes: same router = {rtr},
+//                    same group = {rtr, local}, global = {rtr, local,
+//                    global, local, rtr} — lengths equal to
+//                    net::Dragonfly::hops() by construction. The global
+//                    link of group pair (ga, gb) attaches at router
+//                    gb % routers_per_group of ga (and symmetrically), the
+//                    standard palmtree-ish assignment.
+//
+// Every rank-level route is bracketed by the source node's injection link
+// and the destination node's ejection link (one each per node — the NIC),
+// so co-resident ranks (net::NodeMap) and simultaneous flows from one node
+// share the node's NIC bandwidth even on a crossbar.
+//
+// Routes are minimal and deterministic: route length (fabric links only)
+// equals Topology::hops() exactly for every pair — tests pin this against
+// brute-force shortest paths. Routing::kValiant adds the classic
+// load-balancing detour on the dragonfly (minimal to a deterministic
+// intermediate group, then minimal onward: 7 fabric links when the
+// intermediate is distinct); other families route minimally regardless.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chksim/net/node_map.hpp"
+#include "chksim/sim/op.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::net::flow {
+
+/// Opaque link identity: class in the top byte, class-specific payload
+/// below. Stable across runs (pure function of the config), never dense —
+/// the solver keeps lazy per-link state.
+using LinkId = std::uint64_t;
+
+/// Link classes (LinkId top byte), exposed for telemetry.
+enum class LinkClass : std::uint8_t {
+  kInject = 0,   ///< Node NIC, node -> fabric.
+  kEject = 1,    ///< Node NIC, fabric -> node.
+  kFabric = 2,   ///< Topology link.
+  kStorage = 3,  ///< Shared PFS ingress (I/O flows only).
+};
+
+enum class FabricKind : std::uint8_t {
+  kFullyConnected,
+  kTorus,
+  kFatTree,
+  kDragonfly,
+};
+
+enum class Routing : std::uint8_t {
+  kMinimal,
+  kValiant,  ///< Dragonfly: detour through group (ga + gb) % groups.
+};
+
+std::string to_string(FabricKind kind);
+std::string to_string(Routing routing);
+Routing routing_by_name(const std::string& name);
+
+struct RouterConfig {
+  FabricKind kind = FabricKind::kFatTree;
+  int nodes = 1;
+  std::array<int, 3> dims = {1, 1, 1};  ///< Torus: product must equal nodes.
+  int radix = 36;                       ///< Fat-tree switch radix.
+  int group_size = 32;                  ///< Dragonfly nodes per group.
+  int router_size = 4;                  ///< Dragonfly nodes per router.
+  Routing routing = Routing::kMinimal;
+  NodeMap node_map;  ///< Rank -> node packing.
+  int gateways = 1;  ///< PFS gateway nodes, evenly spaced (I/O routes).
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);  ///< Validates; throws on bad shapes.
+
+  const RouterConfig& config() const { return cfg_; }
+  int nodes() const { return cfg_.nodes; }
+
+  /// Fabric links of the minimal (or configured) node route a -> b,
+  /// appended to `out`. Empty when a == b. Deterministic.
+  void fabric_route(int a, int b, std::vector<LinkId>* out) const;
+
+  /// Number of fabric links fabric_route(a, b) emits — closed form, no
+  /// allocation. Equals Topology::hops(a, b) under Routing::kMinimal.
+  int fabric_hops(int a, int b) const;
+
+  /// Full rank-level route: inject(src node), fabric path, eject(dst
+  /// node). Same-node ranks still cross their node's NIC pair.
+  void route(sim::RankId src, sim::RankId dst, std::vector<LinkId>* out) const;
+
+  /// Rank -> shared-PFS route: inject(node), fabric path to the node's
+  /// gateway, eject(gateway), storage link.
+  void io_route(sim::RankId src, std::vector<LinkId>* out) const;
+
+  /// The gateway node serving `node` (block assignment over cfg.gateways).
+  int gateway_node(int node) const;
+
+  /// Capacity of a link in *base-bandwidth units* (fat-tree level-k links
+  /// are down^(k-1), dragonfly rtr links are router_size, everything else
+  /// 1). The solver multiplies by the configured bytes/ns per unit;
+  /// inject/eject/storage links have their own bandwidths.
+  double capacity_units(LinkId id) const;
+
+  /// Smallest fabric-link capacity (in units) along the a -> b route —
+  /// closed form, used for uncontended-time estimates. 0 when the route
+  /// has no fabric links (same node).
+  double bottleneck_units(int a, int b) const;
+
+  static LinkClass link_class(LinkId id) {
+    return static_cast<LinkClass>(id >> 56);
+  }
+
+  int node_of(sim::RankId rank) const {
+    return cfg_.node_map.node_of(static_cast<int>(rank));
+  }
+
+ private:
+  void torus_route(int a, int b, std::vector<LinkId>* out) const;
+  void fat_tree_route(int a, int b, std::vector<LinkId>* out) const;
+  void dragonfly_route(int a, int b, std::vector<LinkId>* out) const;
+  void dragonfly_minimal(int a, int b, std::vector<LinkId>* out) const;
+
+  std::array<int, 3> coords(int n) const;
+  int node_at(const std::array<int, 3>& c) const;
+
+  int fat_tree_down() const;
+  int fat_tree_level(int a, int b) const;
+  int routers_per_group() const;
+  int num_groups() const;
+
+  RouterConfig cfg_;
+};
+
+}  // namespace chksim::net::flow

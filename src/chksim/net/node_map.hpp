@@ -1,0 +1,48 @@
+// The rank <-> node mapping shared by latency refinement and the flow
+// router.
+//
+// Topology distances are between *nodes*; the engine simulates *ranks*.
+// Historically the two were conflated by an implicit one-rank-per-node
+// convention. NodeMap makes the packing explicit: ranks are block-assigned,
+// `ranks_per_node` consecutive ranks to a node (rank r lives on node
+// r / ranks_per_node), which is how MPI launchers fill nodes by default.
+// Co-resident ranks exchange through their node's NIC, so with
+// ranks_per_node > 1 a node's injection/ejection links carry the combined
+// traffic of all its ranks — exactly the effect the flow model wants to
+// expose.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chksim::net {
+
+struct NodeMap {
+  int ranks_per_node = 1;
+
+  /// The node hosting `rank`.
+  constexpr int node_of(int rank) const { return rank / ranks_per_node; }
+
+  /// Nodes needed to host `ranks` ranks (the last node may be partial).
+  constexpr int nodes_for(int ranks) const {
+    return (ranks + ranks_per_node - 1) / ranks_per_node;
+  }
+
+  /// Throw unless this map places `ranks` ranks onto at most `nodes` nodes.
+  void validate(int ranks, int nodes) const {
+    if (ranks_per_node < 1)
+      throw std::invalid_argument("NodeMap: ranks_per_node must be >= 1, got " +
+                                  std::to_string(ranks_per_node));
+    if (ranks < 0)
+      throw std::invalid_argument("NodeMap: ranks must be >= 0, got " +
+                                  std::to_string(ranks));
+    if (nodes_for(ranks) > nodes)
+      throw std::invalid_argument(
+          "NodeMap: " + std::to_string(ranks) + " ranks at " +
+          std::to_string(ranks_per_node) + " per node need " +
+          std::to_string(nodes_for(ranks)) + " nodes, topology has " +
+          std::to_string(nodes));
+  }
+};
+
+}  // namespace chksim::net

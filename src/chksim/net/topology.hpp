@@ -16,7 +16,11 @@
 
 namespace chksim::net {
 
-/// Abstract hop-count model over ranks 0..nodes-1 (one rank per node).
+/// Abstract hop-count model over nodes 0..nodes-1. Ranks map onto nodes
+/// through net::NodeMap (node_map.hpp); the historical default of one rank
+/// per node is NodeMap{1}. Callers working in rank space (effective_params,
+/// min_cross_shard_latency) assume that default; the flow router
+/// (net/flow/router.hpp) takes an explicit NodeMap.
 class Topology {
  public:
   virtual ~Topology() = default;

@@ -123,6 +123,12 @@ double WaitAttribution::share_propagated() const {
                              : 0.0;
 }
 
+double WaitAttribution::share_network_contention() const {
+  return total.recv_wait > 0 ? static_cast<double>(total.network_contention) /
+                                   static_cast<double>(total.recv_wait)
+                             : 0.0;
+}
+
 double WaitAttribution::share_network() const {
   return total.recv_wait > 0 ? static_cast<double>(total.network) /
                                    static_cast<double>(total.recv_wait)
@@ -131,6 +137,21 @@ double WaitAttribution::share_network() const {
 
 std::string WaitAttribution::to_string() const {
   char buf[320];
+  if (total.network_contention > 0) {
+    // Flow-mode runs: all five categories. (Analytic runs never reach this
+    // branch, so their summary bytes are unchanged.)
+    std::snprintf(
+        buf, sizeof buf,
+        "recv_wait %lld ns over %lld wait(s): sender_blackout %.1f%%, "
+        "storage_contention %.1f%%, propagated %.1f%%, "
+        "network_contention %.1f%%, network %.1f%%%s",
+        static_cast<long long>(total.recv_wait),
+        static_cast<long long>(total.waits), 100.0 * share_sender_blackout(),
+        100.0 * share_storage_contention(), 100.0 * share_propagated(),
+        100.0 * share_network_contention(), 100.0 * share_network(),
+        complete ? "" : " (incomplete trace)");
+    return buf;
+  }
   if (total.storage_contention > 0) {
     std::snprintf(
         buf, sizeof buf,
@@ -167,8 +188,15 @@ WaitAttribution attribute_waits(const EventTracer& tracer,
     return a.seq < b.seq;  // emission order resolves simultaneous effects
   });
 
+  // Inject-time snapshot of the sender's ledger plus the message's own
+  // in-flight contention (the amended kMsgInject stall; zero in analytic
+  // runs, where transit is closed-form).
+  struct InjectSnap {
+    Ledger ledger;
+    TimeNs contention = 0;
+  };
   std::vector<Ledger> ledger(static_cast<std::size_t>(tracer.ranks()));
-  std::unordered_map<std::uint64_t, Ledger> snapshots;  // inject seq -> ledger
+  std::unordered_map<std::uint64_t, InjectSnap> snapshots;  // by inject seq
 
   for (const TraceEvent& ev : evs) {
     const std::size_t r = static_cast<std::size_t>(ev.rank);
@@ -187,7 +215,8 @@ WaitAttribution attribute_waits(const EventTracer& tracer,
         break;
       }
       case TraceEventKind::kMsgInject:
-        snapshots.emplace(ev.seq, ledger[r]);
+        snapshots.emplace(ev.seq,
+                          InjectSnap{ledger[r], ev.stall > 0 ? ev.stall : 0});
         break;
       case TraceEventKind::kRecvWait: {
         const TimeNs wait = ev.t1 - ev.t0;
@@ -198,9 +227,10 @@ WaitAttribution attribute_waits(const EventTracer& tracer,
         TimeNs sender_blackout = 0;
         TimeNs storage_contention = 0;
         TimeNs propagated = 0;
+        TimeNs network_contention = 0;
         const auto snap = snapshots.find(ev.ref);
         if (snap != snapshots.end()) {
-          const Ledger& s = snap->second;
+          const Ledger& s = snap->second.ledger;
           const TimeNs carried =
               saturating_add(saturating_add(s.blk, s.cont), s.prop);
           const TimeNs delay_part = std::min(wait, carried);
@@ -209,6 +239,11 @@ WaitAttribution attribute_waits(const EventTracer& tracer,
             storage_contention = proportion(delay_part, s.cont, carried);
             propagated = delay_part - sender_blackout - storage_contention;
           }
+          // What the sender's lateness does not explain may be the message
+          // itself crawling through a shared fabric (flow mode): up to the
+          // message's realized-minus-uncontended stall.
+          network_contention =
+              std::min(wait - delay_part, snap->second.contention);
           snapshots.erase(snap);  // each message matches exactly once
         } else if (ev.ref != 0) {
           ++out.unmatched_waits;  // inject record lost to ring wrap
@@ -217,10 +252,17 @@ WaitAttribution attribute_waits(const EventTracer& tracer,
         att.storage_contention =
             saturating_add(att.storage_contention, storage_contention);
         att.propagated = saturating_add(att.propagated, propagated);
-        att.network = saturating_add(
-            att.network, wait - sender_blackout - storage_contention - propagated);
+        att.network_contention =
+            saturating_add(att.network_contention, network_contention);
+        att.network = saturating_add(att.network,
+                                     wait - sender_blackout - storage_contention -
+                                         propagated - network_contention);
+        // Everything that delayed this receive beyond the delay-free schedule
+        // — including the message's own contention — is delay this rank now
+        // carries and can propagate downstream.
         ledger[r].prop = saturating_add(
-            ledger[r].prop, sender_blackout + storage_contention + propagated);
+            ledger[r].prop, sender_blackout + storage_contention + propagated +
+                                network_contention);
         break;
       }
       case TraceEventKind::kMsgDeliver:
@@ -241,6 +283,8 @@ WaitAttribution attribute_waits(const EventTracer& tracer,
     out.total.storage_contention =
         saturating_add(out.total.storage_contention, r.storage_contention);
     out.total.propagated = saturating_add(out.total.propagated, r.propagated);
+    out.total.network_contention =
+        saturating_add(out.total.network_contention, r.network_contention);
     out.total.network = saturating_add(out.total.network, r.network);
     out.total.waits += r.waits;
   }

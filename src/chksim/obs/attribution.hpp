@@ -20,6 +20,11 @@
 //                        root cause is further up the dependency chain. This
 //                        is the paper's communication-propagation effect
 //                        made visible per rank.
+//   network_contention — the matched message itself was slowed by sharing
+//                        fabric links with other traffic (flow mode only:
+//                        the amended kMsgInject stall, realized minus
+//                        uncontended arrival). Zero in analytic runs, where
+//                        transit is closed-form and contention-free.
 //   network            — everything a delay-free execution would also have
 //                        waited for: wire latency, rendezvous round trips,
 //                        and structural slack (the sender simply was not
@@ -43,8 +48,8 @@
 // downstream, so the approximation stays consistent.
 //
 // Invariant (tested): per rank, sender_blackout + storage_contention +
-// propagated + network == recv_wait == the engine's RankStats::recv_wait,
-// to the nanosecond.
+// propagated + network_contention + network == recv_wait == the engine's
+// RankStats::recv_wait, to the nanosecond.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +91,7 @@ struct RankWaitAttribution {
   TimeNs sender_blackout = 0;  ///< Immediate sender's own blackout delay.
   TimeNs storage_contention = 0;  ///< Sender stall caused by other tenants.
   TimeNs propagated = 0;       ///< Transitive upstream delay.
+  TimeNs network_contention = 0;  ///< Message slowed by link sharing (flow).
   TimeNs network = 0;          ///< Wire/rendezvous/structural wait.
   std::int64_t waits = 0;      ///< Number of wait intervals attributed.
 };
@@ -105,6 +111,7 @@ struct WaitAttribution {
   double share_sender_blackout() const;
   double share_storage_contention() const;
   double share_propagated() const;
+  double share_network_contention() const;
   double share_network() const;
 
   /// Compact one-line summary for logs and examples (the storage category

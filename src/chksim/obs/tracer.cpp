@@ -27,6 +27,32 @@ std::uint64_t EventTracer::record(TraceEvent ev) {
   return ev.seq;
 }
 
+void EventTracer::amend(std::uint64_t seq, sim::RankId rank, TimeNs t1,
+                        TimeNs stall) {
+  if (rank < 0 || rank >= ranks() || seq == 0) return;
+  Ring& ring = rings_[static_cast<std::size_t>(rank)];
+  const std::size_t n = ring.buf.size();
+  if (n == 0) return;
+  // Logical index i -> physical slot: the ring is seq-ascending starting at
+  // head once full, at 0 before that.
+  const auto slot = [&](std::size_t i) {
+    return ring.full ? (ring.head + i) % n : i;
+  };
+  std::size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ring.buf[slot(mid)].seq < seq)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo == n) return;
+  TraceEvent& ev = ring.buf[slot(lo)];
+  if (ev.seq != seq) return;  // evicted (ring wrapped past it)
+  ev.t1 = t1;
+  ev.stall = stall;
+}
+
 std::vector<TraceEvent> EventTracer::rank_events(sim::RankId rank) const {
   const Ring& ring = rings_.at(static_cast<std::size_t>(rank));
   std::vector<TraceEvent> out;

@@ -27,6 +27,15 @@ class EventTracer final : public sim::TraceSink {
 
   std::uint64_t record(TraceEvent ev) override;
 
+  /// Patch a held event's end time and stall in place (flow mode: the
+  /// engine amends each kMsgInject's provisional uncontended arrival to the
+  /// realized one once the fabric completes the flow, with stall = realized
+  /// minus uncontended). Quietly a no-op when the event has been overwritten
+  /// by ring wrap-around — the attribution pass already treats such waits as
+  /// unmatched. O(log capacity): per-rank rings are seq-ordered.
+  void amend(std::uint64_t seq, sim::RankId rank, TimeNs t1,
+             TimeNs stall) override;
+
   int ranks() const { return static_cast<int>(rings_.size()); }
   std::size_t capacity_per_rank() const { return capacity_; }
 

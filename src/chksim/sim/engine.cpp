@@ -74,6 +74,18 @@ WorkingSetEstimate estimate_working_set(const Program& program,
 
 namespace detail {
 
+void validate_flow_mode(const EngineConfig& config) {
+  if (config.fabric == nullptr) return;
+  if (config.net.L < 1)
+    throw std::invalid_argument(
+        "sim: flow mode (EngineConfig::fabric) requires net.L >= 1 ns — the "
+        "conservative lookahead both engine paths window on");
+  if (config.fabric->min_latency() < 1)
+    throw std::invalid_argument(
+        "sim: flow mode requires Fabric::min_latency() >= 1 ns (determinism "
+        "contract; see sim/fabric.hpp)");
+}
+
 void enforce_rss_budget(const Program& program, const EngineConfig& config) {
   if (config.rss_budget_mib <= 0) return;
   const WorkingSetEstimate e = estimate_working_set(program, config);
@@ -110,7 +122,10 @@ void enforce_rss_budget(const Program& program, const EngineConfig& config) {
 // sharded ParEngine); SimCore is the full-range serial instantiation.
 struct SimCore::Impl : detail::CoreImpl {
   Impl(const Program& program, const EngineConfig& config)
-      : detail::CoreImpl(program, config, 0, program.ranks(), config.trace) {}
+      : detail::CoreImpl(program, config, 0, program.ranks(), config.trace) {
+    // The serial core owns fabric advancement (flow mode).
+    fabric_ = config.fabric;
+  }
 };
 
 struct SimCore::Snapshot::State {
@@ -125,6 +140,7 @@ SimCore::Snapshot& SimCore::Snapshot::operator=(Snapshot&&) noexcept = default;
 SimCore::SimCore(const Program& program, const EngineConfig& config) {
   if (!program.finalized())
     throw std::logic_error("SimCore requires a finalized Program");
+  detail::validate_flow_mode(config);
   detail::enforce_rss_budget(program, config);
   impl_ = std::make_unique<Impl>(program, config);
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "chksim/sim/availability.hpp"
+#include "chksim/sim/fabric.hpp"
 #include "chksim/sim/loggops.hpp"
 #include "chksim/sim/program.hpp"
 #include "chksim/sim/trace.hpp"
@@ -77,6 +78,17 @@ struct EngineConfig {
   /// back to the serial path when net.L < 1 (zero lookahead: a cross-rank
   /// message could arrive the instant it is sent, so no window is sound).
   int shards = 1;
+  /// Optional flow-level fabric (see sim/fabric.hpp). Null = analytic
+  /// transit: every message arrives the closed-form L + G*s after injection.
+  /// Non-null switches the engine to flow mode: message transit times come
+  /// from the fabric's max-min bandwidth-sharing solver, per-channel FIFO is
+  /// enforced by the fabric (the sender-side clamp is bypassed), and
+  /// rendezvous is subsumed (every payload moves as an eager fluid flow).
+  /// Flow mode requires net.L >= 1 (the conservative lookahead both engine
+  /// paths window on). The fabric must outlive the run; sharded runs
+  /// advance it only at barriers, so one fabric serves any shard count with
+  /// byte-identical results.
+  Fabric* fabric = nullptr;
   /// Fail-fast memory budget (MiB of estimated engine + program working set;
   /// 0 = unlimited). When set, SimCore / ParEngine construction estimates the
   /// run's working set up front (estimate_working_set) and throws a
@@ -121,6 +133,9 @@ struct RunResult {
   /// shards-invariant), so they are safe in byte-compared reports.
   std::int64_t event_heap_peak = 0;
   std::int64_t match_arena_slots = 0;
+  /// Flow-fabric totals (flow mode only; all-zero analytic). Deterministic
+  /// and shards-invariant like the fields above: safe to byte-compare.
+  FabricStats fabric;
   std::vector<RankStats> ranks;
   /// Per-op finish times, one flat rank-major arena + per-rank offsets
   /// (record_op_finish only; one allocation instead of one per rank). Op i

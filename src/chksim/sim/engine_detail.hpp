@@ -73,6 +73,11 @@ namespace chksim::sim::detail {
 /// (engine.cpp; called from both engine construction paths).
 void enforce_rss_budget(const Program& program, const EngineConfig& config);
 
+/// Throws std::invalid_argument when config.fabric is set but the flow-mode
+/// preconditions (net.L >= 1, fabric lookahead >= 1) do not hold (engine.cpp;
+/// called from both engine construction paths).
+void validate_flow_mode(const EngineConfig& config);
+
 /// One pending event, packed to 32 bytes: the heap and the window buckets
 /// move events around constantly, so element size is hot. The kind rides in
 /// key2's top bit, the kReady-only / kArrival-only fields share storage, and
@@ -296,6 +301,15 @@ struct LaneMsg {
 };
 static_assert(sizeof(LaneMsg) == 40, "LaneMsg packs to 40 bytes");
 
+/// A flow submission buffered by a shard core between window barriers (flow
+/// mode only). Shards never touch the shared fabric mid-window; ParEngine
+/// applies these at the merge barrier, in shard order — sound because the
+/// fabric orders flows by content, never by submission call order.
+struct FlowOut {
+  TimeNs inject = 0;
+  FlowRequest req;
+};
+
 /// One processed event, as recorded for the barrier merge: enough to
 /// reconstruct the serial engine's realized pop order ((time, rank) streams
 /// merged across shards — per-rank key order is already baked into each
@@ -372,6 +386,10 @@ class CoreImpl {
   /// fully drained before returning, so the far heap alone holds the pending
   /// set whenever the core is paused.
   void run_until(TimeNs t) {
+    if (fabric_ != nullptr) {
+      run_until_flow(t);
+      return;
+    }
     while (!queue_.empty() && queue_.top().time <= t) {
       const TimeNs base = queue_.top().time;
       // limit = min(base + kBucketSpan - 1, t), written overflow-safe:
@@ -383,6 +401,18 @@ class CoreImpl {
 
   bool step() {
     assert(bucket_base_ < 0);
+    if (fabric_ != nullptr) {
+      // Materialize every fabric event up to (and tying) the next engine
+      // event, so the pop below observes the same pending set the windowed
+      // path would. Each materialize advances the fabric strictly past its
+      // reported next event, so this terminates.
+      for (;;) {
+        const TimeNs ft = fabric_->next_event();
+        if (ft < 0) break;
+        if (!queue_.empty() && queue_.top().time < ft) break;
+        materialize_flows(ft);
+      }
+    }
     if (queue_.empty()) return false;
     const Event ev = queue_.top();
     queue_.pop();
@@ -391,9 +421,19 @@ class CoreImpl {
     return true;
   }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const {
+    return queue_.empty() &&
+           (fabric_ == nullptr || fabric_->next_event() < 0);
+  }
   bool finished() const { return result_.ops_executed == total_ops_; }
-  TimeNs next_event_time() const { return queue_.empty() ? -1 : queue_.top().time; }
+  TimeNs next_event_time() const {
+    TimeNs t = queue_.empty() ? -1 : queue_.top().time;
+    if (fabric_ != nullptr) {
+      const TimeNs ft = fabric_->next_event();
+      if (ft >= 0 && (t < 0 || ft < t)) t = ft;
+    }
+    return t;
+  }
   const Event* peek() const { return queue_.empty() ? nullptr : &queue_.top(); }
   TimeNs makespan() const { return result_.makespan; }
   std::int64_t ops_executed() const { return result_.ops_executed; }
@@ -443,11 +483,15 @@ class CoreImpl {
     std::unordered_map<std::uint64_t, std::uint64_t> arrival_msg_seq;
     RunResult result;
     std::vector<std::string> notes;
+    // Deep copy of the fabric when this core owns one (serial flow mode;
+    // shard cores never do — ParEngine snapshots the shared fabric itself).
+    std::unique_ptr<Fabric> fabric;
   };
 
   SnapState save() const {
     assert(bucket_base_ < 0);
     SnapState s;
+    if (fabric_ != nullptr) s.fabric = fabric_->clone();
     s.states = states_;
     s.tstates = tstates_;
     s.match_pool = match_pool_;
@@ -463,6 +507,13 @@ class CoreImpl {
 
   void load(const SnapState& s) {
     assert(lane_.empty() && pops_.empty() && bucket_base_ < 0);
+    if (fabric_ != nullptr) {
+      if (s.fabric == nullptr)
+        throw std::logic_error(
+            "sim: restoring a flow-mode core from a snapshot taken without "
+            "a fabric");
+      fabric_->restore(*s.fabric);
+    }
     states_ = s.states;
     tstates_ = s.tstates;
     match_pool_ = s.match_pool;
@@ -488,6 +539,7 @@ class CoreImpl {
       result_.error = std::move(msg);
     }
     result_.event_heap_peak = static_cast<std::int64_t>(heap_peak_);
+    if (fabric_ != nullptr) result_.fabric = fabric_->stats();
     result_.ranks.reserve(states_.size());
     for (auto& st : states_) {
       result_.match_arena_slots += static_cast<std::int64_t>(st.match_live_peak);
@@ -647,6 +699,64 @@ class CoreImpl {
     }
     assert(bucket_count_ == 0 && stragglers_.empty());
     bucket_base_ = bucket_cur_ = bucket_limit_ = -1;
+  }
+
+  // --- Flow mode (cfg_.fabric != nullptr) --------------------------------
+  //
+  // Message transit times come from the fabric's flow solver instead of the
+  // closed form. The serial core owns the fabric (fabric_ set by SimCore)
+  // and interleaves fabric advancement with event processing in conservative
+  // windows of flow_window() ns; shard cores leave fabric_ null, buffer
+  // their submissions in flow_out_, and let ParEngine advance the shared
+  // fabric at barriers with the same window width — which is what keeps the
+  // two paths byte-identical.
+
+  /// Conservative window width: no event processed in [base, base + W - 1]
+  /// can change fabric state at or before base + W - 1, because a flow
+  /// submitted at time >= base first acts at + the route latency
+  /// (>= min_latency() >= 1) and submission happens at the sender's NIC
+  /// time, which is >= the pop time >= base.
+  TimeNs flow_window() const {
+    TimeNs w = cfg_.net.L >= 1 ? cfg_.net.L : 1;
+    w = std::min(w, kBucketSpan);
+    w = std::min(w, cfg_.fabric->min_latency());
+    return w;
+  }
+
+  /// Serial flow-mode drive loop: alternate "materialize every fabric event
+  /// in the window" with "drain every engine event in the window".
+  /// Materialization runs first so arrivals completing inside the window are
+  /// in the pending set before the drain realizes its (time, rank, key2)
+  /// order over them.
+  void run_until_flow(TimeNs t) {
+    const TimeNs w = flow_window();
+    for (;;) {
+      TimeNs base = queue_.empty() ? -1 : queue_.top().time;
+      const TimeNs ft = fabric_->next_event();
+      if (ft >= 0 && (base < 0 || ft < base)) base = ft;
+      if (base < 0 || base > t) break;
+      const TimeNs limit = (t - base < w - 1) ? t : base + (w - 1);
+      materialize_flows(limit);
+      if (!queue_.empty() && queue_.top().time <= limit)
+        drain_window(base, limit);
+    }
+  }
+
+  /// Advance the fabric through `limit` and turn its finished message flows
+  /// into arrival events (amending each kMsgInject's provisional arrival to
+  /// the realized one when tracing). Completions come out in deterministic
+  /// (finish, canonical) order, and every finish is >= the window base.
+  void materialize_flows(TimeNs limit) {
+    flow_buf_.clear();
+    fabric_->advance(limit, &flow_buf_);
+    for (const FlowCompletion& c : flow_buf_) {
+      if (trace_ != nullptr && c.req.seq != 0)
+        trace_->amend(c.req.seq, c.req.src, c.finish,
+                      c.finish - c.uncontended);
+      push_arrival(c.finish, c.req.dst, c.req.src, c.req.tag,
+                   checked_event_bytes(c.req.bytes), c.req.key2,
+                   trace_ != nullptr ? c.req.seq : 0);
+    }
   }
 
   void process_event(const Event& ev) {
@@ -842,6 +952,44 @@ class CoreImpl {
         ++st.stats.sends;
         st.stats.bytes_sent = saturating_add(st.stats.bytes_sent, bytes);
 
+        if (cfg_.fabric != nullptr) {
+          // Flow mode: the payload becomes a fabric flow injected at `end`.
+          // The fabric enforces per-channel FIFO itself (the sender-side
+          // clamp below is bypassed) and every message moves eagerly —
+          // rendezvous is subsumed by fluid bandwidth sharing. No heap push
+          // happens here: the arrival enters the pending set when the flow
+          // completes (materialize_flows / ParEngine delivery), so the pop
+          // record counts no push either.
+          if (st.msg_count == 0xFFFFFFFFu)
+            throw std::runtime_error(
+                "sim: per-rank send count exceeds 2^32-1 (arrival-key "
+                "overflow)");
+          const std::uint64_t key2 =
+              arrival_key(static_cast<std::uint32_t>(r), ++st.msg_count);
+          std::uint64_t msg_seq = 0;
+          if (trace_ != nullptr) {
+            // Provisional kMsgInject arrival = the uncontended estimate;
+            // amended to the realized arrival at completion.
+            const TimeNs unc =
+                cfg_.fabric->uncontended_arrival(end, r, op.peer, bytes);
+            msg_seq = trace_send(r, i, op, s0, end, cpu_work, unc, bytes, cause);
+          }
+          FlowRequest req;
+          req.kind = FlowKind::kMsg;
+          req.src = r;
+          req.dst = op.peer;
+          req.tag = op.tag;
+          req.bytes = bytes;
+          req.key2 = key2;
+          req.seq = msg_seq;
+          if (buffer_flow_submits_)
+            flow_out_.push_back(FlowOut{end, req});
+          else
+            fabric_->submit(end, req);
+          complete(r, i, end);
+          break;
+        }
+
         // Eager: payload leaves at `end`. Rendezvous: a zero-byte RTS leaves
         // at `end`; the payload path is computed at match time.
         TimeNs arrival = cfg_.net.rendezvous(bytes) ? end + cfg_.net.L
@@ -909,7 +1057,9 @@ class CoreImpl {
     const OpView op = views_[static_cast<std::size_t>(r - lo_)].op(i);
     auto& st = state(r);
     TimeNs data_arrival = msg.arrival;
-    const bool rendezvous = cfg_.net.rendezvous(msg.bytes);
+    // Flow mode delivers fully-transferred payloads: no rendezvous.
+    const bool rendezvous =
+        cfg_.fabric == nullptr && cfg_.net.rendezvous(msg.bytes);
     if (rendezvous) {
       // msg.arrival is the RTS arrival; the payload moves only after both
       // sides are ready, plus the CTS round trip and re-injection.
@@ -981,7 +1131,7 @@ class CoreImpl {
     const std::uint64_t msg_seq =
         emit(TraceEventKind::kMsgInject, r, end, arrival, 0, op.peer, i,
              op.tag, bytes, /*ref=*/0, send_seq);
-    if (cfg_.net.rendezvous(bytes))
+    if (cfg_.fabric == nullptr && cfg_.net.rendezvous(bytes))
       emit(TraceEventKind::kRts, r, end, arrival, 0, op.peer, i, op.tag, bytes,
            /*ref=*/0, send_seq);
     return msg_seq;
@@ -1082,6 +1232,15 @@ class CoreImpl {
   // Injection context (failure rank/time/recovery), for deadlock diagnostics.
   std::vector<std::string> notes_;
   RunResult result_;
+  // Flow mode (cfg_.fabric != nullptr). fabric_ is the advance-owner pointer:
+  // set by SimCore on its single core (which then drives the fabric through
+  // run_until_flow), left null on shard cores (ParEngine advances the shared
+  // fabric at barriers). Exactly one of fabric_ / buffer_flow_submits_ is
+  // active whenever cfg_.fabric is set.
+  Fabric* fabric_ = nullptr;
+  bool buffer_flow_submits_ = false;
+  std::vector<FlowOut> flow_out_;         // shard-mode submissions, per window
+  std::vector<FlowCompletion> flow_buf_;  // materialize_flows scratch
   // Shard-mode hooks (ParEngine): outgoing cross-shard messages and the
   // per-window pop record stream. Empty and unused in the serial engine.
   std::vector<LaneMsg> lane_;

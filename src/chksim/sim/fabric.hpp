@@ -1,0 +1,138 @@
+// Fabric hook of the discrete-event engine: flow-level network contention.
+//
+// In the default (analytic) mode every message's transit time is the closed
+// form LogGOPS L + G*s — the fabric is an infinite crossbar. A Fabric models
+// the alternative: each transfer becomes a *flow* routed over shared links
+// whose capacities are divided max-min fairly among the flows crossing them,
+// so arrival times depend on what else is in the fabric. The interface lives
+// in the sim layer (like TraceSink) so the engine can drive a fabric without
+// depending on net/, where the concrete router + solver implementation lives
+// (net::flow::FlowNet).
+//
+// Determinism contract (what lets the engine stay byte-identical across
+// --jobs and --shards, see docs/MODEL.md "Flow-level network model"):
+//
+//  * A flow submitted at time t changes fabric state no earlier than
+//    t + min_latency(), and min_latency() >= 1 ns. The engine uses this as
+//    its lookahead: all fabric events at or before a horizon h are final
+//    once every engine event strictly before h - min_latency() + 1 has been
+//    processed — which is exactly the conservative-PDES window argument.
+//  * Fabric state evolves only at the fabric's own intrinsic event times
+//    (flow activations and completions), never at the caller's clock.
+//    advance(t) with any call pattern — per-nanosecond, per-window, or one
+//    call at the end — yields the same completions with the same times.
+//  * Submissions may arrive out of order and even behind the fabric's
+//    internal clock, as long as their first effect (submit time plus route
+//    latency) is still in the future. The fabric orders flows internally by
+//    content (activation time, kind, src, key2), so *call order never
+//    matters* — the sharded engine applies a window's submissions in
+//    whatever order the shards produced them.
+//  * Completions come out of advance() in deterministic (finish, canonical
+//    flow order) — the same content-keyed tie order the event heap uses.
+//
+// Message flows (kMsg) are delivered back to the engine as arrival events;
+// per-(src,dst) channel FIFO is enforced by the fabric (a later small
+// message never overtakes an earlier large one on the same channel — its
+// links are released when its bytes are through, but its delivery is held
+// until the channel head completes). I/O flows (kIo) are silent: they
+// contend for links but produce no engine event; callers read their
+// realized completion times from the concrete fabric after the run
+// (core::run_study uses them to feed realized checkpoint-write durations
+// back into the blackout schedule).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chksim/sim/op.hpp"
+#include "chksim/support/units.hpp"
+
+namespace chksim::sim {
+
+enum class FlowKind : std::uint8_t {
+  kMsg = 0,  ///< Application message: completion becomes an arrival event.
+  kIo = 1,   ///< Checkpoint/restart transfer: contends, completes silently.
+};
+
+/// One transfer request. For kMsg, (src, dst, key2, seq) are the engine's
+/// arrival identity: key2 is the content key the arrival event will carry
+/// and seq the trace sequence of the kMsgInject to amend (0 = untraced).
+/// For kIo, dst >= 0 targets a peer rank (partner-copy) and dst == -1 the
+/// shared PFS through the submitting rank's gateway; cookie identifies the
+/// request in the realized-completion log.
+struct FlowRequest {
+  FlowKind kind = FlowKind::kMsg;
+  RankId src = 0;
+  RankId dst = 0;
+  Tag tag = 0;  ///< kMsg: match tag, carried through to the arrival event.
+  Bytes bytes = 0;
+  std::uint64_t key2 = 0;
+  std::uint64_t seq = 0;
+  std::int64_t cookie = 0;
+};
+
+/// A finished flow. `finish` is the delivery time (channel-FIFO clamp
+/// included); `uncontended` is what `finish` would have been had the flow
+/// been alone on its route, computed with the same integer arithmetic, so a
+/// flow that never shared a link reports exactly zero contention
+/// (finish - uncontended).
+struct FlowCompletion {
+  TimeNs finish = 0;
+  TimeNs uncontended = 0;
+  FlowRequest req;
+};
+
+/// Deterministic (shard-invariant) fabric totals, reported through
+/// RunResult and the "net.flow.*" gauges.
+struct FabricStats {
+  std::int64_t msg_flows = 0;      ///< kMsg flows completed.
+  std::int64_t io_flows = 0;       ///< kIo flows completed.
+  std::int64_t active_peak = 0;    ///< Concurrent-flow high-water mark.
+  std::int64_t recomputes = 0;     ///< Rate recomputations (solver batches).
+  std::int64_t fill_rounds = 0;    ///< Water-filling freeze rounds, total.
+  std::int64_t fifo_holds = 0;     ///< Deliveries held for channel FIFO.
+  TimeNs contention_ns = 0;        ///< Sum of finish - uncontended.
+  Bytes bytes_moved = 0;           ///< Payload bytes completed.
+  Bytes nic_bytes = 0;             ///< Bytes x inject/eject links crossed.
+  Bytes fabric_bytes = 0;          ///< Bytes x fabric links crossed.
+  Bytes storage_bytes = 0;         ///< Bytes through the PFS ingress link.
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Submit a flow injected at `now`. Returns the uncontended delivery
+  /// estimate (same value uncontended_arrival() reports) — the engine uses
+  /// it as the provisional kMsgInject t1. `now + min_latency()` must be
+  /// strictly ahead of every already-advanced-past instant.
+  virtual TimeNs submit(TimeNs now, const FlowRequest& req) = 0;
+
+  /// Uncontended delivery estimate for a hypothetical flow: injection at
+  /// `now`, route latency, plus the bytes through the route's bottleneck
+  /// capacity alone. Pure; usable concurrently from shards.
+  virtual TimeNs uncontended_arrival(TimeNs now, RankId src, RankId dst,
+                                     Bytes bytes) const = 0;
+
+  /// Run the fabric's intrinsic events through time t and append finished
+  /// kMsg flows to `out` (kIo completions are logged internally).
+  virtual void advance(TimeNs t, std::vector<FlowCompletion>* out) = 0;
+
+  /// Earliest pending intrinsic event (activation or completion), or -1.
+  virtual TimeNs next_event() const = 0;
+
+  /// Smallest possible submit-to-first-effect delay over all routes (>= 1).
+  virtual TimeNs min_latency() const = 0;
+
+  virtual FabricStats stats() const = 0;
+
+  /// Deep-copy the fabric state (engine snapshots).
+  virtual std::unique_ptr<Fabric> clone() const = 0;
+
+  /// Reset this fabric to a state previously captured by clone(). The
+  /// snapshot must originate from the same concrete fabric configuration.
+  virtual void restore(const Fabric& snapshot) = 0;
+};
+
+}  // namespace chksim::sim

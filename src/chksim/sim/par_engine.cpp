@@ -49,6 +49,7 @@ struct ParEngine::Snapshot::State {
   std::int64_t sim_heap_peak = 0;
   std::int64_t supersteps = 0;
   std::vector<std::string> notes;
+  std::unique_ptr<Fabric> fabric;  // flow mode: the shared fabric's state
 };
 
 ParEngine::Snapshot::Snapshot() = default;
@@ -74,6 +75,7 @@ struct ParEngine::Impl {
       : prog_(program), cfg_(config) {
     if (!program.finalized())
       throw std::logic_error("ParEngine requires a finalized Program");
+    detail::validate_flow_mode(config);
     detail::enforce_rss_budget(program, config);
     const int nranks = program.ranks();
     int n = config.shards < 1 ? 1 : config.shards;
@@ -83,6 +85,15 @@ struct ParEngine::Impl {
           "ParEngine: shards > 1 requires net.L >= 1ns of lookahead");
     nshards_ = n;
     window_ = config.net.L >= 1 ? config.net.L : 1;
+    if (config.fabric != nullptr) {
+      // Flow mode: the superstep width must match the serial core's
+      // flow_window() exactly — both paths materialize fabric completions at
+      // the same horizons, which is what keeps the event-heap trajectory
+      // (and hence every byte of RunResult) shard-invariant.
+      fabric_ = config.fabric;
+      window_ = std::min(window_, detail::CoreImpl::kBucketSpan);
+      window_ = std::min(window_, fabric_->min_latency());
+    }
     lo_.resize(static_cast<std::size_t>(n) + 1);
     for (int s = 0; s <= n; ++s)
       lo_[static_cast<std::size_t>(s)] = static_cast<RankId>(
@@ -94,6 +105,9 @@ struct ParEngine::Impl {
           lo_[static_cast<std::size_t>(s) + 1], config.trace != nullptr,
           static_cast<std::uint64_t>(s + 1) << kSeqBits));
       shards_.back()->core.record_pops_ = true;
+      // Shard cores never touch the shared fabric mid-window: sends are
+      // buffered and applied at the barrier (core.fabric_ stays null).
+      shards_.back()->core.buffer_flow_submits_ = config.fabric != nullptr;
       sim_heap_size_ +=
           static_cast<std::int64_t>(shards_.back()->core.pending_events());
     }
@@ -107,13 +121,54 @@ struct ParEngine::Impl {
                             (lo_.begin() + 1));
   }
 
-  TimeNs next_event_time() const {
+  TimeNs shard_next_event_time() const {
     TimeNs best = -1;
     for (const auto& shp : shards_) {
       const TimeNs t = shp->core.next_event_time();
       if (t >= 0 && (best < 0 || t < best)) best = t;
     }
     return best;
+  }
+
+  TimeNs next_event_time() const {
+    TimeNs best = shard_next_event_time();
+    if (fabric_ != nullptr) {
+      const TimeNs ft = fabric_->next_event();
+      if (ft >= 0 && (best < 0 || ft < best)) best = ft;
+    }
+    return best;
+  }
+
+  /// Advance the shared fabric through `t` and deliver its finished message
+  /// flows to their owning shards' heaps. The engine-level mirror of the
+  /// serial core's materialize_flows: runs at the top of a superstep, before
+  /// the shards process the window, so arrivals completing inside the window
+  /// are in the pending sets — exactly when the serial core pushes them, so
+  /// the heap-size replay counts them here too. Each kMsgInject's
+  /// provisional arrival is amended to the realized one via the remap table
+  /// (always resolvable: a flow completes >= min_latency after its inject
+  /// pop, i.e. in a strictly later superstep).
+  void deliver_flow_events(TimeNs t) {
+    flow_buf_.clear();
+    fabric_->advance(t, &flow_buf_);
+    for (const FlowCompletion& c : flow_buf_) {
+      std::uint64_t seq = 0;
+      if (cfg_.trace != nullptr && c.req.seq != 0) {
+        seq = remap(c.req.seq);
+        cfg_.trace->amend(seq, c.req.src, c.finish, c.finish - c.uncontended);
+      }
+      detail::LaneMsg m;
+      m.arrival = c.finish;
+      m.key2 = c.req.key2;
+      m.msg_seq = c.req.seq;  // provisional id: match refs remap at forwarding
+      m.dst = c.req.dst;
+      m.src = c.req.src;
+      m.tag = c.req.tag;
+      m.bytes32 = detail::checked_event_bytes(c.req.bytes);
+      shards_[static_cast<std::size_t>(owner(m.dst))]->core.deliver(m);
+      ++sim_heap_size_;
+      if (sim_heap_size_ > sim_heap_peak_) sim_heap_peak_ = sim_heap_size_;
+    }
   }
 
   void run_until(TimeNs t) {
@@ -123,6 +178,7 @@ struct ParEngine::Impl {
       // end = min(nxt + window - 1, t), written overflow-safe: callers pass
       // t = TimeNs max to mean "to completion".
       const TimeNs end = (t - nxt < window_ - 1) ? t : nxt + (window_ - 1);
+      if (fabric_ != nullptr) deliver_flow_events(end);
       if (nshards_ > 1) {
         par::for_each_index(nshards_, nshards_, [&](std::int64_t s) {
           shards_[static_cast<std::size_t>(s)]->core.run_until(end);
@@ -136,6 +192,17 @@ struct ParEngine::Impl {
   }
 
   bool step() {
+    if (fabric_ != nullptr) {
+      // Mirror the serial core's step(): materialize every fabric event up
+      // to (and tying) the next engine event before popping.
+      for (;;) {
+        const TimeNs ft = fabric_->next_event();
+        if (ft < 0) break;
+        const TimeNs qt = shard_next_event_time();
+        if (qt >= 0 && qt < ft) break;
+        deliver_flow_events(ft);
+      }
+    }
     int best = -1;
     const detail::Event* bp = nullptr;
     for (int s = 0; s < nshards_; ++s) {
@@ -243,6 +310,18 @@ struct ParEngine::Impl {
         shards_[static_cast<std::size_t>(owner(m.dst))]->core.deliver(m);
       shp->core.lane_.clear();
     }
+    // Apply the window's buffered flow submissions (flow mode). Shard order
+    // is arbitrary but harmless: the fabric orders flows by content, never
+    // by submission call order, and every submission's first effect is past
+    // the window end — the next deliver_flow_events sees a fabric state
+    // identical to the serial engine's.
+    if (fabric_ != nullptr) {
+      for (auto& shp : shards_) {
+        for (const detail::FlowOut& f : shp->core.flow_out_)
+          fabric_->submit(f.inject, f.req);
+        shp->core.flow_out_.clear();
+      }
+    }
     barrier_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
                        std::chrono::steady_clock::now() - barrier_t0)
                        .count();
@@ -289,6 +368,7 @@ struct ParEngine::Impl {
       out.error = std::move(msg);
     }
     out.event_heap_peak = sim_heap_peak_;
+    if (fabric_ != nullptr) out.fabric = fabric_->stats();
     out.ranks.reserve(static_cast<std::size_t>(prog_.ranks()));
     for (const auto& shp : shards_) {
       for (const auto& st : shp->core.states_) {
@@ -333,6 +413,10 @@ struct ParEngine::Impl {
 
   const Program& prog_;
   const EngineConfig& cfg_;
+  // Flow mode: the shared fabric (null in analytic mode). Advanced only at
+  // superstep boundaries by this engine, never by the shard cores.
+  Fabric* fabric_ = nullptr;
+  std::vector<FlowCompletion> flow_buf_;  // deliver_flow_events scratch
   int nshards_ = 1;
   TimeNs window_ = 1;
   std::vector<RankId> lo_;  // shard s owns ranks [lo_[s], lo_[s+1])
@@ -359,6 +443,8 @@ void ParEngine::run_until(TimeNs t) { impl_->run_until(t); }
 bool ParEngine::step() { return impl_->step(); }
 
 bool ParEngine::idle() const {
+  if (impl_->fabric_ != nullptr && impl_->fabric_->next_event() >= 0)
+    return false;
   for (const auto& shp : impl_->shards_)
     if (!shp->core.idle()) return false;
   return true;
@@ -400,6 +486,7 @@ ParEngine::Snapshot ParEngine::snapshot() const {
   snap.state_->sim_heap_peak = impl_->sim_heap_peak_;
   snap.state_->supersteps = impl_->supersteps_;
   snap.state_->notes = impl_->notes_;
+  if (impl_->fabric_ != nullptr) snap.state_->fabric = impl_->fabric_->clone();
   return snap;
 }
 
@@ -414,6 +501,13 @@ void ParEngine::restore(const Snapshot& snap) {
   impl_->sim_heap_peak_ = snap.state_->sim_heap_peak;
   impl_->supersteps_ = snap.state_->supersteps;
   impl_->notes_ = snap.state_->notes;
+  if (impl_->fabric_ != nullptr) {
+    if (snap.state_->fabric == nullptr)
+      throw std::logic_error(
+          "ParEngine::restore: flow-mode engine restored from a snapshot "
+          "taken without a fabric");
+    impl_->fabric_->restore(*snap.state_->fabric);
+  }
 }
 
 RunResult ParEngine::take_result() { return impl_->take_result(); }

@@ -95,6 +95,19 @@ class TraceSink {
   /// (monotone from 1) and returns it so the engine can cross-reference
   /// later events (deliveries and waits reference their injection).
   virtual std::uint64_t record(TraceEvent ev) = 0;
+
+  /// Patch a previously recorded event (flow mode): kMsgInject is emitted
+  /// at send time with the *uncontended* arrival as t1, and amended once
+  /// the fabric resolves the actual delivery — t1 becomes the real arrival
+  /// and `stall` the contention delay (arrival - uncontended). `rank` is
+  /// the event's owning rank (the sender), which lets ring-buffer sinks
+  /// find the event without a global index. Default: ignore.
+  virtual void amend(std::uint64_t seq, RankId rank, TimeNs t1, TimeNs stall) {
+    (void)seq;
+    (void)rank;
+    (void)t1;
+    (void)stall;
+  }
 };
 
 }  // namespace chksim::sim

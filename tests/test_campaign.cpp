@@ -52,10 +52,13 @@ TEST(CellSpec, CanonicalFormIsSortedAndComplete) {
   EXPECT_EQ(c,
             "{\"arbiter\": \"fcfs\", \"bb_bw_gbs\": 0, \"bytes\": 8192, "
             "\"cluster_size\": 16, \"compute_us\": 1000, \"duty\": 0.1, "
-            "\"interval_ms\": 10, \"machine\": \"infiniband\", "
-            "\"mode\": \"study\", \"mtbf_hours\": 0, \"njobs\": 2, "
+            "\"interval_ms\": 10, \"link_bw_gbs\": 0, "
+            "\"machine\": \"infiniband\", "
+            "\"mode\": \"study\", \"mtbf_hours\": 0, "
+            "\"network\": \"analytic\", \"njobs\": 2, "
             "\"node_bw_gbs\": 0, \"periods\": 4, \"pfs_bw_gbs\": 0, "
-            "\"protocol\": \"coordinated\", \"ranks\": 64, \"seed\": 1, "
+            "\"protocol\": \"coordinated\", \"ranks\": 64, "
+            "\"routing\": \"minimal\", \"seed\": 1, "
             "\"stagger\": 0, \"tier\": \"pfs\", \"trials\": 50, "
             "\"work_hours\": 1, \"workload\": \"halo3d\"}");
   // Round-trips exactly.
@@ -110,6 +113,32 @@ TEST(CellSpec, StorageFieldsAreSweepableAndValidated) {
   const CellSpec bb = CellSpec::from_json(
       json::parse(R"({"tier": "burst-buffer", "bb_bw_gbs": 5})"));
   EXPECT_DOUBLE_EQ(bb.bb_bw_gbs, 5);
+}
+
+TEST(CellSpec, NetworkFieldsAreSweepableAndValidated) {
+  const CellSpec cell = CellSpec::from_json(json::parse(
+      R"({"network": "flow", "link_bw_gbs": 2.5, "routing": "valiant"})"));
+  EXPECT_EQ(cell.network, "flow");
+  EXPECT_DOUBLE_EQ(cell.link_bw_gbs, 2.5);
+  EXPECT_EQ(cell.routing, "valiant");
+  EXPECT_NE(cell.canonical().find("\"network\": \"flow\""), std::string::npos);
+  EXPECT_NE(cell_key(cell, "v1"), cell_key(CellSpec{}, "v1"));
+
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"network\": \"quantum\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"routing\": \"adaptive\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"link_bw_gbs\": -1}")),
+               std::invalid_argument);
+  // Dead sweep axes: flow-mode knobs on an analytic cell.
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"link_bw_gbs\": 2}")),
+               std::invalid_argument);
+  EXPECT_THROW(CellSpec::from_json(json::parse("{\"routing\": \"valiant\"}")),
+               std::invalid_argument);
+  // Under flow mode the same axes are live.
+  const CellSpec flow = CellSpec::from_json(
+      json::parse(R"({"network": "flow", "link_bw_gbs": 2})"));
+  EXPECT_DOUBLE_EQ(flow.link_bw_gbs, 2);
 }
 
 TEST(CellSpec, PlatformFieldsAreValidated) {
@@ -265,6 +294,21 @@ TEST(RunCell, PlatformModeEmitsPerJobAndMachineMetrics) {
   EXPECT_NE(gauges->find("platform.job1.storage_contention_ns"), nullptr);
   ASSERT_NE(gauges->find("platform.machine.jobs"), nullptr);
   EXPECT_DOUBLE_EQ(gauges->find("platform.machine.jobs")->as_double(), 2.0);
+}
+
+TEST(RunCell, FlowModeEmitsFabricMetrics) {
+  CellSpec cell = CellSpec::from_json(json::parse(R"({
+    "network": "flow", "ranks": 27, "periods": 2
+  })"));
+  const std::string payload = run_cell(cell);
+  const json::Value v = json::parse(payload);
+  const json::Value* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("net.flow.msg_flows"), nullptr);
+  EXPECT_NE(gauges->find("net.flow.util.storage"), nullptr);
+  // Analytic cells must not grow the new namespace (payload stability).
+  const json::Value a = json::parse(run_cell(CellSpec{}));
+  EXPECT_EQ(a.find("gauges")->find("net.flow.msg_flows"), nullptr);
 }
 
 TEST(Runner, ColdThenWarmIsByteIdenticalAndAllHits) {

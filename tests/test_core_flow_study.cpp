@@ -1,0 +1,217 @@
+// Flow-mode study tests: machine -> fabric planning, checkpoint I/O burst
+// realization, and run_study / failure / platform plumbing under
+// NetworkMode::kFlow. The study must stay byte-deterministic across jobs
+// and shards (compared through the metrics JSON payload, the campaign
+// cache's comparison unit).
+#include "chksim/core/fabric_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chksim/core/failure_study.hpp"
+#include "chksim/core/platform_study.hpp"
+#include "chksim/core/study.hpp"
+
+namespace chksim::core {
+namespace {
+
+using namespace chksim::literals;
+
+StudyConfig flow_study() {
+  StudyConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.machine.ckpt_bytes_per_node = 4_MiB;
+  cfg.workload = "halo3d";
+  cfg.params.ranks = 27;
+  cfg.params.iterations = 20;
+  cfg.params.compute = 2'000'000;
+  cfg.params.bytes = 4096;
+  cfg.protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  cfg.protocol.interval_policy = ckpt::IntervalPolicy::kFixed;
+  cfg.protocol.fixed_interval = 10_ms;
+  cfg.network.mode = NetworkMode::kFlow;
+  // Constrain the PFS gateway fan-in so coordinated bursts actually contend:
+  // 4 gateway ejects at nic_bw (4 GB/s) carry 16 GB/s against 27 ranks'
+  // capped demand of 40.5 GB/s — saturated, but the realized blackout
+  // (~7 ms) stays under the 10 ms interval so the schedule never wraps.
+  cfg.network.gateways = 4;
+  return cfg;
+}
+
+TEST(FabricPlan, TopologyFamilyFollowsMachineName) {
+  const FlowSpec spec;
+  EXPECT_EQ(plan_fabric(net::torus_hpc(), 64, spec).router.kind,
+            net::flow::FabricKind::kTorus);
+  EXPECT_EQ(plan_fabric(net::bgq_like(), 64, spec).router.kind,
+            net::flow::FabricKind::kTorus);
+  EXPECT_EQ(plan_fabric(net::exascale_projection(), 64, spec).router.kind,
+            net::flow::FabricKind::kDragonfly);
+  EXPECT_EQ(plan_fabric(net::infiniband_system(), 64, spec).router.kind,
+            net::flow::FabricKind::kFatTree);
+  EXPECT_EQ(plan_fabric(net::ethernet_cluster(), 64, spec).router.kind,
+            net::flow::FabricKind::kFatTree);
+}
+
+TEST(FabricPlan, BandwidthsDeriveFromTheMachine) {
+  const net::MachineModel m = net::infiniband_system();
+  FlowSpec spec;
+  const FabricPlan p = plan_fabric(m, 64, spec);
+  ASSERT_GT(m.net.G, 0.0);
+  EXPECT_DOUBLE_EQ(p.net.node_bw, 1.0 / m.net.G);
+  EXPECT_DOUBLE_EQ(p.net.link_bw, p.net.node_bw);  // 0 = match the NIC
+  EXPECT_DOUBLE_EQ(p.net.pfs_bw, m.pfs_bw_bytes_per_s / 1e9);
+  EXPECT_EQ(p.net.base_latency, m.net.L);
+
+  spec.link_bw_gbs = 3.5;
+  spec.ranks_per_node = 4;
+  const FabricPlan q = plan_fabric(m, 64, spec);
+  EXPECT_DOUBLE_EQ(q.net.link_bw, 3.5);
+  EXPECT_EQ(q.router.nodes, 16);
+  EXPECT_EQ(q.router.node_map.ranks_per_node, 4);
+}
+
+TEST(FabricPlan, NetworkModeNames) {
+  EXPECT_EQ(to_string(NetworkMode::kAnalytic), "analytic");
+  EXPECT_EQ(to_string(NetworkMode::kFlow), "flow");
+  EXPECT_EQ(network_mode_by_name("flow"), NetworkMode::kFlow);
+  EXPECT_EQ(network_mode_by_name("analytic"), NetworkMode::kAnalytic);
+  EXPECT_THROW(network_mode_by_name("quantum"), std::invalid_argument);
+}
+
+TEST(RealizeIoBursts, WalksTheScheduleAndKeepsStarts) {
+  const StudyConfig cfg = flow_study();
+  const ckpt::Artifacts art =
+      prepare_protocol(cfg.protocol, cfg.machine, cfg.params.ranks);
+  const FabricPlan plan = plan_fabric(cfg.machine, cfg.params.ranks, cfg.network);
+  const net::flow::Router router(plan.router);
+  const TimeNs horizon = 50_ms;
+  const IoPlan io = realize_io_bursts(art, cfg.protocol.tier, cfg.machine,
+                                      router, plan.net, cfg.params.ranks, horizon);
+  ASSERT_NE(io.schedule, nullptr);
+  EXPECT_GT(io.count, 0);
+  EXPECT_EQ(io.count % cfg.params.ranks, 0);  // coordinated: all ranks together
+  // Realized intervals start exactly where the analytic ones did, and are
+  // at least as long as the coordination floor.
+  for (sim::RankId r = 0; r < cfg.params.ranks; ++r) {
+    TimeNs t = 0;
+    while (true) {
+      const auto analytic = art.schedule->next_blackout(r, t);
+      if (!analytic.has_value() || analytic->begin >= horizon) break;
+      const auto realized = io.schedule->next_blackout(r, analytic->begin);
+      ASSERT_TRUE(realized.has_value());
+      EXPECT_EQ(realized->begin, analytic->begin);
+      EXPECT_GE(realized->duration(), art.coordination_time);
+      t = analytic->end;
+    }
+  }
+}
+
+TEST(RunStudy, FlowModeContendsAndReportsFabric) {
+  const Breakdown b = run_study(flow_study());
+  EXPECT_EQ(b.network, "flow");
+  EXPECT_GT(b.perturbed_makespan, b.base_makespan);
+  EXPECT_GT(b.slowdown, 1.0);
+  EXPECT_GT(b.fabric.msg_flows, 0);
+  EXPECT_GT(b.fabric.io_flows, 0);
+  EXPECT_GT(b.io_bursts, 0);
+  EXPECT_GT(b.fabric.bytes_moved, 0);
+}
+
+TEST(RunStudy, AnalyticDefaultReportsNoFabric) {
+  StudyConfig cfg = flow_study();
+  cfg.network = FlowSpec{};
+  const Breakdown b = run_study(cfg);
+  EXPECT_EQ(b.network, "analytic");
+  EXPECT_EQ(b.fabric.msg_flows, 0);
+  EXPECT_EQ(b.io_bursts, 0);
+}
+
+TEST(RunStudy, FlowModeByteDeterministicAcrossJobsAndShards) {
+  std::string reference;
+  Breakdown ref_b;
+  for (const auto& [jobs, shards] : {std::pair{1, 1}, {2, 1}, {1, 4}, {2, 3}}) {
+    StudyConfig cfg = flow_study();
+    cfg.jobs = jobs;
+    cfg.shards = shards;
+    obs::MetricsRegistry metrics;
+    cfg.metrics = &metrics;
+    const Breakdown b = run_study(cfg);
+    const std::string payload = metrics.to_json();
+    if (reference.empty()) {
+      reference = payload;
+      ref_b = b;
+      EXPECT_GT(metrics.gauge("net.flow.contention_ns"), 0.0);
+      EXPECT_GT(metrics.gauge("net.flow.util.storage"), 0.0);
+      continue;
+    }
+    EXPECT_EQ(payload, reference) << "jobs=" << jobs << " shards=" << shards;
+    EXPECT_EQ(b.base_makespan, ref_b.base_makespan);
+    EXPECT_EQ(b.perturbed_makespan, ref_b.perturbed_makespan);
+    EXPECT_EQ(b.fabric.contention_ns, ref_b.fabric.contention_ns);
+  }
+}
+
+TEST(RunStudy, FlowModeCostsMoreThanAnalytic) {
+  // The whole point: the same study under in-fabric contention runs longer.
+  StudyConfig analytic = flow_study();
+  analytic.network = FlowSpec{};
+  const Breakdown a = run_study(analytic);
+  const Breakdown f = run_study(flow_study());
+  EXPECT_GE(f.perturbed_makespan, a.perturbed_makespan);
+  EXPECT_GT(f.fabric.contention_ns, 0);
+}
+
+TEST(RunStudy, FlowModeBurstBufferDrainsInBackground) {
+  StudyConfig cfg = flow_study();
+  cfg.machine.bb_bw_bytes_per_s = 8e9;
+  cfg.protocol.tier = storage::StorageTier::kBurstBuffer;
+  const Breakdown b = run_study(cfg);
+  EXPECT_EQ(b.network, "flow");
+  EXPECT_GT(b.io_bursts, 0);
+  EXPECT_GT(b.fabric.io_flows, 0);      // the drains crossed the fabric
+  EXPECT_GT(b.fabric.storage_bytes, 0); // and reached the PFS ingress
+}
+
+TEST(FailureStudy, DirectFlowModeRunsDeterministically) {
+  FailureStudyConfig cfg;
+  cfg.mode = FailureModel::kDirect;
+  cfg.study = flow_study();
+  cfg.study.params.iterations = 8;
+  cfg.trials = 3;
+  const DirectFailureStudyResult a = run_direct_failure_study(cfg);
+  cfg.jobs = 3;
+  const DirectFailureStudyResult b = run_direct_failure_study(cfg);
+  EXPECT_GT(a.direct.mean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.direct.mean_seconds, b.direct.mean_seconds);
+  EXPECT_EQ(a.stats.failures, b.stats.failures);
+}
+
+TEST(PlatformStudy, FlowModeCompletesAndStaysDeterministic) {
+  PlatformConfig cfg;
+  cfg.machine = net::infiniband_system();
+  cfg.machine.ckpt_bytes_per_node = 2_MiB;
+  workload::StdParams params;
+  params.ranks = 8;
+  params.iterations = 8;
+  params.compute = 1_ms;
+  params.bytes = 4096;
+  ProtocolSpec protocol;
+  protocol.kind = ckpt::ProtocolKind::kCoordinated;
+  protocol.interval_policy = ckpt::IntervalPolicy::kFixed;
+  protocol.fixed_interval = 10_ms;
+  cfg.jobs = make_job_mix({"halo3d"}, 2, 8, params, protocol);
+  cfg.network.mode = NetworkMode::kFlow;
+  const PlatformBreakdown a = run_platform_study(cfg);
+  cfg.shards = 2;
+  const PlatformBreakdown b = run_platform_study(cfg);
+  ASSERT_EQ(a.jobs.size(), 2u);
+  EXPECT_GT(a.machine_efficiency, 0.0);
+  EXPECT_LE(a.machine_efficiency, 1.0);
+  EXPECT_EQ(a.machine_makespan, b.machine_makespan);
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].perturbed_makespan, b.jobs[j].perturbed_makespan) << j;
+    EXPECT_EQ(a.jobs[j].base_makespan, b.jobs[j].base_makespan) << j;
+  }
+}
+
+}  // namespace
+}  // namespace chksim::core

@@ -1,0 +1,372 @@
+// Flow-mode engine tests: the DES with EngineConfig::fabric set. Message
+// transit times come from net::flow::FlowNet instead of the closed-form
+// LogGOPS wire time, and the result must stay byte-identical between the
+// serial core and the sharded ParEngine for every shard count — same
+// RunResult including the FabricStats block.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chksim/net/flow/flownet.hpp"
+#include "chksim/net/flow/router.hpp"
+#include "chksim/obs/attribution.hpp"
+#include "chksim/obs/tracer.hpp"
+#include "chksim/sim/engine.hpp"
+#include "chksim/sim/par_engine.hpp"
+#include "chksim/sim/program.hpp"
+#include "chksim/workload/workloads.hpp"
+
+namespace chksim {
+namespace {
+
+using net::flow::FlowNet;
+using net::flow::FlowNetConfig;
+using net::flow::Router;
+using net::flow::RouterConfig;
+
+// Hand-calculable parameters: L 1000, o 100, g 200, no per-byte CPU cost.
+sim::LogGOPSParams simple_net() {
+  sim::LogGOPSParams p;
+  p.L = 1000;
+  p.o = 100;
+  p.g = 200;
+  p.G = 0.0;
+  p.O = 0.0;
+  p.S = 1 << 30;
+  return p;
+}
+
+Router crossbar(int nodes) {
+  RouterConfig rc;
+  rc.kind = net::flow::FabricKind::kFullyConnected;
+  rc.nodes = nodes;
+  return Router(rc);
+}
+
+// 1 B/ns node links, effectively infinite fabric core: the inject/eject
+// links are the only contention points, so rates are hand-computable.
+FlowNetConfig nic_bound() {
+  FlowNetConfig fc;
+  fc.node_bw = 1.0;
+  fc.link_bw = 100.0;
+  fc.pfs_bw = 1.0;
+  fc.base_latency = 1000;
+  return fc;
+}
+
+void expect_same_result(const sim::RunResult& a, const sim::RunResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.ops_executed, b.ops_executed) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+  EXPECT_EQ(a.event_heap_peak, b.event_heap_peak) << what;
+  EXPECT_EQ(a.match_arena_slots, b.match_arena_slots) << what;
+  EXPECT_EQ(a.error, b.error) << what;
+  EXPECT_EQ(a.fabric.msg_flows, b.fabric.msg_flows) << what;
+  EXPECT_EQ(a.fabric.io_flows, b.fabric.io_flows) << what;
+  EXPECT_EQ(a.fabric.active_peak, b.fabric.active_peak) << what;
+  EXPECT_EQ(a.fabric.recomputes, b.fabric.recomputes) << what;
+  EXPECT_EQ(a.fabric.fill_rounds, b.fabric.fill_rounds) << what;
+  EXPECT_EQ(a.fabric.fifo_holds, b.fabric.fifo_holds) << what;
+  EXPECT_EQ(a.fabric.contention_ns, b.fabric.contention_ns) << what;
+  EXPECT_EQ(a.fabric.bytes_moved, b.fabric.bytes_moved) << what;
+  ASSERT_EQ(a.ranks.size(), b.ranks.size()) << what;
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].finish_time, b.ranks[r].finish_time) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].cpu_busy, b.ranks[r].cpu_busy) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].recv_wait, b.ranks[r].recv_wait) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].sends, b.ranks[r].sends) << what << " rank " << r;
+    EXPECT_EQ(a.ranks[r].recvs, b.ranks[r].recvs) << what << " rank " << r;
+  }
+  EXPECT_EQ(a.op_finish, b.op_finish) << what;
+  EXPECT_EQ(a.op_finish_offset, b.op_finish_offset) << what;
+}
+
+// --- Hand-computed timings ------------------------------------------------
+
+TEST(FlowEngine, LoneMessageArrivesAtUncontendedTime) {
+  // send: cpu o=100 ends at 100; flow activates 100 + 1000, drains 1000 B
+  // at the 1 B/ns node link -> arrival 2100; recv consumes (o=100) -> 2200.
+  sim::Program p(2);
+  p.send(0, 1, 1000, 1);
+  p.recv(1, 0, 1000, 1);
+  p.finalize();
+  const Router rt = crossbar(2);
+  FlowNet fn(&rt, nic_bound());
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.fabric = &fn;
+  const sim::RunResult res = sim::run_program(p, cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.makespan, 2200);
+  EXPECT_EQ(res.fabric.msg_flows, 1);
+  EXPECT_EQ(res.fabric.contention_ns, 0);
+  EXPECT_EQ(res.fabric.bytes_moved, 1000);
+  EXPECT_EQ(res.ranks[1].recv_wait, 2100);
+}
+
+TEST(FlowEngine, IncastSharesTheEjectLink) {
+  // Ranks 1..4 each send 1000 B to rank 0 at t=0. All four flows activate
+  // at 1100 and share rank 0's 1 B/ns eject link at 1/4 B/ns: all drain at
+  // 1100 + 4000 = 5100. Uncontended arrival would be 2100 -> 3000 ns of
+  // contention each.
+  sim::Program p(5);
+  for (int r = 1; r <= 4; ++r) {
+    p.send(r, 0, 1000, r);
+    p.recv(0, r, 1000, r);
+  }
+  p.finalize();
+  const Router rt = crossbar(5);
+  FlowNet fn(&rt, nic_bound());
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.fabric = &fn;
+  const sim::RunResult res = sim::run_program(p, cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.fabric.msg_flows, 4);
+  EXPECT_EQ(res.fabric.contention_ns, 4 * 3000);
+  // The four matches consume serially on rank 0's CPU after 5100.
+  EXPECT_EQ(res.makespan, 5100 + 4 * 100);
+}
+
+TEST(FlowEngine, RendezvousIsSubsumedByFlows) {
+  // 100 KiB message above the eager threshold S = 64 KiB: analytic mode
+  // would run the RTS/CTS handshake; flow mode moves it as one eager flow.
+  sim::Program p(2);
+  p.send(0, 1, 100 * 1024, 1);
+  p.recv(1, 0, 100 * 1024, 1);
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.net.S = 65536;
+  const Router rt = crossbar(2);
+  FlowNet fn(&rt, nic_bound());
+  cfg.fabric = &fn;
+  const sim::RunResult res = sim::run_program(p, cfg);
+  ASSERT_TRUE(res.completed);
+  // end 100, activate 1100, 102400 B at 1 B/ns -> 103500; recv cpu -> +100.
+  EXPECT_EQ(res.makespan, 103600);
+}
+
+TEST(FlowEngine, FlowModeRequiresLookahead) {
+  sim::Program p(2);
+  p.calc(0, 10);
+  p.finalize();
+  const Router rt = crossbar(2);
+  FlowNet fn(&rt, nic_bound());
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.net.L = 0;
+  cfg.fabric = &fn;
+  EXPECT_THROW(sim::SimCore(p, cfg), std::invalid_argument);
+  cfg.shards = 2;
+  EXPECT_THROW(sim::ParEngine(p, cfg), std::invalid_argument);
+}
+
+// --- Serial vs sharded byte identity -------------------------------------
+
+workload::StdParams smoke_params() {
+  workload::StdParams p;
+  p.ranks = 16;
+  p.iterations = 4;
+  p.compute = 500'000;
+  p.bytes = 4096;
+  p.seed = 7;
+  return p;
+}
+
+TEST(FlowEngine, RunResultIdenticalAcrossShardsAllWorkloads) {
+  const Router rt = crossbar(16);
+  for (const std::string& name : workload::workload_names()) {
+    sim::Program p = workload::make_workload(name, smoke_params());
+    p.finalize();
+    sim::EngineConfig cfg;
+    cfg.record_op_finish = true;
+    // Default LogGOPS (L = 1500 = FlowNet base_latency default) with a
+    // 4 GB/s node link: contention is ubiquitous in the collective phases.
+    FlowNetConfig fc;
+    fc.node_bw = 0.25;
+    fc.link_bw = 0.25;
+    cfg.shards = 1;
+    FlowNet serial_fn(&rt, fc);
+    cfg.fabric = &serial_fn;
+    const sim::RunResult serial = sim::run_program(p, cfg);
+    ASSERT_TRUE(serial.completed) << name;
+    EXPECT_GT(serial.fabric.msg_flows, 0) << name;
+    for (const int shards : {2, 3, 8}) {
+      FlowNet fn(&rt, fc);
+      cfg.shards = shards;
+      cfg.fabric = &fn;
+      const sim::RunResult sharded = sim::run_program(p, cfg);
+      expect_same_result(serial, sharded,
+                         name + " shards=" + std::to_string(shards));
+      EXPECT_EQ(sharded.pdes_shards, shards) << name;
+    }
+  }
+}
+
+TEST(FlowEngine, ContentionIsVisibleVersusAnalytic) {
+  // All-to-one incast at scale: flow mode must cost more wall-clock than
+  // the analytic engine's infinite-crossbar transit for the same program.
+  const int n = 32;
+  sim::Program p(n);
+  for (int r = 1; r < n; ++r) {
+    p.send(r, 0, 64 * 1024, r);
+    p.recv(0, r, 64 * 1024, r);
+  }
+  p.finalize();
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  const sim::RunResult analytic = sim::run_program(p, cfg);
+  const Router rt = crossbar(n);
+  FlowNet fn(&rt, nic_bound());
+  cfg.fabric = &fn;
+  const sim::RunResult flowed = sim::run_program(p, cfg);
+  ASSERT_TRUE(analytic.completed);
+  ASSERT_TRUE(flowed.completed);
+  EXPECT_GT(flowed.makespan, analytic.makespan);
+  EXPECT_GT(flowed.fabric.contention_ns, 0);
+}
+
+// --- Tracing and wait attribution in flow mode ----------------------------
+
+TEST(FlowEngine, TraceAmendRealizesContestedArrivals) {
+  // Incast: every kMsgInject is recorded with the provisional uncontended
+  // arrival (2100) and must be amended to the realized one (5100) with the
+  // difference as stall.
+  sim::Program p(5);
+  for (int r = 1; r <= 4; ++r) {
+    p.send(r, 0, 1000, r);
+    p.recv(0, r, 1000, r);
+  }
+  p.finalize();
+  const Router rt = crossbar(5);
+  FlowNet fn(&rt, nic_bound());
+  obs::EventTracer tracer(5);
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.fabric = &fn;
+  cfg.trace = &tracer;
+  const sim::RunResult res = sim::run_program(p, cfg);
+  ASSERT_TRUE(res.completed);
+  int injects = 0;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    if (ev.kind != obs::TraceEventKind::kMsgInject) continue;
+    ++injects;
+    EXPECT_EQ(ev.t1, 5100) << "sender " << ev.rank;
+    EXPECT_EQ(ev.stall, 3000) << "sender " << ev.rank;
+    EXPECT_EQ(ev.t0, 100) << "sender " << ev.rank;
+  }
+  EXPECT_EQ(injects, 4);
+}
+
+TEST(FlowEngine, WaitAttributionIdentityHoldsPerRank) {
+  // The five-way classification must sum exactly to the engine's per-rank
+  // recv_wait, and the incast's waits must show up as network_contention.
+  sim::Program p(5);
+  for (int r = 1; r <= 4; ++r) {
+    p.send(r, 0, 1000, r);
+    p.recv(0, r, 1000, r);
+  }
+  p.finalize();
+  const Router rt = crossbar(5);
+  FlowNet fn(&rt, nic_bound());
+  obs::EventTracer tracer(5);
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.fabric = &fn;
+  cfg.trace = &tracer;
+  const sim::RunResult res = sim::run_program(p, cfg);
+  ASSERT_TRUE(res.completed);
+  const obs::WaitAttribution att = obs::attribute_waits(tracer);
+  ASSERT_TRUE(att.complete);
+  ASSERT_EQ(att.ranks.size(), res.ranks.size());
+  for (std::size_t r = 0; r < att.ranks.size(); ++r) {
+    const obs::RankWaitAttribution& a = att.ranks[r];
+    EXPECT_EQ(a.recv_wait, res.ranks[r].recv_wait) << "rank " << r;
+    EXPECT_EQ(a.sender_blackout + a.storage_contention + a.propagated +
+                  a.network_contention + a.network,
+              a.recv_wait)
+        << "rank " << r;
+  }
+  EXPECT_GT(att.total.network_contention, 0);
+  EXPECT_EQ(att.total.sender_blackout, 0);  // no blackouts in this program
+}
+
+TEST(FlowEngine, WaitAttributionIdenticalAcrossShards) {
+  sim::Program p = workload::make_workload("halo3d", smoke_params());
+  p.finalize();
+  const Router rt = crossbar(16);
+  std::vector<std::string> summaries;
+  for (const int shards : {1, 4}) {
+    FlowNet fn(&rt, nic_bound());
+    obs::EventTracer tracer(16);
+    sim::EngineConfig cfg;
+    cfg.net = simple_net();
+    cfg.fabric = &fn;
+    cfg.trace = &tracer;
+    cfg.shards = shards;
+    const sim::RunResult res = sim::run_program(p, cfg);
+    ASSERT_TRUE(res.completed) << shards;
+    const obs::WaitAttribution att = obs::attribute_waits(tracer);
+    ASSERT_TRUE(att.complete) << shards;
+    for (std::size_t r = 0; r < att.ranks.size(); ++r) {
+      EXPECT_EQ(att.ranks[r].recv_wait, res.ranks[r].recv_wait)
+          << "shards " << shards << " rank " << r;
+    }
+    summaries.push_back(att.to_string());
+  }
+  EXPECT_EQ(summaries[0], summaries[1]);
+}
+
+// --- Snapshot / restore ---------------------------------------------------
+
+TEST(FlowEngine, SerialSnapshotRestoreReplaysIdentically) {
+  sim::Program p = workload::make_workload("ring", smoke_params());
+  p.finalize();
+  const Router rt = crossbar(16);
+  FlowNet fn(&rt, nic_bound());
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.fabric = &fn;
+  sim::SimCore core(p, cfg);
+  core.run_until(300'000);
+  const sim::SimCore::Snapshot snap = core.snapshot();
+  core.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(core.finished());
+  const TimeNs first_makespan = core.makespan();
+  const std::int64_t first_ops = core.ops_executed();
+  core.restore(snap);
+  core.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(core.finished());
+  EXPECT_EQ(core.makespan(), first_makespan);
+  EXPECT_EQ(core.ops_executed(), first_ops);
+}
+
+TEST(FlowEngine, ShardedSnapshotRestoreReplaysIdentically) {
+  sim::Program p = workload::make_workload("ring", smoke_params());
+  p.finalize();
+  const Router rt = crossbar(16);
+  FlowNet fn(&rt, nic_bound());
+  sim::EngineConfig cfg;
+  cfg.net = simple_net();
+  cfg.fabric = &fn;
+  cfg.shards = 4;
+  sim::ParEngine engine(p, cfg);
+  engine.run_until(300'000);
+  const sim::ParEngine::Snapshot snap = engine.snapshot();
+  engine.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(engine.finished());
+  const TimeNs first_makespan = engine.makespan();
+  engine.restore(snap);
+  engine.run_until(std::numeric_limits<TimeNs>::max());
+  ASSERT_TRUE(engine.finished());
+  EXPECT_EQ(engine.makespan(), first_makespan);
+}
+
+}  // namespace
+}  // namespace chksim

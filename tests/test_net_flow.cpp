@@ -1,0 +1,532 @@
+// Flow-level network model: link routes pinned against brute-force shortest
+// paths and Topology::hops(), NodeMap packing, and the max-min fair-share
+// solver (conservation, water-filling, channel FIFO, call-pattern
+// independence, snapshot/restore).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "chksim/net/flow/flownet.hpp"
+#include "chksim/net/flow/router.hpp"
+#include "chksim/net/node_map.hpp"
+#include "chksim/net/topology.hpp"
+
+namespace chksim::net::flow {
+namespace {
+
+// Checks, for every node pair, that the emitted route agrees with the
+// closed-form hop count and the independent Topology implementation, is
+// bracketed by the endpoints' NIC links, and never repeats a link.
+void check_routes(const Router& router, const Topology& topo) {
+  const int n = router.nodes();
+  std::vector<LinkId> route;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      route.clear();
+      router.fabric_route(a, b, &route);
+      ASSERT_EQ(static_cast<int>(route.size()), router.fabric_hops(a, b))
+          << "a=" << a << " b=" << b;
+      if (router.config().routing == Routing::kMinimal) {
+        ASSERT_EQ(static_cast<int>(route.size()), topo.hops(a, b))
+            << "a=" << a << " b=" << b;
+      }
+      std::set<LinkId> uniq(route.begin(), route.end());
+      ASSERT_EQ(uniq.size(), route.size()) << "loop in route " << a << "->" << b;
+      // Rank-level route adds exactly the inject/eject bracket.
+      std::vector<LinkId> full;
+      router.route(a * router.config().node_map.ranks_per_node,
+                   b * router.config().node_map.ranks_per_node, &full);
+      ASSERT_EQ(full.size(), route.size() + 2);
+      EXPECT_EQ(Router::link_class(full.front()), LinkClass::kInject);
+      EXPECT_EQ(Router::link_class(full.back()), LinkClass::kEject);
+    }
+  }
+}
+
+TEST(FlowRouter, FullyConnectedRoutes) {
+  RouterConfig cfg;
+  cfg.kind = FabricKind::kFullyConnected;
+  cfg.nodes = 9;
+  Router router(cfg);
+  FullyConnected topo(9);
+  check_routes(router, topo);
+  // Dedicated pairwise links: distinct pairs never share a fabric link.
+  std::vector<LinkId> r1, r2;
+  router.fabric_route(1, 2, &r1);
+  router.fabric_route(2, 1, &r2);
+  EXPECT_NE(r1[0], r2[0]);
+}
+
+TEST(FlowRouter, TorusRoutesMatchBruteForceBfs) {
+  for (const std::array<int, 3> dims :
+       {std::array<int, 3>{3, 4, 5}, std::array<int, 3>{1, 1, 7},
+        std::array<int, 3>{2, 3, 1}}) {
+    const int n = dims[0] * dims[1] * dims[2];
+    RouterConfig cfg;
+    cfg.kind = FabricKind::kTorus;
+    cfg.nodes = n;
+    cfg.dims = dims;
+    Router router(cfg);
+    Torus topo(dims);
+    check_routes(router, topo);
+    // Independent BFS over the +/-1-per-dimension wraparound graph.
+    const auto coords = [&](int v) {
+      return std::array<int, 3>{v % dims[0], (v / dims[0]) % dims[1],
+                                v / (dims[0] * dims[1])};
+    };
+    const auto node_at = [&](std::array<int, 3> c) {
+      return c[0] + dims[0] * (c[1] + dims[1] * c[2]);
+    };
+    for (int a = 0; a < n; ++a) {
+      std::vector<int> dist(static_cast<std::size_t>(n), -1);
+      std::queue<int> q;
+      dist[static_cast<std::size_t>(a)] = 0;
+      q.push(a);
+      while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (int d = 0; d < 3; ++d) {
+          for (int step : {1, -1}) {
+            auto c = coords(v);
+            c[static_cast<std::size_t>(d)] =
+                (c[static_cast<std::size_t>(d)] + step + dims[static_cast<std::size_t>(d)]) %
+                dims[static_cast<std::size_t>(d)];
+            const int u = node_at(c);
+            if (dist[static_cast<std::size_t>(u)] < 0) {
+              dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+              q.push(u);
+            }
+          }
+        }
+      }
+      for (int b = 0; b < n; ++b)
+        ASSERT_EQ(router.fabric_hops(a, b), dist[static_cast<std::size_t>(b)])
+            << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(FlowRouter, FatTreeRoutesMatchTreeDistance) {
+  for (const auto& [nodes, radix] : std::vector<std::pair<int, int>>{
+           {20, 5}, {37, 8}, {8, 4}}) {
+    RouterConfig cfg;
+    cfg.kind = FabricKind::kFatTree;
+    cfg.nodes = nodes;
+    cfg.radix = radix;
+    Router router(cfg);
+    FatTree topo(nodes, radix);
+    check_routes(router, topo);
+    // Independent check: distance between leaves of the down-ary block tree
+    // is twice the lowest-common-ancestor level.
+    const int down = std::max(2, radix / 2);
+    for (int a = 0; a < nodes; ++a) {
+      for (int b = 0; b < nodes; ++b) {
+        if (a == b) continue;
+        int level = 0;
+        std::int64_t block = 1;
+        while (a / block != b / block) {
+          block *= down;
+          ++level;
+        }
+        ASSERT_EQ(router.fabric_hops(a, b), 2 * level);
+      }
+    }
+    // The fattening knob: level-k links carry down^(k-1) capacity units.
+    std::vector<LinkId> route;
+    router.fabric_route(0, nodes - 1, &route);
+    EXPECT_EQ(router.capacity_units(route.front()), 1.0);
+    double expect = 1.0;
+    for (std::size_t i = 0; i + 1 < route.size() / 2; ++i) expect *= down;
+    EXPECT_EQ(router.capacity_units(route[route.size() / 2 - 1]), expect);
+  }
+}
+
+TEST(FlowRouter, DragonflyRoutes) {
+  for (const auto& [nodes, group, rt] : std::vector<std::array<int, 3>>{
+           {24, 8, 2}, {22, 8, 2}, {27, 9, 3}}) {
+    RouterConfig cfg;
+    cfg.kind = FabricKind::kDragonfly;
+    cfg.nodes = nodes;
+    cfg.group_size = group;
+    cfg.router_size = rt;
+    Router router(cfg);
+    Dragonfly topo(nodes, group, rt);
+    check_routes(router, topo);
+    for (int a = 0; a < nodes; ++a) {
+      for (int b = 0; b < nodes; ++b) {
+        const int expect = a == b              ? 0
+                           : a / rt == b / rt  ? 1
+                           : a / group == b / group ? 2
+                                                    : 5;
+        ASSERT_EQ(router.fabric_hops(a, b), expect);
+      }
+    }
+    // Router crossbars are fattened by router_size.
+    std::vector<LinkId> route;
+    router.fabric_route(0, 1, &route);
+    EXPECT_EQ(router.capacity_units(route.front()), static_cast<double>(rt));
+  }
+}
+
+TEST(FlowRouter, DragonflyValiantDetour) {
+  RouterConfig cfg;
+  cfg.kind = FabricKind::kDragonfly;
+  cfg.nodes = 32;
+  cfg.group_size = 8;
+  cfg.router_size = 2;
+  cfg.routing = Routing::kValiant;
+  Router router(cfg);
+  for (int a = 0; a < cfg.nodes; ++a) {
+    for (int b = 0; b < cfg.nodes; ++b) {
+      std::vector<LinkId> route;
+      router.fabric_route(a, b, &route);
+      ASSERT_EQ(static_cast<int>(route.size()), router.fabric_hops(a, b));
+      std::set<LinkId> uniq(route.begin(), route.end());
+      ASSERT_EQ(uniq.size(), route.size());
+      const int ga = a / cfg.group_size;
+      const int gb = b / cfg.group_size;
+      const int gm = (ga + gb) % 4;
+      if (ga != gb && gm != ga && gm != gb) {
+        EXPECT_EQ(route.size(), 7u) << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(FlowRouter, NodeMapPackingAndValidation) {
+  NodeMap four{4};
+  EXPECT_EQ(four.node_of(0), 0);
+  EXPECT_EQ(four.node_of(3), 0);
+  EXPECT_EQ(four.node_of(4), 1);
+  EXPECT_EQ(four.nodes_for(9), 3);
+  EXPECT_NO_THROW(four.validate(16, 4));
+  EXPECT_THROW(four.validate(17, 4), std::invalid_argument);
+  EXPECT_THROW(four.validate(-1, 4), std::invalid_argument);
+  EXPECT_THROW((NodeMap{0}).validate(1, 1), std::invalid_argument);
+
+  RouterConfig cfg;
+  cfg.kind = FabricKind::kFullyConnected;
+  cfg.nodes = 4;
+  cfg.node_map = four;
+  Router router(cfg);
+  // Co-resident ranks still cross their node's NIC pair, no fabric links.
+  std::vector<LinkId> route;
+  router.route(0, 2, &route);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(Router::link_class(route[0]), LinkClass::kInject);
+  EXPECT_EQ(Router::link_class(route[1]), LinkClass::kEject);
+  route.clear();
+  router.route(1, 5, &route);  // nodes 0 -> 1
+  EXPECT_EQ(route.size(), 3u);
+  EXPECT_EQ(router.node_of(5), 1);
+}
+
+TEST(FlowRouter, IoRouteAndGateways) {
+  RouterConfig cfg;
+  cfg.kind = FabricKind::kFullyConnected;
+  cfg.nodes = 8;
+  cfg.gateways = 2;
+  Router router(cfg);
+  EXPECT_EQ(router.gateway_node(0), 0);
+  EXPECT_EQ(router.gateway_node(3), 0);
+  EXPECT_EQ(router.gateway_node(4), 4);
+  EXPECT_EQ(router.gateway_node(7), 4);
+  std::vector<LinkId> route;
+  router.io_route(5, &route);
+  ASSERT_EQ(route.size(), 4u);  // inject, fabric, eject(gw), storage
+  EXPECT_EQ(Router::link_class(route.back()), LinkClass::kStorage);
+  route.clear();
+  router.io_route(4, &route);  // already on its gateway
+  ASSERT_EQ(route.size(), 3u);
+}
+
+TEST(FlowRouter, ConfigValidation) {
+  RouterConfig bad;
+  bad.kind = FabricKind::kTorus;
+  bad.nodes = 10;
+  bad.dims = {3, 3, 1};
+  EXPECT_THROW(Router{bad}, std::invalid_argument);
+  bad.kind = FabricKind::kDragonfly;
+  bad.group_size = 7;
+  bad.router_size = 2;
+  EXPECT_THROW(Router{bad}, std::invalid_argument);
+  EXPECT_EQ(routing_by_name("valiant"), Routing::kValiant);
+  EXPECT_THROW(routing_by_name("adaptive"), std::invalid_argument);
+  EXPECT_EQ(to_string(FabricKind::kDragonfly), "dragonfly");
+}
+
+// --- solver ---------------------------------------------------------------
+
+Router crossbar(int nodes) {
+  RouterConfig cfg;
+  cfg.kind = FabricKind::kFullyConnected;
+  cfg.nodes = nodes;
+  return Router(cfg);
+}
+
+FlowNetConfig nic_bound() {
+  FlowNetConfig cfg;
+  cfg.node_bw = 1.0;    // NIC is the bottleneck...
+  cfg.link_bw = 100.0;  // ...the crossbar never is
+  cfg.pfs_bw = 1.0;
+  cfg.base_latency = 10;
+  return cfg;
+}
+
+sim::FlowRequest msg(int src, int dst, Bytes bytes, std::uint64_t key2) {
+  sim::FlowRequest r;
+  r.kind = sim::FlowKind::kMsg;
+  r.src = src;
+  r.dst = dst;
+  r.bytes = bytes;
+  r.key2 = key2;
+  return r;
+}
+
+TEST(FlowNet, LoneFlowFinishesAtUncontendedTime) {
+  Router router = crossbar(4);
+  FlowNet net(&router, nic_bound());
+  const TimeNs unc = net.submit(0, msg(1, 2, 1000, 7));
+  EXPECT_EQ(unc, 10 + 1000);
+  EXPECT_EQ(unc, net.uncontended_arrival(0, 1, 2, 1000));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(100000, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].finish, unc);
+  EXPECT_EQ(out[0].uncontended, unc);
+  EXPECT_EQ(out[0].req.key2, 7u);
+  EXPECT_EQ(net.stats().contention_ns, 0);
+  EXPECT_EQ(net.stats().msg_flows, 1);
+  EXPECT_EQ(net.next_event(), -1);
+}
+
+TEST(FlowNet, SaturatedLinkConservesWorkAndCapacity) {
+  // Four equal flows into one ejection link of capacity 1 B/ns: equal shares
+  // of 1/4, everyone finishes exactly when the link has moved all the bytes.
+  Router router = crossbar(8);
+  FlowNet net(&router, nic_bound());
+  for (int s = 1; s <= 4; ++s) net.submit(0, msg(s, 0, 1000, 10 + s));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& c : out) {
+    EXPECT_EQ(c.finish, 10 + 4000);  // latency + total bytes / capacity
+    EXPECT_EQ(c.uncontended, 10 + 1000);
+  }
+  EXPECT_EQ(net.stats().contention_ns, 4 * 3000);
+  EXPECT_EQ(net.stats().bytes_moved, 4000);
+}
+
+TEST(FlowNet, UnequalFlowsDrainInSizeOrderConservingWork) {
+  Router router = crossbar(8);
+  FlowNet net(&router, nic_bound());
+  net.submit(0, msg(1, 0, 1000, 1));
+  net.submit(0, msg(2, 0, 3000, 2));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  ASSERT_EQ(out.size(), 2u);
+  // Equal shares of 1/2 until the small flow drains at 10 + 2000; the large
+  // flow then takes the whole link: 2000 bytes left at rate 1.
+  EXPECT_EQ(out[0].req.key2, 1u);
+  EXPECT_EQ(out[0].finish, 10 + 2000);
+  EXPECT_EQ(out[1].req.key2, 2u);
+  EXPECT_EQ(out[1].finish, 10 + 4000);  // latency + total work / capacity
+}
+
+TEST(FlowNet, MaxMinGivesUnbottleneckedFlowTheResidual) {
+  // D, E, F share eject(5) (share 1/3 each); D also shares inject(0) with G.
+  // Max-min: eject(5) is the tighter link, D freezes at 1/3 there, and G
+  // gets the *residual* 2/3 of inject(0) — not an equal 1/2 split.
+  Router router = crossbar(8);
+  FlowNet net(&router, nic_bound());
+  net.submit(0, msg(0, 5, 3000, 1));  // D
+  net.submit(0, msg(2, 5, 3000, 2));  // E
+  net.submit(0, msg(3, 5, 3000, 3));  // F
+  net.submit(0, msg(0, 1, 1000, 4));  // G
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  ASSERT_EQ(out.size(), 4u);
+  std::map<std::uint64_t, TimeNs> finish;
+  for (const auto& c : out) finish[c.req.key2] = c.finish;
+  EXPECT_EQ(finish[4], 10 + 1500);  // 1000 bytes at 2/3 B/ns
+  EXPECT_EQ(finish[1], 10 + 9000);  // 3000 bytes at 1/3 B/ns
+  EXPECT_EQ(finish[2], 10 + 9000);
+  EXPECT_EQ(finish[3], 10 + 9000);
+}
+
+TEST(FlowNet, ChannelFifoHoldsSmallMessageBehindLargeOne) {
+  Router router = crossbar(2);
+  FlowNet net(&router, nic_bound());
+  net.submit(0, msg(0, 1, 10000, 1));
+  net.submit(1, msg(0, 1, 100, 2));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  ASSERT_EQ(out.size(), 2u);
+  // The small message drains long before the large one but must not
+  // overtake it on the (0, 1) channel: both deliver when the head does.
+  EXPECT_EQ(out[0].req.key2, 1u);
+  EXPECT_EQ(out[1].req.key2, 2u);
+  EXPECT_GE(out[1].finish, out[0].finish);
+  EXPECT_EQ(net.stats().fifo_holds, 1);
+  // Different channels are independent: no ordering coupling.
+}
+
+TEST(FlowNet, CallPatternIndependence) {
+  const auto drive = [](const std::vector<TimeNs>& stops) {
+    Router router = crossbar(8);
+    FlowNet net(&router, nic_bound());
+    net.submit(0, msg(0, 5, 3000, 1));
+    net.submit(0, msg(2, 5, 3000, 2));
+    net.submit(3, msg(3, 5, 2500, 3));
+    net.submit(5, msg(0, 1, 1000, 4));
+    net.submit(2, msg(5, 0, 700, 5));
+    std::vector<sim::FlowCompletion> out;
+    for (const TimeNs t : stops) net.advance(t, &out);
+    net.advance(1 << 20, &out);
+    return out;
+  };
+  const auto a = drive({});
+  const auto b = drive({1, 9, 10, 11, 500, 501, 502, 2000, 9000});
+  const auto c = drive({4000});
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].finish, b[i].finish);
+    EXPECT_EQ(a[i].finish, c[i].finish);
+    EXPECT_EQ(a[i].uncontended, b[i].uncontended);
+    EXPECT_EQ(a[i].req.key2, b[i].req.key2);
+    EXPECT_EQ(a[i].req.key2, c[i].req.key2);
+  }
+}
+
+TEST(FlowNet, SubmissionOrderIndependence) {
+  std::vector<sim::FlowRequest> reqs = {
+      msg(0, 5, 3000, 1), msg(2, 5, 3000, 2), msg(3, 5, 2500, 3),
+      msg(0, 1, 1000, 4), msg(5, 0, 700, 5)};
+  const auto drive = [&](bool reversed) {
+    Router router = crossbar(8);
+    FlowNet net(&router, nic_bound());
+    auto order = reqs;
+    if (reversed) std::reverse(order.begin(), order.end());
+    for (const auto& r : order) net.submit(0, r);
+    std::vector<sim::FlowCompletion> out;
+    net.advance(1 << 20, &out);
+    return out;
+  };
+  const auto fwd = drive(false);
+  const auto rev = drive(true);
+  ASSERT_EQ(fwd.size(), rev.size());
+  for (std::size_t i = 0; i < fwd.size(); ++i) {
+    EXPECT_EQ(fwd[i].finish, rev[i].finish);
+    EXPECT_EQ(fwd[i].req.key2, rev[i].req.key2);
+  }
+}
+
+TEST(FlowNet, LateSubmissionBehindClockThrows) {
+  Router router = crossbar(2);
+  FlowNet net(&router, nic_bound());
+  net.submit(0, msg(0, 1, 1000, 1));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);  // clock is now at the completion time
+  EXPECT_EQ(net.clock(), 10 + 1000);
+  EXPECT_THROW(net.submit(0, msg(0, 1, 10, 2)), std::logic_error);
+  EXPECT_NO_THROW(net.submit(net.clock(), msg(0, 1, 10, 2)));
+}
+
+TEST(FlowNet, CloneRestoreReplaysIdentically) {
+  Router router = crossbar(8);
+  FlowNet net(&router, nic_bound());
+  net.submit(0, msg(0, 5, 3000, 1));
+  net.submit(0, msg(2, 5, 3000, 2));
+  net.submit(3, msg(3, 5, 2500, 3));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(2000, &out);  // mid-flight
+  const auto snap = net.clone();
+  std::vector<sim::FlowCompletion> first, second;
+  net.advance(1 << 20, &first);
+  net.restore(*snap);
+  net.advance(1 << 20, &second);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].finish, second[i].finish);
+    EXPECT_EQ(first[i].req.key2, second[i].req.key2);
+  }
+}
+
+TEST(FlowNet, IoFlowsCompleteSilentlyIntoTheLog) {
+  RouterConfig rcfg;
+  rcfg.kind = FabricKind::kFullyConnected;
+  rcfg.nodes = 8;
+  Router router(rcfg);
+  FlowNetConfig cfg = nic_bound();
+  cfg.pfs_bw = 0.5;  // storage ingress is the bottleneck
+  FlowNet net(&router, cfg);
+  sim::FlowRequest io;
+  io.kind = sim::FlowKind::kIo;
+  io.src = 3;
+  io.dst = -1;
+  io.bytes = 1000;
+  io.key2 = 1;
+  io.cookie = 42;
+  net.submit(0, io);
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  EXPECT_TRUE(out.empty());  // silent
+  ASSERT_EQ(net.io_log().size(), 1u);
+  EXPECT_EQ(net.io_log()[0].cookie, 42);
+  EXPECT_EQ(net.io_log()[0].finish, 10 + 2000);
+  EXPECT_EQ(net.io_log()[0].uncontended, 10 + 2000);
+  EXPECT_EQ(net.stats().io_flows, 1);
+  EXPECT_EQ(net.stats().storage_bytes, 1000);
+}
+
+TEST(FlowNet, IoContendsWithMessages) {
+  // An I/O drain and a message sharing the source NIC split it 50/50.
+  Router router = crossbar(4);
+  FlowNet net(&router, nic_bound());
+  sim::FlowRequest io;
+  io.kind = sim::FlowKind::kIo;
+  io.src = 1;
+  io.dst = -1;
+  io.bytes = 2000;
+  io.key2 = 1;
+  io.cookie = 7;
+  net.submit(0, io);
+  net.submit(0, msg(1, 2, 2000, 2));
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].finish, 10 + 4000);
+  ASSERT_EQ(net.io_log().size(), 1u);
+  EXPECT_EQ(net.io_log()[0].finish, 10 + 4000);
+}
+
+TEST(FlowNet, ZeroByteFlowArrivesAtActivation) {
+  Router router = crossbar(2);
+  FlowNet net(&router, nic_bound());
+  const TimeNs unc = net.submit(5, msg(0, 1, 0, 9));
+  EXPECT_EQ(unc, 15);
+  std::vector<sim::FlowCompletion> out;
+  net.advance(1 << 20, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].finish, 15);
+}
+
+TEST(FlowNet, ConfigValidation) {
+  Router router = crossbar(2);
+  FlowNetConfig cfg = nic_bound();
+  cfg.base_latency = 0;
+  EXPECT_THROW(FlowNet(&router, cfg), std::invalid_argument);
+  cfg = nic_bound();
+  cfg.node_bw = 0;
+  EXPECT_THROW(FlowNet(&router, cfg), std::invalid_argument);
+  EXPECT_THROW(FlowNet(nullptr, nic_bound()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chksim::net::flow
